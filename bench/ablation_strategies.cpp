@@ -1,0 +1,56 @@
+// bench/ablation_strategies.cpp
+// Extension experiment: the paper's three strategies against the
+// shared-ready-queue variant it sketches in §V-B ("available nodes ...
+// executed by one thread that has just finished its work ... raises the
+// queue management overhead"). SharedQueueExecutor implements that idea
+// with a mutex-protected central queue; this bench quantifies the
+// trade-off the paper predicted.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace djstar;
+  bench::banner("ablation — shared ready queue vs the paper's strategies",
+                "§V-B predicts: earliest possible node start times, but more "
+                "queue management overhead");
+
+  const std::size_t miters = bench::measure_iters();
+  std::printf("measured on this host, 67-node graph, %zu cycles each:\n\n",
+              miters);
+  std::printf("  %-8s %10s %10s %12s %12s\n", "strategy", "threads",
+              "mean (us)", "p99-ish (us)", "worst (us)");
+
+  for (unsigned threads : {2u, 4u}) {
+    for (core::Strategy s :
+         {core::Strategy::kBusyWait, core::Strategy::kSleep,
+          core::Strategy::kWorkStealing, core::Strategy::kSharedQueue}) {
+      const auto series = bench::measure_series(s, threads, miters);
+      const auto sum = support::Summary::of(series);
+      std::printf("  %-8s %10u %10.1f %12.1f %12.1f\n",
+                  std::string(core::to_string(s)).c_str(), threads, sum.mean,
+                  sum.p99, sum.max);
+    }
+    std::printf("\n");
+  }
+
+  // Virtual-time view: the shared queue is a greedy list scheduler whose
+  // per-node cost is one lock round trip; model it as list scheduling
+  // with a lock surcharge and compare against the strategy simulators.
+  bench::ReferenceSetup ref;
+  const double lock_cost_us = 0.25;  // uncontended lock/unlock pair
+  sim::SimGraph g = ref.sim;
+  for (auto& d : g.duration_us) d += 2.0 * lock_cost_us;  // pop + publish
+  const auto shared4 = sim::list_schedule(g, 4);
+  const auto busy4 = sim::simulate_busy(ref.sim, 4);
+  const auto sleep4 = sim::simulate_sleep(ref.sim, 4);
+  const auto ws4 = sim::simulate_work_stealing(ref.sim, 4);
+  std::printf("simulated makespans at 4 virtual cores (mean durations):\n");
+  std::printf("  BUSY %.1f us | SLEEP %.1f us | WS %.1f us | SHARED (greedy "
+              "list + lock) %.1f us\n",
+              busy4.makespan_us, sleep4.makespan_us, ws4.makespan_us,
+              shared4.makespan_us);
+  std::printf("\nreading: the greedy schedule itself is excellent (it IS list\n"
+              "scheduling), confirming §V-B's 'earliest start times' claim;\n"
+              "whether it wins in practice depends on lock contention, which\n"
+              "grows with thread count — see the measured table above.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// bench/fig12_busy_sim.cpp
+// Reproduces paper Figure 12 / §VI: the BUSY strategy replayed inside
+// the scheduling simulator.
+//
+// Paper: measured BUSY averages 452 us on hardware, but replaying the
+// same strategy in RESCON (which cannot model thread management,
+// node assignment and dependency checking) yields 327 us — within 8% of
+// the optimal 4-core schedule (324 us). Conclusion: the busy-waiting
+// heuristic's *schedule* is near-optimal; the gap is pure overhead.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace djstar;
+  bench::banner("Figure 12 — simulation of the BUSY schedule",
+                "BUSY replayed in the simulator: 327 us, within 8% of the "
+                "optimal 4-core schedule (324 us); hardware measured 452 us");
+
+  bench::ReferenceSetup ref;
+
+  const auto optimal = sim::list_schedule(ref.sim, 4);
+
+  // RESCON-style replay: no thread-management overheads at all.
+  sim::OverheadModel pure{};
+  pure.dep_check_us = 0.0;
+  pure.spin_quantum_us = 0.0;
+  const auto busy_pure = sim::simulate_busy(ref.sim, 4, pure);
+
+  // Replay with the calibrated overhead model (what the real executor
+  // pays per node).
+  const auto busy_overhead = sim::simulate_busy(ref.sim, 4);
+
+  std::printf("optimal 4-core list schedule : %7.1f us  (paper: 324 us)\n",
+              optimal.makespan_us);
+  std::printf("BUSY replay, zero overheads  : %7.1f us  (paper: 327 us)\n",
+              busy_pure.makespan_us);
+  std::printf("  vs optimal                 : %+6.1f %%   (paper: within 8 %%)\n",
+              100.0 * (busy_pure.makespan_us / optimal.makespan_us - 1.0));
+  std::printf("BUSY replay, calibrated ovh  : %7.1f us  (paper measured: 452 us)\n",
+              busy_overhead.makespan_us);
+
+  std::printf("\n%s\n",
+              support::render_gantt(busy_pure.to_spans(), 100,
+                                    busy_pure.makespan_us,
+                                    "Simulation of the BUSY schedule (Fig. 12)")
+                  .c_str());
+
+  // Efficiency figure quoted in the abstract: 99% vs optimal schedule.
+  std::printf("schedule efficiency of BUSY vs optimal: %.1f %%  (paper: 99 %%)\n",
+              100.0 * optimal.makespan_us / busy_pure.makespan_us);
+  return 0;
+}

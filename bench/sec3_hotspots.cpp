@@ -1,0 +1,62 @@
+// bench/sec3_hotspots.cpp
+// Reproduces the paper's §III-B dynamic analysis: where the APC's time
+// goes. Paper (share of total runtime, APC = 88%): within the APC,
+// preprocessing 33%, audio graph 38%, timecode decoding 16%, the rest
+// various calculations and buffer administration.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace djstar;
+  bench::banner("§III-B — hotspot analysis of the audio processing cycle",
+                "APC: 33% preprocessing (GP), 38% audio graph, 16% timecode (TP)");
+
+  const std::size_t iters = bench::measure_iters();
+  engine::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kSequential;  // profile the serial APC
+  cfg.threads = 1;
+  engine::AudioEngine e(cfg);
+  e.run_cycles(30);
+  e.monitor().reset();
+  e.run_cycles(iters);
+
+  const auto& m = e.monitor();
+  const double total = m.total().mean();
+  auto pct = [&](double v) { return 100.0 * v / total; };
+
+  std::printf("measured on this host over %zu cycles (sequential engine):\n\n",
+              iters);
+  std::printf("  phase                         mean (us)   share   paper share\n");
+  std::printf("  timecode processing  (TP)    %9.1f   %5.1f%%   16%%\n",
+              m.tp().mean(), pct(m.tp().mean()));
+  std::printf("  graph preprocessing  (GP)    %9.1f   %5.1f%%   33%%\n",
+              m.gp().mean(), pct(m.gp().mean()));
+  std::printf("  task graph           (Graph) %9.1f   %5.1f%%   38%%\n",
+              m.graph().mean(), pct(m.graph().mean()));
+  std::printf("  various calculations (VC)    %9.1f   %5.1f%%   ~13%% (incl. misc)\n",
+              m.vc().mean(), pct(m.vc().mean()));
+  std::printf("  total APC                    %9.1f   100.0%%\n", total);
+
+  std::printf("\n  deadline: %.1f us per packet (BS=128 @ 44.1 kHz)\n",
+              m.deadline_us());
+  std::printf("  T(Graph) budget after TP+GP+VC: %.1f us (paper: <= 2100 us)\n",
+              m.deadline_us() - m.tp().mean() - m.gp().mean() - m.vc().mean());
+
+  std::vector<support::Bar> bars{
+      {"TP", m.tp().mean()},
+      {"GP", m.gp().mean()},
+      {"Graph", m.graph().mean()},
+      {"VC", m.vc().mean()},
+  };
+  std::printf("\n%s\n",
+              support::render_bars(bars, 50, "APC phase breakdown", "us").c_str());
+
+  // Paper-scale model: GP+Graph+TP+VC with the reference graph time.
+  bench::ReferenceSetup ref;
+  const double graph_ref = sim::total_work_us(ref.sim);
+  std::printf("paper-scale reference: graph (sequential) %.0f us of a %.0f us\n"
+              "APC is %.0f%% — the paper reports 38%% of the APC plus 33%% GP,\n"
+              "16%% TP on its production workload.\n",
+              graph_ref, graph_ref / 0.38,
+              38.0);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// bench/sec6_deadlines.cpp
+// Reproduces paper §VI's deadline-miss analysis: "about five out of 10k
+// APC executions exceed the deadline of 2.9 ms, although the average
+// task graph execution time of ~0.45 ms on four cores is far below the
+// threshold"; BUSY produced the fewest timeouts, WS more than BUSY.
+//
+// An APC misses when TP+GP+VC (~0.8 ms average, modelled with the same
+// two-regime + heavy-tail sampler) plus the task-graph time exceeds
+// 2.9 ms. Misses come from the rare spike events (OS preemption, page
+// faults) in the tail of the node-duration model.
+#include "bench_common.hpp"
+#include "djstar/engine/headroom.hpp"
+
+int main() {
+  using namespace djstar;
+  bench::banner("§VI — missed deadlines per 10k APCs",
+                "~5 / 10000 misses (BUSY fewest; WS more than BUSY)");
+
+  const std::size_t iters = bench::sim_iters();
+  bench::ReferenceSetup ref;
+
+  // TP+GP+VC model: mean 0.8 ms with the same regime/jitter behaviour
+  // and a rare heavy tail.
+  sim::SamplerConfig overhead_cfg;
+  overhead_cfg.seed = 77;
+  overhead_cfg.heavy_probability = 0.35;
+  overhead_cfg.heavy_factor = 1.25;
+  overhead_cfg.jitter_sigma = 0.08;
+  overhead_cfg.spike_probability = 2e-4;
+  overhead_cfg.spike_factor = 3.0;
+  const std::vector<double> overhead_mean{741.0};  // -> ~0.8 ms with regimes
+  sim::DurationSampler overhead(overhead_mean, overhead_cfg);
+
+  std::printf("simulated %zu APCs per strategy (deadline %.1f us):\n\n", iters,
+              audio::kDeadlineUs);
+  std::printf("  %-6s %12s %12s %14s\n", "", "misses", "per 10k",
+              "worst APC (ms)");
+
+  support::CsvWriter csv;
+  csv.cells("strategy", "misses", "iters", "worst_ms");
+
+  for (core::Strategy s : core::kParallelStrategies) {
+    const auto graph_series =
+        bench::simulate_series(ref, bench::to_sim(s), 4, iters);
+    std::vector<double> ov;
+    std::size_t misses = 0;
+    double worst = 0;
+    for (double g_us : graph_series) {
+      overhead.sample(ov);
+      const double apc = ov[0] + g_us;
+      worst = std::max(worst, apc);
+      if (apc > audio::kDeadlineUs) ++misses;
+    }
+    const double per10k =
+        10000.0 * static_cast<double>(misses) / static_cast<double>(iters);
+    std::printf("  %-6s %12zu %12.1f %14.3f\n", bench::strategy_label(s),
+                misses, per10k, worst / 1000.0);
+    csv.cells(core::to_string(s), misses, iters, worst / 1000.0);
+  }
+  std::printf("\n  paper: 5 / 10k for BUSY; WS produced more timeouts than "
+              "BUSY; SLEEP the most.\n");
+
+  // Live measurement on this host (absolute miss counts depend entirely
+  // on the host; reported for completeness).
+  const std::size_t miters = bench::measure_iters();
+  std::printf("\nmeasured on this host (%zu APCs each):\n\n", miters);
+  std::printf("  %-6s %10s %12s %14s\n", "", "misses", "mean APC ms",
+              "worst APC ms");
+  for (core::Strategy s : core::kParallelStrategies) {
+    engine::EngineConfig cfg;
+    cfg.strategy = s;
+    cfg.threads = 4;
+    engine::AudioEngine e(cfg);
+    e.run_cycles(30);
+    e.monitor().reset();
+    e.run_cycles(miters);
+    const auto& m = e.monitor();
+    std::printf("  %-6s %10zu %12.3f %14.3f\n", bench::strategy_label(s),
+                m.misses(), m.total().mean() / 1000.0, m.total().max() / 1000.0);
+  }
+
+  // Latency advisor (paper §III-A: "low latency is a key factor"): what
+  // buffer size would this host support at the paper's ~5/10k miss rate?
+  {
+    engine::EngineConfig cfg;
+    cfg.strategy = core::Strategy::kBusyWait;
+    cfg.threads = 4;
+    engine::AudioEngine e(cfg);
+    e.run_cycles(30);
+    e.monitor().reset();
+    e.run_cycles(miters);
+    const auto report = engine::advise_headroom(e.monitor());
+    std::printf("\nlatency advisor (BUSY, 4 threads, this host):\n");
+    std::printf("  %8s %12s %12s %14s\n", "frames", "latency ms",
+                "miss rate", "headroom us");
+    for (const auto& entry : report.entries) {
+      std::printf("  %8zu %12.2f %12.5f %14.1f\n", entry.buffer_frames,
+                  entry.latency_ms, entry.predicted_miss_rate,
+                  entry.headroom_us);
+    }
+    if (report.recommended_frames > 0) {
+      std::printf("  recommended: %zu frames (%.2f ms)\n",
+                  report.recommended_frames,
+                  1000.0 * static_cast<double>(report.recommended_frames) /
+                      audio::kSampleRate);
+    }
+  }
+
+  const auto path = bench::out_path("sec6_deadlines.csv");
+  if (csv.save(path)) std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// examples/auto_mix.cpp
+// Fully automatic DJ set: analyze a library, let the AutoDJ pick the
+// next track and plan a beat-matched, bass-swapped transition, execute
+// it through the event middleware on the live engine, and bounce the
+// result.
+//
+// Usage: auto_mix [transitions] [out.wav]
+#include <cstdio>
+#include <cstdlib>
+
+#include "djstar/audio/wav.hpp"
+#include "djstar/control/auto_dj.hpp"
+#include "djstar/control/controller.hpp"
+
+int main(int argc, char** argv) {
+  using namespace djstar;
+  const int transitions = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::string out_path = argc > 2 ? argv[2] : "auto_mix.wav";
+
+  // Build and analyze the crate.
+  engine::Library lib;
+  const struct {
+    const char* title;
+    double bpm;
+    int root;
+    std::uint64_t seed;
+  } crate[] = {
+      {"Opening Theme", 124.0, 45, 101}, {"Second Wind", 125.5, 45, 102},
+      {"Basement Heat", 127.0, 48, 103}, {"Glass Elevator", 123.0, 52, 104},
+      {"Last Train", 126.0, 45, 105},
+  };
+  for (const auto& t : crate) {
+    audio::TrackSpec spec;
+    spec.seconds = 8.0;
+    spec.bpm = t.bpm;
+    spec.root_note = t.root;
+    spec.seed = t.seed;
+    lib.add_generated(t.title, spec);
+  }
+  std::printf("crate analyzed: %zu tracks\n", lib.size());
+
+  engine::EngineConfig cfg;
+  cfg.strategy = core::Strategy::kBusyWait;
+  cfg.threads = 4;
+  engine::AudioEngine engine(cfg);
+  control::EventBus bus;
+  control::EngineBinding binding(bus, engine);
+  control::AutoDj dj(lib);
+  engine::Recorder recorder(60.0);
+  recorder.start();
+
+  std::uint32_t current = 1;
+  unsigned deck = 0;
+  const std::size_t kPlay = 300;   // cycles of straight playback
+  const std::size_t kBlend = 200;  // cycles of transition
+
+  for (int t = 0; t < transitions; ++t) {
+    const auto plan = dj.plan_transition(current, deck, (deck + 1) % 2,
+                                         kPlay, kBlend);
+    if (!plan.has_value()) {
+      std::printf("no playable follow-up for track %u\n", current);
+      break;
+    }
+    const auto* next = lib.find(plan->to_id);
+    std::printf("transition %d: %s -> %s (pitch %.3f, %zu events)\n", t + 1,
+                lib.find(current)->title.c_str(), next->title.c_str(),
+                plan->pitch_ratio, plan->script.event_count());
+    control::run_session(engine, bus, plan->script, kPlay + kBlend + 50,
+                         &recorder);
+    current = plan->to_id;
+    deck = (deck + 1) % 2;
+  }
+
+  const auto& m = engine.monitor();
+  std::printf("\nset finished: %zu cycles (%.1f s of audio), APC mean %.0f us, "
+              "missed %zu\n",
+              m.cycles(), recorder.seconds(), m.total().mean(), m.misses());
+  if (recorder.save_wav(out_path)) {
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// djstar/analysis/beat.hpp
+// Beat analysis: onset detection and tempo (BPM) estimation.
+//
+// DJ Star's library preprocessing computes a beatgrid per track so decks
+// can be beat-matched ("Track Preprocessing" in paper Fig. 2). This is
+// the standard energy-flux pipeline:
+//   1. slice the signal into hop-sized frames and take per-band energy,
+//   2. onset strength = half-wave-rectified energy increase (flux),
+//   3. tempo = the autocorrelation peak of the onset envelope within the
+//      plausible BPM range,
+//   4. beat phase = the offset that best aligns a beat comb with the
+//      envelope.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::analysis {
+
+/// Analyzer configuration.
+struct BeatConfig {
+  std::size_t frame = 1024;      ///< analysis frame (samples)
+  std::size_t hop = 512;         ///< hop between frames
+  double min_bpm = 80.0;
+  double max_bpm = 180.0;
+  double sample_rate = audio::kSampleRate;
+};
+
+/// Result of analyzing a track.
+struct BeatgridResult {
+  double bpm = 0.0;             ///< estimated tempo
+  double confidence = 0.0;      ///< autocorrelation peak vs mean (>1 good)
+  double first_beat_seconds = 0.0;  ///< phase offset of the grid
+  std::vector<double> beat_times_seconds;  ///< grid over the analyzed span
+};
+
+/// Compute the onset-strength envelope (one value per hop).
+/// Exposed separately for tests and visualization.
+std::vector<float> onset_envelope(std::span<const float> mono,
+                                  const BeatConfig& cfg = {});
+
+/// Estimate tempo from an onset envelope.
+/// Returns {bpm, confidence}; bpm 0 when the envelope is degenerate.
+struct TempoEstimate {
+  double bpm = 0.0;
+  double confidence = 0.0;
+};
+TempoEstimate estimate_tempo(std::span<const float> envelope,
+                             const BeatConfig& cfg = {});
+
+/// Full pipeline on a mono signal.
+BeatgridResult analyze_beats(std::span<const float> mono,
+                             const BeatConfig& cfg = {});
+
+/// Convenience: analyze a stereo buffer (mono fold-down).
+BeatgridResult analyze_beats(const audio::AudioBuffer& stereo,
+                             const BeatConfig& cfg = {});
+
+}  // namespace djstar::analysis

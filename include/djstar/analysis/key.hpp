@@ -1,0 +1,41 @@
+// djstar/analysis/key.hpp
+// Musical key estimation for key-matched mixing (harmonic mixing is a
+// DJ-software staple; DJ Star's track preprocessing computes it once per
+// track). Pipeline: FFT magnitude spectra -> octave-folded chromagram ->
+// correlation against Krumhansl-Schmuckler major/minor key profiles.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::analysis {
+
+/// A pitch-class energy vector (C, C#, ..., B).
+using Chromagram = std::array<double, 12>;
+
+/// Estimated key.
+struct KeyEstimate {
+  int tonic = 0;          ///< 0 = C, 1 = C#, ... 11 = B
+  bool minor = false;
+  double confidence = 0;  ///< best correlation minus runner-up
+  std::string name() const;  ///< e.g. "A minor"
+};
+
+/// Compute an octave-folded chromagram of a mono signal.
+Chromagram compute_chromagram(std::span<const float> mono,
+                              double sample_rate = audio::kSampleRate);
+
+/// Match a chromagram against the 24 Krumhansl key profiles.
+KeyEstimate estimate_key(const Chromagram& chroma);
+
+/// Full pipeline on a mono signal.
+KeyEstimate estimate_key(std::span<const float> mono,
+                         double sample_rate = audio::kSampleRate);
+
+/// Camelot-wheel code for harmonic mixing (e.g. "8A" for A minor).
+std::string camelot_code(const KeyEstimate& key);
+
+}  // namespace djstar::analysis

@@ -1,0 +1,39 @@
+// djstar/analysis/loudness.hpp
+// Track loudness / auto-gain estimation so decks play at matched levels
+// (the "gain" knob a DJ would otherwise ride). ReplayGain-flavoured:
+// short-block RMS, silence gating, high percentile as the program
+// loudness, gain suggestion toward a target level.
+#pragma once
+
+#include <span>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::analysis {
+
+/// Result of a loudness scan.
+struct LoudnessResult {
+  double loudness_db = -120.0;   ///< gated program loudness (dBFS, RMS)
+  double peak_db = -120.0;       ///< true sample peak (dBFS)
+  double suggested_gain_db = 0;  ///< gain to reach the target loudness
+  std::size_t gated_blocks = 0;  ///< blocks counted (non-silent)
+};
+
+/// Analysis parameters.
+struct LoudnessConfig {
+  double block_seconds = 0.05;   ///< RMS block size
+  double gate_db = -45.0;        ///< blocks quieter than this are ignored
+  double target_db = -14.0;      ///< reference program loudness
+  double percentile = 0.95;      ///< which RMS percentile is "the level"
+  double sample_rate = audio::kSampleRate;
+};
+
+/// Scan a mono signal.
+LoudnessResult measure_loudness(std::span<const float> mono,
+                                const LoudnessConfig& cfg = {});
+
+/// Scan a stereo buffer (per-block RMS over both channels).
+LoudnessResult measure_loudness(const audio::AudioBuffer& stereo,
+                                const LoudnessConfig& cfg = {});
+
+}  // namespace djstar::analysis

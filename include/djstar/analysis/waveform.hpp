@@ -1,0 +1,42 @@
+// djstar/analysis/waveform.hpp
+// Waveform overview tiles — the data behind the GUI's scrolling waveform
+// (paper Fig. 2, "Waveform" in the User Interface layer). Multi-
+// resolution min/max/RMS tiles plus a coarse low/high band split so the
+// display can color kicks vs hats, as DJ software does.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::analysis {
+
+/// One display tile summarizing `samples_per_tile` input samples.
+struct WaveformTile {
+  float min = 0.0f;
+  float max = 0.0f;
+  float rms = 0.0f;
+  float low_energy = 0.0f;   ///< kick-ish band
+  float high_energy = 0.0f;  ///< hat-ish band
+};
+
+/// A complete overview at one zoom level.
+struct WaveformOverview {
+  std::size_t samples_per_tile = 0;
+  std::vector<WaveformTile> tiles;
+};
+
+/// Build an overview of a mono signal with the given tile size.
+WaveformOverview build_overview(std::span<const float> mono,
+                                std::size_t samples_per_tile = 1024);
+
+/// Build an overview of a stereo buffer (mono fold-down).
+WaveformOverview build_overview(const audio::AudioBuffer& stereo,
+                                std::size_t samples_per_tile = 1024);
+
+/// Downsample an overview by an integer factor (zooming out); tiles are
+/// merged so min/max stay exact and energies accumulate.
+WaveformOverview zoom_out(const WaveformOverview& src, std::size_t factor);
+
+}  // namespace djstar::analysis

@@ -1,0 +1,114 @@
+// djstar/audio/buffer.hpp
+// Planar float audio buffers. All DSP in djstar operates on these.
+//
+// Real-time rule: AudioBuffer allocates only in its constructor/resize();
+// every accessor used on the audio path is allocation-free and noexcept.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::audio {
+
+/// Sample rate used throughout the DJ Star reproduction (paper §III-A).
+inline constexpr double kSampleRate = 44100.0;
+/// Standard buffer size (paper: BS = 128 samples).
+inline constexpr std::size_t kBlockSize = 128;
+/// The resulting audio-packet deadline: BS / SR = 2.9 ms (paper §III-A).
+inline constexpr double kDeadlineUs = 1e6 * static_cast<double>(kBlockSize) / kSampleRate;
+
+/// Planar multi-channel float buffer: channel 0 samples are contiguous,
+/// then channel 1, ... Planar layout keeps per-channel DSP vectorizable.
+class AudioBuffer {
+ public:
+  AudioBuffer() = default;
+
+  AudioBuffer(std::size_t channels, std::size_t frames)
+      : channels_(channels), frames_(frames), data_(channels * frames, 0.0f) {}
+
+  /// Reallocate to a new shape; contents are zeroed. Not real-time safe.
+  void resize(std::size_t channels, std::size_t frames) {
+    channels_ = channels;
+    frames_ = frames;
+    data_.assign(channels * frames, 0.0f);
+  }
+
+  std::size_t channels() const noexcept { return channels_; }
+  std::size_t frames() const noexcept { return frames_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Mutable view of one channel.
+  std::span<float> channel(std::size_t c) noexcept {
+    DJSTAR_ASSERT(c < channels_);
+    return {data_.data() + c * frames_, frames_};
+  }
+  /// Read-only view of one channel.
+  std::span<const float> channel(std::size_t c) const noexcept {
+    DJSTAR_ASSERT(c < channels_);
+    return {data_.data() + c * frames_, frames_};
+  }
+
+  float& at(std::size_t c, std::size_t i) noexcept {
+    DJSTAR_ASSERT(c < channels_ && i < frames_);
+    return data_[c * frames_ + i];
+  }
+  float at(std::size_t c, std::size_t i) const noexcept {
+    DJSTAR_ASSERT(c < channels_ && i < frames_);
+    return data_[c * frames_ + i];
+  }
+
+  /// Zero all samples. Allocation-free.
+  void clear() noexcept {
+    for (auto& s : data_) s = 0.0f;
+  }
+
+  /// Copy sample data from `src` (shapes must match). Allocation-free.
+  void copy_from(const AudioBuffer& src) noexcept {
+    DJSTAR_ASSERT(src.channels_ == channels_ && src.frames_ == frames_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = src.data_[i];
+  }
+
+  /// Mix (add) `src` scaled by `gain` into this buffer. Allocation-free.
+  void mix_from(const AudioBuffer& src, float gain = 1.0f) noexcept {
+    DJSTAR_ASSERT(src.channels_ == channels_ && src.frames_ == frames_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      data_[i] += gain * src.data_[i];
+  }
+
+  /// Multiply every sample by `gain`. Allocation-free.
+  void apply_gain(float gain) noexcept {
+    for (auto& s : data_) s *= gain;
+  }
+
+  /// Peak absolute sample value across all channels.
+  float peak() const noexcept {
+    float p = 0.0f;
+    for (float s : data_) {
+      const float a = s < 0 ? -s : s;
+      if (a > p) p = a;
+    }
+    return p;
+  }
+
+  /// RMS over all channels/frames.
+  float rms() const noexcept;
+
+  /// Raw interleaved-by-plane storage (testing/serialization).
+  std::span<const float> raw() const noexcept { return data_; }
+  std::span<float> raw() noexcept { return data_; }
+
+ private:
+  std::size_t channels_ = 0;
+  std::size_t frames_ = 0;
+  std::vector<float> data_;
+};
+
+/// Convert decibels to linear gain.
+float db_to_gain(float db) noexcept;
+/// Convert linear gain to decibels (floored at -120 dB for gain <= 0).
+float gain_to_db(float gain) noexcept;
+
+}  // namespace djstar::audio

@@ -1,0 +1,77 @@
+// djstar/audio/ring_buffer.hpp
+// Single-producer single-consumer lock-free ring buffer.
+//
+// DJ Star streams decoded audio from a disk/decoder thread into the
+// real-time engine; this is the queue between them. One writer thread,
+// one reader thread, wait-free on both sides.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace djstar::audio {
+
+/// SPSC ring buffer of trivially-copyable elements. Capacity is rounded up
+/// to a power of two; one slot is sacrificed to distinguish full from empty.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Usable capacity (elements).
+  std::size_t capacity() const noexcept { return buf_.size() - 1; }
+
+  /// Elements currently readable. Exact when called from the consumer,
+  /// a lower bound when called from the producer.
+  std::size_t size() const noexcept {
+    const auto w = write_.load(std::memory_order_acquire);
+    const auto r = read_.load(std::memory_order_acquire);
+    return (w - r) & mask_;
+  }
+
+  std::size_t free_space() const noexcept { return capacity() - size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Producer: push up to items.size() elements; returns how many fit.
+  std::size_t push(std::span<const T> items) noexcept {
+    const auto w = write_.load(std::memory_order_relaxed);
+    const auto r = read_.load(std::memory_order_acquire);
+    const std::size_t space = capacity() - ((w - r) & mask_);
+    const std::size_t n = items.size() < space ? items.size() : space;
+    for (std::size_t i = 0; i < n; ++i) buf_[(w + i) & mask_] = items[i];
+    write_.store(w + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Producer: push one element; returns false when full.
+  bool push_one(const T& item) noexcept { return push({&item, 1}) == 1; }
+
+  /// Consumer: pop up to out.size() elements; returns how many were read.
+  std::size_t pop(std::span<T> out) noexcept {
+    const auto r = read_.load(std::memory_order_relaxed);
+    const auto w = write_.load(std::memory_order_acquire);
+    const std::size_t avail = (w - r) & mask_;
+    const std::size_t n = out.size() < avail ? out.size() : avail;
+    for (std::size_t i = 0; i < n; ++i) out[i] = buf_[(r + i) & mask_];
+    read_.store(r + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer: pop one element; returns false when empty.
+  bool pop_one(T& out) noexcept { return pop({&out, 1}) == 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> write_{0};
+  alignas(64) std::atomic<std::size_t> read_{0};
+};
+
+}  // namespace djstar::audio

@@ -1,0 +1,66 @@
+// djstar/audio/streaming_source.hpp
+// Background track streaming — the Hardware Access layer's job in the
+// paper's Fig. 2 ("connects directly to the hard disk for efficiently
+// loading music files"). A loader thread reads track audio into a
+// lock-free SPSC ring; the audio thread pulls blocks wait-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/audio/ring_buffer.hpp"
+#include "djstar/audio/track.hpp"
+
+namespace djstar::audio {
+
+/// Streams a Track from a producer thread into the consumer (audio)
+/// thread through an SPSC ring of interleaved stereo frames.
+///
+/// Thread roles: the constructor spawns the loader; read_block() must be
+/// called from exactly one consumer thread. Underruns (ring empty, e.g.
+/// simulated disk stalls) produce silence and are counted, never blocked
+/// on — exactly what a real engine does when the disk falls behind.
+class StreamingTrackSource {
+ public:
+  /// `buffer_frames` of look-ahead (default ~0.37 s at 44.1 kHz).
+  explicit StreamingTrackSource(Track track,
+                                std::size_t buffer_frames = 16384);
+  ~StreamingTrackSource();
+
+  StreamingTrackSource(const StreamingTrackSource&) = delete;
+  StreamingTrackSource& operator=(const StreamingTrackSource&) = delete;
+
+  /// Consumer: fill a stereo block from the ring. Allocation-free.
+  /// Returns the number of frames actually delivered (the rest, on
+  /// underrun, are zeroed).
+  std::size_t read_block(AudioBuffer& out) noexcept;
+
+  /// Frames buffered and ready.
+  std::size_t buffered_frames() const noexcept {
+    return ring_.size() / 2;
+  }
+
+  std::uint64_t underrun_frames() const noexcept {
+    return underruns_.load(std::memory_order_relaxed);
+  }
+
+  /// Inject an artificial loader stall of `blocks` producer iterations
+  /// (failure injection for tests — a disk hiccup).
+  void inject_stall(unsigned blocks) noexcept {
+    stall_blocks_.store(blocks, std::memory_order_release);
+  }
+
+ private:
+  void loader_main();
+
+  Track track_;
+  SpscRing<float> ring_;  // interleaved L,R
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> underruns_{0};
+  std::atomic<unsigned> stall_blocks_{0};
+  std::thread loader_;
+};
+
+}  // namespace djstar::audio

@@ -1,0 +1,78 @@
+// djstar/audio/track.hpp
+// Synthetic track generator — the substitute for the music files the
+// paper's evaluation plays on its four decks (DESIGN.md §2).
+//
+// A Track is a fully rendered stereo program: a four-on-the-floor kick,
+// hi-hat noise bursts, a stepped bass line, and a chord pad, all derived
+// deterministically from a seed. The sample data is music-like enough to
+// give level-dependent DSP (compressors, gates, clippers) realistic,
+// data-dependent branch behaviour — the source of the paper's two-peak
+// runtime distributions.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::audio {
+
+/// Parameters of the synthetic program material.
+struct TrackSpec {
+  double sample_rate = kSampleRate;
+  double seconds = 8.0;
+  double bpm = 126.0;
+  /// Root MIDI note of the bass line.
+  int root_note = 45;  // A2
+  /// 0..1 mix levels of each stem.
+  float kick_level = 0.9f;
+  float hat_level = 0.35f;
+  float bass_level = 0.55f;
+  float pad_level = 0.4f;
+  std::uint64_t seed = 1;
+};
+
+/// An in-memory stereo track plus a read cursor, looping at the end —
+/// this is what a Deck's sample players pull from.
+class Track {
+ public:
+  Track() = default;
+
+  /// Render a track from `spec`. Deterministic in the seed.
+  static Track generate(const TrackSpec& spec);
+
+  /// Wrap existing audio as a track (e.g. loaded from a WAV file).
+  /// Mono input is duplicated to stereo. `bpm` may be 0 (unknown).
+  static Track from_buffer(const AudioBuffer& audio, double sample_rate,
+                           double bpm = 0.0);
+
+  const AudioBuffer& audio() const noexcept { return audio_; }
+  double sample_rate() const noexcept { return sample_rate_; }
+  std::size_t length_frames() const noexcept { return audio_.frames(); }
+  double bpm() const noexcept { return bpm_; }
+
+  /// Current playback position in frames.
+  std::size_t position() const noexcept { return pos_; }
+  void seek(std::size_t frame) noexcept {
+    pos_ = length_frames() ? frame % length_frames() : 0;
+  }
+
+  /// Pull `out.frames()` frames into `out` (stereo), advancing and looping.
+  /// Allocation-free.
+  void read_looped(AudioBuffer& out) noexcept;
+
+  /// Pull frames at a playback rate with linear interpolation — the raw
+  /// material the time-stretcher then refines. Negative rates play
+  /// backwards (scratching, reverse); rate 0 outputs silence without
+  /// advancing. Allocation-free.
+  void read_varispeed(AudioBuffer& out, double rate) noexcept;
+
+ private:
+  AudioBuffer audio_;
+  double sample_rate_ = kSampleRate;
+  double bpm_ = 0;
+  std::size_t pos_ = 0;
+  double frac_ = 0;  // fractional read position for varispeed
+};
+
+}  // namespace djstar::audio

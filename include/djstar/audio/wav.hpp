@@ -1,0 +1,33 @@
+// djstar/audio/wav.hpp
+// Minimal RIFF/WAVE reader and writer (PCM16 and IEEE float32).
+// Used by the examples to bounce rendered mixes to disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::audio {
+
+/// Encoding used when writing a WAV file.
+enum class WavFormat : std::uint16_t {
+  kPcm16 = 1,
+  kFloat32 = 3,
+};
+
+/// Write `buf` as a WAV file at `sample_rate`. Returns false on I/O error.
+bool write_wav(const std::string& path, const AudioBuffer& buf,
+               double sample_rate = kSampleRate,
+               WavFormat format = WavFormat::kPcm16);
+
+/// Result of reading a WAV file.
+struct WavData {
+  AudioBuffer buffer;
+  double sample_rate = 0;
+};
+
+/// Read a PCM16 or float32 WAV file. Returns false on parse/I/O error.
+bool read_wav(const std::string& path, WavData& out);
+
+}  // namespace djstar::audio

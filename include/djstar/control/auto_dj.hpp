@@ -1,0 +1,63 @@
+// djstar/control/auto_dj.hpp
+// Automatic mixing: pick the next track by tempo/key/loudness
+// compatibility (the library analysis put to work) and plan the
+// transition as a SessionScript — bass-swap EQ, crossfader sweep,
+// incoming-deck pitch match. Everything a "sync + auto-mix" button does.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "djstar/control/session.hpp"
+#include "djstar/engine/library.hpp"
+
+namespace djstar::control {
+
+/// Weights of the next-track score (higher score = better candidate).
+struct AutoDjConfig {
+  double tempo_weight = 1.0;     ///< penalty per % of tempo distance
+  double key_bonus = 20.0;       ///< bonus for harmonic compatibility
+  double loudness_weight = 0.5;  ///< penalty per dB of loudness mismatch
+  double max_tempo_stretch = 0.08;  ///< hard limit: +/-8% pitch fader
+};
+
+/// One planned transition.
+struct TransitionPlan {
+  std::uint32_t from_id = 0;
+  std::uint32_t to_id = 0;
+  double pitch_ratio = 1.0;  ///< applied to the incoming deck
+  SessionScript script;
+  std::size_t start_cycle = 0;
+  std::size_t duration_cycles = 0;
+};
+
+/// Auto-mix planner over a Library.
+class AutoDj {
+ public:
+  explicit AutoDj(const engine::Library& library, AutoDjConfig cfg = {})
+      : library_(library), cfg_(cfg) {}
+
+  /// Score a candidate as the follow-up to `current`. Higher is better;
+  /// -infinity (large negative) when the tempo gap exceeds the pitch
+  /// fader range.
+  double score(const engine::LibraryEntry& current,
+               const engine::LibraryEntry& candidate) const;
+
+  /// Best next track (excluding `current_id`). nullptr when the library
+  /// has no other playable entry.
+  const engine::LibraryEntry* pick_next(std::uint32_t current_id) const;
+
+  /// Plan a transition: outgoing deck `from_deck` into `to_deck`,
+  /// starting at `start_cycle`, crossfading over `duration_cycles`.
+  /// The script assumes the incoming track is already loaded on
+  /// `to_deck`.
+  std::optional<TransitionPlan> plan_transition(
+      std::uint32_t current_id, unsigned from_deck, unsigned to_deck,
+      std::size_t start_cycle, std::size_t duration_cycles) const;
+
+ private:
+  const engine::Library& library_;
+  AutoDjConfig cfg_;
+};
+
+}  // namespace djstar::control

@@ -1,0 +1,98 @@
+// djstar/control/controller.hpp
+// Hardware-access substitutes (paper Fig. 2, "Devices" / "Hardware
+// Access"): a MIDI-style control-surface message format, a mapping layer
+// from surface controls to engine events, and the bridge that applies
+// queued events to a live AudioEngine between cycles.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "djstar/control/event_bus.hpp"
+#include "djstar/engine/engine.hpp"
+
+namespace djstar::control {
+
+/// A raw control-surface message (MIDI CC-shaped: 7-bit value).
+struct ControlMessage {
+  std::uint8_t channel = 0;  ///< surface channel (deck strip)
+  std::uint8_t control = 0;  ///< knob/fader/button id
+  std::uint8_t value = 0;    ///< 0..127
+};
+
+/// Standard control ids of the reference surface layout (one strip per
+/// deck plus a master strip, like the mixer in paper Fig. 1).
+namespace cc {
+inline constexpr std::uint8_t kFader = 7;
+inline constexpr std::uint8_t kFilter = 74;
+inline constexpr std::uint8_t kEqLow = 16;
+inline constexpr std::uint8_t kEqMid = 17;
+inline constexpr std::uint8_t kEqHigh = 18;
+inline constexpr std::uint8_t kPitch = 20;
+inline constexpr std::uint8_t kCrossfader = 8;   // master strip only
+inline constexpr std::uint8_t kCue = 30;
+inline constexpr std::uint8_t kFxBase = 40;      // kFxBase + slot = toggle
+inline constexpr std::uint8_t kFxAmountBase = 50;
+inline constexpr std::uint8_t kSampler = 60;
+}  // namespace cc
+
+/// Translates raw surface messages into engine events on a bus.
+/// (In DJ Star this is the USB-device handler in the Hardware Access
+/// layer; here devices are emulated by tests and examples.)
+class SurfaceMapper {
+ public:
+  explicit SurfaceMapper(EventBus& bus) : bus_(bus) {}
+
+  /// Translate and post one message. Unknown controls are ignored and
+  /// counted (real surfaces send plenty of unmapped traffic).
+  void handle(const ControlMessage& msg);
+
+  std::size_t unmapped_count() const noexcept { return unmapped_; }
+
+ private:
+  EventBus& bus_;
+  std::size_t unmapped_ = 0;
+};
+
+/// Applies engine-bound events to a live AudioEngine. Subscribe once,
+/// then pump bus.dispatch() between audio cycles.
+class EngineBinding {
+ public:
+  EngineBinding(EventBus& bus, engine::AudioEngine& engine);
+  ~EngineBinding();
+
+  EngineBinding(const EngineBinding&) = delete;
+  EngineBinding& operator=(const EngineBinding&) = delete;
+
+  /// Number of events this binding has applied.
+  std::size_t applied() const noexcept { return applied_; }
+
+ private:
+  void apply(const Event& e);
+
+  EventBus& bus_;
+  engine::AudioEngine& engine_;
+  std::vector<std::size_t> subscriptions_;
+  std::size_t applied_ = 0;
+  /// Last-known EQ bands per deck (the node setter takes all three).
+  std::array<std::array<float, 3>, 4> eq_cache_{};
+};
+
+/// Publishes engine status (meters, tempo, deadline misses) back to the
+/// bus — what the GUI layer would render. Call publish() once per cycle
+/// or at UI rate.
+class StatusPublisher {
+ public:
+  StatusPublisher(EventBus& bus, engine::AudioEngine& engine)
+      : bus_(bus), engine_(engine) {}
+
+  void publish();
+
+ private:
+  EventBus& bus_;
+  engine::AudioEngine& engine_;
+  std::size_t last_misses_ = 0;
+};
+
+}  // namespace djstar::control

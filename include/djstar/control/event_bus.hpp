@@ -1,0 +1,89 @@
+// djstar/control/event_bus.hpp
+// The Event Middleware layer of DJ Star's 4-layer architecture (paper
+// Fig. 2): the GUI and device handlers never call into the Core
+// directly — they post events; the Core drains them at a safe point
+// (between audio cycles), and posts status events back.
+//
+// Design: a mutex-protected queue is fine here because events flow at
+// control rate (knob turns, button presses), never on the audio path.
+// dispatch() runs on the owning thread only; post() is safe from any
+// thread (CP.22: subscriber callbacks run WITHOUT the queue lock held).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace djstar::control {
+
+/// What happened. Kept closed + flat (no heap payloads) so events are
+/// cheap to copy and queue.
+enum class EventType : std::uint8_t {
+  // UI / device -> core
+  kCrossfader,     ///< value = position 0..1
+  kChannelFader,   ///< deck, value = level 0..1
+  kFilterMorph,    ///< deck, value = morph -1..1
+  kEqLow,          ///< deck, value = dB
+  kEqMid,
+  kEqHigh,
+  kFxEnable,       ///< deck, index = fx slot, value != 0 -> on
+  kFxAmount,       ///< deck, index = fx slot, value = amount 0..1
+  kDeckPitch,      ///< deck, value = pitch ratio
+  kCueToggle,      ///< deck, value != 0 -> cue on
+  kSamplerTrigger,
+  // core -> UI
+  kMeterUpdate,    ///< deck (4 = master), value = peak
+  kTempoUpdate,    ///< value = master BPM
+  kDeadlineMiss,   ///< value = APC time in us
+};
+
+/// One control event.
+struct Event {
+  EventType type{};
+  std::uint8_t deck = 0;   ///< 0..3, or 4 for master where applicable
+  std::uint8_t index = 0;  ///< fx slot etc.
+  float value = 0.0f;
+};
+
+/// Thread-safe post / single-threaded dispatch event queue with typed
+/// subscriptions.
+class EventBus {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Register a handler for one event type. Returns a subscription id.
+  /// Not thread-safe against dispatch(); subscribe during setup.
+  std::size_t subscribe(EventType type, Handler handler);
+
+  /// Remove a subscription by id. No-op for unknown ids.
+  void unsubscribe(std::size_t id);
+
+  /// Queue an event. Safe from any thread. Never blocks for long (the
+  /// lock only guards a deque push).
+  void post(const Event& e);
+
+  /// Deliver all queued events to their subscribers, in post order, on
+  /// the calling thread. Returns the number of events delivered.
+  /// Handlers may post() new events; those are delivered on the *next*
+  /// dispatch (no re-entrancy surprises).
+  std::size_t dispatch();
+
+  /// Events currently queued (approximate if producers are active).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Event> queue_;
+
+  struct Subscription {
+    std::size_t id;
+    EventType type;
+    Handler handler;
+  };
+  std::vector<Subscription> subs_;
+  std::size_t next_id_ = 1;
+};
+
+}  // namespace djstar::control

@@ -1,0 +1,80 @@
+// djstar/control/session.hpp
+// Scene presets and session automation on top of the event middleware.
+//
+//  * A Preset is a named set of control events — a mixer scene (EQ, fader
+//    and FX settings) that can be recalled in one shot and persisted as
+//    plain text (controllers call this "scene recall").
+//  * A SessionScript is a timeline of events keyed by cycle index — the
+//    reproducible "DJ hand" used by examples, tests, and benches.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "djstar/control/event_bus.hpp"
+#include "djstar/engine/engine.hpp"
+#include "djstar/engine/recorder.hpp"
+
+namespace djstar::control {
+
+/// A named, recallable set of control events.
+struct Preset {
+  std::string name;
+  std::vector<Event> events;
+
+  /// Post every event of the preset to `bus`.
+  void apply(EventBus& bus) const {
+    for (const Event& e : events) bus.post(e);
+  }
+};
+
+/// Serialize a preset as line-oriented text:
+///   preset <name-with-underscores>
+///   event <type> <deck> <index> <value>
+std::string to_text(const Preset& preset);
+
+/// Parse the text format. Returns nullopt on malformed input.
+std::optional<Preset> preset_from_text(const std::string& text);
+
+/// Save/load helpers. Return false on I/O or parse failure.
+bool save_preset(const Preset& preset, const std::string& path);
+std::optional<Preset> load_preset(const std::string& path);
+
+/// A cycle-indexed automation timeline.
+class SessionScript {
+ public:
+  /// Schedule an event at an absolute cycle index. Order of insertion is
+  /// preserved for events at the same cycle.
+  void at(std::size_t cycle, const Event& e);
+
+  /// Schedule a whole preset at a cycle.
+  void at(std::size_t cycle, const Preset& preset);
+
+  /// Post every event due at exactly `cycle`. Returns how many fired.
+  std::size_t step(std::size_t cycle, EventBus& bus) const;
+
+  /// Last cycle with a scheduled event (0 when empty).
+  std::size_t length() const noexcept;
+
+  std::size_t event_count() const noexcept { return steps_.size(); }
+  void clear() noexcept { steps_.clear(); }
+
+ private:
+  struct Step {
+    std::size_t cycle;
+    Event event;
+  };
+  std::vector<Step> steps_;
+};
+
+/// Drive a full automated session: for each cycle, fire due script
+/// events, drain the bus into the engine (caller must have an
+/// EngineBinding subscribed), run one APC, and optionally capture the
+/// record bus. Returns the number of script events fired.
+std::size_t run_session(engine::AudioEngine& engine, EventBus& bus,
+                        const SessionScript& script, std::size_t cycles,
+                        engine::Recorder* recorder = nullptr);
+
+}  // namespace djstar::control

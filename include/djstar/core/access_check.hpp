@@ -1,0 +1,81 @@
+// djstar/core/access_check.hpp
+// Static data-hazard validation for task graphs.
+//
+// The whole correctness argument of the parallel engine rests on one
+// invariant: whenever two nodes touch the same buffer and at least one
+// writes it, a dependency path must order them. The determinism tests
+// check this dynamically (bit-identical audio across schedules); this
+// checker proves it structurally: nodes declare their read/write sets
+// (buffer addresses), and the checker reports every pair of accesses
+// that no path orders — i.e. every potential data race a schedule could
+// expose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "djstar/core/graph.hpp"
+
+namespace djstar::core {
+
+/// Declared memory accesses of one node. Regions are identified by an
+/// opaque key — typically the address of the AudioBuffer.
+struct AccessDecl {
+  std::vector<const void*> reads;
+  std::vector<const void*> writes;
+};
+
+/// One detected hazard.
+struct Hazard {
+  NodeId a = 0;
+  NodeId b = 0;
+  const void* region = nullptr;
+  /// "write-write" or "read-write".
+  std::string kind;
+};
+
+/// Tracks per-node access declarations for a graph under construction.
+class AccessRegistry {
+ public:
+  /// Declare accesses for `node`. May be called multiple times
+  /// (accumulates).
+  void declare(NodeId node, const AccessDecl& decl);
+
+  /// Convenience single-region helpers.
+  void declare_read(NodeId node, const void* region);
+  void declare_write(NodeId node, const void* region);
+
+  /// Check all declarations against the graph's dependency structure.
+  /// Returns every unordered conflicting pair. Empty result == the graph
+  /// is schedule-independent (race-free under any legal executor).
+  std::vector<Hazard> check(const TaskGraph& g) const;
+
+  std::size_t declared_nodes() const noexcept { return decls_.size(); }
+
+ private:
+  struct NodeDecl {
+    NodeId node;
+    AccessDecl decl;
+  };
+  std::vector<NodeDecl> decls_;
+};
+
+/// Reachability oracle: can_reach(a, b) == a path a -> b exists.
+/// Built once (O(V*E/64) via bitset closure), queried in O(1).
+class Reachability {
+ public:
+  explicit Reachability(const TaskGraph& g);
+  bool can_reach(NodeId from, NodeId to) const noexcept;
+  /// True when some path orders the pair either way.
+  bool ordered(NodeId a, NodeId b) const noexcept {
+    return can_reach(a, b) || can_reach(b, a);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> closure_;  // n x words bit matrix
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,38 @@
+// djstar/core/busy_wait.hpp
+// Strategy 1 (paper §V-A): busy-waiting.
+//
+// Nodes are assigned to threads round-robin straight from the
+// dependency-sorted queue. When a thread reaches a node whose
+// dependencies are not yet met it spins (actively waits) until they are.
+// The paper's key result: with cycles this short (hundreds of µs) and
+// dependency stalls even shorter, spinning beats sleeping — 327 µs per
+// graph on 4 threads, 99 % efficiency vs. the optimal schedule.
+#pragma once
+
+#include <memory>
+
+#include "djstar/core/executor.hpp"
+#include "djstar/core/team.hpp"
+#include "djstar/support/time.hpp"
+
+namespace djstar::core {
+
+/// Round-robin assignment + spin on unmet dependencies.
+class BusyWaitExecutor final : public Executor {
+ public:
+  explicit BusyWaitExecutor(CompiledGraph& graph, ExecOptions opts = {});
+
+  void run_cycle() override;
+  std::string_view name() const noexcept override { return "busy"; }
+  unsigned threads() const noexcept override { return opts_.threads; }
+
+ private:
+  void worker_body(unsigned w);
+
+  CompiledGraph& graph_;
+  ExecOptions opts_;
+  support::Clock::time_point cycle_start_{};
+  std::unique_ptr<Team> team_;  // constructed last: workers use members above
+};
+
+}  // namespace djstar::core

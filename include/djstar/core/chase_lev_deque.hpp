@@ -1,0 +1,85 @@
+// djstar/core/chase_lev_deque.hpp
+// Chase-Lev work-stealing deque (dynamic circular array).
+//
+// Owner thread pushes/pops at the *bottom* (LIFO — the paper's cache
+// argument in §V-C); thief threads steal from the *top* (FIFO — "a
+// stolen node is the one with the longest waiting time"). Memory
+// ordering follows Lê, Pop, Cohen, Nardelli: "Correct and Efficient
+// Work-Stealing for Weak Memory Models" (PPoPP 2013).
+//
+// This is the one deliberately lock-free structure in the library
+// (Core Guidelines CP.100 exception): it is the subject of the paper's
+// third strategy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace djstar::core {
+
+/// Work-stealing deque of 64-bit items. `kEmpty` is reserved.
+class ChaseLevDeque {
+ public:
+  using Item = std::int64_t;
+  static constexpr Item kEmpty = -1;
+  static constexpr Item kAbort = -2;  ///< steal lost a race; retry allowed
+
+  /// `capacity_hint` is rounded up to a power of two (minimum 64). The
+  /// deque grows automatically on overflow (owner side only).
+  explicit ChaseLevDeque(std::size_t capacity_hint = 64);
+  ~ChaseLevDeque();
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push an item at the bottom. May allocate (grow) when
+  /// full — for the audio graph the capacity is pre-sized so this never
+  /// happens on the real-time path.
+  void push(Item x);
+
+  /// Owner only: pop the most recently pushed item (LIFO).
+  /// Returns kEmpty when the deque is empty.
+  Item pop();
+
+  /// Any thief thread: steal the oldest item (FIFO). Returns kEmpty when
+  /// empty or kAbort when a concurrent pop/steal won the race.
+  Item steal();
+
+  /// Approximate size (exact when quiescent).
+  std::size_t size_approx() const noexcept;
+
+  /// Owner only, while no thieves are active: drop all content.
+  void clear() noexcept;
+
+ private:
+  struct Array {
+    explicit Array(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          data(std::make_unique<std::atomic<Item>[]>(cap)) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<Item>[]> data;
+
+    Item get(std::int64_t i) const noexcept {
+      return data[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Item x) noexcept {
+      data[static_cast<std::size_t>(i) & mask].store(
+          x, std::memory_order_relaxed);
+    }
+  };
+
+  Array* grow(Array* a, std::int64_t bottom, std::int64_t top);
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Array*> array_;
+  // Retired arrays parked until destruction so racing thieves never read
+  // freed memory (the standard Chase-Lev reclamation shortcut).
+  std::vector<std::unique_ptr<Array>> graveyard_;
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,111 @@
+// djstar/core/compiled_graph.hpp
+// Immutable, executor-ready form of a TaskGraph: flat arrays (CSR
+// adjacency), the levelized node queue, and the per-cycle atomic
+// dependency counters that every scheduling strategy shares.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "djstar/core/graph.hpp"
+
+namespace djstar::core {
+
+/// How the executor-facing node queue is ordered. Both options are
+/// dependency-safe for round-robin assignment (every predecessor appears
+/// earlier); DJ Star uses the levelized order (paper §IV), and the
+/// difference is measured in bench/ablation_queue_order.
+enum class QueueOrder {
+  kLevelized,    ///< sorted by dependency depth (the paper's queue)
+  kTopological,  ///< plain Kahn order (insertion-order tie-breaking)
+};
+
+/// Compiled task graph. Construction validates acyclicity and snapshots
+/// structure; begin_cycle() resets the dependency counters so executors
+/// can run the graph repeatedly without touching the structure.
+///
+/// Thread safety: all const accessors are safe concurrently; the atomic
+/// cycle state (`pending`, `waiter`) is operated on by the executors
+/// under the protocol described in each executor's header.
+class CompiledGraph {
+ public:
+  /// Compiles `g`. Asserts that the graph is acyclic and every node has
+  /// a work function.
+  explicit CompiledGraph(const TaskGraph& g,
+                         QueueOrder order = QueueOrder::kLevelized);
+
+  CompiledGraph(const CompiledGraph&) = delete;
+  CompiledGraph& operator=(const CompiledGraph&) = delete;
+
+  std::size_t node_count() const noexcept { return names_.size(); }
+
+  const std::string& name(NodeId n) const noexcept { return names_[n]; }
+  const std::string& section(NodeId n) const noexcept { return sections_[n]; }
+  const WorkFn& work(NodeId n) const noexcept { return works_[n]; }
+
+  std::span<const NodeId> successors(NodeId n) const noexcept {
+    return {succ_list_.data() + succ_off_[n], succ_off_[n + 1] - succ_off_[n]};
+  }
+  std::uint32_t in_degree(NodeId n) const noexcept { return indeg_[n]; }
+  std::uint32_t depth(NodeId n) const noexcept { return depth_[n]; }
+  std::uint32_t max_depth() const noexcept { return max_depth_; }
+
+  /// The dependency-sorted FIFO queue the paper's strategies consume.
+  std::span<const NodeId> order() const noexcept { return order_; }
+
+  /// Source nodes grouped as they appear in order() (all depth-0 first).
+  std::span<const NodeId> sources() const noexcept {
+    return {order_.data(), source_count_};
+  }
+
+  /// Distinct section labels in first-appearance order.
+  std::span<const std::string> section_labels() const noexcept {
+    return section_labels_;
+  }
+  /// Index of node `n`'s section within section_labels().
+  std::uint32_t section_index(NodeId n) const noexcept {
+    return section_idx_[n];
+  }
+
+  // ---- per-cycle state shared by all executors ----
+
+  /// Reset dependency counters and waiter slots for a new cycle.
+  /// Must not run concurrently with an executing cycle.
+  void begin_cycle() noexcept;
+
+  /// Remaining unfinished predecessors of `n` this cycle.
+  std::atomic<std::int32_t>& pending(NodeId n) noexcept {
+    return cycle_[n].pending;
+  }
+  /// Worker registered to be woken when `n` becomes ready (-1 = none).
+  /// Used by the thread-sleeping strategy only.
+  std::atomic<std::int32_t>& waiter(NodeId n) noexcept {
+    return cycle_[n].waiter;
+  }
+
+ private:
+  struct alignas(64) CycleState {  // one cache line per node: the pending
+    std::atomic<std::int32_t> pending{0};  // counters are the hot shared data
+    std::atomic<std::int32_t> waiter{-1};
+  };
+
+  std::vector<std::string> names_;
+  std::vector<std::string> sections_;
+  std::vector<WorkFn> works_;
+  std::vector<std::uint32_t> indeg_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::size_t> succ_off_;
+  std::vector<NodeId> succ_list_;
+  std::vector<NodeId> order_;
+  std::size_t source_count_ = 0;
+  std::uint32_t max_depth_ = 0;
+  std::vector<std::string> section_labels_;
+  std::vector<std::uint32_t> section_idx_;
+  std::unique_ptr<CycleState[]> cycle_;
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,53 @@
+// djstar/core/detail/spin.hpp
+// CPU pause primitive and the escalating spin-wait loop shared by the
+// busy-waiting and work-stealing strategies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "djstar/core/executor.hpp"
+
+namespace djstar::core::detail {
+
+/// One architectural pause/yield hint inside a spin loop.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Escalating waiter: `pause_iterations` hardware pauses, then
+/// std::this_thread::yield(), then (defensively) a 1 us sleep after
+/// `yields_before_sleep` yields. Reset after the awaited condition holds.
+class SpinWaiter {
+ public:
+  explicit SpinWaiter(const SpinPolicy& p) noexcept : policy_(p) {}
+
+  /// One wait step; call in a loop around the condition re-check.
+  /// Returns the number of spins performed so far (for stats).
+  void step() noexcept {
+    if (count_ < policy_.pause_iterations) {
+      cpu_pause();
+    } else if (count_ < policy_.pause_iterations + policy_.yields_before_sleep) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+    }
+    ++count_;
+  }
+
+  std::uint64_t spins() const noexcept { return count_; }
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  SpinPolicy policy_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace djstar::core::detail

@@ -1,0 +1,91 @@
+// djstar/core/graph.hpp
+// The audio task graph (paper §IV): nodes are audio computations, edges
+// are data dependencies. DJ Star keeps the nodes in a simple queue sorted
+// by dependency depth ("column by column, left to right" in Fig. 3);
+// TaskGraph::levelized_order() reproduces exactly that queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace djstar::core {
+
+/// Index of a node within its TaskGraph.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// The work a node performs each audio processing cycle. Captured state
+/// (audio buffers, effect instances) is owned by the graph's creator.
+/// Must be allocation-free and lock-free to be real-time safe.
+using WorkFn = std::function<void()>;
+
+/// Mutable graph under construction. Compile to a CompiledGraph to run.
+class TaskGraph {
+ public:
+  /// Add a node. `section` groups nodes for the work-stealing seed
+  /// heuristic (paper §V-C: "Deck A/B/C/D or Master"). Returns its id.
+  NodeId add_node(std::string name, WorkFn work, std::string section = {});
+
+  /// Declare that `from` must complete before `to` starts.
+  /// Duplicate edges are ignored. Both ids must exist; self-edges are
+  /// rejected (assert).
+  void add_edge(NodeId from, NodeId to);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  std::string_view name(NodeId n) const noexcept { return nodes_[n].name; }
+  std::string_view section(NodeId n) const noexcept {
+    return nodes_[n].section;
+  }
+  const WorkFn& work(NodeId n) const noexcept { return nodes_[n].work; }
+  std::span<const NodeId> successors(NodeId n) const noexcept {
+    return nodes_[n].successors;
+  }
+  std::span<const NodeId> predecessors(NodeId n) const noexcept {
+    return nodes_[n].predecessors;
+  }
+  std::size_t in_degree(NodeId n) const noexcept {
+    return nodes_[n].predecessors.size();
+  }
+  std::size_t out_degree(NodeId n) const noexcept {
+    return nodes_[n].successors.size();
+  }
+
+  /// True when the graph has no directed cycle.
+  bool is_acyclic() const;
+
+  /// Kahn topological order (by node insertion order among ready nodes).
+  /// Empty when the graph is cyclic.
+  std::vector<NodeId> topological_order() const;
+
+  /// Dependency depth of each node: 0 for sources, otherwise
+  /// 1 + max(depth of predecessors). Longest-path layering.
+  /// Asserts the graph is acyclic.
+  std::vector<std::uint32_t> depths() const;
+
+  /// The paper's node queue: nodes sorted by depth, ties broken by
+  /// insertion order — "nodes in the same column do not carry
+  /// dependencies to other nodes in the same column" (§IV).
+  std::vector<NodeId> levelized_order() const;
+
+  /// Ids of all nodes with no predecessors.
+  std::vector<NodeId> source_nodes() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::string section;
+    WorkFn work;
+    std::vector<NodeId> successors;
+    std::vector<NodeId> predecessors;
+  };
+  std::vector<Node> nodes_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace djstar::core

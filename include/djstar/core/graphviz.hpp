@@ -1,0 +1,22 @@
+// djstar/core/graphviz.hpp
+// DOT (Graphviz) export of task graphs and schedules for documentation
+// and debugging. Render with: dot -Tsvg graph.dot -o graph.svg
+#pragma once
+
+#include <string>
+
+#include "djstar/core/graph.hpp"
+
+namespace djstar::core {
+
+/// Options for the DOT rendering.
+struct DotOptions {
+  bool cluster_sections = true;  ///< group nodes into per-section clusters
+  bool rank_by_depth = true;     ///< same-depth nodes on the same rank
+  const char* graph_name = "taskgraph";
+};
+
+/// Serialize `g` as a DOT digraph.
+std::string to_dot(const TaskGraph& g, const DotOptions& opts = {});
+
+}  // namespace djstar::core

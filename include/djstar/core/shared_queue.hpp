@@ -1,0 +1,58 @@
+// djstar/core/shared_queue.hpp
+// Strategy 4 — the improvement the paper sketches but does not build
+// (§V-B): "Instead of putting the executor thread to sleep because its
+// node is currently blocked, it could look for other available nodes and
+// compute them. As available nodes do not have to wait for their
+// assigned executor thread but [can] be executed by one thread that has
+// just finished its work, this strategy potentially has the earliest
+// start times for node computations. At the same time, this aspect
+// raises the queue management overhead."
+//
+// This executor implements exactly that trade-off in its plainest form:
+// one shared, mutex-protected queue of *ready* nodes. Every thread pulls
+// whatever is executable; nobody ever waits for a specific node. The
+// price is a lock acquisition per pop and per push — the "queue
+// management overhead" the paper warns about, measurable against the
+// lock-free work-stealing deques in bench/ablation_strategies.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "djstar/core/executor.hpp"
+#include "djstar/core/team.hpp"
+#include "djstar/support/time.hpp"
+
+namespace djstar::core {
+
+/// Shared ready-queue scheduling (a centralized-queue greedy scheduler).
+class SharedQueueExecutor final : public Executor {
+ public:
+  explicit SharedQueueExecutor(CompiledGraph& graph, ExecOptions opts = {});
+
+  void run_cycle() override;
+  std::string_view name() const noexcept override { return "shared"; }
+  unsigned threads() const noexcept override { return opts_.threads; }
+
+ private:
+  void worker_body(unsigned w);
+
+  CompiledGraph& graph_;
+  ExecOptions opts_;
+
+  // The shared ready queue (CP.50: data and its mutex live together).
+  // Preallocated ring so pushes on the audio path never allocate.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<NodeId> ring_;
+  std::size_t head_ = 0, tail_ = 0;  // guarded by mutex_
+  std::size_t executed_ = 0;          // guarded by mutex_
+
+  support::Clock::time_point cycle_start_{};
+  std::unique_ptr<Team> team_;
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,71 @@
+// djstar/core/team.hpp
+// Persistent worker team shared by the parallel executors.
+//
+// Workers are created once (CP.41) and parked between cycles. run_cycle()
+// publishes a new generation, lets every worker run the strategy body,
+// and returns when all have finished. The calling thread participates as
+// worker 0 so `threads == n` means n computing threads, matching the
+// paper's "thread count" axis in Table I.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "djstar/core/executor.hpp"
+
+namespace djstar::core {
+
+/// How parked workers wait for the next cycle.
+enum class StartMode {
+  kSpin,     ///< spin+yield on the generation counter (lowest latency)
+  kCondvar,  ///< sleep on a condition variable (no idle CPU burn)
+};
+
+/// Fixed team of joining threads executing one callback per cycle.
+class Team {
+ public:
+  /// The per-cycle body; `worker` in [0, threads).
+  using WorkerFn = std::function<void(unsigned worker)>;
+
+  /// Spawns `threads - 1` OS threads (thread 0 is the caller).
+  Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn);
+
+  /// Requests stop and joins all workers.
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  /// Run one cycle: all workers (incl. the caller) execute the body once;
+  /// returns when every worker is done.
+  void run_cycle();
+
+  unsigned threads() const noexcept { return threads_; }
+
+ private:
+  void thread_main(unsigned id);
+  void wait_for_generation(std::uint64_t seen);
+
+  unsigned threads_;
+  StartMode mode_;
+  SpinPolicy spin_;
+  WorkerFn fn_;
+
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+  alignas(64) std::atomic<unsigned> done_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex start_mutex_;
+  std::condition_variable start_cv_;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,79 @@
+// djstar/core/work_stealing.hpp
+// Strategy 3 (paper §V-C): work-stealing.
+//
+// Each worker owns a deque holding only *executable* nodes (dependencies
+// met). The owner pushes/pops at the bottom (LIFO, cache-warm), thieves
+// steal from the top (FIFO, oldest node — most likely to fan out new
+// work). At cycle start, the main thread seeds the deques with the
+// source nodes, grouped by graph section (Deck A/B/C/D, Master) so nodes
+// touching the same audio data land on the same thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "djstar/core/chase_lev_deque.hpp"
+#include "djstar/core/executor.hpp"
+#include "djstar/core/team.hpp"
+#include "djstar/support/time.hpp"
+
+namespace djstar::core {
+
+/// How the main thread distributes source nodes at cycle start.
+enum class SeedMode {
+  kBySection,   ///< paper default: same section -> same thread
+  kRoundRobin,  ///< ablation: ignore sections
+};
+
+/// Work-stealing specific options.
+struct WorkStealingOptions {
+  SeedMode seed = SeedMode::kBySection;
+  /// Failed full steal rounds before a worker parks on the idle cv.
+  std::uint32_t steal_rounds_before_park = 16;
+};
+
+/// Per-thread deques with stealing; see header comment.
+class WorkStealingExecutor final : public Executor {
+ public:
+  explicit WorkStealingExecutor(CompiledGraph& graph, ExecOptions opts = {},
+                                WorkStealingOptions ws = {});
+
+  void run_cycle() override;
+  std::string_view name() const noexcept override { return "ws"; }
+  unsigned threads() const noexcept override { return opts_.threads; }
+
+ private:
+  void worker_body(unsigned w);
+  void seed_inboxes();
+  void on_node_ready(unsigned w, NodeId n);
+  bool try_get_node(unsigned w, NodeId& out);
+
+  struct alignas(64) PerWorker {
+    std::unique_ptr<ChaseLevDeque> deque;
+    // Seeded by the main thread before the cycle's generation bump
+    // (which publishes it with release/acquire), drained by the worker.
+    std::vector<NodeId> inbox;
+  };
+
+  CompiledGraph& graph_;
+  ExecOptions opts_;
+  WorkStealingOptions ws_;
+  std::vector<PerWorker> per_worker_;
+
+  alignas(64) std::atomic<std::size_t> executed_{0};
+  // Idle parking: workers that fail repeated steal rounds sleep here and
+  // are woken when new work is pushed (paper: WS only sleeps when solely
+  // blocked nodes remain).
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint32_t> idle_epoch_{0};
+  std::atomic<std::uint32_t> idlers_{0};
+
+  support::Clock::time_point cycle_start_{};
+  std::unique_ptr<Team> team_;
+};
+
+}  // namespace djstar::core

@@ -1,0 +1,121 @@
+// djstar/dsp/delay.hpp
+// Delay-line based effects: echo, flanger, chorus, phaser — the bread and
+// butter of the deck effect units ("FX1..FX4" in paper Fig. 3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::dsp {
+
+/// Fractional-read circular delay line (one channel). Allocates only in
+/// the constructor / set_max_delay.
+class DelayLine {
+ public:
+  DelayLine() = default;
+  explicit DelayLine(std::size_t max_delay_samples) { set_max_delay(max_delay_samples); }
+
+  void set_max_delay(std::size_t samples);
+  std::size_t max_delay() const noexcept { return buf_.empty() ? 0 : buf_.size() - 1; }
+
+  void reset() noexcept;
+
+  /// Write one input sample.
+  void push(float x) noexcept {
+    buf_[w_] = x;
+    w_ = (w_ + 1) % buf_.size();
+  }
+
+  /// Read `delay` samples back (integer). delay <= max_delay().
+  float read(std::size_t delay) const noexcept {
+    const std::size_t idx = (w_ + buf_.size() - 1 - delay) % buf_.size();
+    return buf_[idx];
+  }
+
+  /// Linear-interpolated fractional read. 0 <= delay <= max_delay()-1.
+  float read_frac(double delay) const noexcept;
+
+ private:
+  std::vector<float> buf_;
+  std::size_t w_ = 0;
+};
+
+/// Tempo-synced stereo echo with feedback and damping.
+class Echo {
+ public:
+  Echo();
+
+  /// `delay_seconds` up to 2 s; `feedback` in [0, 0.95]; `mix` in [0, 1].
+  void set(double delay_seconds, float feedback, float mix,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  std::array<DelayLine, 2> lines_;
+  std::array<float, 2> damp_state_{};
+  std::size_t delay_samples_ = 4410;
+  float feedback_ = 0.4f, mix_ = 0.3f;
+};
+
+/// Classic flanger: short modulated delay mixed with the dry signal.
+class Flanger {
+ public:
+  Flanger();
+
+  /// `rate_hz` LFO speed; `depth` in [0,1]; `feedback` in [-0.9, 0.9].
+  void set(double rate_hz, float depth, float feedback, float mix,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  std::array<DelayLine, 2> lines_;
+  double phase_ = 0.0, phase_inc_ = 0.0;
+  float depth_ = 0.7f, feedback_ = 0.3f, mix_ = 0.5f;
+  std::array<float, 2> fb_state_{};
+  double sr_ = audio::kSampleRate;
+};
+
+/// Chorus: three modulated delay taps per channel, no feedback.
+class Chorus {
+ public:
+  Chorus();
+  void set(double rate_hz, float depth, float mix,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  std::array<DelayLine, 2> lines_;
+  std::array<double, 3> phases_{0.0, 0.33, 0.67};
+  double phase_inc_ = 0.0;
+  float depth_ = 0.5f, mix_ = 0.5f;
+  double sr_ = audio::kSampleRate;
+};
+
+/// Phaser: cascade of modulated first-order allpass sections.
+class Phaser {
+ public:
+  static constexpr std::size_t kStages = 6;
+
+  void set(double rate_hz, float depth, float feedback, float mix,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  struct ChannelState {
+    std::array<float, kStages> z{};
+    float fb = 0.0f;
+  };
+  std::array<ChannelState, 2> ch_{};
+  double phase_ = 0.0, phase_inc_ = 0.0;
+  float depth_ = 0.8f, feedback_ = 0.5f, mix_ = 0.5f;
+  double sr_ = audio::kSampleRate;
+};
+
+}  // namespace djstar::dsp

@@ -1,0 +1,97 @@
+// djstar/dsp/dynamics.hpp
+// Dynamics processors: compressor, limiter, gate, clippers. The master
+// section of the DJ Star graph runs "Limiter, Clip" on the record buffer
+// and audio output (paper Fig. 3).
+//
+// These are the intentionally *data-dependent* processors: their gain
+// computers only do real work when the signal crosses the threshold,
+// which is one source of the two-peak runtime distributions in Fig. 9.
+#pragma once
+
+#include <cstddef>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::dsp {
+
+/// Feed-forward RMS compressor with program-dependent attack/release.
+class Compressor {
+ public:
+  /// `threshold_db` <= 0, `ratio` >= 1, times in ms.
+  void set(float threshold_db, float ratio, float attack_ms, float release_ms,
+           float makeup_db = 0.0f,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept { env_ = 0.0f; gain_ = 1.0f; }
+  void process(audio::AudioBuffer& buf) noexcept;
+
+  /// Gain currently applied (for metering / tests).
+  float current_gain() const noexcept { return gain_; }
+
+ private:
+  float threshold_ = 0.5f;  // linear
+  float ratio_inv_ = 0.25f;
+  float attack_coef_ = 0.99f, release_coef_ = 0.999f;
+  float makeup_ = 1.0f;
+  float env_ = 0.0f;
+  float gain_ = 1.0f;
+};
+
+/// Lookahead-free hard-knee peak limiter. Guarantees |out| <= ceiling
+/// by combining envelope-driven gain reduction with a final hard clamp.
+class Limiter {
+ public:
+  void set(float ceiling_db, float release_ms,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept { gain_ = 1.0f; }
+  void process(audio::AudioBuffer& buf) noexcept;
+
+  float ceiling() const noexcept { return ceiling_; }
+
+ private:
+  float ceiling_ = 1.0f;
+  float release_coef_ = 0.9995f;
+  float gain_ = 1.0f;
+};
+
+/// Noise gate with hysteresis (open/close thresholds) and hold time.
+class Gate {
+ public:
+  void set(float open_db, float close_db, float hold_ms, float release_ms,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+  bool is_open() const noexcept { return open_; }
+
+ private:
+  float open_thresh_ = 0.05f, close_thresh_ = 0.02f;
+  std::size_t hold_samples_ = 4410;
+  float release_coef_ = 0.999f;
+  bool open_ = false;
+  std::size_t hold_count_ = 0;
+  float gain_ = 0.0f;
+  float env_ = 0.0f;
+};
+
+/// Hard clipper at +/- ceiling.
+class HardClip {
+ public:
+  explicit HardClip(float ceiling = 1.0f) noexcept : ceiling_(ceiling) {}
+  void set_ceiling(float c) noexcept { ceiling_ = c; }
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  float ceiling_;
+};
+
+/// Smooth tanh-style soft clipper with input drive.
+class SoftClip {
+ public:
+  void set(float drive_db) noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  float drive_ = 1.0f;
+};
+
+}  // namespace djstar::dsp

@@ -1,0 +1,155 @@
+// djstar/dsp/filters.hpp
+// IIR filters: RBJ biquads, a state-variable filter, and the 3-band
+// channel EQ used by DJ Star's channel strips ("ChannelX: Filter, EQ").
+//
+// All process() methods are allocation-free and operate in place.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::dsp {
+
+/// Biquad filter response types (Robert Bristow-Johnson's cookbook).
+enum class BiquadType {
+  kLowpass,
+  kHighpass,
+  kBandpass,
+  kNotch,
+  kPeak,
+  kLowShelf,
+  kHighShelf,
+  kAllpass,
+};
+
+/// Transposed direct-form-II biquad. One instance filters one channel;
+/// use BiquadStereo for linked stereo operation.
+class Biquad {
+ public:
+  /// Configure coefficients. `freq` in Hz, `q` > 0, `gain_db` used by
+  /// peak/shelf types. Stable for freq in (0, sr/2).
+  void set(BiquadType type, double freq, double q, double gain_db,
+           double sample_rate = audio::kSampleRate) noexcept;
+
+  /// Set raw coefficients (b normalized by a0 already divided out).
+  void set_coefficients(double b0, double b1, double b2, double a1,
+                        double a2) noexcept;
+
+  void reset() noexcept { z1_ = z2_ = 0.0; }
+
+  float process_sample(float x) noexcept {
+    const double y = b0_ * x + z1_;
+    z1_ = b1_ * x - a1_ * y + z2_;
+    z2_ = b2_ * x - a2_ * y;
+    return static_cast<float>(y);
+  }
+
+  void process(std::span<float> io) noexcept {
+    for (auto& s : io) s = process_sample(s);
+  }
+
+  /// Magnitude response at `freq` Hz (analysis helper; used by tests).
+  double magnitude_at(double freq,
+                      double sample_rate = audio::kSampleRate) const noexcept;
+
+  double b0() const noexcept { return b0_; }
+  double b1() const noexcept { return b1_; }
+  double b2() const noexcept { return b2_; }
+  double a1() const noexcept { return a1_; }
+  double a2() const noexcept { return a2_; }
+
+ private:
+  double b0_ = 1, b1_ = 0, b2_ = 0, a1_ = 0, a2_ = 0;
+  double z1_ = 0, z2_ = 0;
+};
+
+/// Two independent biquads sharing one coefficient set — a stereo filter.
+class BiquadStereo {
+ public:
+  void set(BiquadType type, double freq, double q, double gain_db,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  /// Filter both channels of a stereo buffer in place.
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  Biquad l_, r_;
+};
+
+/// Topology-preserving-transform state-variable filter (Simper/Zavalishin
+/// formulation): simultaneously produces low/band/high outputs and is
+/// unconditionally stable for any cutoff below Nyquist — important for
+/// the DJ filter, whose knob sweeps the cutoff across the whole band.
+class StateVariableFilter {
+ public:
+  void set(double freq, double q,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept { ic1_ = ic2_ = 0.0; }
+
+  struct Outputs {
+    float low, band, high;
+  };
+  Outputs process_sample(float x) noexcept;
+
+  /// Morphing filter: `morph` in [-1, 1]; -1 = lowpass fully closed,
+  /// 0 = bypass-ish (unfiltered), +1 = highpass fully open. This is the
+  /// ubiquitous one-knob DJ filter.
+  float process_morph(float x, float morph) noexcept;
+
+ private:
+  double k_ = 1.0;                    // damping = 1/Q
+  double a1_ = 0.5, a2_ = 0.25, a3_ = 0.1;
+  double ic1_ = 0.0, ic2_ = 0.0;      // integrator states
+};
+
+/// DJ-style one-knob filter on a stereo buffer.
+class DjFilter {
+ public:
+  /// `morph` in [-1, 1] (see StateVariableFilter::process_morph);
+  /// internally slews to avoid zipper noise.
+  void set_morph(float morph) noexcept { target_morph_ = morph; }
+  void set_resonance(double q) noexcept { q_ = q; }
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  StateVariableFilter l_, r_;
+  float morph_ = 0.0f, target_morph_ = 0.0f;
+  double q_ = 0.8;
+};
+
+/// Classic 3-band DJ mixer EQ with full-kill lows/mids/highs.
+///
+/// The band split uses 4th-order Linkwitz-Riley crossovers (two cascaded
+/// Butterworth biquads per branch): LR4 low + LR4 high sum to an allpass
+/// (flat magnitude) and each branch rolls off at 24 dB/oct, so a killed
+/// band is actually gone — the defining feature of a DJ kill EQ.
+class ThreeBandEq {
+ public:
+  ThreeBandEq() noexcept;
+
+  /// Band gains in dB; -inf (use <= -60) kills the band.
+  void set_gains(float low_db, float mid_db, float high_db) noexcept;
+  void set_crossovers(double low_hz, double high_hz,
+                      double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  void update() noexcept;
+  // Per channel: LR4 = 2x Butterworth biquads per branch, two crossovers.
+  struct ChannelState {
+    Biquad lo_lp1, lo_lp2;  // low branch of the low crossover
+    Biquad lo_hp1, lo_hp2;  // high branch of the low crossover
+    Biquad hi_lp1, hi_lp2;  // low branch of the high crossover (mid)
+    Biquad hi_hp1, hi_hp2;  // high branch of the high crossover (high)
+  };
+  std::array<ChannelState, 2> ch_{};
+  double low_hz_ = 250.0, high_hz_ = 2500.0, sr_ = audio::kSampleRate;
+  float g_low_ = 1.0f, g_mid_ = 1.0f, g_high_ = 1.0f;
+};
+
+}  // namespace djstar::dsp

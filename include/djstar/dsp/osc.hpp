@@ -1,0 +1,68 @@
+// djstar/dsp/osc.hpp
+// Band-limited oscillators (polyBLEP) and noise sources. Used by the
+// synthetic track generator, the timecode carrier, and the test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/support/rng.hpp"
+
+namespace djstar::dsp {
+
+enum class OscShape { kSine, kSaw, kSquare, kTriangle };
+
+/// PolyBLEP oscillator — saw/square edges are smoothed by a two-sample
+/// polynomial band-limited step to suppress aliasing.
+class Oscillator {
+ public:
+  void set(OscShape shape, double freq_hz,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset(double phase = 0.0) noexcept {
+    phase_ = phase;
+    // Start the triangle integrator at its value for phase 0 (-1) so the
+    // leaky integration carries no start-up DC offset.
+    tri_state_ = -1.0;
+  }
+
+  float next() noexcept;
+  /// Render `n` samples into `out` (added? no: overwritten).
+  void render(std::span<float> out) noexcept {
+    for (auto& s : out) s = next();
+  }
+
+  double phase() const noexcept { return phase_; }
+
+ private:
+  float poly_blep(double t) const noexcept;
+  OscShape shape_ = OscShape::kSine;
+  double phase_ = 0.0;
+  double inc_ = 440.0 / audio::kSampleRate;
+  double tri_state_ = -1.0;
+};
+
+/// White noise source (deterministic, seeded).
+class Noise {
+ public:
+  explicit Noise(std::uint64_t seed = 7) noexcept : rng_(seed) {}
+  float next() noexcept { return rng_.bipolar(); }
+  void render(std::span<float> out) noexcept {
+    for (auto& s : out) s = next();
+  }
+
+ private:
+  support::Xoshiro256 rng_;
+};
+
+/// Pink-ish noise via the Voss-McCartney inspired 3-pole filter of white.
+class PinkNoise {
+ public:
+  explicit PinkNoise(std::uint64_t seed = 11) noexcept : white_(seed) {}
+  float next() noexcept;
+
+ private:
+  Noise white_;
+  float b0_ = 0, b1_ = 0, b2_ = 0;
+};
+
+}  // namespace djstar::dsp

@@ -1,0 +1,45 @@
+// djstar/dsp/reverb.hpp
+// Schroeder/Freeverb-style reverberator: parallel comb bank into a serial
+// allpass chain per channel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::dsp {
+
+/// Stereo Schroeder reverb. Allocation happens in the constructor only.
+class Reverb {
+ public:
+  Reverb();
+
+  /// `room` in [0,1] scales comb feedback; `damp` in [0,1] darkens tails;
+  /// `mix` dry/wet in [0,1].
+  void set(float room, float damp, float mix) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  struct Comb {
+    std::vector<float> buf;
+    std::size_t pos = 0;
+    float filter_state = 0.0f;
+    float process(float x, float feedback, float damp) noexcept;
+  };
+  struct Allpass {
+    std::vector<float> buf;
+    std::size_t pos = 0;
+    float process(float x) noexcept;
+  };
+  static constexpr std::size_t kCombs = 8;
+  static constexpr std::size_t kAllpasses = 4;
+
+  std::array<std::array<Comb, kCombs>, 2> combs_;
+  std::array<std::array<Allpass, kAllpasses>, 2> allpasses_;
+  float room_ = 0.5f, damp_ = 0.5f, mix_ = 0.3f;
+};
+
+}  // namespace djstar::dsp

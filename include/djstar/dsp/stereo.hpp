@@ -1,0 +1,55 @@
+// djstar/dsp/stereo.hpp
+// Stereo-field tools and input-conditioning utilities: mid/side widener,
+// DC blocker, and a transient shaper — the remaining utility processors
+// of a production channel strip.
+#pragma once
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/dsp/basics.hpp"
+
+namespace djstar::dsp {
+
+/// Mid/side stereo widener. `width` 0 = mono, 1 = unchanged, up to 2 =
+/// exaggerated sides. Mono content (the bass) is preserved exactly.
+class StereoWidener {
+ public:
+  void set_width(float width) noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+  float width() const noexcept { return width_; }
+
+ private:
+  float width_ = 1.0f;
+};
+
+/// One-pole DC blocker (highpass at a few Hz). Removes the offsets that
+/// asymmetric waveshapers introduce before they eat limiter headroom.
+class DcBlocker {
+ public:
+  explicit DcBlocker(double cutoff_hz = 5.0,
+                     double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  float coef_ = 0.999f;
+  float x1_[2] = {0, 0};
+  float y1_[2] = {0, 0};
+};
+
+/// Transient shaper: separates attack from sustain with a two-speed
+/// envelope pair and scales them independently. attack/sustain in
+/// [-1, 1]: positive = boost, negative = soften.
+class TransientShaper {
+ public:
+  void set(float attack, float sustain,
+           double sample_rate = audio::kSampleRate) noexcept;
+  void reset() noexcept;
+  void process(audio::AudioBuffer& buf) noexcept;
+
+ private:
+  float attack_gain_ = 0.0f, sustain_gain_ = 0.0f;
+  float fast_coef_ = 0.99f, slow_coef_ = 0.999f;
+  float fast_env_ = 0.0f, slow_env_ = 0.0f;
+};
+
+}  // namespace djstar::dsp

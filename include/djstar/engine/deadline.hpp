@@ -1,0 +1,72 @@
+// djstar/engine/deadline.hpp
+// Cycle accounting against the real-time constraint (paper §III-A/§VI):
+// one audio packet of 128 samples at 44.1 kHz every 2.9 ms, of which the
+// task graph may use at most 2.1 ms after TP/GP/VC overheads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/support/stats.hpp"
+
+namespace djstar::engine {
+
+/// Phase timings of one audio processing cycle, in microseconds.
+/// T(APC) = T(TP) + T(GP) + T(Graph) + T(VC)   (paper §VI).
+struct CycleBreakdown {
+  double tp_us = 0;     ///< timecode processing
+  double gp_us = 0;     ///< graph preprocessing (time stretch, buffers)
+  double graph_us = 0;  ///< task graph execution
+  double vc_us = 0;     ///< various calculations (tempo, accounting)
+
+  double total_us() const noexcept {
+    return tp_us + gp_us + graph_us + vc_us;
+  }
+};
+
+/// Collects cycle breakdowns, counts missed deadlines, and optionally
+/// retains per-cycle samples for histogram benches.
+class DeadlineMonitor {
+ public:
+  explicit DeadlineMonitor(double deadline_us = audio::kDeadlineUs,
+                           bool keep_samples = true)
+      : deadline_us_(deadline_us), keep_samples_(keep_samples) {}
+
+  void add(const CycleBreakdown& c);
+  void reset();
+
+  std::size_t cycles() const noexcept { return cycles_; }
+  std::size_t misses() const noexcept { return misses_; }
+  double miss_rate() const noexcept {
+    return cycles_ ? static_cast<double>(misses_) / static_cast<double>(cycles_)
+                   : 0.0;
+  }
+  double deadline_us() const noexcept { return deadline_us_; }
+
+  const support::OnlineStats& tp() const noexcept { return tp_; }
+  const support::OnlineStats& gp() const noexcept { return gp_; }
+  const support::OnlineStats& graph() const noexcept { return graph_; }
+  const support::OnlineStats& vc() const noexcept { return vc_; }
+  const support::OnlineStats& total() const noexcept { return total_; }
+
+  /// Per-cycle task-graph times (empty when keep_samples is off).
+  const std::vector<double>& graph_samples() const noexcept {
+    return graph_samples_;
+  }
+  /// Per-cycle APC totals (empty when keep_samples is off).
+  const std::vector<double>& total_samples() const noexcept {
+    return total_samples_;
+  }
+
+ private:
+  double deadline_us_;
+  bool keep_samples_;
+  std::size_t cycles_ = 0;
+  std::size_t misses_ = 0;
+  support::OnlineStats tp_, gp_, graph_, vc_, total_;
+  std::vector<double> graph_samples_;
+  std::vector<double> total_samples_;
+};
+
+}  // namespace djstar::engine

@@ -1,0 +1,160 @@
+// djstar/engine/djstar_graph.hpp
+// The canonical 67-node DJ Star task graph (paper Fig. 3 / §IV).
+//
+// Topology (sections in parentheses; -> are dependency edges):
+//
+//   per deck X in {A,B,C,D}  (section deckX):
+//     SP_X1..SP_X4   sample players          (sources)
+//     UTIL_X1..X4    control utilities        (sources, no audio)
+//     FX_X1          effect 1, sums SP_X1..4
+//     FX_X2..FX_X4   chained effects
+//     CH_X           channel strip (filter, EQ, fader)  <- FX_X4
+//     METER_X        channel meter                      <- CH_X
+//   master section (section master):
+//     SAMPLER        audio sampler (source)
+//     MIXER          <- CH_A..CH_D, SAMPLER
+//     MASTER         master bus                          <- MIXER
+//     CUE            pre-mixer cue sum                   <- CH_A..CH_D
+//     MONITOR        mono booth monitor                  <- CUE
+//     RECORD         record buffer (comp+limit+clip)     <- MASTER
+//     AUDIO_OUT      sound card output (limit+clip)      <- MASTER
+//     HEADPHONE      cue/master blend                    <- CUE, MASTER
+//     MASTER_METER                                        <- MASTER
+//     ANALYZER       spectrum tap                         <- MIXER
+//     BEATGRID       master tempo accounting              <- MIXER
+//
+// Totals: 67 nodes, of which 33 are sources (16 SP + 16 UTIL + SAMPLER) —
+// matching the paper's simulated max concurrency of 33 — and the longest
+// path runs SP -> FX*4 -> CH -> MIXER -> MASTER -> AUDIO_OUT.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "djstar/core/access_check.hpp"
+#include "djstar/core/graph.hpp"
+#include "djstar/engine/nodes.hpp"
+
+namespace djstar::engine {
+
+/// Role of a node in the canonical graph (drives the reference-duration
+/// table and the benches' reporting).
+enum class NodeKind {
+  kSamplePlayer,
+  kUtility,
+  kDeckEffectA,   ///< deck A effects are the heavier "active deck" chain
+  kDeckEffect,    ///< decks B/C/D
+  kChannel,
+  kDeckMeter,
+  kSampler,
+  kMixer,
+  kMasterBus,
+  kCue,
+  kMonitor,
+  kRecord,
+  kAudioOut,
+  kHeadphone,
+  kMasterMeter,
+  kAnalyzer,
+  kBeatgrid,
+};
+
+/// Paper-scale mean duration (microseconds) for a node kind, calibrated
+/// so that total work ~= 1.08 ms and the critical path ~= 0.29 ms
+/// (Table I sequential row / §IV simulation; see EXPERIMENTS.md).
+double reference_duration_us(NodeKind kind) noexcept;
+
+/// The built graph plus everything it references. Move-only; node
+/// processors live behind stable unique_ptr addresses because the work
+/// lambdas capture raw pointers to them.
+class DjStarGraph {
+ public:
+  /// Builds the 67-node graph. `deck_inputs[i]` is the preprocessed
+  /// input buffer of deck i (from Deck::input()); pass nullptr to use an
+  /// internal silent buffer (handy for scheduling-only experiments).
+  explicit DjStarGraph(std::array<const audio::AudioBuffer*, 4> deck_inputs =
+                           {nullptr, nullptr, nullptr, nullptr});
+
+  DjStarGraph(DjStarGraph&&) = default;
+
+  const core::TaskGraph& graph() const noexcept { return graph_; }
+  core::TaskGraph& graph() noexcept { return graph_; }
+
+  /// Node kind per node id.
+  NodeKind kind(core::NodeId n) const noexcept { return kinds_[n]; }
+
+  /// Paper-scale mean durations aligned with node ids.
+  std::vector<double> reference_durations() const;
+
+  /// The final output buffer (what goes to the sound card).
+  const audio::AudioBuffer& output() const noexcept {
+    return audio_out_->output();
+  }
+
+  // ---- named access for examples / parameter automation ----
+  EffectNode& effect(unsigned deck, unsigned fx) noexcept {
+    return *effects_[deck * 4 + fx];
+  }
+  ChannelNode& channel(unsigned deck) noexcept { return *channels_[deck]; }
+  MixerNode& mixer() noexcept { return *mixer_; }
+  MasterBusNode& master() noexcept { return *master_; }
+  SamplerNode& sampler() noexcept { return *sampler_; }
+  const MeterNode& deck_meter(unsigned deck) const noexcept {
+    return *deck_meters_[deck];
+  }
+  const RecordNode& record() const noexcept { return *record_; }
+  const CueNode& cue() const noexcept { return *cue_; }
+  const MonitorNode& monitor() const noexcept { return *monitor_; }
+  HeadphoneNode& headphone() noexcept { return *headphone_; }
+  CueNode& cue_control() noexcept { return *cue_; }
+  const MeterNode& master_meter() const noexcept { return *master_meter_; }
+  const AnalyzerNode& analyzer() const noexcept { return *analyzer_; }
+
+  core::NodeId audio_out_node() const noexcept { return audio_out_id_; }
+
+  /// Declared buffer accesses of every node, for static race checking
+  /// (core::AccessRegistry::check must return no hazards — tested).
+  const core::AccessRegistry& accesses() const noexcept { return registry_; }
+
+ private:
+  void declare_accesses(
+      const std::array<const audio::AudioBuffer*, 4>& deck_inputs);
+
+  core::TaskGraph graph_;
+  std::vector<NodeKind> kinds_;
+  core::AccessRegistry registry_;
+
+  // Fallback silent inputs when a deck pointer is null.
+  std::array<std::unique_ptr<audio::AudioBuffer>, 4> silent_;
+
+  std::vector<std::unique_ptr<SamplePlayerNode>> players_;  // 16
+  std::vector<std::unique_ptr<UtilityNode>> utils_;         // 16
+  std::vector<std::unique_ptr<EffectNode>> effects_;        // 16
+  std::array<std::unique_ptr<ChannelNode>, 4> channels_;
+  std::array<std::unique_ptr<MeterNode>, 4> deck_meters_;
+  std::unique_ptr<SamplerNode> sampler_;
+  std::unique_ptr<MixerNode> mixer_;
+  std::unique_ptr<MasterBusNode> master_;
+  std::unique_ptr<CueNode> cue_;
+  std::unique_ptr<MonitorNode> monitor_;
+  std::unique_ptr<RecordNode> record_;
+  std::unique_ptr<AudioOutNode> audio_out_;
+  std::unique_ptr<HeadphoneNode> headphone_;
+  std::unique_ptr<MeterNode> master_meter_;
+  std::unique_ptr<AnalyzerNode> analyzer_;
+  std::unique_ptr<UtilityNode> beatgrid_;
+
+  core::NodeId audio_out_id_ = core::kInvalidNode;
+};
+
+/// Structure-plus-reference-durations for scheduling simulation without
+/// any DSP (what the paper fed to RESCON).
+struct ReferenceGraph {
+  DjStarGraph graph;  ///< no-op inputs
+  std::vector<double> durations_us;
+};
+ReferenceGraph make_reference_graph();
+
+}  // namespace djstar::engine

@@ -1,0 +1,87 @@
+// djstar/engine/engine.hpp
+// The Audio Engine facade (paper Fig. 2): four decks, the 67-node task
+// graph, a pluggable scheduling strategy, and the APC driver that times
+// every phase against the 2.9 ms deadline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/engine/deadline.hpp"
+#include "djstar/engine/deck.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+
+namespace djstar::engine {
+
+/// Engine construction parameters.
+struct EngineConfig {
+  core::Strategy strategy = core::Strategy::kBusyWait;
+  unsigned threads = 4;
+  bool keylock = true;
+  /// Seeds for the four decks' synthetic tracks.
+  std::array<std::uint64_t, 4> track_seeds = {1, 2, 3, 4};
+  double deadline_us = audio::kDeadlineUs;
+  /// Retain per-cycle samples in the monitor (hist benches need them).
+  bool keep_samples = true;
+  core::ExecOptions exec{};  ///< threads field is overwritten
+  core::WorkStealingOptions ws{};
+};
+
+/// DJ Star's audio engine. Single-threaded control interface: construct,
+/// tweak parameters, call run_cycle() per audio packet.
+class AudioEngine {
+ public:
+  explicit AudioEngine(EngineConfig cfg = {});
+
+  /// Execute one full audio processing cycle and return its phase
+  /// timings (also recorded into monitor()).
+  CycleBreakdown run_cycle();
+
+  /// Convenience: run `n` cycles back to back.
+  void run_cycles(std::size_t n);
+
+  /// The packet handed to the sound card after the last cycle.
+  const audio::AudioBuffer& output() const noexcept {
+    return graph_nodes_.output();
+  }
+
+  Deck& deck(unsigned i) noexcept { return *decks_[i]; }
+  DjStarGraph& graph_nodes() noexcept { return graph_nodes_; }
+  core::CompiledGraph& compiled() noexcept { return *compiled_; }
+  core::Executor& executor() noexcept { return *executor_; }
+  const DeadlineMonitor& monitor() const noexcept { return monitor_; }
+  DeadlineMonitor& monitor() noexcept { return monitor_; }
+
+  core::Strategy strategy() const noexcept { return cfg_.strategy; }
+  unsigned threads() const noexcept { return cfg_.threads; }
+
+  /// Swap the scheduling strategy / thread count. Destroys and rebuilds
+  /// the executor (joins old workers). Not callable mid-cycle.
+  void set_strategy(core::Strategy s, unsigned threads);
+
+  /// Measure mean per-node execution times over `cycles` sequential
+  /// graph runs (the paper's "average vertex computation time using 10k
+  /// APC executions"). Returns microseconds per node id.
+  std::vector<double> measure_node_durations(std::size_t cycles);
+
+  /// Current master tempo estimate (VC phase output).
+  double master_tempo_bpm() const noexcept { return master_tempo_bpm_; }
+
+ private:
+  void rebuild_executor();
+
+  EngineConfig cfg_;
+  std::array<std::unique_ptr<Deck>, 4> decks_;
+  DjStarGraph graph_nodes_;
+  std::unique_ptr<core::CompiledGraph> compiled_;
+  std::unique_ptr<core::Executor> executor_;
+  DeadlineMonitor monitor_;
+  double master_tempo_bpm_ = 0.0;
+  double beat_phase_ = 0.0;
+};
+
+}  // namespace djstar::engine

@@ -1,0 +1,77 @@
+// djstar/engine/library.hpp
+// Track library and preprocessing pipeline (paper Fig. 2: "Audio Data
+// Collection" + "Track Preprocessing" in the Audio Data subsystem).
+// Tracks are analyzed once — beatgrid, musical key, loudness, waveform
+// overview — and the results drive beat-matching, key-matching, and
+// auto-gain at performance time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "djstar/analysis/beat.hpp"
+#include "djstar/analysis/key.hpp"
+#include "djstar/analysis/loudness.hpp"
+#include "djstar/analysis/waveform.hpp"
+#include "djstar/audio/track.hpp"
+
+namespace djstar::engine {
+
+/// Everything the preprocessing pipeline knows about one track.
+struct TrackAnalysis {
+  analysis::BeatgridResult beatgrid;
+  analysis::KeyEstimate key;
+  analysis::LoudnessResult loudness;
+  analysis::WaveformOverview overview;
+};
+
+/// Run the full preprocessing pipeline on a track's audio.
+TrackAnalysis analyze_track(const audio::Track& track);
+
+/// One library entry.
+struct LibraryEntry {
+  std::uint32_t id = 0;
+  std::string title;
+  audio::TrackSpec spec;
+  std::shared_ptr<audio::Track> track;  ///< loaded audio
+  TrackAnalysis analysis;
+};
+
+/// The track collection. Generation + analysis happen at add() time
+/// (DJ Star analyzes on import, never on the audio thread).
+class Library {
+ public:
+  /// Generate, analyze and store a synthetic track. Returns its id.
+  std::uint32_t add_generated(std::string title, const audio::TrackSpec& spec);
+
+  /// Load a WAV file as a track (stereo or mono; mono is duplicated).
+  /// Returns nullopt when the file cannot be read.
+  std::optional<std::uint32_t> add_from_wav(std::string title,
+                                            const std::string& path);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const LibraryEntry* find(std::uint32_t id) const noexcept;
+  const std::vector<LibraryEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Entries sorted by |bpm - target| — the "what can I mix into this?"
+  /// query.
+  std::vector<const LibraryEntry*> by_tempo(double target_bpm) const;
+
+  /// Entries whose Camelot code is compatible with `key` (same hour or
+  /// +/-1, same letter; or same hour, other letter) — harmonic mixing.
+  std::vector<const LibraryEntry*> harmonic_matches(
+      const analysis::KeyEstimate& key) const;
+
+ private:
+  std::uint32_t insert(std::string title, const audio::TrackSpec& spec,
+                       std::shared_ptr<audio::Track> track);
+  std::vector<LibraryEntry> entries_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace djstar::engine

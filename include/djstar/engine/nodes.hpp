@@ -1,0 +1,310 @@
+// djstar/engine/nodes.hpp
+// The audio computations behind the 67 task-graph nodes (paper Fig. 3).
+//
+// Every node processor owns its output buffer and reads only from its
+// declared inputs, so nodes without a dependency edge never touch the
+// same memory — the property that makes all schedules produce
+// bit-identical audio (tested in tests/engine/test_determinism.cpp).
+// All process() methods are allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/dsp/basics.hpp"
+#include "djstar/dsp/delay.hpp"
+#include "djstar/dsp/dynamics.hpp"
+#include "djstar/dsp/filters.hpp"
+#include "djstar/dsp/reverb.hpp"
+#include "djstar/fft/fft.hpp"
+
+namespace djstar::engine {
+
+using audio::AudioBuffer;
+
+/// A sample player ("SPx Fltr" in Fig. 3): plays one frequency slot of
+/// the deck's preprocessed input through its own state-variable filter.
+/// The four players of a deck split the spectrum into stems.
+class SamplePlayerNode {
+ public:
+  /// `slot` 0..3 selects the frequency band (low / low-mid / high-mid /
+  /// high). `input` is the deck's preprocessed buffer, owned by the Deck.
+  SamplePlayerNode(const AudioBuffer* input, unsigned slot);
+
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  AudioBuffer& output() noexcept { return out_; }
+  unsigned slot() const noexcept { return slot_; }
+
+  /// Per-player level (the DJ's sample pads).
+  void set_level(float level) noexcept { level_ = level; }
+
+ private:
+  const AudioBuffer* input_;
+  unsigned slot_;
+  float level_ = 1.0f;
+  std::array<dsp::StateVariableFilter, 2> filters_;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Which effect algorithm an EffectNode runs.
+enum class EffectKind {
+  kEcho,
+  kFlanger,
+  kChorus,
+  kPhaser,
+  kReverb,
+  kCompressor,
+  kGate,
+  kBitcrusher,
+  kWaveshaper,
+  kSoftClip,
+  kSpectral,   ///< FFT brickwall (the expensive one)
+};
+
+const char* to_string(EffectKind k) noexcept;
+
+/// One deck effect ("FXn" in Fig. 3). The first effect of a deck chain
+/// additionally sums the four sample players into the deck bus.
+class EffectNode {
+ public:
+  /// Chain-head constructor: sums `players` (exactly 4) then processes.
+  EffectNode(EffectKind kind,
+             std::array<const AudioBuffer*, 4> players);
+  /// Chain-link constructor: processes `input` into its own buffer.
+  EffectNode(EffectKind kind, const AudioBuffer* input);
+
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  EffectKind kind() const noexcept { return kind_; }
+
+  /// Bypass toggle (a DJ punching effects in and out).
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Effect-specific macro control in [0,1] (maps to the most musical
+  /// parameter of each algorithm).
+  void set_amount(float amount) noexcept;
+
+ private:
+  void run_effect() noexcept;
+
+  EffectKind kind_;
+  std::array<const AudioBuffer*, 4> players_{};  // head node only
+  const AudioBuffer* input_ = nullptr;           // link node only
+  bool enabled_ = true;
+  float amount_ = 0.5f;
+  AudioBuffer out_{2, audio::kBlockSize};
+
+  // One engine per algorithm; only the active one is touched.
+  dsp::Echo echo_;
+  dsp::Flanger flanger_;
+  dsp::Chorus chorus_;
+  dsp::Phaser phaser_;
+  dsp::Reverb reverb_;
+  dsp::Compressor comp_;
+  dsp::Gate gate_;
+  dsp::Bitcrusher crusher_;
+  dsp::Waveshaper shaper_;
+  dsp::SoftClip clip_;
+  std::array<fft::SpectralFilter, 2> spectral_{fft::SpectralFilter{256},
+                                               fft::SpectralFilter{256}};
+};
+
+/// Channel strip ("ChannelX: Filter, EQ"): DJ filter, 3-band EQ, fader.
+class ChannelNode {
+ public:
+  explicit ChannelNode(const AudioBuffer* input);
+
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+
+  void set_filter_morph(float morph) noexcept { filter_.set_morph(morph); }
+  void set_eq(float low_db, float mid_db, float high_db) noexcept {
+    eq_.set_gains(low_db, mid_db, high_db);
+  }
+  void set_fader(float level) noexcept { fader_.set_gain(level); }
+
+ private:
+  const AudioBuffer* input_;
+  dsp::DjFilter filter_;
+  dsp::ThreeBandEq eq_;
+  dsp::Gain fader_;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// The audio sampler deck in the master section (one-shot jingles):
+/// a source node that renders its own loop.
+class SamplerNode {
+ public:
+  SamplerNode();
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  void set_level(float level) noexcept { level_ = level; }
+  void trigger() noexcept { pos_ = 0; active_ = true; }
+
+ private:
+  std::vector<float> loop_;  // mono one-shot, rendered once
+  std::size_t pos_ = 0;
+  bool active_ = true;
+  float level_ = 0.5f;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Mixer: crossfader + channel sum + sampler bus (Fig. 3 center).
+class MixerNode {
+ public:
+  MixerNode(std::array<const AudioBuffer*, 4> channels,
+            const AudioBuffer* sampler);
+
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+
+  /// Crossfader position 0 (decks A+C) .. 1 (decks B+D).
+  void set_crossfader(float pos) noexcept { xfade_ = pos; }
+  void set_channel_level(unsigned ch, float level) noexcept {
+    levels_[ch] = level;
+  }
+
+ private:
+  std::array<const AudioBuffer*, 4> channels_;
+  const AudioBuffer* sampler_;
+  std::array<float, 4> levels_{1.0f, 1.0f, 1.0f, 1.0f};
+  float xfade_ = 0.5f;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Master buffer: master EQ + gain ("MasterBuffer Mono" in Fig. 3 — the
+/// mono tag refers to the mono-sum metering tap it feeds).
+class MasterBusNode {
+ public:
+  explicit MasterBusNode(const AudioBuffer* input);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  void set_gain_db(float db) noexcept { gain_.set_gain_db(db); }
+
+ private:
+  const AudioBuffer* input_;
+  dsp::BiquadStereo low_shelf_, high_shelf_;
+  dsp::Gain gain_;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Cue buffer: pre-fader sum of the cue-enabled channels.
+class CueNode {
+ public:
+  explicit CueNode(std::array<const AudioBuffer*, 4> pre_fader);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  void set_cue(unsigned ch, bool on) noexcept { cue_[ch] = on; }
+
+ private:
+  std::array<const AudioBuffer*, 4> inputs_;
+  std::array<bool, 4> cue_{true, false, false, false};
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Monitor buffer: mono fold-down of the cue bus for the booth monitor.
+class MonitorNode {
+ public:
+  explicit MonitorNode(const AudioBuffer* cue);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+
+ private:
+  const AudioBuffer* cue_;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Record buffer: compressor + limiter + clip, feeding the recorder.
+class RecordNode {
+ public:
+  explicit RecordNode(const AudioBuffer* master);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+
+ private:
+  const AudioBuffer* master_;
+  dsp::Compressor comp_;
+  dsp::Limiter limiter_;
+  dsp::HardClip clip_{1.0f};
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Audio out: final limiter + clip; its buffer is what goes to the
+/// sound card.
+class AudioOutNode {
+ public:
+  explicit AudioOutNode(const AudioBuffer* master);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+
+ private:
+  const AudioBuffer* master_;
+  dsp::Limiter limiter_;
+  dsp::HardClip clip_{0.999f};
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Headphone out: blends cue and master for the DJ's headphones.
+class HeadphoneNode {
+ public:
+  HeadphoneNode(const AudioBuffer* cue, const AudioBuffer* master);
+  void process() noexcept;
+  const AudioBuffer& output() const noexcept { return out_; }
+  void set_blend(float cue_to_master) noexcept { blend_ = cue_to_master; }
+
+ private:
+  const AudioBuffer* cue_;
+  const AudioBuffer* master_;
+  float blend_ = 0.3f;
+  AudioBuffer out_{2, audio::kBlockSize};
+};
+
+/// Meter node: peak/RMS of its input; GUI-facing, does not alter audio.
+class MeterNode {
+ public:
+  explicit MeterNode(const AudioBuffer* input) : input_(input) {}
+  void process() noexcept { meter_.process(*input_); }
+  float peak() const noexcept { return meter_.peak(); }
+  float rms() const noexcept { return meter_.rms(); }
+
+ private:
+  const AudioBuffer* input_;
+  dsp::LevelMeter meter_;
+};
+
+/// Spectrum analyzer tap (drives the waveform/spectrum GUI widget).
+class AnalyzerNode {
+ public:
+  explicit AnalyzerNode(const AudioBuffer* input);
+  void process() noexcept;
+  /// Magnitudes of the most recent 64-bin analysis.
+  std::span<const float> magnitudes() const noexcept { return mags_; }
+
+ private:
+  const AudioBuffer* input_;
+  fft::RealFft fft_{128};
+  std::vector<std::complex<float>> spectrum_;
+  std::vector<float> mono_;
+  std::vector<float> mags_;
+};
+
+/// Dependency-free utility node ("nodes with no dependencies that do not
+/// modify the audio packets", paper §IV): smooths one control parameter.
+class UtilityNode {
+ public:
+  explicit UtilityNode(std::uint32_t id) noexcept : id_(id) {}
+  void process() noexcept;
+  float value() const noexcept { return value_; }
+
+ private:
+  std::uint32_t id_;
+  float value_ = 0.0f;
+  float phase_ = 0.0f;
+};
+
+}  // namespace djstar::engine

@@ -1,0 +1,51 @@
+// djstar/engine/recorder.hpp
+// Session recorder: captures the RECORD node's output (the limited,
+// clipped record bus of paper Fig. 3) cycle by cycle and exports WAV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+
+namespace djstar::engine {
+
+/// Accumulates stereo blocks; capture() is allocation-amortized (vector
+/// growth) — recording is an offline-ish feature in DJ Star too, fed
+/// from its own buffer to keep the audio path clean.
+class Recorder {
+ public:
+  /// Reserve space for `expected_seconds` up front to avoid mid-session
+  /// reallocation.
+  explicit Recorder(double expected_seconds = 60.0,
+                    double sample_rate = audio::kSampleRate);
+
+  void start() noexcept { recording_ = true; }
+  void stop() noexcept { recording_ = false; }
+  bool recording() const noexcept { return recording_; }
+
+  /// Append one block when recording; no-op otherwise.
+  void capture(const audio::AudioBuffer& block);
+
+  std::size_t frames() const noexcept { return frames_; }
+  double seconds() const noexcept {
+    return static_cast<double>(frames_) / sample_rate_;
+  }
+
+  /// Copy out the recorded audio.
+  audio::AudioBuffer to_buffer() const;
+
+  /// Write the recording as WAV. Returns false on I/O failure or when
+  /// nothing has been recorded.
+  bool save_wav(const std::string& path) const;
+
+  void clear() noexcept;
+
+ private:
+  double sample_rate_;
+  bool recording_ = false;
+  std::size_t frames_ = 0;
+  std::vector<float> left_, right_;
+};
+
+}  // namespace djstar::engine

@@ -1,0 +1,97 @@
+// djstar/fft/fft.hpp
+// Iterative radix-2 FFT with precomputed twiddles, a real-signal wrapper,
+// window functions, and FFT-based spectral processing.
+//
+// The paper notes that the audio effects "heavily rely on core algorithms
+// such as Fourier transformation" (§III-B); this module is that substrate.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace djstar::fft {
+
+/// Radix-2 decimation-in-time FFT plan for a fixed power-of-two size.
+/// Twiddles and the bit-reversal permutation are precomputed so that
+/// forward()/inverse() are allocation-free.
+class Fft {
+ public:
+  /// `size` must be a power of two >= 2.
+  explicit Fft(std::size_t size);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform. data.size() == size().
+  void forward(std::span<std::complex<float>> data) const noexcept;
+
+  /// In-place inverse transform (includes the 1/N normalization).
+  void inverse(std::span<std::complex<float>> data) const noexcept;
+
+ private:
+  void transform(std::span<std::complex<float>> data,
+                 bool inverse) const noexcept;
+  std::size_t n_;
+  std::vector<std::size_t> rev_;
+  std::vector<std::complex<float>> twiddle_;      // forward
+  std::vector<std::complex<float>> twiddle_inv_;  // inverse
+};
+
+/// Real-input convenience wrapper: forward packs N real samples into N/2+1
+/// bins; inverse returns to N real samples. Internally uses a complex FFT
+/// of length N (simple, robust; fine at our sizes).
+class RealFft {
+ public:
+  explicit RealFft(std::size_t size);
+
+  std::size_t size() const noexcept { return fft_.size(); }
+  std::size_t bins() const noexcept { return fft_.size() / 2 + 1; }
+
+  /// `input.size() == size()`, `spectrum.size() == bins()`.
+  void forward(std::span<const float> input,
+               std::span<std::complex<float>> spectrum) noexcept;
+  void inverse(std::span<const std::complex<float>> spectrum,
+               std::span<float> output) noexcept;
+
+ private:
+  Fft fft_;
+  std::vector<std::complex<float>> work_;
+};
+
+/// Window functions (periodic variants, suitable for overlap-add).
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+/// Fill `out` with the chosen window.
+void make_window(WindowType type, std::span<float> out) noexcept;
+
+/// FFT-domain brickwall filter with overlap-add reconstruction — a
+/// representative "expensive spectral effect" for the deck FX chains.
+class SpectralFilter {
+ public:
+  /// `fft_size` power of two; hop = fft_size/2 (50% overlap, Hann).
+  explicit SpectralFilter(std::size_t fft_size = 256);
+
+  /// Passband in Hz; bins outside [lo, hi] are zeroed.
+  void set_band(double lo_hz, double hi_hz, double sample_rate) noexcept;
+
+  void reset() noexcept;
+
+  /// Stream one mono block through the filter (in place). Latency is one
+  /// hop. Allocation-free after construction.
+  void process(std::span<float> io) noexcept;
+
+ private:
+  void process_frame() noexcept;
+
+  RealFft fft_;
+  std::size_t hop_;
+  std::vector<float> window_;
+  std::vector<float> in_fifo_, out_fifo_;
+  std::size_t fifo_fill_ = 0;
+  std::vector<std::complex<float>> spectrum_;
+  std::vector<float> frame_;
+  std::size_t lo_bin_ = 0, hi_bin_ = 0;
+};
+
+}  // namespace djstar::fft

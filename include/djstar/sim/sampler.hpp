@@ -1,0 +1,61 @@
+// djstar/sim/sampler.hpp
+// Per-iteration node-duration sampling.
+//
+// The paper stresses that "the execution time of a task graph iteration
+// heavily depends on the audio data" and its Fig. 9 histograms show two
+// peaks per strategy. We model that as a two-regime mixture: each cycle
+// is globally "light" or "heavy" (e.g. transient-rich audio engaging the
+// compressors and stretch search), plus per-node lognormal-ish jitter
+// and a rare heavy-tail spike (the source of the ~5/10k deadline misses).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "djstar/support/rng.hpp"
+
+namespace djstar::sim {
+
+/// Duration-distribution parameters.
+struct SamplerConfig {
+  /// Probability that a cycle lands in the heavy regime.
+  double heavy_probability = 0.35;
+  /// Heavy-to-light regime ratio.
+  double heavy_factor = 1.45;
+  /// Per-node multiplicative jitter: duration *= exp(sigma*N(0,1) -
+  /// sigma^2/2) (mean-preserving lognormal).
+  double jitter_sigma = 0.10;
+  /// Probability that a single node spikes (page fault, SMI, preemption).
+  double spike_probability = 3e-5;
+  /// Spike multiplier.
+  double spike_factor = 40.0;
+  /// When true (default), the light/heavy regime factors are rescaled so
+  /// the expected duration equals the supplied mean — the means are what
+  /// the paper measured, so the mixture must reproduce them.
+  bool preserve_mean = true;
+  std::uint64_t seed = 42;
+};
+
+/// Draws per-cycle duration vectors around given mean durations.
+class DurationSampler {
+ public:
+  DurationSampler(std::span<const double> mean_us, SamplerConfig cfg = {});
+
+  /// Sample one cycle's durations into `out` (resized to node count).
+  /// The same sampler instance yields a deterministic sequence.
+  void sample(std::vector<double>& out);
+
+  /// True when the last sampled cycle was in the heavy regime.
+  bool last_was_heavy() const noexcept { return last_heavy_; }
+
+  std::span<const double> means() const noexcept { return mean_us_; }
+
+ private:
+  std::vector<double> mean_us_;
+  SamplerConfig cfg_;
+  support::Xoshiro256 rng_;
+  bool last_heavy_ = false;
+};
+
+}  // namespace djstar::sim

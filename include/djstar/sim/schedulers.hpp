@@ -1,0 +1,74 @@
+// djstar/sim/schedulers.hpp
+// RESCON-substitute schedule analyses (paper §IV):
+//  * earliest-start scheduling with unlimited processors — reveals the
+//    critical path and the maximum concurrency (Fig. 4's "33 processors");
+//  * resource-constrained list scheduling on P processors — the
+//    "optimal schedule" baseline (324 us on four cores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "djstar/sim/sim_graph.hpp"
+#include "djstar/support/trace.hpp"
+
+namespace djstar::sim {
+
+/// One scheduled node.
+struct ScheduleEntry {
+  NodeId node = 0;
+  std::uint32_t proc = 0;
+  double start_us = 0;
+  double finish_us = 0;
+};
+
+/// A waiting interval on one processor (busy-wait or sleep), kept so the
+/// Gantt renderings can show the paper's gray/white boxes (Fig. 11).
+struct WaitEntry {
+  std::uint32_t proc = 0;
+  double begin_us = 0;
+  double end_us = 0;
+  bool sleeping = false;  ///< false = busy-wait/steal, true = parked
+};
+
+/// A complete simulated schedule.
+struct ScheduleResult {
+  std::vector<ScheduleEntry> entries;
+  std::vector<WaitEntry> waits;
+  double makespan_us = 0;
+  std::uint32_t processors_used = 0;
+
+  /// Concurrency profile: active processor count sampled at every
+  /// start/finish event (piecewise constant between times[i] and
+  /// times[i+1]).
+  std::vector<double> profile_times_us;
+  std::vector<int> profile_active;
+
+  /// Maximum simultaneous activity (the paper's "33 processors").
+  int peak_concurrency() const noexcept;
+
+  /// Convert to trace spans for Gantt rendering (proc -> thread lane).
+  std::vector<support::TraceSpan> to_spans() const;
+};
+
+/// Earliest-start schedule, unlimited processors: every node starts the
+/// moment its last predecessor finishes.
+ScheduleResult earliest_start_schedule(const SimGraph& g);
+
+/// Priority rule for the resource-constrained list scheduler.
+enum class PriorityRule {
+  kQueueOrder,    ///< position in g.order (the paper's queue)
+  kCriticalPath,  ///< longest duration-weighted path to an exit (HLF)
+};
+
+/// List scheduling on `processors` machines. This is the classic Graham
+/// list schedule: <= 2x optimal, and for this graph within ~10% of the
+/// infinite-processor bound, matching the paper's 324 vs 295 us.
+ScheduleResult list_schedule(const SimGraph& g, std::uint32_t processors,
+                             PriorityRule rule = PriorityRule::kQueueOrder);
+
+/// Longest duration-weighted path from each node to any exit (the HLF
+/// priority; includes the node's own duration).
+std::vector<double> upward_rank(const SimGraph& g);
+
+}  // namespace djstar::sim

@@ -1,0 +1,38 @@
+// djstar/stretch/phase_vocoder.hpp
+// STFT phase-vocoder time stretching — the spectral alternative to WSOLA
+// (DJ software typically offers both: WSOLA for percussive material,
+// phase vocoder for tonal material). Classic formulation: analysis hops
+// at rate*synthesis_hop, per-bin phase propagation by the estimated
+// instantaneous frequency, overlap-add resynthesis.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "djstar/fft/fft.hpp"
+
+namespace djstar::stretch {
+
+/// Phase-vocoder configuration.
+struct PhaseVocoderConfig {
+  std::size_t fft_size = 1024;     ///< power of two
+  std::size_t synthesis_hop = 256; ///< output hop (fft_size/4 -> 75% overlap)
+};
+
+/// Offline mono phase-vocoder stretcher. rate > 1 plays faster.
+class PhaseVocoder {
+ public:
+  explicit PhaseVocoder(const PhaseVocoderConfig& cfg = {});
+
+  /// Stretch a whole signal by `rate`. Output length ~= input/rate.
+  std::vector<float> stretch(std::span<const float> in, double rate);
+
+ private:
+  PhaseVocoderConfig cfg_;
+  fft::RealFft fft_;
+  std::vector<float> window_;
+};
+
+}  // namespace djstar::stretch

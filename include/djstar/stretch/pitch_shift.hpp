@@ -1,0 +1,53 @@
+// djstar/stretch/pitch_shift.hpp
+// Pitch shifting without tempo change: WSOLA time-stretch by 1/ratio
+// followed by resampling by ratio — the classic OLA+resample pitch
+// shifter (the dual of the deck's keylock, which stretches tempo while
+// keeping pitch). Used by DJ key-matching features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "djstar/stretch/resampler.hpp"
+#include "djstar/stretch/wsola.hpp"
+
+namespace djstar::stretch {
+
+/// Streaming mono pitch shifter.
+class PitchShifter {
+ public:
+  explicit PitchShifter(const WsolaConfig& cfg = {});
+
+  /// Pitch ratio: 2.0 = up one octave, 0.5 = down one octave.
+  void set_ratio(double ratio) noexcept;
+  double ratio() const noexcept { return ratio_; }
+
+  /// Semitone convenience (+12 = up one octave).
+  void set_semitones(double semitones) noexcept;
+
+  void reset() noexcept;
+
+  /// Feed input samples.
+  void push(std::span<const float> in);
+
+  /// Pull shifted samples (same time base as the input; ~1:1 rate).
+  std::size_t pull(std::span<float> out);
+  std::size_t available() const noexcept { return out_.size() - read_; }
+
+  /// One-shot helper.
+  static std::vector<float> shift(std::span<const float> in, double ratio,
+                                  const WsolaConfig& cfg = {});
+
+ private:
+  void produce();
+
+  Wsola wsola_;
+  Resampler resampler_;
+  double ratio_ = 1.0;
+  std::vector<float> stretch_buf_;
+  std::vector<float> out_;
+  std::size_t read_ = 0;
+};
+
+}  // namespace djstar::stretch

@@ -1,0 +1,48 @@
+// djstar/stretch/resampler.hpp
+// Sample-rate conversion: linear, Catmull-Rom cubic, and windowed-sinc.
+// The deck preprocessing stage resamples track audio to the engine rate
+// and applies pitch (varispeed) before time-stretching.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace djstar::stretch {
+
+/// Interpolation quality of a Resampler.
+enum class ResampleQuality {
+  kLinear,   ///< 2-point linear
+  kCubic,    ///< 4-point Catmull-Rom
+  kSinc8,    ///< 8-tap Hann-windowed sinc
+};
+
+/// Streaming mono resampler. Feed input blocks, pull output at a rate
+/// ratio (output_rate = input_rate / ratio; ratio > 1 = speed up).
+class Resampler {
+ public:
+  explicit Resampler(ResampleQuality q = ResampleQuality::kCubic);
+
+  void set_quality(ResampleQuality q) noexcept { quality_ = q; }
+  ResampleQuality quality() const noexcept { return quality_; }
+
+  void reset() noexcept;
+
+  /// One-shot: resample `in` by `ratio` (input samples consumed per output
+  /// sample) and append to `out`. Keeps history across calls for streaming.
+  void process(std::span<const float> in, double ratio,
+               std::vector<float>& out);
+
+  /// Stateless one-shot conversion of a whole signal.
+  static std::vector<float> convert(std::span<const float> in, double ratio,
+                                    ResampleQuality q = ResampleQuality::kCubic);
+
+ private:
+  float interpolate(double idx) const noexcept;
+
+  ResampleQuality quality_;
+  std::vector<float> history_;  // past context + current block
+  double pos_ = 0.0;            // fractional read position into history_
+};
+
+}  // namespace djstar::stretch

@@ -1,0 +1,36 @@
+// djstar/support/assert.hpp
+// Lightweight assertion macros used across the library.
+//
+// DJSTAR_ASSERT is active in all build types: the invariants it guards
+// (graph well-formedness, executor protocol state) are cheap to check and
+// a violation means undefined behaviour on the audio path, so we prefer a
+// loud abort over silent corruption even in Release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace djstar::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "djstar assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace djstar::support
+
+#define DJSTAR_ASSERT(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::djstar::support::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                     \
+  } while (false)
+
+#define DJSTAR_ASSERT_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::djstar::support::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,55 @@
+// djstar/support/csv.hpp
+// Minimal CSV/TSV writer for benchmark result export. Values are written
+// unquoted unless they contain the separator, a quote, or a newline.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace djstar::support {
+
+/// Streams rows into an in-memory buffer; save() writes the whole file at
+/// once so a crashed run never leaves a half-written CSV behind.
+class CsvWriter {
+ public:
+  explicit CsvWriter(char sep = ',') : sep_(sep) {}
+
+  /// Append one row of cells.
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  /// Fluent variadic row: csv.cells("a", 1, 2.5);
+  template <typename... Ts>
+  CsvWriter& cells(Ts&&... vs) {
+    std::vector<std::string> r;
+    r.reserve(sizeof...(vs));
+    (r.push_back(to_cell(std::forward<Ts>(vs))), ...);
+    return row(r);
+  }
+
+  /// The accumulated file contents.
+  std::string str() const { return out_.str(); }
+
+  /// Write to `path`. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(T&& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(std::forward<T>(v));
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  std::string escape(std::string_view cell) const;
+
+  char sep_;
+  std::ostringstream out_;
+};
+
+}  // namespace djstar::support

@@ -1,0 +1,114 @@
+// djstar/support/fixed_vector.hpp
+// Fixed-capacity inline vector: no heap, no exceptions, O(1) push/pop —
+// the container for bounded collections on the real-time path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::support {
+
+/// A vector with inline storage for up to N elements. push_back beyond
+/// capacity asserts (real-time code sizes its buffers up front; silently
+/// dropping would hide bugs).
+template <typename T, std::size_t N>
+class FixedVector {
+ public:
+  FixedVector() = default;
+
+  FixedVector(std::initializer_list<T> init) {
+    DJSTAR_ASSERT(init.size() <= N);
+    for (const T& v : init) push_back(v);
+  }
+
+  FixedVector(const FixedVector& o) {
+    for (const T& v : o) push_back(v);
+  }
+  FixedVector& operator=(const FixedVector& o) {
+    if (this != &o) {
+      clear();
+      for (const T& v : o) push_back(v);
+    }
+    return *this;
+  }
+  FixedVector(FixedVector&& o) noexcept {
+    for (T& v : o) push_back(std::move(v));
+    o.clear();
+  }
+  FixedVector& operator=(FixedVector&& o) noexcept {
+    if (this != &o) {
+      clear();
+      for (T& v : o) push_back(std::move(v));
+      o.clear();
+    }
+    return *this;
+  }
+  ~FixedVector() { clear(); }
+
+  static constexpr std::size_t capacity() noexcept { return N; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == N; }
+
+  void push_back(const T& v) {
+    DJSTAR_ASSERT_MSG(size_ < N, "FixedVector overflow");
+    new (slot(size_)) T(v);
+    ++size_;
+  }
+  void push_back(T&& v) {
+    DJSTAR_ASSERT_MSG(size_ < N, "FixedVector overflow");
+    new (slot(size_)) T(std::move(v));
+    ++size_;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    DJSTAR_ASSERT_MSG(size_ < N, "FixedVector overflow");
+    T* p = new (slot(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    DJSTAR_ASSERT(size_ > 0);
+    --size_;
+    std::launder(slot(size_))->~T();
+  }
+
+  void clear() noexcept {
+    while (size_ > 0) pop_back();
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    DJSTAR_ASSERT(i < size_);
+    return *std::launder(slot(i));
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    DJSTAR_ASSERT(i < size_);
+    return *std::launder(slot(i));
+  }
+  T& back() noexcept { return (*this)[size_ - 1]; }
+  const T& back() const noexcept { return (*this)[size_ - 1]; }
+  T& front() noexcept { return (*this)[0]; }
+  const T& front() const noexcept { return (*this)[0]; }
+
+  T* begin() noexcept { return std::launder(slot(0)); }
+  T* end() noexcept { return std::launder(slot(0)) + size_; }
+  const T* begin() const noexcept { return std::launder(slot(0)); }
+  const T* end() const noexcept { return std::launder(slot(0)) + size_; }
+
+ private:
+  T* slot(std::size_t i) noexcept {
+    return reinterpret_cast<T*>(storage_) + i;
+  }
+  const T* slot(std::size_t i) const noexcept {
+    return reinterpret_cast<const T*>(storage_) + i;
+  }
+  alignas(T) unsigned char storage_[sizeof(T) * N];
+  std::size_t size_ = 0;
+};
+
+}  // namespace djstar::support

@@ -1,0 +1,54 @@
+// djstar/support/histogram.hpp
+// Fixed-bin histogram for execution-time distributions (paper Figs. 9/10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace djstar::support {
+
+/// Uniform-bin histogram over [lo, hi). Values outside the range are
+/// counted in underflow/overflow. add() is allocation-free.
+class Histogram {
+ public:
+  /// Creates `bins` uniform bins covering [lo, hi). Requires hi > lo,
+  /// bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+  void reset() noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_width() const noexcept { return width_; }
+
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const noexcept;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const noexcept;
+  std::size_t count(std::size_t i) const noexcept { return counts_[i]; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t max_count() const noexcept;
+
+  /// Cumulative count of all bins up to and including i (plus underflow),
+  /// i.e. the data behind a cumulative histogram (paper Fig. 10).
+  std::size_t cumulative(std::size_t i) const noexcept;
+
+  /// Fraction of all added samples (including under/overflow) that are < x.
+  double cdf(double x) const noexcept;
+
+  std::span<const std::size_t> counts() const noexcept { return counts_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace djstar::support

@@ -1,0 +1,104 @@
+// djstar/support/rng.hpp
+// Deterministic, allocation-free pseudo-random number generators.
+//
+// The audio path and the scheduling simulator both need fast, reproducible
+// randomness (synthetic program material, per-iteration node durations,
+// steal-victim selection).  std::mt19937 is reproducible but heavy; these
+// are the standard splitmix64 / xoshiro256** generators.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace djstar::support {
+
+/// SplitMix64: tiny 64-bit generator; also used to seed Xoshiro256.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose 64-bit generator (Blackman/Vigna).
+/// Satisfies UniformRandomBitGenerator so it works with <random>
+/// distributions, but the helpers below avoid <random> entirely.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform float in [-1, 1); handy for dither / noise sources.
+  constexpr float bipolar() noexcept {
+    return static_cast<float>(uniform() * 2.0 - 1.0);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Plain modulo: bias is negligible for the small n used here
+    // (victim selection, pattern steps), and it avoids __int128.
+    return next() % n;
+  }
+
+  /// Standard normal via Box-Muller (polar discards are acceptable:
+  /// this is never on the real-time path).
+  double normal() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace djstar::support

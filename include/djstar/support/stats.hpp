@@ -1,0 +1,74 @@
+// djstar/support/stats.hpp
+// Streaming and batch summary statistics used by the benchmark harnesses
+// and the engine's cycle monitor.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace djstar::support {
+
+/// Welford-style online accumulator: mean/variance/min/max in O(1) space.
+/// add() is allocation-free and safe on the real-time path.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+  }
+
+  void reset() noexcept { *this = OnlineStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator (Chan et al. parallel variance).
+  void merge(const OnlineStats& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    mean_ += delta * nb / nt;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample set (linear interpolation, copies + sorts).
+/// q in [0,1]. Returns 0 for an empty span.
+double quantile(std::span<const double> xs, double q);
+
+/// Batch summary of a sample vector; computed once, cheap to pass around.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+
+  static Summary of(std::span<const double> xs);
+};
+
+}  // namespace djstar::support

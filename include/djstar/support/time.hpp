@@ -1,0 +1,44 @@
+// djstar/support/time.hpp
+// Monotonic clock helpers. All engine/executor timing uses microseconds
+// as double, matching the paper's reporting units.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace djstar::support {
+
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic timestamp.
+inline Clock::time_point now() noexcept { return Clock::now(); }
+
+/// Elapsed microseconds between two timestamps.
+inline double elapsed_us(Clock::time_point t0, Clock::time_point t1) noexcept {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Microseconds since `t0`.
+inline double since_us(Clock::time_point t0) noexcept {
+  return elapsed_us(t0, now());
+}
+
+/// RAII stopwatch accumulating into a double (microseconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink_us) noexcept
+      : sink_(sink_us), t0_(now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += since_us(t0_); }
+
+ private:
+  double& sink_;
+  Clock::time_point t0_;
+};
+
+/// Spin for approximately `us` microseconds of wall time. Used by tests
+/// and by the synthetic-load node to emulate compute of a known size.
+void spin_for_us(double us) noexcept;
+
+}  // namespace djstar::support

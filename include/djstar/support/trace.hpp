@@ -1,0 +1,74 @@
+// djstar/support/trace.hpp
+// Per-thread span recording for schedule visualization (paper Fig. 11).
+//
+// Executors record one TraceSpan per node execution (plus optional wait
+// spans). The recorder preallocates; record() after arming never allocates,
+// so tracing can stay enabled during timed runs with bounded overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace djstar::support {
+
+/// What a worker thread was doing during a span of time.
+enum class SpanKind : std::uint8_t {
+  kRun,       ///< executing a graph node
+  kBusyWait,  ///< spinning on an unmet dependency (paper: gray boxes)
+  kSleep,     ///< parked on a condition variable (paper: white areas)
+  kSteal,     ///< probing other threads' deques
+  kOverhead,  ///< queue management / dependency checking
+};
+
+const char* to_string(SpanKind k) noexcept;
+
+/// One contiguous activity interval on one worker thread.
+/// Times are in microseconds relative to the start of the traced cycle.
+struct TraceSpan {
+  double begin_us = 0;
+  double end_us = 0;
+  std::uint32_t thread = 0;
+  std::int32_t node = -1;  ///< node id for kRun/kBusyWait, -1 otherwise
+  SpanKind kind = SpanKind::kRun;
+
+  double duration_us() const noexcept { return end_us - begin_us; }
+};
+
+/// Fixed-capacity span sink shared by all workers of one executor run.
+/// Thread safety: each worker writes only to its own lane; lanes are
+/// merged on collect().
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Prepare `threads` lanes with `capacity_per_thread` preallocated spans
+  /// each, and mark the recorder armed. Not real-time safe.
+  void arm(std::uint32_t threads, std::size_t capacity_per_thread = 4096);
+
+  /// Disarm and drop all recorded spans.
+  void disarm() noexcept;
+
+  bool armed() const noexcept { return armed_; }
+
+  /// Append a span to lane `thread`. No-op when disarmed or lane is full.
+  /// Allocation-free. Must only be called from the owning thread.
+  void record(std::uint32_t thread, const TraceSpan& span) noexcept;
+
+  /// Merge all lanes, sorted by (thread, begin). Clears nothing.
+  std::vector<TraceSpan> collect() const;
+
+  std::uint32_t thread_count() const noexcept {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+ private:
+  struct Lane {
+    std::vector<TraceSpan> spans;  // size() == used entries
+    std::size_t capacity = 0;
+  };
+  std::vector<Lane> lanes_;
+  bool armed_ = false;
+};
+
+}  // namespace djstar::support

@@ -1,0 +1,156 @@
+#include "djstar/analysis/beat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::analysis {
+
+std::vector<float> onset_envelope(std::span<const float> mono,
+                                  const BeatConfig& cfg) {
+  std::vector<float> env;
+  if (mono.size() < cfg.frame) return env;
+  const std::size_t frames = (mono.size() - cfg.frame) / cfg.hop + 1;
+  env.reserve(frames);
+
+  // Two coarse bands (low / high) via a one-pole split keep kick and
+  // hat onsets distinct without a full FFT per frame.
+  float prev_low = 0.0f, prev_high = 0.0f;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const float* p = mono.data() + f * cfg.hop;
+    float lp = 0.0f;
+    double low_e = 0.0, high_e = 0.0;
+    for (std::size_t i = 0; i < cfg.frame; ++i) {
+      lp += 0.05f * (p[i] - lp);  // crude lowpass ~350 Hz at 44.1k
+      const float high = p[i] - lp;
+      low_e += static_cast<double>(lp) * lp;
+      high_e += static_cast<double>(high) * high;
+    }
+    const auto low = static_cast<float>(
+        std::sqrt(low_e / static_cast<double>(cfg.frame)));
+    const auto high = static_cast<float>(
+        std::sqrt(high_e / static_cast<double>(cfg.frame)));
+    // Half-wave rectified flux, low band weighted up (kick drives the
+    // beat in dance music).
+    const float flux = 2.0f * std::max(0.0f, low - prev_low) +
+                       std::max(0.0f, high - prev_high);
+    env.push_back(flux);
+    prev_low = low;
+    prev_high = high;
+  }
+  return env;
+}
+
+TempoEstimate estimate_tempo(std::span<const float> envelope,
+                             const BeatConfig& cfg) {
+  TempoEstimate out;
+  if (envelope.size() < 16) return out;
+
+  // Remove the DC component so autocorrelation peaks mean periodicity.
+  double mean = 0;
+  for (float v : envelope) mean += v;
+  mean /= static_cast<double>(envelope.size());
+  std::vector<double> x(envelope.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = envelope[i] - mean;
+
+  const double frames_per_second = cfg.sample_rate / static_cast<double>(cfg.hop);
+  const auto min_lag = static_cast<std::size_t>(
+      frames_per_second * 60.0 / cfg.max_bpm);
+  const auto max_lag = std::min(
+      x.size() / 2,
+      static_cast<std::size_t>(frames_per_second * 60.0 / cfg.min_bpm));
+  if (min_lag + 2 >= max_lag) return out;
+
+  double best = 0.0, sum_corr = 0.0;
+  std::size_t best_lag = 0, count = 0;
+  for (std::size_t lag = min_lag; lag <= max_lag; ++lag) {
+    double corr = 0.0;
+    for (std::size_t i = 0; i + lag < x.size(); ++i) corr += x[i] * x[i + lag];
+    corr /= static_cast<double>(x.size() - lag);
+    sum_corr += std::max(corr, 0.0);
+    ++count;
+    if (corr > best) {
+      best = corr;
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0 || best <= 0.0) return out;
+
+  // Parabolic refinement around the peak for sub-lag precision.
+  double refined = static_cast<double>(best_lag);
+  if (best_lag > min_lag && best_lag < max_lag) {
+    auto corr_at = [&](std::size_t lag) {
+      double c = 0.0;
+      for (std::size_t i = 0; i + lag < x.size(); ++i) c += x[i] * x[i + lag];
+      return c / static_cast<double>(x.size() - lag);
+    };
+    const double c0 = corr_at(best_lag - 1);
+    const double c1 = best;
+    const double c2 = corr_at(best_lag + 1);
+    const double denom = c0 - 2 * c1 + c2;
+    if (std::abs(denom) > 1e-12) {
+      refined += 0.5 * (c0 - c2) / denom;
+    }
+  }
+
+  out.bpm = 60.0 * frames_per_second / refined;
+  const double avg = count ? sum_corr / static_cast<double>(count) : 0.0;
+  out.confidence = avg > 0 ? best / avg : 0.0;
+  return out;
+}
+
+BeatgridResult analyze_beats(std::span<const float> mono,
+                             const BeatConfig& cfg) {
+  BeatgridResult r;
+  const auto env = onset_envelope(mono, cfg);
+  const auto tempo = estimate_tempo(env, cfg);
+  r.bpm = tempo.bpm;
+  r.confidence = tempo.confidence;
+  if (r.bpm <= 0.0) return r;
+
+  const double frames_per_second =
+      cfg.sample_rate / static_cast<double>(cfg.hop);
+  const double period_frames = 60.0 * frames_per_second / r.bpm;
+
+  // Beat phase: the comb offset with the highest envelope sum.
+  double best_sum = -1.0;
+  std::size_t best_phase = 0;
+  const auto period = static_cast<std::size_t>(std::max(1.0, period_frames));
+  for (std::size_t phase = 0; phase < period; ++phase) {
+    double sum = 0.0;
+    for (std::size_t i = phase; i < env.size();
+         i += static_cast<std::size_t>(period_frames)) {
+      sum += env[i];
+    }
+    if (sum > best_sum) {
+      best_sum = sum;
+      best_phase = phase;
+    }
+  }
+  r.first_beat_seconds = static_cast<double>(best_phase) / frames_per_second;
+
+  const double span_seconds =
+      static_cast<double>(mono.size()) / cfg.sample_rate;
+  const double beat_period = 60.0 / r.bpm;
+  for (double t = r.first_beat_seconds; t < span_seconds; t += beat_period) {
+    r.beat_times_seconds.push_back(t);
+  }
+  return r;
+}
+
+BeatgridResult analyze_beats(const audio::AudioBuffer& stereo,
+                             const BeatConfig& cfg) {
+  std::vector<float> mono(stereo.frames());
+  if (stereo.channels() >= 2) {
+    auto l = stereo.channel(0);
+    auto r = stereo.channel(1);
+    for (std::size_t i = 0; i < mono.size(); ++i) {
+      mono[i] = 0.5f * (l[i] + r[i]);
+    }
+  } else if (stereo.channels() == 1) {
+    auto l = stereo.channel(0);
+    for (std::size_t i = 0; i < mono.size(); ++i) mono[i] = l[i];
+  }
+  return analyze_beats(mono, cfg);
+}
+
+}  // namespace djstar::analysis

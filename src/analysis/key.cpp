@@ -1,0 +1,125 @@
+#include "djstar/analysis/key.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "djstar/fft/fft.hpp"
+
+namespace djstar::analysis {
+namespace {
+
+// Krumhansl-Schmuckler tonal hierarchy profiles.
+constexpr double kMajorProfile[12] = {6.35, 2.23, 3.48, 2.33, 4.38, 4.09,
+                                      2.52, 5.19, 2.39, 3.66, 2.29, 2.88};
+constexpr double kMinorProfile[12] = {6.33, 2.68, 3.52, 5.38, 2.60, 3.53,
+                                      2.54, 4.75, 3.98, 2.69, 3.34, 3.17};
+
+constexpr const char* kNoteNames[12] = {"C",  "C#", "D",  "D#", "E",  "F",
+                                        "F#", "G",  "G#", "A",  "A#", "B"};
+
+double correlate(const Chromagram& x, const double* profile, int rotation) {
+  // Pearson correlation of x against the rotated profile.
+  double mx = 0, mp = 0;
+  for (int i = 0; i < 12; ++i) {
+    mx += x[i];
+    mp += profile[i];
+  }
+  mx /= 12.0;
+  mp /= 12.0;
+  double num = 0, dx = 0, dp = 0;
+  for (int i = 0; i < 12; ++i) {
+    const double a = x[(i + rotation) % 12] - mx;
+    const double b = profile[i] - mp;
+    num += a * b;
+    dx += a * a;
+    dp += b * b;
+  }
+  const double den = std::sqrt(dx * dp);
+  return den > 1e-12 ? num / den : 0.0;
+}
+
+}  // namespace
+
+std::string KeyEstimate::name() const {
+  return std::string(kNoteNames[((tonic % 12) + 12) % 12]) +
+         (minor ? " minor" : " major");
+}
+
+Chromagram compute_chromagram(std::span<const float> mono,
+                              double sample_rate) {
+  Chromagram chroma{};
+  constexpr std::size_t kFftSize = 4096;
+  if (mono.size() < kFftSize) return chroma;
+
+  fft::RealFft rfft(kFftSize);
+  std::vector<float> window(kFftSize);
+  fft::make_window(fft::WindowType::kHann, window);
+  std::vector<float> frame(kFftSize);
+  std::vector<std::complex<float>> spectrum(rfft.bins());
+
+  const std::size_t hop = kFftSize;  // non-overlapping frames suffice
+  for (std::size_t pos = 0; pos + kFftSize <= mono.size(); pos += hop) {
+    for (std::size_t i = 0; i < kFftSize; ++i) {
+      frame[i] = mono[pos + i] * window[i];
+    }
+    rfft.forward(frame, spectrum);
+    // Fold bins between ~55 Hz and ~2 kHz onto pitch classes.
+    for (std::size_t k = 1; k < rfft.bins(); ++k) {
+      const double freq =
+          sample_rate * static_cast<double>(k) / static_cast<double>(kFftSize);
+      if (freq < 55.0 || freq > 2000.0) continue;
+      const double midi = 69.0 + 12.0 * std::log2(freq / 440.0);
+      const int pc = ((static_cast<int>(std::lround(midi)) % 12) + 12) % 12;
+      chroma[pc] += std::norm(spectrum[k]);
+    }
+  }
+
+  // Normalize to unit sum so confidence values are comparable.
+  double sum = 0;
+  for (double v : chroma) sum += v;
+  if (sum > 0) {
+    for (double& v : chroma) v /= sum;
+  }
+  return chroma;
+}
+
+KeyEstimate estimate_key(const Chromagram& chroma) {
+  KeyEstimate best{};
+  double best_score = -2.0, second = -2.0;
+  for (int tonic = 0; tonic < 12; ++tonic) {
+    for (int minor = 0; minor < 2; ++minor) {
+      const double score =
+          correlate(chroma, minor ? kMinorProfile : kMajorProfile, tonic);
+      if (score > best_score) {
+        second = best_score;
+        best_score = score;
+        best.tonic = tonic;
+        best.minor = minor != 0;
+      } else if (score > second) {
+        second = score;
+      }
+    }
+  }
+  best.confidence = best_score - second;
+  return best;
+}
+
+KeyEstimate estimate_key(std::span<const float> mono, double sample_rate) {
+  return estimate_key(compute_chromagram(mono, sample_rate));
+}
+
+std::string camelot_code(const KeyEstimate& key) {
+  // Camelot wheel: minor keys are "A", major keys are "B".
+  // 8A = A minor / 8B = C major; moving +7 semitones = +1 hour.
+  static constexpr int kMinorHour[12] = {
+      // tonic: C  C#  D  D#  E  F  F#  G  G#  A  A#  B
+      5, 12, 7, 2, 9, 4, 11, 6, 1, 8, 3, 10};
+  static constexpr int kMajorHour[12] = {
+      8, 3, 10, 5, 12, 7, 2, 9, 4, 11, 6, 1};
+  const int hour = key.minor ? kMinorHour[key.tonic] : kMajorHour[key.tonic];
+  return std::to_string(hour) + (key.minor ? "A" : "B");
+}
+
+}  // namespace djstar::analysis

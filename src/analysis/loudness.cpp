@@ -1,0 +1,78 @@
+#include "djstar/analysis/loudness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace djstar::analysis {
+namespace {
+
+double to_db(double linear) {
+  return linear > 1e-12 ? 20.0 * std::log10(linear) : -120.0;
+}
+
+LoudnessResult from_block_rms(std::vector<double>& rms, double peak,
+                              const LoudnessConfig& cfg) {
+  LoudnessResult out;
+  out.peak_db = to_db(peak);
+  const double gate_lin = std::pow(10.0, cfg.gate_db / 20.0);
+  std::vector<double> gated;
+  gated.reserve(rms.size());
+  for (double r : rms) {
+    if (r >= gate_lin) gated.push_back(r);
+  }
+  out.gated_blocks = gated.size();
+  if (gated.empty()) return out;
+  std::sort(gated.begin(), gated.end());
+  const auto idx = static_cast<std::size_t>(
+      cfg.percentile * static_cast<double>(gated.size() - 1));
+  out.loudness_db = to_db(gated[idx]);
+  out.suggested_gain_db = cfg.target_db - out.loudness_db;
+  return out;
+}
+
+}  // namespace
+
+LoudnessResult measure_loudness(std::span<const float> mono,
+                                const LoudnessConfig& cfg) {
+  const auto block =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cfg.block_seconds * cfg.sample_rate));
+  std::vector<double> rms;
+  double peak = 0;
+  for (std::size_t pos = 0; pos + block <= mono.size(); pos += block) {
+    double sum2 = 0;
+    for (std::size_t i = 0; i < block; ++i) {
+      const double s = mono[pos + i];
+      sum2 += s * s;
+      peak = std::max(peak, std::abs(s));
+    }
+    rms.push_back(std::sqrt(sum2 / static_cast<double>(block)));
+  }
+  return from_block_rms(rms, peak, cfg);
+}
+
+LoudnessResult measure_loudness(const audio::AudioBuffer& stereo,
+                                const LoudnessConfig& cfg) {
+  const auto block =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cfg.block_seconds * cfg.sample_rate));
+  const std::size_t nch = stereo.channels();
+  std::vector<double> rms;
+  double peak = 0;
+  for (std::size_t pos = 0; pos + block <= stereo.frames(); pos += block) {
+    double sum2 = 0;
+    for (std::size_t c = 0; c < nch; ++c) {
+      auto ch = stereo.channel(c);
+      for (std::size_t i = 0; i < block; ++i) {
+        const double s = ch[pos + i];
+        sum2 += s * s;
+        peak = std::max(peak, std::abs(s));
+      }
+    }
+    rms.push_back(std::sqrt(sum2 / static_cast<double>(block * nch)));
+  }
+  return from_block_rms(rms, peak, cfg);
+}
+
+}  // namespace djstar::analysis

@@ -1,0 +1,88 @@
+#include "djstar/analysis/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::analysis {
+
+WaveformOverview build_overview(std::span<const float> mono,
+                                std::size_t samples_per_tile) {
+  WaveformOverview ov;
+  ov.samples_per_tile = std::max<std::size_t>(samples_per_tile, 1);
+  if (mono.empty()) return ov;
+
+  const std::size_t tiles =
+      (mono.size() + ov.samples_per_tile - 1) / ov.samples_per_tile;
+  ov.tiles.reserve(tiles);
+
+  float lp = 0.0f;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t begin = t * ov.samples_per_tile;
+    const std::size_t end = std::min(begin + ov.samples_per_tile, mono.size());
+    WaveformTile tile;
+    tile.min = tile.max = mono[begin];
+    double sum2 = 0, low2 = 0, high2 = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const float s = mono[i];
+      tile.min = std::min(tile.min, s);
+      tile.max = std::max(tile.max, s);
+      sum2 += static_cast<double>(s) * s;
+      lp += 0.05f * (s - lp);  // ~350 Hz one-pole split
+      const float high = s - lp;
+      low2 += static_cast<double>(lp) * lp;
+      high2 += static_cast<double>(high) * high;
+    }
+    const auto n = static_cast<double>(end - begin);
+    tile.rms = static_cast<float>(std::sqrt(sum2 / n));
+    tile.low_energy = static_cast<float>(low2 / n);
+    tile.high_energy = static_cast<float>(high2 / n);
+    ov.tiles.push_back(tile);
+  }
+  return ov;
+}
+
+WaveformOverview build_overview(const audio::AudioBuffer& stereo,
+                                std::size_t samples_per_tile) {
+  std::vector<float> mono(stereo.frames(), 0.0f);
+  if (stereo.channels() >= 2) {
+    auto l = stereo.channel(0);
+    auto r = stereo.channel(1);
+    for (std::size_t i = 0; i < mono.size(); ++i) {
+      mono[i] = 0.5f * (l[i] + r[i]);
+    }
+  } else if (stereo.channels() == 1) {
+    auto l = stereo.channel(0);
+    std::copy(l.begin(), l.end(), mono.begin());
+  }
+  return build_overview(mono, samples_per_tile);
+}
+
+WaveformOverview zoom_out(const WaveformOverview& src, std::size_t factor) {
+  WaveformOverview out;
+  factor = std::max<std::size_t>(factor, 1);
+  out.samples_per_tile = src.samples_per_tile * factor;
+  const std::size_t tiles = (src.tiles.size() + factor - 1) / factor;
+  out.tiles.reserve(tiles);
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t begin = t * factor;
+    const std::size_t end = std::min(begin + factor, src.tiles.size());
+    WaveformTile merged = src.tiles[begin];
+    double sum2 = static_cast<double>(merged.rms) * merged.rms;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const auto& tile = src.tiles[i];
+      merged.min = std::min(merged.min, tile.min);
+      merged.max = std::max(merged.max, tile.max);
+      sum2 += static_cast<double>(tile.rms) * tile.rms;
+      merged.low_energy += tile.low_energy;
+      merged.high_energy += tile.high_energy;
+    }
+    const auto n = static_cast<double>(end - begin);
+    merged.rms = static_cast<float>(std::sqrt(sum2 / n));
+    merged.low_energy /= static_cast<float>(n);
+    merged.high_energy /= static_cast<float>(n);
+    out.tiles.push_back(merged);
+  }
+  return out;
+}
+
+}  // namespace djstar::analysis

@@ -1,0 +1,23 @@
+#include "djstar/audio/buffer.hpp"
+
+#include <cmath>
+
+namespace djstar::audio {
+
+float AudioBuffer::rms() const noexcept {
+  if (data_.empty()) return 0.0f;
+  double acc = 0.0;
+  for (float s : data_) acc += static_cast<double>(s) * s;
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(data_.size())));
+}
+
+float db_to_gain(float db) noexcept {
+  return std::pow(10.0f, db / 20.0f);
+}
+
+float gain_to_db(float gain) noexcept {
+  if (gain <= 0.0f) return -120.0f;
+  return 20.0f * std::log10(gain);
+}
+
+}  // namespace djstar::audio

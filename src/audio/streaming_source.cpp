@@ -1,0 +1,81 @@
+#include "djstar/audio/streaming_source.hpp"
+
+#include <chrono>
+
+namespace djstar::audio {
+
+StreamingTrackSource::StreamingTrackSource(Track track,
+                                           std::size_t buffer_frames)
+    : track_(std::move(track)), ring_(buffer_frames * 2),
+      loader_([this] { loader_main(); }) {}
+
+StreamingTrackSource::~StreamingTrackSource() {
+  stop_.store(true, std::memory_order_release);
+  loader_.join();
+}
+
+void StreamingTrackSource::loader_main() {
+  AudioBuffer chunk(2, 512);
+  std::vector<float> interleaved(512 * 2);
+  std::size_t pending = 0;  // frames of `chunk` not yet pushed
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const unsigned stall = stall_blocks_.load(std::memory_order_acquire);
+    if (stall > 0) {
+      stall_blocks_.store(stall - 1, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+
+    if (pending == 0) {
+      track_.read_looped(chunk);
+      auto l = chunk.channel(0);
+      auto r = chunk.channel(1);
+      for (std::size_t i = 0; i < chunk.frames(); ++i) {
+        interleaved[2 * i] = l[i];
+        interleaved[2 * i + 1] = r[i];
+      }
+      pending = chunk.frames();
+    }
+
+    // Push whatever fits; keep the rest for the next spin.
+    const std::size_t offset = (chunk.frames() - pending) * 2;
+    const std::size_t pushed = ring_.push(
+        {interleaved.data() + offset, pending * 2});
+    pending -= pushed / 2;
+
+    if (pending > 0) {
+      // Ring is full: the consumer is behind us; nap briefly.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+std::size_t StreamingTrackSource::read_block(AudioBuffer& out) noexcept {
+  const std::size_t want = out.frames();
+  if (out.channels() < 2) {
+    out.clear();
+    return 0;
+  }
+  // Pop interleaved frames into a stack scratch (block-sized).
+  float scratch[kBlockSize * 2];
+  const std::size_t frames = want <= kBlockSize ? want : kBlockSize;
+  const std::size_t got = ring_.pop({scratch, frames * 2}) / 2;
+
+  auto l = out.channel(0);
+  auto r = out.channel(1);
+  for (std::size_t i = 0; i < got; ++i) {
+    l[i] = scratch[2 * i];
+    r[i] = scratch[2 * i + 1];
+  }
+  for (std::size_t i = got; i < want; ++i) {
+    l[i] = 0.0f;
+    r[i] = 0.0f;
+  }
+  if (got < want) {
+    underruns_.fetch_add(want - got, std::memory_order_relaxed);
+  }
+  return got;
+}
+
+}  // namespace djstar::audio

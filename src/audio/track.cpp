@@ -1,0 +1,163 @@
+#include "djstar/audio/track.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "djstar/support/rng.hpp"
+
+namespace djstar::audio {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double midi_to_hz(int note) {
+  return 440.0 * std::pow(2.0, (note - 69) / 12.0);
+}
+
+/// Exponentially decaying sine burst — the kick drum body.
+float kick_sample(double t, double decay, double f0, double f1) {
+  // Pitch sweeps down over the first 40 ms (classic 909-style kick).
+  const double sweep = f1 + (f0 - f1) * std::exp(-t * 35.0);
+  const double phase = kTwoPi * (f1 * t + (f0 - f1) / 35.0 * (1.0 - std::exp(-t * 35.0)));
+  (void)sweep;
+  return static_cast<float>(std::sin(phase) * std::exp(-t * decay));
+}
+
+}  // namespace
+
+Track Track::generate(const TrackSpec& spec) {
+  Track tr;
+  tr.sample_rate_ = spec.sample_rate;
+  tr.bpm_ = spec.bpm;
+  const auto frames =
+      static_cast<std::size_t>(spec.seconds * spec.sample_rate);
+  tr.audio_.resize(2, frames);
+
+  support::Xoshiro256 rng(spec.seed);
+  const double sr = spec.sample_rate;
+  const double beat_len = 60.0 / spec.bpm;          // seconds per beat
+  const double step_len = beat_len / 4.0;           // 16th notes
+
+  // Pre-roll a bass-line pattern of 16 steps (pentatonic offsets).
+  static constexpr int kScale[5] = {0, 3, 5, 7, 10};
+  int bass_pattern[16];
+  for (auto& p : bass_pattern) {
+    p = spec.root_note + kScale[rng.below(5)] - 12 * static_cast<int>(rng.below(2));
+  }
+  // Chord pad: root triad, slow attack.
+  const double pad_f0 = midi_to_hz(spec.root_note + 12);
+  const double pad_f1 = midi_to_hz(spec.root_note + 15);
+  const double pad_f2 = midi_to_hz(spec.root_note + 19);
+
+  auto l = tr.audio_.channel(0);
+  auto r = tr.audio_.channel(1);
+  double hat_env = 0.0;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t = static_cast<double>(i) / sr;
+    const double beat_pos = std::fmod(t, beat_len);
+    const double step_idx_f = t / step_len;
+    const auto step = static_cast<std::size_t>(step_idx_f);
+    const double step_pos = std::fmod(t, step_len);
+
+    float s = 0.0f;
+
+    // Kick on every beat.
+    s += spec.kick_level * kick_sample(beat_pos, 9.0, 160.0, 50.0);
+
+    // Hi-hat: noise bursts on the off-beat 8ths.
+    if ((step % 2) == 1 && step_pos < 0.002) hat_env = 1.0;
+    hat_env *= 0.9993;  // ~decay over ~30ms at 44.1k
+    s += spec.hat_level * static_cast<float>(hat_env) * rng.bipolar() * 0.7f;
+
+    // Bass: square-ish oscillator gated to the first 70% of each step.
+    const double bass_hz = midi_to_hz(bass_pattern[step % 16]);
+    const double bass_phase = std::fmod(t * bass_hz, 1.0);
+    const double bass_gate = step_pos < step_len * 0.7 ? 1.0 : 0.0;
+    const double bass_raw =
+        (bass_phase < 0.5 ? 1.0 : -1.0) * 0.6 + std::sin(kTwoPi * bass_phase) * 0.4;
+    s += spec.bass_level * static_cast<float>(bass_raw * bass_gate *
+                                              std::exp(-step_pos * 6.0));
+
+    // Pad: detuned triad with slow tremolo.
+    const double trem = 0.75 + 0.25 * std::sin(kTwoPi * 0.3 * t);
+    const double pad = (std::sin(kTwoPi * pad_f0 * t) +
+                        std::sin(kTwoPi * pad_f1 * t * 1.001) +
+                        std::sin(kTwoPi * pad_f2 * t * 0.999)) / 3.0;
+    s += spec.pad_level * static_cast<float>(pad * trem);
+
+    // Gentle stereo: pad/hats pushed slightly to opposite sides.
+    const float side = spec.pad_level * static_cast<float>(pad * trem) * 0.3f -
+                       spec.hat_level * static_cast<float>(hat_env) *
+                           rng.bipolar() * 0.2f;
+    l[i] = 0.7f * (s + side);
+    r[i] = 0.7f * (s - side);
+  }
+  return tr;
+}
+
+Track Track::from_buffer(const AudioBuffer& audio, double sample_rate,
+                         double bpm) {
+  Track tr;
+  tr.sample_rate_ = sample_rate;
+  tr.bpm_ = bpm;
+  tr.audio_.resize(2, audio.frames());
+  if (audio.channels() == 0) return tr;
+  auto l = tr.audio_.channel(0);
+  auto r = tr.audio_.channel(1);
+  auto src_l = audio.channel(0);
+  auto src_r = audio.channel(audio.channels() >= 2 ? 1 : 0);
+  for (std::size_t i = 0; i < audio.frames(); ++i) {
+    l[i] = src_l[i];
+    r[i] = src_r[i];
+  }
+  return tr;
+}
+
+void Track::read_looped(AudioBuffer& out) noexcept {
+  const std::size_t n = out.frames();
+  const std::size_t len = length_frames();
+  if (len == 0 || out.channels() < 2) {
+    out.clear();
+    return;
+  }
+  auto ol = out.channel(0);
+  auto orr = out.channel(1);
+  auto il = audio_.channel(0);
+  auto ir = audio_.channel(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    ol[i] = il[pos_];
+    orr[i] = ir[pos_];
+    pos_ = pos_ + 1 == len ? 0 : pos_ + 1;
+  }
+}
+
+void Track::read_varispeed(AudioBuffer& out, double rate) noexcept {
+  const std::size_t n = out.frames();
+  const std::size_t len = length_frames();
+  if (len == 0 || out.channels() < 2 || rate == 0.0) {
+    out.clear();
+    return;
+  }
+  auto ol = out.channel(0);
+  auto orr = out.channel(1);
+  auto il = audio_.channel(0);
+  auto ir = audio_.channel(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t i0 = pos_;
+    const std::size_t i1 = (pos_ + 1) % len;
+    const auto f = static_cast<float>(frac_);
+    ol[i] = il[i0] + f * (il[i1] - il[i0]);
+    orr[i] = ir[i0] + f * (ir[i1] - ir[i0]);
+    frac_ += rate;
+    while (frac_ >= 1.0) {
+      frac_ -= 1.0;
+      pos_ = pos_ + 1 == len ? 0 : pos_ + 1;
+    }
+    while (frac_ < 0.0) {
+      frac_ += 1.0;
+      pos_ = pos_ == 0 ? len - 1 : pos_ - 1;  // backwards, looping
+    }
+  }
+}
+
+}  // namespace djstar::audio

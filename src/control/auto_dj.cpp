@@ -1,0 +1,113 @@
+#include "djstar/control/auto_dj.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::control {
+namespace {
+
+bool camelot_compatible(const analysis::KeyEstimate& a,
+                        const analysis::KeyEstimate& b) {
+  const auto ca = analysis::camelot_code(a);
+  const auto cb = analysis::camelot_code(b);
+  const int ha = std::stoi(ca.substr(0, ca.size() - 1));
+  const int hb = std::stoi(cb.substr(0, cb.size() - 1));
+  if (ca.back() == cb.back()) {
+    const int d = std::abs(ha - hb);
+    return d == 0 || d == 1 || d == 11;
+  }
+  return ha == hb;
+}
+
+}  // namespace
+
+double AutoDj::score(const engine::LibraryEntry& current,
+                     const engine::LibraryEntry& candidate) const {
+  const double bpm_a = current.analysis.beatgrid.bpm;
+  const double bpm_b = candidate.analysis.beatgrid.bpm;
+  if (bpm_a <= 0 || bpm_b <= 0) return -1e9;
+
+  const double stretch = std::abs(bpm_a / bpm_b - 1.0);
+  if (stretch > cfg_.max_tempo_stretch) return -1e9;
+
+  double s = -cfg_.tempo_weight * stretch * 100.0;
+  if (camelot_compatible(current.analysis.key, candidate.analysis.key)) {
+    s += cfg_.key_bonus;
+  }
+  s -= cfg_.loudness_weight *
+       std::abs(current.analysis.loudness.loudness_db -
+                candidate.analysis.loudness.loudness_db);
+  return s;
+}
+
+const engine::LibraryEntry* AutoDj::pick_next(
+    std::uint32_t current_id) const {
+  const auto* current = library_.find(current_id);
+  if (current == nullptr) return nullptr;
+  const engine::LibraryEntry* best = nullptr;
+  double best_score = -1e8;  // below this = unplayable
+  for (const auto& e : library_.entries()) {
+    if (e.id == current_id) continue;
+    const double s = score(*current, e);
+    if (s > best_score) {
+      best_score = s;
+      best = &e;
+    }
+  }
+  return best;
+}
+
+std::optional<TransitionPlan> AutoDj::plan_transition(
+    std::uint32_t current_id, unsigned from_deck, unsigned to_deck,
+    std::size_t start_cycle, std::size_t duration_cycles) const {
+  const auto* current = library_.find(current_id);
+  const auto* next = pick_next(current_id);
+  if (current == nullptr || next == nullptr || duration_cycles == 0) {
+    return std::nullopt;
+  }
+
+  TransitionPlan plan;
+  plan.from_id = current_id;
+  plan.to_id = next->id;
+  plan.start_cycle = start_cycle;
+  plan.duration_cycles = duration_cycles;
+  plan.pitch_ratio =
+      current->analysis.beatgrid.bpm / next->analysis.beatgrid.bpm;
+
+  auto& s = plan.script;
+  const auto fdeck = static_cast<std::uint8_t>(from_deck);
+  const auto tdeck = static_cast<std::uint8_t>(to_deck);
+
+  // Prepare the incoming deck: beat-matched pitch, fader up, bass cut
+  // (two basslines at once is the classic trainwreck).
+  s.at(start_cycle, {EventType::kDeckPitch, tdeck, 0,
+                     static_cast<float>(plan.pitch_ratio)});
+  s.at(start_cycle, {EventType::kChannelFader, tdeck, 0, 1.0f});
+  s.at(start_cycle, {EventType::kEqLow, tdeck, 0, -90.0f});
+  s.at(start_cycle, {EventType::kCueToggle, tdeck, 0, 1.0f});
+
+  // Crossfader sweep in 8 steps across the duration. Deck pairing
+  // follows the mixer law: decks A/C on side a, B/D on side b.
+  const bool incoming_on_b = (to_deck % 2) == 1;
+  for (int step = 0; step <= 8; ++step) {
+    const float t = static_cast<float>(step) / 8.0f;
+    const float pos = incoming_on_b ? t : 1.0f - t;
+    s.at(start_cycle + step * duration_cycles / 8,
+         {EventType::kCrossfader, 0, 0, pos});
+  }
+
+  // Bass swap at the halfway point.
+  const std::size_t mid = start_cycle + duration_cycles / 2;
+  s.at(mid, {EventType::kEqLow, fdeck, 0, -90.0f});
+  s.at(mid, {EventType::kEqLow, tdeck, 0, 0.0f});
+
+  // Outgoing deck out at the end.
+  const std::size_t end = start_cycle + duration_cycles;
+  s.at(end, {EventType::kChannelFader, fdeck, 0, 0.0f});
+  s.at(end, {EventType::kCueToggle, fdeck, 0, 0.0f});
+  s.at(end, {EventType::kEqLow, fdeck, 0, 0.0f});
+
+  return plan;
+}
+
+}  // namespace djstar::control

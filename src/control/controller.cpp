@@ -1,0 +1,162 @@
+#include "djstar/control/controller.hpp"
+
+namespace djstar::control {
+namespace {
+
+float unit(std::uint8_t v) { return static_cast<float>(v) / 127.0f; }
+float bipolar(std::uint8_t v) { return unit(v) * 2.0f - 1.0f; }
+/// Mixer EQ range: -inf (kill) at 0, 0 dB at center, +6 dB at full.
+float eq_db(std::uint8_t v) {
+  if (v == 0) return -90.0f;
+  return (unit(v) - 0.5f) * 2.0f * 6.0f;
+}
+
+}  // namespace
+
+void SurfaceMapper::handle(const ControlMessage& msg) {
+  const std::uint8_t deck = msg.channel;
+  Event e;
+  e.deck = deck;
+  switch (msg.control) {
+    case cc::kFader:
+      e.type = EventType::kChannelFader;
+      e.value = unit(msg.value);
+      break;
+    case cc::kFilter:
+      e.type = EventType::kFilterMorph;
+      e.value = bipolar(msg.value);
+      break;
+    case cc::kEqLow:
+      e.type = EventType::kEqLow;
+      e.value = eq_db(msg.value);
+      break;
+    case cc::kEqMid:
+      e.type = EventType::kEqMid;
+      e.value = eq_db(msg.value);
+      break;
+    case cc::kEqHigh:
+      e.type = EventType::kEqHigh;
+      e.value = eq_db(msg.value);
+      break;
+    case cc::kPitch:
+      e.type = EventType::kDeckPitch;
+      // +/- 8% pitch fader, like a turntable.
+      e.value = 1.0f + bipolar(msg.value) * 0.08f;
+      break;
+    case cc::kCrossfader:
+      e.type = EventType::kCrossfader;
+      e.value = unit(msg.value);
+      break;
+    case cc::kCue:
+      e.type = EventType::kCueToggle;
+      e.value = msg.value >= 64 ? 1.0f : 0.0f;
+      break;
+    case cc::kSampler:
+      e.type = EventType::kSamplerTrigger;
+      break;
+    default:
+      if (msg.control >= cc::kFxBase && msg.control < cc::kFxBase + 4) {
+        e.type = EventType::kFxEnable;
+        e.index = static_cast<std::uint8_t>(msg.control - cc::kFxBase);
+        e.value = msg.value >= 64 ? 1.0f : 0.0f;
+        break;
+      }
+      if (msg.control >= cc::kFxAmountBase &&
+          msg.control < cc::kFxAmountBase + 4) {
+        e.type = EventType::kFxAmount;
+        e.index = static_cast<std::uint8_t>(msg.control - cc::kFxAmountBase);
+        e.value = unit(msg.value);
+        break;
+      }
+      ++unmapped_;
+      return;
+  }
+  bus_.post(e);
+}
+
+EngineBinding::EngineBinding(EventBus& bus, engine::AudioEngine& engine)
+    : bus_(bus), engine_(engine) {
+  auto bind = [&](EventType t) {
+    subscriptions_.push_back(
+        bus_.subscribe(t, [this](const Event& e) { apply(e); }));
+  };
+  bind(EventType::kCrossfader);
+  bind(EventType::kChannelFader);
+  bind(EventType::kFilterMorph);
+  bind(EventType::kEqLow);
+  bind(EventType::kEqMid);
+  bind(EventType::kEqHigh);
+  bind(EventType::kFxEnable);
+  bind(EventType::kFxAmount);
+  bind(EventType::kDeckPitch);
+  bind(EventType::kCueToggle);
+  bind(EventType::kSamplerTrigger);
+}
+
+EngineBinding::~EngineBinding() {
+  for (std::size_t id : subscriptions_) bus_.unsubscribe(id);
+}
+
+void EngineBinding::apply(const Event& e) {
+  auto& gn = engine_.graph_nodes();
+  const unsigned deck = e.deck < 4 ? e.deck : 0;
+  switch (e.type) {
+    case EventType::kCrossfader:
+      gn.mixer().set_crossfader(e.value);
+      break;
+    case EventType::kChannelFader:
+      gn.channel(deck).set_fader(e.value);
+      break;
+    case EventType::kFilterMorph:
+      gn.channel(deck).set_filter_morph(e.value);
+      break;
+    case EventType::kEqLow:
+    case EventType::kEqMid:
+    case EventType::kEqHigh: {
+      // The EQ setter takes all three bands; cache per deck.
+      auto& bands = eq_cache_[deck];
+      if (e.type == EventType::kEqLow) bands[0] = e.value;
+      if (e.type == EventType::kEqMid) bands[1] = e.value;
+      if (e.type == EventType::kEqHigh) bands[2] = e.value;
+      gn.channel(deck).set_eq(bands[0], bands[1], bands[2]);
+      break;
+    }
+    case EventType::kFxEnable:
+      gn.effect(deck, e.index % 4).set_enabled(e.value != 0.0f);
+      break;
+    case EventType::kFxAmount:
+      gn.effect(deck, e.index % 4).set_amount(e.value);
+      break;
+    case EventType::kDeckPitch:
+      engine_.deck(deck).set_pitch(e.value);
+      break;
+    case EventType::kCueToggle:
+      gn.cue_control().set_cue(deck, e.value != 0.0f);
+      break;
+    case EventType::kSamplerTrigger:
+      gn.sampler().trigger();
+      break;
+    default:
+      return;  // status events are not engine-bound
+  }
+  ++applied_;
+}
+
+void StatusPublisher::publish() {
+  for (std::uint8_t d = 0; d < 4; ++d) {
+    bus_.post({EventType::kMeterUpdate, d, 0,
+               engine_.graph_nodes().deck_meter(d).peak()});
+  }
+  bus_.post({EventType::kMeterUpdate, 4, 0,
+             engine_.graph_nodes().master_meter().peak()});
+  bus_.post({EventType::kTempoUpdate, 0, 0,
+             static_cast<float>(engine_.master_tempo_bpm())});
+  const std::size_t misses = engine_.monitor().misses();
+  if (misses > last_misses_) {
+    bus_.post({EventType::kDeadlineMiss, 0, 0,
+               static_cast<float>(engine_.monitor().total().max())});
+    last_misses_ = misses;
+  }
+}
+
+}  // namespace djstar::control

@@ -1,0 +1,46 @@
+#include "djstar/control/event_bus.hpp"
+
+namespace djstar::control {
+
+std::size_t EventBus::subscribe(EventType type, Handler handler) {
+  const std::size_t id = next_id_++;
+  subs_.push_back({id, type, std::move(handler)});
+  return id;
+}
+
+void EventBus::unsubscribe(std::size_t id) {
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if (it->id == id) {
+      subs_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventBus::post(const Event& e) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  queue_.push_back(e);
+}
+
+std::size_t EventBus::dispatch() {
+  // Snapshot the queue so handlers that post() don't extend this round
+  // (and so no handler ever runs under the lock — CP.22).
+  std::deque<Event> batch;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    batch.swap(queue_);
+  }
+  for (const Event& e : batch) {
+    for (const auto& sub : subs_) {
+      if (sub.type == e.type) sub.handler(e);
+    }
+  }
+  return batch.size();
+}
+
+std::size_t EventBus::pending() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return queue_.size();
+}
+
+}  // namespace djstar::control

@@ -1,0 +1,108 @@
+#include "djstar/control/session.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace djstar::control {
+
+std::string to_text(const Preset& preset) {
+  std::ostringstream os;
+  std::string name = preset.name.empty() ? "unnamed" : preset.name;
+  std::replace(name.begin(), name.end(), ' ', '_');
+  os << "preset " << name << '\n';
+  for (const Event& e : preset.events) {
+    os << "event " << static_cast<int>(e.type) << ' '
+       << static_cast<int>(e.deck) << ' ' << static_cast<int>(e.index) << ' '
+       << e.value << '\n';
+  }
+  return os.str();
+}
+
+std::optional<Preset> preset_from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string keyword;
+  Preset p;
+  bool have_header = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ls >> keyword;
+    if (keyword == "preset") {
+      if (!(ls >> p.name)) return std::nullopt;
+      have_header = true;
+    } else if (keyword == "event") {
+      int type = 0, deck = 0, index = 0;
+      float value = 0;
+      if (!(ls >> type >> deck >> index >> value)) return std::nullopt;
+      if (type < 0 || type > static_cast<int>(EventType::kDeadlineMiss)) {
+        return std::nullopt;
+      }
+      p.events.push_back({static_cast<EventType>(type),
+                          static_cast<std::uint8_t>(deck),
+                          static_cast<std::uint8_t>(index), value});
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_header) return std::nullopt;
+  return p;
+}
+
+bool save_preset(const Preset& preset, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_text(preset);
+  return static_cast<bool>(f);
+}
+
+std::optional<Preset> load_preset(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return preset_from_text(ss.str());
+}
+
+void SessionScript::at(std::size_t cycle, const Event& e) {
+  steps_.push_back({cycle, e});
+}
+
+void SessionScript::at(std::size_t cycle, const Preset& preset) {
+  for (const Event& e : preset.events) steps_.push_back({cycle, e});
+}
+
+std::size_t SessionScript::step(std::size_t cycle, EventBus& bus) const {
+  std::size_t fired = 0;
+  for (const Step& s : steps_) {
+    if (s.cycle == cycle) {
+      bus.post(s.event);
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+std::size_t SessionScript::length() const noexcept {
+  std::size_t last = 0;
+  for (const Step& s : steps_) last = std::max(last, s.cycle);
+  return last;
+}
+
+std::size_t run_session(engine::AudioEngine& engine, EventBus& bus,
+                        const SessionScript& script, std::size_t cycles,
+                        engine::Recorder* recorder) {
+  std::size_t fired = 0;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    fired += script.step(c, bus);
+    bus.dispatch();
+    engine.run_cycle();
+    if (recorder != nullptr) {
+      recorder->capture(engine.graph_nodes().record().output());
+    }
+  }
+  return fired;
+}
+
+}  // namespace djstar::control

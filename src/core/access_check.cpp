@@ -1,0 +1,96 @@
+#include "djstar/core/access_check.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::core {
+
+void AccessRegistry::declare(NodeId node, const AccessDecl& decl) {
+  decls_.push_back({node, decl});
+}
+
+void AccessRegistry::declare_read(NodeId node, const void* region) {
+  decls_.push_back({node, {{region}, {}}});
+}
+
+void AccessRegistry::declare_write(NodeId node, const void* region) {
+  decls_.push_back({node, {{}, {region}}});
+}
+
+Reachability::Reachability(const TaskGraph& g)
+    : n_(g.node_count()), words_((n_ + 63) / 64),
+      closure_(n_ * words_, 0) {
+  // Process in reverse topological order: closure(v) = bit(v) OR the
+  // closure of every successor.
+  const auto topo = g.topological_order();
+  DJSTAR_ASSERT_MSG(topo.size() == n_, "reachability needs an acyclic graph");
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId v = *it;
+    auto* row = closure_.data() + static_cast<std::size_t>(v) * words_;
+    row[v / 64] |= (std::uint64_t{1} << (v % 64));
+    for (NodeId s : g.successors(v)) {
+      const auto* srow = closure_.data() + static_cast<std::size_t>(s) * words_;
+      for (std::size_t w = 0; w < words_; ++w) row[w] |= srow[w];
+    }
+  }
+}
+
+bool Reachability::can_reach(NodeId from, NodeId to) const noexcept {
+  if (from >= n_ || to >= n_) return false;
+  const auto* row = closure_.data() + static_cast<std::size_t>(from) * words_;
+  return (row[to / 64] >> (to % 64)) & 1;
+}
+
+std::vector<Hazard> AccessRegistry::check(const TaskGraph& g) const {
+  // Collect per-region reader/writer lists.
+  struct RegionUse {
+    std::vector<NodeId> readers;
+    std::vector<NodeId> writers;
+  };
+  std::map<const void*, RegionUse> regions;
+  for (const auto& d : decls_) {
+    for (const void* r : d.decl.reads) regions[r].readers.push_back(d.node);
+    for (const void* w : d.decl.writes) regions[w].writers.push_back(d.node);
+  }
+
+  const Reachability reach(g);
+  std::vector<Hazard> hazards;
+  auto report = [&](NodeId a, NodeId b, const void* region,
+                    const char* kind) {
+    if (a == b) return;
+    if (reach.ordered(a, b)) return;
+    hazards.push_back({std::min(a, b), std::max(a, b), region, kind});
+  };
+
+  for (const auto& [region, use] : regions) {
+    // write-write conflicts
+    for (std::size_t i = 0; i < use.writers.size(); ++i) {
+      for (std::size_t j = i + 1; j < use.writers.size(); ++j) {
+        report(use.writers[i], use.writers[j], region, "write-write");
+      }
+    }
+    // read-write conflicts
+    for (NodeId w : use.writers) {
+      for (NodeId r : use.readers) {
+        report(w, r, region, "read-write");
+      }
+    }
+  }
+
+  // Deduplicate (a node may declare a region twice).
+  std::sort(hazards.begin(), hazards.end(), [](const Hazard& x, const Hazard& y) {
+    return std::tie(x.a, x.b, x.region, x.kind) <
+           std::tie(y.a, y.b, y.region, y.kind);
+  });
+  hazards.erase(std::unique(hazards.begin(), hazards.end(),
+                            [](const Hazard& x, const Hazard& y) {
+                              return x.a == y.a && x.b == y.b &&
+                                     x.region == y.region && x.kind == y.kind;
+                            }),
+                hazards.end());
+  return hazards;
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,68 @@
+#include "djstar/core/busy_wait.hpp"
+
+#include "djstar/core/detail/spin.hpp"
+
+namespace djstar::core {
+
+BusyWaitExecutor::BusyWaitExecutor(CompiledGraph& graph, ExecOptions opts)
+    : graph_(graph), opts_(opts) {
+  team_ = std::make_unique<Team>(
+      opts_.threads, StartMode::kSpin, opts_.spin,
+      [this](unsigned w) { worker_body(w); });
+}
+
+void BusyWaitExecutor::run_cycle() {
+  graph_.begin_cycle();
+  cycle_start_ = support::now();
+  team_->run_cycle();
+}
+
+void BusyWaitExecutor::worker_body(unsigned w) {
+  const auto order = graph_.order();
+  const unsigned T = opts_.threads;
+  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+
+  for (std::size_t k = w; k < order.size(); k += T) {
+    const NodeId n = order[k];
+    auto& pending = graph_.pending(n);
+
+    double wait_begin = 0.0;
+    if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
+
+    // Dependency check + busy wait (the gray boxes in paper Fig. 11).
+    if (pending.load(std::memory_order_acquire) != 0) {
+      detail::SpinWaiter waiter(opts_.spin);
+      while (pending.load(std::memory_order_acquire) != 0) {
+        waiter.step();
+      }
+      stats_.busy_wait_spins.fetch_add(waiter.spins(),
+                                       std::memory_order_relaxed);
+    }
+
+    double run_begin = 0.0;
+    if (tracing) {
+      run_begin = support::elapsed_us(cycle_start_, support::now());
+      if (run_begin - wait_begin > 0.5) {
+        opts_.trace->record(w, {wait_begin, run_begin, w,
+                                static_cast<std::int32_t>(n),
+                                support::SpanKind::kBusyWait});
+      }
+    }
+
+    graph_.work(n)();
+    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracing) {
+      opts_.trace->record(w, {run_begin,
+                              support::elapsed_us(cycle_start_, support::now()),
+                              w, static_cast<std::int32_t>(n),
+                              support::SpanKind::kRun});
+    }
+
+    for (NodeId s : graph_.successors(n)) {
+      graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+}  // namespace djstar::core

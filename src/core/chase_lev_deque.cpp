@@ -1,0 +1,91 @@
+#include "djstar/core/chase_lev_deque.hpp"
+
+namespace djstar::core {
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t cap = 64;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+ChaseLevDeque::ChaseLevDeque(std::size_t capacity_hint)
+    : array_(new Array(round_pow2(capacity_hint))) {}
+
+ChaseLevDeque::~ChaseLevDeque() { delete array_.load(std::memory_order_relaxed); }
+
+ChaseLevDeque::Array* ChaseLevDeque::grow(Array* a, std::int64_t bottom,
+                                          std::int64_t top) {
+  auto* bigger = new Array(a->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) bigger->put(i, a->get(i));
+  graveyard_.emplace_back(a);  // keep old array alive for racing thieves
+  array_.store(bigger, std::memory_order_release);
+  return bigger;
+}
+
+void ChaseLevDeque::push(Item x) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Array* a = array_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+    a = grow(a, b, t);
+  }
+  a->put(b, x);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+ChaseLevDeque::Item ChaseLevDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Array* a = array_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+
+  if (t > b) {
+    // Deque was empty: restore.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return kEmpty;
+  }
+
+  Item x = a->get(b);
+  if (t == b) {
+    // Last element: race against thieves via CAS on top.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      x = kEmpty;  // a thief got it
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return x;
+}
+
+ChaseLevDeque::Item ChaseLevDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return kEmpty;
+
+  Array* a = array_.load(std::memory_order_consume);
+  const Item x = a->get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return kAbort;  // lost to the owner or another thief
+  }
+  return x;
+}
+
+std::size_t ChaseLevDeque::size_approx() const noexcept {
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+void ChaseLevDeque::clear() noexcept {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  top_.store(b, std::memory_order_release);
+}
+
+}  // namespace djstar::core

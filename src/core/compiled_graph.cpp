@@ -1,0 +1,73 @@
+#include "djstar/core/compiled_graph.hpp"
+
+#include <algorithm>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::core {
+
+CompiledGraph::CompiledGraph(const TaskGraph& g, QueueOrder order_mode) {
+  const std::size_t n = g.node_count();
+  DJSTAR_ASSERT_MSG(n > 0, "cannot compile an empty graph");
+  DJSTAR_ASSERT_MSG(g.is_acyclic(), "task graph must be acyclic");
+
+  names_.reserve(n);
+  sections_.reserve(n);
+  works_.reserve(n);
+  indeg_.resize(n);
+  section_idx_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    DJSTAR_ASSERT_MSG(static_cast<bool>(g.work(i)),
+                      "every node needs a work function");
+    names_.emplace_back(g.name(i));
+    sections_.emplace_back(g.section(i));
+    works_.push_back(g.work(i));
+    indeg_[i] = static_cast<std::uint32_t>(g.in_degree(i));
+
+    const std::string sec(g.section(i));
+    auto it = std::find(section_labels_.begin(), section_labels_.end(), sec);
+    if (it == section_labels_.end()) {
+      section_idx_[i] = static_cast<std::uint32_t>(section_labels_.size());
+      section_labels_.push_back(sec);
+    } else {
+      section_idx_[i] =
+          static_cast<std::uint32_t>(it - section_labels_.begin());
+    }
+  }
+
+  // CSR successor lists.
+  succ_off_.resize(n + 1, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    succ_off_[i + 1] = succ_off_[i] + g.successors(i).size();
+  }
+  succ_list_.resize(succ_off_[n]);
+  for (NodeId i = 0; i < n; ++i) {
+    std::size_t off = succ_off_[i];
+    for (NodeId s : g.successors(i)) succ_list_[off++] = s;
+  }
+
+  depth_ = g.depths();
+  for (auto d : depth_) max_depth_ = std::max(max_depth_, d);
+  order_ = order_mode == QueueOrder::kLevelized ? g.levelized_order()
+                                                : g.topological_order();
+  source_count_ = 0;
+  while (source_count_ < order_.size() && depth_[order_[source_count_]] == 0) {
+    ++source_count_;
+  }
+
+  cycle_ = std::make_unique<CycleState[]>(n);
+  begin_cycle();
+}
+
+void CompiledGraph::begin_cycle() noexcept {
+  const std::size_t n = node_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    cycle_[i].pending.store(static_cast<std::int32_t>(indeg_[i]),
+                            std::memory_order_relaxed);
+    cycle_[i].waiter.store(-1, std::memory_order_relaxed);
+  }
+  // Publish the reset before any worker reads the counters.
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+}  // namespace djstar::core

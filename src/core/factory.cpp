@@ -1,0 +1,48 @@
+#include "djstar/core/factory.hpp"
+
+#include "djstar/core/busy_wait.hpp"
+#include "djstar/core/sequential.hpp"
+#include "djstar/core/shared_queue.hpp"
+#include "djstar/core/sleep.hpp"
+
+namespace djstar::core {
+
+std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kSequential: return "sequential";
+    case Strategy::kBusyWait: return "busy";
+    case Strategy::kSleep: return "sleep";
+    case Strategy::kWorkStealing: return "ws";
+    case Strategy::kSharedQueue: return "shared";
+  }
+  return "?";
+}
+
+std::optional<Strategy> parse_strategy(std::string_view name) noexcept {
+  if (name == "sequential" || name == "seq") return Strategy::kSequential;
+  if (name == "busy" || name == "busy-waiting") return Strategy::kBusyWait;
+  if (name == "sleep" || name == "thread-sleeping") return Strategy::kSleep;
+  if (name == "ws" || name == "work-stealing") return Strategy::kWorkStealing;
+  if (name == "shared" || name == "shared-queue") return Strategy::kSharedQueue;
+  return std::nullopt;
+}
+
+std::unique_ptr<Executor> make_executor(Strategy s, CompiledGraph& graph,
+                                        ExecOptions opts,
+                                        WorkStealingOptions ws) {
+  switch (s) {
+    case Strategy::kSequential:
+      return std::make_unique<SequentialExecutor>(graph, opts);
+    case Strategy::kBusyWait:
+      return std::make_unique<BusyWaitExecutor>(graph, opts);
+    case Strategy::kSleep:
+      return std::make_unique<SleepExecutor>(graph, opts);
+    case Strategy::kWorkStealing:
+      return std::make_unique<WorkStealingExecutor>(graph, opts, ws);
+    case Strategy::kSharedQueue:
+      return std::make_unique<SharedQueueExecutor>(graph, opts);
+  }
+  return nullptr;
+}
+
+}  // namespace djstar::core

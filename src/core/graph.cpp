@@ -1,0 +1,88 @@
+#include "djstar/core/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::core {
+
+NodeId TaskGraph::add_node(std::string name, WorkFn work,
+                           std::string section) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), std::move(section), std::move(work),
+                        {}, {}});
+  return id;
+}
+
+void TaskGraph::add_edge(NodeId from, NodeId to) {
+  DJSTAR_ASSERT_MSG(from < nodes_.size() && to < nodes_.size(),
+                    "add_edge: node id out of range");
+  DJSTAR_ASSERT_MSG(from != to, "add_edge: self edges are not allowed");
+  auto& succ = nodes_[from].successors;
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  nodes_[to].predecessors.push_back(from);
+  ++edge_count_;
+}
+
+std::vector<NodeId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indeg(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    indeg[i] = nodes_[i].predecessors.size();
+  }
+  std::deque<NodeId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeId s : nodes_[n].successors) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != nodes_.size()) return {};  // cyclic
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  return nodes_.empty() || !topological_order().empty();
+}
+
+std::vector<std::uint32_t> TaskGraph::depths() const {
+  const auto order = topological_order();
+  DJSTAR_ASSERT_MSG(order.size() == nodes_.size(),
+                    "depths() requires an acyclic graph");
+  std::vector<std::uint32_t> d(nodes_.size(), 0);
+  for (NodeId n : order) {
+    for (NodeId p : nodes_[n].predecessors) {
+      d[n] = std::max(d[n], d[p] + 1);
+    }
+  }
+  return d;
+}
+
+std::vector<NodeId> TaskGraph::levelized_order() const {
+  const auto d = depths();
+  std::vector<NodeId> order(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    order[i] = static_cast<NodeId>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return d[a] < d[b]; });
+  return order;
+}
+
+std::vector<NodeId> TaskGraph::source_nodes() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].predecessors.empty()) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,66 @@
+#include "djstar/core/graphviz.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace djstar::core {
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const TaskGraph& g, const DotOptions& opts) {
+  std::ostringstream os;
+  os << "digraph " << opts.graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  if (opts.cluster_sections) {
+    std::map<std::string, std::vector<NodeId>> sections;
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      sections[std::string(g.section(n))].push_back(n);
+    }
+    int idx = 0;
+    for (const auto& [section, nodes] : sections) {
+      os << "  subgraph cluster_" << idx++ << " {\n";
+      os << "    label=\"" << escape(section) << "\";\n";
+      for (NodeId n : nodes) {
+        os << "    n" << n << " [label=\"" << escape(g.name(n)) << "\"];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (NodeId n = 0; n < g.node_count(); ++n) {
+      os << "  n" << n << " [label=\"" << escape(g.name(n)) << "\"];\n";
+    }
+  }
+
+  if (opts.rank_by_depth && g.is_acyclic() && g.node_count() > 0) {
+    const auto depths = g.depths();
+    std::map<std::uint32_t, std::vector<NodeId>> levels;
+    for (NodeId n = 0; n < g.node_count(); ++n) levels[depths[n]].push_back(n);
+    for (const auto& [depth, nodes] : levels) {
+      os << "  { rank=same;";
+      for (NodeId n : nodes) os << " n" << n << ";";
+      os << " }\n";
+    }
+  }
+
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    for (NodeId s : g.successors(n)) {
+      os << "  n" << n << " -> n" << s << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,25 @@
+#include "djstar/core/sequential.hpp"
+
+namespace djstar::core {
+
+SequentialExecutor::SequentialExecutor(CompiledGraph& graph, ExecOptions opts)
+    : graph_(graph), opts_(opts) {}
+
+void SequentialExecutor::run_cycle() {
+  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  const auto t0 = support::now();
+  for (NodeId n : graph_.order()) {
+    if (tracing) {
+      const double b = support::since_us(t0);
+      graph_.work(n)();
+      opts_.trace->record(0, {b, support::since_us(t0), 0,
+                              static_cast<std::int32_t>(n),
+                              support::SpanKind::kRun});
+    } else {
+      graph_.work(n)();
+    }
+    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace djstar::core

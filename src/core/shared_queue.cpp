@@ -1,0 +1,92 @@
+#include "djstar/core/shared_queue.hpp"
+
+namespace djstar::core {
+
+SharedQueueExecutor::SharedQueueExecutor(CompiledGraph& graph,
+                                         ExecOptions opts)
+    : graph_(graph), opts_(opts), ring_(graph.node_count() + 1) {
+  team_ = std::make_unique<Team>(
+      opts_.threads, StartMode::kCondvar, opts_.spin,
+      [this](unsigned w) { worker_body(w); });
+}
+
+void SharedQueueExecutor::run_cycle() {
+  graph_.begin_cycle();
+  {
+    // Seed the ready queue with all source nodes.
+    const std::lock_guard<std::mutex> lk(mutex_);
+    head_ = tail_ = 0;
+    executed_ = 0;
+    for (NodeId n : graph_.sources()) {
+      ring_[tail_] = n;
+      tail_ = (tail_ + 1) % ring_.size();
+    }
+  }
+  cycle_start_ = support::now();
+  team_->run_cycle();
+}
+
+void SharedQueueExecutor::worker_body(unsigned w) {
+  const std::size_t total = graph_.node_count();
+  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+
+  for (;;) {
+    NodeId n = kInvalidNode;
+    double wait_begin = 0.0;
+    if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [&] { return head_ != tail_ || executed_ == total; });
+      if (executed_ == total) return;
+      n = ring_[head_];
+      head_ = (head_ + 1) % ring_.size();
+      if (tracing) {
+        stats_.sleeps.fetch_add(0, std::memory_order_relaxed);
+      }
+    }
+
+    double run_begin = 0.0;
+    if (tracing) {
+      run_begin = support::elapsed_us(cycle_start_, support::now());
+      if (run_begin - wait_begin > 0.5) {
+        opts_.trace->record(w, {wait_begin, run_begin, w, -1,
+                                support::SpanKind::kSleep});
+      }
+    }
+
+    graph_.work(n)();
+    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracing) {
+      opts_.trace->record(w, {run_begin,
+                              support::elapsed_us(cycle_start_, support::now()),
+                              w, static_cast<std::int32_t>(n),
+                              support::SpanKind::kRun});
+    }
+
+    // Release successors and publish completion.
+    std::size_t newly_ready = 0;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      for (NodeId s : graph_.successors(n)) {
+        if (graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          ring_[tail_] = s;
+          tail_ = (tail_ + 1) % ring_.size();
+          ++newly_ready;
+        }
+      }
+      ++executed_;
+      if (executed_ == total) {
+        cv_.notify_all();  // everyone can exit
+        return;
+      }
+    }
+    if (newly_ready == 1) {
+      cv_.notify_one();
+    } else if (newly_ready > 1) {
+      cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,91 @@
+#include "djstar/core/sleep.hpp"
+
+namespace djstar::core {
+
+SleepExecutor::SleepExecutor(CompiledGraph& graph, ExecOptions opts)
+    : graph_(graph), opts_(opts) {
+  slots_.reserve(opts_.threads);
+  for (unsigned i = 0; i < opts_.threads; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  team_ = std::make_unique<Team>(
+      opts_.threads, StartMode::kCondvar, opts_.spin,
+      [this](unsigned w) { worker_body(w); });
+}
+
+void SleepExecutor::run_cycle() {
+  graph_.begin_cycle();
+  cycle_start_ = support::now();
+  team_->run_cycle();
+}
+
+void SleepExecutor::worker_body(unsigned w) {
+  const auto order = graph_.order();
+  const unsigned T = opts_.threads;
+  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  const auto wid = static_cast<std::int32_t>(w);
+
+  for (std::size_t k = w; k < order.size(); k += T) {
+    const NodeId n = order[k];
+    auto& pending = graph_.pending(n);
+
+    double wait_begin = 0.0;
+    if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
+
+    if (pending.load(std::memory_order_acquire) != 0) {
+      // Register as this node's executor (paper Fig. 6a), then re-check:
+      // either we observe pending==0 here (the resolving predecessor ran
+      // between our first check and the registration), or the
+      // predecessor observes our registration and wakes us. seq_cst on
+      // both sides makes the flag/counter protocol race-free.
+      graph_.waiter(n).store(wid, std::memory_order_seq_cst);
+      if (pending.load(std::memory_order_seq_cst) != 0) {
+        stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
+        Slot& slot = *slots_[w];
+        std::unique_lock<std::mutex> lk(slot.m);
+        slot.cv.wait(lk, [&] {
+          return pending.load(std::memory_order_acquire) == 0;
+        });
+      }
+    }
+
+    double run_begin = 0.0;
+    if (tracing) {
+      run_begin = support::elapsed_us(cycle_start_, support::now());
+      if (run_begin - wait_begin > 0.5) {
+        opts_.trace->record(w, {wait_begin, run_begin, w,
+                                static_cast<std::int32_t>(n),
+                                support::SpanKind::kSleep});
+      }
+    }
+
+    graph_.work(n)();
+    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracing) {
+      opts_.trace->record(w, {run_begin,
+                              support::elapsed_us(cycle_start_, support::now()),
+                              w, static_cast<std::int32_t>(n),
+                              support::SpanKind::kRun});
+    }
+
+    // Signal successors (paper Fig. 6b): the predecessor that resolves
+    // the last dependency wakes the registered executor, if any.
+    for (NodeId s : graph_.successors(n)) {
+      if (graph_.pending(s).fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        const std::int32_t sleeper =
+            graph_.waiter(s).exchange(-1, std::memory_order_seq_cst);
+        if (sleeper >= 0) {
+          Slot& slot = *slots_[static_cast<unsigned>(sleeper)];
+          // Taking the slot mutex orders this notify after the sleeper's
+          // predicate check, so the wakeup cannot be lost (CP.42).
+          const std::lock_guard<std::mutex> lk(slot.m);
+          slot.cv.notify_one();
+          stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace djstar::core

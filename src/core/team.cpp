@@ -1,0 +1,91 @@
+#include "djstar/core/team.hpp"
+
+#include "djstar/core/detail/spin.hpp"
+#include "djstar/support/assert.hpp"
+
+namespace djstar::core {
+
+Team::Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn)
+    : threads_(threads), mode_(mode), spin_(spin), fn_(std::move(fn)) {
+  DJSTAR_ASSERT_MSG(threads >= 1, "team needs at least one thread");
+  DJSTAR_ASSERT_MSG(static_cast<bool>(fn_), "team needs a worker body");
+  workers_.reserve(threads - 1);
+  for (unsigned id = 1; id < threads; ++id) {
+    workers_.emplace_back([this, id] { thread_main(id); });
+  }
+}
+
+Team::~Team() {
+  stop_.store(true, std::memory_order_release);
+  if (mode_ == StartMode::kCondvar) {
+    const std::lock_guard<std::mutex> lk(start_mutex_);
+    start_cv_.notify_all();
+  } else {
+    // Spin-mode workers poll stop_ while waiting; a generation bump is
+    // not needed, they observe the flag directly.
+  }
+  for (auto& w : workers_) w.join();
+}
+
+void Team::wait_for_generation(std::uint64_t seen) {
+  if (mode_ == StartMode::kSpin) {
+    detail::SpinWaiter waiter(spin_);
+    while (generation_.load(std::memory_order_acquire) == seen &&
+           !stop_.load(std::memory_order_acquire)) {
+      waiter.step();
+    }
+  } else {
+    std::unique_lock<std::mutex> lk(start_mutex_);
+    start_cv_.wait(lk, [&] {
+      return generation_.load(std::memory_order_acquire) != seen ||
+             stop_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void Team::thread_main(unsigned id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    wait_for_generation(seen);
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = generation_.load(std::memory_order_acquire);
+    fn_(id);
+    const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (finished == threads_ && mode_ == StartMode::kCondvar) {
+      const std::lock_guard<std::mutex> lk(done_mutex_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void Team::run_cycle() {
+  done_.store(0, std::memory_order_relaxed);
+  if (mode_ == StartMode::kCondvar) {
+    {
+      const std::lock_guard<std::mutex> lk(start_mutex_);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    start_cv_.notify_all();
+  } else {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // The caller is worker 0.
+  fn_(0);
+  const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (finished == threads_) return;
+
+  if (mode_ == StartMode::kSpin) {
+    detail::SpinWaiter waiter(spin_);
+    while (done_.load(std::memory_order_acquire) != threads_) {
+      waiter.step();
+    }
+  } else {
+    std::unique_lock<std::mutex> lk(done_mutex_);
+    done_cv_.wait(lk, [&] {
+      return done_.load(std::memory_order_acquire) == threads_;
+    });
+  }
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,164 @@
+#include "djstar/core/work_stealing.hpp"
+
+#include <chrono>
+
+#include "djstar/core/detail/spin.hpp"
+
+namespace djstar::core {
+
+WorkStealingExecutor::WorkStealingExecutor(CompiledGraph& graph,
+                                           ExecOptions opts,
+                                           WorkStealingOptions ws)
+    : graph_(graph), opts_(opts), ws_(ws), per_worker_(opts.threads) {
+  for (auto& pw : per_worker_) {
+    pw.deque = std::make_unique<ChaseLevDeque>(graph.node_count() + 1);
+    pw.inbox.reserve(graph.node_count());
+  }
+  team_ = std::make_unique<Team>(
+      opts_.threads, StartMode::kCondvar, opts_.spin,
+      [this](unsigned w) { worker_body(w); });
+}
+
+void WorkStealingExecutor::seed_inboxes() {
+  // Paper §V-C: "the main thread fills up the processing queues of all
+  // executor threads. It distributes all nodes without dependencies
+  // (source nodes) to the threads", grouped by section for data locality.
+  const unsigned T = opts_.threads;
+  unsigned rr = 0;
+  for (NodeId n : graph_.sources()) {
+    unsigned target;
+    if (ws_.seed == SeedMode::kBySection) {
+      target = graph_.section_index(n) % T;
+    } else {
+      target = rr++ % T;
+    }
+    per_worker_[target].inbox.push_back(n);
+  }
+}
+
+void WorkStealingExecutor::run_cycle() {
+  graph_.begin_cycle();
+  executed_.store(0, std::memory_order_relaxed);
+  for (auto& pw : per_worker_) pw.inbox.clear();
+  seed_inboxes();
+  cycle_start_ = support::now();
+  // Team::run_cycle()'s generation bump publishes the inboxes
+  // (release store observed by the workers' acquire load).
+  team_->run_cycle();
+}
+
+void WorkStealingExecutor::on_node_ready(unsigned w, NodeId n) {
+  per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(n));
+  // Wake a parked worker, if any (lost-wake safe: idlers re-check with a
+  // timeout and an epoch counter).
+  if (idlers_.load(std::memory_order_acquire) > 0) {
+    idle_epoch_.fetch_add(1, std::memory_order_release);
+    idle_cv_.notify_one();
+  }
+}
+
+bool WorkStealingExecutor::try_get_node(unsigned w, NodeId& out) {
+  // 1) Own deque, bottom (LIFO).
+  const auto own = per_worker_[w].deque->pop();
+  if (own >= 0) {
+    out = static_cast<NodeId>(own);
+    return true;
+  }
+  // 2) Steal round: probe every other worker's top (FIFO).
+  const unsigned T = opts_.threads;
+  for (unsigned d = 1; d < T; ++d) {
+    const unsigned victim = (w + d) % T;
+    const auto got = per_worker_[victim].deque->steal();
+    if (got >= 0) {
+      out = static_cast<NodeId>(got);
+      stats_.steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    stats_.steal_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void WorkStealingExecutor::worker_body(unsigned w) {
+  const std::size_t total = graph_.node_count();
+  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+
+  // Drain the inbox the main thread seeded for us.
+  for (NodeId n : per_worker_[w].inbox) {
+    per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(n));
+  }
+
+  std::uint32_t failed_rounds = 0;
+  while (executed_.load(std::memory_order_acquire) < total) {
+    NodeId n;
+    double probe_begin = 0.0;
+    if (tracing) probe_begin = support::elapsed_us(cycle_start_, support::now());
+
+    if (!try_get_node(w, n)) {
+      ++failed_rounds;
+      if (failed_rounds < ws_.steal_rounds_before_park) {
+        detail::cpu_pause();
+        std::this_thread::yield();
+      } else {
+        // Park until new work is pushed (paper: sleeping happens only
+        // when solely blocked nodes remain). The timeout is a safety
+        // net against the push-vs-park race.
+        const auto epoch = idle_epoch_.load(std::memory_order_acquire);
+        stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
+        idlers_.fetch_add(1, std::memory_order_acq_rel);
+        {
+          std::unique_lock<std::mutex> lk(idle_mutex_);
+          idle_cv_.wait_for(lk, std::chrono::microseconds(100), [&] {
+            return idle_epoch_.load(std::memory_order_acquire) != epoch ||
+                   executed_.load(std::memory_order_acquire) >= total;
+          });
+        }
+        idlers_.fetch_sub(1, std::memory_order_acq_rel);
+        if (tracing) {
+          opts_.trace->record(
+              w, {probe_begin,
+                  support::elapsed_us(cycle_start_, support::now()), w, -1,
+                  support::SpanKind::kSteal});
+        }
+      }
+      continue;
+    }
+    failed_rounds = 0;
+
+    double run_begin = 0.0;
+    if (tracing) {
+      run_begin = support::elapsed_us(cycle_start_, support::now());
+      if (run_begin - probe_begin > 0.5) {
+        opts_.trace->record(w, {probe_begin, run_begin, w, -1,
+                                support::SpanKind::kSteal});
+      }
+    }
+
+    graph_.work(n)();
+    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracing) {
+      opts_.trace->record(w, {run_begin,
+                              support::elapsed_us(cycle_start_, support::now()),
+                              w, static_cast<std::int32_t>(n),
+                              support::SpanKind::kRun});
+    }
+
+    // Release successors whose last dependency this node resolved; they
+    // join *our* deque (LIFO) for cache locality (paper §V-C).
+    for (NodeId s : graph_.successors(n)) {
+      if (graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        on_node_ready(w, s);
+      }
+    }
+
+    const std::size_t done = executed_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == total) {
+      // Everyone still parked must observe completion promptly.
+      idle_epoch_.fetch_add(1, std::memory_order_release);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace djstar::core

@@ -1,0 +1,189 @@
+#include "djstar/dsp/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace djstar::dsp {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void DelayLine::set_max_delay(std::size_t samples) {
+  buf_.assign(samples + 1, 0.0f);
+  w_ = 0;
+}
+
+void DelayLine::reset() noexcept {
+  std::fill(buf_.begin(), buf_.end(), 0.0f);
+  w_ = 0;
+}
+
+float DelayLine::read_frac(double delay) const noexcept {
+  const auto d0 = static_cast<std::size_t>(delay);
+  const auto frac = static_cast<float>(delay - static_cast<double>(d0));
+  const float a = read(d0);
+  const float b = read(d0 + 1);
+  return a + frac * (b - a);
+}
+
+Echo::Echo() {
+  for (auto& l : lines_) l.set_max_delay(static_cast<std::size_t>(audio::kSampleRate * 2));
+}
+
+void Echo::set(double delay_seconds, float feedback, float mix,
+               double sample_rate) noexcept {
+  delay_samples_ = std::clamp<std::size_t>(
+      static_cast<std::size_t>(delay_seconds * sample_rate), 1,
+      lines_[0].max_delay());
+  feedback_ = std::clamp(feedback, 0.0f, 0.95f);
+  mix_ = std::clamp(mix, 0.0f, 1.0f);
+}
+
+void Echo::reset() noexcept {
+  for (auto& l : lines_) l.reset();
+  damp_state_ = {};
+}
+
+void Echo::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  for (std::size_t c = 0; c < nch; ++c) {
+    auto io = buf.channel(c);
+    auto& line = lines_[c];
+    float& damp = damp_state_[c];
+    for (auto& s : io) {
+      // Push first so the wet tap is exactly `delay_samples_` behind the
+      // current input sample (x[i] echoes at i + delay).
+      line.push(s + feedback_ * damp);
+      const float wet = line.read(delay_samples_);
+      // One-pole damping in the feedback path keeps repeats darker.
+      damp += 0.35f * (wet - damp);
+      s = (1.0f - mix_) * s + mix_ * wet;
+    }
+  }
+}
+
+Flanger::Flanger() {
+  for (auto& l : lines_) l.set_max_delay(512);
+}
+
+void Flanger::set(double rate_hz, float depth, float feedback, float mix,
+                  double sample_rate) noexcept {
+  sr_ = sample_rate;
+  phase_inc_ = rate_hz / sample_rate;
+  depth_ = std::clamp(depth, 0.0f, 1.0f);
+  feedback_ = std::clamp(feedback, -0.9f, 0.9f);
+  mix_ = std::clamp(mix, 0.0f, 1.0f);
+}
+
+void Flanger::reset() noexcept {
+  for (auto& l : lines_) l.reset();
+  fb_state_ = {};
+  phase_ = 0.0;
+}
+
+void Flanger::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  for (std::size_t i = 0; i < n; ++i) {
+    // 0.5..~8 ms swept delay.
+    const double lfo = 0.5 * (1.0 + std::sin(kTwoPi * phase_));
+    const double delay =
+        (0.0005 + 0.0075 * static_cast<double>(depth_) * lfo) * sr_;
+    phase_ += phase_inc_;
+    if (phase_ >= 1.0) phase_ -= 1.0;
+    for (std::size_t c = 0; c < nch; ++c) {
+      auto io = buf.channel(c);
+      const float wet = lines_[c].read_frac(delay);
+      lines_[c].push(io[i] + feedback_ * fb_state_[c]);
+      fb_state_[c] = wet;
+      io[i] = (1.0f - mix_) * io[i] + mix_ * wet;
+    }
+  }
+}
+
+Chorus::Chorus() {
+  for (auto& l : lines_) l.set_max_delay(2048);
+}
+
+void Chorus::set(double rate_hz, float depth, float mix,
+                 double sample_rate) noexcept {
+  sr_ = sample_rate;
+  phase_inc_ = rate_hz / sample_rate;
+  depth_ = std::clamp(depth, 0.0f, 1.0f);
+  mix_ = std::clamp(mix, 0.0f, 1.0f);
+}
+
+void Chorus::reset() noexcept {
+  for (auto& l : lines_) l.reset();
+  phases_ = {0.0, 0.33, 0.67};
+}
+
+void Chorus::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < nch; ++c) {
+      auto io = buf.channel(c);
+      lines_[c].push(io[i]);
+      float wet = 0.0f;
+      for (std::size_t t = 0; t < phases_.size(); ++t) {
+        const double ph = phases_[t] + (c ? 0.25 : 0.0);
+        const double lfo = 0.5 * (1.0 + std::sin(kTwoPi * ph));
+        // 8..30 ms tap spread.
+        const double delay =
+            (0.008 + 0.022 * static_cast<double>(depth_) * lfo) * sr_;
+        wet += lines_[c].read_frac(std::min(delay, static_cast<double>(lines_[c].max_delay() - 1)));
+      }
+      wet /= static_cast<float>(phases_.size());
+      io[i] = (1.0f - mix_) * io[i] + mix_ * wet;
+    }
+    for (auto& ph : phases_) {
+      ph += phase_inc_;
+      if (ph >= 1.0) ph -= 1.0;
+    }
+  }
+}
+
+void Phaser::set(double rate_hz, float depth, float feedback, float mix,
+                 double sample_rate) noexcept {
+  sr_ = sample_rate;
+  phase_inc_ = rate_hz / sample_rate;
+  depth_ = std::clamp(depth, 0.0f, 1.0f);
+  feedback_ = std::clamp(feedback, 0.0f, 0.9f);
+  mix_ = std::clamp(mix, 0.0f, 1.0f);
+}
+
+void Phaser::reset() noexcept {
+  ch_ = {};
+  phase_ = 0.0;
+}
+
+void Phaser::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sweep allpass center 300 Hz .. 3 kHz.
+    const double lfo = 0.5 * (1.0 + std::sin(kTwoPi * phase_));
+    phase_ += phase_inc_;
+    if (phase_ >= 1.0) phase_ -= 1.0;
+    const double fc = 300.0 + 2700.0 * static_cast<double>(depth_) * lfo;
+    const auto ap =
+        static_cast<float>((std::tan(std::numbers::pi * fc / sr_) - 1.0) /
+                           (std::tan(std::numbers::pi * fc / sr_) + 1.0));
+    for (std::size_t c = 0; c < nch; ++c) {
+      auto io = buf.channel(c);
+      auto& st = ch_[c];
+      float x = io[i] + feedback_ * st.fb;
+      for (std::size_t k = 0; k < kStages; ++k) {
+        const float y = ap * x + st.z[k];
+        st.z[k] = x - ap * y;
+        x = y;
+      }
+      st.fb = x;
+      io[i] = (1.0f - mix_) * io[i] + mix_ * x;
+    }
+  }
+}
+
+}  // namespace djstar::dsp

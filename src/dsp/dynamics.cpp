@@ -1,0 +1,141 @@
+#include "djstar/dsp/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::dsp {
+namespace {
+
+float ms_to_coef(float ms, double sample_rate) {
+  if (ms <= 0.0f) return 0.0f;
+  return std::exp(-1.0f / (ms * 0.001f * static_cast<float>(sample_rate)));
+}
+
+}  // namespace
+
+void Compressor::set(float threshold_db, float ratio, float attack_ms,
+                     float release_ms, float makeup_db,
+                     double sample_rate) noexcept {
+  threshold_ = std::pow(10.0f, threshold_db / 20.0f);
+  ratio_inv_ = 1.0f / std::max(ratio, 1.0f);
+  attack_coef_ = ms_to_coef(attack_ms, sample_rate);
+  release_coef_ = ms_to_coef(release_ms, sample_rate);
+  makeup_ = std::pow(10.0f, makeup_db / 20.0f);
+}
+
+void Compressor::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  if (nch == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Stereo-linked peak detector.
+    float peak = 0.0f;
+    for (std::size_t c = 0; c < nch; ++c) {
+      const float a = std::fabs(buf.at(c, i));
+      peak = std::max(peak, a);
+    }
+    const float coef = peak > env_ ? attack_coef_ : release_coef_;
+    env_ = coef * env_ + (1.0f - coef) * peak;
+
+    float target = 1.0f;
+    if (env_ > threshold_) {
+      // Gain computer only engages above threshold (data-dependent work).
+      const float over_db = 20.0f * std::log10(env_ / threshold_);
+      const float reduced_db = over_db * ratio_inv_ - over_db;
+      target = std::pow(10.0f, reduced_db / 20.0f);
+    }
+    gain_ += 0.2f * (target - gain_);  // smooth gain motion
+    const float g = gain_ * makeup_;
+    for (std::size_t c = 0; c < nch; ++c) buf.at(c, i) *= g;
+  }
+}
+
+void Limiter::set(float ceiling_db, float release_ms,
+                  double sample_rate) noexcept {
+  ceiling_ = std::pow(10.0f, ceiling_db / 20.0f);
+  release_coef_ = ms_to_coef(release_ms, sample_rate);
+}
+
+void Limiter::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  if (nch == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    float peak = 0.0f;
+    for (std::size_t c = 0; c < nch; ++c) {
+      peak = std::max(peak, std::fabs(buf.at(c, i)));
+    }
+    const float projected = peak * gain_;
+    if (projected > ceiling_ && peak > 0.0f) {
+      gain_ = ceiling_ / peak;  // instant attack
+    } else {
+      gain_ = 1.0f - release_coef_ * (1.0f - gain_);  // exponential recovery
+      gain_ = std::min(gain_, 1.0f);
+    }
+    for (std::size_t c = 0; c < nch; ++c) {
+      float& s = buf.at(c, i);
+      s = std::clamp(s * gain_, -ceiling_, ceiling_);
+    }
+  }
+}
+
+void Gate::set(float open_db, float close_db, float hold_ms, float release_ms,
+               double sample_rate) noexcept {
+  open_thresh_ = std::pow(10.0f, open_db / 20.0f);
+  close_thresh_ = std::pow(10.0f, close_db / 20.0f);
+  hold_samples_ = static_cast<std::size_t>(hold_ms * 0.001f *
+                                           static_cast<float>(sample_rate));
+  release_coef_ = ms_to_coef(release_ms, sample_rate);
+}
+
+void Gate::reset() noexcept {
+  open_ = false;
+  hold_count_ = 0;
+  gain_ = 0.0f;
+  env_ = 0.0f;
+}
+
+void Gate::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const std::size_t n = buf.frames();
+  if (nch == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    float peak = 0.0f;
+    for (std::size_t c = 0; c < nch; ++c) {
+      peak = std::max(peak, std::fabs(buf.at(c, i)));
+    }
+    env_ = 0.99f * env_ + 0.01f * peak;
+    if (!open_ && env_ > open_thresh_) {
+      open_ = true;
+      hold_count_ = hold_samples_;
+    } else if (open_) {
+      if (env_ < close_thresh_) {
+        if (hold_count_ > 0) {
+          --hold_count_;
+        } else {
+          open_ = false;
+        }
+      } else {
+        hold_count_ = hold_samples_;
+      }
+    }
+    const float target = open_ ? 1.0f : 0.0f;
+    gain_ = target + release_coef_ * (gain_ - target);
+    for (std::size_t c = 0; c < nch; ++c) buf.at(c, i) *= gain_;
+  }
+}
+
+void HardClip::process(audio::AudioBuffer& buf) noexcept {
+  for (auto& s : buf.raw()) s = std::clamp(s, -ceiling_, ceiling_);
+}
+
+void SoftClip::set(float drive_db) noexcept {
+  drive_ = std::pow(10.0f, drive_db / 20.0f);
+}
+
+void SoftClip::process(audio::AudioBuffer& buf) noexcept {
+  const float norm = drive_ > 1.0f ? 1.0f / std::tanh(drive_) : 1.0f;
+  for (auto& s : buf.raw()) s = std::tanh(s * drive_) * norm;
+}
+
+}  // namespace djstar::dsp

@@ -1,0 +1,233 @@
+#include "djstar/dsp/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace djstar::dsp {
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+void Biquad::set(BiquadType type, double freq, double q, double gain_db,
+                 double sample_rate) noexcept {
+  freq = std::clamp(freq, 1.0, sample_rate * 0.49);
+  q = std::max(q, 1e-3);
+  const double w0 = 2.0 * kPi * freq / sample_rate;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a = std::pow(10.0, gain_db / 40.0);  // sqrt of linear gain
+
+  double b0 = 1, b1 = 0, b2 = 0, a0 = 1, a1 = 0, a2 = 0;
+  switch (type) {
+    case BiquadType::kLowpass:
+      b0 = (1 - cw) / 2; b1 = 1 - cw; b2 = (1 - cw) / 2;
+      a0 = 1 + alpha; a1 = -2 * cw; a2 = 1 - alpha;
+      break;
+    case BiquadType::kHighpass:
+      b0 = (1 + cw) / 2; b1 = -(1 + cw); b2 = (1 + cw) / 2;
+      a0 = 1 + alpha; a1 = -2 * cw; a2 = 1 - alpha;
+      break;
+    case BiquadType::kBandpass:  // constant 0 dB peak gain
+      b0 = alpha; b1 = 0; b2 = -alpha;
+      a0 = 1 + alpha; a1 = -2 * cw; a2 = 1 - alpha;
+      break;
+    case BiquadType::kNotch:
+      b0 = 1; b1 = -2 * cw; b2 = 1;
+      a0 = 1 + alpha; a1 = -2 * cw; a2 = 1 - alpha;
+      break;
+    case BiquadType::kPeak:
+      b0 = 1 + alpha * a; b1 = -2 * cw; b2 = 1 - alpha * a;
+      a0 = 1 + alpha / a; a1 = -2 * cw; a2 = 1 - alpha / a;
+      break;
+    case BiquadType::kLowShelf: {
+      const double sq = 2 * std::sqrt(a) * alpha;
+      b0 = a * ((a + 1) - (a - 1) * cw + sq);
+      b1 = 2 * a * ((a - 1) - (a + 1) * cw);
+      b2 = a * ((a + 1) - (a - 1) * cw - sq);
+      a0 = (a + 1) + (a - 1) * cw + sq;
+      a1 = -2 * ((a - 1) + (a + 1) * cw);
+      a2 = (a + 1) + (a - 1) * cw - sq;
+      break;
+    }
+    case BiquadType::kHighShelf: {
+      const double sq = 2 * std::sqrt(a) * alpha;
+      b0 = a * ((a + 1) + (a - 1) * cw + sq);
+      b1 = -2 * a * ((a - 1) + (a + 1) * cw);
+      b2 = a * ((a + 1) + (a - 1) * cw - sq);
+      a0 = (a + 1) - (a - 1) * cw + sq;
+      a1 = 2 * ((a - 1) - (a + 1) * cw);
+      a2 = (a + 1) - (a - 1) * cw - sq;
+      break;
+    }
+    case BiquadType::kAllpass:
+      b0 = 1 - alpha; b1 = -2 * cw; b2 = 1 + alpha;
+      a0 = 1 + alpha; a1 = -2 * cw; a2 = 1 - alpha;
+      break;
+  }
+  set_coefficients(b0 / a0, b1 / a0, b2 / a0, a1 / a0, a2 / a0);
+}
+
+void Biquad::set_coefficients(double b0, double b1, double b2, double a1,
+                              double a2) noexcept {
+  b0_ = b0; b1_ = b1; b2_ = b2; a1_ = a1; a2_ = a2;
+}
+
+double Biquad::magnitude_at(double freq, double sample_rate) const noexcept {
+  const double w = 2.0 * kPi * freq / sample_rate;
+  const std::complex<double> z = std::polar(1.0, -w);
+  const std::complex<double> z2 = z * z;
+  const std::complex<double> num = b0_ + b1_ * z + b2_ * z2;
+  const std::complex<double> den = 1.0 + a1_ * z + a2_ * z2;
+  return std::abs(num / den);
+}
+
+void BiquadStereo::set(BiquadType type, double freq, double q, double gain_db,
+                       double sample_rate) noexcept {
+  l_.set(type, freq, q, gain_db, sample_rate);
+  r_.set(type, freq, q, gain_db, sample_rate);
+}
+
+void BiquadStereo::reset() noexcept {
+  l_.reset();
+  r_.reset();
+}
+
+void BiquadStereo::process(audio::AudioBuffer& buf) noexcept {
+  if (buf.channels() >= 1) l_.process(buf.channel(0));
+  if (buf.channels() >= 2) r_.process(buf.channel(1));
+}
+
+void StateVariableFilter::set(double freq, double q,
+                              double sample_rate) noexcept {
+  freq = std::clamp(freq, 1.0, sample_rate * 0.49);
+  const double g = std::tan(kPi * freq / sample_rate);
+  k_ = 1.0 / std::clamp(q, 0.1, 20.0);
+  a1_ = 1.0 / (1.0 + g * (g + k_));
+  a2_ = g * a1_;
+  a3_ = g * a2_;
+}
+
+StateVariableFilter::Outputs StateVariableFilter::process_sample(
+    float x) noexcept {
+  // Andy Simper's trapezoidal SVF; unconditionally stable.
+  const double v0 = x;
+  const double v3 = v0 - ic2_;
+  const double v1 = a1_ * ic1_ + a2_ * v3;
+  const double v2 = ic2_ + a2_ * ic1_ + a3_ * v3;
+  ic1_ = 2.0 * v1 - ic1_;
+  ic2_ = 2.0 * v2 - ic2_;
+  const double low = v2;
+  const double band = v1;
+  const double high = v0 - k_ * v1 - v2;
+  return {static_cast<float>(low), static_cast<float>(band),
+          static_cast<float>(high)};
+}
+
+float StateVariableFilter::process_morph(float x, float morph) noexcept {
+  const Outputs o = process_sample(x);
+  if (morph < 0.0f) {
+    // Blend dry -> lowpass as morph goes 0 -> -1.
+    const float m = -morph;
+    return (1.0f - m) * x + m * o.low;
+  }
+  const float m = morph;
+  return (1.0f - m) * x + m * o.high;
+}
+
+void DjFilter::reset() noexcept {
+  l_.reset();
+  r_.reset();
+  morph_ = target_morph_;
+}
+
+void DjFilter::process(audio::AudioBuffer& buf) noexcept {
+  if (buf.channels() < 2 || buf.frames() == 0) return;
+  // Map |morph| to a cutoff sweep: closed lowpass at 200 Hz, open at 18 kHz.
+  auto lch = buf.channel(0);
+  auto rch = buf.channel(1);
+  const float step =
+      (target_morph_ - morph_) / static_cast<float>(buf.frames());
+  for (std::size_t i = 0; i < buf.frames(); ++i) {
+    morph_ += step;
+    const double a = std::abs(morph_);
+    const double cutoff = morph_ <= 0.0f
+                              ? 18000.0 * std::pow(0.012, a)   // LP sweep down
+                              : 30.0 * std::pow(500.0, a);     // HP sweep up
+    l_.set(cutoff, q_);
+    r_.set(cutoff, q_);
+    lch[i] = l_.process_morph(lch[i], morph_);
+    rch[i] = r_.process_morph(rch[i], morph_);
+  }
+  morph_ = target_morph_;
+}
+
+ThreeBandEq::ThreeBandEq() noexcept { update(); }
+
+void ThreeBandEq::set_gains(float low_db, float mid_db, float high_db) noexcept {
+  auto to_gain = [](float db) {
+    return db <= -60.0f ? 0.0f : std::pow(10.0f, db / 20.0f);
+  };
+  g_low_ = to_gain(low_db);
+  g_mid_ = to_gain(mid_db);
+  g_high_ = to_gain(high_db);
+}
+
+void ThreeBandEq::set_crossovers(double low_hz, double high_hz,
+                                 double sample_rate) noexcept {
+  low_hz_ = low_hz;
+  high_hz_ = high_hz;
+  sr_ = sample_rate;
+  update();
+}
+
+void ThreeBandEq::update() noexcept {
+  // Butterworth (Q = 0.707) squared = Linkwitz-Riley 4th order.
+  constexpr double kButterworthQ = 0.70710678;
+  for (auto& c : ch_) {
+    c.lo_lp1.set(BiquadType::kLowpass, low_hz_, kButterworthQ, 0.0, sr_);
+    c.lo_lp2 = c.lo_lp1;
+    c.lo_hp1.set(BiquadType::kHighpass, low_hz_, kButterworthQ, 0.0, sr_);
+    c.lo_hp2 = c.lo_hp1;
+    c.hi_lp1.set(BiquadType::kLowpass, high_hz_, kButterworthQ, 0.0, sr_);
+    c.hi_lp2 = c.hi_lp1;
+    c.hi_hp1.set(BiquadType::kHighpass, high_hz_, kButterworthQ, 0.0, sr_);
+    c.hi_hp2 = c.hi_hp1;
+  }
+}
+
+void ThreeBandEq::reset() noexcept {
+  for (auto& c : ch_) {
+    c.lo_lp1.reset();
+    c.lo_lp2.reset();
+    c.lo_hp1.reset();
+    c.lo_hp2.reset();
+    c.hi_lp1.reset();
+    c.hi_lp2.reset();
+    c.hi_hp1.reset();
+    c.hi_hp2.reset();
+  }
+}
+
+void ThreeBandEq::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  for (std::size_t c = 0; c < nch; ++c) {
+    auto io = buf.channel(c);
+    auto& st = ch_[c];
+    for (auto& s : io) {
+      // First crossover: low band vs everything above.
+      const float low = st.lo_lp2.process_sample(st.lo_lp1.process_sample(s));
+      const float rest = st.lo_hp2.process_sample(st.lo_hp1.process_sample(s));
+      // Second crossover splits the rest into mid and high.
+      const float mid =
+          st.hi_lp2.process_sample(st.hi_lp1.process_sample(rest));
+      const float high =
+          st.hi_hp2.process_sample(st.hi_hp1.process_sample(rest));
+      s = g_low_ * low + g_mid_ * mid + g_high_ * high;
+    }
+  }
+}
+
+}  // namespace djstar::dsp

@@ -1,0 +1,67 @@
+#include "djstar/dsp/osc.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace djstar::dsp {
+
+void Oscillator::set(OscShape shape, double freq_hz,
+                     double sample_rate) noexcept {
+  shape_ = shape;
+  inc_ = freq_hz / sample_rate;
+}
+
+float Oscillator::poly_blep(double t) const noexcept {
+  // Two-sample polynomial band-limited step around a discontinuity.
+  if (t < inc_) {
+    const double x = t / inc_;
+    return static_cast<float>(x + x - x * x - 1.0);
+  }
+  if (t > 1.0 - inc_) {
+    const double x = (t - 1.0) / inc_;
+    return static_cast<float>(x * x + x + x + 1.0);
+  }
+  return 0.0f;
+}
+
+float Oscillator::next() noexcept {
+  const double t = phase_;
+  phase_ += inc_;
+  if (phase_ >= 1.0) phase_ -= 1.0;
+
+  switch (shape_) {
+    case OscShape::kSine:
+      return static_cast<float>(std::sin(2.0 * std::numbers::pi * t));
+    case OscShape::kSaw: {
+      float v = static_cast<float>(2.0 * t - 1.0);
+      v -= poly_blep(t);
+      return v;
+    }
+    case OscShape::kSquare: {
+      float v = t < 0.5 ? 1.0f : -1.0f;
+      v += poly_blep(t);
+      v -= poly_blep(std::fmod(t + 0.5, 1.0));
+      return v;
+    }
+    case OscShape::kTriangle: {
+      // Integrate the band-limited square (leaky) for a triangle.
+      float sq = t < 0.5 ? 1.0f : -1.0f;
+      sq += poly_blep(t);
+      sq -= poly_blep(std::fmod(t + 0.5, 1.0));
+      tri_state_ = 0.999 * tri_state_ + 4.0 * inc_ * sq;
+      return static_cast<float>(tri_state_);
+    }
+  }
+  return 0.0f;
+}
+
+float PinkNoise::next() noexcept {
+  // Paul Kellet's economy pink filter.
+  const float w = white_.next();
+  b0_ = 0.99765f * b0_ + w * 0.0990460f;
+  b1_ = 0.96300f * b1_ + w * 0.2965164f;
+  b2_ = 0.57000f * b2_ + w * 1.0526913f;
+  return 0.25f * (b0_ + b1_ + b2_ + w * 0.1848f);
+}
+
+}  // namespace djstar::dsp

@@ -1,0 +1,81 @@
+#include "djstar/dsp/reverb.hpp"
+
+#include <algorithm>
+
+namespace djstar::dsp {
+namespace {
+// Freeverb's classic comb/allpass tunings at 44.1 kHz; the right channel
+// adds a 23-sample stereo spread.
+constexpr std::size_t kCombTuning[8] = {1116, 1188, 1277, 1356,
+                                        1422, 1491, 1557, 1617};
+constexpr std::size_t kAllpassTuning[4] = {556, 441, 341, 225};
+constexpr std::size_t kStereoSpread = 23;
+}  // namespace
+
+float Reverb::Comb::process(float x, float feedback, float damp) noexcept {
+  const float out = buf[pos];
+  filter_state = out * (1.0f - damp) + filter_state * damp;
+  buf[pos] = x + filter_state * feedback;
+  pos = pos + 1 == buf.size() ? 0 : pos + 1;
+  return out;
+}
+
+float Reverb::Allpass::process(float x) noexcept {
+  const float bufout = buf[pos];
+  const float out = bufout - x;
+  buf[pos] = x + bufout * 0.5f;
+  pos = pos + 1 == buf.size() ? 0 : pos + 1;
+  return out;
+}
+
+Reverb::Reverb() {
+  for (std::size_t c = 0; c < 2; ++c) {
+    const std::size_t spread = c * kStereoSpread;
+    for (std::size_t i = 0; i < kCombs; ++i) {
+      combs_[c][i].buf.assign(kCombTuning[i] + spread, 0.0f);
+    }
+    for (std::size_t i = 0; i < kAllpasses; ++i) {
+      allpasses_[c][i].buf.assign(kAllpassTuning[i] + spread, 0.0f);
+    }
+  }
+}
+
+void Reverb::set(float room, float damp, float mix) noexcept {
+  room_ = std::clamp(room, 0.0f, 1.0f);
+  damp_ = std::clamp(damp, 0.0f, 1.0f);
+  mix_ = std::clamp(mix, 0.0f, 1.0f);
+}
+
+void Reverb::reset() noexcept {
+  for (auto& chan : combs_) {
+    for (auto& c : chan) {
+      std::fill(c.buf.begin(), c.buf.end(), 0.0f);
+      c.pos = 0;
+      c.filter_state = 0.0f;
+    }
+  }
+  for (auto& chan : allpasses_) {
+    for (auto& a : chan) {
+      std::fill(a.buf.begin(), a.buf.end(), 0.0f);
+      a.pos = 0;
+    }
+  }
+}
+
+void Reverb::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  const float feedback = 0.7f + 0.28f * room_;
+  const float damp = 0.05f + 0.85f * damp_;
+  for (std::size_t c = 0; c < nch; ++c) {
+    auto io = buf.channel(c);
+    for (auto& s : io) {
+      const float input = s * 0.015f;  // Freeverb input gain
+      float wet = 0.0f;
+      for (auto& comb : combs_[c]) wet += comb.process(input, feedback, damp);
+      for (auto& ap : allpasses_[c]) wet = ap.process(wet);
+      s = (1.0f - mix_) * s + mix_ * wet;
+    }
+  }
+}
+
+}  // namespace djstar::dsp

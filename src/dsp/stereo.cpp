@@ -1,0 +1,79 @@
+#include "djstar/dsp/stereo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::dsp {
+
+void StereoWidener::set_width(float width) noexcept {
+  width_ = std::clamp(width, 0.0f, 2.0f);
+}
+
+void StereoWidener::process(audio::AudioBuffer& buf) noexcept {
+  if (buf.channels() < 2) return;
+  auto l = buf.channel(0);
+  auto r = buf.channel(1);
+  for (std::size_t i = 0; i < buf.frames(); ++i) {
+    const float mid = 0.5f * (l[i] + r[i]);
+    const float side = 0.5f * (l[i] - r[i]) * width_;
+    l[i] = mid + side;
+    r[i] = mid - side;
+  }
+}
+
+DcBlocker::DcBlocker(double cutoff_hz, double sample_rate) noexcept {
+  coef_ = static_cast<float>(
+      1.0 - 2.0 * std::numbers::pi * cutoff_hz / sample_rate);
+  coef_ = std::clamp(coef_, 0.9f, 0.99999f);
+}
+
+void DcBlocker::reset() noexcept {
+  x1_[0] = x1_[1] = y1_[0] = y1_[1] = 0.0f;
+}
+
+void DcBlocker::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  for (std::size_t c = 0; c < nch; ++c) {
+    auto io = buf.channel(c);
+    for (auto& s : io) {
+      const float y = s - x1_[c] + coef_ * y1_[c];
+      x1_[c] = s;
+      y1_[c] = y;
+      s = y;
+    }
+  }
+}
+
+void TransientShaper::set(float attack, float sustain,
+                          double sample_rate) noexcept {
+  attack_gain_ = std::clamp(attack, -1.0f, 1.0f);
+  sustain_gain_ = std::clamp(sustain, -1.0f, 1.0f);
+  // Fast follower ~1 ms, slow follower ~20 ms.
+  fast_coef_ = std::exp(-1.0f / (0.001f * static_cast<float>(sample_rate)));
+  slow_coef_ = std::exp(-1.0f / (0.02f * static_cast<float>(sample_rate)));
+}
+
+void TransientShaper::reset() noexcept { fast_env_ = slow_env_ = 0.0f; }
+
+void TransientShaper::process(audio::AudioBuffer& buf) noexcept {
+  const std::size_t nch = std::min<std::size_t>(buf.channels(), 2);
+  if (nch == 0) return;
+  for (std::size_t i = 0; i < buf.frames(); ++i) {
+    float peak = 0.0f;
+    for (std::size_t c = 0; c < nch; ++c) {
+      peak = std::max(peak, std::fabs(buf.at(c, i)));
+    }
+    // Fast follower: instant attack, ~1 ms release. Slow follower:
+    // smoothed both ways, so at an onset fast >> slow = a transient.
+    fast_env_ = std::max(peak, fast_coef_ * fast_env_);
+    slow_env_ = slow_coef_ * slow_env_ + (1.0f - slow_coef_) * peak;
+    const float transient = std::max(0.0f, fast_env_ - slow_env_);
+    const float body = std::max(slow_env_, 0.05f);
+    float gain = 1.0f + attack_gain_ * std::min(transient / body, 3.0f);
+    if (slow_env_ > 1e-4f) gain += sustain_gain_ * 0.5f;
+    gain = std::clamp(gain, 0.0f, 4.0f);
+    for (std::size_t c = 0; c < nch; ++c) buf.at(c, i) *= gain;
+  }
+}
+
+}  // namespace djstar::dsp

@@ -1,0 +1,31 @@
+#include "djstar/engine/deadline.hpp"
+
+namespace djstar::engine {
+
+void DeadlineMonitor::add(const CycleBreakdown& c) {
+  ++cycles_;
+  tp_.add(c.tp_us);
+  gp_.add(c.gp_us);
+  graph_.add(c.graph_us);
+  vc_.add(c.vc_us);
+  const double total = c.total_us();
+  total_.add(total);
+  if (total > deadline_us_) ++misses_;
+  if (keep_samples_) {
+    graph_samples_.push_back(c.graph_us);
+    total_samples_.push_back(total);
+  }
+}
+
+void DeadlineMonitor::reset() {
+  cycles_ = misses_ = 0;
+  tp_.reset();
+  gp_.reset();
+  graph_.reset();
+  vc_.reset();
+  total_.reset();
+  graph_samples_.clear();
+  total_samples_.clear();
+}
+
+}  // namespace djstar::engine

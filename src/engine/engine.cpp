@@ -1,0 +1,108 @@
+#include "djstar/engine/engine.hpp"
+
+#include <cmath>
+
+#include "djstar/support/time.hpp"
+
+namespace djstar::engine {
+namespace {
+
+std::array<std::unique_ptr<Deck>, 4> make_decks(const EngineConfig& cfg) {
+  std::array<std::unique_ptr<Deck>, 4> decks;
+  for (unsigned d = 0; d < 4; ++d) {
+    audio::TrackSpec spec;
+    spec.seed = cfg.track_seeds[d];
+    spec.bpm = 120.0 + 4.0 * d;  // slightly different tempos to beat-match
+    spec.root_note = 45 + static_cast<int>(d) * 2;
+    decks[d] = std::make_unique<Deck>(d, spec);
+    decks[d]->set_keylock(cfg.keylock);
+  }
+  return decks;
+}
+
+std::array<const audio::AudioBuffer*, 4> deck_inputs(
+    const std::array<std::unique_ptr<Deck>, 4>& decks) {
+  return {&decks[0]->input(), &decks[1]->input(), &decks[2]->input(),
+          &decks[3]->input()};
+}
+
+}  // namespace
+
+AudioEngine::AudioEngine(EngineConfig cfg)
+    : cfg_(cfg),
+      decks_(make_decks(cfg)),
+      graph_nodes_(deck_inputs(decks_)),
+      monitor_(cfg.deadline_us, cfg.keep_samples) {
+  compiled_ = std::make_unique<core::CompiledGraph>(graph_nodes_.graph());
+  rebuild_executor();
+}
+
+void AudioEngine::rebuild_executor() {
+  core::ExecOptions opts = cfg_.exec;
+  opts.threads = cfg_.threads;
+  executor_.reset();  // join old workers before spawning new ones
+  executor_ = core::make_executor(cfg_.strategy, *compiled_, opts, cfg_.ws);
+}
+
+void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
+  cfg_.strategy = s;
+  cfg_.threads = threads;
+  rebuild_executor();
+}
+
+CycleBreakdown AudioEngine::run_cycle() {
+  CycleBreakdown c;
+  {
+    // TP: decode the external control signals (paper: 16% of the APC).
+    support::ScopedTimer t(c.tp_us);
+    for (auto& d : decks_) d->process_timecode();
+  }
+  {
+    // GP: time stretching, phase alignment, buffer overhead (33%).
+    support::ScopedTimer t(c.gp_us);
+    for (auto& d : decks_) d->preprocess();
+  }
+  {
+    // Graph: the task graph under the selected strategy (38%).
+    support::ScopedTimer t(c.graph_us);
+    executor_->run_cycle();
+  }
+  {
+    // VC: accounting calculations, e.g. updating the master tempo.
+    support::ScopedTimer t(c.vc_us);
+    double tempo = 0.0;
+    for (auto& d : decks_) {
+      tempo += std::abs(d->decoded_pitch()) * d->track().bpm();
+    }
+    tempo *= 0.25;
+    master_tempo_bpm_ += 0.1 * (tempo - master_tempo_bpm_);
+    const double beats_per_block =
+        master_tempo_bpm_ / 60.0 * (static_cast<double>(audio::kBlockSize) /
+                                    audio::kSampleRate);
+    beat_phase_ = std::fmod(beat_phase_ + beats_per_block, 1.0);
+  }
+  monitor_.add(c);
+  return c;
+}
+
+void AudioEngine::run_cycles(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_cycle();
+}
+
+std::vector<double> AudioEngine::measure_node_durations(std::size_t cycles) {
+  const auto order = compiled_->order();
+  std::vector<double> sum(compiled_->node_count(), 0.0);
+  for (std::size_t it = 0; it < cycles; ++it) {
+    for (auto& d : decks_) d->process_timecode();
+    for (auto& d : decks_) d->preprocess();
+    for (core::NodeId n : order) {
+      const auto t0 = support::now();
+      compiled_->work(n)();
+      sum[n] += support::since_us(t0);
+    }
+  }
+  for (auto& s : sum) s /= static_cast<double>(cycles ? cycles : 1);
+  return sum;
+}
+
+}  // namespace djstar::engine

@@ -1,0 +1,97 @@
+#include "djstar/engine/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "djstar/audio/wav.hpp"
+
+namespace djstar::engine {
+
+TrackAnalysis analyze_track(const audio::Track& track) {
+  TrackAnalysis a;
+  a.beatgrid = analysis::analyze_beats(track.audio());
+  // Key and loudness work on the mono fold-down.
+  std::vector<float> mono(track.length_frames());
+  auto l = track.audio().channel(0);
+  auto r = track.audio().channel(1);
+  for (std::size_t i = 0; i < mono.size(); ++i) {
+    mono[i] = 0.5f * (l[i] + r[i]);
+  }
+  a.key = analysis::estimate_key(mono, track.sample_rate());
+  a.loudness = analysis::measure_loudness(track.audio());
+  a.overview = analysis::build_overview(track.audio());
+  return a;
+}
+
+std::uint32_t Library::insert(std::string title, const audio::TrackSpec& spec,
+                              std::shared_ptr<audio::Track> track) {
+  LibraryEntry e;
+  e.id = next_id_++;
+  e.title = std::move(title);
+  e.spec = spec;
+  e.analysis = analyze_track(*track);
+  e.track = std::move(track);
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+std::uint32_t Library::add_generated(std::string title,
+                                     const audio::TrackSpec& spec) {
+  auto track = std::make_shared<audio::Track>(audio::Track::generate(spec));
+  return insert(std::move(title), spec, std::move(track));
+}
+
+std::optional<std::uint32_t> Library::add_from_wav(std::string title,
+                                                   const std::string& path) {
+  audio::WavData wav;
+  if (!audio::read_wav(path, wav)) return std::nullopt;
+  auto track = std::make_shared<audio::Track>(
+      audio::Track::from_buffer(wav.buffer, wav.sample_rate));
+  return insert(std::move(title), audio::TrackSpec{}, std::move(track));
+}
+
+const LibraryEntry* Library::find(std::uint32_t id) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const LibraryEntry*> Library::by_tempo(double target_bpm) const {
+  std::vector<const LibraryEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [target_bpm](const LibraryEntry* a, const LibraryEntry* b) {
+              return std::abs(a->analysis.beatgrid.bpm - target_bpm) <
+                     std::abs(b->analysis.beatgrid.bpm - target_bpm);
+            });
+  return out;
+}
+
+std::vector<const LibraryEntry*> Library::harmonic_matches(
+    const analysis::KeyEstimate& key) const {
+  const std::string target = analysis::camelot_code(key);
+  const int hour = std::stoi(target.substr(0, target.size() - 1));
+  const char letter = target.back();
+
+  auto compatible = [&](const std::string& code) {
+    const int h = std::stoi(code.substr(0, code.size() - 1));
+    const char l = code.back();
+    if (l == letter) {
+      const int d = std::abs(h - hour);
+      return d == 0 || d == 1 || d == 11;  // wheel wraps 12 -> 1
+    }
+    return h == hour;  // relative major/minor
+  };
+
+  std::vector<const LibraryEntry*> out;
+  for (const auto& e : entries_) {
+    if (compatible(analysis::camelot_code(e.analysis.key))) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+}  // namespace djstar::engine

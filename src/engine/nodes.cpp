@@ -1,0 +1,308 @@
+#include "djstar/engine/nodes.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace djstar::engine {
+
+// ---- SamplePlayerNode ----
+
+SamplePlayerNode::SamplePlayerNode(const AudioBuffer* input, unsigned slot)
+    : input_(input), slot_(slot) {
+  // Stem split points: low <180, low-mid 180..800, high-mid 800..3500,
+  // high >3500. Each player keeps one band.
+  static constexpr double kEdges[3] = {180.0, 800.0, 3500.0};
+  const double freq = kEdges[slot_ == 0 ? 0 : slot_ - 1];
+  for (auto& f : filters_) f.set(freq, 0.707);
+}
+
+void SamplePlayerNode::process() noexcept {
+  const std::size_t n = out_.frames();
+  for (std::size_t c = 0; c < 2; ++c) {
+    auto in = input_->channel(c);
+    auto out = out_.channel(c);
+    auto& f = filters_[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto bands = f.process_sample(in[i]);
+      float v = 0.0f;
+      switch (slot_) {
+        case 0: v = bands.low; break;          // lows
+        case 1: v = bands.band; break;         // low-mids
+        case 2: v = bands.band; break;         // high-mids
+        default: v = bands.high; break;        // highs
+      }
+      out[i] = level_ * v;
+    }
+  }
+}
+
+// ---- EffectNode ----
+
+const char* to_string(EffectKind k) noexcept {
+  switch (k) {
+    case EffectKind::kEcho: return "echo";
+    case EffectKind::kFlanger: return "flanger";
+    case EffectKind::kChorus: return "chorus";
+    case EffectKind::kPhaser: return "phaser";
+    case EffectKind::kReverb: return "reverb";
+    case EffectKind::kCompressor: return "compressor";
+    case EffectKind::kGate: return "gate";
+    case EffectKind::kBitcrusher: return "bitcrusher";
+    case EffectKind::kWaveshaper: return "waveshaper";
+    case EffectKind::kSoftClip: return "softclip";
+    case EffectKind::kSpectral: return "spectral";
+  }
+  return "?";
+}
+
+EffectNode::EffectNode(EffectKind kind,
+                       std::array<const AudioBuffer*, 4> players)
+    : kind_(kind), players_(players) {
+  set_amount(amount_);
+}
+
+EffectNode::EffectNode(EffectKind kind, const AudioBuffer* input)
+    : kind_(kind), input_(input) {
+  set_amount(amount_);
+}
+
+void EffectNode::set_amount(float amount) noexcept {
+  amount_ = amount;
+  switch (kind_) {
+    case EffectKind::kEcho:
+      echo_.set(0.125 + 0.25 * amount, 0.3f + 0.5f * amount, 0.35f);
+      break;
+    case EffectKind::kFlanger:
+      flanger_.set(0.2 + 1.8 * amount, 0.8f, 0.4f, 0.5f);
+      break;
+    case EffectKind::kChorus:
+      chorus_.set(0.3 + amount, 0.4f + 0.5f * amount, 0.5f);
+      break;
+    case EffectKind::kPhaser:
+      phaser_.set(0.2 + 1.2 * amount, 0.9f, 0.4f, 0.5f);
+      break;
+    case EffectKind::kReverb:
+      reverb_.set(0.3f + 0.6f * amount, 0.4f, 0.25f + 0.3f * amount);
+      break;
+    case EffectKind::kCompressor:
+      comp_.set(-18.0f + 10.0f * amount, 4.0f, 5.0f, 80.0f, 3.0f);
+      break;
+    case EffectKind::kGate:
+      gate_.set(-35.0f + 10.0f * amount, -45.0f, 20.0f, 30.0f);
+      break;
+    case EffectKind::kBitcrusher:
+      crusher_.set(12 - static_cast<int>(amount * 8.0f),
+                   1 + static_cast<int>(amount * 5.0f));
+      break;
+    case EffectKind::kWaveshaper:
+      shaper_.set(1.0f, 0.2f * amount, -0.5f * amount, 0.8f);
+      break;
+    case EffectKind::kSoftClip:
+      clip_.set(amount * 18.0f);
+      break;
+    case EffectKind::kSpectral:
+      for (auto& s : spectral_) {
+        s.set_band(60.0 + 100.0 * amount, 16000.0 - 8000.0 * amount,
+                   audio::kSampleRate);
+      }
+      break;
+  }
+}
+
+void EffectNode::run_effect() noexcept {
+  switch (kind_) {
+    case EffectKind::kEcho: echo_.process(out_); break;
+    case EffectKind::kFlanger: flanger_.process(out_); break;
+    case EffectKind::kChorus: chorus_.process(out_); break;
+    case EffectKind::kPhaser: phaser_.process(out_); break;
+    case EffectKind::kReverb: reverb_.process(out_); break;
+    case EffectKind::kCompressor: comp_.process(out_); break;
+    case EffectKind::kGate: gate_.process(out_); break;
+    case EffectKind::kBitcrusher: crusher_.process(out_); break;
+    case EffectKind::kWaveshaper: shaper_.process(out_); break;
+    case EffectKind::kSoftClip: clip_.process(out_); break;
+    case EffectKind::kSpectral:
+      spectral_[0].process(out_.channel(0));
+      spectral_[1].process(out_.channel(1));
+      break;
+  }
+}
+
+void EffectNode::process() noexcept {
+  if (players_[0] != nullptr) {
+    // Chain head: sum the four sample players into the deck bus.
+    out_.clear();
+    for (const AudioBuffer* p : players_) out_.mix_from(*p, 1.0f);
+  } else {
+    out_.copy_from(*input_);
+  }
+  if (enabled_) run_effect();
+}
+
+// ---- ChannelNode ----
+
+ChannelNode::ChannelNode(const AudioBuffer* input) : input_(input) {
+  eq_.set_gains(0.0f, 0.0f, 0.0f);
+}
+
+void ChannelNode::process() noexcept {
+  out_.copy_from(*input_);
+  filter_.process(out_);
+  eq_.process(out_);
+  fader_.process(out_);
+}
+
+// ---- SamplerNode ----
+
+SamplerNode::SamplerNode() {
+  // Render a short percussive loop once at construction (not RT path).
+  const auto len = static_cast<std::size_t>(audio::kSampleRate * 0.5);
+  loop_.resize(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double t = static_cast<double>(i) / audio::kSampleRate;
+    loop_[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * 220.0 * t) *
+                                  std::exp(-t * 10.0));
+  }
+}
+
+void SamplerNode::process() noexcept {
+  auto l = out_.channel(0);
+  auto r = out_.channel(1);
+  for (std::size_t i = 0; i < out_.frames(); ++i) {
+    float s = 0.0f;
+    if (active_ && pos_ < loop_.size()) {
+      s = level_ * loop_[pos_++];
+    } else if (active_) {
+      pos_ = 0;  // loop the jingle
+    }
+    l[i] = s;
+    r[i] = s;
+  }
+}
+
+// ---- MixerNode ----
+
+MixerNode::MixerNode(std::array<const AudioBuffer*, 4> channels,
+                     const AudioBuffer* sampler)
+    : channels_(channels), sampler_(sampler) {}
+
+void MixerNode::process() noexcept {
+  const auto xg = dsp::crossfader_law(xfade_);
+  // Decks A/C ride the 'a' side, B/D the 'b' side.
+  const float side[4] = {xg.a, xg.b, xg.a, xg.b};
+  out_.clear();
+  for (unsigned ch = 0; ch < 4; ++ch) {
+    out_.mix_from(*channels_[ch], levels_[ch] * side[ch]);
+  }
+  out_.mix_from(*sampler_, 1.0f);
+}
+
+// ---- MasterBusNode ----
+
+MasterBusNode::MasterBusNode(const AudioBuffer* input) : input_(input) {
+  low_shelf_.set(dsp::BiquadType::kLowShelf, 90.0, 0.707, 1.5);
+  high_shelf_.set(dsp::BiquadType::kHighShelf, 9000.0, 0.707, 1.0);
+}
+
+void MasterBusNode::process() noexcept {
+  out_.copy_from(*input_);
+  low_shelf_.process(out_);
+  high_shelf_.process(out_);
+  gain_.process(out_);
+}
+
+// ---- CueNode ----
+
+CueNode::CueNode(std::array<const AudioBuffer*, 4> pre_fader)
+    : inputs_(pre_fader) {}
+
+void CueNode::process() noexcept {
+  out_.clear();
+  for (unsigned ch = 0; ch < 4; ++ch) {
+    if (cue_[ch]) out_.mix_from(*inputs_[ch], 0.7f);
+  }
+}
+
+// ---- MonitorNode ----
+
+MonitorNode::MonitorNode(const AudioBuffer* cue) : cue_(cue) {}
+
+void MonitorNode::process() noexcept {
+  auto l = out_.channel(0);
+  auto r = out_.channel(1);
+  auto cl = cue_->channel(0);
+  auto cr = cue_->channel(1);
+  for (std::size_t i = 0; i < out_.frames(); ++i) {
+    const float mono = 0.5f * (cl[i] + cr[i]);
+    l[i] = mono;
+    r[i] = mono;
+  }
+}
+
+// ---- RecordNode ----
+
+RecordNode::RecordNode(const AudioBuffer* master) : master_(master) {
+  comp_.set(-12.0f, 3.0f, 10.0f, 120.0f, 2.0f);
+  limiter_.set(-0.3f, 60.0f);
+}
+
+void RecordNode::process() noexcept {
+  out_.copy_from(*master_);
+  comp_.process(out_);
+  limiter_.process(out_);
+  clip_.process(out_);
+}
+
+// ---- AudioOutNode ----
+
+AudioOutNode::AudioOutNode(const AudioBuffer* master) : master_(master) {
+  limiter_.set(-0.1f, 50.0f);
+}
+
+void AudioOutNode::process() noexcept {
+  out_.copy_from(*master_);
+  limiter_.process(out_);
+  clip_.process(out_);
+}
+
+// ---- HeadphoneNode ----
+
+HeadphoneNode::HeadphoneNode(const AudioBuffer* cue, const AudioBuffer* master)
+    : cue_(cue), master_(master) {}
+
+void HeadphoneNode::process() noexcept {
+  out_.clear();
+  out_.mix_from(*cue_, 1.0f - blend_);
+  out_.mix_from(*master_, blend_);
+}
+
+// ---- AnalyzerNode ----
+
+AnalyzerNode::AnalyzerNode(const AudioBuffer* input)
+    : input_(input), spectrum_(fft_.bins()), mono_(128), mags_(64, 0.0f) {}
+
+void AnalyzerNode::process() noexcept {
+  auto l = input_->channel(0);
+  auto r = input_->channel(1);
+  for (std::size_t i = 0; i < mono_.size(); ++i) {
+    mono_[i] = 0.5f * (l[i] + r[i]);
+  }
+  fft_.forward(mono_, spectrum_);
+  for (std::size_t k = 0; k < mags_.size(); ++k) {
+    mags_[k] = std::abs(spectrum_[k]);
+  }
+}
+
+// ---- UtilityNode ----
+
+void UtilityNode::process() noexcept {
+  // Smooth a synthetic control source; cheap, dependency-free work that
+  // "does not modify the audio packets" (paper §IV).
+  phase_ += 0.01f + 0.0001f * static_cast<float>(id_ % 7);
+  if (phase_ > 1.0f) phase_ -= 1.0f;
+  const float target =
+      std::sin(2.0f * std::numbers::pi_v<float> * phase_);
+  value_ += 0.1f * (target - value_);
+}
+
+}  // namespace djstar::engine

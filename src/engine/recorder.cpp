@@ -1,0 +1,45 @@
+#include "djstar/engine/recorder.hpp"
+
+#include "djstar/audio/wav.hpp"
+
+namespace djstar::engine {
+
+Recorder::Recorder(double expected_seconds, double sample_rate)
+    : sample_rate_(sample_rate) {
+  const auto cap = static_cast<std::size_t>(expected_seconds * sample_rate);
+  left_.reserve(cap);
+  right_.reserve(cap);
+}
+
+void Recorder::capture(const audio::AudioBuffer& block) {
+  if (!recording_ || block.channels() < 2) return;
+  auto l = block.channel(0);
+  auto r = block.channel(1);
+  left_.insert(left_.end(), l.begin(), l.end());
+  right_.insert(right_.end(), r.begin(), r.end());
+  frames_ += block.frames();
+}
+
+audio::AudioBuffer Recorder::to_buffer() const {
+  audio::AudioBuffer out(2, frames_);
+  auto l = out.channel(0);
+  auto r = out.channel(1);
+  for (std::size_t i = 0; i < frames_; ++i) {
+    l[i] = left_[i];
+    r[i] = right_[i];
+  }
+  return out;
+}
+
+bool Recorder::save_wav(const std::string& path) const {
+  if (frames_ == 0) return false;
+  return audio::write_wav(path, to_buffer(), sample_rate_);
+}
+
+void Recorder::clear() noexcept {
+  left_.clear();
+  right_.clear();
+  frames_ = 0;
+}
+
+}  // namespace djstar::engine

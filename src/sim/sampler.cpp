@@ -1,0 +1,35 @@
+#include "djstar/sim/sampler.hpp"
+
+#include <cmath>
+
+namespace djstar::sim {
+
+DurationSampler::DurationSampler(std::span<const double> mean_us,
+                                 SamplerConfig cfg)
+    : mean_us_(mean_us.begin(), mean_us.end()), cfg_(cfg), rng_(cfg.seed) {}
+
+void DurationSampler::sample(std::vector<double>& out) {
+  out.resize(mean_us_.size());
+  last_heavy_ = rng_.uniform() < cfg_.heavy_probability;
+  // With preserve_mean: light*(1-p) + heavy*p == 1 where heavy/light is
+  // the configured ratio, so E[duration] == mean (ignoring rare spikes).
+  const double light =
+      cfg_.preserve_mean
+          ? 1.0 / (1.0 + cfg_.heavy_probability * (cfg_.heavy_factor - 1.0))
+          : 1.0;
+  const double regime = last_heavy_ ? cfg_.heavy_factor * light : light;
+  const double jitter_bias =
+      -0.5 * cfg_.jitter_sigma * cfg_.jitter_sigma;  // lognormal mean = 1
+  for (std::size_t i = 0; i < mean_us_.size(); ++i) {
+    double d = mean_us_[i] * regime;
+    if (cfg_.jitter_sigma > 0) {
+      d *= std::exp(cfg_.jitter_sigma * rng_.normal() + jitter_bias);
+    }
+    if (rng_.uniform() < cfg_.spike_probability) {
+      d *= cfg_.spike_factor;
+    }
+    out[i] = d;
+  }
+}
+
+}  // namespace djstar::sim

@@ -1,0 +1,183 @@
+#include "djstar/sim/schedulers.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::sim {
+namespace {
+
+/// Build the concurrency profile from schedule entries.
+void fill_profile(ScheduleResult& r) {
+  // Delta encoding at every start (+1) and finish (-1).
+  std::map<double, int> delta;
+  for (const auto& e : r.entries) {
+    delta[e.start_us] += 1;
+    delta[e.finish_us] -= 1;
+  }
+  int active = 0;
+  r.profile_times_us.clear();
+  r.profile_active.clear();
+  for (const auto& [t, d] : delta) {
+    active += d;
+    r.profile_times_us.push_back(t);
+    r.profile_active.push_back(active);
+  }
+}
+
+}  // namespace
+
+int ScheduleResult::peak_concurrency() const noexcept {
+  int peak = 0;
+  for (int a : profile_active) peak = std::max(peak, a);
+  return peak;
+}
+
+std::vector<support::TraceSpan> ScheduleResult::to_spans() const {
+  std::vector<support::TraceSpan> spans;
+  spans.reserve(entries.size() + waits.size());
+  for (const auto& w : waits) {
+    spans.push_back({w.begin_us, w.end_us, w.proc, -1,
+                     w.sleeping ? support::SpanKind::kSleep
+                                : support::SpanKind::kBusyWait});
+  }
+  for (const auto& e : entries) {
+    spans.push_back({e.start_us, e.finish_us, e.proc,
+                     static_cast<std::int32_t>(e.node),
+                     support::SpanKind::kRun});
+  }
+  return spans;
+}
+
+ScheduleResult earliest_start_schedule(const SimGraph& g) {
+  ScheduleResult r;
+  const std::size_t n = g.node_count();
+  std::vector<double> finish(n, 0);
+  r.entries.reserve(n);
+
+  // Assign processors greedily: reuse the first processor free at the
+  // node's start time (keeps the Gantt compact and counts processors).
+  std::vector<double> proc_free;  // time each proc becomes free
+
+  for (NodeId v : g.order) {
+    double start = 0;
+    for (NodeId p : g.predecessors[v]) start = std::max(start, finish[p]);
+    finish[v] = start + g.duration_us[v];
+    r.makespan_us = std::max(r.makespan_us, finish[v]);
+
+    std::uint32_t proc = static_cast<std::uint32_t>(proc_free.size());
+    for (std::uint32_t i = 0; i < proc_free.size(); ++i) {
+      if (proc_free[i] <= start) {
+        proc = i;
+        break;
+      }
+    }
+    if (proc == proc_free.size()) proc_free.push_back(0);
+    proc_free[proc] = finish[v];
+    r.entries.push_back({v, proc, start, finish[v]});
+  }
+  r.processors_used = static_cast<std::uint32_t>(proc_free.size());
+  fill_profile(r);
+  return r;
+}
+
+std::vector<double> upward_rank(const SimGraph& g) {
+  std::vector<double> rank(g.node_count(), 0.0);
+  // Reverse topological order: rank(v) = dur(v) + max rank(successors).
+  for (auto it = g.order.rbegin(); it != g.order.rend(); ++it) {
+    const NodeId v = *it;
+    double best = 0;
+    for (NodeId s : g.successors[v]) best = std::max(best, rank[s]);
+    rank[v] = g.duration_us[v] + best;
+  }
+  return rank;
+}
+
+ScheduleResult list_schedule(const SimGraph& g, std::uint32_t processors,
+                             PriorityRule rule) {
+  DJSTAR_ASSERT(processors >= 1);
+  ScheduleResult r;
+  const std::size_t n = g.node_count();
+
+  // Lower prio value = scheduled first.
+  std::vector<double> prio(n);
+  if (rule == PriorityRule::kQueueOrder) {
+    for (std::size_t i = 0; i < n; ++i) {
+      prio[g.order[i]] = static_cast<double>(i);
+    }
+  } else {
+    const auto rank = upward_rank(g);
+    for (std::size_t i = 0; i < n; ++i) prio[i] = -rank[i];
+  }
+
+  std::vector<std::size_t> pending(n);
+  for (NodeId v = 0; v < n; ++v) pending[v] = g.predecessors[v].size();
+
+  auto cmp = [&](NodeId a, NodeId b) { return prio[a] > prio[b]; };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(cmp)> ready(cmp);
+  for (NodeId v = 0; v < n; ++v) {
+    if (pending[v] == 0) ready.push(v);
+  }
+
+  // Event loop: (finish_time, proc, node) of running nodes.
+  struct Running {
+    double finish;
+    std::uint32_t proc;
+    NodeId node;
+    bool operator>(const Running& o) const { return finish > o.finish; }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::vector<std::uint32_t> free_procs;
+  for (std::uint32_t p = 0; p < processors; ++p) free_procs.push_back(p);
+
+  std::vector<double> finish(n, 0);
+  double now = 0;
+  std::size_t scheduled = 0;
+  r.entries.reserve(n);
+
+  while (scheduled < n || !running.empty()) {
+    // Dispatch ready nodes onto free processors at the current time.
+    while (!free_procs.empty() && !ready.empty()) {
+      const NodeId v = ready.top();
+      ready.pop();
+      const std::uint32_t p = free_procs.back();
+      free_procs.pop_back();
+      const double f = now + g.duration_us[v];
+      finish[v] = f;
+      running.push({f, p, v});
+      r.entries.push_back({v, p, now, f});
+      ++scheduled;
+    }
+    if (running.empty()) break;  // defensive; cannot happen on a DAG
+
+    // Advance to the next completion.
+    const Running done = running.top();
+    running.pop();
+    now = done.finish;
+    free_procs.push_back(done.proc);
+    for (NodeId s : g.successors[done.node]) {
+      if (--pending[s] == 0) ready.push(s);
+    }
+    // Collect all completions at the same instant before dispatching.
+    while (!running.empty() && running.top().finish == now) {
+      const Running d2 = running.top();
+      running.pop();
+      free_procs.push_back(d2.proc);
+      for (NodeId s : g.successors[d2.node]) {
+        if (--pending[s] == 0) ready.push(s);
+      }
+    }
+  }
+
+  DJSTAR_ASSERT_MSG(scheduled == n, "list schedule failed to place all nodes");
+  for (const auto& e : r.entries) {
+    r.makespan_us = std::max(r.makespan_us, e.finish_us);
+  }
+  r.processors_used = processors;
+  fill_profile(r);
+  return r;
+}
+
+}  // namespace djstar::sim

@@ -1,0 +1,103 @@
+#include "djstar/stretch/phase_vocoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::stretch {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+double wrap_phase(double p) {
+  // Principal value in (-pi, pi].
+  p = std::fmod(p + std::numbers::pi, kTwoPi);
+  if (p < 0) p += kTwoPi;
+  return p - std::numbers::pi;
+}
+}  // namespace
+
+PhaseVocoder::PhaseVocoder(const PhaseVocoderConfig& cfg)
+    : cfg_(cfg), fft_(cfg.fft_size), window_(cfg.fft_size) {
+  DJSTAR_ASSERT_MSG(cfg.synthesis_hop > 0 &&
+                        cfg.synthesis_hop <= cfg.fft_size / 2,
+                    "synthesis hop must be in (0, fft_size/2]");
+  fft::make_window(fft::WindowType::kHann, window_);
+}
+
+std::vector<float> PhaseVocoder::stretch(std::span<const float> in,
+                                         double rate) {
+  rate = std::clamp(rate, 0.25, 4.0);
+  const std::size_t n = cfg_.fft_size;
+  const std::size_t bins = fft_.bins();
+  const double analysis_hop = static_cast<double>(cfg_.synthesis_hop) * rate;
+
+  if (in.size() < n + static_cast<std::size_t>(analysis_hop) + 1) return {};
+
+  const auto frames = static_cast<std::size_t>(
+      (static_cast<double>(in.size()) - n) / analysis_hop);
+  std::vector<float> out(frames * cfg_.synthesis_hop + n, 0.0f);
+  std::vector<float> norm(out.size(), 0.0f);
+
+  std::vector<float> frame(n);
+  std::vector<std::complex<float>> spectrum(bins);
+  std::vector<double> prev_phase(bins, 0.0);
+  std::vector<double> synth_phase(bins, 0.0);
+  std::vector<double> magnitude(bins, 0.0);
+
+  // Expected per-hop phase advance of each bin's center frequency.
+  std::vector<double> expected(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    expected[k] = kTwoPi * static_cast<double>(k) * analysis_hop /
+                  static_cast<double>(n);
+  }
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const auto pos = static_cast<std::size_t>(f * analysis_hop);
+    for (std::size_t i = 0; i < n; ++i) {
+      frame[i] = in[pos + i] * window_[i];
+    }
+    fft_.forward(frame, spectrum);
+
+    for (std::size_t k = 0; k < bins; ++k) {
+      const double mag = std::abs(spectrum[k]);
+      const double phase = std::arg(spectrum[k]);
+      // Instantaneous frequency: bin center + wrapped deviation.
+      const double delta = wrap_phase(phase - prev_phase[k] - expected[k]);
+      const double true_advance = expected[k] + delta;
+      prev_phase[k] = phase;
+
+      if (f == 0) {
+        synth_phase[k] = phase;  // lock first frame to the analysis phase
+      } else {
+        // Advance the synthesis phase by the true frequency scaled to
+        // the synthesis hop.
+        synth_phase[k] = wrap_phase(
+            synth_phase[k] + true_advance / rate *
+                                 (static_cast<double>(cfg_.synthesis_hop) *
+                                  rate / analysis_hop));
+      }
+      magnitude[k] = mag;
+      spectrum[k] = std::polar(static_cast<float>(mag),
+                               static_cast<float>(synth_phase[k]));
+    }
+
+    fft_.inverse(spectrum, frame);
+    const std::size_t opos = f * cfg_.synthesis_hop;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[opos + i] += frame[i] * window_[i];
+      norm[opos + i] += window_[i] * window_[i];
+    }
+  }
+
+  // Normalize the overlap-add by the accumulated window energy.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (norm[i] > 1e-6f) out[i] /= norm[i];
+  }
+  // Trim the un-normalized tail region.
+  out.resize(frames * cfg_.synthesis_hop);
+  return out;
+}
+
+}  // namespace djstar::stretch

@@ -1,0 +1,67 @@
+#include "djstar/stretch/pitch_shift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djstar::stretch {
+
+PitchShifter::PitchShifter(const WsolaConfig& cfg) : wsola_(cfg) {
+  set_ratio(1.0);
+}
+
+void PitchShifter::set_ratio(double ratio) noexcept {
+  ratio_ = std::clamp(ratio, 0.5, 2.0);
+  // Stretch time by 1/ratio (longer for upshift), then read faster by
+  // ratio: net duration 1:1, pitch scaled by ratio.
+  wsola_.set_rate(1.0 / ratio_);
+}
+
+void PitchShifter::set_semitones(double semitones) noexcept {
+  set_ratio(std::pow(2.0, semitones / 12.0));
+}
+
+void PitchShifter::reset() noexcept {
+  wsola_.reset();
+  resampler_.reset();
+  stretch_buf_.clear();
+  out_.clear();
+  read_ = 0;
+}
+
+void PitchShifter::push(std::span<const float> in) {
+  wsola_.push(in);
+  produce();
+}
+
+void PitchShifter::produce() {
+  const std::size_t avail = wsola_.available();
+  if (avail == 0) return;
+  stretch_buf_.resize(avail);
+  wsola_.pull(stretch_buf_);
+  resampler_.process(stretch_buf_, ratio_, out_);
+}
+
+std::size_t PitchShifter::pull(std::span<float> out) {
+  const std::size_t n = std::min(out.size(), available());
+  for (std::size_t i = 0; i < n; ++i) out[i] = out_[read_ + i];
+  read_ += n;
+  if (read_ > (1u << 15)) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(read_));
+    read_ = 0;
+  }
+  return n;
+}
+
+std::vector<float> PitchShifter::shift(std::span<const float> in,
+                                       double ratio, const WsolaConfig& cfg) {
+  PitchShifter ps(cfg);
+  ps.set_ratio(ratio);
+  ps.push(in);
+  std::vector<float> pad(cfg.frame_size + cfg.tolerance + 8, 0.0f);
+  ps.push(pad);
+  std::vector<float> out(ps.available());
+  ps.pull(out);
+  return out;
+}
+
+}  // namespace djstar::stretch

@@ -1,0 +1,99 @@
+#include "djstar/stretch/resampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace djstar::stretch {
+namespace {
+
+// History samples kept before the read position so every interpolator has
+// enough left context (sinc-8 needs 4).
+constexpr std::size_t kLeftContext = 4;
+
+float sinc(double x) {
+  if (std::abs(x) < 1e-9) return 1.0f;
+  const double px = std::numbers::pi * x;
+  return static_cast<float>(std::sin(px) / px);
+}
+
+}  // namespace
+
+Resampler::Resampler(ResampleQuality q) : quality_(q) { reset(); }
+
+void Resampler::reset() noexcept {
+  history_.assign(kLeftContext * 2, 0.0f);
+  pos_ = kLeftContext;
+}
+
+float Resampler::interpolate(double idx) const noexcept {
+  const auto i = static_cast<std::size_t>(idx);
+  const auto f = static_cast<float>(idx - static_cast<double>(i));
+  auto sample = [&](std::ptrdiff_t k) -> float {
+    const auto j = static_cast<std::ptrdiff_t>(i) + k;
+    if (j < 0 || j >= static_cast<std::ptrdiff_t>(history_.size())) return 0.0f;
+    return history_[static_cast<std::size_t>(j)];
+  };
+  switch (quality_) {
+    case ResampleQuality::kLinear: {
+      return sample(0) + f * (sample(1) - sample(0));
+    }
+    case ResampleQuality::kCubic: {
+      // Catmull-Rom.
+      const float p0 = sample(-1), p1 = sample(0), p2 = sample(1),
+                  p3 = sample(2);
+      const float f2 = f * f, f3 = f2 * f;
+      return 0.5f * ((2.0f * p1) + (-p0 + p2) * f +
+                     (2.0f * p0 - 5.0f * p1 + 4.0f * p2 - p3) * f2 +
+                     (-p0 + 3.0f * p1 - 3.0f * p2 + p3) * f3);
+    }
+    case ResampleQuality::kSinc8: {
+      float acc = 0.0f, wsum = 0.0f;
+      for (int k = -3; k <= 4; ++k) {
+        const double x = static_cast<double>(k) - f;
+        // Hann window over the 8-tap span.
+        const double hann =
+            0.5 + 0.5 * std::cos(std::numbers::pi * x / 4.0);
+        const float w = sinc(x) * static_cast<float>(hann);
+        acc += w * sample(k);
+        wsum += w;
+      }
+      return wsum != 0.0f ? acc / wsum : 0.0f;
+    }
+  }
+  return 0.0f;
+}
+
+void Resampler::process(std::span<const float> in, double ratio,
+                        std::vector<float>& out) {
+  if (ratio <= 0.0) return;
+  history_.insert(history_.end(), in.begin(), in.end());
+  // Produce while we have right context (4 samples for sinc/cubic).
+  const double limit = static_cast<double>(history_.size()) - 5.0;
+  while (pos_ <= limit) {
+    out.push_back(interpolate(pos_));
+    pos_ += ratio;
+  }
+  // Drop consumed history, keeping kLeftContext before pos_.
+  const auto keep_from = static_cast<std::size_t>(
+      std::max(0.0, pos_ - static_cast<double>(kLeftContext)));
+  if (keep_from > 0) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+    pos_ -= static_cast<double>(keep_from);
+  }
+}
+
+std::vector<float> Resampler::convert(std::span<const float> in, double ratio,
+                                      ResampleQuality q) {
+  Resampler r(q);
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(static_cast<double>(in.size()) / ratio) + 8);
+  r.process(in, ratio, out);
+  // Flush with silence so the tail is produced.
+  const float zeros[8] = {};
+  r.process(zeros, ratio, out);
+  return out;
+}
+
+}  // namespace djstar::stretch

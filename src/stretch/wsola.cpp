@@ -1,0 +1,167 @@
+#include "djstar/stretch/wsola.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::stretch {
+
+Wsola::Wsola(const WsolaConfig& cfg) : cfg_(cfg) {
+  DJSTAR_ASSERT_MSG(cfg_.overlap < cfg_.frame_size,
+                    "overlap must be smaller than the frame");
+  window_.resize(cfg_.overlap);
+  for (std::size_t i = 0; i < cfg_.overlap; ++i) {
+    // Raised-cosine crossfade over the overlap region.
+    window_[i] = 0.5f - 0.5f * static_cast<float>(std::cos(
+                                   std::numbers::pi * static_cast<double>(i) /
+                                   static_cast<double>(cfg_.overlap)));
+  }
+  reset();
+}
+
+void Wsola::set_rate(double rate) noexcept {
+  rate_ = std::clamp(rate, 0.25, 4.0);
+}
+
+void Wsola::reset() noexcept {
+  input_.clear();
+  output_.clear();
+  out_read_ = 0;
+  in_pos_ = 0.0;
+  prev_tail_.assign(cfg_.overlap, 0.0f);
+  primed_ = false;
+}
+
+void Wsola::push(std::span<const float> in) {
+  input_.insert(input_.end(), in.begin(), in.end());
+  produce_frames();
+}
+
+std::size_t Wsola::available() const noexcept {
+  return output_.size() - out_read_;
+}
+
+std::size_t Wsola::pull(std::span<float> out) {
+  const std::size_t n = std::min(out.size(), available());
+  for (std::size_t i = 0; i < n; ++i) out[i] = output_[out_read_ + i];
+  out_read_ += n;
+  // Periodically compact the output FIFO.
+  if (out_read_ > 1 << 15) {
+    output_.erase(output_.begin(),
+                  output_.begin() + static_cast<std::ptrdiff_t>(out_read_));
+    out_read_ = 0;
+  }
+  return n;
+}
+
+std::size_t Wsola::best_offset(std::size_t ideal) const noexcept {
+  // Search [ideal - tol, ideal + tol] for the start that maximizes
+  // normalized cross-correlation between the previous tail and the
+  // overlap region of the candidate frame.
+  const std::size_t tol = cfg_.tolerance;
+  const std::size_t lo = ideal > tol ? ideal - tol : 0;
+  const std::size_t hi = ideal + tol;
+  std::size_t best = ideal;
+  double best_score = -1e30;
+  for (std::size_t cand = lo; cand <= hi; ++cand) {
+    if (cand + cfg_.frame_size > input_.size()) break;
+    double corr = 0.0, energy = 1e-9;
+    for (std::size_t i = 0; i < cfg_.overlap; ++i) {
+      const double x = input_[cand + i];
+      corr += static_cast<double>(prev_tail_[i]) * x;
+      energy += x * x;
+    }
+    const double score = corr / std::sqrt(energy);
+    if (score > best_score) {
+      best_score = score;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+void Wsola::produce_frames() {
+  const std::size_t frame = cfg_.frame_size;
+  const std::size_t overlap = cfg_.overlap;
+  const std::size_t synth_hop = frame - overlap;
+
+  for (;;) {
+    const auto ideal = static_cast<std::size_t>(in_pos_);
+    // Need the candidate window plus search tolerance ahead.
+    if (ideal + frame + cfg_.tolerance > input_.size()) break;
+
+    std::size_t start;
+    if (!primed_) {
+      start = ideal;
+      primed_ = true;
+      // First frame: emit it whole; its tail becomes the template.
+      for (std::size_t i = 0; i < synth_hop; ++i) {
+        output_.push_back(input_[start + i]);
+      }
+    } else {
+      start = best_offset(ideal);
+      // Crossfade prev_tail_ with the head of the chosen frame.
+      for (std::size_t i = 0; i < overlap; ++i) {
+        const float w = window_[i];
+        output_.push_back((1.0f - w) * prev_tail_[i] +
+                          w * input_[start + i]);
+      }
+      // Then the un-overlapped middle part.
+      for (std::size_t i = overlap; i < synth_hop; ++i) {
+        output_.push_back(input_[start + i]);
+      }
+    }
+    // Stash the new tail.
+    for (std::size_t i = 0; i < overlap; ++i) {
+      prev_tail_[i] = input_[start + synth_hop + i];
+    }
+    in_pos_ += static_cast<double>(synth_hop) * rate_;
+  }
+
+  // Compact consumed input, keeping the search slack behind in_pos_.
+  const std::size_t keep_behind = cfg_.tolerance + frame;
+  const auto ipos = static_cast<std::size_t>(in_pos_);
+  if (ipos > keep_behind + 4096) {
+    const std::size_t drop = ipos - keep_behind;
+    input_.erase(input_.begin(),
+                 input_.begin() + static_cast<std::ptrdiff_t>(drop));
+    in_pos_ -= static_cast<double>(drop);
+  }
+}
+
+std::vector<float> Wsola::stretch(std::span<const float> in, double rate,
+                                  const WsolaConfig& cfg) {
+  Wsola w(cfg);
+  w.set_rate(rate);
+  w.push(in);
+  // Flush: pad with silence so trailing frames are produced.
+  std::vector<float> pad(cfg.frame_size + cfg.tolerance + 1, 0.0f);
+  w.push(pad);
+  std::vector<float> out(w.available());
+  w.pull(out);
+  return out;
+}
+
+int estimate_alignment(std::span<const float> a, std::span<const float> b,
+                       int max_lag) noexcept {
+  int best_lag = 0;
+  double best = -1e30;
+  const int n = static_cast<int>(std::min(a.size(), b.size()));
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    double corr = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int j = i - lag;
+      if (j < 0 || j >= n) continue;
+      corr += static_cast<double>(a[i]) * b[j];
+    }
+    if (corr > best) {
+      best = corr;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+}  // namespace djstar::stretch

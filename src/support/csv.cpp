@@ -1,0 +1,37 @@
+#include "djstar/support/csv.hpp"
+
+namespace djstar::support {
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << sep_;
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  return *this;
+}
+
+std::string CsvWriter::escape(std::string_view cell) const {
+  const bool needs_quotes =
+      cell.find(sep_) != std::string_view::npos ||
+      cell.find('"') != std::string_view::npos ||
+      cell.find('\n') != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string data = out_.str();
+  f.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace djstar::support

@@ -1,0 +1,71 @@
+#include "djstar/support/histogram.hpp"
+
+#include <algorithm>
+
+#include "djstar/support/assert.hpp"
+
+namespace djstar::support {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DJSTAR_ASSERT_MSG(hi > lo, "histogram range must be non-empty");
+  DJSTAR_ASSERT_MSG(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge at hi_
+  ++counts_[i];
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  underflow_ = overflow_ = total_ = 0;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i + 1) * width_;
+}
+
+std::size_t Histogram::max_count() const noexcept {
+  std::size_t m = 0;
+  for (auto c : counts_) m = std::max(m, c);
+  return m;
+}
+
+std::size_t Histogram::cumulative(std::size_t i) const noexcept {
+  std::size_t sum = underflow_;
+  for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) sum += counts_[k];
+  return sum;
+}
+
+double Histogram::cdf(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t below = 0;
+  if (x >= lo_) below += underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_hi(i) <= x) below += counts_[i];
+  }
+  if (x >= hi_) below += overflow_;
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+}  // namespace djstar::support

@@ -1,0 +1,19 @@
+#include "djstar/support/rng.hpp"
+
+#include <cmath>
+
+namespace djstar::support {
+
+double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; loop terminates with probability 1.
+  for (;;) {
+    const double u = uniform() * 2.0 - 1.0;
+    const double v = uniform() * 2.0 - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace djstar::support

@@ -1,0 +1,17 @@
+#include "djstar/support/time.hpp"
+
+namespace djstar::support {
+
+void spin_for_us(double us) noexcept {
+  if (us <= 0) return;
+  const auto t0 = now();
+  // Re-reading the clock each iteration bounds the overshoot to one clock
+  // read (~20ns); good enough for emulating node compute in tests/benches.
+  while (since_us(t0) < us) {
+#if defined(__x86_64__) || defined(_M_X64)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace djstar::support

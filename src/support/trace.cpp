@@ -1,0 +1,56 @@
+#include "djstar/support/trace.hpp"
+
+#include <algorithm>
+
+namespace djstar::support {
+
+const char* to_string(SpanKind k) noexcept {
+  switch (k) {
+    case SpanKind::kRun: return "run";
+    case SpanKind::kBusyWait: return "busy-wait";
+    case SpanKind::kSleep: return "sleep";
+    case SpanKind::kSteal: return "steal";
+    case SpanKind::kOverhead: return "overhead";
+  }
+  return "?";
+}
+
+void TraceRecorder::arm(std::uint32_t threads, std::size_t capacity) {
+  lanes_.assign(threads, Lane{});
+  for (auto& lane : lanes_) {
+    lane.capacity = capacity;
+    lane.spans.clear();
+    lane.spans.reserve(capacity);
+  }
+  armed_ = true;
+}
+
+void TraceRecorder::disarm() noexcept {
+  armed_ = false;
+  lanes_.clear();
+}
+
+void TraceRecorder::record(std::uint32_t thread,
+                           const TraceSpan& span) noexcept {
+  if (!armed_ || thread >= lanes_.size()) return;
+  Lane& lane = lanes_[thread];
+  if (lane.spans.size() >= lane.capacity) return;  // full: drop silently
+  lane.spans.push_back(span);
+}
+
+std::vector<TraceSpan> TraceRecorder::collect() const {
+  std::vector<TraceSpan> all;
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.spans.size();
+  all.reserve(n);
+  for (const auto& lane : lanes_) {
+    all.insert(all.end(), lane.spans.begin(), lane.spans.end());
+  }
+  std::sort(all.begin(), all.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.thread != b.thread) return a.thread < b.thread;
+    return a.begin_us < b.begin_us;
+  });
+  return all;
+}
+
+}  // namespace djstar::support

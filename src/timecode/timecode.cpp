@@ -1,0 +1,203 @@
+#include "djstar/timecode/timecode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace djstar::timecode {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+std::uint32_t position_checksum(std::uint32_t position) noexcept {
+  // Fold the 20 position bits into 5 nibbles and XOR them.
+  std::uint32_t x = position & ((1u << kPositionBits) - 1);
+  std::uint32_t c = 0;
+  for (unsigned i = 0; i < kPositionBits; i += 4) {
+    c ^= (x >> i) & 0xF;
+  }
+  return c;
+}
+
+TimecodeGenerator::TimecodeGenerator(double sample_rate) noexcept
+    : sr_(sample_rate) {}
+
+void TimecodeGenerator::seek(std::uint32_t frame) noexcept {
+  frame_counter_ = frame & ((1u << kPositionBits) - 1);
+  bit_index_ = 0;
+}
+
+std::uint64_t TimecodeGenerator::current_frame_word() const noexcept {
+  const std::uint32_t pos = frame_counter_ & ((1u << kPositionBits) - 1);
+  return (static_cast<std::uint64_t>(kSyncPattern)
+          << (kPositionBits + kChecksumBits)) |
+         (static_cast<std::uint64_t>(pos) << kChecksumBits) |
+         position_checksum(pos);
+}
+
+void TimecodeGenerator::render(audio::AudioBuffer& out) noexcept {
+  if (out.channels() < 2) return;
+  auto l = out.channel(0);
+  auto r = out.channel(1);
+  const double inc = kCarrierHz * pitch_ / sr_;
+  for (std::size_t i = 0; i < out.frames(); ++i) {
+    const std::uint64_t word = current_frame_word();
+    // Transmit MSB first: bit_index_ 0 is the top bit of the frame.
+    const unsigned shift = kFrameBits - 1 - bit_index_;
+    const bool bit = ((word >> shift) & 1) != 0;
+    const float amp = bit ? 1.0f : kZeroAmp;
+
+    l[i] = amp * static_cast<float>(std::sin(kTwoPi * phase_));
+    r[i] = amp * static_cast<float>(std::cos(kTwoPi * phase_));
+
+    phase_ += inc;
+    bool wrapped = false;
+    while (phase_ >= 1.0) {
+      phase_ -= 1.0;
+      wrapped = true;
+    }
+    while (phase_ < 0.0) {
+      phase_ += 1.0;
+      wrapped = true;
+    }
+    if (wrapped) {
+      if (++bit_index_ >= kFrameBits) {
+        bit_index_ = 0;
+        frame_counter_ = (frame_counter_ + 1) & ((1u << kPositionBits) - 1);
+      }
+    }
+  }
+}
+
+TimecodeDecoder::TimecodeDecoder(double sample_rate) noexcept
+    : sr_(sample_rate) {}
+
+void TimecodeDecoder::reset() noexcept {
+  state_ = {};
+  prev_l_ = 0.0f;
+  samples_since_crossing_ = 0.0;
+  cycle_peak_ = 0.0f;
+  pitch_smooth_ = 0.0;
+  prev_theta_ = 0.0;
+  have_theta_ = false;
+  bit_shift_ = 0;
+  bits_seen_ = 0;
+  synced_ = false;
+  have_candidate_ = false;
+  candidate_position_ = 0;
+  bits_since_candidate_ = 0;
+  boundary_countdown_ = 0;
+}
+
+void TimecodeDecoder::push_bit(bool bit) noexcept {
+  bit_shift_ = (bit_shift_ << 1) | (bit ? 1u : 0u);
+  if (bits_seen_ < 64) ++bits_seen_;
+  if (bits_seen_ < kFrameBits) return;
+
+  const std::uint64_t word = bit_shift_ & ((1ull << kFrameBits) - 1);
+  const auto sync = static_cast<std::uint32_t>(
+      word >> (kPositionBits + kChecksumBits));
+  const auto pos = static_cast<std::uint32_t>(
+      (word >> kChecksumBits) & ((1u << kPositionBits) - 1));
+  const auto csum =
+      static_cast<std::uint32_t>(word & ((1u << kChecksumBits) - 1));
+  const bool valid = sync == kSyncPattern && csum == position_checksum(pos);
+
+  if (synced_) {
+    if (--boundary_countdown_ > 0) return;  // between frame boundaries
+    const std::uint32_t expected =
+        (state_.position + 1) & ((1u << kPositionBits) - 1);
+    if (valid && pos == expected) {
+      state_.position = pos;
+      ++state_.frames_decoded;
+      boundary_countdown_ = kFrameBits;
+    } else {
+      // A boundary that fails to validate is a real decode error.
+      ++state_.checksum_errors;
+      synced_ = false;
+      have_candidate_ = false;
+    }
+    return;
+  }
+
+  // Scanning: look for two valid frames exactly one frame apart.
+  if (have_candidate_) ++bits_since_candidate_;
+  if (!valid) return;
+  if (have_candidate_ && bits_since_candidate_ == kFrameBits &&
+      pos == ((candidate_position_ + 1) & ((1u << kPositionBits) - 1))) {
+    synced_ = true;
+    state_.locked = true;
+    state_.position = pos;
+    state_.frames_decoded += 2;  // the candidate and this frame
+    boundary_countdown_ = kFrameBits;
+    have_candidate_ = false;
+  } else {
+    have_candidate_ = true;
+    candidate_position_ = pos;
+    bits_since_candidate_ = 0;
+  }
+}
+
+void TimecodeDecoder::on_cycle_complete(double period_samples, float peak_amp,
+                                        bool /*forward*/) noexcept {
+  if (period_samples <= 0.0) return;
+  // Amplitude slicer midway between the '0' and '1' levels.
+  constexpr float kThreshold = (1.0f + kZeroAmp) * 0.5f;
+  push_bit(peak_amp > kThreshold);
+}
+
+void TimecodeDecoder::process(const audio::AudioBuffer& in) noexcept {
+  if (in.channels() < 2) return;
+  auto l = in.channel(0);
+  auto r = in.channel(1);
+  constexpr double kTheta2Pitch = 1.0 / kTwoPi;
+  for (std::size_t i = 0; i < in.frames(); ++i) {
+    const float s = l[i];
+
+    // Quadrature demodulation: the generator emits L = A sin(theta),
+    // R = A cos(theta), so atan2(L, R) recovers theta directly and the
+    // wrapped per-sample increment is the instantaneous carrier
+    // frequency — signed, so reverse platter motion shows as a negative
+    // pitch without any separate direction detector.
+    const double amp2 = static_cast<double>(s) * s +
+                        static_cast<double>(r[i]) * r[i];
+    if (amp2 > 1e-6) {
+      const double theta = std::atan2(static_cast<double>(s),
+                                      static_cast<double>(r[i]));
+      if (have_theta_) {
+        double dtheta = theta - prev_theta_;
+        if (dtheta > std::numbers::pi) dtheta -= kTwoPi;
+        if (dtheta < -std::numbers::pi) dtheta += kTwoPi;
+        const double inst_freq = dtheta * kTheta2Pitch * sr_;
+        const double pitch = inst_freq / kCarrierHz;
+        // Heavier smoothing than the per-cycle variant: one pole over
+        // ~3 carrier cycles keeps the estimate rock steady while still
+        // tracking scratch gestures.
+        pitch_smooth_ += 0.015 * (pitch - pitch_smooth_);
+        state_.pitch = pitch_smooth_;
+      }
+      prev_theta_ = theta;
+      have_theta_ = true;
+    } else {
+      have_theta_ = false;  // silence: no phase information
+    }
+
+    cycle_peak_ = std::max(cycle_peak_, std::fabs(s));
+    samples_since_crossing_ += 1.0;
+    // Positive-going zero crossing of the left carrier clocks one bit.
+    if (prev_l_ <= 0.0f && s > 0.0f) {
+      // Reject spurious crossings from noise (shorter than 1/8 nominal
+      // period at 8x speed).
+      const double min_period = sr_ / (kCarrierHz * 8.0);
+      if (samples_since_crossing_ >= min_period) {
+        on_cycle_complete(samples_since_crossing_, cycle_peak_,
+                          state_.pitch >= 0.0);
+        samples_since_crossing_ = 0.0;
+        cycle_peak_ = 0.0f;
+      }
+    }
+    prev_l_ = s;
+  }
+}
+
+}  // namespace djstar::timecode

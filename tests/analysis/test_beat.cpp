@@ -1,0 +1,107 @@
+// Unit tests for the beat/BPM analyzer against synthetic tracks of known
+// tempo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/analysis/beat.hpp"
+#include "djstar/audio/track.hpp"
+
+namespace da = djstar::audio;
+namespace dan = djstar::analysis;
+
+namespace {
+
+da::Track make_track(double bpm, std::uint64_t seed = 3) {
+  da::TrackSpec spec;
+  spec.seconds = 12.0;
+  spec.bpm = bpm;
+  spec.seed = seed;
+  return da::Track::generate(spec);
+}
+
+}  // namespace
+
+TEST(OnsetEnvelope, EmptyForTooShortInput) {
+  std::vector<float> tiny(100, 0.1f);
+  EXPECT_TRUE(dan::onset_envelope(tiny).empty());
+}
+
+TEST(OnsetEnvelope, SilenceGivesZeroFlux) {
+  std::vector<float> silence(44100, 0.0f);
+  const auto env = dan::onset_envelope(silence);
+  for (float v : env) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OnsetEnvelope, ImpulseTrainGivesPeriodicPeaks) {
+  std::vector<float> clicks(44100 * 2, 0.0f);
+  const std::size_t period = 22050;  // 120 bpm
+  for (std::size_t i = 0; i < clicks.size(); i += period) {
+    for (std::size_t k = 0; k < 600 && i + k < clicks.size(); ++k) {
+      clicks[i + k] = 0.9f * std::exp(-static_cast<float>(k) * 0.01f);
+    }
+  }
+  const auto env = dan::onset_envelope(clicks);
+  float peak = 0, mean = 0;
+  for (float v : env) {
+    peak = std::max(peak, v);
+    mean += v;
+  }
+  mean /= static_cast<float>(env.size());
+  EXPECT_GT(peak, mean * 4.0f);  // strongly peaked envelope
+}
+
+TEST(EstimateTempo, DegenerateEnvelopeGivesZero) {
+  std::vector<float> flat(200, 1.0f);
+  const auto t = dan::estimate_tempo(flat);
+  // A constant envelope has no periodicity above the mean.
+  EXPECT_LE(t.confidence, 2.0);
+}
+
+TEST(EstimateTempo, RecoversImpulseTrainTempo) {
+  // 140 bpm click envelope at the analyzer's hop rate.
+  dan::BeatConfig cfg;
+  const double fps = cfg.sample_rate / static_cast<double>(cfg.hop);
+  const double period = fps * 60.0 / 140.0;
+  std::vector<float> env(2000, 0.0f);
+  for (double pos = 0; pos < env.size(); pos += period) {
+    env[static_cast<std::size_t>(pos)] = 1.0f;
+  }
+  const auto t = dan::estimate_tempo(env, cfg);
+  EXPECT_NEAR(t.bpm, 140.0, 2.0);
+  EXPECT_GT(t.confidence, 2.0);
+}
+
+TEST(AnalyzeBeats, RecoversSyntheticTrackBpm) {
+  for (double bpm : {120.0, 126.0, 132.0}) {
+    const auto track = make_track(bpm);
+    const auto r = dan::analyze_beats(track.audio());
+    // Accept the exact tempo or a near-miss within 3 bpm (octave errors
+    // would be 2x off and fail loudly).
+    EXPECT_NEAR(r.bpm, bpm, 3.0) << "track at " << bpm;
+  }
+}
+
+TEST(AnalyzeBeats, GridSpacingMatchesBpm) {
+  const auto track = make_track(125.0);
+  const auto r = dan::analyze_beats(track.audio());
+  ASSERT_GT(r.beat_times_seconds.size(), 8u);
+  const double expected = 60.0 / r.bpm;
+  for (std::size_t i = 1; i < r.beat_times_seconds.size(); ++i) {
+    EXPECT_NEAR(r.beat_times_seconds[i] - r.beat_times_seconds[i - 1],
+                expected, 1e-9);
+  }
+}
+
+TEST(AnalyzeBeats, FirstBeatWithinOnePeriod) {
+  const auto track = make_track(128.0);
+  const auto r = dan::analyze_beats(track.audio());
+  EXPECT_GE(r.first_beat_seconds, 0.0);
+  EXPECT_LT(r.first_beat_seconds, 60.0 / r.bpm + 1e-9);
+}
+
+TEST(AnalyzeBeats, SilenceYieldsNoGrid) {
+  da::AudioBuffer silence(2, 44100 * 4);
+  const auto r = dan::analyze_beats(silence);
+  EXPECT_TRUE(r.beat_times_seconds.empty());
+}

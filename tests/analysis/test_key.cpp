@@ -1,0 +1,115 @@
+// Unit tests for musical key detection against synthetic chords.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/analysis/key.hpp"
+
+namespace dan = djstar::analysis;
+
+namespace {
+
+double midi_hz(int note) { return 440.0 * std::pow(2.0, (note - 69) / 12.0); }
+
+/// Render a sum of sines for the given MIDI notes.
+std::vector<float> chord(std::initializer_list<int> notes,
+                         double seconds = 3.0) {
+  const auto n = static_cast<std::size_t>(seconds * 44100.0);
+  std::vector<float> x(n, 0.0f);
+  for (int note : notes) {
+    const double f = midi_hz(note);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += static_cast<float>(
+          0.2 * std::sin(2.0 * std::numbers::pi * f * i / 44100.0));
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+TEST(Chromagram, PureToneLandsInItsPitchClass) {
+  const auto x = chord({69});  // A4
+  const auto c = dan::compute_chromagram(x);
+  int best = 0;
+  for (int i = 1; i < 12; ++i) {
+    if (c[i] > c[best]) best = i;
+  }
+  EXPECT_EQ(best, 9);  // A
+}
+
+TEST(Chromagram, NormalizedToUnitSum) {
+  const auto x = chord({60, 64, 67});
+  const auto c = dan::compute_chromagram(x);
+  double sum = 0;
+  for (double v : c) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Chromagram, TooShortInputIsZero) {
+  std::vector<float> tiny(100, 0.5f);
+  const auto c = dan::compute_chromagram(tiny);
+  for (double v : c) EXPECT_EQ(v, 0.0);
+}
+
+TEST(EstimateKey, CMajorScaleNotesDetectCMajor) {
+  // A full C major scale over two octaves weights the profile well.
+  const auto x = chord({60, 62, 64, 65, 67, 69, 71, 72, 74, 76, 77, 79});
+  const auto key = dan::estimate_key(x);
+  EXPECT_EQ(key.tonic, 0);
+  EXPECT_FALSE(key.minor);
+  EXPECT_EQ(key.name(), "C major");
+}
+
+TEST(EstimateKey, AMinorTriadPlusScaleDetectsAMinor) {
+  const auto x = chord({57, 60, 64, 69, 71, 72, 74, 76, 77, 79, 81});
+  const auto key = dan::estimate_key(x);
+  EXPECT_EQ(key.tonic, 9);
+  EXPECT_TRUE(key.minor);
+  EXPECT_EQ(key.name(), "A minor");
+}
+
+TEST(EstimateKey, TransposedScaleFollowsTonic) {
+  // G major scale.
+  const auto x = chord({55, 57, 59, 60, 62, 64, 66, 67, 69, 71, 72, 74});
+  const auto key = dan::estimate_key(x);
+  EXPECT_EQ(key.tonic, 7);  // G
+  EXPECT_FALSE(key.minor);
+}
+
+TEST(EstimateKey, ConfidenceHigherForClearTonality) {
+  const auto tonal = dan::estimate_key(
+      chord({60, 62, 64, 65, 67, 69, 71, 72}));
+  // Chromatic cluster: every pitch class equally — ambiguous.
+  const auto noise = dan::estimate_key(
+      chord({60, 61, 62, 63, 64, 65, 66, 67, 68, 69, 70, 71}));
+  EXPECT_GT(tonal.confidence, noise.confidence);
+}
+
+TEST(Camelot, KnownAnchors) {
+  // A minor = 8A, C major = 8B (relative pair shares the hour).
+  dan::KeyEstimate am{9, true, 1.0};
+  dan::KeyEstimate cmaj{0, false, 1.0};
+  EXPECT_EQ(dan::camelot_code(am), "8A");
+  EXPECT_EQ(dan::camelot_code(cmaj), "8B");
+  // E minor = 9A, G major = 9B.
+  dan::KeyEstimate em{4, true, 1.0};
+  dan::KeyEstimate gmaj{7, false, 1.0};
+  EXPECT_EQ(dan::camelot_code(em), "9A");
+  EXPECT_EQ(dan::camelot_code(gmaj), "9B");
+}
+
+TEST(Camelot, FifthsAreAdjacentHours) {
+  // Moving up a fifth moves the wheel one hour forward.
+  for (int tonic = 0; tonic < 12; ++tonic) {
+    dan::KeyEstimate k{tonic, false, 1.0};
+    dan::KeyEstimate fifth{(tonic + 7) % 12, false, 1.0};
+    const auto a = dan::camelot_code(k);
+    const auto b = dan::camelot_code(fifth);
+    const int ha = std::stoi(a.substr(0, a.size() - 1));
+    const int hb = std::stoi(b.substr(0, b.size() - 1));
+    EXPECT_EQ((ha % 12) + 1, hb) << k.name() << " -> " << fifth.name();
+  }
+}

@@ -1,0 +1,69 @@
+// Unit tests for the loudness / auto-gain estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "djstar/analysis/loudness.hpp"
+
+namespace dan = djstar::analysis;
+namespace da = djstar::audio;
+
+namespace {
+std::vector<float> tone(float amp, double seconds = 2.0) {
+  const auto n = static_cast<std::size_t>(seconds * 44100.0);
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * static_cast<float>(std::sin(0.1 * i));
+  }
+  return x;
+}
+}  // namespace
+
+TEST(Loudness, SilenceGivesFloor) {
+  std::vector<float> silence(44100, 0.0f);
+  const auto r = dan::measure_loudness(silence);
+  EXPECT_EQ(r.gated_blocks, 0u);
+  EXPECT_LE(r.loudness_db, -100.0);
+}
+
+TEST(Loudness, FullScaleSineNearMinus3Db) {
+  const auto r = dan::measure_loudness(tone(1.0f));
+  // RMS of a full-scale sine is -3.01 dBFS.
+  EXPECT_NEAR(r.loudness_db, -3.0, 0.5);
+  EXPECT_NEAR(r.peak_db, 0.0, 0.1);
+}
+
+TEST(Loudness, QuietSineScalesLinearly) {
+  const auto loud = dan::measure_loudness(tone(0.5f));
+  const auto quiet = dan::measure_loudness(tone(0.05f));
+  EXPECT_NEAR(loud.loudness_db - quiet.loudness_db, 20.0, 0.5);
+}
+
+TEST(Loudness, GateIgnoresSilentPassages) {
+  // Half signal, half silence: gated loudness equals the signal's.
+  auto x = tone(0.5f, 1.0);
+  x.resize(x.size() * 2, 0.0f);
+  const auto gated = dan::measure_loudness(x);
+  const auto pure = dan::measure_loudness(tone(0.5f, 1.0));
+  EXPECT_NEAR(gated.loudness_db, pure.loudness_db, 0.5);
+}
+
+TEST(Loudness, SuggestedGainReachesTarget) {
+  dan::LoudnessConfig cfg;
+  cfg.target_db = -14.0;
+  const auto r = dan::measure_loudness(tone(0.1f), cfg);
+  EXPECT_NEAR(r.loudness_db + r.suggested_gain_db, -14.0, 1e-9);
+}
+
+TEST(Loudness, StereoMatchesMonoForIdenticalChannels) {
+  const auto mono = tone(0.4f);
+  da::AudioBuffer stereo(2, mono.size());
+  for (std::size_t i = 0; i < mono.size(); ++i) {
+    stereo.at(0, i) = mono[i];
+    stereo.at(1, i) = mono[i];
+  }
+  const auto a = dan::measure_loudness(mono);
+  const auto b = dan::measure_loudness(stereo);
+  EXPECT_NEAR(a.loudness_db, b.loudness_db, 0.2);
+}

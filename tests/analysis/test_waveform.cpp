@@ -1,0 +1,82 @@
+// Unit tests for the waveform overview builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "djstar/analysis/waveform.hpp"
+
+namespace dan = djstar::analysis;
+namespace da = djstar::audio;
+
+TEST(WaveformOverview, EmptyInputGivesNoTiles) {
+  const auto ov = dan::build_overview(std::span<const float>{});
+  EXPECT_TRUE(ov.tiles.empty());
+}
+
+TEST(WaveformOverview, TileCountCoversAllSamples) {
+  std::vector<float> x(1024 * 3 + 100, 0.1f);
+  const auto ov = dan::build_overview(x, 1024);
+  EXPECT_EQ(ov.tiles.size(), 4u);  // 3 full + 1 partial
+}
+
+TEST(WaveformOverview, MinMaxAreExact) {
+  std::vector<float> x(1024, 0.0f);
+  x[100] = 0.9f;
+  x[200] = -0.7f;
+  const auto ov = dan::build_overview(x, 1024);
+  ASSERT_EQ(ov.tiles.size(), 1u);
+  EXPECT_FLOAT_EQ(ov.tiles[0].max, 0.9f);
+  EXPECT_FLOAT_EQ(ov.tiles[0].min, -0.7f);
+}
+
+TEST(WaveformOverview, RmsOfConstant) {
+  std::vector<float> x(2048, 0.5f);
+  const auto ov = dan::build_overview(x, 1024);
+  for (const auto& t : ov.tiles) EXPECT_NEAR(t.rms, 0.5f, 1e-4f);
+}
+
+TEST(WaveformOverview, BandSplitSeparatesBassFromHats) {
+  // Low tile: 60 Hz sine. High tile: 10 kHz sine.
+  std::vector<float> x(8192);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    x[i] = std::sin(2.0 * M_PI * 60.0 * i / 44100.0);
+  }
+  for (std::size_t i = 4096; i < 8192; ++i) {
+    x[i] = std::sin(2.0 * M_PI * 10000.0 * i / 44100.0);
+  }
+  const auto ov = dan::build_overview(x, 4096);
+  ASSERT_EQ(ov.tiles.size(), 2u);
+  EXPECT_GT(ov.tiles[0].low_energy, ov.tiles[0].high_energy);
+  EXPECT_GT(ov.tiles[1].high_energy, ov.tiles[1].low_energy);
+}
+
+TEST(WaveformOverview, StereoFoldDown) {
+  da::AudioBuffer b(2, 1024);
+  for (std::size_t i = 0; i < 1024; ++i) {
+    b.at(0, i) = 1.0f;
+    b.at(1, i) = -1.0f;  // cancels in the fold-down
+  }
+  const auto ov = dan::build_overview(b, 1024);
+  ASSERT_EQ(ov.tiles.size(), 1u);
+  EXPECT_NEAR(ov.tiles[0].rms, 0.0f, 1e-5f);
+}
+
+TEST(ZoomOut, MergesTilesKeepingExtremes) {
+  std::vector<float> x(4096, 0.0f);
+  x[0] = 0.8f;
+  x[3000] = -0.9f;
+  const auto fine = dan::build_overview(x, 1024);   // 4 tiles
+  const auto coarse = dan::zoom_out(fine, 4);       // 1 tile
+  ASSERT_EQ(coarse.tiles.size(), 1u);
+  EXPECT_FLOAT_EQ(coarse.tiles[0].max, 0.8f);
+  EXPECT_FLOAT_EQ(coarse.tiles[0].min, -0.9f);
+  EXPECT_EQ(coarse.samples_per_tile, 4096u);
+}
+
+TEST(ZoomOut, FactorOneIsIdentityShape) {
+  std::vector<float> x(2048, 0.3f);
+  const auto fine = dan::build_overview(x, 1024);
+  const auto same = dan::zoom_out(fine, 1);
+  EXPECT_EQ(same.tiles.size(), fine.tiles.size());
+}

@@ -1,0 +1,85 @@
+// Unit tests for djstar/audio/buffer.hpp.
+#include "djstar/audio/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace da = djstar::audio;
+
+TEST(AudioBuffer, ShapeAndZeroInit) {
+  da::AudioBuffer b(2, 128);
+  EXPECT_EQ(b.channels(), 2u);
+  EXPECT_EQ(b.frames(), 128u);
+  for (float s : b.raw()) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(AudioBuffer, ChannelViewsAreDisjoint) {
+  da::AudioBuffer b(2, 4);
+  b.channel(0)[0] = 1.0f;
+  b.channel(1)[0] = 2.0f;
+  EXPECT_EQ(b.at(0, 0), 1.0f);
+  EXPECT_EQ(b.at(1, 0), 2.0f);
+  EXPECT_EQ(b.channel(0).data() + 4, b.channel(1).data());  // planar layout
+}
+
+TEST(AudioBuffer, CopyAndMix) {
+  da::AudioBuffer a(1, 4), b(1, 4);
+  for (std::size_t i = 0; i < 4; ++i) a.at(0, i) = static_cast<float>(i);
+  b.copy_from(a);
+  EXPECT_EQ(b.at(0, 3), 3.0f);
+  b.mix_from(a, 0.5f);
+  EXPECT_EQ(b.at(0, 3), 4.5f);
+}
+
+TEST(AudioBuffer, ApplyGainAndClear) {
+  da::AudioBuffer b(1, 2);
+  b.at(0, 0) = 2.0f;
+  b.apply_gain(0.25f);
+  EXPECT_EQ(b.at(0, 0), 0.5f);
+  b.clear();
+  EXPECT_EQ(b.at(0, 0), 0.0f);
+}
+
+TEST(AudioBuffer, PeakFindsLargestMagnitude) {
+  da::AudioBuffer b(2, 3);
+  b.at(0, 1) = 0.5f;
+  b.at(1, 2) = -0.9f;
+  EXPECT_FLOAT_EQ(b.peak(), 0.9f);
+}
+
+TEST(AudioBuffer, RmsOfConstant) {
+  da::AudioBuffer b(1, 100);
+  for (std::size_t i = 0; i < 100; ++i) b.at(0, i) = 0.5f;
+  EXPECT_NEAR(b.rms(), 0.5f, 1e-6f);
+}
+
+TEST(AudioBuffer, RmsOfSine) {
+  da::AudioBuffer b(1, 1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    b.at(0, i) = std::sin(2.0 * M_PI * 10.0 * i / 1000.0);
+  }
+  EXPECT_NEAR(b.rms(), 1.0f / std::sqrt(2.0f), 1e-3f);
+}
+
+TEST(AudioBuffer, ResizeZeroes) {
+  da::AudioBuffer b(1, 4);
+  b.at(0, 0) = 1.0f;
+  b.resize(2, 8);
+  EXPECT_EQ(b.channels(), 2u);
+  EXPECT_EQ(b.frames(), 8u);
+  for (float s : b.raw()) EXPECT_EQ(s, 0.0f);
+}
+
+TEST(GainDb, RoundTrip) {
+  EXPECT_NEAR(da::db_to_gain(0.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(da::db_to_gain(-6.0f), 0.5012f, 1e-3f);
+  EXPECT_NEAR(da::gain_to_db(da::db_to_gain(-23.5f)), -23.5f, 1e-4f);
+  EXPECT_EQ(da::gain_to_db(0.0f), -120.0f);
+  EXPECT_EQ(da::gain_to_db(-1.0f), -120.0f);
+}
+
+TEST(Constants, DeadlineMatchesPaper) {
+  // 128 samples at 44.1 kHz = 2.902 ms (paper: "2.9 ms").
+  EXPECT_NEAR(da::kDeadlineUs, 2902.5, 0.5);
+}

@@ -1,0 +1,84 @@
+// Unit tests for djstar/audio/ring_buffer.hpp, including a two-thread
+// stress test of the SPSC protocol.
+#include "djstar/audio/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace da = djstar::audio;
+
+TEST(SpscRing, CapacityRoundsUp) {
+  da::SpscRing<int> r(100);
+  EXPECT_GE(r.capacity(), 100u);
+}
+
+TEST(SpscRing, PushPopSingle) {
+  da::SpscRing<int> r(8);
+  EXPECT_TRUE(r.push_one(42));
+  int out = 0;
+  EXPECT_TRUE(r.pop_one(out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(r.pop_one(out));  // empty again
+}
+
+TEST(SpscRing, FillsToCapacity) {
+  da::SpscRing<int> r(4);
+  const std::size_t cap = r.capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_TRUE(r.push_one(static_cast<int>(i)));
+  }
+  EXPECT_FALSE(r.push_one(999));
+  EXPECT_EQ(r.size(), cap);
+  EXPECT_EQ(r.free_space(), 0u);
+}
+
+TEST(SpscRing, BulkPushPopPreservesOrder) {
+  da::SpscRing<int> r(16);
+  std::vector<int> in(10);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(r.push(in), 10u);
+  std::vector<int> out(10);
+  EXPECT_EQ(r.pop(out), 10u);
+  EXPECT_EQ(in, out);
+}
+
+TEST(SpscRing, PartialPushWhenNearlyFull) {
+  da::SpscRing<int> r(4);
+  const auto cap = r.capacity();
+  std::vector<int> batch(cap + 3, 7);
+  EXPECT_EQ(r.push(batch), cap);
+}
+
+TEST(SpscRing, WrapsAroundRepeatedly) {
+  da::SpscRing<int> r(4);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(r.push_one(round));
+    int out = -1;
+    ASSERT_TRUE(r.pop_one(out));
+    ASSERT_EQ(out, round);
+  }
+}
+
+TEST(SpscRing, TwoThreadStressPreservesSequence) {
+  da::SpscRing<std::uint32_t> r(256);
+  constexpr std::uint32_t kCount = 200000;
+  std::thread producer([&] {
+    std::uint32_t next = 0;
+    while (next < kCount) {
+      if (r.push_one(next)) ++next;
+    }
+  });
+  std::uint32_t expected = 0;
+  std::uint32_t v = 0;
+  while (expected < kCount) {
+    if (r.pop_one(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(r.empty());
+}

@@ -1,0 +1,101 @@
+// Unit tests for djstar/audio/track.hpp (the synthetic program material).
+#include "djstar/audio/track.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace da = djstar::audio;
+
+namespace {
+da::TrackSpec short_spec(std::uint64_t seed = 1) {
+  da::TrackSpec s;
+  s.seconds = 1.0;
+  s.seed = seed;
+  return s;
+}
+}  // namespace
+
+TEST(Track, GeneratesRequestedLength) {
+  const auto t = da::Track::generate(short_spec());
+  EXPECT_EQ(t.length_frames(), static_cast<std::size_t>(44100));
+  EXPECT_EQ(t.audio().channels(), 2u);
+}
+
+TEST(Track, DeterministicInSeed) {
+  const auto a = da::Track::generate(short_spec(5));
+  const auto b = da::Track::generate(short_spec(5));
+  ASSERT_EQ(a.length_frames(), b.length_frames());
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.audio().at(0, i), b.audio().at(0, i));
+  }
+}
+
+TEST(Track, DifferentSeedsProduceDifferentAudio) {
+  const auto a = da::Track::generate(short_spec(1));
+  const auto b = da::Track::generate(short_spec(2));
+  double diff = 0;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    diff += std::abs(a.audio().at(0, i) - b.audio().at(0, i));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Track, HasNonTrivialSignal) {
+  const auto t = da::Track::generate(short_spec());
+  EXPECT_GT(t.audio().peak(), 0.1f);
+  EXPECT_GT(t.audio().rms(), 0.01f);
+  EXPECT_LT(t.audio().peak(), 4.0f);  // not blowing up
+}
+
+TEST(Track, ReadLoopedAdvancesAndWraps) {
+  auto t = da::Track::generate(short_spec());
+  da::AudioBuffer out(2, 128);
+  const std::size_t len = t.length_frames();
+  t.seek(len - 64);  // 64 frames before the loop point
+  t.read_looped(out);
+  EXPECT_EQ(t.position(), 64u);  // wrapped
+}
+
+TEST(Track, ReadLoopedMatchesSource) {
+  auto t = da::Track::generate(short_spec());
+  da::AudioBuffer out(2, 128);
+  t.seek(100);
+  t.read_looped(out);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(out.at(0, i), t.audio().at(0, 100 + i));
+  }
+}
+
+TEST(Track, VarispeedAtUnityMatchesLooped) {
+  auto a = da::Track::generate(short_spec());
+  auto b = da::Track::generate(short_spec());
+  da::AudioBuffer oa(2, 128), ob(2, 128);
+  a.read_looped(oa);
+  b.read_varispeed(ob, 1.0);
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_NEAR(oa.at(0, i), ob.at(0, i), 1e-5f);
+  }
+}
+
+TEST(Track, VarispeedDoubleSpeedConsumesTwice) {
+  auto t = da::Track::generate(short_spec());
+  da::AudioBuffer out(2, 128);
+  t.seek(0);
+  t.read_varispeed(out, 2.0);
+  EXPECT_EQ(t.position(), 256u);
+}
+
+TEST(Track, VarispeedInvalidRateOutputsSilence) {
+  auto t = da::Track::generate(short_spec());
+  da::AudioBuffer out(2, 64);
+  out.at(0, 0) = 123.0f;
+  t.read_varispeed(out, 0.0);
+  EXPECT_EQ(out.peak(), 0.0f);
+}
+
+TEST(Track, SeekWrapsModuloLength) {
+  auto t = da::Track::generate(short_spec());
+  t.seek(t.length_frames() + 10);
+  EXPECT_EQ(t.position(), 10u);
+}

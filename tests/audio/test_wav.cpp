@@ -1,0 +1,90 @@
+// Unit tests for djstar/audio/wav.hpp: round trips and error handling.
+#include "djstar/audio/wav.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace da = djstar::audio;
+
+namespace {
+
+da::AudioBuffer make_test_signal(std::size_t channels, std::size_t frames) {
+  da::AudioBuffer b(channels, frames);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t i = 0; i < frames; ++i) {
+      b.at(c, i) = 0.5f * std::sin(0.05 * static_cast<double>(i + c * 17));
+    }
+  }
+  return b;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+}  // namespace
+
+TEST(Wav, Pcm16RoundTrip) {
+  const auto sig = make_test_signal(2, 500);
+  const auto path = temp_path("rt16.wav");
+  ASSERT_TRUE(da::write_wav(path, sig, 44100.0, da::WavFormat::kPcm16));
+  da::WavData rd;
+  ASSERT_TRUE(da::read_wav(path, rd));
+  EXPECT_EQ(rd.sample_rate, 44100.0);
+  ASSERT_EQ(rd.buffer.channels(), 2u);
+  ASSERT_EQ(rd.buffer.frames(), 500u);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_NEAR(rd.buffer.at(0, i), sig.at(0, i), 1.0f / 32767.0f + 1e-5f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wav, Float32RoundTripIsExact) {
+  const auto sig = make_test_signal(1, 300);
+  const auto path = temp_path("rt32.wav");
+  ASSERT_TRUE(da::write_wav(path, sig, 48000.0, da::WavFormat::kFloat32));
+  da::WavData rd;
+  ASSERT_TRUE(da::read_wav(path, rd));
+  EXPECT_EQ(rd.sample_rate, 48000.0);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(rd.buffer.at(0, i), sig.at(0, i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Wav, Pcm16ClampsOutOfRange) {
+  da::AudioBuffer b(1, 4);
+  b.at(0, 0) = 2.0f;
+  b.at(0, 1) = -2.0f;
+  const auto path = temp_path("clamp.wav");
+  ASSERT_TRUE(da::write_wav(path, b));
+  da::WavData rd;
+  ASSERT_TRUE(da::read_wav(path, rd));
+  EXPECT_NEAR(rd.buffer.at(0, 0), 1.0f, 1e-3f);
+  EXPECT_NEAR(rd.buffer.at(0, 1), -1.0f, 1e-3f);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, WriteRejectsEmptyBuffer) {
+  da::AudioBuffer empty;
+  EXPECT_FALSE(da::write_wav(temp_path("empty.wav"), empty));
+}
+
+TEST(Wav, ReadRejectsMissingFile) {
+  da::WavData rd;
+  EXPECT_FALSE(da::read_wav("/nonexistent/z.wav", rd));
+}
+
+TEST(Wav, ReadRejectsGarbage) {
+  const auto path = temp_path("garbage.wav");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a wav file at all, not even close";
+  }
+  da::WavData rd;
+  EXPECT_FALSE(da::read_wav(path, rd));
+  std::remove(path.c_str());
+}

@@ -1,0 +1,108 @@
+// Unit tests for the AutoDJ planner.
+#include <gtest/gtest.h>
+
+#include "djstar/control/auto_dj.hpp"
+#include "djstar/control/controller.hpp"
+
+namespace dctl = djstar::control;
+namespace de = djstar::engine;
+namespace da = djstar::audio;
+
+namespace {
+
+de::Library make_library() {
+  de::Library lib;
+  auto add = [&](const char* title, double bpm, int root,
+                 std::uint64_t seed) {
+    da::TrackSpec spec;
+    spec.seconds = 8.0;
+    spec.bpm = bpm;
+    spec.root_note = root;
+    spec.seed = seed;
+    return lib.add_generated(title, spec);
+  };
+  add("current", 125.0, 45, 1);   // id 1
+  add("close", 126.0, 45, 2);     // id 2: near tempo, same root
+  add("far", 170.0, 45, 3);       // id 3: unreachable tempo
+  add("medium", 120.0, 50, 4);    // id 4: reachable, different key
+  return lib;
+}
+
+}  // namespace
+
+TEST(AutoDj, ScoreRejectsUnreachableTempo) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  const auto* cur = lib.find(1);
+  const auto* far = lib.find(3);
+  ASSERT_NE(cur, nullptr);
+  ASSERT_NE(far, nullptr);
+  EXPECT_LT(dj.score(*cur, *far), -1e8);
+}
+
+TEST(AutoDj, CloserTempoScoresHigher) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  const auto* cur = lib.find(1);
+  const auto* close = lib.find(2);
+  const auto* medium = lib.find(4);
+  EXPECT_GT(dj.score(*cur, *close), dj.score(*cur, *medium));
+}
+
+TEST(AutoDj, PickNextExcludesCurrentAndUnreachable) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  const auto* next = dj.pick_next(1);
+  ASSERT_NE(next, nullptr);
+  EXPECT_NE(next->id, 1u);
+  EXPECT_NE(next->id, 3u);  // 170 bpm is out of the pitch fader's reach
+}
+
+TEST(AutoDj, PickNextOnUnknownIdIsNull) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  EXPECT_EQ(dj.pick_next(999), nullptr);
+}
+
+TEST(AutoDj, TransitionPlanShape) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  const auto plan = dj.plan_transition(1, 0, 1, 100, 80);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->from_id, 1u);
+  EXPECT_NE(plan->to_id, 1u);
+  // Pitch match brings the incoming track to the outgoing tempo.
+  const auto* cur = lib.find(plan->from_id);
+  const auto* next = lib.find(plan->to_id);
+  EXPECT_NEAR(plan->pitch_ratio,
+              cur->analysis.beatgrid.bpm / next->analysis.beatgrid.bpm, 1e-9);
+  // Script spans [start, start+duration].
+  EXPECT_EQ(plan->script.length(), 180u);
+  EXPECT_GT(plan->script.event_count(), 10u);
+}
+
+TEST(AutoDj, TransitionRejectsZeroDuration) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  EXPECT_FALSE(dj.plan_transition(1, 0, 1, 0, 0).has_value());
+}
+
+TEST(AutoDj, PlannedTransitionRunsOnTheEngine) {
+  const auto lib = make_library();
+  dctl::AutoDj dj(lib);
+  const auto plan = dj.plan_transition(1, 0, 1, 10, 40);
+  ASSERT_TRUE(plan.has_value());
+
+  de::EngineConfig cfg;
+  cfg.strategy = djstar::core::Strategy::kBusyWait;
+  cfg.threads = 2;
+  de::AudioEngine engine(cfg);
+  dctl::EventBus bus;
+  dctl::EngineBinding binding(bus, engine);
+  const auto fired =
+      dctl::run_session(engine, bus, plan->script, 60, nullptr);
+  EXPECT_EQ(fired, plan->script.event_count());
+  EXPECT_EQ(binding.applied(), fired);
+  // After the transition the crossfader has landed on deck B's side.
+  EXPECT_GT(engine.output().peak(), 0.0f);
+}

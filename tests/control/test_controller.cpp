@@ -1,0 +1,147 @@
+// Unit tests for the control-surface mapping and the engine binding —
+// the Hardware Access -> Event Middleware -> Core path of Fig. 2.
+#include <gtest/gtest.h>
+
+#include "djstar/control/controller.hpp"
+
+namespace dctl = djstar::control;
+namespace de = djstar::engine;
+namespace dc = djstar::core;
+
+namespace {
+
+de::EngineConfig seq_config() {
+  de::EngineConfig cfg;
+  cfg.strategy = dc::Strategy::kSequential;
+  cfg.threads = 1;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SurfaceMapper, MapsFaderToChannelFaderEvent) {
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  dctl::Event seen{};
+  bus.subscribe(dctl::EventType::kChannelFader,
+                [&](const dctl::Event& e) { seen = e; });
+  mapper.handle({2, dctl::cc::kFader, 127});
+  bus.dispatch();
+  EXPECT_EQ(seen.deck, 2);
+  EXPECT_FLOAT_EQ(seen.value, 1.0f);
+}
+
+TEST(SurfaceMapper, EqZeroIsKill) {
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  dctl::Event seen{};
+  bus.subscribe(dctl::EventType::kEqLow, [&](const dctl::Event& e) { seen = e; });
+  mapper.handle({0, dctl::cc::kEqLow, 0});
+  bus.dispatch();
+  EXPECT_LE(seen.value, -60.0f);
+}
+
+TEST(SurfaceMapper, PitchFaderIsPlusMinusEightPercent) {
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  float value = 0;
+  bus.subscribe(dctl::EventType::kDeckPitch,
+                [&](const dctl::Event& e) { value = e.value; });
+  mapper.handle({0, dctl::cc::kPitch, 127});
+  bus.dispatch();
+  EXPECT_NEAR(value, 1.08f, 0.001f);
+  mapper.handle({0, dctl::cc::kPitch, 0});
+  bus.dispatch();
+  EXPECT_NEAR(value, 0.92f, 0.001f);
+}
+
+TEST(SurfaceMapper, FxRangeDecodesSlotIndex) {
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  dctl::Event seen{};
+  bus.subscribe(dctl::EventType::kFxEnable,
+                [&](const dctl::Event& e) { seen = e; });
+  mapper.handle({1, static_cast<std::uint8_t>(dctl::cc::kFxBase + 2), 127});
+  bus.dispatch();
+  EXPECT_EQ(seen.deck, 1);
+  EXPECT_EQ(seen.index, 2);
+  EXPECT_EQ(seen.value, 1.0f);
+}
+
+TEST(SurfaceMapper, UnknownControlsCounted) {
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  mapper.handle({0, 99, 64});
+  mapper.handle({0, 100, 64});
+  EXPECT_EQ(mapper.unmapped_count(), 2u);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(EngineBinding, AppliesCrossfaderToMixer) {
+  de::AudioEngine engine(seq_config());
+  dctl::EventBus bus;
+  dctl::EngineBinding binding(bus, engine);
+  bus.post({dctl::EventType::kCrossfader, 0, 0, 1.0f});
+  bus.dispatch();
+  EXPECT_EQ(binding.applied(), 1u);
+  // Crossfader hard right kills decks A/C; with only deck A's fader up
+  // and the sampler muted, output collapses.
+  engine.graph_nodes().sampler().set_level(0.0f);
+  for (unsigned d = 1; d < 4; ++d) engine.graph_nodes().channel(d).set_fader(0.0f);
+  engine.run_cycles(60);
+  EXPECT_LT(engine.output().rms(), 0.02f);
+}
+
+TEST(EngineBinding, FullDevicePathMovesAudio) {
+  // Surface message -> mapper -> bus -> binding -> engine parameter.
+  de::AudioEngine engine(seq_config());
+  dctl::EventBus bus;
+  dctl::SurfaceMapper mapper(bus);
+  dctl::EngineBinding binding(bus, engine);
+
+  engine.run_cycles(30);
+  const float before = engine.output().rms();
+
+  // Pull every channel fader to zero from the "hardware".
+  for (std::uint8_t deck = 0; deck < 4; ++deck) {
+    mapper.handle({deck, dctl::cc::kFader, 0});
+  }
+  mapper.handle({0, dctl::cc::kSampler, 0});  // (sampler trigger, harmless)
+  bus.dispatch();
+  engine.graph_nodes().sampler().set_level(0.0f);
+  engine.run_cycles(60);
+  EXPECT_LT(engine.output().rms(), before * 0.2f);
+  EXPECT_GE(binding.applied(), 4u);
+}
+
+TEST(StatusPublisher, PublishesMetersAndTempo) {
+  de::AudioEngine engine(seq_config());
+  dctl::EventBus bus;
+  dctl::StatusPublisher pub(bus, engine);
+  int meters = 0;
+  int tempos = 0;
+  bus.subscribe(dctl::EventType::kMeterUpdate,
+                [&](const dctl::Event&) { ++meters; });
+  bus.subscribe(dctl::EventType::kTempoUpdate,
+                [&](const dctl::Event&) { ++tempos; });
+  engine.run_cycles(10);
+  pub.publish();
+  bus.dispatch();
+  EXPECT_EQ(meters, 5);  // 4 decks + master
+  EXPECT_EQ(tempos, 1);
+}
+
+TEST(StatusPublisher, ReportsNewDeadlineMisses) {
+  auto cfg = seq_config();
+  cfg.deadline_us = 0.001;  // everything misses
+  de::AudioEngine engine(cfg);
+  dctl::EventBus bus;
+  dctl::StatusPublisher pub(bus, engine);
+  int misses = 0;
+  bus.subscribe(dctl::EventType::kDeadlineMiss,
+                [&](const dctl::Event&) { ++misses; });
+  engine.run_cycles(3);
+  pub.publish();
+  bus.dispatch();
+  EXPECT_EQ(misses, 1);
+}

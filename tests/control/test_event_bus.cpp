@@ -1,0 +1,116 @@
+// Unit tests for the event middleware.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "djstar/control/event_bus.hpp"
+
+namespace dctl = djstar::control;
+
+TEST(EventBus, DeliversToMatchingSubscriber) {
+  dctl::EventBus bus;
+  int hits = 0;
+  bus.subscribe(dctl::EventType::kCrossfader, [&](const dctl::Event& e) {
+    ++hits;
+    EXPECT_FLOAT_EQ(e.value, 0.5f);
+  });
+  bus.post({dctl::EventType::kCrossfader, 0, 0, 0.5f});
+  EXPECT_EQ(bus.dispatch(), 1u);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, TypeFilteringWorks) {
+  dctl::EventBus bus;
+  int xfade = 0, fader = 0;
+  bus.subscribe(dctl::EventType::kCrossfader, [&](const dctl::Event&) { ++xfade; });
+  bus.subscribe(dctl::EventType::kChannelFader, [&](const dctl::Event&) { ++fader; });
+  bus.post({dctl::EventType::kChannelFader, 1, 0, 0.7f});
+  bus.dispatch();
+  EXPECT_EQ(xfade, 0);
+  EXPECT_EQ(fader, 1);
+}
+
+TEST(EventBus, MultipleSubscribersAllCalled) {
+  dctl::EventBus bus;
+  int a = 0, b = 0;
+  bus.subscribe(dctl::EventType::kTempoUpdate, [&](const dctl::Event&) { ++a; });
+  bus.subscribe(dctl::EventType::kTempoUpdate, [&](const dctl::Event&) { ++b; });
+  bus.post({dctl::EventType::kTempoUpdate, 0, 0, 126.0f});
+  bus.dispatch();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  dctl::EventBus bus;
+  int hits = 0;
+  const auto id =
+      bus.subscribe(dctl::EventType::kCueToggle, [&](const dctl::Event&) { ++hits; });
+  bus.post({dctl::EventType::kCueToggle, 0, 0, 1.0f});
+  bus.dispatch();
+  bus.unsubscribe(id);
+  bus.post({dctl::EventType::kCueToggle, 0, 0, 0.0f});
+  bus.dispatch();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, PreservesPostOrder) {
+  dctl::EventBus bus;
+  std::vector<float> values;
+  bus.subscribe(dctl::EventType::kChannelFader,
+                [&](const dctl::Event& e) { values.push_back(e.value); });
+  for (int i = 0; i < 10; ++i) {
+    bus.post({dctl::EventType::kChannelFader, 0, 0, static_cast<float>(i)});
+  }
+  bus.dispatch();
+  ASSERT_EQ(values.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(values[i], i);
+}
+
+TEST(EventBus, HandlerPostsGoToNextDispatch) {
+  dctl::EventBus bus;
+  int first = 0, second = 0;
+  bus.subscribe(dctl::EventType::kSamplerTrigger, [&](const dctl::Event&) {
+    ++first;
+    bus.post({dctl::EventType::kTempoUpdate, 0, 0, 0.0f});
+  });
+  bus.subscribe(dctl::EventType::kTempoUpdate, [&](const dctl::Event&) { ++second; });
+  bus.post({dctl::EventType::kSamplerTrigger, 0, 0, 0.0f});
+  EXPECT_EQ(bus.dispatch(), 1u);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);  // queued but not yet delivered
+  EXPECT_EQ(bus.dispatch(), 1u);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventBus, PendingCountsQueuedEvents) {
+  dctl::EventBus bus;
+  EXPECT_EQ(bus.pending(), 0u);
+  bus.post({dctl::EventType::kCrossfader, 0, 0, 0.0f});
+  bus.post({dctl::EventType::kCrossfader, 0, 0, 1.0f});
+  EXPECT_EQ(bus.pending(), 2u);
+  bus.dispatch();
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(EventBus, ConcurrentPostersAllArrive) {
+  dctl::EventBus bus;
+  std::atomic<int> received{0};
+  bus.subscribe(dctl::EventType::kMeterUpdate,
+                [&](const dctl::Event&) { received.fetch_add(1); });
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&bus] {
+      for (int i = 0; i < kPerThread; ++i) {
+        bus.post({dctl::EventType::kMeterUpdate, 0, 0, 0.0f});
+      }
+    });
+  }
+  for (auto& t : posters) t.join();
+  while (bus.dispatch() > 0) {
+  }
+  EXPECT_EQ(received.load(), 4 * kPerThread);
+}

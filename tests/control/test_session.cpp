@@ -1,0 +1,97 @@
+// Unit tests for presets and session scripting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "djstar/control/session.hpp"
+
+namespace dctl = djstar::control;
+
+namespace {
+dctl::Preset demo_preset() {
+  dctl::Preset p;
+  p.name = "drop scene";
+  p.events.push_back({dctl::EventType::kCrossfader, 0, 0, 0.5f});
+  p.events.push_back({dctl::EventType::kEqLow, 1, 0, -90.0f});
+  p.events.push_back({dctl::EventType::kFxEnable, 2, 3, 1.0f});
+  return p;
+}
+}  // namespace
+
+TEST(Preset, ApplyPostsAllEvents) {
+  dctl::EventBus bus;
+  demo_preset().apply(bus);
+  EXPECT_EQ(bus.pending(), 3u);
+}
+
+TEST(Preset, TextRoundTrip) {
+  const auto p = demo_preset();
+  const auto text = dctl::to_text(p);
+  const auto parsed = dctl::preset_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "drop_scene");  // spaces become underscores
+  ASSERT_EQ(parsed->events.size(), 3u);
+  EXPECT_EQ(parsed->events[0].type, dctl::EventType::kCrossfader);
+  EXPECT_FLOAT_EQ(parsed->events[1].value, -90.0f);
+  EXPECT_EQ(parsed->events[2].deck, 2);
+  EXPECT_EQ(parsed->events[2].index, 3);
+}
+
+TEST(Preset, ParserRejectsGarbage) {
+  EXPECT_FALSE(dctl::preset_from_text("hello world").has_value());
+  EXPECT_FALSE(dctl::preset_from_text("event 1 2 3 4").has_value());  // no header
+  EXPECT_FALSE(
+      dctl::preset_from_text("preset p\nevent 999 0 0 0").has_value());
+  EXPECT_FALSE(
+      dctl::preset_from_text("preset p\nevent 1 0 zero 0").has_value());
+}
+
+TEST(Preset, ParserSkipsCommentsAndBlankLines) {
+  const auto p = dctl::preset_from_text(
+      "# a comment\n\npreset x\n# another\nevent 0 0 0 1.0\n");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->events.size(), 1u);
+}
+
+TEST(Preset, FileRoundTrip) {
+  const auto path = testing::TempDir() + "/scene.djp";
+  ASSERT_TRUE(dctl::save_preset(demo_preset(), path));
+  const auto loaded = dctl::load_preset(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->events.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Preset, LoadMissingFileFails) {
+  EXPECT_FALSE(dctl::load_preset("/no/such/file.djp").has_value());
+}
+
+TEST(SessionScript, StepFiresOnlyDueEvents) {
+  dctl::SessionScript script;
+  script.at(10, {dctl::EventType::kCrossfader, 0, 0, 0.0f});
+  script.at(10, {dctl::EventType::kCrossfader, 0, 0, 1.0f});
+  script.at(20, {dctl::EventType::kSamplerTrigger, 0, 0, 0.0f});
+  dctl::EventBus bus;
+  EXPECT_EQ(script.step(5, bus), 0u);
+  EXPECT_EQ(script.step(10, bus), 2u);
+  EXPECT_EQ(script.step(20, bus), 1u);
+  EXPECT_EQ(bus.pending(), 3u);
+}
+
+TEST(SessionScript, PresetSchedulesAllItsEvents) {
+  dctl::SessionScript script;
+  script.at(7, demo_preset());
+  EXPECT_EQ(script.event_count(), 3u);
+  dctl::EventBus bus;
+  EXPECT_EQ(script.step(7, bus), 3u);
+}
+
+TEST(SessionScript, LengthIsLastCycle) {
+  dctl::SessionScript script;
+  EXPECT_EQ(script.length(), 0u);
+  script.at(3, {dctl::EventType::kCueToggle, 0, 0, 1.0f});
+  script.at(99, {dctl::EventType::kCueToggle, 0, 0, 0.0f});
+  EXPECT_EQ(script.length(), 99u);
+  script.clear();
+  EXPECT_EQ(script.event_count(), 0u);
+}

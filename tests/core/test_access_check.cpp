@@ -1,0 +1,154 @@
+// Unit tests for the static data-hazard checker and reachability oracle,
+// plus the proof that the canonical DJ Star graph is race-free.
+#include <gtest/gtest.h>
+
+#include "djstar/core/access_check.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+dc::WorkFn noop() {
+  return [] {};
+}
+}  // namespace
+
+TEST(Reachability, DirectAndTransitiveEdges) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  const auto d = g.add_node("d", noop());
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  dc::Reachability r(g);
+  EXPECT_TRUE(r.can_reach(a, b));
+  EXPECT_TRUE(r.can_reach(a, c));   // transitive
+  EXPECT_TRUE(r.can_reach(a, a));   // reflexive
+  EXPECT_FALSE(r.can_reach(c, a));  // not symmetric
+  EXPECT_FALSE(r.can_reach(a, d));  // disconnected
+  EXPECT_TRUE(r.ordered(a, c));
+  EXPECT_TRUE(r.ordered(c, a));
+  EXPECT_FALSE(r.ordered(a, d));
+}
+
+TEST(Reachability, WorksBeyond64Nodes) {
+  // Chain of 130 nodes exercises multi-word bitset rows.
+  dc::TaskGraph g;
+  std::vector<dc::NodeId> ids;
+  for (int i = 0; i < 130; ++i) ids.push_back(g.add_node("n", noop()));
+  for (int i = 0; i + 1 < 130; ++i) g.add_edge(ids[i], ids[i + 1]);
+  dc::Reachability r(g);
+  EXPECT_TRUE(r.can_reach(ids[0], ids[129]));
+  EXPECT_FALSE(r.can_reach(ids[129], ids[0]));
+  EXPECT_TRUE(r.can_reach(ids[64], ids[100]));
+}
+
+TEST(AccessCheck, OrderedWritersAreFine) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  g.add_edge(a, b);
+  int buffer = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(a, &buffer);
+  reg.declare_write(b, &buffer);
+  EXPECT_TRUE(reg.check(g).empty());
+}
+
+TEST(AccessCheck, UnorderedWritersAreAHazard) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  int buffer = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(a, &buffer);
+  reg.declare_write(b, &buffer);
+  const auto hazards = reg.check(g);
+  ASSERT_EQ(hazards.size(), 1u);
+  EXPECT_EQ(hazards[0].kind, "write-write");
+  EXPECT_EQ(hazards[0].region, &buffer);
+}
+
+TEST(AccessCheck, UnorderedReadWriteIsAHazard) {
+  dc::TaskGraph g;
+  const auto w = g.add_node("writer", noop());
+  const auto r = g.add_node("reader", noop());
+  int buffer = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(w, &buffer);
+  reg.declare_read(r, &buffer);
+  const auto hazards = reg.check(g);
+  ASSERT_EQ(hazards.size(), 1u);
+  EXPECT_EQ(hazards[0].kind, "read-write");
+}
+
+TEST(AccessCheck, ConcurrentReadersAreFine) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  (void)a;
+  (void)b;
+  int buffer = 0;
+  dc::AccessRegistry reg;
+  reg.declare_read(a, &buffer);
+  reg.declare_read(b, &buffer);
+  EXPECT_TRUE(reg.check(g).empty());
+}
+
+TEST(AccessCheck, DistinctRegionsNeverConflict) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  int x = 0, y = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(a, &x);
+  reg.declare_write(b, &y);
+  EXPECT_TRUE(reg.check(g).empty());
+}
+
+TEST(AccessCheck, MissingEdgeInDiamondIsDetected) {
+  // a -> b, a -> c, b -> d but the c -> d edge is "forgotten": c writes
+  // the buffer d reads, unordered.
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  const auto d = g.add_node("d", noop());
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  int cbuf = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(c, &cbuf);
+  reg.declare_read(d, &cbuf);
+  const auto hazards = reg.check(g);
+  ASSERT_EQ(hazards.size(), 1u);
+  g.add_edge(c, d);  // fix the graph
+  EXPECT_TRUE(reg.check(g).empty());
+}
+
+TEST(AccessCheck, DuplicateDeclarationsDeduplicated) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  int buffer = 0;
+  dc::AccessRegistry reg;
+  reg.declare_write(a, &buffer);
+  reg.declare_write(a, &buffer);
+  reg.declare_write(b, &buffer);
+  EXPECT_EQ(reg.check(g).size(), 1u);
+}
+
+TEST(AccessCheck, CanonicalDjStarGraphIsRaceFree) {
+  // The structural proof behind the determinism tests: no two nodes of
+  // the 67-node graph touch the same buffer without an ordering path.
+  djstar::engine::DjStarGraph gn;
+  const auto hazards = gn.accesses().check(gn.graph());
+  for (const auto& h : hazards) {
+    ADD_FAILURE() << h.kind << " hazard between "
+                  << gn.graph().name(h.a) << " and " << gn.graph().name(h.b);
+  }
+  EXPECT_TRUE(hazards.empty());
+  EXPECT_GT(gn.accesses().declared_nodes(), 40u);
+}

@@ -1,0 +1,98 @@
+// Unit tests for CompiledGraph: structure snapshot and cycle state.
+#include <gtest/gtest.h>
+
+#include "djstar/core/compiled_graph.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+
+/// a -> {b, c} -> d plus a free source e.
+struct Diamond {
+  dc::TaskGraph g;
+  dc::NodeId a, b, c, d, e;
+  Diamond() {
+    a = g.add_node("a", [] {}, "s1");
+    b = g.add_node("b", [] {}, "s1");
+    c = g.add_node("c", [] {}, "s2");
+    d = g.add_node("d", [] {}, "s2");
+    e = g.add_node("e", [] {}, "s3");
+    g.add_edge(a, b);
+    g.add_edge(a, c);
+    g.add_edge(b, d);
+    g.add_edge(c, d);
+  }
+};
+
+}  // namespace
+
+TEST(CompiledGraph, SnapshotsStructure) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  EXPECT_EQ(cg.node_count(), 5u);
+  EXPECT_EQ(cg.name(dm.a), "a");
+  EXPECT_EQ(cg.in_degree(dm.d), 2u);
+  EXPECT_EQ(cg.successors(dm.a).size(), 2u);
+  EXPECT_EQ(cg.successors(dm.d).size(), 0u);
+}
+
+TEST(CompiledGraph, DepthsAndMaxDepth) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  EXPECT_EQ(cg.depth(dm.a), 0u);
+  EXPECT_EQ(cg.depth(dm.b), 1u);
+  EXPECT_EQ(cg.depth(dm.d), 2u);
+  EXPECT_EQ(cg.max_depth(), 2u);
+}
+
+TEST(CompiledGraph, OrderIsLevelized) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  const auto order = cg.order();
+  ASSERT_EQ(order.size(), 5u);
+  // depth 0: a, e (insertion order); depth 1: b, c; depth 2: d.
+  EXPECT_EQ(order[0], dm.a);
+  EXPECT_EQ(order[1], dm.e);
+  EXPECT_EQ(order[2], dm.b);
+  EXPECT_EQ(order[3], dm.c);
+  EXPECT_EQ(order[4], dm.d);
+}
+
+TEST(CompiledGraph, SourcesPrefixOfOrder) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  const auto sources = cg.sources();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0], dm.a);
+  EXPECT_EQ(sources[1], dm.e);
+}
+
+TEST(CompiledGraph, SectionIndicesStable) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  EXPECT_EQ(cg.section_labels().size(), 3u);
+  EXPECT_EQ(cg.section_index(dm.a), cg.section_index(dm.b));
+  EXPECT_NE(cg.section_index(dm.a), cg.section_index(dm.c));
+  EXPECT_EQ(cg.section_labels()[cg.section_index(dm.e)], "s3");
+}
+
+TEST(CompiledGraph, BeginCycleResetsPendingToInDegree) {
+  Diamond dm;
+  dc::CompiledGraph cg(dm.g);
+  cg.pending(dm.d).store(0);
+  cg.waiter(dm.d).store(3);
+  cg.begin_cycle();
+  EXPECT_EQ(cg.pending(dm.d).load(), 2);
+  EXPECT_EQ(cg.pending(dm.a).load(), 0);
+  EXPECT_EQ(cg.waiter(dm.d).load(), -1);
+}
+
+TEST(CompiledGraph, WorkFunctionsCallable) {
+  int hits = 0;
+  dc::TaskGraph g;
+  g.add_node("x", [&] { ++hits; });
+  dc::CompiledGraph cg(g);
+  cg.work(0)();
+  cg.work(0)();
+  EXPECT_EQ(hits, 2);
+}

@@ -1,0 +1,154 @@
+// Unit tests for the Chase-Lev work-stealing deque, including owner/thief
+// concurrency stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "djstar/core/chase_lev_deque.hpp"
+
+namespace dc = djstar::core;
+using Deque = dc::ChaseLevDeque;
+
+TEST(ChaseLevDeque, PopFromEmptyReturnsEmpty) {
+  Deque d;
+  EXPECT_EQ(d.pop(), Deque::kEmpty);
+}
+
+TEST(ChaseLevDeque, StealFromEmptyReturnsEmpty) {
+  Deque d;
+  EXPECT_EQ(d.steal(), Deque::kEmpty);
+}
+
+TEST(ChaseLevDeque, OwnerPopIsLifo) {
+  Deque d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.pop(), 3);
+  EXPECT_EQ(d.pop(), 2);
+  EXPECT_EQ(d.pop(), 1);
+  EXPECT_EQ(d.pop(), Deque::kEmpty);
+}
+
+TEST(ChaseLevDeque, StealIsFifo) {
+  Deque d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal(), 1);
+  EXPECT_EQ(d.steal(), 2);
+  EXPECT_EQ(d.steal(), 3);
+  EXPECT_EQ(d.steal(), Deque::kEmpty);
+}
+
+TEST(ChaseLevDeque, MixedPopAndSteal) {
+  Deque d;
+  for (int i = 1; i <= 4; ++i) d.push(i);
+  EXPECT_EQ(d.steal(), 1);  // oldest
+  EXPECT_EQ(d.pop(), 4);    // newest
+  EXPECT_EQ(d.steal(), 2);
+  EXPECT_EQ(d.pop(), 3);
+  EXPECT_EQ(d.pop(), Deque::kEmpty);
+}
+
+TEST(ChaseLevDeque, SizeApprox) {
+  Deque d;
+  EXPECT_EQ(d.size_approx(), 0u);
+  for (int i = 0; i < 10; ++i) d.push(i);
+  EXPECT_EQ(d.size_approx(), 10u);
+  d.pop();
+  d.steal();
+  EXPECT_EQ(d.size_approx(), 8u);
+}
+
+TEST(ChaseLevDeque, GrowsBeyondInitialCapacity) {
+  Deque d(64);
+  const int n = 1000;  // force several growths
+  for (int i = 0; i < n; ++i) d.push(i);
+  EXPECT_EQ(d.size_approx(), static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    ASSERT_EQ(d.pop(), i);
+  }
+}
+
+TEST(ChaseLevDeque, ClearEmpties) {
+  Deque d;
+  for (int i = 0; i < 5; ++i) d.push(i);
+  d.clear();
+  EXPECT_EQ(d.pop(), Deque::kEmpty);
+  EXPECT_EQ(d.size_approx(), 0u);
+}
+
+TEST(ChaseLevDeque, ReusableAcrossManyCycles) {
+  Deque d;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    for (int i = 0; i < 7; ++i) d.push(cycle * 7 + i);
+    int got = 0;
+    while (d.pop() != Deque::kEmpty) ++got;
+    ASSERT_EQ(got, 7);
+  }
+}
+
+// Concurrency: one owner pushing/popping, several thieves stealing.
+// Every pushed item must be consumed exactly once.
+TEST(ChaseLevDeque, OwnerAndThievesConsumeEachItemExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  Deque d(128);
+  std::atomic<bool> start{false};
+  std::atomic<bool> owner_done{false};
+
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+
+  auto consume = [&](Deque::Item v) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kItems);
+    seen[static_cast<std::size_t>(v)].fetch_add(1);
+  };
+
+  std::vector<std::thread> thieves;
+  std::atomic<int> consumed{0};
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      while (!owner_done.load() || d.size_approx() > 0) {
+        const auto v = d.steal();
+        if (v >= 0) {
+          consume(v);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  start.store(true);
+  // Owner: push everything, popping occasionally.
+  for (int i = 0; i < kItems; ++i) {
+    d.push(i);
+    if ((i & 7) == 0) {
+      const auto v = d.pop();
+      if (v >= 0) {
+        consume(v);
+        consumed.fetch_add(1);
+      }
+    }
+  }
+  // Owner drains the rest.
+  for (;;) {
+    const auto v = d.pop();
+    if (v == Deque::kEmpty) break;
+    consume(v);
+    consumed.fetch_add(1);
+  }
+  owner_done.store(true);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}

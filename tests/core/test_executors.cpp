@@ -1,0 +1,241 @@
+// Parameterized tests of the four scheduling strategies over fixed
+// graphs: exactly-once execution, dependency ordering, cross-cycle reuse,
+// stats, and schedule tracing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/support/trace.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+
+struct Case {
+  dc::Strategy strategy;
+  unsigned threads;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  return std::string(dc::to_string(info.param.strategy)) + "_t" +
+         std::to_string(info.param.threads);
+}
+
+/// Execution recorder: every node appends its id; order checked later.
+struct Recorder {
+  explicit Recorder(std::size_t nodes) : done(nodes) {
+    for (auto& d : done) d.store(0);
+    seq.store(0);
+    stamp.resize(nodes);
+  }
+  std::vector<std::atomic<int>> done;
+  std::atomic<std::uint64_t> seq;
+  std::vector<std::uint64_t> stamp;  // completion order stamp per node
+
+  dc::WorkFn work(dc::NodeId id) {
+    return [this, id] {
+      stamp[id] = seq.fetch_add(1) + 1;
+      done[id].fetch_add(1);
+    };
+  }
+  void reset() {
+    for (auto& d : done) d.store(0);
+    seq.store(0);
+    for (auto& s : stamp) s = 0;
+  }
+};
+
+/// The DJ Star shape in miniature: 6 sources, 2 chains, a mix, a tail.
+struct MiniGraph {
+  dc::TaskGraph g;
+  Recorder rec{12};
+  std::vector<dc::NodeId> ids;
+
+  MiniGraph() {
+    for (int i = 0; i < 12; ++i) {
+      ids.push_back(g.add_node("n" + std::to_string(i),
+                               rec.work(static_cast<dc::NodeId>(i)),
+                               i < 6 ? (i < 3 ? "deckA" : "deckB")
+                                     : "master"));
+    }
+    // sources 0..5; chainA: 0,1,2 -> 6 -> 7 ; chainB: 3,4,5 -> 8 -> 9
+    // mix: 7,9 -> 10 -> 11
+    for (int s : {0, 1, 2}) g.add_edge(ids[s], ids[6]);
+    g.add_edge(ids[6], ids[7]);
+    for (int s : {3, 4, 5}) g.add_edge(ids[s], ids[8]);
+    g.add_edge(ids[8], ids[9]);
+    g.add_edge(ids[7], ids[10]);
+    g.add_edge(ids[9], ids[10]);
+    g.add_edge(ids[10], ids[11]);
+  }
+
+  void check_dependencies_respected() {
+    for (dc::NodeId v = 0; v < g.node_count(); ++v) {
+      for (dc::NodeId p : g.predecessors(v)) {
+        EXPECT_LT(rec.stamp[p], rec.stamp[v])
+            << "node " << v << " ran before predecessor " << p;
+      }
+    }
+  }
+};
+
+class ExecutorTest : public testing::TestWithParam<Case> {};
+
+}  // namespace
+
+TEST_P(ExecutorTest, RunsEveryNodeExactlyOnce) {
+  const auto p = GetParam();
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  dc::ExecOptions opts;
+  opts.threads = p.threads;
+  auto exec = dc::make_executor(p.strategy, cg, opts);
+  exec->run_cycle();
+  for (auto& d : mg.rec.done) EXPECT_EQ(d.load(), 1);
+}
+
+TEST_P(ExecutorTest, RespectsDependencies) {
+  const auto p = GetParam();
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  dc::ExecOptions opts;
+  opts.threads = p.threads;
+  auto exec = dc::make_executor(p.strategy, cg, opts);
+  exec->run_cycle();
+  mg.check_dependencies_respected();
+}
+
+TEST_P(ExecutorTest, ManyCyclesStayCorrect) {
+  const auto p = GetParam();
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  dc::ExecOptions opts;
+  opts.threads = p.threads;
+  auto exec = dc::make_executor(p.strategy, cg, opts);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    mg.rec.reset();
+    exec->run_cycle();
+    for (auto& d : mg.rec.done) ASSERT_EQ(d.load(), 1) << "cycle " << cycle;
+    mg.check_dependencies_respected();
+  }
+}
+
+TEST_P(ExecutorTest, StatsCountNodes) {
+  const auto p = GetParam();
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  dc::ExecOptions opts;
+  opts.threads = p.threads;
+  auto exec = dc::make_executor(p.strategy, cg, opts);
+  exec->run_cycle();
+  exec->run_cycle();
+  EXPECT_EQ(exec->stats().nodes_executed.load(), 24u);
+  exec->stats_reset();
+  EXPECT_EQ(exec->stats().nodes_executed.load(), 0u);
+}
+
+TEST_P(ExecutorTest, TracingRecordsOneRunSpanPerNode) {
+  const auto p = GetParam();
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  djstar::support::TraceRecorder trace;
+  trace.arm(p.threads);
+  dc::ExecOptions opts;
+  opts.threads = p.threads;
+  opts.trace = &trace;
+  auto exec = dc::make_executor(p.strategy, cg, opts);
+  exec->run_cycle();
+  const auto spans = trace.collect();
+  int runs = 0;
+  for (const auto& s : spans) {
+    if (s.kind == djstar::support::SpanKind::kRun) {
+      ++runs;
+      EXPECT_GE(s.end_us, s.begin_us);
+      EXPECT_LT(s.thread, p.threads);
+      EXPECT_GE(s.node, 0);
+    }
+  }
+  EXPECT_EQ(runs, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, ExecutorTest,
+    testing::Values(Case{dc::Strategy::kSequential, 1},
+                    Case{dc::Strategy::kBusyWait, 1},
+                    Case{dc::Strategy::kBusyWait, 2},
+                    Case{dc::Strategy::kBusyWait, 4},
+                    Case{dc::Strategy::kSleep, 1},
+                    Case{dc::Strategy::kSleep, 2},
+                    Case{dc::Strategy::kSleep, 4},
+                    Case{dc::Strategy::kWorkStealing, 1},
+                    Case{dc::Strategy::kWorkStealing, 2},
+                    Case{dc::Strategy::kWorkStealing, 4},
+                    Case{dc::Strategy::kSharedQueue, 1},
+                    Case{dc::Strategy::kSharedQueue, 2},
+                    Case{dc::Strategy::kSharedQueue, 4}),
+    case_name);
+
+TEST(ExecutorFactory, NamesRoundTrip) {
+  for (dc::Strategy s : dc::kAllStrategies) {
+    const auto parsed = dc::parse_strategy(dc::to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(dc::parse_strategy("nonsense").has_value());
+  EXPECT_EQ(dc::parse_strategy("work-stealing"), dc::Strategy::kWorkStealing);
+}
+
+TEST(WorkStealingSeed, RoundRobinModeAlsoCorrect) {
+  MiniGraph mg;
+  dc::CompiledGraph cg(mg.g);
+  dc::ExecOptions opts;
+  opts.threads = 3;
+  dc::WorkStealingOptions ws;
+  ws.seed = dc::SeedMode::kRoundRobin;
+  dc::WorkStealingExecutor exec(cg, opts, ws);
+  for (int i = 0; i < 50; ++i) {
+    mg.rec.reset();
+    exec.run_cycle();
+    for (auto& d : mg.rec.done) ASSERT_EQ(d.load(), 1);
+  }
+}
+
+TEST(SingleNodeGraph, AllStrategiesHandleIt) {
+  for (dc::Strategy s : dc::kAllStrategies) {
+    std::atomic<int> hits{0};
+    dc::TaskGraph g;
+    g.add_node("only", [&] { hits.fetch_add(1); });
+    dc::CompiledGraph cg(g);
+    dc::ExecOptions opts;
+    opts.threads = 4;  // more threads than nodes
+    auto exec = dc::make_executor(s, cg, opts);
+    exec->run_cycle();
+    EXPECT_EQ(hits.load(), 1) << dc::to_string(s);
+  }
+}
+
+TEST(ChainGraph, NoParallelismStillCorrect) {
+  // A pure chain: worst case for round-robin (every node waits).
+  for (dc::Strategy s : dc::kParallelStrategies) {
+    Recorder rec(8);
+    dc::TaskGraph g;
+    std::vector<dc::NodeId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(g.add_node("c", rec.work(static_cast<dc::NodeId>(i))));
+    }
+    for (int i = 0; i + 1 < 8; ++i) g.add_edge(ids[i], ids[i + 1]);
+    dc::CompiledGraph cg(g);
+    dc::ExecOptions opts;
+    opts.threads = 4;
+    auto exec = dc::make_executor(s, cg, opts);
+    exec->run_cycle();
+    for (int i = 0; i + 1 < 8; ++i) {
+      ASSERT_LT(rec.stamp[ids[i]], rec.stamp[ids[i + 1]])
+          << dc::to_string(s);
+    }
+  }
+}

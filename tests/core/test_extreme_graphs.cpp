@@ -1,0 +1,94 @@
+// Stress shapes: very wide, very deep, and dense graphs through every
+// strategy — capacity, termination, and ordering at scales far beyond
+// the 67-node production graph.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+
+class ExtremeGraphTest : public testing::TestWithParam<dc::Strategy> {};
+
+}  // namespace
+
+TEST_P(ExtremeGraphTest, VeryWideFanInCompletes) {
+  // 800 sources feeding one sink: stresses deque capacity/growth and the
+  // shared-queue ring sizing.
+  std::atomic<int> ran{0};
+  dc::TaskGraph g;
+  std::vector<dc::NodeId> sources;
+  for (int i = 0; i < 800; ++i) {
+    sources.push_back(g.add_node("s", [&] { ran.fetch_add(1); },
+                                 i % 2 ? "deckA" : "deckB"));
+  }
+  std::atomic<int> sink_ran{0};
+  const auto sink = g.add_node("sink", [&] { sink_ran.fetch_add(1); });
+  for (auto s : sources) g.add_edge(s, sink);
+
+  dc::CompiledGraph cg(g);
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  auto exec = dc::make_executor(GetParam(), cg, opts);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ran.store(0);
+    sink_ran.store(0);
+    exec->run_cycle();
+    EXPECT_EQ(ran.load(), 800);
+    EXPECT_EQ(sink_ran.load(), 1);
+  }
+}
+
+TEST_P(ExtremeGraphTest, VeryDeepChainCompletes) {
+  // 600-node chain: zero parallelism, maximal dependency churn.
+  std::atomic<int> ran{0};
+  dc::TaskGraph g;
+  dc::NodeId prev = g.add_node("n", [&] { ran.fetch_add(1); });
+  for (int i = 1; i < 600; ++i) {
+    const auto n = g.add_node("n", [&] { ran.fetch_add(1); });
+    g.add_edge(prev, n);
+    prev = n;
+  }
+  dc::CompiledGraph cg(g);
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  auto exec = dc::make_executor(GetParam(), cg, opts);
+  exec->run_cycle();
+  EXPECT_EQ(ran.load(), 600);
+}
+
+TEST_P(ExtremeGraphTest, WideFanOutFanInDiamond) {
+  // 1 -> 500 -> 1: a burst of simultaneous ready nodes mid-cycle.
+  std::atomic<int> ran{0};
+  dc::TaskGraph g;
+  const auto head = g.add_node("head", [&] { ran.fetch_add(1); });
+  const auto tail = g.add_node("tail", [&] { ran.fetch_add(1); });
+  for (int i = 0; i < 500; ++i) {
+    const auto mid = g.add_node("m", [&] { ran.fetch_add(1); });
+    g.add_edge(head, mid);
+    g.add_edge(mid, tail);
+  }
+  dc::CompiledGraph cg(g);
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  auto exec = dc::make_executor(GetParam(), cg, opts);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ran.store(0);
+    exec->run_cycle();
+    EXPECT_EQ(ran.load(), 502);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ExtremeGraphTest,
+                         testing::Values(dc::Strategy::kSequential,
+                                         dc::Strategy::kBusyWait,
+                                         dc::Strategy::kSleep,
+                                         dc::Strategy::kWorkStealing,
+                                         dc::Strategy::kSharedQueue),
+                         [](const auto& info) {
+                           return std::string(dc::to_string(info.param));
+                         });

@@ -1,0 +1,153 @@
+// Unit tests for TaskGraph: construction, validation, ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "djstar/core/graph.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+dc::WorkFn noop() {
+  return [] {};
+}
+}  // namespace
+
+TEST(TaskGraph, AddNodesAssignsSequentialIds) {
+  dc::TaskGraph g;
+  EXPECT_EQ(g.add_node("a", noop()), 0u);
+  EXPECT_EQ(g.add_node("b", noop()), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.name(0), "a");
+  EXPECT_EQ(g.name(1), "b");
+}
+
+TEST(TaskGraph, EdgesTrackDegrees) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.in_degree(c), 2u);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.predecessors(c).size(), 2u);
+}
+
+TEST(TaskGraph, DuplicateEdgesIgnored) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+}
+
+TEST(TaskGraph, AcyclicDetection) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(c, a);  // close the cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_TRUE(g.topological_order().empty());
+}
+
+TEST(TaskGraph, EmptyGraphIsAcyclic) {
+  dc::TaskGraph g;
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  dc::TaskGraph g;
+  // Diamond: a -> {b, c} -> d
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  const auto d = g.add_node("d", noop());
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](dc::NodeId n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(d));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(TaskGraph, DepthsAreLongestPaths) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  const auto c = g.add_node("c", noop());
+  const auto d = g.add_node("d", noop());
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(a, d);
+  g.add_edge(c, d);  // d's longest path is via b,c
+  const auto depth = g.depths();
+  EXPECT_EQ(depth[a], 0u);
+  EXPECT_EQ(depth[b], 1u);
+  EXPECT_EQ(depth[c], 2u);
+  EXPECT_EQ(depth[d], 3u);
+}
+
+TEST(TaskGraph, LevelizedOrderGroupsByDepthStably) {
+  dc::TaskGraph g;
+  // Two chains inserted interleaved: a1->a2, b1->b2.
+  const auto a1 = g.add_node("a1", noop());
+  const auto b1 = g.add_node("b1", noop());
+  const auto a2 = g.add_node("a2", noop());
+  const auto b2 = g.add_node("b2", noop());
+  g.add_edge(a1, a2);
+  g.add_edge(b1, b2);
+  const auto order = g.levelized_order();
+  // Depth-0 nodes in insertion order, then depth-1 in insertion order.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], a1);
+  EXPECT_EQ(order[1], b1);
+  EXPECT_EQ(order[2], a2);
+  EXPECT_EQ(order[3], b2);
+}
+
+TEST(TaskGraph, LevelizedOrderHasNoIntraColumnDependencies) {
+  // The paper's claim about the queue: nodes of equal depth never depend
+  // on each other.
+  dc::TaskGraph g;
+  std::vector<dc::NodeId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(g.add_node("n", noop()));
+  for (int i = 0; i < 16; ++i) g.add_edge(ids[i], ids[i + 4]);
+  const auto depth = g.depths();
+  for (dc::NodeId v = 0; v < g.node_count(); ++v) {
+    for (dc::NodeId p : g.predecessors(v)) {
+      EXPECT_NE(depth[p], depth[v]);
+    }
+  }
+}
+
+TEST(TaskGraph, SourceNodesHaveNoPredecessors) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop());
+  const auto b = g.add_node("b", noop());
+  g.add_edge(a, b);
+  const auto sources = g.source_nodes();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], a);
+}
+
+TEST(TaskGraph, SectionsStored) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", noop(), "deckA");
+  EXPECT_EQ(g.section(a), "deckA");
+}

@@ -1,0 +1,66 @@
+// Unit tests for the DOT export.
+#include <gtest/gtest.h>
+
+#include "djstar/core/graphviz.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+
+namespace dc = djstar::core;
+
+namespace {
+dc::TaskGraph small_graph() {
+  dc::TaskGraph g;
+  const auto a = g.add_node("alpha", [] {}, "left");
+  const auto b = g.add_node("beta", [] {}, "right");
+  g.add_edge(a, b);
+  return g;
+}
+}  // namespace
+
+TEST(Graphviz, ContainsNodesAndEdges) {
+  const auto dot = dc::to_dot(small_graph());
+  EXPECT_NE(dot.find("digraph taskgraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Graphviz, ClustersBySection) {
+  const auto dot = dc::to_dot(small_graph());
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"left\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"right\""), std::string::npos);
+}
+
+TEST(Graphviz, NoClustersWhenDisabled) {
+  dc::DotOptions opts;
+  opts.cluster_sections = false;
+  const auto dot = dc::to_dot(small_graph(), opts);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+}
+
+TEST(Graphviz, RanksByDepth) {
+  const auto dot = dc::to_dot(small_graph());
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(Graphviz, EscapesQuotes) {
+  dc::TaskGraph g;
+  g.add_node("has\"quote", [] {});
+  const auto dot = dc::to_dot(g);
+  EXPECT_NE(dot.find("has\\\"quote"), std::string::npos);
+}
+
+TEST(Graphviz, CanonicalGraphExportsCompletely) {
+  djstar::engine::DjStarGraph gn;
+  const auto dot = dc::to_dot(gn.graph());
+  // 67 node declarations plus the edge list.
+  EXPECT_NE(dot.find("AUDIO_OUT"), std::string::npos);
+  EXPECT_NE(dot.find("SP_A1"), std::string::npos);
+  EXPECT_NE(dot.find("MIXER"), std::string::npos);
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, gn.graph().edge_count());
+}

@@ -1,0 +1,181 @@
+// Unit tests for delay-line effects: DelayLine, Echo, Flanger, Chorus,
+// Phaser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/dsp/delay.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+TEST(DelayLine, ReadsBackAfterExactDelay) {
+  dd::DelayLine d(16);
+  d.push(1.0f);
+  for (int i = 0; i < 5; ++i) d.push(0.0f);
+  EXPECT_EQ(d.read(5), 1.0f);  // the impulse is 5 pushes back
+  EXPECT_EQ(d.read(4), 0.0f);
+}
+
+TEST(DelayLine, FractionalReadInterpolates) {
+  dd::DelayLine d(16);
+  d.push(0.0f);
+  d.push(1.0f);
+  // read(0) = most recent = 1.0, read(1) = 0.0 -> read_frac(0.5) = 0.5
+  EXPECT_FLOAT_EQ(d.read_frac(0.5), 0.5f);
+}
+
+TEST(DelayLine, ResetSilences) {
+  dd::DelayLine d(8);
+  d.push(1.0f);
+  d.reset();
+  for (std::size_t k = 0; k <= d.max_delay(); ++k) {
+    EXPECT_EQ(d.read(k), 0.0f);
+  }
+}
+
+TEST(DelayLine, WrapsWithoutCorruption) {
+  dd::DelayLine d(4);
+  for (int i = 0; i < 100; ++i) {
+    d.push(static_cast<float>(i));
+    EXPECT_EQ(d.read(0), static_cast<float>(i));
+  }
+}
+
+TEST(Echo, ImpulseProducesDelayedRepeat) {
+  dd::Echo e;
+  const double delay_s = 0.01;  // 441 samples
+  e.set(delay_s, 0.5f, 1.0f);   // fully wet to isolate the repeat
+  da::AudioBuffer b(2, 1024);
+  b.at(0, 0) = 1.0f;
+  e.process(b);
+  const auto d = static_cast<std::size_t>(delay_s * 44100.0);
+  // Before the delay arrives: silence (fully wet).
+  for (std::size_t i = 1; i + 1 < d; ++i) {
+    ASSERT_NEAR(b.at(0, i), 0.0f, 1e-6f) << i;
+  }
+  EXPECT_GT(std::abs(b.at(0, d)), 0.4f);
+}
+
+TEST(Echo, FeedbackDecays) {
+  dd::Echo e;
+  e.set(0.005, 0.5f, 1.0f);
+  da::AudioBuffer b(2, 44100 / 4);
+  b.at(0, 0) = 1.0f;
+  e.process(b);
+  // Energy in the last quarter must be far below the first quarter.
+  double early = 0, late = 0;
+  const std::size_t q = b.frames() / 4;
+  for (std::size_t i = 0; i < q; ++i) early += std::abs(b.at(0, i));
+  for (std::size_t i = 3 * q; i < b.frames(); ++i) late += std::abs(b.at(0, i));
+  EXPECT_LT(late, early * 0.5);
+}
+
+TEST(Echo, MixZeroIsDry) {
+  dd::Echo e;
+  e.set(0.01, 0.5f, 0.0f);
+  da::AudioBuffer b(2, 256);
+  for (std::size_t i = 0; i < 256; ++i) b.at(0, i) = 0.5f;
+  da::AudioBuffer orig(2, 256);
+  orig.copy_from(b);
+  e.process(b);
+  for (std::size_t i = 0; i < 256; ++i) {
+    ASSERT_FLOAT_EQ(b.at(0, i), orig.at(0, i));
+  }
+}
+
+TEST(Echo, ClampsFeedbackBelowUnity) {
+  dd::Echo e;
+  e.set(0.001, 5.0f, 1.0f);  // absurd feedback request
+  da::AudioBuffer b(2, 44100 / 2);
+  b.at(0, 0) = 1.0f;
+  e.process(b);
+  for (float s : b.raw()) ASSERT_TRUE(std::isfinite(s));
+  EXPECT_LT(b.peak(), 20.0f);  // bounded, not exploding
+}
+
+namespace {
+
+template <typename Fx>
+void expect_finite_on_program(Fx& fx) {
+  da::AudioBuffer b(2, 128);
+  for (int block = 0; block < 200; ++block) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      b.at(0, i) = 0.7f * static_cast<float>(std::sin(0.07 * (block * 128 + i)));
+      b.at(1, i) = 0.7f * static_cast<float>(std::cos(0.05 * (block * 128 + i)));
+    }
+    fx.process(b);
+    for (float s : b.raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+}  // namespace
+
+TEST(Flanger, ModulatesSignal) {
+  dd::Flanger f;
+  f.set(1.0, 0.8f, 0.3f, 0.5f);
+  // A pure tone through a flanger gains time-varying amplitude.
+  da::AudioBuffer b(2, 44100);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    b.at(0, i) = static_cast<float>(std::sin(0.3 * i));
+    b.at(1, i) = b.at(0, i);
+  }
+  f.process(b);
+  float win_min = 1e9f, win_max = 0.0f;
+  // Peak over consecutive 2048-sample windows varies with the LFO.
+  for (std::size_t w = 0; w + 2048 <= b.frames(); w += 2048) {
+    float peak = 0;
+    for (std::size_t i = w; i < w + 2048; ++i) {
+      peak = std::max(peak, std::abs(b.at(0, i)));
+    }
+    win_min = std::min(win_min, peak);
+    win_max = std::max(win_max, peak);
+  }
+  EXPECT_GT(win_max - win_min, 0.1f);
+}
+
+TEST(Flanger, FiniteOnProgram) {
+  dd::Flanger f;
+  f.set(2.0, 1.0f, 0.85f, 1.0f);
+  expect_finite_on_program(f);
+}
+
+TEST(Chorus, FiniteOnProgram) {
+  dd::Chorus c;
+  c.set(1.5, 1.0f, 1.0f);
+  expect_finite_on_program(c);
+}
+
+TEST(Chorus, MixZeroIsDry) {
+  dd::Chorus c;
+  c.set(1.0, 0.5f, 0.0f);
+  da::AudioBuffer b(2, 128);
+  for (std::size_t i = 0; i < 128; ++i) b.at(0, i) = 0.3f;
+  c.process(b);
+  for (std::size_t i = 0; i < 128; ++i) ASSERT_FLOAT_EQ(b.at(0, i), 0.3f);
+}
+
+TEST(Phaser, FiniteOnProgram) {
+  dd::Phaser p;
+  p.set(1.0, 1.0f, 0.9f, 1.0f);
+  expect_finite_on_program(p);
+}
+
+TEST(Phaser, CreatesSpectralNotches) {
+  // A phaser sweeps notches; at any instant a fully-wet phaser output of
+  // white-ish input differs from the input.
+  dd::Phaser p;
+  p.set(0.0, 0.5f, 0.0f, 1.0f);  // rate 0: stationary allpass chain
+  da::AudioBuffer b(2, 4096);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    b.at(0, i) = static_cast<float>(std::sin(0.9 * i) + std::sin(0.13 * i));
+  }
+  da::AudioBuffer orig(2, 4096);
+  orig.copy_from(b);
+  p.process(b);
+  double diff = 0;
+  for (std::size_t i = 1000; i < 4096; ++i) {
+    diff += std::abs(b.at(0, i) - orig.at(0, i));
+  }
+  EXPECT_GT(diff, 1.0);
+}

@@ -1,0 +1,152 @@
+// Unit tests for dynamics processors: Compressor, Limiter, Gate, clippers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/dsp/dynamics.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+namespace {
+
+da::AudioBuffer sine_burst(float amp, std::size_t frames = 8192) {
+  da::AudioBuffer b(2, frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto s = amp * static_cast<float>(std::sin(0.2 * i));
+    b.at(0, i) = s;
+    b.at(1, i) = s;
+  }
+  return b;
+}
+
+}  // namespace
+
+TEST(Compressor, QuietSignalPassesUnchanged) {
+  dd::Compressor c;
+  c.set(-10.0f, 4.0f, 5.0f, 50.0f, 0.0f);
+  auto b = sine_burst(0.05f);  // well below -10 dB
+  const float in_peak = b.peak();
+  c.process(b);
+  EXPECT_NEAR(b.peak(), in_peak, 0.01f);
+}
+
+TEST(Compressor, LoudSignalIsReduced) {
+  dd::Compressor c;
+  c.set(-20.0f, 8.0f, 1.0f, 100.0f, 0.0f);
+  auto b = sine_burst(0.9f);
+  c.process(b);
+  // Steady-state peak well below the input's 0.9.
+  float tail_peak = 0;
+  for (std::size_t i = 6000; i < b.frames(); ++i) {
+    tail_peak = std::max(tail_peak, std::abs(b.at(0, i)));
+  }
+  EXPECT_LT(tail_peak, 0.5f);
+  EXPECT_LT(c.current_gain(), 0.6f);
+}
+
+TEST(Compressor, MakeupGainApplies) {
+  dd::Compressor with, without;
+  with.set(-10.0f, 4.0f, 5.0f, 50.0f, 6.0f);
+  without.set(-10.0f, 4.0f, 5.0f, 50.0f, 0.0f);
+  auto a = sine_burst(0.05f);
+  auto b = sine_burst(0.05f);
+  with.process(a);
+  without.process(b);
+  EXPECT_NEAR(a.peak() / b.peak(), std::pow(10.0f, 6.0f / 20.0f), 0.05f);
+}
+
+TEST(Limiter, NeverExceedsCeiling) {
+  dd::Limiter l;
+  l.set(-6.0f, 50.0f);
+  const float ceiling = std::pow(10.0f, -6.0f / 20.0f);
+  auto b = sine_burst(1.5f);
+  l.process(b);
+  for (float s : b.raw()) {
+    ASSERT_LE(std::abs(s), ceiling + 1e-6f);
+  }
+}
+
+TEST(Limiter, QuietSignalUntouched) {
+  dd::Limiter l;
+  l.set(0.0f, 50.0f);
+  auto b = sine_burst(0.1f);
+  const float in_peak = b.peak();
+  l.process(b);
+  EXPECT_NEAR(b.peak(), in_peak, 1e-4f);
+}
+
+TEST(Limiter, RecoversAfterTransient) {
+  dd::Limiter l;
+  l.set(0.0f, 5.0f);
+  auto spike = sine_burst(3.0f, 512);
+  l.process(spike);
+  // After a long quiet stretch, gain should be back near 1.
+  auto quiet = sine_burst(0.1f, 44100);
+  l.process(quiet);
+  float tail_peak = 0;
+  for (std::size_t i = 40000; i < quiet.frames(); ++i) {
+    tail_peak = std::max(tail_peak, std::abs(quiet.at(0, i)));
+  }
+  EXPECT_NEAR(tail_peak, 0.1f, 0.01f);
+}
+
+TEST(Gate, PassesLoudBlocksQuiet) {
+  dd::Gate g;
+  g.set(-20.0f, -30.0f, 5.0f, 5.0f);
+  auto loud = sine_burst(0.8f, 8192);
+  g.process(loud);
+  EXPECT_TRUE(g.is_open());
+  float late_peak = 0;
+  for (std::size_t i = 6000; i < loud.frames(); ++i) {
+    late_peak = std::max(late_peak, std::abs(loud.at(0, i)));
+  }
+  EXPECT_GT(late_peak, 0.5f);
+
+  auto quiet = sine_burst(0.001f, 44100);
+  g.process(quiet);
+  EXPECT_FALSE(g.is_open());
+  float tail_peak = 0;
+  for (std::size_t i = 30000; i < quiet.frames(); ++i) {
+    tail_peak = std::max(tail_peak, std::abs(quiet.at(0, i)));
+  }
+  EXPECT_LT(tail_peak, 0.001f);
+}
+
+TEST(Gate, HysteresisKeepsOpenBetweenThresholds) {
+  dd::Gate g;
+  g.set(-20.0f, -40.0f, 1000.0f, 5.0f);
+  auto loud = sine_burst(0.5f, 4096);
+  g.process(loud);
+  EXPECT_TRUE(g.is_open());
+  // -30 dB ~ 0.03: below open threshold but above close threshold.
+  auto mid = sine_burst(0.05f, 4096);
+  g.process(mid);
+  EXPECT_TRUE(g.is_open());
+}
+
+TEST(HardClip, ClampsAtCeiling) {
+  dd::HardClip c(0.5f);
+  da::AudioBuffer b(1, 3);
+  b.at(0, 0) = 2.0f;
+  b.at(0, 1) = -2.0f;
+  b.at(0, 2) = 0.3f;
+  c.process(b);
+  EXPECT_EQ(b.at(0, 0), 0.5f);
+  EXPECT_EQ(b.at(0, 1), -0.5f);
+  EXPECT_EQ(b.at(0, 2), 0.3f);
+}
+
+TEST(SoftClip, BoundedAndMonotone) {
+  dd::SoftClip c;
+  c.set(12.0f);
+  da::AudioBuffer b(1, 200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    b.at(0, i) = -2.0f + 0.02f * static_cast<float>(i);
+  }
+  c.process(b);
+  for (std::size_t i = 1; i < 200; ++i) {
+    ASSERT_LE(std::abs(b.at(0, i)), 1.01f);
+    ASSERT_GE(b.at(0, i), b.at(0, i - 1) - 1e-6f);  // monotone in input
+  }
+}

@@ -1,0 +1,98 @@
+// Unit tests for the 3-band DJ mixer EQ.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "djstar/dsp/filters.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+namespace {
+
+/// Steady-state peak of a sine at `freq` after the EQ.
+double eq_probe(dd::ThreeBandEq& eq, double freq) {
+  eq.reset();
+  da::AudioBuffer b(2, 12000);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    const auto s = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * freq * i / 44100.0));
+    b.at(0, i) = s;
+    b.at(1, i) = s;
+  }
+  eq.process(b);
+  float peak = 0;
+  for (std::size_t i = 8000; i < b.frames(); ++i) {
+    peak = std::max(peak, std::abs(b.at(0, i)));
+  }
+  return peak;
+}
+
+}  // namespace
+
+TEST(ThreeBandEq, FlatIsTransparent) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(0, 0, 0);
+  for (double freq : {60.0, 1000.0, 9000.0}) {
+    EXPECT_NEAR(eq_probe(eq, freq), 1.0, 0.15) << "at " << freq;
+  }
+}
+
+TEST(ThreeBandEq, LowKillRemovesBass) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(-90, 0, 0);
+  EXPECT_LT(eq_probe(eq, 60.0), 0.12);
+  EXPECT_NEAR(eq_probe(eq, 1000.0), 1.0, 0.2);
+}
+
+TEST(ThreeBandEq, MidKillRemovesMids) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(0, -90, 0);
+  EXPECT_LT(eq_probe(eq, 900.0), 0.25);
+  EXPECT_NEAR(eq_probe(eq, 40.0), 1.0, 0.25);
+  EXPECT_NEAR(eq_probe(eq, 12000.0), 1.0, 0.25);
+}
+
+TEST(ThreeBandEq, HighKillRemovesTreble) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(0, 0, -90);
+  EXPECT_LT(eq_probe(eq, 12000.0), 0.12);
+  EXPECT_NEAR(eq_probe(eq, 60.0), 1.0, 0.2);
+}
+
+TEST(ThreeBandEq, BoostRaisesBand) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(6, 0, 0);
+  EXPECT_GT(eq_probe(eq, 50.0), 1.4);  // ~ +6 dB = 2.0x
+}
+
+TEST(ThreeBandEq, AllKillIsSilence) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(-90, -90, -90);
+  for (double freq : {60.0, 1000.0, 9000.0}) {
+    EXPECT_LT(eq_probe(eq, freq), 0.02) << "at " << freq;
+  }
+}
+
+TEST(ThreeBandEq, CustomCrossoversShiftBands) {
+  dd::ThreeBandEq eq;
+  eq.set_crossovers(500.0, 5000.0);
+  eq.set_gains(-90, 0, 0);
+  // 300 Hz is now in the (killed) low band.
+  EXPECT_LT(eq_probe(eq, 300.0), 0.2);
+}
+
+TEST(ThreeBandEq, StaysFiniteOnHarshInput) {
+  dd::ThreeBandEq eq;
+  eq.set_gains(6, -90, 6);
+  da::AudioBuffer b(2, 128);
+  for (int block = 0; block < 100; ++block) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      b.at(0, i) = (i % 2) ? 1.0f : -1.0f;  // square at Nyquist
+      b.at(1, i) = b.at(0, i);
+    }
+    eq.process(b);
+    for (float s : b.raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}

@@ -1,0 +1,123 @@
+// Parameterized property sweeps over the filter space: every biquad type
+// at every (frequency, Q) grid point must be stable, bounded, and match
+// its analytic magnitude; the TPT SVF must be stable over the whole
+// audible range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "djstar/dsp/filters.hpp"
+#include "djstar/support/rng.hpp"
+
+namespace dd = djstar::dsp;
+
+namespace {
+
+using BiquadCase = std::tuple<dd::BiquadType, double, double>;  // type,f,Q
+
+std::string biquad_case_name(
+    const testing::TestParamInfo<BiquadCase>& info) {
+  const auto [type, freq, q] = info.param;
+  const char* names[] = {"lowpass", "highpass", "bandpass", "notch",
+                         "peak",    "lowshelf", "highshelf", "allpass"};
+  return std::string(names[static_cast<int>(type)]) + "_f" +
+         std::to_string(static_cast<int>(freq)) + "_q" +
+         std::to_string(static_cast<int>(q * 100));
+}
+
+class BiquadSweep : public testing::TestWithParam<BiquadCase> {};
+
+}  // namespace
+
+TEST_P(BiquadSweep, StableAndBoundedOnNoise) {
+  const auto [type, freq, q] = GetParam();
+  dd::Biquad f;
+  f.set(type, freq, q, 6.0);
+  djstar::support::Xoshiro256 rng(42);
+  float peak = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const float y = f.process_sample(rng.bipolar());
+    ASSERT_TRUE(std::isfinite(y)) << "at sample " << i;
+    peak = std::max(peak, std::abs(y));
+  }
+  // A stable biquad with <= +6 dB of gain cannot blow far past its
+  // theoretical maximum magnification on bounded input.
+  EXPECT_LT(peak, 60.0f);
+}
+
+TEST_P(BiquadSweep, ImpulseResponseDecays) {
+  const auto [type, freq, q] = GetParam();
+  dd::Biquad f;
+  f.set(type, freq, q, 6.0);
+  float y = f.process_sample(1.0f);
+  (void)y;
+  double early = 0, late = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const float v = std::abs(f.process_sample(0.0f));
+    if (i < 2000) early += v;
+    if (i >= 28000) late += v;
+  }
+  // The tail of a stable filter's impulse response vanishes.
+  EXPECT_LT(late, early * 0.05 + 1e-6);
+}
+
+TEST_P(BiquadSweep, AnalyticMagnitudeIsFinitePositive) {
+  const auto [type, freq, q] = GetParam();
+  dd::Biquad f;
+  f.set(type, freq, q, 6.0);
+  for (double probe : {20.0, 100.0, 1000.0, 10000.0, 20000.0}) {
+    const double m = f.magnitude_at(probe);
+    ASSERT_TRUE(std::isfinite(m));
+    ASSERT_GE(m, 0.0);
+    ASSERT_LT(m, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BiquadSweep,
+    testing::Combine(
+        testing::Values(dd::BiquadType::kLowpass, dd::BiquadType::kHighpass,
+                        dd::BiquadType::kBandpass, dd::BiquadType::kNotch,
+                        dd::BiquadType::kPeak, dd::BiquadType::kLowShelf,
+                        dd::BiquadType::kHighShelf, dd::BiquadType::kAllpass),
+        testing::Values(40.0, 1000.0, 15000.0),
+        testing::Values(0.5, 4.0)),
+    biquad_case_name);
+
+class SvfSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SvfSweep, StableAcrossFullRange) {
+  dd::StateVariableFilter f;
+  f.set(GetParam(), 0.707);
+  djstar::support::Xoshiro256 rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    const auto o = f.process_sample(rng.bipolar());
+    ASSERT_TRUE(std::isfinite(o.low));
+    ASSERT_TRUE(std::isfinite(o.band));
+    ASSERT_TRUE(std::isfinite(o.high));
+  }
+}
+
+TEST_P(SvfSweep, OutputsSumToInputViaIdentity) {
+  // TPT SVF identity: x == high + k*band + low holds per sample.
+  dd::StateVariableFilter f;
+  const double q = 0.9;
+  f.set(GetParam(), q);
+  djstar::support::Xoshiro256 rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const float x = rng.bipolar();
+    const auto o = f.process_sample(x);
+    const double sum = o.high + (1.0 / q) * o.band + o.low;
+    ASSERT_NEAR(sum, x, 1e-3) << "at sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, SvfSweep,
+                         testing::Values(25.0, 120.0, 440.0, 2000.0, 8000.0,
+                                         16000.0, 21000.0),
+                         [](const testing::TestParamInfo<double>& info) {
+                           return "hz" + std::to_string(
+                                             static_cast<int>(info.param));
+                         });

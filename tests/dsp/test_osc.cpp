@@ -1,0 +1,105 @@
+// Unit tests for oscillators and noise sources.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "djstar/dsp/osc.hpp"
+
+namespace dd = djstar::dsp;
+
+TEST(Oscillator, SineFrequencyViaZeroCrossings) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kSine, 441.0, 44100.0);
+  int crossings = 0;
+  float prev = o.next();
+  for (int i = 1; i < 44100; ++i) {
+    const float s = o.next();
+    if (prev <= 0.0f && s > 0.0f) ++crossings;
+    prev = s;
+  }
+  EXPECT_NEAR(crossings, 441, 2);
+}
+
+TEST(Oscillator, SineAmplitudeIsUnit) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kSine, 1000.0);
+  float peak = 0;
+  for (int i = 0; i < 44100; ++i) peak = std::max(peak, std::abs(o.next()));
+  EXPECT_NEAR(peak, 1.0f, 1e-3f);
+}
+
+TEST(Oscillator, SawIsBounded) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kSaw, 2000.0);
+  for (int i = 0; i < 44100; ++i) {
+    const float s = o.next();
+    ASSERT_GE(s, -1.5f);
+    ASSERT_LE(s, 1.5f);
+  }
+}
+
+TEST(Oscillator, SquareHasTwoLevels) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kSquare, 100.0);
+  int near_pos = 0, near_neg = 0;
+  for (int i = 0; i < 44100; ++i) {
+    const float s = o.next();
+    if (s > 0.9f) ++near_pos;
+    if (s < -0.9f) ++near_neg;
+  }
+  // Most samples sit near +/-1 for a band-limited square at 100 Hz.
+  EXPECT_GT(near_pos, 15000);
+  EXPECT_GT(near_neg, 15000);
+}
+
+TEST(Oscillator, TriangleIsFiniteAndBounded) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kTriangle, 500.0);
+  for (int i = 0; i < 44100; ++i) {
+    const float s = o.next();
+    ASSERT_TRUE(std::isfinite(s));
+    ASSERT_LE(std::abs(s), 1.6f);
+  }
+}
+
+TEST(Oscillator, RenderFillsSpan) {
+  dd::Oscillator o;
+  o.set(dd::OscShape::kSine, 440.0);
+  std::vector<float> buf(256, 99.0f);
+  o.render(buf);
+  bool changed = false;
+  for (float s : buf) changed |= (s != 99.0f);
+  EXPECT_TRUE(changed);
+}
+
+TEST(Noise, DeterministicAndBounded) {
+  dd::Noise a(3), b(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = a.next();
+    ASSERT_EQ(x, b.next());
+    ASSERT_GE(x, -1.0f);
+    ASSERT_LE(x, 1.0f);
+  }
+}
+
+TEST(Noise, RoughlyZeroMean) {
+  dd::Noise n(5);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += n.next();
+  EXPECT_NEAR(sum / 100000.0, 0.0, 0.01);
+}
+
+TEST(PinkNoise, BoundedAndNonDegenerate) {
+  dd::PinkNoise p(7);
+  float peak = 0;
+  double sum2 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const float s = p.next();
+    peak = std::max(peak, std::abs(s));
+    sum2 += static_cast<double>(s) * s;
+    ASSERT_TRUE(std::isfinite(s));
+  }
+  EXPECT_LT(peak, 2.0f);
+  EXPECT_GT(sum2 / 100000.0, 1e-4);
+}

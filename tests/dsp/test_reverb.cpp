@@ -1,0 +1,85 @@
+// Unit tests for the Schroeder/Freeverb reverberator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/dsp/reverb.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+TEST(Reverb, ImpulseProducesTail) {
+  dd::Reverb r;
+  r.set(0.7f, 0.3f, 1.0f);
+  da::AudioBuffer b(2, 44100);
+  b.at(0, 0) = 1.0f;
+  b.at(1, 0) = 1.0f;
+  r.process(b);
+  // Energy must exist well after the impulse (a tail).
+  double tail = 0;
+  for (std::size_t i = 20000; i < 40000; ++i) tail += std::abs(b.at(0, i));
+  EXPECT_GT(tail, 0.01);
+}
+
+TEST(Reverb, TailDecays) {
+  dd::Reverb r;
+  r.set(0.5f, 0.5f, 1.0f);
+  da::AudioBuffer b(2, 44100 * 2);
+  b.at(0, 0) = 1.0f;
+  b.at(1, 0) = 1.0f;
+  r.process(b);
+  double early = 0, late = 0;
+  for (std::size_t i = 2000; i < 12000; ++i) early += std::abs(b.at(0, i));
+  for (std::size_t i = 70000; i < 80000; ++i) late += std::abs(b.at(0, i));
+  EXPECT_LT(late, early * 0.5);
+}
+
+TEST(Reverb, MixZeroIsDry) {
+  dd::Reverb r;
+  r.set(0.9f, 0.1f, 0.0f);
+  da::AudioBuffer b(2, 128);
+  for (std::size_t i = 0; i < 128; ++i) b.at(0, i) = 0.4f;
+  r.process(b);
+  for (std::size_t i = 0; i < 128; ++i) ASSERT_FLOAT_EQ(b.at(0, i), 0.4f);
+}
+
+TEST(Reverb, StereoChannelsDecorrelate) {
+  dd::Reverb r;
+  r.set(0.8f, 0.2f, 1.0f);
+  da::AudioBuffer b(2, 30000);
+  b.at(0, 0) = 1.0f;
+  b.at(1, 0) = 1.0f;
+  r.process(b);
+  // The stereo-spread tunings make left != right in the tail.
+  double diff = 0;
+  for (std::size_t i = 5000; i < 20000; ++i) {
+    diff += std::abs(b.at(0, i) - b.at(1, i));
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(Reverb, ResetSilencesTail) {
+  dd::Reverb r;
+  r.set(0.9f, 0.1f, 1.0f);
+  da::AudioBuffer b(2, 4096);
+  b.at(0, 0) = 1.0f;
+  r.process(b);
+  r.reset();
+  da::AudioBuffer quiet(2, 4096);
+  r.process(quiet);
+  EXPECT_LT(quiet.peak(), 1e-6f);
+}
+
+TEST(Reverb, StaysFiniteAtMaxRoom) {
+  dd::Reverb r;
+  r.set(1.0f, 0.0f, 1.0f);
+  da::AudioBuffer b(2, 128);
+  for (int block = 0; block < 500; ++block) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      b.at(0, i) = 0.9f * static_cast<float>(std::sin(0.2 * (block * 128 + i)));
+      b.at(1, i) = b.at(0, i);
+    }
+    r.process(b);
+    for (float s : b.raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}

@@ -1,0 +1,155 @@
+// Unit tests for stereo widener, DC blocker, transient shaper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/dsp/stereo.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+TEST(StereoWidener, WidthOneIsIdentity) {
+  dd::StereoWidener w;
+  w.set_width(1.0f);
+  da::AudioBuffer b(2, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    b.at(0, i) = 0.5f;
+    b.at(1, i) = -0.2f;
+  }
+  w.process(b);
+  EXPECT_FLOAT_EQ(b.at(0, 10), 0.5f);
+  EXPECT_FLOAT_EQ(b.at(1, 10), -0.2f);
+}
+
+TEST(StereoWidener, WidthZeroCollapsesToMono) {
+  dd::StereoWidener w;
+  w.set_width(0.0f);
+  da::AudioBuffer b(2, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    b.at(0, i) = 0.8f;
+    b.at(1, i) = 0.2f;
+  }
+  w.process(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_FLOAT_EQ(b.at(0, i), b.at(1, i));
+    ASSERT_FLOAT_EQ(b.at(0, i), 0.5f);  // the mid
+  }
+}
+
+TEST(StereoWidener, MonoContentAlwaysPreserved) {
+  dd::StereoWidener w;
+  w.set_width(2.0f);
+  da::AudioBuffer b(2, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    b.at(0, i) = 0.3f;
+    b.at(1, i) = 0.3f;  // pure mid
+  }
+  w.process(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_FLOAT_EQ(b.at(0, i), 0.3f);
+    ASSERT_FLOAT_EQ(b.at(1, i), 0.3f);
+  }
+}
+
+TEST(StereoWidener, WidthTwoDoublesSideLevel) {
+  dd::StereoWidener w;
+  w.set_width(2.0f);
+  da::AudioBuffer b(2, 4);
+  b.at(0, 0) = 0.5f;
+  b.at(1, 0) = -0.5f;  // pure side 0.5
+  w.process(b);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.at(1, 0), -1.0f);
+}
+
+TEST(DcBlocker, RemovesConstantOffset) {
+  dd::DcBlocker dc;
+  da::AudioBuffer b(2, 44100);
+  for (auto& s : b.raw()) s = 0.5f;  // pure DC
+  dc.process(b);
+  // After a second, the output must have decayed essentially to zero.
+  float tail = 0;
+  for (std::size_t i = 40000; i < 44100; ++i) {
+    tail = std::max(tail, std::abs(b.at(0, i)));
+  }
+  EXPECT_LT(tail, 0.01f);
+}
+
+TEST(DcBlocker, PassesAudioBand) {
+  dd::DcBlocker dc;
+  da::AudioBuffer b(2, 44100);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    const auto s = static_cast<float>(std::sin(2.0 * M_PI * 440.0 * i / 44100.0));
+    b.at(0, i) = s;
+    b.at(1, i) = s;
+  }
+  dc.process(b);
+  float peak = 0;
+  for (std::size_t i = 22050; i < 44100; ++i) {
+    peak = std::max(peak, std::abs(b.at(0, i)));
+  }
+  EXPECT_NEAR(peak, 1.0f, 0.02f);
+}
+
+TEST(DcBlocker, RemovesOffsetFromAsymmetricSignal) {
+  dd::DcBlocker dc;
+  da::AudioBuffer b(2, 44100);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    b.at(0, i) = 0.3f + 0.5f * static_cast<float>(std::sin(0.2 * i));
+  }
+  dc.process(b);
+  double mean = 0;
+  for (std::size_t i = 20000; i < 44100; ++i) mean += b.at(0, i);
+  mean /= (44100 - 20000);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+}
+
+TEST(TransientShaper, NeutralSettingsNearIdentity) {
+  dd::TransientShaper ts;
+  ts.set(0.0f, 0.0f);
+  da::AudioBuffer b(2, 128);
+  for (std::size_t i = 0; i < 128; ++i) b.at(0, i) = 0.4f;
+  ts.process(b);
+  EXPECT_NEAR(b.at(0, 100), 0.4f, 1e-5f);
+}
+
+TEST(TransientShaper, AttackBoostEmphasizesOnsets) {
+  dd::TransientShaper boosted, neutral;
+  boosted.set(1.0f, 0.0f);
+  neutral.set(0.0f, 0.0f);
+  // Silence, then a step onset.
+  auto make = [] {
+    da::AudioBuffer b(2, 8192);
+    for (std::size_t i = 1024; i < 8192; ++i) {
+      b.at(0, i) = 0.5f;
+      b.at(1, i) = 0.5f;
+    }
+    return b;
+  };
+  auto a = make();
+  auto n = make();
+  boosted.process(a);
+  neutral.process(n);
+  // Right at the onset the boosted version is louder...
+  EXPECT_GT(std::abs(a.at(0, 1026)), std::abs(n.at(0, 1026)) + 0.05f);
+  // ...but the sustained tail (several slow-follower time constants
+  // later) converges back.
+  EXPECT_NEAR(std::abs(a.at(0, 8000)), std::abs(n.at(0, 8000)), 0.1f);
+}
+
+TEST(TransientShaper, OutputBounded) {
+  dd::TransientShaper ts;
+  ts.set(1.0f, 1.0f);
+  da::AudioBuffer b(2, 128);
+  for (int block = 0; block < 100; ++block) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      b.at(0, i) = (i % 9 == 0) ? 1.0f : 0.0f;
+      b.at(1, i) = b.at(0, i);
+    }
+    ts.process(b);
+    for (float s : b.raw()) {
+      ASSERT_TRUE(std::isfinite(s));
+      ASSERT_LE(std::abs(s), 4.0f);
+    }
+  }
+}

@@ -1,0 +1,135 @@
+// Unit tests for the TPT state-variable filter and the DJ filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "djstar/dsp/filters.hpp"
+
+namespace dd = djstar::dsp;
+namespace da = djstar::audio;
+
+namespace {
+
+/// Steady-state gain of one SVF output for a sine probe.
+template <typename Pick>
+double svf_probe(double cutoff, double q, double freq, Pick pick) {
+  dd::StateVariableFilter f;
+  f.set(cutoff, q);
+  const double sr = 44100.0;
+  float peak = 0;
+  for (int i = 0; i < 12000; ++i) {
+    const auto x = static_cast<float>(
+        std::sin(2.0 * std::numbers::pi * freq * i / sr));
+    const auto o = f.process_sample(x);
+    if (i > 6000) peak = std::max(peak, std::abs(pick(o)));
+  }
+  return peak;
+}
+
+}  // namespace
+
+TEST(Svf, LowOutputIsLowpass) {
+  const double lo = svf_probe(1000.0, 0.707, 100.0,
+                              [](auto o) { return o.low; });
+  const double hi = svf_probe(1000.0, 0.707, 10000.0,
+                              [](auto o) { return o.low; });
+  EXPECT_NEAR(lo, 1.0, 0.03);
+  EXPECT_LT(hi, 0.03);
+}
+
+TEST(Svf, HighOutputIsHighpass) {
+  const double lo = svf_probe(1000.0, 0.707, 100.0,
+                              [](auto o) { return o.high; });
+  const double hi = svf_probe(1000.0, 0.707, 10000.0,
+                              [](auto o) { return o.high; });
+  EXPECT_LT(lo, 0.03);
+  EXPECT_NEAR(hi, 1.0, 0.03);
+}
+
+TEST(Svf, BandOutputPeaksAtCutoff) {
+  const double at = svf_probe(2000.0, 2.0, 2000.0,
+                              [](auto o) { return o.band; });
+  const double off = svf_probe(2000.0, 2.0, 200.0,
+                               [](auto o) { return o.band; });
+  EXPECT_GT(at, off * 3.0);
+}
+
+TEST(Svf, StableAtExtremeCutoffs) {
+  // The Chamberlin SVF would explode here; the TPT form must not
+  // (this is a regression test for the NaN bug found during bring-up).
+  for (double cutoff : {20.0, 5000.0, 18000.0, 21000.0, 30000.0}) {
+    dd::StateVariableFilter f;
+    f.set(cutoff, 0.8);
+    float y = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const auto o = f.process_sample(i % 3 ? 1.0f : -1.0f);
+      y = o.low + o.band + o.high;
+      ASSERT_TRUE(std::isfinite(y)) << "cutoff " << cutoff << " i " << i;
+    }
+  }
+}
+
+TEST(Svf, MorphZeroIsBypass) {
+  dd::StateVariableFilter f;
+  f.set(18000.0, 0.8);
+  for (int i = 0; i < 100; ++i) {
+    const float x = 0.1f * static_cast<float>(i % 7 - 3);
+    EXPECT_EQ(f.process_morph(x, 0.0f), x);
+  }
+}
+
+namespace {
+
+/// Fill `b` with a stereo sine at `freq` starting at sample `offset`.
+void fill_sine(da::AudioBuffer& b, double freq, std::size_t offset) {
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    const auto s = static_cast<float>(std::sin(
+        2.0 * std::numbers::pi * freq * (offset + i) / 44100.0));
+    b.at(0, i) = s;
+    b.at(1, i) = s;
+  }
+}
+
+/// Process one settling buffer (the morph slews over the first call),
+/// then measure the steady-state tail peak of a second buffer.
+float settled_peak(dd::DjFilter& f, double freq) {
+  da::AudioBuffer b(2, 8192);
+  fill_sine(b, freq, 0);
+  f.process(b);  // slew settles here
+  fill_sine(b, freq, 8192);
+  f.process(b);
+  float tail_peak = 0;
+  for (std::size_t i = 4096; i < 8192; ++i) {
+    tail_peak = std::max(tail_peak, std::abs(b.at(0, i)));
+  }
+  return tail_peak;
+}
+
+}  // namespace
+
+TEST(DjFilter, NegativeMorphRemovesHighs) {
+  dd::DjFilter f;
+  f.set_morph(-0.9f);
+  EXPECT_LT(settled_peak(f, 12000.0), 0.15f);
+}
+
+TEST(DjFilter, PositiveMorphRemovesLows) {
+  dd::DjFilter f;
+  f.set_morph(0.9f);
+  EXPECT_LT(settled_peak(f, 60.0), 0.15f);
+}
+
+TEST(DjFilter, OutputStaysFiniteWhileSweeping) {
+  dd::DjFilter f;
+  da::AudioBuffer b(2, 128);
+  for (int block = 0; block < 200; ++block) {
+    f.set_morph(static_cast<float>(std::sin(block * 0.1)) * 0.99f);
+    for (std::size_t i = 0; i < 128; ++i) {
+      b.at(0, i) = 0.8f * static_cast<float>(std::sin(block + i * 0.3));
+      b.at(1, i) = b.at(0, i);
+    }
+    f.process(b);
+    for (float s : b.raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}

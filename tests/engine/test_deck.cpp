@@ -1,0 +1,119 @@
+// Unit tests for the Deck (timecode + preprocessing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/engine/deck.hpp"
+
+namespace de = djstar::engine;
+namespace da = djstar::audio;
+
+namespace {
+da::TrackSpec spec(std::uint64_t seed = 1) {
+  da::TrackSpec s;
+  s.seconds = 2.0;
+  s.seed = seed;
+  return s;
+}
+}  // namespace
+
+TEST(Deck, PreprocessFillsInput) {
+  de::Deck d(0, spec());
+  for (int i = 0; i < 30; ++i) {
+    d.process_timecode();
+    d.preprocess();
+  }
+  EXPECT_GT(d.input().peak(), 0.01f);
+  for (float s : d.input().raw()) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(Deck, VarispeedModeAlsoFillsInput) {
+  de::Deck d(1, spec());
+  d.set_keylock(false);
+  for (int i = 0; i < 10; ++i) {
+    d.process_timecode();
+    d.preprocess();
+  }
+  EXPECT_GT(d.input().peak(), 0.01f);
+}
+
+TEST(Deck, TimecodeDecoderLocksOntoPitch) {
+  de::Deck d(0, spec());
+  d.set_pitch(1.2);
+  for (int i = 0; i < 400; ++i) d.process_timecode();
+  EXPECT_NEAR(d.decoded_pitch(), 1.2, 0.08);
+}
+
+TEST(Deck, PitchIsClamped) {
+  de::Deck d(0, spec());
+  d.set_pitch(50.0);
+  EXPECT_LE(d.pitch(), 2.0);
+  d.set_pitch(-50.0);
+  EXPECT_GE(d.pitch(), -2.0);
+}
+
+TEST(Deck, DifferentIndicesStartStaggered) {
+  de::Deck a(0, spec()), b(1, spec());
+  for (int i = 0; i < 5; ++i) {
+    a.process_timecode();
+    a.preprocess();
+    b.process_timecode();
+    b.preprocess();
+  }
+  // Same track content but different start offsets -> different blocks.
+  double diff = 0;
+  for (std::size_t i = 0; i < a.input().frames(); ++i) {
+    diff += std::abs(a.input().at(0, i) - b.input().at(0, i));
+  }
+  EXPECT_GT(diff, 0.01);
+}
+
+TEST(Deck, ReversePlaybackProducesAudioInVarispeedMode) {
+  de::Deck d(0, spec());
+  d.set_keylock(false);
+  d.set_pitch(-1.0);
+  // Let the decoder lock onto the reverse carrier, then preprocess.
+  for (int i = 0; i < 400; ++i) d.process_timecode();
+  EXPECT_LT(d.decoded_pitch(), -0.8);
+  for (int i = 0; i < 10; ++i) d.preprocess();
+  EXPECT_GT(d.input().peak(), 0.01f);
+  for (float s : d.input().raw()) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(Deck, ReverseVarispeedMatchesForwardContentMirrored) {
+  // Reading forward then backward over the same region returns the same
+  // samples in reverse order (up to interpolation at block edges).
+  da::TrackSpec s = spec(11);
+  de::Deck fwd(0, s);
+  (void)fwd;
+  djstar::audio::Track t = djstar::audio::Track::generate(s);
+  djstar::audio::AudioBuffer a(2, 64), b(2, 64);
+  t.seek(1000);
+  t.read_varispeed(a, 1.0);   // plays frames 1000..1063, ends at 1064
+  t.read_varispeed(b, -1.0);  // plays 1064, 1063, ..., 1001
+  for (std::size_t i = 0; i < 60; ++i) {
+    ASSERT_NEAR(b.at(0, i + 1), a.at(0, 63 - i), 1e-4f) << i;
+  }
+}
+
+TEST(Deck, StoppedPlatterOutputsSilence) {
+  de::Deck d(0, spec());
+  d.set_keylock(false);
+  d.set_pitch(0.0);
+  for (int i = 0; i < 400; ++i) d.process_timecode();
+  for (int i = 0; i < 5; ++i) d.preprocess();
+  EXPECT_LT(d.input().peak(), 0.05f);
+}
+
+TEST(Deck, KeylockOutputIsDeterministic) {
+  de::Deck a(0, spec(7)), b(0, spec(7));
+  for (int i = 0; i < 20; ++i) {
+    a.process_timecode();
+    a.preprocess();
+    b.process_timecode();
+    b.preprocess();
+  }
+  for (std::size_t i = 0; i < a.input().frames(); ++i) {
+    ASSERT_EQ(a.input().at(0, i), b.input().at(0, i));
+  }
+}

@@ -1,0 +1,104 @@
+// Unit tests for the canonical 67-node DJ Star graph builder.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+
+namespace de = djstar::engine;
+namespace dc = djstar::core;
+
+class DjStarGraphTest : public testing::Test {
+ protected:
+  de::DjStarGraph gn_{};  // silent internal inputs
+};
+
+TEST_F(DjStarGraphTest, HasExactly67Nodes) {
+  EXPECT_EQ(gn_.graph().node_count(), 67u);  // paper §IV
+}
+
+TEST_F(DjStarGraphTest, HasExactly33Sources) {
+  EXPECT_EQ(gn_.graph().source_nodes().size(), 33u);  // paper Fig. 4
+}
+
+TEST_F(DjStarGraphTest, IsAcyclic) {
+  EXPECT_TRUE(gn_.graph().is_acyclic());
+}
+
+TEST_F(DjStarGraphTest, HasFiveSections) {
+  dc::CompiledGraph cg(gn_.graph());
+  EXPECT_EQ(cg.section_labels().size(), 5u);  // deckA..D + master
+}
+
+TEST_F(DjStarGraphTest, EffectChainsAreFourDeep) {
+  const auto depths = gn_.graph().depths();
+  // FX nodes occupy depths 1..4 (sources at 0, channels at 5).
+  std::set<std::uint32_t> fx_depths;
+  for (dc::NodeId n = 0; n < gn_.graph().node_count(); ++n) {
+    const auto k = gn_.kind(n);
+    if (k == de::NodeKind::kDeckEffect || k == de::NodeKind::kDeckEffectA) {
+      fx_depths.insert(depths[n]);
+    }
+  }
+  EXPECT_EQ(fx_depths, (std::set<std::uint32_t>{1, 2, 3, 4}));
+}
+
+TEST_F(DjStarGraphTest, AudioOutDependsOnEverythingAudible) {
+  // Longest path ends in the master tail; AUDIO_OUT's depth is 8.
+  const auto depths = gn_.graph().depths();
+  EXPECT_EQ(depths[gn_.audio_out_node()], 8u);
+}
+
+TEST_F(DjStarGraphTest, ReferenceDurationsAlignWithNodes) {
+  const auto d = gn_.reference_durations();
+  ASSERT_EQ(d.size(), 67u);
+  for (double v : d) EXPECT_GT(v, 0.0);
+}
+
+TEST_F(DjStarGraphTest, ReferenceTotalsMatchCalibration) {
+  const auto d = gn_.reference_durations();
+  double sum = 0;
+  for (double v : d) sum += v;
+  // Paper sequential time 1078.5 us; calibration target 1080 +/- 40.
+  EXPECT_NEAR(sum, 1080.0, 40.0);
+}
+
+TEST_F(DjStarGraphTest, DeckAEffectsAreHeavier) {
+  EXPECT_GT(de::reference_duration_us(de::NodeKind::kDeckEffectA),
+            de::reference_duration_us(de::NodeKind::kDeckEffect));
+}
+
+TEST_F(DjStarGraphTest, KindCountsMatchInventory) {
+  int sp = 0, util = 0, fx = 0, ch = 0, master_nodes = 0;
+  for (dc::NodeId n = 0; n < gn_.graph().node_count(); ++n) {
+    switch (gn_.kind(n)) {
+      case de::NodeKind::kSamplePlayer: ++sp; break;
+      case de::NodeKind::kUtility: ++util; break;
+      case de::NodeKind::kDeckEffect:
+      case de::NodeKind::kDeckEffectA: ++fx; break;
+      case de::NodeKind::kChannel: ++ch; break;
+      default: ++master_nodes; break;
+    }
+  }
+  EXPECT_EQ(sp, 16);
+  EXPECT_EQ(util, 16);
+  EXPECT_EQ(fx, 16);
+  EXPECT_EQ(ch, 4);
+}
+
+TEST_F(DjStarGraphTest, CompilesAndRunsWithSilentInputs) {
+  dc::CompiledGraph cg(gn_.graph());
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (dc::NodeId n : cg.order()) cg.work(n)();
+  }
+  // With silent decks the only audible source is the master sampler;
+  // output must be finite and bounded by the output limiter.
+  for (float s : gn_.output().raw()) ASSERT_TRUE(std::isfinite(s));
+  EXPECT_LE(gn_.output().peak(), 1.0f);
+}
+
+TEST(MakeReferenceGraph, ProvidesDurations) {
+  const auto ref = de::make_reference_graph();
+  EXPECT_EQ(ref.durations_us.size(), 67u);
+}

@@ -1,0 +1,97 @@
+// Unit tests for the latency/headroom advisor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "djstar/engine/engine.hpp"
+#include "djstar/engine/headroom.hpp"
+
+namespace de = djstar::engine;
+
+namespace {
+
+/// APC times tightly clustered around `mean_us`.
+std::vector<double> clustered(double mean_us, std::size_t n = 1000) {
+  std::vector<double> xs(n, mean_us);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] += static_cast<double>(i % 7) - 3.0;
+  }
+  return xs;
+}
+
+}  // namespace
+
+TEST(Headroom, EmptySamplesGiveEmptyReport) {
+  const auto r = de::advise_headroom(std::span<const double>{}, 128);
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_EQ(r.recommended_frames, 0u);
+}
+
+TEST(Headroom, FastEngineRecommendsSmallestBuffer) {
+  // 200 us APC at 128 frames: even 64 frames (1451 us deadline, 100 us
+  // scaled cost) is safe.
+  const auto xs = clustered(200.0);
+  const auto r = de::advise_headroom(xs, 128);
+  EXPECT_EQ(r.recommended_frames, 64u);
+}
+
+TEST(Headroom, SlowEngineNeedsBiggerBuffer) {
+  // 2800 us at 128 frames: right at the 2902 us deadline with no
+  // headroom; 64 would miss everything; 128 survives, but some samples
+  // exceed... use 3100 us so 128 misses too and 256 is required.
+  const auto xs = clustered(3100.0);
+  const auto r = de::advise_headroom(xs, 128);
+  EXPECT_EQ(r.recommended_frames, 256u);
+}
+
+TEST(Headroom, HopelessEngineGetsNoRecommendation) {
+  // Costs scale with the buffer, so an engine slower than real time at
+  // the measured size can never meet any scaled deadline.
+  const auto xs = clustered(5000.0);  // 5 ms per 2.9 ms packet
+  const auto r = de::advise_headroom(xs, 128);
+  EXPECT_EQ(r.recommended_frames, 0u);
+  for (const auto& e : r.entries) {
+    EXPECT_GT(e.predicted_miss_rate, 0.5);
+  }
+}
+
+TEST(Headroom, MissRateCountsTail) {
+  std::vector<double> xs(10000, 500.0);
+  for (int i = 0; i < 5; ++i) xs[i] = 4000.0;  // 5 outliers per 10k
+  const auto r = de::advise_headroom(xs, 128);
+  ASSERT_FALSE(r.entries.empty());
+  const auto* e128 = &r.entries[0];
+  for (const auto& e : r.entries) {
+    if (e.buffer_frames == 128) e128 = &e;
+  }
+  EXPECT_NEAR(e128->predicted_miss_rate, 5e-4, 1e-5);
+}
+
+TEST(Headroom, EntriesSortedAndConsistent) {
+  const auto xs = clustered(700.0);
+  const auto r = de::advise_headroom(xs, 128);
+  ASSERT_GE(r.entries.size(), 3u);
+  for (std::size_t i = 1; i < r.entries.size(); ++i) {
+    EXPECT_GT(r.entries[i].buffer_frames, r.entries[i - 1].buffer_frames);
+    // Larger buffers -> monotonically lower or equal miss rate under the
+    // proportional model... (equal scaling cancels; rates are equal).
+    EXPECT_LE(r.entries[i].predicted_miss_rate,
+              r.entries[i - 1].predicted_miss_rate + 1e-12);
+  }
+  for (const auto& e : r.entries) {
+    EXPECT_NEAR(e.latency_ms, e.deadline_us / 1000.0, 1e-12);
+  }
+}
+
+TEST(Headroom, WorksOnLiveMonitorData) {
+  de::EngineConfig cfg;
+  cfg.strategy = djstar::core::Strategy::kSequential;
+  cfg.threads = 1;
+  de::AudioEngine e(cfg);
+  e.run_cycles(200);
+  const auto r = de::advise_headroom(e.monitor());
+  ASSERT_FALSE(r.entries.empty());
+  // This host runs the APC well under the deadline: some recommendation
+  // must exist.
+  EXPECT_GT(r.recommended_frames, 0u);
+}

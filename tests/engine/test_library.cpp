@@ -1,0 +1,89 @@
+// Unit tests for the track library and preprocessing pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "djstar/audio/wav.hpp"
+#include "djstar/engine/library.hpp"
+
+namespace de = djstar::engine;
+namespace da = djstar::audio;
+
+namespace {
+da::TrackSpec spec(double bpm, std::uint64_t seed) {
+  da::TrackSpec s;
+  s.seconds = 10.0;
+  s.bpm = bpm;
+  s.seed = seed;
+  return s;
+}
+}  // namespace
+
+TEST(AnalyzeTrack, FillsAllFields) {
+  const auto track = da::Track::generate(spec(126.0, 1));
+  const auto a = de::analyze_track(track);
+  EXPECT_NEAR(a.beatgrid.bpm, 126.0, 4.0);
+  EXPECT_FALSE(a.overview.tiles.empty());
+  EXPECT_GT(a.loudness.gated_blocks, 0u);
+  EXPECT_GT(a.loudness.loudness_db, -40.0);
+  EXPECT_GE(a.key.tonic, 0);
+  EXPECT_LT(a.key.tonic, 12);
+}
+
+TEST(Library, AddAndFind) {
+  de::Library lib;
+  const auto id = lib.add_generated("Test Tune", spec(120.0, 2));
+  EXPECT_EQ(lib.size(), 1u);
+  const auto* e = lib.find(id);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->title, "Test Tune");
+  EXPECT_EQ(lib.find(9999), nullptr);
+}
+
+TEST(Library, ByTempoSortsByDistance) {
+  de::Library lib;
+  lib.add_generated("slow", spec(100.0, 3));
+  lib.add_generated("mid", spec(125.0, 4));
+  lib.add_generated("fast", spec(160.0, 5));
+  const auto sorted = lib.by_tempo(124.0);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0]->title, "mid");
+}
+
+TEST(Library, HarmonicMatchesIncludeSelfKey) {
+  de::Library lib;
+  const auto id = lib.add_generated("a", spec(124.0, 6));
+  const auto* e = lib.find(id);
+  ASSERT_NE(e, nullptr);
+  const auto matches = lib.harmonic_matches(e->analysis.key);
+  bool found_self = false;
+  for (const auto* m : matches) found_self |= (m->id == id);
+  EXPECT_TRUE(found_self);
+}
+
+TEST(Library, AddFromWavRoundTrip) {
+  // Write a tiny WAV, load it as a library track.
+  da::AudioBuffer b(2, 44100);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    b.at(0, i) = 0.4f * static_cast<float>(std::sin(0.05 * i));
+    b.at(1, i) = b.at(0, i);
+  }
+  const auto path = testing::TempDir() + "/lib_track.wav";
+  ASSERT_TRUE(da::write_wav(path, b));
+
+  de::Library lib;
+  const auto id = lib.add_from_wav("From Disk", path);
+  ASSERT_TRUE(id.has_value());
+  const auto* e = lib.find(*id);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->track->length_frames(), 44100u);
+  EXPECT_GT(e->analysis.loudness.gated_blocks, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Library, AddFromMissingWavFails) {
+  de::Library lib;
+  EXPECT_FALSE(lib.add_from_wav("nope", "/does/not/exist.wav").has_value());
+  EXPECT_EQ(lib.size(), 0u);
+}

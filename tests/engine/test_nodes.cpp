@@ -1,0 +1,208 @@
+// Unit tests for the engine node processors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/engine/nodes.hpp"
+
+namespace de = djstar::engine;
+namespace da = djstar::audio;
+
+namespace {
+
+da::AudioBuffer program(float amp = 0.5f) {
+  da::AudioBuffer b(2, da::kBlockSize);
+  for (std::size_t i = 0; i < b.frames(); ++i) {
+    b.at(0, i) = amp * static_cast<float>(std::sin(0.1 * i) + 0.4 * std::sin(0.91 * i));
+    b.at(1, i) = amp * static_cast<float>(std::cos(0.07 * i));
+  }
+  return b;
+}
+
+}  // namespace
+
+TEST(SamplePlayerNode, ProducesBandLimitedOutput) {
+  const auto in = program();
+  for (unsigned slot = 0; slot < 4; ++slot) {
+    de::SamplePlayerNode sp(&in, slot);
+    for (int i = 0; i < 8; ++i) sp.process();
+    EXPECT_GT(sp.output().peak(), 0.0f) << "slot " << slot;
+    for (float s : sp.output().raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(SamplePlayerNode, LevelScalesOutput) {
+  const auto in = program();
+  de::SamplePlayerNode loud(&in, 0), quiet(&in, 0);
+  quiet.set_level(0.1f);
+  for (int i = 0; i < 4; ++i) {
+    loud.process();
+    quiet.process();
+  }
+  EXPECT_NEAR(quiet.output().peak(), loud.output().peak() * 0.1f, 1e-4f);
+}
+
+TEST(EffectNode, HeadSumsFourPlayers) {
+  auto a = program(0.1f), b = program(0.1f), c = program(0.1f),
+       d = program(0.1f);
+  de::EffectNode fx(de::EffectKind::kSoftClip, {&a, &b, &c, &d});
+  fx.set_enabled(false);  // isolate the summing behaviour
+  fx.process();
+  // Sum of four identical buffers = 4x one of them.
+  EXPECT_NEAR(fx.output().at(0, 10), 4.0f * a.at(0, 10), 1e-5f);
+}
+
+TEST(EffectNode, DisabledIsPassThrough) {
+  const auto in = program();
+  de::EffectNode fx(de::EffectKind::kEcho, &in);
+  fx.set_enabled(false);
+  fx.process();
+  for (std::size_t i = 0; i < in.frames(); ++i) {
+    ASSERT_EQ(fx.output().at(0, i), in.at(0, i));
+  }
+}
+
+TEST(EffectNode, AllKindsProduceFiniteOutput) {
+  const auto in = program(0.8f);
+  for (auto kind :
+       {de::EffectKind::kEcho, de::EffectKind::kFlanger, de::EffectKind::kChorus,
+        de::EffectKind::kPhaser, de::EffectKind::kReverb,
+        de::EffectKind::kCompressor, de::EffectKind::kGate,
+        de::EffectKind::kBitcrusher, de::EffectKind::kWaveshaper,
+        de::EffectKind::kSoftClip, de::EffectKind::kSpectral}) {
+    de::EffectNode fx(kind, &in);
+    for (int i = 0; i < 50; ++i) fx.process();
+    for (float s : fx.output().raw()) {
+      ASSERT_TRUE(std::isfinite(s)) << de::to_string(kind);
+    }
+  }
+}
+
+TEST(EffectNode, AmountIsAdjustableWithoutBlowup) {
+  const auto in = program(0.9f);
+  de::EffectNode fx(de::EffectKind::kEcho, &in);
+  for (int i = 0; i < 100; ++i) {
+    fx.set_amount(static_cast<float>(i % 11) / 10.0f);
+    fx.process();
+    for (float s : fx.output().raw()) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(ChannelNode, FaderScales) {
+  const auto in = program();
+  de::ChannelNode ch(&in);
+  ch.set_fader(0.0f);
+  for (int i = 0; i < 50; ++i) ch.process();  // let the smoother settle
+  EXPECT_LT(ch.output().peak(), 0.01f);
+}
+
+TEST(SamplerNode, LoopsItsJingle) {
+  de::SamplerNode s;
+  float peak = 0;
+  for (int i = 0; i < 400; ++i) {
+    s.process();
+    peak = std::max(peak, s.output().peak());
+  }
+  EXPECT_GT(peak, 0.05f);
+}
+
+TEST(MixerNode, CrossfaderKillsOppositeSide) {
+  auto a = program(0.5f);
+  da::AudioBuffer silent(2, da::kBlockSize);
+  de::MixerNode mx({&a, &silent, &silent, &silent}, &silent);
+  mx.set_crossfader(1.0f);  // full B side; deck A (channel 0) killed
+  mx.process();
+  EXPECT_LT(mx.output().peak(), 1e-5f);
+  mx.set_crossfader(0.0f);  // full A side
+  mx.process();
+  EXPECT_GT(mx.output().peak(), 0.3f);
+}
+
+TEST(MixerNode, ChannelLevelsApply) {
+  auto a = program(0.5f);
+  da::AudioBuffer silent(2, da::kBlockSize);
+  de::MixerNode mx({&a, &silent, &silent, &silent}, &silent);
+  mx.set_crossfader(0.0f);
+  mx.set_channel_level(0, 0.5f);
+  mx.process();
+  const float half = mx.output().peak();
+  mx.set_channel_level(0, 1.0f);
+  mx.process();
+  EXPECT_NEAR(mx.output().peak(), half * 2.0f, 1e-4f);
+}
+
+TEST(CueNode, OnlyCuedChannelsContribute) {
+  auto a = program(0.5f), b = program(0.5f);
+  da::AudioBuffer silent(2, da::kBlockSize);
+  de::CueNode cue({&a, &b, &silent, &silent});
+  cue.set_cue(0, false);
+  cue.set_cue(1, false);
+  cue.process();
+  EXPECT_EQ(cue.output().peak(), 0.0f);
+  cue.set_cue(1, true);
+  cue.process();
+  EXPECT_GT(cue.output().peak(), 0.1f);
+}
+
+TEST(MonitorNode, OutputIsMono) {
+  auto in = program(0.5f);
+  de::MonitorNode mon(&in);
+  mon.process();
+  for (std::size_t i = 0; i < mon.output().frames(); ++i) {
+    ASSERT_EQ(mon.output().at(0, i), mon.output().at(1, i));
+  }
+}
+
+TEST(RecordNode, OutputBounded) {
+  auto hot = program(3.0f);  // very hot input
+  de::RecordNode rec(&hot);
+  for (int i = 0; i < 20; ++i) rec.process();
+  EXPECT_LE(rec.output().peak(), 1.0f + 1e-5f);
+}
+
+TEST(AudioOutNode, NeverExceedsDigitalFullScale) {
+  auto hot = program(5.0f);
+  de::AudioOutNode out(&hot);
+  for (int i = 0; i < 20; ++i) out.process();
+  EXPECT_LE(out.output().peak(), 0.999f + 1e-5f);
+}
+
+TEST(HeadphoneNode, BlendMixesCueAndMaster) {
+  auto cue = program(0.5f);
+  da::AudioBuffer master(2, da::kBlockSize);  // silent master
+  de::HeadphoneNode hp(&cue, &master);
+  hp.set_blend(0.0f);  // all cue
+  hp.process();
+  EXPECT_NEAR(hp.output().peak(), cue.peak(), 1e-5f);
+  hp.set_blend(1.0f);  // all (silent) master
+  hp.process();
+  EXPECT_EQ(hp.output().peak(), 0.0f);
+}
+
+TEST(MeterNode, ReadsItsInput) {
+  auto in = program(0.5f);
+  de::MeterNode m(&in);
+  m.process();
+  EXPECT_FLOAT_EQ(m.peak(), in.peak());
+  EXPECT_NEAR(m.rms(), in.rms(), 1e-6f);
+}
+
+TEST(AnalyzerNode, ProducesMagnitudes) {
+  auto in = program(0.8f);
+  de::AnalyzerNode an(&in);
+  an.process();
+  double total = 0;
+  for (float m : an.magnitudes()) {
+    ASSERT_TRUE(std::isfinite(m));
+    total += m;
+  }
+  EXPECT_GT(total, 0.01);
+}
+
+TEST(UtilityNode, ValueStaysBounded) {
+  de::UtilityNode u(3);
+  for (int i = 0; i < 10000; ++i) {
+    u.process();
+    ASSERT_LE(std::abs(u.value()), 1.5f);
+  }
+}

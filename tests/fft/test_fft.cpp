@@ -1,0 +1,151 @@
+// Unit tests for the radix-2 FFT: known transforms, round trips,
+// Parseval's theorem, linearity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "djstar/fft/fft.hpp"
+#include "djstar/support/rng.hpp"
+
+namespace df = djstar::fft;
+using cf = std::complex<float>;
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  df::Fft fft(8);
+  std::vector<cf> x(8, {0, 0});
+  x[0] = {1, 0};
+  fft.forward(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, DcTransformsToSingleBin) {
+  df::Fft fft(16);
+  std::vector<cf> x(16, {1, 0});
+  fft.forward(x);
+  EXPECT_NEAR(x[0].real(), 16.0f, 1e-4f);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0f, 1e-4f) << "bin " << k;
+  }
+}
+
+TEST(Fft, SingleToneLandsInRightBin) {
+  constexpr std::size_t n = 64;
+  df::Fft fft(n);
+  std::vector<cf> x(n);
+  const int bin = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * std::numbers::pi * bin * i / n;
+    x[i] = {static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph))};
+  }
+  fft.forward(x);
+  EXPECT_NEAR(std::abs(x[bin]), static_cast<float>(n), 1e-2f);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != bin) ASSERT_NEAR(std::abs(x[k]), 0.0f, 1e-2f) << k;
+  }
+}
+
+TEST(Fft, RoundTripIsIdentity) {
+  constexpr std::size_t n = 256;
+  df::Fft fft(n);
+  djstar::support::Xoshiro256 rng(1);
+  std::vector<cf> x(n), orig(n);
+  for (auto& v : x) v = {rng.bipolar(), rng.bipolar()};
+  orig = x;
+  fft.forward(x);
+  fft.inverse(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(x[i].real(), orig[i].real(), 1e-4f);
+    ASSERT_NEAR(x[i].imag(), orig[i].imag(), 1e-4f);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  constexpr std::size_t n = 128;
+  df::Fft fft(n);
+  djstar::support::Xoshiro256 rng(2);
+  std::vector<cf> x(n);
+  double time_energy = 0;
+  for (auto& v : x) {
+    v = {rng.bipolar(), rng.bipolar()};
+    time_energy += std::norm(v);
+  }
+  fft.forward(x);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-4);
+}
+
+TEST(Fft, LinearityHolds) {
+  constexpr std::size_t n = 32;
+  df::Fft fft(n);
+  djstar::support::Xoshiro256 rng(3);
+  std::vector<cf> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {rng.bipolar(), 0};
+    b[i] = {rng.bipolar(), 0};
+    sum[i] = a[i] + 2.0f * b[i];
+  }
+  fft.forward(a);
+  fft.forward(b);
+  fft.forward(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const cf expect = a[k] + 2.0f * b[k];
+    ASSERT_NEAR(std::abs(sum[k] - expect), 0.0f, 1e-3f);
+  }
+}
+
+TEST(RealFft, RoundTripIsIdentity) {
+  constexpr std::size_t n = 128;
+  df::RealFft fft(n);
+  djstar::support::Xoshiro256 rng(4);
+  std::vector<float> x(n), y(n);
+  for (auto& v : x) v = rng.bipolar();
+  std::vector<cf> spec(fft.bins());
+  fft.forward(x, spec);
+  fft.inverse(spec, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(y[i], x[i], 1e-4f);
+  }
+}
+
+TEST(RealFft, RealSineHasConjugateSymmetricSpectrum) {
+  constexpr std::size_t n = 64;
+  df::RealFft fft(n);
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * 3 * i / n));
+  }
+  std::vector<cf> spec(fft.bins());
+  fft.forward(x, spec);
+  EXPECT_NEAR(std::abs(spec[3]), n / 2.0f, 0.1f);
+  // DC and Nyquist bins of a real signal are purely real.
+  EXPECT_NEAR(spec[0].imag(), 0.0f, 1e-4f);
+  EXPECT_NEAR(spec[fft.bins() - 1].imag(), 0.0f, 1e-4f);
+}
+
+TEST(Window, HannSumsToConstantAt50PercentOverlap) {
+  std::vector<float> w(64);
+  df::make_window(df::WindowType::kHann, w);
+  // Periodic Hann: w[i] + w[i+N/2] == 1 for all i (COLA).
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_NEAR(w[i] + w[i + 32], 1.0f, 1e-5f);
+  }
+}
+
+TEST(Window, AllTypesAreBoundedAndNonNegative) {
+  for (auto t : {df::WindowType::kRect, df::WindowType::kHann,
+                 df::WindowType::kHamming, df::WindowType::kBlackman}) {
+    std::vector<float> w(128);
+    df::make_window(t, w);
+    for (float v : w) {
+      ASSERT_GE(v, -1e-6f);
+      ASSERT_LE(v, 1.0f + 1e-6f);
+    }
+  }
+}

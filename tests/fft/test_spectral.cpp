@@ -1,0 +1,83 @@
+// Unit tests for the overlap-add spectral brickwall filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/fft/fft.hpp"
+
+namespace df = djstar::fft;
+
+namespace {
+
+/// Stream a sine through the filter block-by-block and return the peak
+/// of the second half of the output.
+double stream_probe(df::SpectralFilter& f, double freq,
+                    std::size_t total = 16384) {
+  const double sr = 44100.0;
+  std::vector<float> out;
+  out.reserve(total);
+  std::vector<float> block(128);
+  for (std::size_t pos = 0; pos < total; pos += 128) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      block[i] = static_cast<float>(
+          std::sin(2.0 * std::numbers::pi * freq * (pos + i) / sr));
+    }
+    f.process(block);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  float peak = 0;
+  for (std::size_t i = total / 2; i < total; ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  return peak;
+}
+
+}  // namespace
+
+TEST(SpectralFilter, FullBandIsNearTransparent) {
+  df::SpectralFilter f(256);
+  f.set_band(0.0, 22050.0, 44100.0);
+  EXPECT_NEAR(stream_probe(f, 1000.0), 1.0, 0.05);
+}
+
+TEST(SpectralFilter, BlocksOutOfBandTone) {
+  df::SpectralFilter f(256);
+  f.set_band(2000.0, 8000.0, 44100.0);
+  EXPECT_LT(stream_probe(f, 300.0), 0.15);   // below the band
+  EXPECT_LT(stream_probe(f, 15000.0), 0.15); // above the band
+}
+
+TEST(SpectralFilter, PassesInBandTone) {
+  df::SpectralFilter f(256);
+  f.set_band(2000.0, 8000.0, 44100.0);
+  EXPECT_GT(stream_probe(f, 4000.0), 0.7);
+}
+
+TEST(SpectralFilter, ResetClearsState) {
+  df::SpectralFilter f(256);
+  f.set_band(0.0, 22050.0, 44100.0);
+  std::vector<float> block(128, 1.0f);
+  f.process(block);
+  f.reset();
+  std::vector<float> silent(512, 0.0f);
+  f.process(silent);
+  for (float s : silent) ASSERT_NEAR(s, 0.0f, 1e-6f);
+}
+
+TEST(SpectralFilter, OutputFiniteOnNoise) {
+  df::SpectralFilter f(256);
+  f.set_band(100.0, 10000.0, 44100.0);
+  std::vector<float> block(128);
+  unsigned seed = 1;
+  for (int rounds = 0; rounds < 100; ++rounds) {
+    for (auto& s : block) {
+      seed = seed * 1664525u + 1013904223u;
+      s = static_cast<float>(static_cast<int>(seed >> 16) % 2001 - 1000) /
+          1000.0f;
+    }
+    f.process(block);
+    for (float s : block) ASSERT_TRUE(std::isfinite(s));
+  }
+}

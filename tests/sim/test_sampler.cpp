@@ -1,0 +1,117 @@
+// Unit tests for the per-iteration duration sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "djstar/sim/sampler.hpp"
+
+namespace ds = djstar::sim;
+
+TEST(DurationSampler, ResizesOutputToNodeCount) {
+  std::vector<double> means{10, 20, 30};
+  ds::DurationSampler s(means);
+  std::vector<double> out;
+  s.sample(out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(DurationSampler, DeterministicForSeed) {
+  std::vector<double> means{10, 20, 30};
+  ds::SamplerConfig cfg;
+  cfg.seed = 7;
+  ds::DurationSampler a(means, cfg), b(means, cfg);
+  std::vector<double> oa, ob;
+  for (int i = 0; i < 50; ++i) {
+    a.sample(oa);
+    b.sample(ob);
+    ASSERT_EQ(oa, ob);
+  }
+}
+
+TEST(DurationSampler, MeanIsPreservedByDefault) {
+  std::vector<double> means{100.0};
+  ds::SamplerConfig cfg;
+  cfg.spike_probability = 0;  // exclude the heavy tail from the mean check
+  ds::DurationSampler s(means, cfg);
+  std::vector<double> out;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    s.sample(out);
+    sum += out[0];
+  }
+  // preserve_mean rescales the regimes so E[duration] == the mean the
+  // paper measured.
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(DurationSampler, UnnormalizedModeInflatesMean) {
+  std::vector<double> means{100.0};
+  ds::SamplerConfig cfg;
+  cfg.spike_probability = 0;
+  cfg.preserve_mean = false;
+  ds::DurationSampler s(means, cfg);
+  std::vector<double> out;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    s.sample(out);
+    sum += out[0];
+  }
+  const double expected =
+      100.0 * (1.0 + cfg.heavy_probability * (cfg.heavy_factor - 1.0));
+  EXPECT_NEAR(sum / n, expected, expected * 0.03);
+}
+
+TEST(DurationSampler, TwoRegimesProduceBimodalDurations) {
+  std::vector<double> means{100.0};
+  ds::SamplerConfig cfg;
+  cfg.jitter_sigma = 0.0;
+  cfg.spike_probability = 0;
+  ds::DurationSampler s(means, cfg);
+  std::vector<double> out;
+  const double light =
+      100.0 / (1.0 + cfg.heavy_probability * (cfg.heavy_factor - 1.0));
+  int lights = 0, heavies = 0;
+  for (int i = 0; i < 5000; ++i) {
+    s.sample(out);
+    if (s.last_was_heavy()) {
+      ++heavies;
+      EXPECT_NEAR(out[0], light * cfg.heavy_factor, 1e-9);
+    } else {
+      ++lights;
+      EXPECT_NEAR(out[0], light, 1e-9);
+    }
+  }
+  EXPECT_GT(lights, 1000);
+  EXPECT_GT(heavies, 1000);
+}
+
+TEST(DurationSampler, SpikesOccurAtConfiguredRate) {
+  std::vector<double> means{10.0};
+  ds::SamplerConfig cfg;
+  cfg.heavy_probability = 0;
+  cfg.jitter_sigma = 0;
+  cfg.spike_probability = 0.01;
+  cfg.spike_factor = 100.0;
+  ds::DurationSampler s(means, cfg);
+  std::vector<double> out;
+  int spikes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    s.sample(out);
+    if (out[0] > 500.0) ++spikes;
+  }
+  EXPECT_NEAR(spikes, n * 0.01, n * 0.01 * 0.3);
+}
+
+TEST(DurationSampler, AllDurationsPositive) {
+  std::vector<double> means{1.0, 5.0, 50.0};
+  ds::DurationSampler s(means);
+  std::vector<double> out;
+  for (int i = 0; i < 10000; ++i) {
+    s.sample(out);
+    for (double d : out) ASSERT_GT(d, 0.0);
+  }
+}

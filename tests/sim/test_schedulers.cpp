@@ -1,0 +1,206 @@
+// Unit tests for earliest-start and list scheduling, including the
+// classic bounds: CP <= makespan <= work, and Graham's bound for list
+// schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+#include "djstar/sim/schedulers.hpp"
+
+namespace dc = djstar::core;
+namespace ds = djstar::sim;
+
+namespace {
+
+ds::SimGraph diamond() {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", [] {}, "s");
+  const auto b = g.add_node("b", [] {}, "s");
+  const auto c = g.add_node("c", [] {}, "s");
+  const auto d = g.add_node("d", [] {}, "s");
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  dc::CompiledGraph cg(g);
+  return ds::SimGraph::from_compiled(cg, std::vector<double>{10, 20, 30, 5});
+}
+
+void check_schedule_valid(const ds::SimGraph& g, const ds::ScheduleResult& r,
+                          std::uint32_t max_procs) {
+  ASSERT_EQ(r.entries.size(), g.node_count());
+  std::vector<double> start(g.node_count()), finish(g.node_count());
+  std::vector<bool> seen(g.node_count(), false);
+  for (const auto& e : r.entries) {
+    EXPECT_FALSE(seen[e.node]);
+    seen[e.node] = true;
+    EXPECT_LT(e.proc, max_procs);
+    EXPECT_NEAR(e.finish_us - e.start_us, g.duration_us[e.node], 1e-9);
+    start[e.node] = e.start_us;
+    finish[e.node] = e.finish_us;
+  }
+  // Dependencies respected in time.
+  for (ds::NodeId v = 0; v < g.node_count(); ++v) {
+    for (ds::NodeId p : g.predecessors[v]) {
+      EXPECT_GE(start[v], finish[p] - 1e-9);
+    }
+  }
+  // No two entries on the same processor overlap.
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.entries.size(); ++j) {
+      const auto& x = r.entries[i];
+      const auto& y = r.entries[j];
+      if (x.proc != y.proc) continue;
+      const bool disjoint =
+          x.finish_us <= y.start_us + 1e-9 || y.finish_us <= x.start_us + 1e-9;
+      EXPECT_TRUE(disjoint) << "overlap on proc " << x.proc;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(EarliestStart, DiamondTimesAreExact) {
+  const auto g = diamond();
+  const auto r = ds::earliest_start_schedule(g);
+  // a: [0,10]; b: [10,30]; c: [10,40]; d: [40,45].
+  EXPECT_DOUBLE_EQ(r.makespan_us, 45.0);
+  check_schedule_valid(g, r, r.processors_used);
+}
+
+TEST(EarliestStart, MakespanEqualsCriticalPath) {
+  const auto g = diamond();
+  const auto r = ds::earliest_start_schedule(g);
+  EXPECT_DOUBLE_EQ(r.makespan_us, ds::critical_path_us(g));
+}
+
+TEST(EarliestStart, PeakConcurrencyOfDiamond) {
+  const auto g = diamond();
+  const auto r = ds::earliest_start_schedule(g);
+  EXPECT_EQ(r.peak_concurrency(), 2);  // b and c overlap
+}
+
+TEST(ListSchedule, SingleProcessorIsSequential) {
+  const auto g = diamond();
+  const auto r = ds::list_schedule(g, 1);
+  EXPECT_DOUBLE_EQ(r.makespan_us, ds::total_work_us(g));
+  check_schedule_valid(g, r, 1);
+}
+
+TEST(ListSchedule, BoundsHold) {
+  const auto g = diamond();
+  for (std::uint32_t p : {1u, 2u, 3u, 4u}) {
+    const auto r = ds::list_schedule(g, p);
+    check_schedule_valid(g, r, p);
+    EXPECT_GE(r.makespan_us, ds::critical_path_us(g) - 1e-9);
+    EXPECT_LE(r.makespan_us, ds::total_work_us(g) + 1e-9);
+    // Graham bound: makespan <= work/p + CP.
+    EXPECT_LE(r.makespan_us,
+              ds::total_work_us(g) / p + ds::critical_path_us(g) + 1e-9);
+  }
+}
+
+TEST(ListSchedule, MoreProcessorsNeverSlower) {
+  const auto g = diamond();
+  double prev = 1e18;
+  for (std::uint32_t p : {1u, 2u, 4u}) {
+    const auto r = ds::list_schedule(g, p);
+    EXPECT_LE(r.makespan_us, prev + 1e-9);
+    prev = r.makespan_us;
+  }
+}
+
+TEST(UpwardRank, ChainRanksAccumulate) {
+  dc::TaskGraph g;
+  const auto a = g.add_node("a", [] {}, "s");
+  const auto b = g.add_node("b", [] {}, "s");
+  const auto c = g.add_node("c", [] {}, "s");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  dc::CompiledGraph cg(g);
+  const auto s = ds::SimGraph::from_compiled(cg, std::vector<double>{5, 7, 11});
+  const auto rank = ds::upward_rank(s);
+  EXPECT_DOUBLE_EQ(rank[c], 11.0);
+  EXPECT_DOUBLE_EQ(rank[b], 18.0);
+  EXPECT_DOUBLE_EQ(rank[a], 23.0);
+}
+
+TEST(UpwardRank, SourceRankEqualsCriticalPath) {
+  const auto g = diamond();
+  const auto rank = ds::upward_rank(g);
+  double max_rank = 0;
+  for (double r : rank) max_rank = std::max(max_rank, r);
+  EXPECT_DOUBLE_EQ(max_rank, ds::critical_path_us(g));
+}
+
+TEST(ListSchedule, CriticalPathPriorityIsValidAndAtLeastAsGoodHere) {
+  const auto g = diamond();
+  for (std::uint32_t p : {1u, 2u, 4u}) {
+    const auto qo = ds::list_schedule(g, p, ds::PriorityRule::kQueueOrder);
+    const auto hlf = ds::list_schedule(g, p, ds::PriorityRule::kCriticalPath);
+    check_schedule_valid(g, hlf, p);
+    EXPECT_GE(hlf.makespan_us, ds::critical_path_us(g) - 1e-9);
+    // Not guaranteed in general, but holds for these graphs and guards
+    // against priority-sign regressions.
+    EXPECT_LE(hlf.makespan_us, qo.makespan_us + 1e-9);
+  }
+}
+
+TEST(ScheduleResult, SpansMatchEntries) {
+  const auto g = diamond();
+  const auto r = ds::list_schedule(g, 2);
+  const auto spans = r.to_spans();
+  ASSERT_EQ(spans.size(), r.entries.size());
+  EXPECT_EQ(spans[0].kind, djstar::support::SpanKind::kRun);
+}
+
+// ---- paper-scale checks on the canonical 67-node graph ----
+
+class DjStarReferenceSchedule : public testing::Test {
+ protected:
+  void SetUp() override {
+    ref_ = std::make_unique<djstar::engine::ReferenceGraph>(
+        djstar::engine::make_reference_graph());
+    cg_ = std::make_unique<dc::CompiledGraph>(ref_->graph.graph());
+    sim_ = ds::SimGraph::from_compiled(*cg_, ref_->durations_us);
+  }
+  std::unique_ptr<djstar::engine::ReferenceGraph> ref_;
+  std::unique_ptr<dc::CompiledGraph> cg_;
+  ds::SimGraph sim_;
+};
+
+TEST_F(DjStarReferenceSchedule, TotalWorkMatchesPaperSequentialTime) {
+  // Paper Table I, one thread: 1.0785 ms. Calibration target: ~1.08 ms.
+  EXPECT_NEAR(ds::total_work_us(sim_), 1080.0, 40.0);
+}
+
+TEST_F(DjStarReferenceSchedule, CriticalPathNearPaperValue) {
+  // Paper §IV: 295 us on unlimited processors.
+  EXPECT_NEAR(ds::critical_path_us(sim_), 295.0, 25.0);
+}
+
+TEST_F(DjStarReferenceSchedule, MaxConcurrencyIs33) {
+  const auto r = ds::earliest_start_schedule(sim_);
+  EXPECT_EQ(r.peak_concurrency(), 33);  // paper: "requires 33 processors"
+}
+
+TEST_F(DjStarReferenceSchedule, FourCoreScheduleWithinTenPercentOfInfinite) {
+  const auto inf = ds::earliest_start_schedule(sim_);
+  const auto four = ds::list_schedule(sim_, 4);
+  // Paper: 324 us vs 295 us = +8%. Allow a little slack.
+  EXPECT_GE(four.makespan_us, inf.makespan_us);
+  EXPECT_LE(four.makespan_us, inf.makespan_us * 1.25);
+}
+
+TEST_F(DjStarReferenceSchedule, ConcurrencyDropsToAboutFourAfterSources) {
+  const auto r = ds::earliest_start_schedule(sim_);
+  // After 30 us (sources done), active processors should be <= ~8
+  // (paper: "after ~25 us the concurrency level drops down to four").
+  for (std::size_t i = 0; i < r.profile_times_us.size(); ++i) {
+    if (r.profile_times_us[i] > 30.0 && r.profile_times_us[i] < 250.0) {
+      EXPECT_LE(r.profile_active[i], 8) << "t=" << r.profile_times_us[i];
+    }
+  }
+}

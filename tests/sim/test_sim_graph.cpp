@@ -1,0 +1,70 @@
+// Unit tests for SimGraph, critical path and total work.
+#include <gtest/gtest.h>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/sim/sim_graph.hpp"
+
+namespace dc = djstar::core;
+namespace ds = djstar::sim;
+
+namespace {
+
+/// chain a(10) -> b(20) -> c(5); free d(40)
+struct Fixture {
+  dc::TaskGraph g;
+  dc::NodeId a, b, c, d;
+  std::vector<double> dur{10, 20, 5, 40};
+  Fixture() {
+    a = g.add_node("a", [] {}, "s");
+    b = g.add_node("b", [] {}, "s");
+    c = g.add_node("c", [] {}, "s");
+    d = g.add_node("d", [] {}, "t");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+  }
+};
+
+}  // namespace
+
+TEST(SimGraph, FromCompiledSnapshotsStructure) {
+  Fixture f;
+  dc::CompiledGraph cg(f.g);
+  const auto s = ds::SimGraph::from_compiled(cg, f.dur);
+  EXPECT_EQ(s.node_count(), 4u);
+  EXPECT_EQ(s.successors[f.a].size(), 1u);
+  EXPECT_EQ(s.predecessors[f.b].size(), 1u);
+  EXPECT_EQ(s.duration_us[f.d], 40.0);
+  EXPECT_EQ(s.order.size(), 4u);
+  s.validate();
+}
+
+TEST(SimGraph, CriticalPathIsLongestWeightedPath) {
+  Fixture f;
+  dc::CompiledGraph cg(f.g);
+  const auto s = ds::SimGraph::from_compiled(cg, f.dur);
+  // chain = 35, free node = 40 -> CP = 40.
+  EXPECT_DOUBLE_EQ(ds::critical_path_us(s), 40.0);
+}
+
+TEST(SimGraph, CriticalPathOfChainOnly) {
+  Fixture f;
+  dc::CompiledGraph cg(f.g);
+  auto s = ds::SimGraph::from_compiled(cg, f.dur);
+  s.duration_us[f.d] = 1.0;
+  EXPECT_DOUBLE_EQ(ds::critical_path_us(s), 35.0);
+}
+
+TEST(SimGraph, TotalWorkIsSum) {
+  Fixture f;
+  dc::CompiledGraph cg(f.g);
+  const auto s = ds::SimGraph::from_compiled(cg, f.dur);
+  EXPECT_DOUBLE_EQ(ds::total_work_us(s), 75.0);
+}
+
+TEST(SimGraph, SectionIndicesCopied) {
+  Fixture f;
+  dc::CompiledGraph cg(f.g);
+  const auto s = ds::SimGraph::from_compiled(cg, f.dur);
+  EXPECT_EQ(s.section[f.a], s.section[f.b]);
+  EXPECT_NE(s.section[f.a], s.section[f.d]);
+}

@@ -1,0 +1,116 @@
+// Property sweeps over the virtual-time strategy simulators: for every
+// (strategy, thread count, duration sample) the simulated schedule obeys
+// the classic bounds and uses only the processors it was given.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+#include "djstar/sim/sampler.hpp"
+#include "djstar/sim/strategy_sim.hpp"
+
+namespace ds = djstar::sim;
+namespace dc = djstar::core;
+
+namespace {
+
+using Case = std::tuple<ds::SimStrategy, std::uint32_t, std::uint64_t>;
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  const auto [s, t, seed] = info.param;
+  const char* name = s == ds::SimStrategy::kBusy ? "busy"
+                     : s == ds::SimStrategy::kSleep ? "sleep"
+                                                    : "ws";
+  return std::string(name) + "_t" + std::to_string(t) + "_s" +
+         std::to_string(seed);
+}
+
+class SimPropertyTest : public testing::TestWithParam<Case> {
+ protected:
+  static void SetUpTestSuite() {
+    ref_ = new djstar::engine::ReferenceGraph(
+        djstar::engine::make_reference_graph());
+    cg_ = new dc::CompiledGraph(ref_->graph.graph());
+    base_ = new ds::SimGraph(
+        ds::SimGraph::from_compiled(*cg_, ref_->durations_us));
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    delete cg_;
+    delete ref_;
+    base_ = nullptr;
+    cg_ = nullptr;
+    ref_ = nullptr;
+  }
+  static djstar::engine::ReferenceGraph* ref_;
+  static dc::CompiledGraph* cg_;
+  static ds::SimGraph* base_;
+};
+
+djstar::engine::ReferenceGraph* SimPropertyTest::ref_ = nullptr;
+dc::CompiledGraph* SimPropertyTest::cg_ = nullptr;
+ds::SimGraph* SimPropertyTest::base_ = nullptr;
+
+}  // namespace
+
+TEST_P(SimPropertyTest, BoundsHoldOverSampledDurations) {
+  const auto [strategy, threads, seed] = GetParam();
+  ds::SamplerConfig cfg;
+  cfg.seed = seed;
+  ds::DurationSampler sampler(base_->duration_us, cfg);
+  ds::SimGraph g = *base_;
+
+  for (int iter = 0; iter < 50; ++iter) {
+    sampler.sample(g.duration_us);
+    const auto r = ds::simulate_strategy(g, strategy, threads);
+
+    // Structural validity.
+    ASSERT_EQ(r.entries.size(), g.node_count());
+    double max_finish = 0;
+    for (const auto& e : r.entries) {
+      ASSERT_LT(e.proc, threads);
+      ASSERT_GE(e.start_us, 0.0);
+      max_finish = std::max(max_finish, e.finish_us);
+    }
+    ASSERT_NEAR(r.makespan_us, max_finish, 1e-9);
+
+    // Classic lower bounds.
+    ASSERT_GE(r.makespan_us, ds::critical_path_us(g) - 1e-6);
+    ASSERT_GE(r.makespan_us,
+              ds::total_work_us(g) / static_cast<double>(threads) - 1e-6);
+
+    // Sanity upper bound: strategies have overheads but never more than
+    // the serialized work plus a generous constant per node.
+    ASSERT_LE(r.makespan_us, ds::total_work_us(g) + 100.0 * g.node_count());
+  }
+}
+
+TEST_P(SimPropertyTest, WaitSpansNeverOverlapRunsOnSameProc) {
+  const auto [strategy, threads, seed] = GetParam();
+  (void)seed;
+  const auto r = ds::simulate_strategy(*base_, strategy, threads);
+  for (const auto& w : r.waits) {
+    ASSERT_LT(w.proc, threads);
+    ASSERT_LE(w.begin_us, w.end_us);
+    for (const auto& e : r.entries) {
+      if (e.proc != w.proc) continue;
+      const bool disjoint =
+          e.finish_us <= w.begin_us + 1e-9 || w.end_us <= e.start_us + 1e-9;
+      ASSERT_TRUE(disjoint)
+          << "wait [" << w.begin_us << "," << w.end_us
+          << ") overlaps run of node " << e.node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimPropertyTest,
+    testing::Combine(testing::Values(ds::SimStrategy::kBusy,
+                                     ds::SimStrategy::kSleep,
+                                     ds::SimStrategy::kWorkStealing),
+                     testing::Values(1u, 2u, 4u, 8u),
+                     testing::Values(1u, 99u)),
+    case_name);

@@ -1,0 +1,130 @@
+// Unit tests for the virtual-time strategy simulators: validity of the
+// produced schedules plus the paper's qualitative ordering claims.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/engine/djstar_graph.hpp"
+#include "djstar/sim/strategy_sim.hpp"
+
+namespace dc = djstar::core;
+namespace ds = djstar::sim;
+
+namespace {
+
+void check_valid(const ds::SimGraph& g, const ds::ScheduleResult& r) {
+  ASSERT_EQ(r.entries.size(), g.node_count());
+  std::vector<double> start(g.node_count()), finish(g.node_count());
+  std::vector<int> count(g.node_count(), 0);
+  for (const auto& e : r.entries) {
+    ++count[e.node];
+    start[e.node] = e.start_us;
+    finish[e.node] = e.finish_us;
+    EXPECT_NEAR(e.finish_us - e.start_us, g.duration_us[e.node], 1e-9);
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+  for (ds::NodeId v = 0; v < g.node_count(); ++v) {
+    for (ds::NodeId p : g.predecessors[v]) {
+      EXPECT_GE(start[v], finish[p] - 1e-9)
+          << "node " << v << " started before pred " << p;
+    }
+  }
+}
+
+class StrategySimTest : public testing::TestWithParam<ds::SimStrategy> {
+ protected:
+  void SetUp() override {
+    ref_ = std::make_unique<djstar::engine::ReferenceGraph>(
+        djstar::engine::make_reference_graph());
+    cg_ = std::make_unique<dc::CompiledGraph>(ref_->graph.graph());
+    sim_ = ds::SimGraph::from_compiled(*cg_, ref_->durations_us);
+  }
+  std::unique_ptr<djstar::engine::ReferenceGraph> ref_;
+  std::unique_ptr<dc::CompiledGraph> cg_;
+  ds::SimGraph sim_;
+};
+
+}  // namespace
+
+TEST_P(StrategySimTest, ScheduleIsValid) {
+  for (std::uint32_t threads : {1u, 2u, 4u}) {
+    const auto r = ds::simulate_strategy(sim_, GetParam(), threads);
+    check_valid(sim_, r);
+    EXPECT_GE(r.makespan_us, ds::critical_path_us(sim_) - 1e-9);
+  }
+}
+
+TEST_P(StrategySimTest, MakespanShrinksWithThreads) {
+  const auto t1 = ds::simulate_strategy(sim_, GetParam(), 1).makespan_us;
+  const auto t4 = ds::simulate_strategy(sim_, GetParam(), 4).makespan_us;
+  EXPECT_LT(t4, t1 * 0.7);  // meaningful speedup on 4 virtual cores
+}
+
+TEST_P(StrategySimTest, DeterministicForSameInputs) {
+  const auto a = ds::simulate_strategy(sim_, GetParam(), 4);
+  const auto b = ds::simulate_strategy(sim_, GetParam(), 4);
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StrategySimTest,
+    testing::Values(ds::SimStrategy::kBusy, ds::SimStrategy::kSleep,
+                    ds::SimStrategy::kWorkStealing),
+    [](const testing::TestParamInfo<ds::SimStrategy>& info) {
+      switch (info.param) {
+        case ds::SimStrategy::kBusy: return "busy";
+        case ds::SimStrategy::kSleep: return "sleep";
+        case ds::SimStrategy::kWorkStealing: return "ws";
+      }
+      return "x";
+    });
+
+using StrategyOrdering = StrategySimTest;
+
+TEST_F(StrategySimTest, PaperOrderingBusyBeatsSleep) {
+  const auto busy = ds::simulate_busy(sim_, 4).makespan_us;
+  const auto sleep = ds::simulate_sleep(sim_, 4).makespan_us;
+  // Paper Table I at 4 threads: BUSY 451.6 us < SLEEP 465.7 us.
+  EXPECT_LT(busy, sleep);
+}
+
+TEST_F(StrategySimTest, BusyWithinTenPercentOfOptimalSchedule) {
+  // Paper Fig. 12: simulated BUSY = 327 us, within 8% of the optimal
+  // 4-core schedule.
+  const auto busy =
+      ds::simulate_busy(sim_, 4, ds::OverheadModel{.dep_check_us = 0.0,
+                                                   .spin_quantum_us = 0.0})
+          .makespan_us;
+  const auto optimal = ds::list_schedule(sim_, 4).makespan_us;
+  EXPECT_LE(busy, optimal * 1.15);
+}
+
+TEST_F(StrategySimTest, SleepWakeLatencyPushesStartTimes) {
+  ds::OverheadModel ov;
+  ov.wake_latency_us = 50.0;  // exaggerate to make the effect obvious
+  const auto sleep = ds::simulate_sleep(sim_, 4, ov);
+  // Workers 1..3 cannot start before the wake latency.
+  for (const auto& e : sleep.entries) {
+    if (e.proc != 0) {
+      EXPECT_GE(e.start_us, 50.0 - 1e-9);
+    }
+  }
+}
+
+TEST_F(StrategySimTest, ZeroOverheadBusyMatchesRoundRobinIdeal) {
+  // With all overheads zero, BUSY/SLEEP coincide (no sleeps triggered at
+  // equal readiness? sleep still pays wake at start) — check BUSY vs
+  // hand-derived bound only.
+  ds::OverheadModel zero{0, 0, 0, 0, 0, 0, 0, 0};
+  const auto busy = ds::simulate_busy(sim_, 1, zero).makespan_us;
+  EXPECT_NEAR(busy, ds::total_work_us(sim_), 1e-6);
+}
+
+TEST_F(StrategySimTest, WorkStealingUsesAllThreads) {
+  const auto r = ds::simulate_work_stealing(sim_, 4);
+  std::vector<bool> used(4, false);
+  for (const auto& e : r.entries) used[e.proc] = true;
+  for (bool u : used) EXPECT_TRUE(u);
+}

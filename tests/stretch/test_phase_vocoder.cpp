@@ -1,0 +1,111 @@
+// Unit tests for the phase-vocoder time stretcher.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/stretch/phase_vocoder.hpp"
+
+namespace dst = djstar::stretch;
+
+namespace {
+
+std::vector<float> sine(double freq, std::size_t n, double sr = 44100.0) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * freq * i / sr));
+  }
+  return x;
+}
+
+double estimate_freq(const std::vector<float>& x, double sr = 44100.0) {
+  int crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i - 1] <= 0.0f && x[i] > 0.0f) ++crossings;
+  }
+  return x.empty() ? 0.0 : crossings * sr / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+TEST(PhaseVocoder, TooShortInputGivesEmptyOutput) {
+  dst::PhaseVocoder pv;
+  std::vector<float> tiny(100, 0.5f);
+  EXPECT_TRUE(pv.stretch(tiny, 1.0).empty());
+}
+
+TEST(PhaseVocoder, UnityRateRoughlyPreservesLength) {
+  dst::PhaseVocoder pv;
+  const auto in = sine(440.0, 44100);
+  const auto out = pv.stretch(in, 1.0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0, 2500.0);
+}
+
+TEST(PhaseVocoder, RateScalesLengthInversely) {
+  dst::PhaseVocoder pv;
+  const auto in = sine(440.0, 44100 * 2);
+  const auto fast = pv.stretch(in, 2.0);
+  const auto slow = pv.stretch(in, 0.5);
+  EXPECT_NEAR(static_cast<double>(fast.size()), 44100.0, 3000.0);
+  EXPECT_NEAR(static_cast<double>(slow.size()), 44100.0 * 4, 6000.0);
+}
+
+TEST(PhaseVocoder, PitchPreservedWhileStretching) {
+  dst::PhaseVocoder pv;
+  const auto in = sine(440.0, 44100 * 2);
+  for (double rate : {0.7, 1.0, 1.4}) {
+    const auto out = pv.stretch(in, rate);
+    ASSERT_GT(out.size(), 20000u);
+    // Measure over the steady middle region.
+    std::vector<float> mid(out.begin() + out.size() / 4,
+                           out.begin() + 3 * out.size() / 4);
+    EXPECT_NEAR(estimate_freq(mid), 440.0, 12.0) << "rate " << rate;
+  }
+}
+
+TEST(PhaseVocoder, AmplitudeRoughlyPreserved) {
+  dst::PhaseVocoder pv;
+  const auto in = sine(880.0, 44100);
+  const auto out = pv.stretch(in, 1.25);
+  float peak = 0;
+  for (std::size_t i = out.size() / 4; i < 3 * out.size() / 4; ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  EXPECT_NEAR(peak, 1.0f, 0.2f);
+}
+
+TEST(PhaseVocoder, OutputFiniteOnNoiseBursts) {
+  dst::PhaseVocoder pv;
+  std::vector<float> in(44100, 0.0f);
+  unsigned seed = 1;
+  for (std::size_t i = 0; i < in.size(); i += 3000) {
+    for (std::size_t k = 0; k < 500 && i + k < in.size(); ++k) {
+      seed = seed * 1664525u + 1013904223u;
+      in[i + k] =
+          static_cast<float>(static_cast<int>(seed >> 16) % 2001 - 1000) /
+          1000.0f;
+    }
+  }
+  for (double rate : {0.5, 1.3, 2.0}) {
+    const auto out = pv.stretch(in, rate);
+    for (float s : out) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(PhaseVocoder, RateIsClampedToSaneRange) {
+  dst::PhaseVocoder pv;
+  const auto in = sine(440.0, 44100);
+  const auto out = pv.stretch(in, 100.0);  // clamped to 4.0
+  EXPECT_GT(out.size(), 44100u / 5);
+}
+
+TEST(PhaseVocoder, CustomFftSizeWorks) {
+  dst::PhaseVocoder pv({.fft_size = 2048, .synthesis_hop = 512});
+  const auto in = sine(440.0, 44100);
+  const auto out = pv.stretch(in, 1.0);
+  EXPECT_GT(out.size(), 30000u);
+  std::vector<float> mid(out.begin() + out.size() / 4,
+                         out.begin() + 3 * out.size() / 4);
+  EXPECT_NEAR(estimate_freq(mid), 440.0, 12.0);
+}

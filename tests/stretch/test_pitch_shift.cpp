@@ -1,0 +1,97 @@
+// Unit tests for the WSOLA+resample pitch shifter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/stretch/pitch_shift.hpp"
+
+namespace dst = djstar::stretch;
+
+namespace {
+
+std::vector<float> sine(double freq, std::size_t n, double sr = 44100.0) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * freq * i / sr));
+  }
+  return x;
+}
+
+double estimate_freq(std::vector<float> x, double sr = 44100.0) {
+  // Trim flush-padding silence.
+  while (!x.empty() && std::abs(x.back()) < 1e-4f) x.pop_back();
+  int crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i - 1] <= 0.0f && x[i] > 0.0f) ++crossings;
+  }
+  return x.empty() ? 0.0 : crossings * sr / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+TEST(PitchShifter, UnityRatioIsTransparentInPitchAndLength) {
+  const auto in = sine(440.0, 44100);
+  const auto out = dst::PitchShifter::shift(in, 1.0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0, 3000.0);
+  EXPECT_NEAR(estimate_freq(out), 440.0, 10.0);
+}
+
+TEST(PitchShifter, UpAFifthRaisesPitchKeepsDuration) {
+  const auto in = sine(440.0, 44100 * 2);
+  const auto out = dst::PitchShifter::shift(in, 1.5);
+  EXPECT_NEAR(estimate_freq(out), 660.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 88200.0, 6000.0);
+}
+
+TEST(PitchShifter, DownAnOctaveLowersPitchKeepsDuration) {
+  const auto in = sine(880.0, 44100 * 2);
+  const auto out = dst::PitchShifter::shift(in, 0.5);
+  EXPECT_NEAR(estimate_freq(out), 440.0, 15.0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 88200.0, 8000.0);
+}
+
+TEST(PitchShifter, SemitoneMappingIsExponential) {
+  dst::PitchShifter ps;
+  ps.set_semitones(12.0);
+  EXPECT_NEAR(ps.ratio(), 2.0, 1e-9);
+  ps.set_semitones(-12.0);
+  EXPECT_NEAR(ps.ratio(), 0.5, 1e-9);
+  ps.set_semitones(7.0);
+  EXPECT_NEAR(ps.ratio(), std::pow(2.0, 7.0 / 12.0), 1e-9);
+}
+
+TEST(PitchShifter, RatioIsClamped) {
+  dst::PitchShifter ps;
+  ps.set_ratio(10.0);
+  EXPECT_LE(ps.ratio(), 2.0);
+  ps.set_ratio(0.01);
+  EXPECT_GE(ps.ratio(), 0.5);
+}
+
+TEST(PitchShifter, StreamingProducesContinuousOutput) {
+  dst::PitchShifter ps;
+  ps.set_ratio(1.2599);  // +4 semitones
+  const auto in = sine(500.0, 32768);
+  std::vector<float> collected;
+  std::vector<float> chunk(256);
+  for (std::size_t pos = 0; pos < in.size(); pos += 512) {
+    ps.push({in.data() + pos, 512});
+    std::size_t n;
+    while ((n = ps.pull(chunk)) > 0) {
+      collected.insert(collected.end(), chunk.begin(),
+                       chunk.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  ASSERT_GT(collected.size(), 10000u);
+  EXPECT_NEAR(estimate_freq(collected), 500.0 * 1.2599, 25.0);
+  for (float s : collected) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(PitchShifter, ResetClearsPipeline) {
+  dst::PitchShifter ps;
+  ps.push(sine(440.0, 8192));
+  ps.reset();
+  EXPECT_EQ(ps.available(), 0u);
+}

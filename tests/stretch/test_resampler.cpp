@@ -1,0 +1,110 @@
+// Unit tests for the resampler at its three quality levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/stretch/resampler.hpp"
+
+namespace dst = djstar::stretch;
+
+namespace {
+
+std::vector<float> sine(double freq, std::size_t n, double sr = 44100.0) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * freq * i / sr));
+  }
+  return x;
+}
+
+/// Dominant frequency estimate by zero-crossing count.
+double estimate_freq(const std::vector<float>& x, double sr = 44100.0) {
+  int crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i - 1] <= 0.0f && x[i] > 0.0f) ++crossings;
+  }
+  return crossings * sr / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+TEST(Resampler, UnityRatioPreservesLength) {
+  const auto in = sine(440.0, 4096);
+  const auto out = dst::Resampler::convert(in, 1.0);
+  EXPECT_NEAR(static_cast<double>(out.size()),
+              static_cast<double>(in.size()), 16.0);
+}
+
+TEST(Resampler, DownUpsampleChangesLengthInversely) {
+  const auto in = sine(440.0, 8000);
+  const auto faster = dst::Resampler::convert(in, 2.0);
+  const auto slower = dst::Resampler::convert(in, 0.5);
+  EXPECT_NEAR(static_cast<double>(faster.size()), 4000.0, 32.0);
+  EXPECT_NEAR(static_cast<double>(slower.size()), 16000.0, 32.0);
+}
+
+TEST(Resampler, PitchShiftsByRatio) {
+  const auto in = sine(1000.0, 16384);
+  const auto out = dst::Resampler::convert(in, 1.5);
+  // Reading 1.5 input samples per output sample raises pitch 1.5x.
+  EXPECT_NEAR(estimate_freq(out), 1500.0, 40.0);
+}
+
+TEST(Resampler, AllQualitiesReconstructSine) {
+  const auto in = sine(500.0, 16384);
+  for (auto q : {dst::ResampleQuality::kLinear, dst::ResampleQuality::kCubic,
+                 dst::ResampleQuality::kSinc8}) {
+    const auto out = dst::Resampler::convert(in, 1.25, q);
+    EXPECT_NEAR(estimate_freq(out), 625.0, 30.0)
+        << "quality " << static_cast<int>(q);
+    float peak = 0;
+    for (std::size_t i = out.size() / 4; i < out.size() * 3 / 4; ++i) {
+      peak = std::max(peak, std::abs(out[i]));
+    }
+    EXPECT_NEAR(peak, 1.0f, 0.1f);
+  }
+}
+
+TEST(Resampler, StreamingMatchesOneShot) {
+  const auto in = sine(700.0, 8192);
+  const auto oneshot = dst::Resampler::convert(in, 1.3);
+
+  dst::Resampler r(dst::ResampleQuality::kCubic);
+  std::vector<float> streamed;
+  for (std::size_t pos = 0; pos < in.size(); pos += 128) {
+    const std::size_t n = std::min<std::size_t>(128, in.size() - pos);
+    r.process({in.data() + pos, n}, 1.3, streamed);
+  }
+  const float zeros[8] = {};
+  r.process(zeros, 1.3, streamed);
+
+  const std::size_t common = std::min(oneshot.size(), streamed.size());
+  ASSERT_GT(common, 1000u);
+  for (std::size_t i = 0; i < common; ++i) {
+    ASSERT_NEAR(streamed[i], oneshot[i], 1e-5f) << "at " << i;
+  }
+}
+
+TEST(Resampler, OutputFiniteOnImpulseTrain) {
+  std::vector<float> in(4096, 0.0f);
+  for (std::size_t i = 0; i < in.size(); i += 64) in[i] = 1.0f;
+  for (auto q : {dst::ResampleQuality::kLinear, dst::ResampleQuality::kCubic,
+                 dst::ResampleQuality::kSinc8}) {
+    const auto out = dst::Resampler::convert(in, 0.77, q);
+    for (float s : out) ASSERT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(Resampler, ResetRestoresCleanState) {
+  dst::Resampler r;
+  std::vector<float> out;
+  const auto in = sine(300.0, 1024);
+  r.process(in, 1.0, out);
+  r.reset();
+  out.clear();
+  std::vector<float> silence(1024, 0.0f);
+  r.process(silence, 1.0, out);
+  for (float s : out) ASSERT_NEAR(s, 0.0f, 1e-6f);
+}

@@ -1,0 +1,130 @@
+// Unit tests for the WSOLA time-stretcher.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "djstar/stretch/wsola.hpp"
+
+namespace dst = djstar::stretch;
+
+namespace {
+
+std::vector<float> sine(double freq, std::size_t n, double sr = 44100.0) {
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(std::sin(2.0 * std::numbers::pi * freq * i / sr));
+  }
+  return x;
+}
+
+double estimate_freq(const std::vector<float>& x, double sr = 44100.0) {
+  int crossings = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i - 1] <= 0.0f && x[i] > 0.0f) ++crossings;
+  }
+  return crossings * sr / static_cast<double>(x.size());
+}
+
+}  // namespace
+
+TEST(Wsola, UnityRateRoughlyPreservesLength) {
+  const auto in = sine(440.0, 44100);
+  const auto out = dst::Wsola::stretch(in, 1.0);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0, 2500.0);
+}
+
+TEST(Wsola, FasterRateShortensOutput) {
+  const auto in = sine(440.0, 44100);
+  const auto out = dst::Wsola::stretch(in, 1.5);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0 / 1.5, 2500.0);
+}
+
+TEST(Wsola, SlowerRateLengthensOutput) {
+  const auto in = sine(440.0, 44100);
+  const auto out = dst::Wsola::stretch(in, 0.75);
+  EXPECT_NEAR(static_cast<double>(out.size()), 44100.0 / 0.75, 3000.0);
+}
+
+TEST(Wsola, PitchIsPreservedWhileStretching) {
+  // The whole point of WSOLA vs varispeed: tempo changes, pitch doesn't.
+  const auto in = sine(440.0, 44100 * 2);
+  for (double rate : {0.8, 1.0, 1.3}) {
+    auto out = dst::Wsola::stretch(in, rate);
+    // Trim flush padding silence from the tail before measuring.
+    while (!out.empty() && std::abs(out.back()) < 1e-4f) out.pop_back();
+    ASSERT_GT(out.size(), 10000u);
+    EXPECT_NEAR(estimate_freq(out), 440.0, 15.0) << "rate " << rate;
+  }
+}
+
+TEST(Wsola, OutputAmplitudeComparable) {
+  const auto in = sine(300.0, 44100);
+  auto out = dst::Wsola::stretch(in, 1.2);
+  float peak = 0;
+  for (std::size_t i = out.size() / 4; i < out.size() / 2; ++i) {
+    peak = std::max(peak, std::abs(out[i]));
+  }
+  EXPECT_GT(peak, 0.8f);
+  EXPECT_LT(peak, 1.3f);
+}
+
+TEST(Wsola, StreamingPushPullProducesSamples) {
+  dst::Wsola w;
+  w.set_rate(1.0);
+  const auto in = sine(440.0, 8192);
+  w.push(in);
+  EXPECT_GT(w.available(), 1000u);
+  std::vector<float> out(512);
+  EXPECT_EQ(w.pull(out), 512u);
+}
+
+TEST(Wsola, PullFromEmptyReturnsZero) {
+  dst::Wsola w;
+  std::vector<float> out(128);
+  EXPECT_EQ(w.pull(out), 0u);
+}
+
+TEST(Wsola, RateIsClamped) {
+  dst::Wsola w;
+  w.set_rate(100.0);
+  EXPECT_LE(w.rate(), 4.0);
+  w.set_rate(0.0);
+  EXPECT_GE(w.rate(), 0.25);
+}
+
+TEST(Wsola, ResetDiscardsBufferedAudio) {
+  dst::Wsola w;
+  w.push(sine(440.0, 8192));
+  w.reset();
+  EXPECT_EQ(w.available(), 0u);
+}
+
+TEST(Wsola, OutputFiniteOnTransients) {
+  std::vector<float> in(44100, 0.0f);
+  for (std::size_t i = 0; i < in.size(); i += 1000) in[i] = 1.0f;
+  const auto out = dst::Wsola::stretch(in, 1.1);
+  for (float s : out) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(EstimateAlignment, FindsKnownLag) {
+  const auto base = sine(1000.0, 512);
+  std::vector<float> delayed(512, 0.0f);
+  const int true_lag = 7;
+  for (std::size_t i = true_lag; i < 512; ++i) {
+    delayed[i] = base[i - true_lag];
+  }
+  // b delayed by +7 relative to a -> estimate should return -7 or +7
+  // depending on convention; check magnitude and sign per the docstring:
+  // positive means b should be delayed further; b already lags, so the
+  // best alignment shifts b back: expect -7... verify the documented
+  // convention empirically: correlation peaks at lag where a[i] ~ b[i-lag].
+  const int lag = dst::estimate_alignment(base, delayed, 20);
+  EXPECT_EQ(std::abs(lag), true_lag);
+}
+
+TEST(EstimateAlignment, ZeroForIdenticalSignals) {
+  const auto base = sine(777.0, 256);
+  EXPECT_EQ(dst::estimate_alignment(base, base, 10), 0);
+}

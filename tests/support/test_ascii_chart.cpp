@@ -1,0 +1,84 @@
+// Unit tests for djstar/support/ascii_chart.hpp (structure, not pixels).
+#include "djstar/support/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds = djstar::support;
+
+TEST(RenderHistogram, ContainsTitleAndCounts) {
+  ds::Histogram h(0, 10, 2);
+  h.add(1);
+  h.add(2);
+  h.add(7);
+  const auto s = ds::render_histogram(h, 20, "My Title");
+  EXPECT_NE(s.find("My Title"), std::string::npos);
+  EXPECT_NE(s.find("total: 3"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(RenderHistogram, ReportsOverflow) {
+  ds::Histogram h(0, 1, 2);
+  h.add(9);
+  const auto s = ds::render_histogram(h);
+  EXPECT_NE(s.find("overflow"), std::string::npos);
+}
+
+TEST(RenderCumulative, ReachesHundredPercent) {
+  ds::Histogram h(0, 10, 5);
+  for (int i = 0; i < 10; ++i) h.add(i);
+  const auto s = ds::render_cumulative(h);
+  EXPECT_NE(s.find("(100.0%)"), std::string::npos);
+}
+
+TEST(RenderBars, ScalesToMax) {
+  std::vector<ds::Bar> bars{{"aa", 1.0}, {"b", 2.0}};
+  const auto s = ds::render_bars(bars, 10, "Bars", "ms");
+  EXPECT_NE(s.find("Bars"), std::string::npos);
+  EXPECT_NE(s.find("aa"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+  // The larger bar has 10 hashes, the smaller 5.
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(RenderBars, HandlesAllZero) {
+  std::vector<ds::Bar> bars{{"z", 0.0}};
+  const auto s = ds::render_bars(bars);
+  EXPECT_NE(s.find('z'), std::string::npos);
+}
+
+TEST(RenderGantt, EmptyIsGraceful) {
+  const auto s = ds::render_gantt({}, 40);
+  EXPECT_NE(s.find("no spans"), std::string::npos);
+}
+
+TEST(RenderGantt, OneLanePerThread) {
+  std::vector<ds::TraceSpan> spans{
+      {0.0, 10.0, 0, 1, ds::SpanKind::kRun},
+      {0.0, 5.0, 1, 2, ds::SpanKind::kRun},
+      {5.0, 10.0, 1, -1, ds::SpanKind::kBusyWait},
+  };
+  const auto s = ds::render_gantt(spans, 40, 0, "Sched");
+  EXPECT_NE(s.find("T0 |"), std::string::npos);
+  EXPECT_NE(s.find("T1 |"), std::string::npos);
+  EXPECT_NE(s.find("legend"), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);  // busy-wait fill
+}
+
+TEST(RenderGantt, StampsNodeIds) {
+  std::vector<ds::TraceSpan> spans{{0.0, 50.0, 0, 42, ds::SpanKind::kRun}};
+  const auto s = ds::render_gantt(spans, 60, 50.0);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(RenderProfile, ShowsActiveCounts) {
+  std::vector<double> times{0.0, 10.0, 20.0};
+  std::vector<int> active{33, 4, 1};
+  const auto s = ds::render_profile(times, active, 40, "Concurrency");
+  EXPECT_NE(s.find("33"), std::string::npos);
+  EXPECT_NE(s.find("Concurrency"), std::string::npos);
+}
+
+TEST(RenderProfile, EmptyIsGraceful) {
+  const auto s = ds::render_profile({}, {});
+  EXPECT_NE(s.find("empty"), std::string::npos);
+}

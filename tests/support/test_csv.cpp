@@ -1,0 +1,52 @@
+// Unit tests for djstar/support/csv.hpp.
+#include "djstar/support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ds = djstar::support;
+
+TEST(CsvWriter, SimpleRows) {
+  ds::CsvWriter w;
+  w.row({"a", "b"});
+  w.row({"1", "2"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, VariadicCells) {
+  ds::CsvWriter w;
+  w.cells("x", 1, 2.5);
+  EXPECT_EQ(w.str(), "x,1,2.5\n");
+}
+
+TEST(CsvWriter, QuotesWhenNeeded) {
+  ds::CsvWriter w;
+  w.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(w.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, TabSeparated) {
+  ds::CsvWriter w('\t');
+  w.row({"a", "b,c"});  // comma is fine in TSV
+  EXPECT_EQ(w.str(), "a\tb,c\n");
+}
+
+TEST(CsvWriter, SaveWritesFile) {
+  ds::CsvWriter w;
+  w.cells("k", "v");
+  const std::string path = testing::TempDir() + "/djstar_csv_test.csv";
+  ASSERT_TRUE(w.save(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k,v");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, SaveFailsOnBadPath) {
+  ds::CsvWriter w;
+  w.cells("x");
+  EXPECT_FALSE(w.save("/nonexistent_dir_zz/file.csv"));
+}

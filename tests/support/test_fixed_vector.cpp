@@ -1,0 +1,112 @@
+// Unit tests for the fixed-capacity inline vector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "djstar/support/fixed_vector.hpp"
+
+namespace ds = djstar::support;
+
+TEST(FixedVector, StartsEmpty) {
+  ds::FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(FixedVector, PushPopFrontBack) {
+  ds::FixedVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(FixedVector, InitializerList) {
+  ds::FixedVector<int, 5> v{7, 8, 9};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(FixedVector, FullDetection) {
+  ds::FixedVector<int, 2> v;
+  v.push_back(1);
+  EXPECT_FALSE(v.full());
+  v.push_back(2);
+  EXPECT_TRUE(v.full());
+}
+
+TEST(FixedVector, RangeForIteration) {
+  ds::FixedVector<int, 8> v{1, 2, 3, 4};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(FixedVector, EmplaceConstructsInPlace) {
+  ds::FixedVector<std::string, 2> v;
+  auto& s = v.emplace_back(5, 'x');
+  EXPECT_EQ(s, "xxxxx");
+  EXPECT_EQ(v[0], "xxxxx");
+}
+
+TEST(FixedVector, DestroysElements) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  {
+    ds::FixedVector<Probe, 3> v;
+    v.emplace_back(Probe{counter});
+    v.emplace_back(Probe{counter});
+  }
+  // Each emplace_back move-constructs from a temporary (1 dtor each) and
+  // the vector destroys the two stored elements at scope exit.
+  EXPECT_EQ(*counter, 4);
+}
+
+TEST(FixedVector, CopyAndMove) {
+  ds::FixedVector<std::string, 4> a{"one", "two"};
+  auto b = a;  // copy
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], "two");
+  auto c = std::move(a);  // move
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], "one");
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(FixedVector, CopyAssignReplacesContents) {
+  ds::FixedVector<int, 4> a{1, 2, 3};
+  ds::FixedVector<int, 4> b{9};
+  b = a;
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3);
+}
+
+TEST(FixedVector, ClearRemovesAll) {
+  ds::FixedVector<int, 4> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(5);  // reusable after clear
+  EXPECT_EQ(v[0], 5);
+}
+
+TEST(FixedVector, WorksWithMoveOnlyTypes) {
+  ds::FixedVector<std::unique_ptr<int>, 3> v;
+  v.push_back(std::make_unique<int>(42));
+  v.emplace_back(std::make_unique<int>(43));
+  EXPECT_EQ(*v[0], 42);
+  EXPECT_EQ(*v[1], 43);
+  auto moved = std::move(v);
+  EXPECT_EQ(*moved[1], 43);
+}

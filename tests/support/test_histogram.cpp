@@ -1,0 +1,80 @@
+// Unit tests for djstar/support/histogram.hpp.
+#include "djstar/support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds = djstar::support;
+
+TEST(Histogram, BinEdges) {
+  ds::Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  ds::Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  ds::Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, CumulativeIncludesUnderflow) {
+  ds::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(1.0);
+  h.add(3.0);
+  EXPECT_EQ(h.cumulative(0), 2u);  // underflow + bin 0
+  EXPECT_EQ(h.cumulative(1), 3u);
+  EXPECT_EQ(h.cumulative(4), 3u);
+}
+
+TEST(Histogram, CdfMonotone) {
+  ds::Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  double prev = -1;
+  for (double x : {0.0, 10.0, 35.0, 70.0, 100.0}) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf(100.0), 1.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  ds::Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(2.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.max_count(), 0u);
+}
+
+TEST(Histogram, AddAllMatchesLoop) {
+  ds::Histogram a(0.0, 1.0, 10), b(0.0, 1.0, 10);
+  std::vector<double> xs{0.05, 0.15, 0.95, 0.15};
+  a.add_all(xs);
+  for (double x : xs) b.add(x);
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    EXPECT_EQ(a.count(i), b.count(i));
+  }
+}

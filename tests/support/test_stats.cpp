@@ -1,0 +1,106 @@
+// Unit tests for djstar/support/stats.hpp.
+#include "djstar/support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ds = djstar::support;
+
+TEST(OnlineStats, EmptyIsZero) {
+  ds::OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  ds::OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  ds::OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream) {
+  ds::OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 77; ++i) {
+    const double x = -0.11 * i + 9;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  ds::OnlineStats a, empty;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_EQ(ds::quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  std::vector<double> v{5, 1, 3};
+  EXPECT_DOUBLE_EQ(ds::quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(ds::quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(ds::quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  std::vector<double> v{7, -2, 9, 4};
+  EXPECT_EQ(ds::quantile(v, 0.0), -2.0);
+  EXPECT_EQ(ds::quantile(v, 1.0), 9.0);
+}
+
+TEST(Summary, OfKnownData) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const auto s = ds::Summary::of(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+}
+
+TEST(Summary, EmptyIsAllZero) {
+  const auto s = ds::Summary::of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}

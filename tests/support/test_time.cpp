@@ -1,0 +1,41 @@
+// Unit tests for djstar/support/time.hpp.
+#include "djstar/support/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds = djstar::support;
+
+TEST(Time, ElapsedIsNonNegativeAndMonotone) {
+  const auto t0 = ds::now();
+  const auto t1 = ds::now();
+  EXPECT_GE(ds::elapsed_us(t0, t1), 0.0);
+}
+
+TEST(Time, SpinForUsWaitsRoughlyRight) {
+  const auto t0 = ds::now();
+  ds::spin_for_us(200.0);
+  const double e = ds::since_us(t0);
+  EXPECT_GE(e, 200.0);
+  EXPECT_LT(e, 5000.0);  // generous bound for noisy CI machines
+}
+
+TEST(Time, SpinForZeroOrNegativeReturnsImmediately) {
+  const auto t0 = ds::now();
+  ds::spin_for_us(0.0);
+  ds::spin_for_us(-5.0);
+  EXPECT_LT(ds::since_us(t0), 1000.0);
+}
+
+TEST(Time, ScopedTimerAccumulates) {
+  double acc = 0;
+  {
+    ds::ScopedTimer t(acc);
+    ds::spin_for_us(100.0);
+  }
+  EXPECT_GE(acc, 100.0);
+  {
+    ds::ScopedTimer t(acc);
+    ds::spin_for_us(50.0);
+  }
+  EXPECT_GE(acc, 150.0);
+}

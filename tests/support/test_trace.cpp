@@ -1,0 +1,73 @@
+// Unit tests for djstar/support/trace.hpp.
+#include "djstar/support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds = djstar::support;
+
+TEST(TraceRecorder, DisarmedDropsRecords) {
+  ds::TraceRecorder tr;
+  tr.record(0, {0, 1, 0, 1, ds::SpanKind::kRun});
+  EXPECT_TRUE(tr.collect().empty());
+}
+
+TEST(TraceRecorder, RecordsPerLane) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  tr.record(0, {0.0, 1.0, 0, 10, ds::SpanKind::kRun});
+  tr.record(1, {0.5, 2.0, 1, 11, ds::SpanKind::kBusyWait});
+  const auto spans = tr.collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].thread, 0u);
+  EXPECT_EQ(spans[0].node, 10);
+  EXPECT_EQ(spans[1].kind, ds::SpanKind::kBusyWait);
+}
+
+TEST(TraceRecorder, OutOfRangeLaneIgnored) {
+  ds::TraceRecorder tr;
+  tr.arm(1);
+  tr.record(5, {0, 1, 5, 1, ds::SpanKind::kRun});
+  EXPECT_TRUE(tr.collect().empty());
+}
+
+TEST(TraceRecorder, CapacityBoundsRecords) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 4);
+  for (int i = 0; i < 10; ++i) {
+    tr.record(0, {double(i), double(i) + 1, 0, i, ds::SpanKind::kRun});
+  }
+  EXPECT_EQ(tr.collect().size(), 4u);
+}
+
+TEST(TraceRecorder, CollectSortsByThreadThenTime) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  tr.record(1, {5.0, 6.0, 1, 3, ds::SpanKind::kRun});
+  tr.record(0, {7.0, 8.0, 0, 1, ds::SpanKind::kRun});
+  tr.record(0, {1.0, 2.0, 0, 2, ds::SpanKind::kRun});
+  const auto spans = tr.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].node, 2);
+  EXPECT_EQ(spans[1].node, 1);
+  EXPECT_EQ(spans[2].node, 3);
+}
+
+TEST(TraceRecorder, DisarmClears) {
+  ds::TraceRecorder tr;
+  tr.arm(1);
+  tr.record(0, {0, 1, 0, 1, ds::SpanKind::kRun});
+  tr.disarm();
+  EXPECT_FALSE(tr.armed());
+  EXPECT_TRUE(tr.collect().empty());
+}
+
+TEST(SpanKind, Names) {
+  EXPECT_STREQ(ds::to_string(ds::SpanKind::kRun), "run");
+  EXPECT_STREQ(ds::to_string(ds::SpanKind::kSleep), "sleep");
+  EXPECT_STREQ(ds::to_string(ds::SpanKind::kSteal), "steal");
+}
+
+TEST(TraceSpan, Duration) {
+  ds::TraceSpan s{1.5, 4.0, 0, 0, ds::SpanKind::kRun};
+  EXPECT_DOUBLE_EQ(s.duration_us(), 2.5);
+}

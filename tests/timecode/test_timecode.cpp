@@ -1,0 +1,137 @@
+// Unit tests for the timecode generator/decoder pair.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "djstar/timecode/timecode.hpp"
+
+namespace dt = djstar::timecode;
+namespace da = djstar::audio;
+
+namespace {
+
+/// Run generator -> decoder for `blocks` 128-frame blocks.
+dt::TransportState run_loop(double pitch, int blocks,
+                            dt::TimecodeGenerator& gen,
+                            dt::TimecodeDecoder& dec) {
+  da::AudioBuffer buf(2, da::kBlockSize);
+  gen.set_pitch(pitch);
+  for (int i = 0; i < blocks; ++i) {
+    gen.render(buf);
+    dec.process(buf);
+  }
+  return dec.state();
+}
+
+}  // namespace
+
+TEST(PositionChecksum, DeterministicAndFourBits) {
+  for (std::uint32_t pos : {0u, 1u, 0xFFFFFu, 12345u}) {
+    const auto c = dt::position_checksum(pos);
+    EXPECT_LT(c, 16u);
+    EXPECT_EQ(c, dt::position_checksum(pos));
+  }
+}
+
+TEST(PositionChecksum, SensitiveToPosition) {
+  // A single-nibble change must change the checksum.
+  EXPECT_NE(dt::position_checksum(0x00001), dt::position_checksum(0x00002));
+}
+
+TEST(Generator, RendersBoundedStereoSignal) {
+  dt::TimecodeGenerator gen;
+  da::AudioBuffer buf(2, 512);
+  gen.render(buf);
+  EXPECT_GT(buf.peak(), 0.4f);
+  EXPECT_LE(buf.peak(), 1.0f + 1e-5f);
+}
+
+TEST(Decoder, RecoversUnityPitch) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  const auto st = run_loop(1.0, 200, gen, dec);
+  EXPECT_NEAR(st.pitch, 1.0, 0.03);
+}
+
+TEST(Decoder, RecoversSlowAndFastPitch) {
+  for (double pitch : {0.7, 1.3, 1.9}) {
+    dt::TimecodeGenerator gen;
+    dt::TimecodeDecoder dec;
+    const auto st = run_loop(pitch, 300, gen, dec);
+    EXPECT_NEAR(st.pitch, pitch, pitch * 0.05) << "pitch " << pitch;
+  }
+}
+
+TEST(Decoder, DetectsReverseDirection) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  const auto st = run_loop(-1.0, 300, gen, dec);
+  EXPECT_LT(st.pitch, -0.8);
+}
+
+TEST(Decoder, LocksAndTracksPosition) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  // One frame = 32 carrier cycles at ~2 kHz -> ~16 ms -> ~6 blocks.
+  const auto st = run_loop(1.0, 2000, gen, dec);
+  EXPECT_TRUE(st.locked);
+  EXPECT_GT(st.frames_decoded, 10u);
+  // Decoded position should be near the generator's current counter.
+  const auto gen_pos = gen.frame_counter();
+  EXPECT_NEAR(static_cast<double>(st.position),
+              static_cast<double>(gen_pos), 3.0);
+}
+
+TEST(Decoder, SeekIsReflectedInDecodedPosition) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  gen.seek(5000);
+  const auto st = run_loop(1.0, 2000, gen, dec);
+  EXPECT_TRUE(st.locked);
+  EXPECT_GE(st.position, 5000u);
+  // The decoder trails the generator's live counter by at most a frame
+  // or two.
+  EXPECT_NEAR(static_cast<double>(st.position),
+              static_cast<double>(gen.frame_counter()), 3.0);
+}
+
+TEST(Decoder, NoChecksumErrorsOnCleanSignal) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  const auto st = run_loop(1.0, 2000, gen, dec);
+  EXPECT_EQ(st.checksum_errors, 0u);
+}
+
+TEST(Decoder, SurvivesNoiseWithoutFalseLock) {
+  dt::TimecodeDecoder dec;
+  da::AudioBuffer noise(2, 512);
+  unsigned seed = 1;
+  for (int block = 0; block < 50; ++block) {
+    for (auto& s : noise.raw()) {
+      seed = seed * 1664525u + 1013904223u;
+      s = static_cast<float>(static_cast<int>(seed >> 16) % 2001 - 1000) /
+          1000.0f;
+    }
+    dec.process(noise);
+  }
+  // Random noise must not produce validated frames.
+  EXPECT_EQ(dec.state().frames_decoded, 0u);
+}
+
+TEST(Decoder, ResetClearsState) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  run_loop(1.0, 500, gen, dec);
+  dec.reset();
+  EXPECT_FALSE(dec.state().locked);
+  EXPECT_EQ(dec.state().frames_decoded, 0u);
+  EXPECT_EQ(dec.state().pitch, 0.0);
+}
+
+TEST(Decoder, TracksPitchChangeMidStream) {
+  dt::TimecodeGenerator gen;
+  dt::TimecodeDecoder dec;
+  run_loop(1.0, 200, gen, dec);
+  const auto st = run_loop(1.5, 300, gen, dec);
+  EXPECT_NEAR(st.pitch, 1.5, 0.08);
+}
