@@ -7,6 +7,10 @@
 // The paper's key result: with cycles this short (hundreds of µs) and
 // dependency stalls even shorter, spinning beats sleeping — 327 µs per
 // graph on 4 threads, 99 % efficiency vs. the optimal schedule.
+//
+// Schedule fuzzing: the dependency check is a chaos::maybe_perturb()
+// site (kDependencyCheck) so the stress suite can reorder the
+// check-vs-resolve race; see core/chaos.hpp.
 #pragma once
 
 #include <memory>

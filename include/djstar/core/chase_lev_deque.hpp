@@ -10,6 +10,12 @@
 // This is the one deliberately lock-free structure in the library
 // (Core Guidelines CP.100 exception): it is the subject of the paper's
 // third strategy.
+//
+// Schedule fuzzing: push/pop/steal each contain a chaos::maybe_perturb()
+// site placed inside their narrowest race window (pop: after the bottom
+// decrement, before the fence; steal: between reading the item and the
+// CAS on top), so the stress suite's torture test actually exercises the
+// owner-vs-thief last-element race instead of waiting for lucky timing.
 #pragma once
 
 #include <atomic>

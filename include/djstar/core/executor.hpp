@@ -31,6 +31,28 @@ struct ExecutorStats {
   std::atomic<std::uint64_t> steals{0};           ///< successful thefts
   std::atomic<std::uint64_t> steal_failures{0};   ///< empty/contended probes
 
+  /// Plain-value copy for checkpointing (the stress harness diffs two
+  /// snapshots around a batch of cycles and checks executor invariants:
+  /// nodes_executed advances by cycles * node_count, steals never exceed
+  /// executed nodes, ...). Only exact while no cycle is in flight.
+  struct Snapshot {
+    std::uint64_t nodes_executed = 0;
+    std::uint64_t busy_wait_spins = 0;
+    std::uint64_t sleeps = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_failures = 0;
+  };
+
+  Snapshot snapshot() const noexcept {
+    return {nodes_executed.load(std::memory_order_relaxed),
+            busy_wait_spins.load(std::memory_order_relaxed),
+            sleeps.load(std::memory_order_relaxed),
+            wakeups.load(std::memory_order_relaxed),
+            steals.load(std::memory_order_relaxed),
+            steal_failures.load(std::memory_order_relaxed)};
+  }
+
   void reset() noexcept {
     nodes_executed = 0;
     busy_wait_spins = 0;

@@ -7,6 +7,11 @@
 // dependency wakes it. Saves CPU cycles at the cost of sleep/wake
 // latency — the paper's histograms show no graph execution below 0.4 ms
 // with this strategy.
+//
+// Schedule fuzzing: chaos::maybe_perturb() sites sit inside the two
+// halves of the waiter protocol — between registration and the re-check
+// (kBeforeWait, the lost-wakeup window) and between resolving the last
+// dependency and the notify (kBeforeNotify); see core/chaos.hpp.
 #pragma once
 
 #include <condition_variable>

@@ -6,6 +6,10 @@
 // and returns when all have finished. The calling thread participates as
 // worker 0 so `threads == n` means n computing threads, matching the
 // paper's "thread count" axis in Table I.
+//
+// Schedule fuzzing: each worker passes a chaos::maybe_perturb() site
+// (kCycleStart) between observing the new generation and entering the
+// strategy body, staggering worker start order under the stress suite.
 #pragma once
 
 #include <atomic>

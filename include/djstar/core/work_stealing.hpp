@@ -7,6 +7,11 @@
 // work). At cycle start, the main thread seeds the deques with the
 // source nodes, grouped by graph section (Deck A/B/C/D, Master) so nodes
 // touching the same audio data land on the same thread.
+//
+// Schedule fuzzing: chaos::maybe_perturb() sites cover the push-vs-park
+// race (kNodeReady after the push, kBeforeWait between the epoch read
+// and the idle wait); the deque's own owner/thief windows are perturbed
+// inside ChaseLevDeque. See core/chaos.hpp.
 #pragma once
 
 #include <atomic>

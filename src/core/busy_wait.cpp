@@ -1,5 +1,6 @@
 #include "djstar/core/busy_wait.hpp"
 
+#include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
 
 namespace djstar::core {
@@ -30,6 +31,7 @@ void BusyWaitExecutor::worker_body(unsigned w) {
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
 
     // Dependency check + busy wait (the gray boxes in paper Fig. 11).
+    chaos::maybe_perturb(chaos::Site::kDependencyCheck);
     if (pending.load(std::memory_order_acquire) != 0) {
       detail::SpinWaiter waiter(opts_.spin);
       while (pending.load(std::memory_order_acquire) != 0) {

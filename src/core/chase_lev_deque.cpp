@@ -1,5 +1,7 @@
 #include "djstar/core/chase_lev_deque.hpp"
 
+#include "djstar/core/chaos.hpp"
+
 namespace djstar::core {
 namespace {
 
@@ -32,6 +34,7 @@ void ChaseLevDeque::push(Item x) {
   if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
     a = grow(a, b, t);
   }
+  chaos::maybe_perturb(chaos::Site::kDequePush);
   a->put(b, x);
   std::atomic_thread_fence(std::memory_order_release);
   bottom_.store(b + 1, std::memory_order_relaxed);
@@ -41,6 +44,7 @@ ChaseLevDeque::Item ChaseLevDeque::pop() {
   const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
   Array* a = array_.load(std::memory_order_relaxed);
   bottom_.store(b, std::memory_order_relaxed);
+  chaos::maybe_perturb(chaos::Site::kDequePop);
   std::atomic_thread_fence(std::memory_order_seq_cst);
   std::int64_t t = top_.load(std::memory_order_relaxed);
 
@@ -70,6 +74,7 @@ ChaseLevDeque::Item ChaseLevDeque::steal() {
 
   Array* a = array_.load(std::memory_order_consume);
   const Item x = a->get(t);
+  chaos::maybe_perturb(chaos::Site::kDequeSteal);
   if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                     std::memory_order_relaxed)) {
     return kAbort;  // lost to the owner or another thief

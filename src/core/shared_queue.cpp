@@ -1,5 +1,7 @@
 #include "djstar/core/shared_queue.hpp"
 
+#include "djstar/core/chaos.hpp"
+
 namespace djstar::core {
 
 SharedQueueExecutor::SharedQueueExecutor(CompiledGraph& graph,
@@ -34,6 +36,7 @@ void SharedQueueExecutor::worker_body(unsigned w) {
     NodeId n = kInvalidNode;
     double wait_begin = 0.0;
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
+    chaos::maybe_perturb(chaos::Site::kBeforeWait);
     {
       std::unique_lock<std::mutex> lk(mutex_);
       cv_.wait(lk, [&] { return head_ != tail_ || executed_ == total; });
@@ -81,10 +84,13 @@ void SharedQueueExecutor::worker_body(unsigned w) {
         return;
       }
     }
-    if (newly_ready == 1) {
-      cv_.notify_one();
-    } else if (newly_ready > 1) {
-      cv_.notify_all();
+    if (newly_ready >= 1) {
+      chaos::maybe_perturb(chaos::Site::kBeforeNotify);
+      if (newly_ready == 1) {
+        cv_.notify_one();
+      } else {
+        cv_.notify_all();
+      }
     }
   }
 }

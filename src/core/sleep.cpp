@@ -1,5 +1,7 @@
 #include "djstar/core/sleep.hpp"
 
+#include "djstar/core/chaos.hpp"
+
 namespace djstar::core {
 
 SleepExecutor::SleepExecutor(CompiledGraph& graph, ExecOptions opts)
@@ -32,6 +34,7 @@ void SleepExecutor::worker_body(unsigned w) {
     double wait_begin = 0.0;
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
 
+    chaos::maybe_perturb(chaos::Site::kDependencyCheck);
     if (pending.load(std::memory_order_acquire) != 0) {
       // Register as this node's executor (paper Fig. 6a), then re-check:
       // either we observe pending==0 here (the resolving predecessor ran
@@ -39,6 +42,7 @@ void SleepExecutor::worker_body(unsigned w) {
       // predecessor observes our registration and wakes us. seq_cst on
       // both sides makes the flag/counter protocol race-free.
       graph_.waiter(n).store(wid, std::memory_order_seq_cst);
+      chaos::maybe_perturb(chaos::Site::kBeforeWait);
       if (pending.load(std::memory_order_seq_cst) != 0) {
         stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
         Slot& slot = *slots_[w];
@@ -73,6 +77,7 @@ void SleepExecutor::worker_body(unsigned w) {
     // the last dependency wakes the registered executor, if any.
     for (NodeId s : graph_.successors(n)) {
       if (graph_.pending(s).fetch_sub(1, std::memory_order_seq_cst) == 1) {
+        chaos::maybe_perturb(chaos::Site::kBeforeNotify);
         const std::int32_t sleeper =
             graph_.waiter(s).exchange(-1, std::memory_order_seq_cst);
         if (sleeper >= 0) {

@@ -1,5 +1,6 @@
 #include "djstar/core/team.hpp"
 
+#include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
 #include "djstar/support/assert.hpp"
 
@@ -49,6 +50,7 @@ void Team::thread_main(unsigned id) {
     wait_for_generation(seen);
     if (stop_.load(std::memory_order_acquire)) return;
     seen = generation_.load(std::memory_order_acquire);
+    chaos::maybe_perturb(chaos::Site::kCycleStart);
     fn_(id);
     const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (finished == threads_ && mode_ == StartMode::kCondvar) {
@@ -71,6 +73,7 @@ void Team::run_cycle() {
   }
 
   // The caller is worker 0.
+  chaos::maybe_perturb(chaos::Site::kCycleStart);
   fn_(0);
   const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (finished == threads_) return;

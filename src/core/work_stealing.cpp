@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
 
 namespace djstar::core {
@@ -51,6 +52,7 @@ void WorkStealingExecutor::on_node_ready(unsigned w, NodeId n) {
   per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(n));
   // Wake a parked worker, if any (lost-wake safe: idlers re-check with a
   // timeout and an epoch counter).
+  chaos::maybe_perturb(chaos::Site::kNodeReady);
   if (idlers_.load(std::memory_order_acquire) > 0) {
     idle_epoch_.fetch_add(1, std::memory_order_release);
     idle_cv_.notify_one();
@@ -104,6 +106,7 @@ void WorkStealingExecutor::worker_body(unsigned w) {
         // when solely blocked nodes remain). The timeout is a safety
         // net against the push-vs-park race.
         const auto epoch = idle_epoch_.load(std::memory_order_acquire);
+        chaos::maybe_perturb(chaos::Site::kBeforeWait);
         stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
         idlers_.fetch_add(1, std::memory_order_acq_rel);
         {

@@ -1,0 +1,103 @@
+// tests/common/random_dag.hpp
+// Instrumented DAG generators shared by the core property tests
+// (core/test_random_dags.cpp) and the concurrency stress harness
+// (stress/). Each generated node's work function records an
+// exactly-once counter and a global completion stamp, which is all the
+// executor invariant checks need:
+//   - done[i] == 1 after a cycle      -> every node executed exactly once
+//   - stamp[pred] < stamp[succ]       -> precedence respected
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "djstar/core/graph.hpp"
+#include "djstar/support/rng.hpp"
+
+namespace djstar::test {
+
+/// Section labels cycled over generated nodes so work-stealing's
+/// by-section seeding sees the shapes it sees in the real DJ graph.
+inline const char* kDagSections[] = {"deckA", "deckB", "deckC", "deckD",
+                                     "master"};
+
+/// Base for instrumented DAGs: owns the graph plus the per-node
+/// execution evidence. reset() must be called before every cycle.
+struct InstrumentedDag {
+  core::TaskGraph g;
+  std::vector<std::atomic<int>> done;
+  std::vector<std::uint64_t> stamp;
+  std::atomic<std::uint64_t> seq{0};
+
+  explicit InstrumentedDag(std::size_t n) : done(n), stamp(n, 0) {
+    for (auto& d : done) d.store(0);
+  }
+
+  /// Adds node i with the instrumented work body.
+  void add_instrumented_node(std::size_t i, const char* section) {
+    const core::NodeId id = static_cast<core::NodeId>(i);
+    g.add_node("n" + std::to_string(i),
+               [this, id] {
+                 stamp[id] = seq.fetch_add(1) + 1;
+                 done[id].fetch_add(1);
+               },
+               section);
+  }
+
+  void reset() {
+    for (auto& d : done) d.store(0);
+    for (auto& s : stamp) s = 0;
+    seq.store(0);
+  }
+};
+
+/// Random DAG: `n` nodes; edge (i, j), i < j, with probability p.
+/// Edges only point forward, so the graph is acyclic by construction.
+struct RandomDag : InstrumentedDag {
+  RandomDag(std::size_t n, double p, std::uint64_t seed)
+      : InstrumentedDag(n) {
+    support::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      add_instrumented_node(i, kDagSections[rng.below(5)]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.uniform() < p) {
+          g.add_edge(static_cast<core::NodeId>(i),
+                     static_cast<core::NodeId>(j));
+        }
+      }
+    }
+  }
+};
+
+/// Chain-then-fan DAG: a single dependency chain of `chain` nodes whose
+/// tail feeds `fan` parallel nodes, all joining into one sink. This is
+/// the thread-sleeping executor's worst case: with round-robin
+/// assignment most workers' first node sits deep in the chain, so nearly
+/// every worker registers as a waiter and sleeps — each chain step must
+/// deliver a wakeup, and a single lost one hangs the cycle.
+struct ChainFanDag : InstrumentedDag {
+  ChainFanDag(std::size_t chain, std::size_t fan)
+      : InstrumentedDag(chain + fan + 1) {
+    const std::size_t n = chain + fan + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      add_instrumented_node(i, kDagSections[i % 5]);
+    }
+    for (std::size_t i = 1; i < chain; ++i) {
+      g.add_edge(static_cast<core::NodeId>(i - 1),
+                 static_cast<core::NodeId>(i));
+    }
+    const auto tail = static_cast<core::NodeId>(chain - 1);
+    const auto sink = static_cast<core::NodeId>(chain + fan);
+    for (std::size_t f = 0; f < fan; ++f) {
+      const auto node = static_cast<core::NodeId>(chain + f);
+      g.add_edge(tail, node);
+      g.add_edge(node, sink);
+    }
+  }
+};
+
+}  // namespace djstar::test

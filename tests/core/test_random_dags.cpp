@@ -1,18 +1,18 @@
 // Property tests: every strategy, on randomly generated DAGs, must run
 // every node exactly once and never violate a dependency. This is the
 // library's core correctness sweep (TEST_P over strategy x threads x
-// graph seed).
+// graph seed). The generator lives in tests/common/random_dag.hpp and is
+// shared with the stress harness (tests/stress/).
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <string>
-#include <vector>
 
+#include "common/random_dag.hpp"
 #include "djstar/core/compiled_graph.hpp"
 #include "djstar/core/factory.hpp"
-#include "djstar/support/rng.hpp"
 
 namespace dc = djstar::core;
+using djstar::test::RandomDag;
 
 namespace {
 
@@ -27,45 +27,6 @@ std::string case_name(const testing::TestParamInfo<Case>& info) {
          std::to_string(info.param.threads) + "_s" +
          std::to_string(info.param.seed);
 }
-
-/// Random DAG: `n` nodes; edge (i, j), i < j, with probability p.
-/// Edges only point forward, so the graph is acyclic by construction.
-struct RandomDag {
-  dc::TaskGraph g;
-  std::vector<std::atomic<int>> done;
-  std::vector<std::uint64_t> stamp;
-  std::atomic<std::uint64_t> seq{0};
-
-  RandomDag(std::size_t n, double p, std::uint64_t seed)
-      : done(n), stamp(n, 0) {
-    for (auto& d : done) d.store(0);
-    djstar::support::Xoshiro256 rng(seed);
-    static const char* kSections[] = {"deckA", "deckB", "deckC", "deckD",
-                                      "master"};
-    for (std::size_t i = 0; i < n; ++i) {
-      const dc::NodeId id = static_cast<dc::NodeId>(i);
-      g.add_node("n" + std::to_string(i),
-                 [this, id] {
-                   stamp[id] = seq.fetch_add(1) + 1;
-                   done[id].fetch_add(1);
-                 },
-                 kSections[rng.below(5)]);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (rng.uniform() < p) {
-          g.add_edge(static_cast<dc::NodeId>(i), static_cast<dc::NodeId>(j));
-        }
-      }
-    }
-  }
-
-  void reset() {
-    for (auto& d : done) d.store(0);
-    for (auto& s : stamp) s = 0;
-    seq.store(0);
-  }
-};
 
 class RandomDagTest : public testing::TestWithParam<Case> {};
 

@@ -6,6 +6,20 @@
 #include "djstar/engine/engine.hpp"
 #include "djstar/engine/headroom.hpp"
 
+// Sanitizer instrumentation slows the APC by roughly an order of
+// magnitude, which changes what the headroom advisor *should* say
+// about this host (see WorksOnLiveMonitorData).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DJSTAR_HEADROOM_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DJSTAR_HEADROOM_SANITIZED 1
+#endif
+#endif
+#ifndef DJSTAR_HEADROOM_SANITIZED
+#define DJSTAR_HEADROOM_SANITIZED 0
+#endif
+
 namespace de = djstar::engine;
 
 namespace {
@@ -92,6 +106,10 @@ TEST(Headroom, WorksOnLiveMonitorData) {
   const auto r = de::advise_headroom(e.monitor());
   ASSERT_FALSE(r.entries.empty());
   // This host runs the APC well under the deadline: some recommendation
-  // must exist.
-  EXPECT_GT(r.recommended_frames, 0u);
+  // must exist. Under a sanitizer the engine genuinely is slower than
+  // real time, so "no safe buffer size" is the advisor's correct answer
+  // there — only the report shape is checked above.
+  if (!DJSTAR_HEADROOM_SANITIZED) {
+    EXPECT_GT(r.recommended_frames, 0u);
+  }
 }

@@ -1,0 +1,118 @@
+// Satellite: dedicated Chase-Lev deque torture. One owner pushing and
+// popping against N thieves over ~10^6 operations, asserting that every
+// item is consumed exactly once and that bottom/top never cross (no
+// phantom or duplicated items, which is how a crossed index pair would
+// manifest). Runs under TSan in the sanitizer job — the deque is the
+// library's only lock-free structure and the main reason the harness
+// exists.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "djstar/core/chaos.hpp"
+#include "djstar/core/chase_lev_deque.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace dt = djstar::test;
+using Deque = dc::ChaseLevDeque;
+
+namespace {
+
+/// Owner pushes items [0, n) with interleaved pop bursts; `thieves`
+/// steal concurrently until the deque drains. Every consumed value is
+/// tallied; the test passes iff each value was consumed exactly once.
+void run_torture(std::int64_t n, unsigned thieves, std::size_t capacity_hint,
+                 int pop_burst) {
+  Deque deque(capacity_hint);
+  std::vector<std::atomic<std::uint8_t>> consumed(
+      static_cast<std::size_t>(n));
+  for (auto& c : consumed) c.store(0);
+  std::atomic<std::int64_t> remaining{n};
+  std::atomic<bool> bad_value{false};
+
+  auto consume = [&](Deque::Item item) {
+    if (item < 0 || item >= n ||
+        consumed[static_cast<std::size_t>(item)].fetch_add(1) != 0) {
+      bad_value.store(true);
+    }
+    remaining.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> pack;
+  pack.reserve(thieves);
+  for (unsigned t = 0; t < thieves; ++t) {
+    pack.emplace_back([&] {
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        const Deque::Item got = deque.steal();
+        if (got >= 0) {
+          consume(got);
+        } else if (got == Deque::kEmpty) {
+          std::this_thread::yield();
+        }
+        // kAbort: lost a race, retry immediately.
+      }
+    });
+  }
+
+  // Owner: push everything, popping a burst every few pushes so the
+  // bottom end stays active and the last-element CAS race gets hit.
+  for (std::int64_t i = 0; i < n; ++i) {
+    deque.push(i);
+    if (i % 7 == 6) {
+      for (int b = 0; b < pop_burst; ++b) {
+        const Deque::Item got = deque.pop();
+        if (got == Deque::kEmpty) break;
+        consume(got);
+      }
+    }
+  }
+  // Drain whatever the thieves have not taken.
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    const Deque::Item got = deque.pop();
+    if (got >= 0) {
+      consume(got);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  for (auto& th : pack) th.join();
+
+  ASSERT_FALSE(bad_value.load())
+      << "duplicate or out-of-range item observed (top/bottom crossed)";
+  ASSERT_EQ(remaining.load(), 0);
+  for (std::size_t i = 0; i < consumed.size(); ++i) {
+    ASSERT_EQ(consumed[i].load(), 1) << "item " << i;
+  }
+  EXPECT_EQ(deque.pop(), Deque::kEmpty);
+  EXPECT_EQ(deque.size_approx(), 0u);
+}
+
+}  // namespace
+
+TEST(ChaseLevTorture, OwnerVersusThreeThievesMillionOps) {
+  dt::Watchdog watchdog(dt::scaled_timeout(120), "deque torture 10^6");
+  // ~10^6 ops even under TSan (the satellite's contract); pre-sized so
+  // the run exercises steady-state racing, not growth.
+  run_torture(1'000'000, 3, 1 << 11, 2);
+}
+
+TEST(ChaseLevTorture, GrowthUnderContention) {
+  dt::Watchdog watchdog(dt::scaled_timeout(60), "deque growth");
+  // Minimum capacity forces repeated grow() while thieves hold stale
+  // array pointers — exercises the graveyard reclamation shortcut.
+  run_torture(dt::scaled(200'000), 3, 1, 0);
+}
+
+TEST(ChaseLevTorture, ChaosWidensTheRaceWindows) {
+  dt::Watchdog watchdog(dt::scaled_timeout(120), "deque torture + chaos");
+  dc::chaos::ScopedChaos chaos(0xDEC0DE, 60);
+  run_torture(dt::scaled(120'000), 2, 1 << 8, 3);
+  EXPECT_GT(dc::chaos::site_hits(dc::chaos::Site::kDequePush), 0u);
+  EXPECT_GT(dc::chaos::site_hits(dc::chaos::Site::kDequePop), 0u);
+  EXPECT_GT(dc::chaos::site_hits(dc::chaos::Site::kDequeSteal), 0u);
+}

@@ -1,0 +1,99 @@
+// Tentpole of the concurrency-correctness harness: replay every
+// scheduling strategy over randomized DAGs with schedule fuzzing
+// enabled, and assert the executor contract after every cycle —
+// exactly-once execution, precedence order, and ExecutorStats /
+// TraceRecorder consistency. Thread counts deliberately exceed the
+// core count (oversubscription is where lost wakeups live).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "djstar/core/chaos.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/support/trace.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace dt = djstar::test;
+
+namespace {
+
+struct SweepCase {
+  dc::Strategy strategy;
+};
+
+std::string sweep_name(const testing::TestParamInfo<SweepCase>& info) {
+  return std::string(dc::to_string(info.param.strategy));
+}
+
+class ExecutorInvariantSweep : public testing::TestWithParam<SweepCase> {};
+
+}  // namespace
+
+TEST_P(ExecutorInvariantSweep, RandomizedDagReplayUnderChaos) {
+  const dc::Strategy strategy = GetParam().strategy;
+  const bool sequential = strategy == dc::Strategy::kSequential;
+
+  // >= 500 run_cycle invocations per executor in uninstrumented builds
+  // (25 graphs x 20 cycles), scaled down under sanitizers.
+  const int kGraphs = dt::scaled(25);
+  const int kCycles = dt::scaled(20);
+  const double kDensities[] = {0.04, 0.12, 0.3, 0.6};
+  const unsigned kThreads[] = {2, 3, 4, 8};  // 8 oversubscribes this box
+
+  dt::Watchdog watchdog(dt::scaled_timeout(120),
+                        std::string("invariant sweep ") +
+                            std::string(dc::to_string(strategy)));
+  dc::chaos::ScopedChaos chaos(0xD15EA5E0 + static_cast<int>(strategy), 150);
+
+  int runs = 0;
+  for (int g = 0; g < kGraphs; ++g) {
+    const std::size_t n = 20 + (static_cast<std::size_t>(g) * 7) % 45;
+    dt::RandomDag dag(n, kDensities[g % 4], 1000 + g * 31);
+    ASSERT_TRUE(dag.g.is_acyclic());
+    dc::CompiledGraph cg(dag.g);
+
+    djstar::support::TraceRecorder trace;
+    dc::ExecOptions opts;
+    opts.threads = sequential ? 1 : kThreads[g % 4];
+    opts.trace = &trace;
+    trace.arm(opts.threads, n * static_cast<std::size_t>(kCycles) * 3);
+
+    auto exec = dc::make_executor(strategy, cg, opts);
+    const auto before = exec->stats().snapshot();
+
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      dag.reset();
+      exec->run_cycle();
+      ++runs;
+      check_cycle_invariants(
+          dag, std::string(dc::to_string(strategy)) + " graph " +
+                   std::to_string(g) + " cycle " + std::to_string(cycle));
+    }
+
+    dt::check_stats_trace_consistency(
+        before, exec->stats().snapshot(), trace, n,
+        static_cast<std::size_t>(kCycles),
+        std::string(dc::to_string(strategy)) + " graph " + std::to_string(g));
+  }
+
+  if constexpr (!dt::kTsan && !dt::kAsan) {
+    EXPECT_GE(runs, 500) << "stress budget silently shrank";
+  }
+  // The sweep must actually have been perturbed, or it degenerates into
+  // the plain tier-1 property test. (Sequential has no synchronization
+  // and therefore no fuzzing sites — the control case stays quiet.)
+  if (!sequential) {
+    EXPECT_GT(dc::chaos::perturbations(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ExecutorInvariantSweep,
+                         testing::Values(SweepCase{dc::Strategy::kBusyWait},
+                                         SweepCase{dc::Strategy::kSleep},
+                                         SweepCase{dc::Strategy::kWorkStealing},
+                                         SweepCase{dc::Strategy::kSharedQueue},
+                                         SweepCase{dc::Strategy::kSequential}),
+                         sweep_name);

@@ -1,0 +1,109 @@
+// Teardown/restart and oversubscription invariants: executors must join
+// their worker teams cleanly whether or not a cycle ever ran, a fresh
+// executor on the same CompiledGraph must see clean per-cycle state
+// (begin_cycle resets pending counters and waiter slots), and thread
+// counts far beyond the core count must not lose nodes. Run under ASan
+// these tests also pin down leaks in the Team / deque teardown paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "djstar/core/chaos.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace dt = djstar::test;
+
+TEST(TeardownRestart, ConstructDestroyWithoutRunning) {
+  dt::Watchdog watchdog(dt::scaled_timeout(60), "construct/destroy");
+  dt::RandomDag dag(30, 0.15, 7);
+  dc::CompiledGraph cg(dag.g);
+  for (dc::Strategy s : dc::kAllStrategies) {
+    for (unsigned threads : {2u, 8u, 16u}) {
+      dc::ExecOptions opts;
+      opts.threads = s == dc::Strategy::kSequential ? 1 : threads;
+      // Workers are spawned in the constructor and must join without a
+      // generation ever being published.
+      auto exec = dc::make_executor(s, cg, opts);
+      EXPECT_EQ(exec->stats().snapshot().nodes_executed, 0u)
+          << dc::to_string(s);
+    }
+  }
+}
+
+TEST(TeardownRestart, RestartOnSameGraphAcrossStrategies) {
+  dt::Watchdog watchdog(dt::scaled_timeout(120), "restart across strategies");
+  dc::chaos::ScopedChaos chaos(0x7EA2D0, 150);
+  dt::RandomDag dag(45, 0.12, 11);
+  dc::CompiledGraph cg(dag.g);
+
+  // Executors are created, run, and destroyed back-to-back on one shared
+  // graph; stale waiter registrations or pending counters from a dead
+  // executor would corrupt its successor's first cycle.
+  const int rounds = dt::scaled(6);
+  for (int round = 0; round < rounds; ++round) {
+    for (dc::Strategy s : dc::kAllStrategies) {
+      dc::ExecOptions opts;
+      opts.threads = s == dc::Strategy::kSequential ? 1 : 2 + round % 7;
+      auto exec = dc::make_executor(s, cg, opts);
+      for (int cycle = 0; cycle < 5; ++cycle) {
+        dag.reset();
+        exec->run_cycle();
+        check_cycle_invariants(
+            dag, std::string("restart round ") + std::to_string(round) + " " +
+                     std::string(dc::to_string(s)));
+      }
+      const auto stats = exec->stats().snapshot();
+      EXPECT_EQ(stats.nodes_executed, 5u * dag.done.size())
+          << dc::to_string(s);
+    }
+  }
+}
+
+TEST(TeardownRestart, DestroyImmediatelyAfterCycle) {
+  dt::Watchdog watchdog(dt::scaled_timeout(120), "destroy after cycle");
+  dc::chaos::ScopedChaos chaos(0xDEAD5107, 200);
+  dt::ChainFanDag dag(8, 12);
+  dc::CompiledGraph cg(dag.g);
+  // run_cycle returns when all nodes finished, but workers may still be
+  // on their way back to the parked state; destruction right behind the
+  // cycle races stop_ against the park path.
+  const int rounds = dt::scaled(40);
+  for (int round = 0; round < rounds; ++round) {
+    for (dc::Strategy s : dc::kParallelStrategies) {
+      dc::ExecOptions opts;
+      opts.threads = 4;
+      auto exec = dc::make_executor(s, cg, opts);
+      dag.reset();
+      exec->run_cycle();
+      exec.reset();  // immediate teardown
+      check_cycle_invariants(dag, std::string("teardown ") +
+                                      std::string(dc::to_string(s)));
+    }
+  }
+}
+
+TEST(TeardownRestart, HeavyOversubscription) {
+  dt::Watchdog watchdog(dt::scaled_timeout(240), "oversubscription");
+  dc::chaos::ScopedChaos chaos(0x0EE2, 100);
+  dt::RandomDag dag(60, 0.08, 23);
+  dc::CompiledGraph cg(dag.g);
+  // 16 workers on a single-core container: every wait path (spin
+  // escalation, cv park, steal backoff) is forced through the OS
+  // scheduler instead of running truly in parallel.
+  for (dc::Strategy s : dc::kParallelStrategies) {
+    dc::ExecOptions opts;
+    opts.threads = 16;
+    auto exec = dc::make_executor(s, cg, opts);
+    const int cycles = dt::scaled(10);
+    for (int cycle = 0; cycle < cycles; ++cycle) {
+      dag.reset();
+      exec->run_cycle();
+      check_cycle_invariants(dag, std::string("oversubscribed ") +
+                                      std::string(dc::to_string(s)));
+    }
+  }
+}

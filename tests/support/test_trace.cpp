@@ -71,3 +71,86 @@ TEST(TraceSpan, Duration) {
   ds::TraceSpan s{1.5, 4.0, 0, 0, ds::SpanKind::kRun};
   EXPECT_DOUBLE_EQ(s.duration_us(), 2.5);
 }
+
+// ---- edge cases exercised by the concurrency stress harness ----------------
+
+TEST(TraceRecorderEdge, OverflowSaturatesKeepingOldestSpans) {
+  // Lane overflow must drop the *new* span, never write past the
+  // preallocated capacity or evict recorded data.
+  ds::TraceRecorder tr;
+  tr.arm(1, 4);
+  for (int i = 0; i < 32; ++i) {
+    tr.record(0, {double(i), double(i) + 1, 0, i, ds::SpanKind::kRun});
+  }
+  const auto spans = tr.collect();
+  ASSERT_EQ(spans.size(), 4u);  // saturated exactly at capacity
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<std::size_t>(i)].node, i);  // oldest kept
+  }
+  // Still saturated: one more record after overflow stays a no-op.
+  tr.record(0, {99.0, 100.0, 0, 99, ds::SpanKind::kRun});
+  EXPECT_EQ(tr.collect().size(), 4u);
+}
+
+TEST(TraceRecorderEdge, RecordAfterDisarmIsNoop) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  tr.record(0, {0.0, 1.0, 0, 1, ds::SpanKind::kRun});
+  tr.disarm();
+  tr.record(0, {2.0, 3.0, 0, 2, ds::SpanKind::kRun});
+  EXPECT_FALSE(tr.armed());
+  EXPECT_TRUE(tr.collect().empty());
+  EXPECT_EQ(tr.thread_count(), 0u);
+}
+
+TEST(TraceRecorderEdge, RearmDropsOldSpansAndResizesLanes) {
+  ds::TraceRecorder tr;
+  tr.arm(4);
+  tr.record(3, {0.0, 1.0, 3, 7, ds::SpanKind::kRun});
+  tr.arm(2, 8);
+  EXPECT_EQ(tr.thread_count(), 2u);
+  EXPECT_TRUE(tr.collect().empty());       // previous spans gone
+  tr.record(3, {0.0, 1.0, 3, 7, ds::SpanKind::kRun});  // lane no longer exists
+  EXPECT_TRUE(tr.collect().empty());
+  tr.record(1, {0.0, 1.0, 1, 7, ds::SpanKind::kRun});
+  EXPECT_EQ(tr.collect().size(), 1u);
+}
+
+TEST(TraceRecorderEdge, ZeroCapacityLaneNeverStores) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 0);
+  for (int i = 0; i < 8; ++i) {
+    tr.record(0, {0.0, 1.0, 0, i, ds::SpanKind::kRun});
+  }
+  EXPECT_TRUE(tr.collect().empty());
+}
+
+TEST(TraceRecorderEdge, CollectIsIdempotentAndNonDestructive) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  tr.record(0, {0.0, 1.0, 0, 1, ds::SpanKind::kRun});
+  tr.record(1, {0.0, 1.0, 1, 2, ds::SpanKind::kSteal});
+  const auto first = tr.collect();
+  const auto second = tr.collect();
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].node, second[i].node);
+    EXPECT_EQ(first[i].kind, second[i].kind);
+  }
+}
+
+TEST(TraceRecorderEdge, CollectOrdersEqualBeginTimesStably) {
+  // Spans with identical begin times must still group by thread; the
+  // comparator's thread key dominates.
+  ds::TraceRecorder tr;
+  tr.arm(3);
+  tr.record(2, {1.0, 2.0, 2, 20, ds::SpanKind::kRun});
+  tr.record(0, {1.0, 2.0, 0, 0, ds::SpanKind::kRun});
+  tr.record(1, {1.0, 2.0, 1, 10, ds::SpanKind::kRun});
+  const auto spans = tr.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].thread, 0u);
+  EXPECT_EQ(spans[1].thread, 1u);
+  EXPECT_EQ(spans[2].thread, 2u);
+}
