@@ -6,11 +6,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "djstar/core/fault.hpp"
 #include "djstar/core/graph.hpp"
 
 namespace djstar::core {
@@ -71,10 +73,94 @@ class CompiledGraph {
     return section_idx_[n];
   }
 
+  // ---- node execution (fault-tolerant path) ----
+
+  /// Execute node `n` for this cycle: honours the skip mask (runs the
+  /// bypass form instead, if any), the cancel flag (drains without
+  /// running work), and the armed fault plan; catches anything the work
+  /// function throws and records it as a cycle fault. Every executor
+  /// routes node execution through here, which is what makes all of
+  /// them exception-safe — no exception ever crosses executor
+  /// synchronization code, dependency counters keep resolving, waiters
+  /// keep waking, and the executor stays reusable.
+  void execute(NodeId n) noexcept;
+
+  // ---- fault injection ----
+
+  /// Arm `plan`; faults fire deterministically per (seed, cycle, node).
+  /// Must not be called concurrently with an executing cycle.
+  void arm_faults(const chaos::FaultPlan& plan);
+  void disarm_faults() noexcept { faults_armed_ = false; }
+  bool faults_armed() const noexcept { return faults_armed_; }
+
+  /// Hook invoked when a kNanOutput fault fires on node `n` (the graph
+  /// owner decides what "corrupted audio" means). Called from worker
+  /// threads; must be thread-safe. May be null.
+  void set_poison_hook(std::function<void(NodeId)> hook) {
+    poison_ = std::move(hook);
+  }
+
+  // ---- degradation: skip masks & bypass forms ----
+
+  /// Mask/unmask node `n`. Masked nodes run their bypass form (or
+  /// nothing) instead of their work. Call only between cycles; the
+  /// executors' cycle-start synchronization publishes the change.
+  void set_node_masked(NodeId n, bool masked) noexcept {
+    masked_[n] = masked ? 1 : 0;
+  }
+  bool node_masked(NodeId n) const noexcept { return masked_[n] != 0; }
+
+  /// Cheap replacement work for a masked node (e.g. copy-through for a
+  /// bypassed effect). Call only between cycles.
+  void set_bypass(NodeId n, WorkFn fn) { bypass_[n] = std::move(fn); }
+
+  // ---- cancellation & cycle outcome ----
+
+  /// Request the in-flight cycle to drain: remaining nodes skip their
+  /// work but still resolve dependencies, so every executor finishes
+  /// promptly without deadlocking. Safe from any thread (this is the
+  /// watchdog's lever).
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+    abort_cycle_.store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this cycle saw a node fault or a cancel request. Stable
+  /// once the cycle has completed; reset by begin_cycle().
+  bool cycle_failed() const noexcept {
+    return abort_cycle_.load(std::memory_order_acquire);
+  }
+  /// Node whose exception failed the cycle (-1: none / cancel only).
+  std::int32_t fault_node() const noexcept {
+    return fault_node_.load(std::memory_order_acquire);
+  }
+  /// what() of the recorded fault (empty when fault_node() is -1). Read
+  /// only between cycles.
+  const char* fault_message() const noexcept { return fault_what_; }
+
+  /// Monotonic cycle counter (drives deterministic fault decisions).
+  std::uint64_t cycle_index() const noexcept { return cycle_index_; }
+  /// Nodes whose real work did not run this cycle (masked or drained).
+  std::uint64_t skipped_this_cycle() const noexcept {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+  /// Masked nodes whose bypass form ran this cycle (subset of skipped).
+  std::uint64_t bypassed_this_cycle() const noexcept {
+    return bypassed_.load(std::memory_order_relaxed);
+  }
+  /// Faults injected since construction (all kinds, cumulative).
+  std::uint64_t faults_injected() const noexcept {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
   // ---- per-cycle state shared by all executors ----
 
-  /// Reset dependency counters and waiter slots for a new cycle.
-  /// Must not run concurrently with an executing cycle.
+  /// Reset dependency counters, waiter slots, and the fault/cancel
+  /// state for a new cycle. Must not run concurrently with an
+  /// executing cycle.
   void begin_cycle() noexcept;
 
   /// Remaining unfinished predecessors of `n` this cycle.
@@ -106,6 +192,27 @@ class CompiledGraph {
   std::vector<std::string> section_labels_;
   std::vector<std::uint32_t> section_idx_;
   std::unique_ptr<CycleState[]> cycle_;
+
+  void record_fault(NodeId n, const char* what) noexcept;
+
+  // Degradation / fault state. masked_/bypass_/fault_eligible_ and the
+  // plan are mutated only between cycles (published by the executors'
+  // cycle-start synchronization); the atomics below are the only fields
+  // workers write during a cycle.
+  std::vector<std::uint8_t> masked_;
+  std::vector<WorkFn> bypass_;
+  std::function<void(NodeId)> poison_;
+  chaos::FaultPlan fault_plan_;
+  std::vector<std::uint8_t> fault_eligible_;
+  bool faults_armed_ = false;
+  std::uint64_t cycle_index_ = 0;
+  std::atomic<bool> abort_cycle_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int32_t> fault_node_{-1};
+  char fault_what_[128] = {};  // written once per cycle by the CAS winner
+  std::atomic<std::uint64_t> skipped_{0};
+  std::atomic<std::uint64_t> bypassed_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
 };
 
 }  // namespace djstar::core

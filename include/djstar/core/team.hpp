@@ -51,9 +51,19 @@ class Team {
 
   unsigned threads() const noexcept { return threads_; }
 
+  /// Exceptions that escaped a worker body and were swallowed by the
+  /// team's last-resort net. Always zero in a correct build — strategy
+  /// bodies route node work through CompiledGraph::execute(), which is
+  /// noexcept — but the net keeps a bug from killing a worker thread
+  /// (std::terminate) and deadlocking every later cycle.
+  std::uint64_t body_errors() const noexcept {
+    return body_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   void thread_main(unsigned id);
   void wait_for_generation(std::uint64_t seen);
+  void run_body(unsigned id) noexcept;
 
   unsigned threads_;
   StartMode mode_;
@@ -63,6 +73,7 @@ class Team {
   alignas(64) std::atomic<std::uint64_t> generation_{0};
   alignas(64) std::atomic<unsigned> done_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> body_errors_{0};
 
   std::mutex start_mutex_;
   std::condition_variable start_cv_;

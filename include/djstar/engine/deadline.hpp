@@ -4,6 +4,7 @@
 // task graph may use at most 2.1 ms after TP/GP/VC overheads.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -26,14 +27,33 @@ struct CycleBreakdown {
 };
 
 /// Collects cycle breakdowns, counts missed deadlines, and optionally
-/// retains per-cycle samples for histogram benches.
+/// retains per-cycle samples for histogram benches. When the engine runs
+/// supervised, each cycle is also attributed to the degradation level it
+/// ran at (level 0 = full quality), so "how long did we spend degraded,
+/// and how did those cycles perform" falls straight out of the monitor.
 class DeadlineMonitor {
  public:
-  explicit DeadlineMonitor(double deadline_us = audio::kDeadlineUs,
-                           bool keep_samples = true)
-      : deadline_us_(deadline_us), keep_samples_(keep_samples) {}
+  /// Maximum degradation levels tracked (DegradationLevel fits with room).
+  static constexpr unsigned kMaxLevels = 8;
 
-  void add(const CycleBreakdown& c);
+  /// `reserve` pre-sizes the sample vectors so add() never allocates on
+  /// the audio path until that many cycles have been recorded.
+  explicit DeadlineMonitor(double deadline_us = audio::kDeadlineUs,
+                           bool keep_samples = true,
+                           std::size_t reserve = 4096)
+      : deadline_us_(deadline_us),
+        keep_samples_(keep_samples),
+        reserve_(reserve) {
+    if (keep_samples_) {
+      graph_samples_.reserve(reserve_);
+      total_samples_.reserve(reserve_);
+    }
+  }
+
+  /// Record a cycle at degradation level 0 (the unsupervised path).
+  void add(const CycleBreakdown& c) { add(c, 0); }
+  /// Record a cycle attributed to `level` (clamped to kMaxLevels - 1).
+  void add(const CycleBreakdown& c, unsigned level);
   void reset();
 
   std::size_t cycles() const noexcept { return cycles_; }
@@ -50,6 +70,26 @@ class DeadlineMonitor {
   const support::OnlineStats& vc() const noexcept { return vc_; }
   const support::OnlineStats& total() const noexcept { return total_; }
 
+  /// p99 of per-cycle APC totals. Cached: recomputed only when cycles
+  /// have been added since the last call, so repeated callers (the
+  /// supervisor, the headroom advisor) don't re-sort the samples. Falls
+  /// back to max() when samples are not retained.
+  double p99() const;
+  /// Worst APC total seen (O(1), always available).
+  double max_us() const noexcept { return total_.max(); }
+
+  // ---- per-degradation-level accounting ----
+  std::size_t level_cycles(unsigned level) const noexcept {
+    return level < kMaxLevels ? level_cycles_[level] : 0;
+  }
+  std::size_t level_misses(unsigned level) const noexcept {
+    return level < kMaxLevels ? level_misses_[level] : 0;
+  }
+  /// APC totals of cycles run at `level` (count 0 when never visited).
+  const support::OnlineStats& level_total(unsigned level) const noexcept {
+    return level_total_[level < kMaxLevels ? level : kMaxLevels - 1];
+  }
+
   /// Per-cycle task-graph times (empty when keep_samples is off).
   const std::vector<double>& graph_samples() const noexcept {
     return graph_samples_;
@@ -62,11 +102,17 @@ class DeadlineMonitor {
  private:
   double deadline_us_;
   bool keep_samples_;
+  std::size_t reserve_;
   std::size_t cycles_ = 0;
   std::size_t misses_ = 0;
   support::OnlineStats tp_, gp_, graph_, vc_, total_;
   std::vector<double> graph_samples_;
   std::vector<double> total_samples_;
+  std::array<std::size_t, kMaxLevels> level_cycles_{};
+  std::array<std::size_t, kMaxLevels> level_misses_{};
+  std::array<support::OnlineStats, kMaxLevels> level_total_{};
+  mutable double p99_cache_ = 0.0;
+  mutable std::size_t p99_cache_cycles_ = 0;
 };
 
 }  // namespace djstar::engine

@@ -37,6 +37,13 @@ class Deck {
   void set_keylock(bool on) noexcept { keylock_ = on; }
   bool keylock() const noexcept { return keylock_; }
 
+  /// Supervisor override (degradation rung kNoStretch): while set,
+  /// preprocess() uses cheap varispeed even when keylock is on. Kept
+  /// separate from set_keylock() so recovery restores the DJ's actual
+  /// preference instead of whatever the ladder left behind.
+  void set_stretch_degraded(bool on) noexcept { stretch_degraded_ = on; }
+  bool stretch_degraded() const noexcept { return stretch_degraded_; }
+
   /// TP phase: render one block of timecode at the current platter
   /// pitch and run the decoder over it.
   void process_timecode() noexcept;
@@ -66,6 +73,7 @@ class Deck {
   std::array<stretch::Wsola, 2> wsola_;  // per stereo channel
   double pitch_ = 1.0;
   bool keylock_ = true;
+  bool stretch_degraded_ = false;
 
   audio::AudioBuffer tc_buf_{2, audio::kBlockSize};
   audio::AudioBuffer raw_{2, audio::kBlockSize};

@@ -66,6 +66,13 @@ enum class NodeKind {
 /// (Table I sequential row / §IV simulation; see EXPERIMENTS.md).
 double reference_duration_us(NodeKind kind) noexcept;
 
+/// How a node may be shed under load (the supervisor's kBypassFx rung).
+enum class DegradeTier : std::uint8_t {
+  kEssential,  ///< must run every cycle (audio path, mixer, out)
+  kFxBypass,   ///< deck effect: run its bypass form (audio flows, no DSP)
+  kSinkSkip,   ///< GUI/accounting sink: safe to skip entirely
+};
+
 /// The built graph plus everything it references. Move-only; node
 /// processors live behind stable unique_ptr addresses because the work
 /// lambdas capture raw pointers to them.
@@ -84,6 +91,20 @@ class DjStarGraph {
 
   /// Node kind per node id.
   NodeKind kind(core::NodeId n) const noexcept { return kinds_[n]; }
+
+  /// Degradation tier per node id (what the supervisor may shed).
+  DegradeTier degrade_tier(core::NodeId n) const noexcept {
+    return tiers_[n];
+  }
+
+  /// Replacement work for a kFxBypass node: routes audio through without
+  /// the effect DSP. Returns an empty function for other tiers.
+  core::WorkFn bypass_work(core::NodeId n) const;
+
+  /// Corrupt the final output packet with NaNs (fault injection's
+  /// kNanOutput lands here, after the cycle, so filter state in the
+  /// graph is never contaminated — see engine/supervisor.hpp).
+  void poison_output() noexcept;
 
   /// Paper-scale mean durations aligned with node ids.
   std::vector<double> reference_durations() const;
@@ -124,6 +145,8 @@ class DjStarGraph {
 
   core::TaskGraph graph_;
   std::vector<NodeKind> kinds_;
+  std::vector<DegradeTier> tiers_;
+  std::vector<EffectNode*> node_effect_;  // id -> effect, null elsewhere
   core::AccessRegistry registry_;
 
   // Fallback silent inputs when a deck pointer is null.

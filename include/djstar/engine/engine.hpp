@@ -9,11 +9,14 @@
 #include <memory>
 #include <vector>
 
+#include <atomic>
+
 #include "djstar/core/compiled_graph.hpp"
 #include "djstar/core/factory.hpp"
 #include "djstar/engine/deadline.hpp"
 #include "djstar/engine/deck.hpp"
 #include "djstar/engine/djstar_graph.hpp"
+#include "djstar/engine/supervisor.hpp"
 
 namespace djstar::engine {
 
@@ -49,6 +52,33 @@ class AudioEngine {
     return graph_nodes_.output();
   }
 
+  // ---- fault tolerance (engine/supervisor.hpp) ----
+
+  /// Attach a CycleSupervisor and pre-build the sequential fallback
+  /// executor. Afterwards use run_cycle_supervised() + safe_output().
+  void enable_supervision(const SupervisorConfig& scfg = {});
+  bool supervised() const noexcept { return supervisor_ != nullptr; }
+  CycleSupervisor& supervisor() noexcept { return *supervisor_; }
+  const CycleSupervisor& supervisor() const noexcept { return *supervisor_; }
+
+  /// Supervised cycle: applies the ladder's current level (masks, deck
+  /// flags, executor choice), runs the phases under the watchdog, then
+  /// validates the output. The packet for the sound card is
+  /// safe_output(), which is valid even when this cycle faulted.
+  CycleBreakdown run_cycle_supervised();
+
+  /// The validated output packet (falls back to output() unsupervised).
+  const audio::AudioBuffer& safe_output() const noexcept {
+    return supervisor_ ? supervisor_->safe_output() : graph_nodes_.output();
+  }
+
+  /// Arm/disarm node fault injection on the compiled graph. (The
+  /// constructor also arms automatically from DJSTAR_FAULTS.)
+  void arm_faults(const core::chaos::FaultPlan& plan) {
+    compiled_->arm_faults(plan);
+  }
+  void disarm_faults() noexcept { compiled_->disarm_faults(); }
+
   Deck& deck(unsigned i) noexcept { return *decks_[i]; }
   DjStarGraph& graph_nodes() noexcept { return graph_nodes_; }
   core::CompiledGraph& compiled() noexcept { return *compiled_; }
@@ -60,7 +90,10 @@ class AudioEngine {
   unsigned threads() const noexcept { return cfg_.threads; }
 
   /// Swap the scheduling strategy / thread count. Destroys and rebuilds
-  /// the executor (joins old workers). Not callable mid-cycle.
+  /// the executor (joins old workers). Not callable mid-cycle. Monitor
+  /// history, supervisor ladder state, and any degradation applied to
+  /// the graph all survive the swap (tested) — callers who want fresh
+  /// accounting must reset the monitor explicitly.
   void set_strategy(core::Strategy s, unsigned threads);
 
   /// Measure mean per-node execution times over `cycles` sequential
@@ -73,6 +106,11 @@ class AudioEngine {
 
  private:
   void rebuild_executor();
+  void apply_degradation(DegradationLevel target);
+  void phase_tp(CycleBreakdown& c);
+  void phase_gp(CycleBreakdown& c);
+  void phase_vc(CycleBreakdown& c);
+  void apply_pending_poison() noexcept;
 
   EngineConfig cfg_;
   std::array<std::unique_ptr<Deck>, 4> decks_;
@@ -82,6 +120,17 @@ class AudioEngine {
   DeadlineMonitor monitor_;
   double master_tempo_bpm_ = 0.0;
   double beat_phase_ = 0.0;
+
+  // Fault tolerance. The ladder level actually applied to the graph
+  // (masks, deck flags) — follows supervisor().level() with a one-cycle
+  // lag because actuation happens between cycles.
+  std::unique_ptr<CycleSupervisor> supervisor_;
+  std::unique_ptr<core::Executor> fallback_exec_;
+  DegradationLevel applied_level_ = DegradationLevel::kFull;
+  // Set by the graph's poison hook (worker threads); consumed after the
+  // executor returns so injected NaNs land in the finished output packet
+  // instead of contaminating filter state mid-graph.
+  std::atomic<bool> poison_pending_{false};
 };
 
 }  // namespace djstar::engine

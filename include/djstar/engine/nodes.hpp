@@ -78,6 +78,13 @@ class EffectNode {
   EffectNode(EffectKind kind, const AudioBuffer* input);
 
   void process() noexcept;
+
+  /// The degraded form: routes audio through (chain-head sum or
+  /// copy-through) without running the effect algorithm. Used by the
+  /// supervisor's kBypassFx rung so downstream nodes keep receiving
+  /// fresh audio while the DSP cost disappears.
+  void process_bypass() noexcept;
+
   const AudioBuffer& output() const noexcept { return out_; }
   EffectKind kind() const noexcept { return kind_; }
 
@@ -241,6 +248,9 @@ class AudioOutNode {
   explicit AudioOutNode(const AudioBuffer* master);
   void process() noexcept;
   const AudioBuffer& output() const noexcept { return out_; }
+  /// Mutable access for fault injection (NaN poisoning of the final
+  /// packet); production code never writes through this.
+  AudioBuffer& output() noexcept { return out_; }
 
  private:
   const AudioBuffer* master_;

@@ -1,8 +1,12 @@
 #include "djstar/core/compiled_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
 
 #include "djstar/support/assert.hpp"
+#include "djstar/support/time.hpp"
 
 namespace djstar::core {
 
@@ -56,6 +60,9 @@ CompiledGraph::CompiledGraph(const TaskGraph& g, QueueOrder order_mode) {
   }
 
   cycle_ = std::make_unique<CycleState[]>(n);
+  masked_.assign(n, 0);
+  bypass_.resize(n);
+  fault_eligible_.assign(n, 0);
   begin_cycle();
 }
 
@@ -66,8 +73,99 @@ void CompiledGraph::begin_cycle() noexcept {
                             std::memory_order_relaxed);
     cycle_[i].waiter.store(-1, std::memory_order_relaxed);
   }
+  ++cycle_index_;
+  fault_node_.store(-1, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
+  bypassed_.store(0, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  abort_cycle_.store(false, std::memory_order_relaxed);
   // Publish the reset before any worker reads the counters.
   std::atomic_thread_fence(std::memory_order_release);
+}
+
+void CompiledGraph::arm_faults(const chaos::FaultPlan& plan) {
+  fault_plan_ = plan;
+  if (plan.targets.empty()) {
+    fault_eligible_.assign(node_count(), 1);
+  } else {
+    fault_eligible_.assign(node_count(), 0);
+    for (NodeId t : plan.targets) {
+      if (t < node_count()) fault_eligible_[t] = 1;
+    }
+  }
+  faults_armed_ = plan.any();
+}
+
+void CompiledGraph::record_fault(NodeId n, const char* what) noexcept {
+  std::int32_t expected = -1;
+  if (fault_node_.compare_exchange_strong(expected, static_cast<std::int32_t>(n),
+                                          std::memory_order_acq_rel)) {
+    // Sole writer of the message this cycle; fixed buffer, no allocation.
+    std::strncpy(fault_what_, what ? what : "", sizeof(fault_what_) - 1);
+    fault_what_[sizeof(fault_what_) - 1] = '\0';
+  }
+  abort_cycle_.store(true, std::memory_order_release);
+}
+
+void CompiledGraph::execute(NodeId n) noexcept {
+  if (abort_cycle_.load(std::memory_order_acquire)) {
+    // Failed/cancelled cycle: drain. Dependencies still resolve in the
+    // caller, so every executor's protocol completes without running
+    // the remaining work.
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  if (masked_[n]) {
+    skipped_.fetch_add(1, std::memory_order_relaxed);
+    if (bypass_[n]) {
+      bypassed_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        bypass_[n]();
+      } catch (const std::exception& e) {
+        record_fault(n, e.what());
+      } catch (...) {
+        record_fault(n, "unknown exception (bypass)");
+      }
+    }
+    return;
+  }
+
+  chaos::FaultAction act{};
+  if (faults_armed_ && fault_eligible_[n]) {
+    act = chaos::decide(fault_plan_, cycle_index_, n);
+    if (act.kind != chaos::FaultKind::kNone) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  try {
+    if (act.kind == chaos::FaultKind::kThrow) throw chaos::InjectedFault(n);
+    works_[n]();
+  } catch (const std::exception& e) {
+    record_fault(n, e.what());
+    return;
+  } catch (...) {
+    record_fault(n, "unknown exception");
+    return;
+  }
+
+  switch (act.kind) {
+    case chaos::FaultKind::kLatencySpike:
+      support::spin_for_us(act.duration_us);
+      break;
+    case chaos::FaultKind::kStall:
+      // A stuck worker blocks (page fault / priority inversion); unlike
+      // the spike it yields the core, so thieves and siblings keep going.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(act.duration_us));
+      break;
+    case chaos::FaultKind::kNanOutput:
+      if (poison_) poison_(n);
+      break;
+    default:
+      break;
+  }
 }
 
 }  // namespace djstar::core

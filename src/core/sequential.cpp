@@ -6,17 +6,22 @@ SequentialExecutor::SequentialExecutor(CompiledGraph& graph, ExecOptions opts)
     : graph_(graph), opts_(opts) {}
 
 void SequentialExecutor::run_cycle() {
+  // The walk itself needs no dependency counters, but begin_cycle()
+  // also advances the fault-injection cycle index and clears the
+  // previous cycle's fault/cancel state — required for the sequential
+  // fallback to recover after a faulted cycle.
+  graph_.begin_cycle();
   const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
   const auto t0 = support::now();
   for (NodeId n : graph_.order()) {
     if (tracing) {
       const double b = support::since_us(t0);
-      graph_.work(n)();
+      graph_.execute(n);
       opts_.trace->record(0, {b, support::since_us(t0), 0,
                               static_cast<std::int32_t>(n),
                               support::SpanKind::kRun});
     } else {
-      graph_.work(n)();
+      graph_.execute(n);
     }
     stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
   }

@@ -57,7 +57,7 @@ void SharedQueueExecutor::worker_body(unsigned w) {
       }
     }
 
-    graph_.work(n)();
+    graph_.execute(n);
     stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
 
     if (tracing) {

@@ -44,6 +44,17 @@ void Team::wait_for_generation(std::uint64_t seen) {
   }
 }
 
+void Team::run_body(unsigned id) noexcept {
+  // Last-resort net: a worker body must not throw (node exceptions are
+  // contained by CompiledGraph::execute), but if one ever does, counting
+  // it beats std::terminate taking the whole process down.
+  try {
+    fn_(id);
+  } catch (...) {
+    body_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void Team::thread_main(unsigned id) {
   std::uint64_t seen = 0;
   for (;;) {
@@ -51,7 +62,7 @@ void Team::thread_main(unsigned id) {
     if (stop_.load(std::memory_order_acquire)) return;
     seen = generation_.load(std::memory_order_acquire);
     chaos::maybe_perturb(chaos::Site::kCycleStart);
-    fn_(id);
+    run_body(id);
     const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (finished == threads_ && mode_ == StartMode::kCondvar) {
       const std::lock_guard<std::mutex> lk(done_mutex_);
@@ -74,7 +85,7 @@ void Team::run_cycle() {
 
   // The caller is worker 0.
   chaos::maybe_perturb(chaos::Site::kCycleStart);
-  fn_(0);
+  run_body(0);
   const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (finished == threads_) return;
 

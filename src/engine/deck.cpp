@@ -33,7 +33,7 @@ void Deck::preprocess() {
                              ? tc_decoder_.state().pitch
                              : pitch_;
 
-  if (!keylock_) {
+  if (!keylock_ || stretch_degraded_) {
     // Varispeed honours the signed platter speed: negative = reverse
     // (scratching / backspins).
     double rate = std::clamp(decoded, -2.0, 2.0);

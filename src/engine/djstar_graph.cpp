@@ -1,5 +1,8 @@
 #include "djstar/engine/djstar_graph.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "djstar/support/assert.hpp"
 
 namespace djstar::engine {
@@ -221,7 +224,49 @@ DjStarGraph::DjStarGraph(
   DJSTAR_ASSERT_MSG(graph_.source_nodes().size() == 33,
                     "canonical DJ Star graph must have 33 source nodes");
 
+  // Degradation tiers: deck effects can run in bypass (audio still
+  // flows), GUI/accounting sinks can be skipped outright, everything on
+  // the audible signal path is essential.
+  tiers_.assign(kinds_.size(), DegradeTier::kEssential);
+  node_effect_.assign(kinds_.size(), nullptr);
+  std::size_t fx_i = 0;
+  for (core::NodeId n = 0; n < graph_.node_count(); ++n) {
+    switch (kinds_[n]) {
+      case NodeKind::kDeckEffectA:
+      case NodeKind::kDeckEffect:
+        tiers_[n] = DegradeTier::kFxBypass;
+        node_effect_[n] = effects_[fx_i++].get();
+        break;
+      case NodeKind::kDeckMeter:
+      case NodeKind::kMasterMeter:
+      case NodeKind::kAnalyzer:
+      case NodeKind::kMonitor:
+      case NodeKind::kRecord:
+      case NodeKind::kBeatgrid:
+        tiers_[n] = DegradeTier::kSinkSkip;
+        break;
+      default:
+        break;
+    }
+  }
+
   declare_accesses(deck_inputs);
+}
+
+core::WorkFn DjStarGraph::bypass_work(core::NodeId n) const {
+  EffectNode* e = node_effect_[n];
+  if (e == nullptr) return {};
+  return [e] { e->process_bypass(); };
+}
+
+void DjStarGraph::poison_output() noexcept {
+  auto& out = audio_out_->output();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  auto raw = out.raw();
+  // A burst is enough to trip any consumer; full-buffer scribble would
+  // be unrealistic for a single corrupted node.
+  const std::size_t burst = std::min<std::size_t>(32, raw.size());
+  for (std::size_t i = 0; i < burst; ++i) raw[i] = nan;
 }
 
 void DjStarGraph::declare_accesses(

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "djstar/support/assert.hpp"
 #include "djstar/support/time.hpp"
 
 namespace djstar::engine {
@@ -34,6 +35,22 @@ AudioEngine::AudioEngine(EngineConfig cfg)
       graph_nodes_(deck_inputs(decks_)),
       monitor_(cfg.deadline_us, cfg.keep_samples) {
   compiled_ = std::make_unique<core::CompiledGraph>(graph_nodes_.graph());
+
+  // Register the bypass forms once; masking toggles them per level.
+  for (core::NodeId n = 0; n < compiled_->node_count(); ++n) {
+    if (graph_nodes_.degrade_tier(n) == DegradeTier::kFxBypass) {
+      compiled_->set_bypass(n, graph_nodes_.bypass_work(n));
+    }
+  }
+  // NaN faults are applied *after* the executor returns (see
+  // apply_pending_poison) so injected NaNs never enter filter state.
+  compiled_->set_poison_hook([this](core::NodeId) {
+    poison_pending_.store(true, std::memory_order_relaxed);
+  });
+  if (auto plan = core::chaos::FaultPlan::from_env()) {
+    compiled_->arm_faults(*plan);
+  }
+
   rebuild_executor();
 }
 
@@ -48,40 +65,126 @@ void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
   cfg_.strategy = s;
   cfg_.threads = threads;
   rebuild_executor();
+  // The compiled graph (including any degradation masks) and the
+  // monitor are untouched; tell the supervisor so it can keep its
+  // ladder state across the swap.
+  if (supervisor_) supervisor_->on_executor_rebuilt();
+}
+
+void AudioEngine::enable_supervision(const SupervisorConfig& scfg) {
+  SupervisorConfig sc = scfg;
+  sc.deadline_us = cfg_.deadline_us;
+  supervisor_ = std::make_unique<CycleSupervisor>(*compiled_, sc);
+  if (!fallback_exec_) {
+    // Pre-built so stepping onto the kSequentialFallback rung is a
+    // pointer swap, not an executor construction on the audio path.
+    core::ExecOptions opts = cfg_.exec;
+    opts.threads = 1;
+    fallback_exec_ = core::make_executor(core::Strategy::kSequential,
+                                         *compiled_, opts, cfg_.ws);
+  }
+}
+
+void AudioEngine::phase_tp(CycleBreakdown& c) {
+  // TP: decode the external control signals (paper: 16% of the APC).
+  support::ScopedTimer t(c.tp_us);
+  for (auto& d : decks_) d->process_timecode();
+}
+
+void AudioEngine::phase_gp(CycleBreakdown& c) {
+  // GP: time stretching, phase alignment, buffer overhead (33%).
+  support::ScopedTimer t(c.gp_us);
+  for (auto& d : decks_) d->preprocess();
+}
+
+void AudioEngine::phase_vc(CycleBreakdown& c) {
+  // VC: accounting calculations, e.g. updating the master tempo.
+  support::ScopedTimer t(c.vc_us);
+  double tempo = 0.0;
+  for (auto& d : decks_) {
+    tempo += std::abs(d->decoded_pitch()) * d->track().bpm();
+  }
+  tempo *= 0.25;
+  master_tempo_bpm_ += 0.1 * (tempo - master_tempo_bpm_);
+  const double beats_per_block =
+      master_tempo_bpm_ / 60.0 * (static_cast<double>(audio::kBlockSize) /
+                                  audio::kSampleRate);
+  beat_phase_ = std::fmod(beat_phase_ + beats_per_block, 1.0);
+}
+
+void AudioEngine::apply_pending_poison() noexcept {
+  if (poison_pending_.exchange(false, std::memory_order_relaxed)) {
+    graph_nodes_.poison_output();
+  }
 }
 
 CycleBreakdown AudioEngine::run_cycle() {
   CycleBreakdown c;
-  {
-    // TP: decode the external control signals (paper: 16% of the APC).
-    support::ScopedTimer t(c.tp_us);
-    for (auto& d : decks_) d->process_timecode();
-  }
-  {
-    // GP: time stretching, phase alignment, buffer overhead (33%).
-    support::ScopedTimer t(c.gp_us);
-    for (auto& d : decks_) d->preprocess();
-  }
+  phase_tp(c);
+  phase_gp(c);
   {
     // Graph: the task graph under the selected strategy (38%).
     support::ScopedTimer t(c.graph_us);
     executor_->run_cycle();
   }
-  {
-    // VC: accounting calculations, e.g. updating the master tempo.
-    support::ScopedTimer t(c.vc_us);
-    double tempo = 0.0;
-    for (auto& d : decks_) {
-      tempo += std::abs(d->decoded_pitch()) * d->track().bpm();
-    }
-    tempo *= 0.25;
-    master_tempo_bpm_ += 0.1 * (tempo - master_tempo_bpm_);
-    const double beats_per_block =
-        master_tempo_bpm_ / 60.0 * (static_cast<double>(audio::kBlockSize) /
-                                    audio::kSampleRate);
-    beat_phase_ = std::fmod(beat_phase_ + beats_per_block, 1.0);
-  }
+  apply_pending_poison();
+  phase_vc(c);
   monitor_.add(c);
+  return c;
+}
+
+void AudioEngine::apply_degradation(DegradationLevel target) {
+  if (target == applied_level_) return;
+  const bool shed = target >= DegradationLevel::kBypassFx;
+  for (core::NodeId n = 0; n < compiled_->node_count(); ++n) {
+    switch (graph_nodes_.degrade_tier(n)) {
+      case DegradeTier::kFxBypass:   // masked FX run their bypass form
+      case DegradeTier::kSinkSkip:   // masked sinks are skipped outright
+        compiled_->set_node_masked(n, shed);
+        break;
+      case DegradeTier::kEssential:
+        break;
+    }
+  }
+  const bool no_stretch = target >= DegradationLevel::kNoStretch;
+  for (auto& d : decks_) d->set_stretch_degraded(no_stretch);
+  applied_level_ = target;
+}
+
+CycleBreakdown AudioEngine::run_cycle_supervised() {
+  DJSTAR_ASSERT_MSG(supervisor_ != nullptr,
+                    "call enable_supervision() first");
+  // Actuate the level the ladder decided at the end of the previous
+  // cycle; all graph mutation happens here, between cycles.
+  apply_degradation(supervisor_->level());
+  const auto level = static_cast<unsigned>(applied_level_);
+
+  CycleBreakdown c;
+  if (applied_level_ == DegradationLevel::kSafeMode) {
+    // Keep decoding the control signals (so recovery resumes in sync)
+    // but skip GP/Graph/VC; the supervisor feeds the sound card.
+    phase_tp(c);
+    supervisor_->supervise_safe_mode_cycle(c);
+    monitor_.add(c, level);
+    return c;
+  }
+
+  phase_tp(c);
+  phase_gp(c);
+  {
+    support::ScopedTimer t(c.graph_us);
+    core::Executor* exec =
+        applied_level_ >= DegradationLevel::kSequentialFallback
+            ? fallback_exec_.get()
+            : executor_.get();
+    supervisor_->watchdog_arm();
+    exec->run_cycle();
+    supervisor_->watchdog_disarm();
+  }
+  apply_pending_poison();
+  phase_vc(c);
+  supervisor_->supervise_cycle(c, graph_nodes_.output());
+  monitor_.add(c, level);
   return c;
 }
 

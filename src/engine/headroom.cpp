@@ -1,21 +1,20 @@
 #include "djstar/engine/headroom.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "djstar/support/stats.hpp"
 
 namespace djstar::engine {
+namespace {
 
-HeadroomReport advise_headroom(std::span<const double> apc_times_us,
-                               std::size_t measured_frames,
-                               const HeadroomConfig& cfg) {
+// Shared body: `p99` is supplied by the caller so the monitor overload
+// can reuse DeadlineMonitor's cached value instead of re-deriving the
+// quantile from raw samples.
+HeadroomReport advise_impl(std::span<const double> apc_times_us, double p99,
+                           std::size_t measured_frames,
+                           const HeadroomConfig& cfg) {
   HeadroomReport report;
   if (apc_times_us.empty() || measured_frames == 0) return report;
-
-  std::vector<double> sorted(apc_times_us.begin(), apc_times_us.end());
-  std::sort(sorted.begin(), sorted.end());
-  const double p99 = support::quantile(sorted, 0.99);
 
   for (std::size_t frames : cfg.candidates) {
     HeadroomEntry e;
@@ -31,11 +30,11 @@ HeadroomReport advise_headroom(std::span<const double> apc_times_us,
     const double scale =
         cfg.fixed_fraction + (1.0 - cfg.fixed_fraction) * frame_ratio;
     std::size_t misses = 0;
-    for (double t : sorted) {
+    for (double t : apc_times_us) {
       if (t * scale > e.deadline_us) ++misses;
     }
-    e.predicted_miss_rate =
-        static_cast<double>(misses) / static_cast<double>(sorted.size());
+    e.predicted_miss_rate = static_cast<double>(misses) /
+                            static_cast<double>(apc_times_us.size());
     e.headroom_us = e.deadline_us - p99 * scale;
     report.entries.push_back(e);
   }
@@ -53,10 +52,20 @@ HeadroomReport advise_headroom(std::span<const double> apc_times_us,
   return report;
 }
 
+}  // namespace
+
+HeadroomReport advise_headroom(std::span<const double> apc_times_us,
+                               std::size_t measured_frames,
+                               const HeadroomConfig& cfg) {
+  const double p99 = support::quantile(apc_times_us, 0.99);
+  return advise_impl(apc_times_us, p99, measured_frames, cfg);
+}
+
 HeadroomReport advise_headroom(const DeadlineMonitor& monitor,
                                std::size_t measured_frames,
                                const HeadroomConfig& cfg) {
-  return advise_headroom(monitor.total_samples(), measured_frames, cfg);
+  return advise_impl(monitor.total_samples(), monitor.p99(), measured_frames,
+                     cfg);
 }
 
 }  // namespace djstar::engine

@@ -129,6 +129,11 @@ void EffectNode::run_effect() noexcept {
 }
 
 void EffectNode::process() noexcept {
+  process_bypass();
+  if (enabled_) run_effect();
+}
+
+void EffectNode::process_bypass() noexcept {
   if (players_[0] != nullptr) {
     // Chain head: sum the four sample players into the deck bus.
     out_.clear();
@@ -136,7 +141,6 @@ void EffectNode::process() noexcept {
   } else {
     out_.copy_from(*input_);
   }
-  if (enabled_) run_effect();
 }
 
 // ---- ChannelNode ----
