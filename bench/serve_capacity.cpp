@@ -1,0 +1,309 @@
+// bench/serve_capacity.cpp
+// Serving-capacity harness for the multi-session EngineHost (DESIGN.md
+// §9): how many concurrent sessions one shared worker pool sustains at
+// a 99.9% deadline SLO, and what happens past the admission bound.
+//
+// Phase A — capacity sweep: offer 1..N mixed-QoS sessions with honest
+// declared costs, run a fixed number of fleet ticks per point, and
+// record admitted count, hit rates, and latency quantiles. Throughput
+// scales with the offered load until the density bound caps the active
+// set; past that point extra sessions queue instead of dragging the
+// admitted set below its SLO.
+//
+// Phase B — 2x overload: seeded Poisson arrivals/departures of sessions
+// whose besteffort members understate their cost 4x, so the true load
+// reaches ~2x the admission budget. The overload handler must walk the
+// besteffort ladders and shed, keeping the realtime miss rate at or
+// under the 0.1% SLO.
+//
+// Both phases end with an admission-replay check: a second host fed the
+// identical submission sequence must reproduce the admission log
+// verdict-for-verdict (determinism acceptance criterion).
+//
+// Usage: serve_capacity [--smoke]
+//   --smoke  small sweep, few ticks; exit nonzero on replay mismatch or
+//            a blown overload SLO (CI gate).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+#include "djstar/support/csv.hpp"
+
+namespace ds = djstar::serve;
+
+namespace {
+
+// One synthetic workload family: width-4/depth-3 layered DAG, ~usable
+// fraction of the 2.9 ms packet deadline per session.
+ds::SyntheticSpec family_spec(ds::QoS qos, std::uint64_t seed,
+                              double node_cost_us,
+                              double deadline_us = djstar::audio::kDeadlineUs) {
+  ds::SyntheticSpec s;
+  s.name = std::string(ds::to_string(qos)) + "-" + std::to_string(seed);
+  s.qos = qos;
+  s.deadline_us = deadline_us;
+  s.width = 4;
+  s.depth = 3;
+  s.node_cost_us = node_cost_us;
+  s.jitter = 0.2;
+  s.seed = seed;
+  return s;
+}
+
+// Steady-state miss accounting: counters are monotonic, so diffing two
+// FleetStats snapshots isolates the window after warmup/settling from
+// cold-start noise (first-touch faults, lazy allocation, ladder
+// transients).
+struct SteadyRates {
+  double hit = 1.0;
+  double rt_hit = 1.0;
+  double std_hit = 1.0;
+  double be_hit = 1.0;
+  std::uint64_t rt_cycles = 0;
+};
+
+SteadyRates steady_rates(const ds::FleetStats& before,
+                         const ds::FleetStats& after) {
+  const auto hit = [](std::uint64_t c0, std::uint64_t m0, std::uint64_t c1,
+                      std::uint64_t m1) {
+    const std::uint64_t c = c1 - c0;
+    return c ? 1.0 - static_cast<double>(m1 - m0) / static_cast<double>(c)
+             : 1.0;
+  };
+  SteadyRates r;
+  r.hit = hit(before.cycles, before.misses, after.cycles, after.misses);
+  const auto q = [&](ds::QoS qos) {
+    const auto& a = before.by_qos[ds::rank(qos)];
+    const auto& b = after.by_qos[ds::rank(qos)];
+    return hit(a.cycles, a.misses, b.cycles, b.misses);
+  };
+  r.rt_hit = q(ds::QoS::kRealtime);
+  r.std_hit = q(ds::QoS::kStandard);
+  r.be_hit = q(ds::QoS::kBestEffort);
+  r.rt_cycles = after.by_qos[ds::rank(ds::QoS::kRealtime)].cycles -
+                before.by_qos[ds::rank(ds::QoS::kRealtime)].cycles;
+  return r;
+}
+
+ds::QoS mix_qos(std::uint64_t i) {
+  // 1:1:2 realtime:standard:besteffort mix.
+  switch (i % 4) {
+    case 0: return ds::QoS::kRealtime;
+    case 1: return ds::QoS::kStandard;
+    default: return ds::QoS::kBestEffort;
+  }
+}
+
+struct PhaseRow {
+  std::string phase;
+  unsigned offered = 0;
+  ds::FleetStats fleet;
+  SteadyRates steady;
+  double density = 0;
+  unsigned threads = 1;
+};
+
+void append_row(djstar::support::CsvWriter& csv, const PhaseRow& r) {
+  const auto& f = r.fleet;
+  const auto& rt = f.by_qos[ds::rank(ds::QoS::kRealtime)];
+  const auto& st = f.by_qos[ds::rank(ds::QoS::kStandard)];
+  const auto& be = f.by_qos[ds::rank(ds::QoS::kBestEffort)];
+  csv.cells(r.phase, r.offered, f.admitted, f.queued_peak, f.rejected,
+            r.density, r.threads, f.ticks, f.cycles, r.steady.hit,
+            f.p50_latency_us, f.p99_latency_us, r.steady.rt_hit,
+            rt.p99_latency_us, r.steady.std_hit, r.steady.be_hit, st.shed,
+            be.shed, f.overload_events);
+}
+
+// Replay acceptance: feed an identical submission sequence to a fresh
+// host and compare admission logs record-for-record.
+bool replay_matches(const ds::HostConfig& cfg,
+                    const std::vector<ds::SyntheticSpec>& sequence,
+                    const std::vector<ds::AdmissionRecord>& expected) {
+  ds::EngineHost replay(cfg);
+  for (const auto& s : sequence) {
+    replay.submit(ds::make_synthetic_session(s));
+  }
+  replay.run_fleet_cycle();
+  const auto& log = replay.admission_log();
+  if (log.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].id != expected[i].id ||
+        log[i].verdict != expected[i].verdict ||
+        log[i].projected_density != expected[i].projected_density) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  const unsigned max_offered = smoke ? 4 : 16;
+  const std::size_t warmup_ticks = smoke ? 20 : 100;
+  const std::size_t ticks_per_point = smoke ? 60 : 400;
+  const std::size_t overload_ticks = smoke ? 200 : 3000;
+  const std::size_t overload_settle = smoke ? 60 : 600;
+  constexpr double kNodeCostUs = 40.0;
+
+  djstar::support::CsvWriter csv;
+  csv.cells("phase", "offered", "admitted", "queued_peak", "rejected",
+            "density", "threads", "ticks", "cycles", "hit_rate", "p50_us",
+            "p99_us", "rt_hit_rate", "rt_p99_us", "std_hit_rate",
+            "be_hit_rate", "shed_std", "shed_be", "overload_events");
+
+  ds::HostConfig base;
+  base.threads = 0;  // DJSTAR_THREADS / hardware concurrency
+  bool ok = true;
+
+  // ---- Phase A: capacity sweep -----------------------------------------
+  std::printf("phase A: capacity sweep (1..%u offered sessions, %zu ticks"
+              " each)\n", max_offered, ticks_per_point);
+  std::printf("  %-8s %-9s %-8s %-10s %-10s %-10s\n", "offered", "admitted",
+              "density", "hit", "rt_hit", "p99_us");
+
+  unsigned threads = 1;
+  unsigned slo_sessions = 0;  // most admitted sessions with rt hit >= 99.9%
+  for (unsigned offered = 1; offered <= max_offered; ++offered) {
+    ds::EngineHost host(base);
+    threads = host.threads();
+    std::vector<ds::SyntheticSpec> sequence;
+    for (unsigned i = 0; i < offered; ++i) {
+      sequence.push_back(family_spec(mix_qos(i), 100 + i, kNodeCostUs));
+    }
+    for (const auto& s : sequence) {
+      host.submit(ds::make_synthetic_session(s));
+    }
+    host.run_fleet_cycles(warmup_ticks);
+    const ds::FleetStats baseline = host.stats();
+    host.run_fleet_cycles(ticks_per_point);
+
+    PhaseRow row{"capacity", offered, host.stats(),
+                 steady_rates(baseline, host.stats()),
+                 host.active_density(), threads};
+    append_row(csv, row);
+    // The SLO class is realtime — capacity is judged on its hit rate.
+    if (row.steady.rt_hit >= 0.999) {
+      slo_sessions = std::max(
+          slo_sessions, static_cast<unsigned>(row.fleet.admitted));
+    }
+    std::printf("  %-8u %-9llu %-8.3f %-10.5f %-10.5f %-10.1f\n", offered,
+                static_cast<unsigned long long>(row.fleet.admitted),
+                row.density, row.steady.hit, row.steady.rt_hit,
+                row.fleet.p99_latency_us);
+
+    if (offered == max_offered) {
+      ds::EngineHost probe(base);
+      for (const auto& s : sequence) {
+        probe.submit(ds::make_synthetic_session(s));
+      }
+      probe.run_fleet_cycle();
+      if (!replay_matches(base, sequence, probe.admission_log())) {
+        std::printf("  REPLAY MISMATCH: admission log not deterministic\n");
+        ok = false;
+      } else {
+        std::printf("  admission replay: deterministic (%zu decisions)\n",
+                    probe.admission_log().size());
+      }
+    }
+  }
+  std::printf("  sessions sustained at 99.9%% SLO: %u (%.2f per core on %u"
+              " cores)\n", slo_sessions,
+              static_cast<double>(slo_sessions) / threads, threads);
+
+  // ---- Phase B: 2x overload with Poisson churn -------------------------
+  // Besteffort sessions understate their cost 4x, so the admitted set's
+  // true load reaches ~2x the admission budget; the overload handler
+  // must degrade/shed besteffort while realtime stays on SLO.
+  std::printf("\nphase B: 2x overload, seeded Poisson churn (%zu ticks)\n",
+              overload_ticks);
+  ds::HostConfig over = base;
+  over.overload.trip_ticks = 3;
+  // The fleet tick must match the session deadline: with a tick window
+  // half the deadline, sessions are due only every other tick and the
+  // overload streak resets on each light tick, so trip_ticks is never
+  // reached and shedding never engages.
+  over.default_tick_us = 2.0 * djstar::audio::kDeadlineUs;
+  ds::EngineHost host(over);
+  std::mt19937_64 rng(42);
+  std::exponential_distribution<double> arrival_gap(1.0 / 40.0);  // ticks
+  std::vector<ds::SessionId> live;
+  std::uint64_t next_arrival = 1, spawned = 0;
+  // SLO judgment starts after the settling window: the first arrivals hit
+  // cold allocators and the shed/degrade machinery needs a few trips to
+  // push the lying besteffort sessions down their ladders.
+  ds::FleetStats settled;
+  for (std::uint64_t tick = 0; tick < overload_ticks; ++tick) {
+    if (tick == overload_settle) settled = host.stats();
+    while (tick >= next_arrival) {
+      const ds::QoS qos = mix_qos(spawned);
+      // 2x packet deadline: serving sessions buffer one extra packet, so
+      // a single OS preemption of the spin loops does not register as an
+      // SLO miss the way it would at a raw single-packet deadline.
+      ds::SyntheticSpec spec = family_spec(qos, 500 + spawned, kNodeCostUs,
+                                           2.0 * djstar::audio::kDeadlineUs);
+      ds::SessionSpec s = ds::make_synthetic_session(spec);
+      if (qos == ds::QoS::kBestEffort) {
+        // The lie that creates the overload: declared density is a
+        // quarter of the true cost.
+        s.cost_estimate_us = 0;
+        for (std::size_t n = 0; n < s.node_cost_us.size(); ++n) {
+          s.node_cost_us[n] *= 0.25;
+        }
+      }
+      live.push_back(host.submit(std::move(s)));
+      ++spawned;
+      next_arrival += 1 + static_cast<std::uint64_t>(arrival_gap(rng));
+      // Departures keep the fleet churning at roughly steady state.
+      if (live.size() > 12) {
+        const std::size_t k = rng() % live.size();
+        host.close(live[k]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+    }
+    host.run_fleet_cycle();
+  }
+
+  const ds::FleetStats f = host.stats();
+  const SteadyRates steady = steady_rates(settled, f);
+  PhaseRow row{"overload_2x", static_cast<unsigned>(spawned), f, steady,
+               host.active_density(), host.threads()};
+  append_row(csv, row);
+  const auto& be = f.by_qos[ds::rank(ds::QoS::kBestEffort)];
+  const double rt_miss = steady.rt_cycles ? 1.0 - steady.rt_hit : 0.0;
+  std::printf("  spawned %llu sessions, admitted %llu, shed %llu"
+              " (be %llu), overload events %llu\n",
+              static_cast<unsigned long long>(spawned),
+              static_cast<unsigned long long>(f.admitted),
+              static_cast<unsigned long long>(f.shed),
+              static_cast<unsigned long long>(be.shed),
+              static_cast<unsigned long long>(f.overload_events));
+  std::printf("  realtime miss rate: %.5f%% over %llu steady cycles"
+              " (SLO <= 0.1%%)\n", 100.0 * rt_miss,
+              static_cast<unsigned long long>(steady.rt_cycles));
+  std::printf("  besteffort hit rate: %.5f, degraded+shed as designed\n",
+              steady.be_hit);
+  if (rt_miss > 0.001) {
+    std::printf("  OVERLOAD SLO MISS: realtime miss rate above 0.1%%\n");
+    ok = false;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/serve_capacity.csv";
+  if (csv.save(path)) std::printf("\nwrote %s\n", path.c_str());
+
+  if (smoke) {
+    std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

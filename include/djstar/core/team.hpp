@@ -7,6 +7,16 @@
 // worker 0 so `threads == n` means n computing threads, matching the
 // paper's "thread count" axis in Table I.
 //
+// Two ownership modes:
+//  - owned body: the classic executor shape — one WorkerFn bound at
+//    construction, run with run_cycle().
+//  - external submission: a team constructed without a body accepts a
+//    different WorkerFn per cycle via run_cycle(fn). This is what lets
+//    the serve layer multiplex many independent graphs (one hosted
+//    executor each) over a single shared worker pool: the generation
+//    bump's release/acquire pair publishes the submitted body to the
+//    workers, so no extra synchronization is needed.
+//
 // Schedule fuzzing: each worker passes a chaos::maybe_perturb() site
 // (kCycleStart) between observing the new generation and entering the
 // strategy body, staggering worker start order under the stress suite.
@@ -39,6 +49,11 @@ class Team {
   /// Spawns `threads - 1` OS threads (thread 0 is the caller).
   Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn);
 
+  /// External-submission team: no owned body; every cycle's body is
+  /// passed to run_cycle(fn). Used by serve::EngineHost to share one
+  /// worker pool between many hosted executors.
+  Team(unsigned threads, StartMode mode, SpinPolicy spin);
+
   /// Requests stop and joins all workers.
   ~Team();
 
@@ -46,8 +61,14 @@ class Team {
   Team& operator=(const Team&) = delete;
 
   /// Run one cycle: all workers (incl. the caller) execute the body once;
-  /// returns when every worker is done.
+  /// returns when every worker is done. Requires the owned-body mode.
   void run_cycle();
+
+  /// Run one cycle with an externally submitted body. `fn` must stay
+  /// alive until this call returns (it does: the call blocks until every
+  /// worker has finished). Callable in either mode; the owned body, if
+  /// any, is restored afterwards.
+  void run_cycle(const WorkerFn& fn);
 
   unsigned threads() const noexcept { return threads_; }
 
@@ -64,11 +85,17 @@ class Team {
   void thread_main(unsigned id);
   void wait_for_generation(std::uint64_t seen);
   void run_body(unsigned id) noexcept;
+  void dispatch_cycle();
 
   unsigned threads_;
   StartMode mode_;
   SpinPolicy spin_;
   WorkerFn fn_;
+  // Body for the cycle in flight: &fn_ (owned mode) or the caller's
+  // submitted body. Written by the dispatching thread before the
+  // generation bump (release) and read by workers after their acquire
+  // load of the generation, so no separate atomic is needed.
+  const WorkerFn* active_ = nullptr;
 
   alignas(64) std::atomic<std::uint64_t> generation_{0};
   alignas(64) std::atomic<unsigned> done_{0};

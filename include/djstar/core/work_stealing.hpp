@@ -46,6 +46,13 @@ class WorkStealingExecutor final : public Executor {
   explicit WorkStealingExecutor(CompiledGraph& graph, ExecOptions opts = {},
                                 WorkStealingOptions ws = {});
 
+  /// Hosted variant: run on `shared_team` (external-submission mode)
+  /// instead of owning a worker pool. The serve layer uses this to
+  /// multiplex many session graphs over one team; opts.threads must
+  /// equal shared_team.threads(). The team must outlive the executor.
+  WorkStealingExecutor(CompiledGraph& graph, Team& shared_team,
+                       ExecOptions opts = {}, WorkStealingOptions ws = {});
+
   void run_cycle() override;
   std::string_view name() const noexcept override { return "ws"; }
   unsigned threads() const noexcept override { return opts_.threads; }
@@ -78,7 +85,9 @@ class WorkStealingExecutor final : public Executor {
   std::atomic<std::uint32_t> idlers_{0};
 
   support::Clock::time_point cycle_start_{};
-  std::unique_ptr<Team> team_;
+  std::unique_ptr<Team> team_;   // owned pool (classic mode)
+  Team* shared_ = nullptr;       // borrowed pool (hosted mode)
+  Team::WorkerFn body_;          // submitted per cycle in hosted mode
 };
 
 }  // namespace djstar::core

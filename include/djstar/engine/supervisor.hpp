@@ -140,6 +140,13 @@ class CycleSupervisor {
   /// lets hysteresis climb back toward kSequentialFallback.
   void supervise_safe_mode_cycle(const CycleBreakdown& c);
 
+  /// Externally driven shed: step the ladder down one rung immediately
+  /// (no-op at the floor), resetting the streak counters. Used by the
+  /// serve layer's overload handler, which degrades whole sessions when
+  /// the fleet — not this one graph — is behind. Returns true when a
+  /// transition happened.
+  bool force_degrade();
+
   /// The validated packet for the sound card. Always finite, always
   /// click-free at splices, even when the cycle it came from was not.
   const audio::AudioBuffer& safe_output() const noexcept { return safe_out_; }

@@ -1,0 +1,89 @@
+// djstar/serve/admission.hpp
+// Deadline-aware admission control for the multi-session host.
+//
+// Model: the fleet runs non-preemptive EDF over sessions on one shared
+// worker pool (Kermia, arXiv:1301.4800, motivates testing admission
+// up front: with non-preemptive dispatch an over-admitted set cannot be
+// saved by the scheduler). Each session i contributes density
+// C_i / D_i, where C_i is its estimated per-cycle cost on the pool and
+// D_i its per-buffer deadline. A new session is admitted only while
+//
+//     sum_i C_i / D_i  +  C_new / D_new  <=  utilization_bound
+//
+// (the pool serves sessions serially, so the bound is against ONE unit
+// of serial capacity, discounted for dispatch overhead and estimate
+// error; it is deliberately conservative, cf. non-preemptive blocking).
+//
+// Cost estimates: a session declares per-node costs, and its C is the
+// DAG worst-case response-time bound of He et al. (arXiv:2307.13401),
+// len(G) + (vol(G) - len(G)) / m — critical path plus the remaining
+// volume spread over m workers. Measured DeadlineMonitor p99s can
+// replace the estimate later via EngineHost::recalibrate(); the default
+// keeps admission a pure function of declared inputs, so decisions are
+// deterministic and replayable (core/fault philosophy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/serve/qos.hpp"
+
+namespace djstar::serve {
+
+/// Admission policy knobs.
+struct AdmissionConfig {
+  /// Ceiling on total density sum(C_i / D_i). Below 1.0 by the serial-
+  /// dispatch argument; the default leaves ~1/3 slack for dispatch
+  /// overhead, estimate error, and the non-preemptive blocking term.
+  double utilization_bound = 0.65;
+  /// Hard cap on concurrently active sessions.
+  std::size_t max_active = 256;
+  /// Park over-bound submissions in a FIFO queue instead of rejecting.
+  bool queue_when_full = true;
+  /// Cap on the parked queue; beyond it submissions are rejected.
+  std::size_t max_queued = 256;
+};
+
+/// Outcome of one admission test.
+enum class AdmissionVerdict : std::uint8_t { kAdmitted, kQueued, kRejected };
+
+const char* to_string(AdmissionVerdict v) noexcept;
+
+/// One decision, recorded for replayability checks and post-mortems.
+struct AdmissionRecord {
+  SessionId id = kInvalidSession;
+  AdmissionVerdict verdict = AdmissionVerdict::kRejected;
+  double projected_density = 0;  ///< density sum if this session joined
+  double bound = 0;              ///< the bound it was tested against
+  std::uint64_t tick = 0;        ///< fleet tick of the decision
+};
+
+/// He et al. DAG response-time bound: len(G) + (vol(G) - len(G)) / m,
+/// with vol = sum of node costs and len = the critical path under
+/// `node_cost_us` (indexed by NodeId; nodes beyond its size cost 0).
+double estimate_graph_cost_us(const core::CompiledGraph& g,
+                              std::span<const double> node_cost_us,
+                              unsigned workers);
+
+/// The admission test itself: a pure function of its inputs, so a
+/// replay with the same submission sequence reproduces every verdict.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg = {}) : cfg_(cfg) {}
+
+  const AdmissionConfig& config() const noexcept { return cfg_; }
+
+  /// Decide for a session of density `density = C/D` against the
+  /// currently admitted `active_density` over `active_count` sessions
+  /// and `queued_count` parked sessions. Does not mutate anything; the
+  /// host applies the verdict.
+  AdmissionVerdict decide(double density, double active_density,
+                          std::size_t active_count,
+                          std::size_t queued_count) const noexcept;
+
+ private:
+  AdmissionConfig cfg_;
+};
+
+}  // namespace djstar::serve

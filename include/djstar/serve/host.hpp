@@ -1,0 +1,205 @@
+// djstar/serve/host.hpp
+// The multi-session engine host: one shared worker pool, a two-level
+// scheduler, deadline-aware admission control, and load shedding.
+//
+// Level 1 (cycle-level, this class): a session dispatcher. Each fleet
+// tick covers one minimum-deadline window; sessions whose next packet
+// deadline falls inside the window are dispatched in EDF order (absolute
+// deadline, then QoS rank, then id — fully deterministic). Dispatch is
+// non-preemptive: a running graph is never interrupted, which is exactly
+// why admission is tested up front (Kermia, arXiv:1301.4800).
+//
+// Level 2 (node-level): each dispatched session runs its DAG on the
+// host's shared core::Team through a hosted WorkStealingExecutor
+// (external submission — see core/team.hpp). One graph runs at a time
+// across the full pool; per-session arenas mean sessions never share
+// mutable state.
+//
+// Admission: serve/admission.hpp — density test sum(C/D) against a
+// utilization bound, C from the He-et-al. DAG response-time bound or,
+// after recalibrate(), from measured DeadlineMonitor p99s. Decisions are
+// a pure function of the submission sequence, so replays reproduce the
+// admission log verdict-for-verdict.
+//
+// Overload: when `trip_ticks` consecutive ticks overrun their budget,
+// the handler walks the per-session degradation ladders and sheds —
+// besteffort first (degrade all one rung; once all are at the floor,
+// evict the youngest), then standard, never realtime. After a shed,
+// admissions from the parked queue hold off for a few ticks so the
+// fleet cannot thrash (shed/admit/shed).
+//
+// Threading: submit()/close()/session_state() are thread-safe (control
+// plane); run_fleet_cycle() and the introspection calls below it belong
+// to one data-plane thread. Control commands take effect at the next
+// tick boundary, in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "djstar/core/team.hpp"
+#include "djstar/core/work_stealing.hpp"
+#include "djstar/engine/supervisor.hpp"
+#include "djstar/serve/admission.hpp"
+#include "djstar/serve/qos.hpp"
+#include "djstar/serve/session.hpp"
+#include "djstar/serve/stats.hpp"
+#include "djstar/support/trace.hpp"
+
+namespace djstar::serve {
+
+/// Overload-handling policy.
+struct OverloadConfig {
+  /// Consecutive over-budget ticks before the shed handler fires.
+  unsigned trip_ticks = 3;
+  /// A tick is overloaded when elapsed > factor * budget.
+  double overload_factor = 1.0;
+  /// Allow shedding standard sessions once no besteffort remain.
+  bool shed_standard = true;
+  /// Ticks to pause queued admissions after an overload shed.
+  unsigned admit_holdoff_ticks = 16;
+};
+
+/// Host construction parameters.
+struct HostConfig {
+  /// Worker-pool width; 0 = auto (DJSTAR_THREADS / hardware concurrency,
+  /// hardened via core::resolve_thread_count).
+  unsigned threads = 0;
+  core::StartMode start_mode = core::StartMode::kCondvar;
+  core::SpinPolicy spin{};
+  core::WorkStealingOptions ws{};
+  /// Tick length when no session is active (otherwise the minimum
+  /// active deadline defines the tick).
+  double default_tick_us = audio::kDeadlineUs;
+  AdmissionConfig admission{};
+  OverloadConfig overload{};
+  /// Per-session supervision template (deadline overwritten per
+  /// session; the watchdog is forced off — one thread per session does
+  /// not scale).
+  engine::SupervisorConfig supervisor{};
+  /// Recorded for replay bookkeeping; the host itself is deterministic
+  /// given the submission sequence, the seed tags the run.
+  std::uint64_t seed = 1;
+};
+
+/// Report of one fleet tick.
+struct FleetTick {
+  std::uint64_t index = 0;
+  double budget_us = 0;    ///< window length (min active deadline)
+  double elapsed_us = 0;   ///< wall time spent running due sessions
+  unsigned sessions_run = 0;
+  unsigned misses = 0;     ///< sessions completing past their deadline
+  unsigned shed = 0;       ///< sessions evicted by the overload handler
+  unsigned degraded = 0;   ///< force_degrade() rungs walked this tick
+  bool overloaded = false;
+};
+
+class EngineHost {
+ public:
+  explicit EngineHost(HostConfig cfg = {});
+  ~EngineHost();
+
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  // ---- control plane (thread-safe) ----
+
+  /// Submit a session for admission. Returns its id immediately; the
+  /// verdict lands at the next tick boundary (state kQueued until then).
+  SessionId submit(SessionSpec spec);
+
+  /// Tear down a session (active or queued). Takes effect at the next
+  /// tick boundary; unknown ids are ignored.
+  void close(SessionId id);
+
+  /// Lifecycle state of any session ever submitted.
+  SessionState session_state(SessionId id) const;
+
+  // ---- data plane (one thread) ----
+
+  /// Run one fleet tick: drain control commands, admit, dispatch due
+  /// sessions in EDF order, account deadlines, handle overload.
+  FleetTick run_fleet_cycle();
+  void run_fleet_cycles(std::size_t n);
+
+  unsigned threads() const noexcept { return threads_; }
+  std::size_t active_sessions() const noexcept { return active_.size(); }
+  std::size_t queued_sessions() const noexcept { return queued_.size(); }
+  double active_density() const noexcept { return active_density_; }
+  std::uint64_t ticks() const noexcept { return tick_; }
+
+  /// The admission log, in decision order (replayable).
+  const std::vector<AdmissionRecord>& admission_log() const noexcept {
+    return admission_log_;
+  }
+
+  /// Fleet-wide aggregation (live + departed sessions).
+  FleetStats stats() const;
+
+  /// Pointer to a live session (nullptr when not active). Borrowed;
+  /// valid until the next run_fleet_cycle().
+  const Session* session(SessionId id) const noexcept;
+
+  /// Replace every active session's cost estimate with its measured
+  /// compute p99 (DeadlineMonitor) and re-derive the density sum. Makes
+  /// later admissions measurement-driven — and no longer replayable
+  /// against a cold start; call it deliberately.
+  void recalibrate();
+
+  /// Arm schedule tracing on all current and future sessions.
+  void arm_tracing(std::size_t capacity_per_worker = 4096);
+
+  /// Export the fleet schedule as Chrome trace_event JSON: one pid per
+  /// session, one tid per worker. Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Command {
+    enum class Kind : std::uint8_t { kSubmit, kClose } kind;
+    SessionId id = kInvalidSession;
+    SessionSpec spec;  // kSubmit only
+  };
+
+  void drain_commands();
+  void decide_admission(std::unique_ptr<Session> s);
+  void activate(std::unique_ptr<Session> s);
+  void try_admit_queued();
+  void remove_session(SessionId id, SessionState final_state);
+  void handle_overload(FleetTick& t);
+  void set_state(SessionId id, SessionState s);
+
+  HostConfig cfg_;
+  unsigned threads_;
+  core::Team team_;  // shared pool, external-submission mode
+  AdmissionController admission_;
+
+  // Control plane.
+  mutable std::mutex cmd_mutex_;
+  std::vector<Command> commands_;
+  SessionId next_id_ = 1;
+  mutable std::mutex state_mutex_;
+  std::unordered_map<SessionId, SessionState> states_;
+
+  // Data plane.
+  std::vector<std::unique_ptr<Session>> active_;
+  std::deque<std::unique_ptr<Session>> queued_;
+  double active_density_ = 0;
+  double fleet_now_us_ = 0;
+  std::uint64_t tick_ = 0;
+  unsigned overload_streak_ = 0;
+  unsigned admit_holdoff_ = 0;
+  ServeStats stats_;
+  std::vector<AdmissionRecord> admission_log_;
+  bool tracing_armed_ = false;
+  std::size_t trace_capacity_ = 0;
+  /// Spans of departed sessions, kept so a fleet trace still shows
+  /// sessions that closed or were shed mid-run.
+  std::vector<support::TraceProcess> retired_traces_;
+};
+
+}  // namespace djstar::serve

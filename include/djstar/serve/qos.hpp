@@ -1,0 +1,53 @@
+// djstar/serve/qos.hpp
+// Shared vocabulary of the serving layer: QoS classes, session ids, and
+// session lifecycle states.
+//
+// The serving shape mirrors an inference stack: latency-SLO'd DAG jobs
+// (audio sessions, one packet per deadline) multiplexed over a fixed
+// worker pool. QoS decides two things and two things only:
+//   - dispatch tie-breaks: on equal deadlines, realtime runs first;
+//   - shed order under overload: besteffort is degraded and shed first,
+//     standard second, realtime never (it only walks its own
+//     degradation ladder).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace djstar::serve {
+
+/// Service classes, strictest first.
+enum class QoS : std::uint8_t {
+  kRealtime = 0,  ///< hard 99.9% deadline SLO; never shed
+  kStandard,      ///< best-effort SLO; shed only after all besteffort
+  kBestEffort,    ///< first to degrade and shed under overload
+};
+inline constexpr unsigned kQoSCount = 3;
+
+const char* to_string(QoS q) noexcept;
+std::optional<QoS> parse_qos(std::string_view name) noexcept;
+
+/// Dispatch priority: lower rank runs first on equal deadlines; shedding
+/// walks ranks from the highest down.
+constexpr unsigned rank(QoS q) noexcept { return static_cast<unsigned>(q); }
+
+/// Host-unique session handle. Ids start at 1; 0 is never issued.
+using SessionId = std::uint64_t;
+inline constexpr SessionId kInvalidSession = 0;
+
+/// Session lifecycle. Transitions:
+///   submit -> kQueued -> (admission) kActive | kQueued | kRejected
+///   kActive -> kShed (overload) | kClosed (caller)
+///   kQueued -> kActive (capacity freed) | kClosed (caller)
+enum class SessionState : std::uint8_t {
+  kQueued = 0,  ///< submitted, waiting for the admission test
+  kActive,      ///< admitted; dispatched every tick it is due
+  kShed,        ///< evicted by the overload handler
+  kClosed,      ///< torn down by the caller
+  kRejected,    ///< admission refused (queueing disabled or queue full)
+};
+
+const char* to_string(SessionState s) noexcept;
+
+}  // namespace djstar::serve

@@ -1,0 +1,158 @@
+// djstar/serve/session.hpp
+// One hosted session: an independent task graph with its own compiled
+// form, supervisor, deadline monitor, and latency histogram, executed on
+// the host's shared worker pool.
+//
+// Isolation: everything a session's nodes touch lives in the session —
+// the TaskGraph's captured buffers (kept alive via SessionSpec::arena),
+// the CompiledGraph's cycle state, the hosted executor's deques. The
+// only shared object is the core::Team, which runs one session's graph
+// at a time; the team's generation release/acquire publishes each
+// session's cycle state to the workers, so sessions never share mutable
+// state concurrently.
+//
+// Degradation: the engine's CycleSupervisor ladder is reused per
+// session. The serve actuation is simpler than AudioEngine's —
+//   kFull                everything runs
+//   kBypassFx/kNoStretch spec.sheddable nodes are masked (one shed tier;
+//                        generic graphs have no stretch to disable)
+//   kSequentialFallback  graph runs on the session's sequential executor
+//   kSafeMode            graph skipped; supervisor emits faded repeats
+// The ladder steps down on its own when a session's service latency
+// (dispatch wait + compute) blows its deadline, and the host can force
+// it down when the *fleet* is behind (overload shedding).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/graph.hpp"
+#include "djstar/core/sequential.hpp"
+#include "djstar/core/team.hpp"
+#include "djstar/core/work_stealing.hpp"
+#include "djstar/engine/deadline.hpp"
+#include "djstar/engine/supervisor.hpp"
+#include "djstar/serve/qos.hpp"
+#include "djstar/support/histogram.hpp"
+#include "djstar/support/trace.hpp"
+
+namespace djstar::serve {
+
+/// Everything a client supplies to open a session.
+struct SessionSpec {
+  std::string name = "session";
+  QoS qos = QoS::kStandard;
+  /// Per-buffer deadline. Sessions may run at different rates; a
+  /// session with 2x the fleet tick runs every other tick.
+  double deadline_us = audio::kDeadlineUs;
+  /// The session's task graph (moved into the session).
+  core::TaskGraph graph;
+  /// Nodes maskable under degradation (bypass forms may be registered
+  /// on the compiled graph by the workload builder via node order).
+  std::vector<core::NodeId> sheddable;
+  /// Declared per-node costs (indexed by NodeId) for the admission
+  /// estimate; may be empty when cost_estimate_us is set directly.
+  std::vector<double> node_cost_us;
+  /// Per-cycle cost estimate; 0 = derive from node_cost_us via the
+  /// He-et-al. DAG bound at admission time.
+  double cost_estimate_us = 0;
+  /// Output packet to validate (NaN scan + fallback splicing). May be
+  /// null for graphs without an audio sink; a silent buffer is used.
+  const audio::AudioBuffer* output = nullptr;
+  /// Opaque owner of whatever the WorkFns capture (buffers, DSP state).
+  std::shared_ptr<void> arena;
+};
+
+/// Per-session serve-level counters (service latency = wait + compute,
+/// measured against the session's own deadline).
+struct SessionCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t misses = 0;       ///< completion offset > allowed time
+  std::uint64_t degraded_cycles = 0;  ///< ran below kFull
+};
+
+/// A hosted session. Constructed by EngineHost; all methods are called
+/// from the host's data-plane thread only.
+class Session {
+ public:
+  Session(SessionId id, SessionSpec spec, core::Team& team,
+          const core::ExecOptions& exec, const core::WorkStealingOptions& ws,
+          engine::SupervisorConfig scfg);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  SessionId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return spec_.name; }
+  QoS qos() const noexcept { return spec_.qos; }
+  double deadline_us() const noexcept { return spec_.deadline_us; }
+
+  /// Admission density C/D with the current cost estimate.
+  double density() const noexcept {
+    return cost_estimate_us_ / spec_.deadline_us;
+  }
+  double cost_estimate_us() const noexcept { return cost_estimate_us_; }
+  void set_cost_estimate_us(double c) noexcept { cost_estimate_us_ = c; }
+
+  /// Absolute virtual-time deadline of the next due packet (managed by
+  /// the host's EDF dispatcher).
+  double next_due_us() const noexcept { return next_due_us_; }
+  void set_next_due_us(double t) noexcept { next_due_us_ = t; }
+
+  /// Run one cycle on the shared pool. `wait_us` is the dispatch delay
+  /// already spent in this tick (EDF queueing; it counts against the
+  /// deadline), `allowed_us` the budget from tick start to this
+  /// session's absolute deadline. Returns the completion offset
+  /// (wait + compute) in microseconds.
+  double run_cycle(double wait_us, double allowed_us);
+
+  const engine::DeadlineMonitor& monitor() const noexcept { return monitor_; }
+  engine::CycleSupervisor& supervisor() noexcept { return supervisor_; }
+  const engine::CycleSupervisor& supervisor() const noexcept {
+    return supervisor_;
+  }
+  const SessionCounters& counters() const noexcept { return counters_; }
+  const support::Histogram& latency_histogram() const noexcept {
+    return latency_;
+  }
+  const core::Executor& hosted_executor() const noexcept { return *hosted_; }
+  std::size_t node_count() const noexcept { return compiled_->node_count(); }
+
+  /// p99 of measured per-cycle compute cost (graph phase only), for
+  /// EngineHost::recalibrate(). Falls back to the estimate while fewer
+  /// than 32 cycles have run.
+  double observed_cost_p99_us() const;
+
+  /// Schedule tracing (host-driven): spans land in recorder() with one
+  /// lane per worker; the host exports one pid per session.
+  void arm_tracing(std::size_t capacity_per_worker);
+  const support::TraceRecorder& recorder() const noexcept { return trace_; }
+
+ private:
+  void apply_level(engine::DegradationLevel level);
+
+  SessionId id_;
+  SessionSpec spec_;
+  double cost_estimate_us_ = 0;
+  double next_due_us_ = 0;
+
+  std::unique_ptr<core::CompiledGraph> compiled_;
+  std::unique_ptr<core::WorkStealingExecutor> hosted_;
+  std::unique_ptr<core::SequentialExecutor> fallback_;
+  engine::DeadlineMonitor monitor_;
+  engine::CycleSupervisor supervisor_;
+  engine::DegradationLevel applied_level_ = engine::DegradationLevel::kFull;
+  support::Histogram latency_;
+  SessionCounters counters_;
+  support::TraceRecorder trace_;
+  audio::AudioBuffer silent_{2, audio::kBlockSize};
+};
+
+/// Bins for per-session / fleet latency histograms: [0, 4x deadline).
+inline constexpr std::size_t kLatencyBins = 128;
+
+}  // namespace djstar::serve

@@ -1,0 +1,38 @@
+// djstar/serve/synthetic.hpp
+// Synthetic session workloads for serve tests, the capacity benchmark,
+// and the broadcast example.
+//
+// Shape: a layered DAG — one source, `width` parallel chains of `depth`
+// nodes each, one sink mixing the chains into the session's output
+// buffer. Every interior node runs a calibrated spin for ~node_cost_us
+// (deterministically jittered per node from `seed`), so the graph's cost
+// is known by construction and the He-et-al. admission estimate can be
+// checked against reality. The trailing `sheddable_fraction` of each
+// chain is marked sheddable, giving the degradation ladder something
+// real to cut.
+#pragma once
+
+#include <cstdint>
+
+#include "djstar/serve/session.hpp"
+
+namespace djstar::serve {
+
+/// Parameters of one synthetic session.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  QoS qos = QoS::kStandard;
+  double deadline_us = audio::kDeadlineUs;
+  unsigned width = 4;          ///< parallel chains between source and sink
+  unsigned depth = 3;          ///< nodes per chain
+  double node_cost_us = 15.0;  ///< mean spin per interior node
+  double jitter = 0.25;        ///< per-node cost spread, +/- fraction
+  double sheddable_fraction = 0.4;  ///< tail of each chain marked sheddable
+  std::uint64_t seed = 1;      ///< drives the per-node jitter only
+};
+
+/// Build a ready-to-submit SessionSpec: graph, per-node declared costs,
+/// sheddable set, output buffer, and the arena owning all of it.
+SessionSpec make_synthetic_session(const SyntheticSpec& spec);
+
+}  // namespace djstar::serve

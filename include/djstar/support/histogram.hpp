@@ -43,6 +43,21 @@ class Histogram {
   /// Fraction of all added samples (including under/overflow) that are < x.
   double cdf(double x) const noexcept;
 
+  /// Merge `other` into this histogram (fleet-wide aggregation in
+  /// serve::ServeStats). When the bin layouts match exactly (same lo,
+  /// hi, and bin count) counts merge bin-for-bin losslessly. Otherwise
+  /// each of `other`'s occupied bins is re-added at its midpoint and
+  /// classified against *this* range — a documented lossy re-binning
+  /// whose error is bounded by half of `other`'s bin width. Under- and
+  /// overflow counts always carry over as under-/overflow.
+  void merge(const Histogram& other) noexcept;
+
+  /// Smallest x with cdf(x) >= q (q clamped to [0, 1]), linearly
+  /// interpolated inside the containing bin. Returns lo() when the
+  /// quantile falls in the underflow mass, hi() when it falls in the
+  /// overflow mass, and lo() on an empty histogram.
+  double quantile(double q) const noexcept;
+
   std::span<const std::size_t> counts() const noexcept { return counts_; }
 
  private:

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace djstar::support {
@@ -62,6 +64,12 @@ class TraceRecorder {
     return static_cast<std::uint32_t>(lanes_.size());
   }
 
+  /// Write this recorder's spans as Chrome trace_event JSON, loadable in
+  /// chrome://tracing and Perfetto: one complete ("X") event per span
+  /// under process `pid` (tid = worker). Returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path, std::uint32_t pid = 0,
+                          std::string_view process_name = "djstar") const;
+
  private:
   struct Lane {
     std::vector<TraceSpan> spans;  // size() == used entries
@@ -70,5 +78,21 @@ class TraceRecorder {
   std::vector<Lane> lanes_;
   bool armed_ = false;
 };
+
+/// One process (pid) worth of spans for a combined multi-session trace.
+/// The serve layer emits one TraceProcess per hosted session so a fleet
+/// schedule renders as parallel process tracks in Perfetto.
+struct TraceProcess {
+  std::string name;             ///< process_name metadata shown in the UI
+  std::uint32_t pid = 0;        ///< must be unique within one trace file
+  std::vector<TraceSpan> spans; ///< e.g. TraceRecorder::collect()
+};
+
+/// Write Chrome trace_event JSON ({"traceEvents": [...]}) covering all
+/// `processes`: per process a process_name metadata record plus one
+/// complete ("X") event per span, with tid = the span's worker thread
+/// and ts/dur in microseconds. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceProcess> processes);
 
 }  // namespace djstar::support

@@ -10,6 +10,16 @@ Team::Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn)
     : threads_(threads), mode_(mode), spin_(spin), fn_(std::move(fn)) {
   DJSTAR_ASSERT_MSG(threads >= 1, "team needs at least one thread");
   DJSTAR_ASSERT_MSG(static_cast<bool>(fn_), "team needs a worker body");
+  active_ = &fn_;
+  workers_.reserve(threads - 1);
+  for (unsigned id = 1; id < threads; ++id) {
+    workers_.emplace_back([this, id] { thread_main(id); });
+  }
+}
+
+Team::Team(unsigned threads, StartMode mode, SpinPolicy spin)
+    : threads_(threads), mode_(mode), spin_(spin) {
+  DJSTAR_ASSERT_MSG(threads >= 1, "team needs at least one thread");
   workers_.reserve(threads - 1);
   for (unsigned id = 1; id < threads; ++id) {
     workers_.emplace_back([this, id] { thread_main(id); });
@@ -49,7 +59,7 @@ void Team::run_body(unsigned id) noexcept {
   // contained by CompiledGraph::execute), but if one ever does, counting
   // it beats std::terminate taking the whole process down.
   try {
-    fn_(id);
+    (*active_)(id);
   } catch (...) {
     body_errors_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -72,6 +82,22 @@ void Team::thread_main(unsigned id) {
 }
 
 void Team::run_cycle() {
+  DJSTAR_ASSERT_MSG(static_cast<bool>(fn_),
+                    "run_cycle() without a body: use run_cycle(fn)");
+  active_ = &fn_;
+  dispatch_cycle();
+}
+
+void Team::run_cycle(const WorkerFn& fn) {
+  DJSTAR_ASSERT_MSG(static_cast<bool>(fn), "submitted body must be callable");
+  active_ = &fn;
+  dispatch_cycle();
+  // Restore the owned body (if any) so a later run_cycle() still works
+  // and the dangling submitted pointer can never be observed.
+  active_ = fn_ ? &fn_ : nullptr;
+}
+
+void Team::dispatch_cycle() {
   done_.store(0, std::memory_order_relaxed);
   if (mode_ == StartMode::kCondvar) {
     {

@@ -4,6 +4,7 @@
 
 #include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
+#include "djstar/support/assert.hpp"
 
 namespace djstar::core {
 
@@ -18,6 +19,19 @@ WorkStealingExecutor::WorkStealingExecutor(CompiledGraph& graph,
   team_ = std::make_unique<Team>(
       opts_.threads, StartMode::kCondvar, opts_.spin,
       [this](unsigned w) { worker_body(w); });
+}
+
+WorkStealingExecutor::WorkStealingExecutor(CompiledGraph& graph,
+                                           Team& shared_team, ExecOptions opts,
+                                           WorkStealingOptions ws)
+    : graph_(graph), opts_(opts), ws_(ws), per_worker_(opts.threads),
+      shared_(&shared_team), body_([this](unsigned w) { worker_body(w); }) {
+  DJSTAR_ASSERT_MSG(opts_.threads == shared_team.threads(),
+                    "hosted executor must match the shared team's width");
+  for (auto& pw : per_worker_) {
+    pw.deque = std::make_unique<ChaseLevDeque>(graph.node_count() + 1);
+    pw.inbox.reserve(graph.node_count());
+  }
 }
 
 void WorkStealingExecutor::seed_inboxes() {
@@ -45,7 +59,11 @@ void WorkStealingExecutor::run_cycle() {
   cycle_start_ = support::now();
   // Team::run_cycle()'s generation bump publishes the inboxes
   // (release store observed by the workers' acquire load).
-  team_->run_cycle();
+  if (shared_ != nullptr) {
+    shared_->run_cycle(body_);
+  } else {
+    team_->run_cycle();
+  }
 }
 
 void WorkStealingExecutor::on_node_ready(unsigned w, NodeId n) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "djstar/core/thread_count.hpp"
 #include "djstar/support/assert.hpp"
 #include "djstar/support/time.hpp"
 
@@ -34,6 +35,8 @@ AudioEngine::AudioEngine(EngineConfig cfg)
       decks_(make_decks(cfg)),
       graph_nodes_(deck_inputs(decks_)),
       monitor_(cfg.deadline_us, cfg.keep_samples) {
+  // Hardened: DJSTAR_THREADS overrides, 0 = auto, garbage throws.
+  cfg_.threads = core::resolve_thread_count(cfg_.threads);
   compiled_ = std::make_unique<core::CompiledGraph>(graph_nodes_.graph());
 
   // Register the bypass forms once; masking toggles them per level.
@@ -63,7 +66,7 @@ void AudioEngine::rebuild_executor() {
 
 void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
   cfg_.strategy = s;
-  cfg_.threads = threads;
+  cfg_.threads = core::resolve_thread_count(threads);
   rebuild_executor();
   // The compiled graph (including any degradation masks) and the
   // monitor are untouched; tell the supervisor so it can keep its

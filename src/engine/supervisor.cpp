@@ -181,6 +181,14 @@ void CycleSupervisor::supervise_safe_mode_cycle(const CycleBreakdown& c) {
   note_clean(c.total_us());
 }
 
+bool CycleSupervisor::force_degrade() {
+  if (level_ == DegradationLevel::kSafeMode) return false;
+  overrun_streak_ = 0;
+  fault_streak_ = 0;
+  step_down(CycleOutcome::kOverrun);
+  return true;
+}
+
 void CycleSupervisor::note_clean(double total_us) {
   if (level_ == DegradationLevel::kFull) {
     clean_streak_ = 0;

@@ -1,0 +1,54 @@
+#include "djstar/serve/admission.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace djstar::serve {
+
+const char* to_string(AdmissionVerdict v) noexcept {
+  switch (v) {
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kQueued: return "queued";
+    case AdmissionVerdict::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+double estimate_graph_cost_us(const core::CompiledGraph& g,
+                              std::span<const double> node_cost_us,
+                              unsigned workers) {
+  if (workers == 0) workers = 1;
+  const std::size_t n = g.node_count();
+  auto cost = [&](core::NodeId id) {
+    return id < node_cost_us.size() ? node_cost_us[id] : 0.0;
+  };
+  double volume = 0;
+  // Longest path ending at each node; order() is dependency-sorted, so
+  // one forward sweep suffices.
+  std::vector<double> finish(n, 0.0);
+  double critical = 0;
+  for (core::NodeId id : g.order()) {
+    const double f = finish[id] + cost(id);
+    volume += cost(id);
+    critical = std::max(critical, f);
+    for (core::NodeId s : g.successors(id)) {
+      finish[s] = std::max(finish[s], f);
+    }
+  }
+  return critical + (volume - critical) / static_cast<double>(workers);
+}
+
+AdmissionVerdict AdmissionController::decide(
+    double density, double active_density, std::size_t active_count,
+    std::size_t queued_count) const noexcept {
+  const bool over_count = active_count >= cfg_.max_active;
+  const bool over_bound =
+      active_density + density > cfg_.utilization_bound;
+  if (!over_count && !over_bound) return AdmissionVerdict::kAdmitted;
+  if (cfg_.queue_when_full && queued_count < cfg_.max_queued) {
+    return AdmissionVerdict::kQueued;
+  }
+  return AdmissionVerdict::kRejected;
+}
+
+}  // namespace djstar::serve

@@ -1,0 +1,307 @@
+#include "djstar/serve/host.hpp"
+
+#include "djstar/core/thread_count.hpp"
+#include "djstar/support/time.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace djstar::serve {
+
+EngineHost::EngineHost(HostConfig cfg)
+    : cfg_(cfg),
+      threads_(core::resolve_thread_count(cfg.threads)),
+      team_(threads_, cfg.start_mode, cfg.spin),
+      admission_(cfg.admission) {
+  cfg_.threads = threads_;
+}
+
+EngineHost::~EngineHost() = default;
+
+// ---- control plane ------------------------------------------------------
+
+SessionId EngineHost::submit(SessionSpec spec) {
+  std::lock_guard lk(cmd_mutex_);
+  const SessionId id = next_id_++;
+  {
+    std::lock_guard sl(state_mutex_);
+    states_[id] = SessionState::kQueued;
+  }
+  Command c;
+  c.kind = Command::Kind::kSubmit;
+  c.id = id;
+  c.spec = std::move(spec);
+  commands_.push_back(std::move(c));
+  return id;
+}
+
+void EngineHost::close(SessionId id) {
+  std::lock_guard lk(cmd_mutex_);
+  Command c;
+  c.kind = Command::Kind::kClose;
+  c.id = id;
+  commands_.push_back(std::move(c));
+}
+
+SessionState EngineHost::session_state(SessionId id) const {
+  std::lock_guard sl(state_mutex_);
+  const auto it = states_.find(id);
+  // Unknown ids (never submitted here) read as long gone.
+  return it != states_.end() ? it->second : SessionState::kClosed;
+}
+
+void EngineHost::set_state(SessionId id, SessionState s) {
+  std::lock_guard sl(state_mutex_);
+  states_[id] = s;
+}
+
+// ---- admission ----------------------------------------------------------
+
+void EngineHost::drain_commands() {
+  std::vector<Command> cmds;
+  {
+    std::lock_guard lk(cmd_mutex_);
+    cmds.swap(commands_);
+  }
+  for (Command& c : cmds) {
+    if (c.kind == Command::Kind::kClose) {
+      remove_session(c.id, SessionState::kClosed);
+      continue;
+    }
+    stats_.note_submitted();
+    core::ExecOptions exec;
+    exec.spin = cfg_.spin;
+    decide_admission(std::make_unique<Session>(c.id, std::move(c.spec), team_,
+                                               exec, cfg_.ws,
+                                               cfg_.supervisor));
+  }
+}
+
+void EngineHost::decide_admission(std::unique_ptr<Session> s) {
+  const double density = s->density();
+  const AdmissionVerdict v = admission_.decide(
+      density, active_density_, active_.size(), queued_.size());
+  admission_log_.push_back({s->id(), v, active_density_ + density,
+                            admission_.config().utilization_bound, tick_});
+  switch (v) {
+    case AdmissionVerdict::kAdmitted:
+      activate(std::move(s));
+      break;
+    case AdmissionVerdict::kQueued:
+      queued_.push_back(std::move(s));
+      stats_.note_queued_depth(queued_.size());
+      break;
+    case AdmissionVerdict::kRejected:
+      set_state(s->id(), SessionState::kRejected);
+      stats_.note_rejected();
+      break;
+  }
+}
+
+void EngineHost::activate(std::unique_ptr<Session> s) {
+  active_density_ += s->density();
+  s->set_next_due_us(fleet_now_us_ + s->deadline_us());
+  if (tracing_armed_) s->arm_tracing(trace_capacity_);
+  set_state(s->id(), SessionState::kActive);
+  stats_.note_admitted(s->qos());
+  active_.push_back(std::move(s));
+}
+
+void EngineHost::try_admit_queued() {
+  // FIFO: a blocked head blocks everything behind it — parked sessions
+  // are admitted in submission order, never around each other.
+  while (!queued_.empty()) {
+    Session& head = *queued_.front();
+    const AdmissionVerdict v = admission_.decide(
+        head.density(), active_density_, active_.size(), queued_.size() - 1);
+    if (v != AdmissionVerdict::kAdmitted) break;
+    std::unique_ptr<Session> s = std::move(queued_.front());
+    queued_.pop_front();
+    admission_log_.push_back({s->id(), v, active_density_ + s->density(),
+                              admission_.config().utilization_bound, tick_});
+    activate(std::move(s));
+  }
+}
+
+void EngineHost::remove_session(SessionId id, SessionState final_state) {
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if ((*it)->id() != id) continue;
+    active_density_ = std::max(0.0, active_density_ - (*it)->density());
+    stats_.retire(**it, final_state == SessionState::kShed);
+    if (tracing_armed_ && (*it)->recorder().armed()) {
+      retired_traces_.push_back({(*it)->name(),
+                                 static_cast<std::uint32_t>((*it)->id()),
+                                 (*it)->recorder().collect()});
+    }
+    set_state(id, final_state);
+    active_.erase(it);
+    return;
+  }
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if ((*it)->id() != id) continue;
+    set_state(id, final_state);
+    queued_.erase(it);
+    return;
+  }
+  // Unknown or already departed: close() documents this as a no-op.
+}
+
+// ---- data plane ---------------------------------------------------------
+
+FleetTick EngineHost::run_fleet_cycle() {
+  FleetTick t;
+  t.index = tick_;
+
+  drain_commands();
+  if (admit_holdoff_ > 0) {
+    --admit_holdoff_;
+  } else {
+    try_admit_queued();
+  }
+
+  // The tick window is the tightest active deadline: every session's due
+  // packet gets exactly one dispatch opportunity per window.
+  double budget = cfg_.default_tick_us;
+  for (const auto& s : active_) budget = std::min(budget, s->deadline_us());
+  t.budget_us = budget;
+  const double tick_end = fleet_now_us_ + budget;
+
+  // Level-1 schedule: due sessions in EDF order. Ties break by QoS rank
+  // (realtime first), then id — the order is fully deterministic.
+  // Epsilon absorbs float drift between the fleet clock (accumulated in
+  // steps of `budget`) and each session's next_due (steps of its own
+  // deadline) — a packet due exactly at the window edge must not slip a
+  // whole tick over a rounding ulp.
+  constexpr double kDueEpsUs = 1e-6;
+  std::vector<Session*> due;
+  due.reserve(active_.size());
+  for (const auto& s : active_) {
+    if (s->next_due_us() <= tick_end + kDueEpsUs) due.push_back(s.get());
+  }
+  std::sort(due.begin(), due.end(), [](const Session* a, const Session* b) {
+    if (a->next_due_us() != b->next_due_us()) {
+      return a->next_due_us() < b->next_due_us();
+    }
+    if (rank(a->qos()) != rank(b->qos())) {
+      return rank(a->qos()) < rank(b->qos());
+    }
+    return a->id() < b->id();
+  });
+
+  const auto t0 = support::now();
+  for (Session* s : due) {
+    const double wait_us = support::since_us(t0);
+    const double allowed_us = s->next_due_us() - fleet_now_us_;
+    const double completion = s->run_cycle(wait_us, allowed_us);
+    if (completion > allowed_us) ++t.misses;
+    // Advance to the next packet deadline. A session that lagged a whole
+    // window behind drops the lost packets instead of carrying a stale
+    // deadline — under EDF an ever-older deadline would sort ahead of
+    // every on-time session (realtime included) for the rest of the run.
+    double next = s->next_due_us() + s->deadline_us();
+    if (next <= fleet_now_us_ + kDueEpsUs) {
+      next = tick_end + s->deadline_us();
+    }
+    s->set_next_due_us(next);
+    ++t.sessions_run;
+  }
+  t.elapsed_us = support::since_us(t0);
+
+  t.overloaded = !due.empty() &&
+                 t.elapsed_us > cfg_.overload.overload_factor * budget;
+  if (t.overloaded) {
+    if (++overload_streak_ >= cfg_.overload.trip_ticks) {
+      handle_overload(t);
+      overload_streak_ = 0;
+    }
+  } else {
+    overload_streak_ = 0;
+  }
+
+  fleet_now_us_ = tick_end;
+  ++tick_;
+  stats_.note_tick();
+  return t;
+}
+
+void EngineHost::run_fleet_cycles(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_fleet_cycle();
+}
+
+void EngineHost::handle_overload(FleetTick& t) {
+  stats_.note_overload();
+  // Shed order: walk the lowest class's degradation ladders first; only
+  // once the whole class sits at the floor, evict its youngest session.
+  // Standard follows besteffort; realtime is never shed — it only ever
+  // walks its own ladder, driven by its own supervisor.
+  const auto degrade_class = [&](QoS q) {
+    bool any = false;
+    for (const auto& s : active_) {
+      if (s->qos() == q && s->supervisor().force_degrade()) {
+        any = true;
+        ++t.degraded;
+      }
+    }
+    return any;
+  };
+  const auto shed_youngest = [&](QoS q) {
+    SessionId victim = kInvalidSession;
+    for (const auto& s : active_) {
+      if (s->qos() == q) victim = std::max(victim, s->id());
+    }
+    if (victim == kInvalidSession) return false;
+    remove_session(victim, SessionState::kShed);
+    ++t.shed;
+    // Hold queued admissions back for a few ticks so freed capacity is
+    // not immediately refilled (shed/admit/shed thrash).
+    admit_holdoff_ = cfg_.overload.admit_holdoff_ticks;
+    return true;
+  };
+  if (degrade_class(QoS::kBestEffort)) return;
+  if (shed_youngest(QoS::kBestEffort)) return;
+  if (!cfg_.overload.shed_standard) return;
+  if (degrade_class(QoS::kStandard)) return;
+  shed_youngest(QoS::kStandard);
+}
+
+// ---- introspection ------------------------------------------------------
+
+FleetStats EngineHost::stats() const {
+  std::vector<const Session*> live;
+  live.reserve(active_.size());
+  for (const auto& s : active_) live.push_back(s.get());
+  return stats_.aggregate(live);
+}
+
+const Session* EngineHost::session(SessionId id) const noexcept {
+  for (const auto& s : active_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+void EngineHost::recalibrate() {
+  double density = 0;
+  for (const auto& s : active_) {
+    s->set_cost_estimate_us(s->observed_cost_p99_us());
+    density += s->density();
+  }
+  active_density_ = density;
+}
+
+void EngineHost::arm_tracing(std::size_t capacity_per_worker) {
+  tracing_armed_ = true;
+  trace_capacity_ = capacity_per_worker;
+  for (const auto& s : active_) s->arm_tracing(capacity_per_worker);
+}
+
+bool EngineHost::write_chrome_trace(const std::string& path) const {
+  std::vector<support::TraceProcess> procs = retired_traces_;
+  for (const auto& s : active_) {
+    procs.push_back({s->name(), static_cast<std::uint32_t>(s->id()),
+                     s->recorder().collect()});
+  }
+  return support::write_chrome_trace(path, procs);
+}
+
+}  // namespace djstar::serve

@@ -1,0 +1,32 @@
+#include "djstar/serve/qos.hpp"
+
+namespace djstar::serve {
+
+const char* to_string(QoS q) noexcept {
+  switch (q) {
+    case QoS::kRealtime: return "realtime";
+    case QoS::kStandard: return "standard";
+    case QoS::kBestEffort: return "besteffort";
+  }
+  return "?";
+}
+
+std::optional<QoS> parse_qos(std::string_view name) noexcept {
+  if (name == "realtime" || name == "rt") return QoS::kRealtime;
+  if (name == "standard" || name == "std") return QoS::kStandard;
+  if (name == "besteffort" || name == "be") return QoS::kBestEffort;
+  return std::nullopt;
+}
+
+const char* to_string(SessionState s) noexcept {
+  switch (s) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kActive: return "active";
+    case SessionState::kShed: return "shed";
+    case SessionState::kClosed: return "closed";
+    case SessionState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace djstar::serve

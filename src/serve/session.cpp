@@ -1,0 +1,113 @@
+#include "djstar/serve/session.hpp"
+
+#include "djstar/serve/admission.hpp"
+#include "djstar/support/assert.hpp"
+#include "djstar/support/time.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace djstar::serve {
+namespace {
+
+engine::SupervisorConfig session_supervisor_cfg(engine::SupervisorConfig scfg,
+                                                double deadline_us) {
+  scfg.deadline_us = deadline_us;
+  // One watchdog thread per session does not scale to a fleet; a stuck
+  // session is the host's problem (future host-level watchdog).
+  scfg.use_watchdog = false;
+  return scfg;
+}
+
+}  // namespace
+
+Session::Session(SessionId id, SessionSpec spec, core::Team& team,
+                 const core::ExecOptions& exec,
+                 const core::WorkStealingOptions& ws,
+                 engine::SupervisorConfig scfg)
+    : id_(id),
+      spec_(std::move(spec)),
+      compiled_(std::make_unique<core::CompiledGraph>(spec_.graph)),
+      monitor_(spec_.deadline_us, /*keep_samples=*/true, /*reserve=*/4096),
+      supervisor_(*compiled_,
+                  session_supervisor_cfg(scfg, spec_.deadline_us)),
+      latency_(0.0, 4.0 * spec_.deadline_us, kLatencyBins) {
+  core::ExecOptions opts = exec;
+  opts.threads = team.threads();
+  opts.trace = &trace_;
+  hosted_ = std::make_unique<core::WorkStealingExecutor>(*compiled_, team,
+                                                         opts, ws);
+  core::ExecOptions seq_opts = exec;
+  seq_opts.threads = 1;
+  seq_opts.trace = nullptr;
+  fallback_ = std::make_unique<core::SequentialExecutor>(*compiled_, seq_opts);
+
+  cost_estimate_us_ =
+      spec_.cost_estimate_us > 0
+          ? spec_.cost_estimate_us
+          : estimate_graph_cost_us(*compiled_, spec_.node_cost_us,
+                                   team.threads());
+  DJSTAR_ASSERT_MSG(spec_.deadline_us > 0, "session deadline must be > 0");
+}
+
+void Session::apply_level(engine::DegradationLevel level) {
+  if (level == applied_level_) return;
+  const bool shed = level >= engine::DegradationLevel::kBypassFx;
+  for (core::NodeId n : spec_.sheddable) {
+    compiled_->set_node_masked(n, shed);
+  }
+  applied_level_ = level;
+}
+
+double Session::run_cycle(double wait_us, double allowed_us) {
+  using engine::DegradationLevel;
+  // Actuate the ladder level decided at the end of the previous cycle —
+  // between cycles, where the compiled graph permits mutation.
+  const DegradationLevel level = supervisor_.level();
+  apply_level(level);
+  const auto level_idx = static_cast<unsigned>(level);
+
+  engine::CycleBreakdown c;
+  // EDF dispatch delay counts against the session's deadline: a packet
+  // served late is late no matter how fast its graph ran. The TP slot
+  // is reused for it (the serve layer has no timecode phase).
+  c.tp_us = wait_us;
+
+  if (level == DegradationLevel::kSafeMode) {
+    supervisor_.supervise_safe_mode_cycle(c);
+  } else {
+    const auto t0 = support::now();
+    core::Executor* exec = level >= DegradationLevel::kSequentialFallback
+                               ? static_cast<core::Executor*>(fallback_.get())
+                               : static_cast<core::Executor*>(hosted_.get());
+    exec->run_cycle();
+    c.graph_us = support::since_us(t0);
+    supervisor_.supervise_cycle(c,
+                                spec_.output != nullptr ? *spec_.output
+                                                        : silent_);
+  }
+  monitor_.add(c, level_idx);
+
+  const double completion = c.total_us();
+  ++counters_.cycles;
+  if (completion > allowed_us) ++counters_.misses;
+  if (level != DegradationLevel::kFull) ++counters_.degraded_cycles;
+  latency_.add(completion);
+  return completion;
+}
+
+double Session::observed_cost_p99_us() const {
+  const auto& xs = monitor_.graph_samples();
+  if (xs.size() < 32) return cost_estimate_us_;
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      0.99 * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void Session::arm_tracing(std::size_t capacity_per_worker) {
+  trace_.arm(hosted_->threads(), capacity_per_worker);
+}
+
+}  // namespace djstar::serve

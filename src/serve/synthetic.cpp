@@ -1,0 +1,124 @@
+#include "djstar/serve/synthetic.hpp"
+
+#include "djstar/support/time.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace djstar::serve {
+namespace {
+
+// splitmix64: cheap, seedable, and stable across platforms — the jitter
+// pattern of a spec is reproducible from its seed alone.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) noexcept {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+// Calibrated node work: touch the lane, then spin out the remaining
+// budget. Wall-clock based so the declared cost matches the admission
+// estimate regardless of optimization level.
+void lane_work(std::vector<float>& lane, float gain, double cost_us) {
+  const auto t0 = support::now();
+  do {
+    for (float& x : lane) x = x * 0.999f + gain * 0.001f;
+  } while (support::since_us(t0) < cost_us);
+}
+
+/// Everything the WorkFns capture; owned by SessionSpec::arena.
+struct SyntheticArena {
+  std::vector<std::vector<float>> lanes;  // one per chain
+  audio::AudioBuffer output{2, audio::kBlockSize};
+};
+
+}  // namespace
+
+SessionSpec make_synthetic_session(const SyntheticSpec& spec) {
+  const unsigned width = spec.width > 0 ? spec.width : 1;
+  const unsigned depth = spec.depth > 0 ? spec.depth : 1;
+
+  auto arena = std::make_shared<SyntheticArena>();
+  arena->lanes.assign(width,
+                      std::vector<float>(audio::kBlockSize, 0.25f));
+
+  SessionSpec out;
+  out.name = spec.name;
+  out.qos = spec.qos;
+  out.deadline_us = spec.deadline_us;
+  out.output = &arena->output;
+
+  std::uint64_t rng = spec.seed != 0 ? spec.seed : 1;
+  core::TaskGraph& g = out.graph;
+  std::vector<double>& costs = out.node_cost_us;
+
+  SyntheticArena* a = arena.get();
+  const core::NodeId source = g.add_node(
+      "source",
+      [a] {
+        for (auto& lane : a->lanes) {
+          for (std::size_t i = 0; i < lane.size(); ++i) {
+            lane[i] = 0.5f * std::sin(0.05f * static_cast<float>(i));
+          }
+        }
+      },
+      "Source");
+  costs.push_back(1.0);
+
+  // Nodes in the trailing sheddable_fraction of each chain may be masked
+  // under degradation; the sink still reads the lane (upstream stages
+  // keep it finite), so masking only cheapens the signal path.
+  const unsigned shed_from = depth - std::min(
+      depth, static_cast<unsigned>(
+                 std::ceil(spec.sheddable_fraction * static_cast<double>(depth))));
+
+  std::vector<core::NodeId> tails;
+  tails.reserve(width);
+  for (unsigned c = 0; c < width; ++c) {
+    core::NodeId prev = source;
+    for (unsigned d = 0; d < depth; ++d) {
+      const double cost =
+          spec.node_cost_us *
+          (1.0 + spec.jitter * (2.0 * uniform01(rng) - 1.0));
+      const float gain = 0.5f + 0.5f / static_cast<float>(d + 1);
+      std::vector<float>* lane = &a->lanes[c];
+      const core::NodeId n = g.add_node(
+          "chain" + std::to_string(c) + "_n" + std::to_string(d),
+          [lane, gain, cost] { lane_work(*lane, gain, cost); },
+          "Chain" + std::to_string(c));
+      costs.push_back(cost);
+      g.add_edge(prev, n);
+      if (d >= shed_from) out.sheddable.push_back(n);
+      prev = n;
+    }
+    tails.push_back(prev);
+  }
+
+  const float mix = 1.0f / static_cast<float>(width);
+  const core::NodeId sink = g.add_node(
+      "sink",
+      [a, mix] {
+        for (std::size_t ch = 0; ch < a->output.channels(); ++ch) {
+          auto dst = a->output.channel(ch);
+          for (std::size_t i = 0; i < dst.size(); ++i) {
+            float acc = 0.0f;
+            for (const auto& lane : a->lanes) acc += lane[i];
+            dst[i] = mix * acc;
+          }
+        }
+      },
+      "Master");
+  costs.push_back(1.0);
+  for (core::NodeId tail : tails) g.add_edge(tail, sink);
+
+  out.arena = std::move(arena);
+  return out;
+}
+
+}  // namespace djstar::serve

@@ -57,6 +57,53 @@ std::size_t Histogram::cumulative(std::size_t i) const noexcept {
   return sum;
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  if (other.lo_ == lo_ && other.hi_ == hi_ &&
+      other.counts_.size() == counts_.size()) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    return;
+  }
+  // Mismatched layout: re-bin by midpoint. total_ was already added, so
+  // classify without going through add().
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    const std::size_t c = other.counts_[i];
+    if (c == 0) continue;
+    const double mid = 0.5 * (other.bin_lo(i) + other.bin_hi(i));
+    if (mid < lo_) {
+      underflow_ += c;
+    } else if (mid >= hi_) {
+      overflow_ += c;
+    } else {
+      auto k = static_cast<std::size_t>((mid - lo_) / width_);
+      if (k >= counts_.size()) k = counts_.size() - 1;
+      counts_[k] += c;
+    }
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0) {
+      const double frac = (target - cum) / c;
+      return bin_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 double Histogram::cdf(double x) const noexcept {
   if (total_ == 0) return 0.0;
   std::size_t below = 0;

@@ -1,8 +1,60 @@
 #include "djstar/support/trace.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
 
 namespace djstar::support {
+namespace {
+
+// trace_event names: "run n12" for node spans, the bare kind otherwise.
+void append_span_name(std::string& out, const TraceSpan& s) {
+  out += to_string(s.kind);
+  if (s.node >= 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, " n%d", s.node);
+    out += buf;
+  }
+}
+
+void append_event(std::string& out, const TraceSpan& s, std::uint32_t pid,
+                  bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[160];
+  std::string name;
+  append_span_name(name, s);
+  // Zero-length spans still render in Perfetto with a small epsilon.
+  const double dur = std::max(s.duration_us(), 0.001);
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                "\"dur\":%.3f,\"pid\":%" PRIu32 ",\"tid\":%" PRIu32 "}",
+                name.c_str(), to_string(s.kind), s.begin_us, dur, pid,
+                s.thread);
+  out += buf;
+}
+
+void append_process_meta(std::string& out, const TraceProcess& p,
+                         bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  // Escape is unnecessary: process names come from our own session
+  // labels, but keep quotes/newlines out defensively.
+  std::string safe;
+  for (char c : p.name) {
+    if (c == '"' || c == '\\' || c == '\n') continue;
+    safe += c;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                ",\"args\":{\"name\":\"%s\"}}",
+                p.pid, safe.c_str());
+  out += buf;
+}
+
+}  // namespace
 
 const char* to_string(SpanKind k) noexcept {
   switch (k) {
@@ -51,6 +103,39 @@ std::vector<TraceSpan> TraceRecorder::collect() const {
     return a.begin_us < b.begin_us;
   });
   return all;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path,
+                                       std::uint32_t pid,
+                                       std::string_view process_name) const {
+  TraceProcess p;
+  p.name = std::string(process_name);
+  p.pid = pid;
+  p.spans = collect();
+  const TraceProcess procs[] = {std::move(p)};
+  return djstar::support::write_chrome_trace(path, procs);
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceProcess> processes) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceProcess& p : processes) {
+    append_process_meta(out, p, first);
+  }
+  for (const TraceProcess& p : processes) {
+    for (const TraceSpan& s : p.spans) {
+      append_event(out, s, p.pid, first);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << out;
+  return static_cast<bool>(f);
 }
 
 }  // namespace djstar::support

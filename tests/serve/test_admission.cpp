@@ -1,0 +1,107 @@
+// Unit tests for the serve admission controller and the He-et-al. DAG
+// cost estimate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/graph.hpp"
+#include "djstar/serve/admission.hpp"
+
+namespace dc = djstar::core;
+namespace ds = djstar::serve;
+
+namespace {
+
+dc::TaskGraph chain(unsigned n) {
+  dc::TaskGraph g;
+  dc::NodeId prev = dc::kInvalidNode;
+  for (unsigned i = 0; i < n; ++i) {
+    const dc::NodeId id = g.add_node("n" + std::to_string(i), [] {});
+    if (i > 0) g.add_edge(prev, id);
+    prev = id;
+  }
+  return g;
+}
+
+}  // namespace
+
+TEST(GraphCostEstimate, ChainIsSerialRegardlessOfWorkers) {
+  // A pure chain has vol == len: the He-et-al. bound collapses to the
+  // critical path and extra workers cannot help.
+  dc::TaskGraph g = chain(4);
+  dc::CompiledGraph cg(g);
+  const std::vector<double> costs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, costs, 1), 100.0);
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, costs, 8), 100.0);
+}
+
+TEST(GraphCostEstimate, WideGraphSplitsResidualVolume) {
+  // source -> {a, b, c, d} -> sink, each branch cost 40, ends cost 0.
+  dc::TaskGraph g;
+  const auto src = g.add_node("src", [] {});
+  const auto sink = g.add_node("sink", [] {});
+  std::vector<double> costs{0, 0};
+  for (int i = 0; i < 4; ++i) {
+    const auto b = g.add_node("b" + std::to_string(i), [] {});
+    g.add_edge(src, b);
+    g.add_edge(b, sink);
+    costs.push_back(40);
+  }
+  dc::CompiledGraph cg(g);
+  // len = 40 (one branch), vol = 160.
+  // m=1: 40 + 120/1 = 160;  m=4: 40 + 120/4 = 70.
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, costs, 1), 160.0);
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, costs, 4), 70.0);
+}
+
+TEST(GraphCostEstimate, MissingCostsCountAsZero) {
+  dc::TaskGraph g = chain(3);
+  dc::CompiledGraph cg(g);
+  const std::vector<double> costs{10};  // nodes 1, 2 undeclared
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, costs, 2), 10.0);
+  EXPECT_DOUBLE_EQ(ds::estimate_graph_cost_us(cg, {}, 2), 0.0);
+}
+
+TEST(AdmissionController, AdmitsUnderBoundRejectsOver) {
+  ds::AdmissionConfig cfg;
+  cfg.utilization_bound = 0.5;
+  cfg.queue_when_full = false;
+  ds::AdmissionController ac(cfg);
+
+  EXPECT_EQ(ac.decide(0.2, 0.0, 0, 0), ds::AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(ac.decide(0.2, 0.29, 1, 0), ds::AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(ac.decide(0.2, 0.31, 1, 0), ds::AdmissionVerdict::kRejected);
+}
+
+TEST(AdmissionController, QueuesWhenAllowedUpToCapacity) {
+  ds::AdmissionConfig cfg;
+  cfg.utilization_bound = 0.5;
+  cfg.queue_when_full = true;
+  cfg.max_queued = 2;
+  ds::AdmissionController ac(cfg);
+
+  EXPECT_EQ(ac.decide(0.3, 0.3, 1, 0), ds::AdmissionVerdict::kQueued);
+  EXPECT_EQ(ac.decide(0.3, 0.3, 1, 1), ds::AdmissionVerdict::kQueued);
+  EXPECT_EQ(ac.decide(0.3, 0.3, 1, 2), ds::AdmissionVerdict::kRejected);
+}
+
+TEST(AdmissionController, MaxActiveCapsEvenUnderBound) {
+  ds::AdmissionConfig cfg;
+  cfg.utilization_bound = 10.0;
+  cfg.max_active = 2;
+  cfg.queue_when_full = true;
+  ds::AdmissionController ac(cfg);
+
+  EXPECT_EQ(ac.decide(0.01, 0.02, 1, 0), ds::AdmissionVerdict::kAdmitted);
+  EXPECT_EQ(ac.decide(0.01, 0.03, 2, 0), ds::AdmissionVerdict::kQueued);
+}
+
+TEST(AdmissionController, DecisionIsPureFunctionOfInputs) {
+  // Same inputs, same verdict — the replayability property the host's
+  // admission log depends on.
+  ds::AdmissionController ac{ds::AdmissionConfig{}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ac.decide(0.3, 0.2, 3, 1), ac.decide(0.3, 0.2, 3, 1));
+  }
+}

@@ -1,0 +1,151 @@
+// Multi-session churn under concurrent admit/teardown (serve satellite
+// of the concurrency-correctness harness; CI runs this under TSan).
+//
+// One data-plane thread drives fleet cycles while submitter threads
+// concurrently open and close synthetic sessions through the host's
+// control plane. Invariants checked at the end:
+//   - exactly-once node execution on every surviving session,
+//   - fleet cycle accounting loses nothing across churn
+//     (live + retained cycles == what the sessions themselves counted),
+//   - every submitted session lands in a terminal or live state,
+//   - no density accounting leak after all sessions are closed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+
+namespace ds = djstar::serve;
+
+namespace {
+
+ds::SessionSpec churn_session(std::uint64_t seed) {
+  ds::SyntheticSpec spec;
+  spec.name = "churn" + std::to_string(seed);
+  spec.qos = static_cast<ds::QoS>(seed % ds::kQoSCount);
+  spec.width = 2;
+  spec.depth = 2;
+  spec.node_cost_us = 2.0;
+  spec.seed = seed;
+  ds::SessionSpec s = ds::make_synthetic_session(spec);
+  // Small declared density so churn exercises admit/close, not rejection.
+  s.cost_estimate_us = 0.01 * s.deadline_us;
+  return s;
+}
+
+}  // namespace
+
+TEST(ServeChurn, ConcurrentAdmitAndTeardownKeepsInvariants) {
+  constexpr unsigned kSubmitters = 2;
+  constexpr unsigned kSessionsPerSubmitter = 24;
+
+  ds::HostConfig cfg;
+  cfg.threads = 2;
+  ds::EngineHost host(cfg);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<ds::SessionId>> submitted(kSubmitters);
+
+  // Data plane: run fleet cycles until the submitters are done.
+  std::thread data_plane([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      host.run_fleet_cycle();
+    }
+    // A final cycle drains any still-queued control commands.
+    host.run_fleet_cycle();
+  });
+
+  std::vector<std::thread> submitters;
+  for (unsigned t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (unsigned i = 0; i < kSessionsPerSubmitter; ++i) {
+        const ds::SessionId id =
+            host.submit(churn_session(t * 1000 + i));
+        submitted[t].push_back(id);
+        // Let the session run a little, then close roughly half from
+        // this thread while the data plane keeps dispatching.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        if (i % 2 == 0) host.close(id);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  stop.store(true, std::memory_order_release);
+  data_plane.join();
+
+  // Every submitted session must be in a coherent lifecycle state, and
+  // surviving sessions must satisfy exactly-once node execution.
+  std::uint64_t live_cycles = 0;
+  std::size_t live_count = 0;
+  for (const auto& ids : submitted) {
+    for (const ds::SessionId id : ids) {
+      const ds::SessionState st = host.session_state(id);
+      EXPECT_TRUE(st == ds::SessionState::kActive ||
+                  st == ds::SessionState::kClosed ||
+                  st == ds::SessionState::kShed ||
+                  st == ds::SessionState::kQueued ||
+                  st == ds::SessionState::kRejected)
+          << "session " << id << " in state " << ds::to_string(st);
+      const ds::Session* s = host.session(id);
+      if (s != nullptr) {
+        EXPECT_EQ(st, ds::SessionState::kActive);
+        EXPECT_EQ(s->hosted_executor().stats().snapshot().nodes_executed,
+                  s->counters().cycles * s->node_count())
+            << "session " << id << " lost or duplicated node executions";
+        live_cycles += s->counters().cycles;
+        ++live_count;
+      }
+    }
+  }
+  EXPECT_EQ(live_count, host.active_sessions());
+
+  // Retained + live cycle accounting matches the fleet aggregate.
+  const ds::FleetStats f = host.stats();
+  EXPECT_EQ(f.submitted, kSubmitters * kSessionsPerSubmitter);
+  std::uint64_t qos_cycles = 0;
+  for (const auto& q : f.by_qos) qos_cycles += q.cycles;
+  EXPECT_EQ(f.cycles, qos_cycles);
+  EXPECT_GE(f.cycles, live_cycles);
+
+  // Close everything; density accounting must drain to zero.
+  for (const auto& ids : submitted) {
+    for (const ds::SessionId id : ids) host.close(id);
+  }
+  host.run_fleet_cycle();
+  EXPECT_EQ(host.active_sessions(), 0u);
+  EXPECT_EQ(host.queued_sessions(), 0u);
+  EXPECT_NEAR(host.active_density(), 0.0, 1e-9);
+
+  // All sessions now terminal.
+  for (const auto& ids : submitted) {
+    for (const ds::SessionId id : ids) {
+      const ds::SessionState st = host.session_state(id);
+      EXPECT_TRUE(st == ds::SessionState::kClosed ||
+                  st == ds::SessionState::kShed ||
+                  st == ds::SessionState::kRejected);
+    }
+  }
+}
+
+TEST(ServeChurn, RepeatedHostLifecyclesDoNotLeak) {
+  // Construct/destroy hosts with live sessions still admitted — the
+  // teardown path must join the shared team and free every session
+  // (LSan covers the leak half under the ASan job).
+  for (int round = 0; round < 6; ++round) {
+    ds::HostConfig cfg;
+    cfg.threads = 2;
+    ds::EngineHost host(cfg);
+    for (int i = 0; i < 4; ++i) {
+      host.submit(churn_session(static_cast<std::uint64_t>(round * 10 + i)));
+    }
+    host.run_fleet_cycles(5);
+    EXPECT_GT(host.active_sessions(), 0u);
+    // Host destroyed with sessions still active.
+  }
+}

@@ -78,3 +78,82 @@ TEST(Histogram, AddAllMatchesLoop) {
     EXPECT_EQ(a.count(i), b.count(i));
   }
 }
+
+TEST(HistogramMerge, ExactLayoutMergesBinForBin) {
+  ds::Histogram a(0.0, 100.0, 10), b(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) a.add(i);      // bins 0..4
+  for (int i = 50; i < 100; ++i) b.add(i);    // bins 5..9
+  b.add(-5.0);   // underflow
+  b.add(150.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 102u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.count(i), 10u) << "bin " << i;
+  }
+}
+
+TEST(HistogramMerge, MismatchedBoundsRebinsAtMidpoints) {
+  // other's bins are [0,50) in 5 bins of width 10; midpoints 5,15,...
+  ds::Histogram a(0.0, 100.0, 10), b(0.0, 50.0, 5);
+  b.add(12.0);  // b bin 1, midpoint 15 -> a bin 1
+  b.add(47.0);  // b bin 4, midpoint 45 -> a bin 4
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.count(4), 1u);
+}
+
+TEST(HistogramMerge, MismatchedRangeRoutesOutOfRangeMassToOverflow) {
+  ds::Histogram a(0.0, 10.0, 5), b(0.0, 100.0, 10);
+  b.add(95.0);   // b bin 9, midpoint 95 -> beyond a's range
+  b.add(2.0);    // b bin 0, midpoint 5 -> a bin 2
+  b.add(-1.0);   // b underflow -> a underflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.count(2), 1u);
+}
+
+TEST(HistogramMerge, MergeEmptyIsANoOp) {
+  ds::Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 1u);
+}
+
+TEST(HistogramQuantile, InterpolatesInsideBins) {
+  ds::Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  // Uniform data: quantiles track the value range linearly.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0 + 1e-9);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 10.0 + 1e-9);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+}
+
+TEST(HistogramQuantile, EdgeMassesAndEmpty) {
+  ds::Histogram empty(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);  // lo() on empty
+
+  ds::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // all mass in underflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+
+  ds::Histogram o(0.0, 10.0, 5);
+  o.add(99.0);  // all mass in overflow
+  EXPECT_DOUBLE_EQ(o.quantile(0.5), 10.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  ds::Histogram h(0.0, 50.0, 25);
+  for (int i = 0; i < 200; ++i) h.add((i * 7) % 50);
+  double prev = -1.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double x = h.quantile(q);
+    EXPECT_GE(x, prev) << "q=" << q;
+    prev = x;
+  }
+}

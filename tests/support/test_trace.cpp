@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 namespace ds = djstar::support;
 
 TEST(TraceRecorder, DisarmedDropsRecords) {
@@ -153,4 +158,65 @@ TEST(TraceRecorderEdge, CollectOrdersEqualBeginTimesStably) {
   EXPECT_EQ(spans[0].thread, 0u);
   EXPECT_EQ(spans[1].thread, 1u);
   EXPECT_EQ(spans[2].thread, 2u);
+}
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+TEST(ChromeTrace, RecorderExportsCompleteEvents) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  tr.record(0, {10.0, 25.0, 0, 3, ds::SpanKind::kRun});
+  tr.record(1, {12.0, 14.0, 1, -1, ds::SpanKind::kSteal});
+
+  const std::string path = testing::TempDir() + "/chrome_trace.json";
+  ASSERT_TRUE(tr.write_chrome_trace(path, 7, "unit"));
+  const std::string json = slurp(path);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Process metadata names the track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"unit\"}"), std::string::npos);
+  // Complete events with microsecond ts/dur under the given pid, one tid
+  // per worker.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":15.000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":7,\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":7,\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTrace, ZeroLengthSpansGetEpsilonDuration) {
+  ds::TraceRecorder tr;
+  tr.arm(1);
+  tr.record(0, {5.0, 5.0, 0, 1, ds::SpanKind::kRun});
+  const std::string path = testing::TempDir() + "/chrome_trace_eps.json";
+  ASSERT_TRUE(tr.write_chrome_trace(path));
+  EXPECT_NE(slurp(path).find("\"dur\":0.001"), std::string::npos);
+}
+
+TEST(ChromeTrace, MultiProcessExportSeparatesPids) {
+  std::vector<ds::TraceProcess> procs(2);
+  procs[0] = {"session-a", 1, {{0.0, 1.0, 0, 0, ds::SpanKind::kRun}}};
+  procs[1] = {"session-b", 2, {{0.0, 2.0, 1, 4, ds::SpanKind::kRun}}};
+
+  const std::string path = testing::TempDir() + "/chrome_trace_multi.json";
+  ASSERT_TRUE(ds::write_chrome_trace(path, procs));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"session-a\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"session-b\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":1"), std::string::npos);
+}
+
+TEST(ChromeTrace, FailsOnUnwritablePath) {
+  ds::TraceRecorder tr;
+  tr.arm(1);
+  EXPECT_FALSE(tr.write_chrome_trace("/nonexistent-dir/trace.json"));
 }
