@@ -14,6 +14,7 @@
 
 #include "djstar/core/fault.hpp"
 #include "djstar/core/graph.hpp"
+#include "djstar/support/journal.hpp"
 
 namespace djstar::core {
 
@@ -98,6 +99,14 @@ class CompiledGraph {
   /// threads; must be thread-safe. May be null.
   void set_poison_hook(std::function<void(NodeId)> hook) {
     poison_ = std::move(hook);
+  }
+
+  /// Structured event journal to receive a kFaultInjected event (a=node,
+  /// b=FaultKind) for every fault that fires. Push is lock-free, so this
+  /// is safe from worker threads mid-cycle. May be null; the journal must
+  /// outlive the graph or be detached first. Set only between cycles.
+  void set_journal(support::EventJournal* journal) noexcept {
+    journal_ = journal;
   }
 
   // ---- degradation: skip masks & bypass forms ----
@@ -202,6 +211,7 @@ class CompiledGraph {
   std::vector<std::uint8_t> masked_;
   std::vector<WorkFn> bypass_;
   std::function<void(NodeId)> poison_;
+  support::EventJournal* journal_ = nullptr;
   chaos::FaultPlan fault_plan_;
   std::vector<std::uint8_t> fault_eligible_;
   bool faults_armed_ = false;

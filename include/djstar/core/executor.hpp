@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "djstar/core/compiled_graph.hpp"
+#include "djstar/support/flight.hpp"
 #include "djstar/support/trace.hpp"
 
 namespace djstar::core {
@@ -73,6 +74,10 @@ struct ExecOptions {
   /// Optional schedule tracing (arm the recorder with `threads` lanes to
   /// capture Fig.-11-style realizations). May be nullptr.
   support::TraceRecorder* trace = nullptr;
+  /// Optional always-on flight recorder (configure with `threads` lanes).
+  /// Unlike `trace` it overwrites instead of filling up, so it can stay
+  /// enabled for the life of the engine. May be nullptr.
+  support::FlightRecorder* flight = nullptr;
 };
 
 /// A scheduling strategy bound to one compiled graph. run_cycle()

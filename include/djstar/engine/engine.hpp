@@ -17,6 +17,7 @@
 #include "djstar/engine/deck.hpp"
 #include "djstar/engine/djstar_graph.hpp"
 #include "djstar/engine/supervisor.hpp"
+#include "djstar/engine/telemetry.hpp"
 
 namespace djstar::engine {
 
@@ -72,6 +73,17 @@ class AudioEngine {
     return supervisor_ ? supervisor_->safe_output() : graph_nodes_.output();
   }
 
+  // ---- telemetry (engine/telemetry.hpp) ----
+
+  /// Attach the telemetry bundle: metrics registry, event journal, and
+  /// always-on flight recorder (wired into the workers — rebuilds the
+  /// executor). The constructor calls this automatically when
+  /// DJSTAR_FLIGHT=<dump-path> is set.
+  void enable_telemetry(const TelemetryConfig& tcfg = {});
+  bool telemetry_enabled() const noexcept { return telemetry_ != nullptr; }
+  EngineTelemetry& telemetry() noexcept { return *telemetry_; }
+  const EngineTelemetry& telemetry() const noexcept { return *telemetry_; }
+
   /// Arm/disarm node fault injection on the compiled graph. (The
   /// constructor also arms automatically from DJSTAR_FAULTS.)
   void arm_faults(const core::chaos::FaultPlan& plan) {
@@ -105,16 +117,26 @@ class AudioEngine {
   double master_tempo_bpm() const noexcept { return master_tempo_bpm_; }
 
  private:
+  core::ExecOptions exec_options() const noexcept;
   void rebuild_executor();
   void apply_degradation(DegradationLevel target);
   void phase_tp(CycleBreakdown& c);
   void phase_gp(CycleBreakdown& c);
   void phase_vc(CycleBreakdown& c);
   void apply_pending_poison() noexcept;
+  void finish_cycle_telemetry(const CycleBreakdown& c, unsigned level);
 
   EngineConfig cfg_;
   std::array<std::unique_ptr<Deck>, 4> decks_;
   DjStarGraph graph_nodes_;
+  // Declared before the graph and executors so workers and the graph's
+  // journal pointer never outlive their sinks.
+  std::unique_ptr<EngineTelemetry> telemetry_;
+  // DJSTAR_TRACE support: armed at construction, dumped after the first
+  // cycle, then disarmed (record() becomes a no-op).
+  std::unique_ptr<support::TraceRecorder> env_trace_;
+  std::string env_trace_path_;
+  bool env_trace_pending_ = false;
   std::unique_ptr<core::CompiledGraph> compiled_;
   std::unique_ptr<core::Executor> executor_;
   DeadlineMonitor monitor_;

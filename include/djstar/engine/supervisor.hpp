@@ -45,6 +45,7 @@
 #include "djstar/audio/buffer.hpp"
 #include "djstar/core/compiled_graph.hpp"
 #include "djstar/engine/deadline.hpp"
+#include "djstar/support/journal.hpp"
 
 namespace djstar::engine {
 
@@ -151,6 +152,15 @@ class CycleSupervisor {
   /// click-free at splices, even when the cycle it came from was not.
   const audio::AudioBuffer& safe_output() const noexcept { return safe_out_; }
 
+  /// Structured event journal to receive ladder movements (kDegrade /
+  /// kRecover, a=from, b=to) and watchdog cancellations
+  /// (kWatchdogCancel). Push is lock-free, so the watchdog thread may
+  /// publish directly. May be null; set between cycles only, and the
+  /// journal must outlive the supervisor or be detached first.
+  void set_journal(support::EventJournal* journal) noexcept {
+    journal_ = journal;
+  }
+
   /// Called by AudioEngine::set_strategy() after swapping executors.
   /// Ladder state, streaks, and the fallback buffers survive a rebuild
   /// by design; this hook only exists to document that contract (and to
@@ -176,6 +186,7 @@ class CycleSupervisor {
   unsigned clean_streak_ = 0;
   SupervisorStats stats_;
   std::vector<LevelTransition> transitions_;
+  support::EventJournal* journal_ = nullptr;
 
   // Fallback audio state. last_tail_ holds the final sample of the
   // previously emitted packet per channel; splices ramp from it.

@@ -34,11 +34,13 @@
 // tick boundary, in arrival order.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +51,8 @@
 #include "djstar/serve/qos.hpp"
 #include "djstar/serve/session.hpp"
 #include "djstar/serve/stats.hpp"
+#include "djstar/support/journal.hpp"
+#include "djstar/support/metrics.hpp"
 #include "djstar/support/trace.hpp"
 
 namespace djstar::serve {
@@ -151,6 +155,40 @@ class EngineHost {
   /// against a cold start; call it deliberately.
   void recalibrate();
 
+  // ---- telemetry ----
+
+  /// Fleet metrics registry. Counters are incremented at the exact same
+  /// sites as the ServeStats accounting, so a scrape and stats() agree
+  /// on every lifecycle/service count. Snapshots are thread-safe.
+  support::MetricsRegistry& metrics() noexcept { return registry_; }
+  const support::MetricsRegistry& metrics() const noexcept {
+    return registry_;
+  }
+
+  /// Structured event journal: admission verdicts, parks, sheds,
+  /// overload trips, session closes, per-session deadline misses. The
+  /// data plane produces; drain from any one consumer thread.
+  support::EventJournal& journal() noexcept { return journal_; }
+
+  /// Write the Prometheus text exposition of the fleet metrics to
+  /// `path`. Thread-safe. Returns false on I/O failure.
+  bool write_metrics(const std::string& path) const;
+
+  /// Enable the always-on flight recorder, shared by all sessions: one
+  /// lane per pool worker (the team runs one graph at a time, so lanes
+  /// stay single-writer). Sessions submitted after this call record
+  /// into it; the cycle tag advances once per fleet tick.
+  void enable_flight(std::size_t spans_per_thread = 2048);
+  support::FlightRecorder& flight() noexcept { return flight_; }
+  const support::FlightRecorder& flight() const noexcept { return flight_; }
+
+  /// Start a background exporter rewriting `path` every `period_ms`
+  /// (the constructor starts one automatically when DJSTAR_METRICS=
+  /// <path> is set). Restarts replace the previous exporter.
+  void start_metrics_exporter(const std::string& path,
+                              double period_ms = 1000.0);
+  void stop_metrics_exporter();
+
   /// Arm schedule tracing on all current and future sessions.
   void arm_tracing(std::size_t capacity_per_worker = 4096);
 
@@ -195,6 +233,33 @@ class EngineHost {
   unsigned admit_holdoff_ = 0;
   ServeStats stats_;
   std::vector<AdmissionRecord> admission_log_;
+
+  // Telemetry. Counter handles mirror the ServeStats counters one-to-one
+  // (incremented at the same call sites); gauges refresh per tick.
+  support::MetricsRegistry registry_;
+  support::EventJournal journal_{4096};
+  support::FlightRecorder flight_;
+  support::Counter m_ticks_;
+  support::Counter m_submitted_;
+  support::Counter m_admitted_;
+  support::Counter m_queued_;
+  support::Counter m_rejected_;
+  support::Counter m_shed_;
+  support::Counter m_closed_;
+  support::Counter m_overloads_;
+  support::Counter m_cycles_;
+  support::Counter m_misses_;
+  support::Counter m_degrade_steps_;
+  support::Gauge g_active_sessions_;
+  support::Gauge g_queued_sessions_;
+  support::Gauge g_active_density_;
+
+  // Metrics exporter thread (snapshot + file write only; never touches
+  // host state).
+  std::thread exporter_;
+  std::mutex exporter_mutex_;
+  std::condition_variable exporter_cv_;
+  bool exporter_stop_ = false;
   bool tracing_armed_ = false;
   std::size_t trace_capacity_ = 0;
   /// Spans of departed sessions, kept so a fleet trace still shows

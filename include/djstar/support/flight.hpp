@@ -1,0 +1,108 @@
+// djstar/support/flight.hpp
+// Always-on flight recorder (DESIGN.md §10).
+//
+// TraceRecorder must be armed per run and drops spans once a lane fills —
+// fine for capturing one Fig.-11 schedule, useless for post-mortems. The
+// flight recorder is the black box: every worker continuously writes
+// spans into its own fixed-size overwriting ring (newest span evicts the
+// oldest; it never fills up and never allocates after configure()), and
+// when something goes wrong — deadline miss, degradation step, watchdog
+// fire — the owner dumps the last N cycles as a Chrome/Perfetto trace
+// showing exactly what every thread was doing leading into the incident.
+//
+// Thread safety: record() is called by the owning worker only (one lane
+// per worker, same contract as TraceRecorder). configure() and the
+// collect/dump calls run between cycles, when workers are quiescent at
+// the executor's cycle barrier; begin_cycle() is called by the cycle
+// driver and read by workers through that same barrier.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "djstar/support/trace.hpp"
+
+namespace djstar::support {
+
+/// One recorded span tagged with the cycle it belongs to (span times are
+/// relative to that cycle's start, as everywhere else).
+struct FlightSpan {
+  TraceSpan span;
+  std::uint64_t cycle = 0;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Allocate `threads` lanes of `spans_per_thread` slots (rounded up to
+  /// a power of two). Not real-time safe; call at setup or executor
+  /// rebuild, never mid-cycle. Previously recorded spans are discarded.
+  void configure(std::uint32_t threads, std::size_t spans_per_thread = 2048);
+
+  /// Drop all lanes; record() becomes a no-op.
+  void disable() noexcept;
+
+  bool enabled() const noexcept { return !lanes_.empty(); }
+  std::uint32_t thread_count() const noexcept {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+  /// Advance the cycle tag for subsequently recorded spans. Called by
+  /// the cycle driver between cycles; the executor's cycle-start
+  /// synchronization publishes it to the workers.
+  void begin_cycle() noexcept {
+    cycle_.store(cycle_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  }
+  std::uint64_t cycle() const noexcept {
+    return cycle_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a span into lane `thread`, overwriting the lane's oldest
+  /// entry when the ring is full. Wait-free, allocation-free; must only
+  /// be called from the owning thread.
+  void record(std::uint32_t thread, const TraceSpan& span) noexcept {
+    if (thread >= lanes_.size()) return;
+    Lane& lane = lanes_[thread];
+    FlightSpan& slot = lane.ring[lane.next & lane.mask];
+    slot.span = span;
+    slot.cycle = cycle_.load(std::memory_order_relaxed);
+    ++lane.next;
+  }
+
+  /// Spans recorded since configure() (monotonic; exceeds ring capacity
+  /// once overwriting has begun).
+  std::uint64_t recorded(std::uint32_t thread) const noexcept;
+  std::uint64_t total_recorded() const noexcept;
+
+  /// Merge every lane's retained spans from the last `cycles` cycles,
+  /// stitched onto one timeline: ts = (cycle - window_start) * period_us
+  /// + span.begin_us, sorted by (thread, ts). Call between cycles.
+  std::vector<TraceSpan> collect_last(std::uint64_t cycles,
+                                      double period_us) const;
+
+  /// Dump the last `cycles` cycles as Chrome trace_event JSON (one
+  /// process, tid = worker). Returns false on I/O failure.
+  bool dump_chrome_trace(const std::string& path, std::uint64_t cycles,
+                         double period_us,
+                         std::string_view process_name = "djstar-flight",
+                         std::uint32_t pid = 0) const;
+
+ private:
+  struct Lane {
+    std::vector<FlightSpan> ring;  // size() == capacity (power of two)
+    std::uint64_t next = 0;        // monotonic write cursor
+    std::uint64_t mask = 0;
+  };
+  std::vector<Lane> lanes_;
+  std::atomic<std::uint64_t> cycle_{0};
+};
+
+}  // namespace djstar::support

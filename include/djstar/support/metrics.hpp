@@ -1,0 +1,204 @@
+// djstar/support/metrics.hpp
+// Real-time-safe metrics registry (DESIGN.md §10).
+//
+// The paper's argument rests on measurement, and a serving fleet needs it
+// continuously — not per armed cycle. This registry is built so the hot
+// path never pays for observability:
+//
+//   - Registration happens once at setup (mutex-protected, allocates).
+//   - Recording is wait-free and allocation-free: counters and histogram
+//     bins are sharded across cache-line-padded atomic cells, and each
+//     thread hashes to a stable shard, so concurrent writers never
+//     contend on one line and a single relaxed fetch_add is the whole
+//     cost.
+//   - Reading (snapshot / export) happens off-thread: it sums the shards
+//     with relaxed loads, so a snapshot taken mid-cycle is merely
+//     slightly stale, never torn per-cell.
+//
+// Exposition: snapshot() freezes every metric into plain values;
+// to_prometheus() renders the text exposition format (HELP/TYPE lines,
+// cumulative le-buckets), to_json() a machine-readable mirror. Handles
+// (Counter/Gauge/HistogramMetric) are trivially copyable pointers into
+// registry-owned storage and stay valid for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace djstar::support {
+
+/// Shards per metric. Eight padded cells cover the worker counts this
+/// engine runs (the paper fixes 4 threads) without blowing up snapshot
+/// cost; collisions only cost a shared fetch_add, never a lock.
+inline constexpr unsigned kMetricShards = 8;
+
+/// Stable per-thread shard index (round-robin assigned on first use).
+unsigned metric_shard_index() noexcept;
+
+namespace detail {
+
+struct alignas(64) MetricCell {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// One registered metric's storage. Lives in a unique_ptr inside the
+/// registry, so handle pointers survive further registrations.
+struct MetricEntry {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+
+  // Counter: one cell per shard.
+  std::unique_ptr<MetricCell[]> cells;
+
+  // Gauge: a single atomic double (set/load are wait-free stores).
+  std::atomic<double> gauge{0.0};
+
+  // Histogram: per shard, `bounds.size() + 1` bucket cells followed by
+  // one count cell and one fixed-point (2^-10 us) sum cell.
+  std::vector<double> bounds;  ///< strictly increasing upper bounds
+  std::unique_ptr<MetricCell[]> hist;  ///< [shard][bucket.. count sum]
+  std::size_t hist_stride = 0;
+};
+
+}  // namespace detail
+
+/// Monotonic counter handle. Default-constructed handles are inert
+/// no-ops, so instrumentation sites never need a null check of their own.
+class Counter {
+ public:
+  Counter() = default;
+
+  /// Wait-free, allocation-free; callable from any thread.
+  void inc(std::uint64_t n = 1) noexcept {
+    if (e_ != nullptr) {
+      e_->cells[metric_shard_index()].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+    }
+  }
+
+  /// Sum over all shards (relaxed; exact once writers are quiescent).
+  std::uint64_t value() const noexcept;
+
+  explicit operator bool() const noexcept { return e_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::MetricEntry* e) noexcept : e_(e) {}
+  detail::MetricEntry* e_ = nullptr;
+};
+
+/// Point-in-time gauge handle (single atomic double; set() is a wait-free
+/// store, so one writer at a time is the intended discipline).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) noexcept {
+    if (e_ != nullptr) e_->gauge.store(v, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return e_ != nullptr ? e_->gauge.load(std::memory_order_relaxed) : 0.0;
+  }
+
+  explicit operator bool() const noexcept { return e_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::MetricEntry* e) noexcept : e_(e) {}
+  detail::MetricEntry* e_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. record() classifies against the
+/// registered upper bounds (linear scan — bucket lists are short) and
+/// bumps the shard's bucket, count, and fixed-point sum cells.
+class HistogramMetric {
+ public:
+  HistogramMetric() = default;
+
+  void record(double v) noexcept;
+
+  /// Total samples over all shards.
+  std::uint64_t count() const noexcept;
+
+  explicit operator bool() const noexcept { return e_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramMetric(detail::MetricEntry* e) noexcept : e_(e) {}
+  detail::MetricEntry* e_ = nullptr;
+};
+
+/// One metric's frozen value in a snapshot.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  detail::MetricEntry::Kind kind = detail::MetricEntry::Kind::kCounter;
+  double value = 0;  ///< counter (exact integral) or gauge reading
+  // Histogram only:
+  std::vector<double> bounds;                ///< upper bounds (no +Inf)
+  std::vector<std::uint64_t> bucket_counts;  ///< per-bucket, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  ///< registration order
+};
+
+/// Render the Prometheus text exposition format (HELP/TYPE per family,
+/// cumulative `le` buckets, `_sum`/`_count` for histograms).
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Render a JSON object {"metrics": [...]} mirroring the snapshot.
+std::string to_json(const MetricsSnapshot& snap);
+
+/// The registry. register-once / record-anywhere / snapshot-off-thread.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or fetch, when `name` is already registered with the same
+  /// kind) a metric. Throws std::invalid_argument on an invalid metric
+  /// name or on a kind mismatch with an existing registration. Not
+  /// real-time safe — call at setup.
+  Counter counter(std::string_view name, std::string_view help);
+  Gauge gauge(std::string_view name, std::string_view help);
+  /// `bounds` must be non-empty and strictly increasing; a final +Inf
+  /// bucket is implicit.
+  HistogramMetric histogram(std::string_view name, std::string_view help,
+                            std::span<const double> bounds);
+
+  std::size_t size() const;
+
+  /// Freeze all metrics (relaxed shard sums). Safe concurrently with
+  /// recording; take it between cycles for exact values.
+  MetricsSnapshot snapshot() const;
+
+  /// Convenience: snapshot + render.
+  std::string prometheus() const { return to_prometheus(snapshot()); }
+  std::string json() const { return to_json(snapshot()); }
+
+  /// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+  static bool valid_name(std::string_view name) noexcept;
+
+ private:
+  detail::MetricEntry* find_or_create(std::string_view name,
+                                      std::string_view help,
+                                      detail::MetricEntry::Kind kind);
+
+  mutable std::mutex mutex_;  ///< guards registration and iteration
+  std::vector<std::unique_ptr<detail::MetricEntry>> entries_;
+};
+
+}  // namespace djstar::support

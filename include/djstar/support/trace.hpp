@@ -53,12 +53,23 @@ class TraceRecorder {
 
   bool armed() const noexcept { return armed_; }
 
-  /// Append a span to lane `thread`. No-op when disarmed or lane is full.
+  /// Append a span to lane `thread`. No-op when disarmed; when the lane
+  /// is full the span is dropped and counted (see dropped()).
   /// Allocation-free. Must only be called from the owning thread.
   void record(std::uint32_t thread, const TraceSpan& span) noexcept;
 
-  /// Merge all lanes, sorted by (thread, begin). Clears nothing.
+  /// Merge all lanes, sorted by (thread, begin). Clears nothing. When
+  /// truncated() is true the result is missing total_dropped() spans
+  /// (the tails of the full lanes); Chrome-trace output carries the same
+  /// information as a "dropped spans" instant event.
   std::vector<TraceSpan> collect() const;
+
+  /// Spans dropped from lane `thread` because it was full.
+  std::uint64_t dropped(std::uint32_t thread) const noexcept;
+  /// Spans dropped across all lanes since arm().
+  std::uint64_t total_dropped() const noexcept;
+  /// True when any lane has dropped spans (collect() is incomplete).
+  bool truncated() const noexcept { return total_dropped() != 0; }
 
   std::uint32_t thread_count() const noexcept {
     return static_cast<std::uint32_t>(lanes_.size());
@@ -74,6 +85,7 @@ class TraceRecorder {
   struct Lane {
     std::vector<TraceSpan> spans;  // size() == used entries
     std::size_t capacity = 0;
+    std::uint64_t dropped = 0;  // record() calls refused because full
   };
   std::vector<Lane> lanes_;
   bool armed_ = false;
@@ -86,6 +98,10 @@ struct TraceProcess {
   std::string name;             ///< process_name metadata shown in the UI
   std::uint32_t pid = 0;        ///< must be unique within one trace file
   std::vector<TraceSpan> spans; ///< e.g. TraceRecorder::collect()
+  /// Spans lost before export (e.g. TraceRecorder::total_dropped()).
+  /// Non-zero counts render as a "dropped spans" instant event so a
+  /// truncated trace is visibly truncated in the viewer.
+  std::uint64_t dropped_spans = 0;
 };
 
 /// Write Chrome trace_event JSON ({"traceEvents": [...]}) covering all

@@ -21,7 +21,16 @@ void BusyWaitExecutor::run_cycle() {
 void BusyWaitExecutor::worker_body(unsigned w) {
   const auto order = graph_.order();
   const unsigned T = opts_.threads;
-  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(w, s);
+    if (flight) flight->record(w, s);
+  };
 
   for (std::size_t k = w; k < order.size(); k += T) {
     const NodeId n = order[k];
@@ -45,9 +54,8 @@ void BusyWaitExecutor::worker_body(unsigned w) {
     if (tracing) {
       run_begin = support::elapsed_us(cycle_start_, support::now());
       if (run_begin - wait_begin > 0.5) {
-        opts_.trace->record(w, {wait_begin, run_begin, w,
-                                static_cast<std::int32_t>(n),
-                                support::SpanKind::kBusyWait});
+        emit({wait_begin, run_begin, w, static_cast<std::int32_t>(n),
+              support::SpanKind::kBusyWait});
       }
     }
 
@@ -55,10 +63,8 @@ void BusyWaitExecutor::worker_body(unsigned w) {
     stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
 
     if (tracing) {
-      opts_.trace->record(w, {run_begin,
-                              support::elapsed_us(cycle_start_, support::now()),
-                              w, static_cast<std::int32_t>(n),
-                              support::SpanKind::kRun});
+      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
+            static_cast<std::int32_t>(n), support::SpanKind::kRun});
     }
 
     for (NodeId s : graph_.successors(n)) {

@@ -136,6 +136,11 @@ void CompiledGraph::execute(NodeId n) noexcept {
     act = chaos::decide(fault_plan_, cycle_index_, n);
     if (act.kind != chaos::FaultKind::kNone) {
       faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      if (journal_ != nullptr) {
+        journal_->push(support::EventKind::kFaultInjected, cycle_index_,
+                       static_cast<std::int64_t>(n),
+                       static_cast<std::int64_t>(act.kind), act.duration_us);
+      }
     }
   }
 

@@ -11,15 +11,21 @@ void SequentialExecutor::run_cycle() {
   // previous cycle's fault/cancel state — required for the sequential
   // fallback to recover after a faulted cycle.
   graph_.begin_cycle();
-  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
   const auto t0 = support::now();
   for (NodeId n : graph_.order()) {
-    if (tracing) {
+    if (trace != nullptr || flight != nullptr) {
       const double b = support::since_us(t0);
       graph_.execute(n);
-      opts_.trace->record(0, {b, support::since_us(t0), 0,
-                              static_cast<std::int32_t>(n),
-                              support::SpanKind::kRun});
+      const support::TraceSpan s{b, support::since_us(t0), 0,
+                                 static_cast<std::int32_t>(n),
+                                 support::SpanKind::kRun};
+      if (trace) trace->record(0, s);
+      if (flight) flight->record(0, s);
     } else {
       graph_.execute(n);
     }

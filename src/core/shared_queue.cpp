@@ -30,7 +30,16 @@ void SharedQueueExecutor::run_cycle() {
 
 void SharedQueueExecutor::worker_body(unsigned w) {
   const std::size_t total = graph_.node_count();
-  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(w, s);
+    if (flight) flight->record(w, s);
+  };
 
   for (;;) {
     NodeId n = kInvalidNode;
@@ -52,8 +61,7 @@ void SharedQueueExecutor::worker_body(unsigned w) {
     if (tracing) {
       run_begin = support::elapsed_us(cycle_start_, support::now());
       if (run_begin - wait_begin > 0.5) {
-        opts_.trace->record(w, {wait_begin, run_begin, w, -1,
-                                support::SpanKind::kSleep});
+        emit({wait_begin, run_begin, w, -1, support::SpanKind::kSleep});
       }
     }
 
@@ -61,10 +69,8 @@ void SharedQueueExecutor::worker_body(unsigned w) {
     stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
 
     if (tracing) {
-      opts_.trace->record(w, {run_begin,
-                              support::elapsed_us(cycle_start_, support::now()),
-                              w, static_cast<std::int32_t>(n),
-                              support::SpanKind::kRun});
+      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
+            static_cast<std::int32_t>(n), support::SpanKind::kRun});
     }
 
     // Release successors and publish completion.

@@ -101,7 +101,16 @@ bool WorkStealingExecutor::try_get_node(unsigned w, NodeId& out) {
 
 void WorkStealingExecutor::worker_body(unsigned w) {
   const std::size_t total = graph_.node_count();
-  const bool tracing = opts_.trace != nullptr && opts_.trace->armed();
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(w, s);
+    if (flight) flight->record(w, s);
+  };
 
   // Drain the inbox the main thread seeded for us.
   for (NodeId n : per_worker_[w].inbox) {
@@ -136,10 +145,9 @@ void WorkStealingExecutor::worker_body(unsigned w) {
         }
         idlers_.fetch_sub(1, std::memory_order_acq_rel);
         if (tracing) {
-          opts_.trace->record(
-              w, {probe_begin,
-                  support::elapsed_us(cycle_start_, support::now()), w, -1,
-                  support::SpanKind::kSteal});
+          emit({probe_begin,
+                support::elapsed_us(cycle_start_, support::now()), w, -1,
+                support::SpanKind::kSteal});
         }
       }
       continue;
@@ -150,8 +158,7 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     if (tracing) {
       run_begin = support::elapsed_us(cycle_start_, support::now());
       if (run_begin - probe_begin > 0.5) {
-        opts_.trace->record(w, {probe_begin, run_begin, w, -1,
-                                support::SpanKind::kSteal});
+        emit({probe_begin, run_begin, w, -1, support::SpanKind::kSteal});
       }
     }
 
@@ -159,10 +166,8 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
 
     if (tracing) {
-      opts_.trace->record(w, {run_begin,
-                              support::elapsed_us(cycle_start_, support::now()),
-                              w, static_cast<std::int32_t>(n),
-                              support::SpanKind::kRun});
+      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
+            static_cast<std::int32_t>(n), support::SpanKind::kRun});
     }
 
     // Release successors whose last dependency this node resolved; they

@@ -1,6 +1,10 @@
 #include "djstar/engine/engine.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "djstar/core/thread_count.hpp"
 #include "djstar/support/assert.hpp"
@@ -8,6 +12,21 @@
 
 namespace djstar::engine {
 namespace {
+
+// Read a path-valued env var, hardened like DJSTAR_THREADS: unset (or
+// all-whitespace absent) returns nullopt, set-but-empty after trimming
+// throws — a misspelled value must not be silently ignored.
+std::optional<std::string> env_path(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  std::string s(raw);
+  const auto b = s.find_first_not_of(" \t");
+  const auto e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) {
+    throw std::invalid_argument(std::string(var) + ": empty path");
+  }
+  return s.substr(b, e - b + 1);
+}
 
 std::array<std::unique_ptr<Deck>, 4> make_decks(const EngineConfig& cfg) {
   std::array<std::unique_ptr<Deck>, 4> decks;
@@ -54,19 +73,52 @@ AudioEngine::AudioEngine(EngineConfig cfg)
     compiled_->arm_faults(*plan);
   }
 
+  // DJSTAR_FLIGHT=<path>: telemetry on, incidents auto-dump to <path>.
+  if (auto path = env_path("DJSTAR_FLIGHT")) {
+    TelemetryConfig tcfg;
+    tcfg.flight_dump_path = *path;
+    telemetry_ =
+        std::make_unique<EngineTelemetry>(tcfg, cfg_.deadline_us, cfg_.threads);
+    compiled_->set_journal(&telemetry_->journal());
+  }
+  // DJSTAR_TRACE=<path>: capture the first cycle as a Chrome trace.
+  if (auto path = env_path("DJSTAR_TRACE")) {
+    env_trace_path_ = *path;
+    env_trace_ = std::make_unique<support::TraceRecorder>();
+    env_trace_->arm(cfg_.threads);
+    env_trace_pending_ = true;
+  }
+
   rebuild_executor();
 }
 
-void AudioEngine::rebuild_executor() {
+core::ExecOptions AudioEngine::exec_options() const noexcept {
   core::ExecOptions opts = cfg_.exec;
   opts.threads = cfg_.threads;
+  if (env_trace_ != nullptr) opts.trace = env_trace_.get();
+  if (telemetry_ != nullptr) opts.flight = &telemetry_->flight();
+  return opts;
+}
+
+void AudioEngine::rebuild_executor() {
   executor_.reset();  // join old workers before spawning new ones
-  executor_ = core::make_executor(cfg_.strategy, *compiled_, opts, cfg_.ws);
+  executor_ =
+      core::make_executor(cfg_.strategy, *compiled_, exec_options(), cfg_.ws);
+}
+
+void AudioEngine::enable_telemetry(const TelemetryConfig& tcfg) {
+  telemetry_ =
+      std::make_unique<EngineTelemetry>(tcfg, cfg_.deadline_us, cfg_.threads);
+  compiled_->set_journal(&telemetry_->journal());
+  if (supervisor_) supervisor_->set_journal(&telemetry_->journal());
+  rebuild_executor();  // wire the flight recorder into the workers
 }
 
 void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
   cfg_.strategy = s;
   cfg_.threads = core::resolve_thread_count(threads);
+  if (telemetry_) telemetry_->on_threads_changed(cfg_.threads);
+  if (env_trace_ && env_trace_pending_) env_trace_->arm(cfg_.threads);
   rebuild_executor();
   // The compiled graph (including any degradation masks) and the
   // monitor are untouched; tell the supervisor so it can keep its
@@ -78,10 +130,11 @@ void AudioEngine::enable_supervision(const SupervisorConfig& scfg) {
   SupervisorConfig sc = scfg;
   sc.deadline_us = cfg_.deadline_us;
   supervisor_ = std::make_unique<CycleSupervisor>(*compiled_, sc);
+  if (telemetry_) supervisor_->set_journal(&telemetry_->journal());
   if (!fallback_exec_) {
     // Pre-built so stepping onto the kSequentialFallback rung is a
     // pointer swap, not an executor construction on the audio path.
-    core::ExecOptions opts = cfg_.exec;
+    core::ExecOptions opts = exec_options();
     opts.threads = 1;
     fallback_exec_ = core::make_executor(core::Strategy::kSequential,
                                          *compiled_, opts, cfg_.ws);
@@ -121,7 +174,30 @@ void AudioEngine::apply_pending_poison() noexcept {
   }
 }
 
+void AudioEngine::finish_cycle_telemetry(const CycleBreakdown& c,
+                                         unsigned level) {
+  // DJSTAR_TRACE: the armed first cycle just finished — dump and disarm
+  // (workers see the disarm at the next cycle's synchronization).
+  if (env_trace_pending_ && env_trace_ != nullptr) {
+    env_trace_->write_chrome_trace(env_trace_path_);
+    env_trace_->disarm();
+    env_trace_pending_ = false;
+  }
+  if (telemetry_ != nullptr) {
+    SupervisorStats sup{};
+    const SupervisorStats* sp = nullptr;
+    if (supervisor_) {
+      sup = supervisor_->stats();
+      sp = &sup;
+    }
+    const support::TraceRecorder* trace =
+        env_trace_ != nullptr ? env_trace_.get() : cfg_.exec.trace;
+    telemetry_->on_cycle(c, level, sp, compiled_->faults_injected(), trace);
+  }
+}
+
 CycleBreakdown AudioEngine::run_cycle() {
+  if (telemetry_) telemetry_->flight().begin_cycle();
   CycleBreakdown c;
   phase_tp(c);
   phase_gp(c);
@@ -133,6 +209,7 @@ CycleBreakdown AudioEngine::run_cycle() {
   apply_pending_poison();
   phase_vc(c);
   monitor_.add(c);
+  finish_cycle_telemetry(c, 0);
   return c;
 }
 
@@ -161,6 +238,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
   // cycle; all graph mutation happens here, between cycles.
   apply_degradation(supervisor_->level());
   const auto level = static_cast<unsigned>(applied_level_);
+  if (telemetry_) telemetry_->flight().begin_cycle();
 
   CycleBreakdown c;
   if (applied_level_ == DegradationLevel::kSafeMode) {
@@ -169,6 +247,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
     phase_tp(c);
     supervisor_->supervise_safe_mode_cycle(c);
     monitor_.add(c, level);
+    finish_cycle_telemetry(c, level);
     return c;
   }
 
@@ -188,6 +267,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
   phase_vc(c);
   supervisor_->supervise_cycle(c, graph_nodes_.output());
   monitor_.add(c, level);
+  finish_cycle_telemetry(c, level);
   return c;
 }
 

@@ -108,6 +108,10 @@ void CycleSupervisor::watchdog_main() {
     if (wd_armed_ && wd_gen_ == gen) {
       graph_.request_cancel();
       watchdog_cancels_.fetch_add(1, std::memory_order_relaxed);
+      if (journal_ != nullptr) {
+        journal_->push(support::EventKind::kWatchdogCancel, stats_.cycles, 0,
+                       0, cfg_.cancel_budget_us);
+      }
       wd_armed_ = false;
     }
   }
@@ -210,6 +214,11 @@ void CycleSupervisor::step_down(CycleOutcome reason) {
   level_ = static_cast<DegradationLevel>(static_cast<unsigned>(level_) + 1);
   clean_streak_ = 0;
   transitions_.push_back({stats_.cycles, from, level_, reason});
+  if (journal_ != nullptr) {
+    journal_->push(support::EventKind::kDegrade, stats_.cycles,
+                   static_cast<std::int64_t>(from),
+                   static_cast<std::int64_t>(level_));
+  }
 }
 
 void CycleSupervisor::step_up() {
@@ -218,6 +227,11 @@ void CycleSupervisor::step_up() {
   level_ = static_cast<DegradationLevel>(static_cast<unsigned>(level_) - 1);
   ++stats_.recoveries;
   transitions_.push_back({stats_.cycles, from, level_, CycleOutcome::kClean});
+  if (journal_ != nullptr) {
+    journal_->push(support::EventKind::kRecover, stats_.cycles,
+                   static_cast<std::int64_t>(from),
+                   static_cast<std::int64_t>(level_));
+  }
 }
 
 void CycleSupervisor::save_tail() {

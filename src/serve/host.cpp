@@ -4,19 +4,75 @@
 #include "djstar/support/time.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 namespace djstar::serve {
+namespace {
+
+// DJSTAR_METRICS parsing, hardened like DJSTAR_THREADS: unset returns
+// nullopt, set-but-empty after trimming throws.
+std::optional<std::string> metrics_env_path() {
+  const char* raw = std::getenv("DJSTAR_METRICS");
+  if (raw == nullptr) return std::nullopt;
+  std::string s(raw);
+  const auto b = s.find_first_not_of(" \t");
+  const auto e = s.find_last_not_of(" \t");
+  if (b == std::string::npos) {
+    throw std::invalid_argument("DJSTAR_METRICS: empty path");
+  }
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
 
 EngineHost::EngineHost(HostConfig cfg)
     : cfg_(cfg),
       threads_(core::resolve_thread_count(cfg.threads)),
       team_(threads_, cfg.start_mode, cfg.spin),
-      admission_(cfg.admission) {
+      admission_(cfg.admission),
+      m_ticks_(registry_.counter("djstar_fleet_ticks_total",
+                                 "Fleet ticks executed")),
+      m_submitted_(registry_.counter("djstar_fleet_sessions_submitted_total",
+                                     "Sessions submitted for admission")),
+      m_admitted_(registry_.counter("djstar_fleet_sessions_admitted_total",
+                                    "Sessions admitted (incl. from queue)")),
+      m_queued_(registry_.counter("djstar_fleet_sessions_queued_total",
+                                  "Admission verdicts parking a session")),
+      m_rejected_(registry_.counter("djstar_fleet_sessions_rejected_total",
+                                    "Sessions rejected at admission")),
+      m_shed_(registry_.counter("djstar_fleet_sessions_shed_total",
+                                "Sessions evicted by the overload handler")),
+      m_closed_(registry_.counter("djstar_fleet_sessions_closed_total",
+                                  "Active sessions closed by their owner")),
+      m_overloads_(registry_.counter("djstar_fleet_overloads_total",
+                                     "Overload-handler trips")),
+      m_cycles_(registry_.counter("djstar_fleet_cycles_total",
+                                  "Session cycles dispatched")),
+      m_misses_(registry_.counter(
+          "djstar_fleet_deadline_misses_total",
+          "Session cycles completing past their deadline")),
+      m_degrade_steps_(registry_.counter(
+          "djstar_fleet_degrade_steps_total",
+          "Ladder rungs force-walked by the overload handler")),
+      g_active_sessions_(registry_.gauge("djstar_fleet_active_sessions",
+                                         "Currently active sessions")),
+      g_queued_sessions_(registry_.gauge("djstar_fleet_queued_sessions",
+                                         "Currently parked sessions")),
+      g_active_density_(registry_.gauge(
+          "djstar_fleet_active_density",
+          "Sum of admitted C/D densities (utilization)")) {
   cfg_.threads = threads_;
+  if (auto path = metrics_env_path()) {
+    start_metrics_exporter(*path);
+  }
 }
 
-EngineHost::~EngineHost() = default;
+EngineHost::~EngineHost() { stop_metrics_exporter(); }
 
 // ---- control plane ------------------------------------------------------
 
@@ -69,8 +125,10 @@ void EngineHost::drain_commands() {
       continue;
     }
     stats_.note_submitted();
+    m_submitted_.inc();
     core::ExecOptions exec;
     exec.spin = cfg_.spin;
+    if (flight_.enabled()) exec.flight = &flight_;
     decide_admission(std::make_unique<Session>(c.id, std::move(c.spec), team_,
                                                exec, cfg_.ws,
                                                cfg_.supervisor));
@@ -87,13 +145,21 @@ void EngineHost::decide_admission(std::unique_ptr<Session> s) {
     case AdmissionVerdict::kAdmitted:
       activate(std::move(s));
       break;
-    case AdmissionVerdict::kQueued:
+    case AdmissionVerdict::kQueued: {
+      const SessionId id = s->id();
       queued_.push_back(std::move(s));
       stats_.note_queued_depth(queued_.size());
+      m_queued_.inc();
+      journal_.push(support::EventKind::kQueuePark, tick_,
+                    static_cast<std::int64_t>(id));
       break;
+    }
     case AdmissionVerdict::kRejected:
       set_state(s->id(), SessionState::kRejected);
       stats_.note_rejected();
+      m_rejected_.inc();
+      journal_.push(support::EventKind::kReject, tick_,
+                    static_cast<std::int64_t>(s->id()));
       break;
   }
 }
@@ -104,6 +170,10 @@ void EngineHost::activate(std::unique_ptr<Session> s) {
   if (tracing_armed_) s->arm_tracing(trace_capacity_);
   set_state(s->id(), SessionState::kActive);
   stats_.note_admitted(s->qos());
+  m_admitted_.inc();
+  journal_.push(support::EventKind::kAdmit, tick_,
+                static_cast<std::int64_t>(s->id()),
+                static_cast<std::int64_t>(rank(s->qos())), s->density());
   active_.push_back(std::move(s));
 }
 
@@ -128,6 +198,15 @@ void EngineHost::remove_session(SessionId id, SessionState final_state) {
     if ((*it)->id() != id) continue;
     active_density_ = std::max(0.0, active_density_ - (*it)->density());
     stats_.retire(**it, final_state == SessionState::kShed);
+    if (final_state == SessionState::kShed) {
+      m_shed_.inc();
+      journal_.push(support::EventKind::kShed, tick_,
+                    static_cast<std::int64_t>(id));
+    } else {
+      m_closed_.inc();
+      journal_.push(support::EventKind::kSessionClosed, tick_,
+                    static_cast<std::int64_t>(id));
+    }
     if (tracing_armed_ && (*it)->recorder().armed()) {
       retired_traces_.push_back({(*it)->name(),
                                  static_cast<std::uint32_t>((*it)->id()),
@@ -148,9 +227,14 @@ void EngineHost::remove_session(SessionId id, SessionState final_state) {
 
 // ---- data plane ---------------------------------------------------------
 
+void EngineHost::enable_flight(std::size_t spans_per_thread) {
+  flight_.configure(threads_, spans_per_thread);
+}
+
 FleetTick EngineHost::run_fleet_cycle() {
   FleetTick t;
   t.index = tick_;
+  if (flight_.enabled()) flight_.begin_cycle();
 
   drain_commands();
   if (admit_holdoff_ > 0) {
@@ -193,7 +277,15 @@ FleetTick EngineHost::run_fleet_cycle() {
     const double wait_us = support::since_us(t0);
     const double allowed_us = s->next_due_us() - fleet_now_us_;
     const double completion = s->run_cycle(wait_us, allowed_us);
-    if (completion > allowed_us) ++t.misses;
+    m_cycles_.inc();
+    if (completion > allowed_us) {
+      ++t.misses;
+      // Same predicate as Session::run_cycle's counter, so the fleet
+      // export equals the sum of session miss counts exactly.
+      m_misses_.inc();
+      journal_.push(support::EventKind::kDeadlineMiss, tick_,
+                    static_cast<std::int64_t>(s->id()), 0, completion);
+    }
     // Advance to the next packet deadline. A session that lagged a whole
     // window behind drops the lost packets instead of carrying a stale
     // deadline — under EDF an ever-older deadline would sort ahead of
@@ -221,6 +313,10 @@ FleetTick EngineHost::run_fleet_cycle() {
   fleet_now_us_ = tick_end;
   ++tick_;
   stats_.note_tick();
+  m_ticks_.inc();
+  g_active_sessions_.set(static_cast<double>(active_.size()));
+  g_queued_sessions_.set(static_cast<double>(queued_.size()));
+  g_active_density_.set(active_density_);
   return t;
 }
 
@@ -230,6 +326,8 @@ void EngineHost::run_fleet_cycles(std::size_t n) {
 
 void EngineHost::handle_overload(FleetTick& t) {
   stats_.note_overload();
+  m_overloads_.inc();
+  journal_.push(support::EventKind::kOverload, tick_, 0, 0, t.elapsed_us);
   // Shed order: walk the lowest class's degradation ladders first; only
   // once the whole class sits at the floor, evict its youngest session.
   // Standard follows besteffort; realtime is never shed — it only ever
@@ -240,6 +338,7 @@ void EngineHost::handle_overload(FleetTick& t) {
       if (s->qos() == q && s->supervisor().force_degrade()) {
         any = true;
         ++t.degraded;
+        m_degrade_steps_.inc();
       }
     }
     return any;
@@ -293,6 +392,45 @@ void EngineHost::arm_tracing(std::size_t capacity_per_worker) {
   tracing_armed_ = true;
   trace_capacity_ = capacity_per_worker;
   for (const auto& s : active_) s->arm_tracing(capacity_per_worker);
+}
+
+bool EngineHost::write_metrics(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << registry_.prometheus();
+  return static_cast<bool>(f);
+}
+
+void EngineHost::start_metrics_exporter(const std::string& path,
+                                        double period_ms) {
+  stop_metrics_exporter();
+  {
+    std::lock_guard lk(exporter_mutex_);
+    exporter_stop_ = false;
+  }
+  exporter_ = std::thread([this, path, period_ms] {
+    const auto period = std::chrono::duration<double, std::milli>(
+        period_ms > 0 ? period_ms : 1000.0);
+    std::unique_lock lk(exporter_mutex_);
+    for (;;) {
+      // Write first so even a short-lived host leaves a scrape behind.
+      lk.unlock();
+      write_metrics(path);
+      lk.lock();
+      if (exporter_cv_.wait_for(lk, period, [&] { return exporter_stop_; })) {
+        return;
+      }
+    }
+  });
+}
+
+void EngineHost::stop_metrics_exporter() {
+  {
+    std::lock_guard lk(exporter_mutex_);
+    exporter_stop_ = true;
+  }
+  exporter_cv_.notify_all();
+  if (exporter_.joinable()) exporter_.join();
 }
 
 bool EngineHost::write_chrome_trace(const std::string& path) const {

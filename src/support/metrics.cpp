@@ -1,0 +1,311 @@
+#include "djstar/support/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace djstar::support {
+namespace {
+
+using detail::MetricCell;
+using detail::MetricEntry;
+
+/// Fixed-point scale for histogram sums: 2^-10 us resolution keeps the
+/// accumulation an integer fetch_add (wait-free) while staying far below
+/// timing noise.
+constexpr double kSumScale = 1024.0;
+
+const char* kind_name(MetricEntry::Kind k) noexcept {
+  switch (k) {
+    case MetricEntry::Kind::kCounter: return "counter";
+    case MetricEntry::Kind::kGauge: return "gauge";
+    case MetricEntry::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  // %.17g round-trips; trim the common integral case for readability.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  }
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+unsigned metric_shard_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+std::uint64_t Counter::value() const noexcept {
+  if (e_ == nullptr) return 0;
+  std::uint64_t sum = 0;
+  for (unsigned s = 0; s < kMetricShards; ++s) {
+    sum += e_->cells[s].v.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void HistogramMetric::record(double v) noexcept {
+  if (e_ == nullptr) return;
+  const auto& bounds = e_->bounds;
+  std::size_t bucket = bounds.size();  // +Inf
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (v <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  MetricCell* shard =
+      e_->hist.get() + metric_shard_index() * e_->hist_stride;
+  shard[bucket].v.fetch_add(1, std::memory_order_relaxed);
+  shard[bounds.size() + 1].v.fetch_add(1, std::memory_order_relaxed);  // count
+  const auto q = static_cast<std::uint64_t>(
+      std::max(0.0, v) * kSumScale + 0.5);
+  shard[bounds.size() + 2].v.fetch_add(q, std::memory_order_relaxed);  // sum
+}
+
+std::uint64_t HistogramMetric::count() const noexcept {
+  if (e_ == nullptr) return 0;
+  std::uint64_t sum = 0;
+  for (unsigned s = 0; s < kMetricShards; ++s) {
+    sum += e_->hist[s * e_->hist_stride + e_->bounds.size() + 1].v.load(
+        std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+bool MetricsRegistry::valid_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+detail::MetricEntry* MetricsRegistry::find_or_create(
+    std::string_view name, std::string_view help, MetricEntry::Kind kind) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("invalid metric name '" + std::string(name) +
+                                "'");
+  }
+  const std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::invalid_argument(
+            "metric '" + std::string(name) + "' already registered as " +
+            kind_name(e->kind) + ", requested " + kind_name(kind));
+      }
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<MetricEntry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->kind = kind;
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter MetricsRegistry::counter(std::string_view name,
+                                 std::string_view help) {
+  MetricEntry* e = find_or_create(name, help, MetricEntry::Kind::kCounter);
+  if (!e->cells) e->cells = std::make_unique<MetricCell[]>(kMetricShards);
+  return Counter(e);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  return Gauge(find_or_create(name, help, MetricEntry::Kind::kGauge));
+}
+
+HistogramMetric MetricsRegistry::histogram(std::string_view name,
+                                           std::string_view help,
+                                           std::span<const double> bounds) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "' needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i] > bounds[i - 1])) {
+      throw std::invalid_argument("histogram '" + std::string(name) +
+                                  "' bounds must be strictly increasing");
+    }
+  }
+  MetricEntry* e = find_or_create(name, help, MetricEntry::Kind::kHistogram);
+  if (!e->hist) {
+    e->bounds.assign(bounds.begin(), bounds.end());
+    e->hist_stride = bounds.size() + 3;  // buckets + Inf + count + sum
+    e->hist =
+        std::make_unique<MetricCell[]>(kMetricShards * e->hist_stride);
+  } else if (e->bounds.size() != bounds.size() ||
+             !std::equal(bounds.begin(), bounds.end(), e->bounds.begin())) {
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "' re-registered with different bounds");
+  }
+  return HistogramMetric(e);
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricValue v;
+    v.name = e->name;
+    v.help = e->help;
+    v.kind = e->kind;
+    switch (e->kind) {
+      case MetricEntry::Kind::kCounter: {
+        std::uint64_t sum = 0;
+        for (unsigned s = 0; s < kMetricShards; ++s) {
+          sum += e->cells[s].v.load(std::memory_order_relaxed);
+        }
+        v.value = static_cast<double>(sum);
+        v.count = sum;
+        break;
+      }
+      case MetricEntry::Kind::kGauge:
+        v.value = e->gauge.load(std::memory_order_relaxed);
+        break;
+      case MetricEntry::Kind::kHistogram: {
+        const std::size_t buckets = e->bounds.size() + 1;
+        v.bounds = e->bounds;
+        v.bucket_counts.assign(buckets, 0);
+        std::uint64_t sum_q = 0;
+        for (unsigned s = 0; s < kMetricShards; ++s) {
+          const MetricCell* shard = e->hist.get() + s * e->hist_stride;
+          for (std::size_t b = 0; b < buckets; ++b) {
+            v.bucket_counts[b] += shard[b].v.load(std::memory_order_relaxed);
+          }
+          v.count += shard[buckets].v.load(std::memory_order_relaxed);
+          sum_q += shard[buckets + 1].v.load(std::memory_order_relaxed);
+        }
+        v.sum = static_cast<double>(sum_q) / kSumScale;
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(256 * snap.metrics.size() + 64);
+  for (const MetricValue& m : snap.metrics) {
+    out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + " ";
+    out += kind_name(m.kind);
+    out += "\n";
+    if (m.kind != MetricEntry::Kind::kHistogram) {
+      out += m.name + " ";
+      append_double(out, m.value);
+      out += "\n";
+      continue;
+    }
+    // Cumulative le-buckets; the +Inf bucket equals _count by
+    // construction (both derive from the same shard cells).
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+      cum += m.bucket_counts[b];
+      out += m.name + "_bucket{le=\"";
+      if (b < m.bounds.size()) {
+        append_double(out, m.bounds[b]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      append_double(out, static_cast<double>(cum));
+      out += "\n";
+    }
+    out += m.name + "_sum ";
+    append_double(out, m.sum);
+    out += "\n";
+    out += m.name + "_count ";
+    append_double(out, static_cast<double>(m.count));
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : snap.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, m.name);
+    out += ",\"help\":";
+    append_json_string(out, m.help);
+    out += ",\"type\":\"";
+    out += kind_name(m.kind);
+    out += "\"";
+    if (m.kind != MetricEntry::Kind::kHistogram) {
+      out += ",\"value\":";
+      append_double(out, m.value);
+    } else {
+      out += ",\"bounds\":[";
+      for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+        if (i) out += ",";
+        append_double(out, m.bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+        if (i) out += ",";
+        append_double(out, static_cast<double>(m.bucket_counts[i]));
+      }
+      out += "],\"count\":";
+      append_double(out, static_cast<double>(m.count));
+      out += ",\"sum\":";
+      append_double(out, m.sum);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace djstar::support

@@ -18,6 +18,30 @@ void append_span_name(std::string& out, const TraceSpan& s) {
   }
 }
 
+// JSON string escaping for names that may come from user-supplied
+// session labels: quotes, backslashes, and control characters are
+// escaped (not stripped), so the trace stays loadable and the name stays
+// recognizable.
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 void append_event(std::string& out, const TraceSpan& s, std::uint32_t pid,
                   bool& first) {
   if (!first) out += ",\n";
@@ -39,18 +63,28 @@ void append_process_meta(std::string& out, const TraceProcess& p,
                          bool& first) {
   if (!first) out += ",\n";
   first = false;
-  // Escape is unnecessary: process names come from our own session
-  // labels, but keep quotes/newlines out defensively.
   std::string safe;
-  for (char c : p.name) {
-    if (c == '"' || c == '\\' || c == '\n') continue;
-    safe += c;
-  }
-  char buf[160];
+  append_json_escaped(safe, p.name);
+  char buf[200];
   std::snprintf(buf, sizeof buf,
                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
                 ",\"args\":{\"name\":\"%s\"}}",
                 p.pid, safe.c_str());
+  out += buf;
+}
+
+// Truncation marker: an instant event at ts 0 naming the loss, so a
+// Perfetto view of a truncated trace says so instead of silently showing
+// fewer spans.
+void append_dropped_note(std::string& out, const TraceProcess& p,
+                         bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"dropped %llu spans (lane full)\",\"ph\":\"i\","
+                "\"ts\":0,\"pid\":%" PRIu32 ",\"tid\":0,\"s\":\"p\"}",
+                static_cast<unsigned long long>(p.dropped_spans), p.pid);
   out += buf;
 }
 
@@ -86,8 +120,21 @@ void TraceRecorder::record(std::uint32_t thread,
                            const TraceSpan& span) noexcept {
   if (!armed_ || thread >= lanes_.size()) return;
   Lane& lane = lanes_[thread];
-  if (lane.spans.size() >= lane.capacity) return;  // full: drop silently
+  if (lane.spans.size() >= lane.capacity) {
+    ++lane.dropped;  // full: drop, but never silently
+    return;
+  }
   lane.spans.push_back(span);
+}
+
+std::uint64_t TraceRecorder::dropped(std::uint32_t thread) const noexcept {
+  return thread < lanes_.size() ? lanes_[thread].dropped : 0;
+}
+
+std::uint64_t TraceRecorder::total_dropped() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& lane : lanes_) sum += lane.dropped;
+  return sum;
 }
 
 std::vector<TraceSpan> TraceRecorder::collect() const {
@@ -112,6 +159,7 @@ bool TraceRecorder::write_chrome_trace(const std::string& path,
   p.name = std::string(process_name);
   p.pid = pid;
   p.spans = collect();
+  p.dropped_spans = total_dropped();
   const TraceProcess procs[] = {std::move(p)};
   return djstar::support::write_chrome_trace(path, procs);
 }
@@ -124,6 +172,7 @@ bool write_chrome_trace(const std::string& path,
   bool first = true;
   for (const TraceProcess& p : processes) {
     append_process_meta(out, p, first);
+    if (p.dropped_spans > 0) append_dropped_note(out, p, first);
   }
   for (const TraceProcess& p : processes) {
     for (const TraceSpan& s : p.spans) {

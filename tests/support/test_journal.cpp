@@ -1,0 +1,150 @@
+// Tests for the bounded lock-free MPSC event journal: publish order,
+// counted drops when full, multi-producer integrity, and JSONL export.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "djstar/support/journal.hpp"
+
+namespace ds = djstar::support;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+TEST(EventJournal, CapacityRoundsUpToPowerOfTwo) {
+  ds::EventJournal j(100);
+  EXPECT_EQ(j.capacity(), 128u);
+  ds::EventJournal j2(256);
+  EXPECT_EQ(j2.capacity(), 256u);
+}
+
+TEST(EventJournal, DrainsInPublishOrderWithPayload) {
+  ds::EventJournal j(64);
+  EXPECT_TRUE(j.push(ds::EventKind::kDeadlineMiss, 10, 2, 0, 3100.5));
+  EXPECT_TRUE(j.push(ds::EventKind::kDegrade, 11, 0, 1));
+  EXPECT_TRUE(j.push(ds::EventKind::kRecover, 20, 1, 0));
+
+  const std::vector<ds::Event> evs = j.drain_all();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].kind, ds::EventKind::kDeadlineMiss);
+  EXPECT_EQ(evs[0].cycle, 10u);
+  EXPECT_EQ(evs[0].a, 2);
+  EXPECT_DOUBLE_EQ(evs[0].value, 3100.5);
+  EXPECT_EQ(evs[1].kind, ds::EventKind::kDegrade);
+  EXPECT_EQ(evs[2].kind, ds::EventKind::kRecover);
+  // seq is gap-free and increasing absent drops.
+  EXPECT_EQ(evs[0].seq + 1, evs[1].seq);
+  EXPECT_EQ(evs[1].seq + 1, evs[2].seq);
+  // Timestamps are monotone in publish order.
+  EXPECT_LE(evs[0].t_us, evs[1].t_us);
+  EXPECT_LE(evs[1].t_us, evs[2].t_us);
+}
+
+TEST(EventJournal, FullRingDropsAndCounts) {
+  ds::EventJournal j(4);  // power of two already
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(j.push(ds::EventKind::kAdmit, i, i));
+  }
+  EXPECT_FALSE(j.push(ds::EventKind::kAdmit, 4, 4));
+  EXPECT_FALSE(j.push(ds::EventKind::kAdmit, 5, 5));
+  EXPECT_EQ(j.dropped(), 2u);
+  EXPECT_EQ(j.published(), 4u);
+
+  // Draining frees the slots for further publishes.
+  EXPECT_EQ(j.drain_all().size(), 4u);
+  EXPECT_TRUE(j.push(ds::EventKind::kAdmit, 6, 6));
+  const std::vector<ds::Event> next = j.drain_all();
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].a, 6);
+}
+
+TEST(EventJournal, MultiProducerLosesNothingWithinCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  ds::EventJournal j(2048);
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&j, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        j.push(ds::EventKind::kFaultInjected, std::uint64_t(i), t, i);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  const std::vector<ds::Event> evs = j.drain_all();
+  EXPECT_EQ(evs.size(), std::size_t(kThreads) * kPerThread);
+  EXPECT_EQ(j.dropped(), 0u);
+  // Per-producer subsequences stay in that producer's push order.
+  std::vector<int> last(kThreads, -1);
+  for (const ds::Event& e : evs) {
+    const int t = int(e.a);
+    EXPECT_GT(int(e.b), last[t]);
+    last[t] = int(e.b);
+  }
+}
+
+TEST(EventJournal, DrainAppendsAndReturnsCount) {
+  ds::EventJournal j(16);
+  j.push(ds::EventKind::kOverload, 1, 0, 0, 4000.0);
+  std::vector<ds::Event> out;
+  out.push_back({});  // pre-existing content must survive
+  EXPECT_EQ(j.drain(out), 1u);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(j.drain(out), 0u);
+}
+
+TEST(EventJournal, KindNamesAreStable) {
+  EXPECT_STREQ(ds::to_string(ds::EventKind::kDeadlineMiss), "deadline-miss");
+  EXPECT_STREQ(ds::to_string(ds::EventKind::kFlightDump), "flight-dump");
+  EXPECT_STREQ(ds::to_string(ds::EventKind::kWatchdogCancel),
+               "watchdog-cancel");
+}
+
+TEST(EventJournal, JsonlHasOneObjectPerEvent) {
+  ds::EventJournal j(16);
+  j.push(ds::EventKind::kDeadlineMiss, 7, 2, 0, 3100.25);
+  j.push(ds::EventKind::kShed, 8, 42);
+  const std::vector<ds::Event> evs = j.drain_all();
+  const std::string jsonl = ds::to_jsonl(evs);
+
+  std::istringstream in(jsonl);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"deadline-miss\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cycle\":7"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"shed\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"a\":42"), std::string::npos);
+}
+
+TEST(EventJournal, WriteJsonlCreatesFileAndFailsOnBadPath) {
+  ds::EventJournal j(16);
+  j.push(ds::EventKind::kSessionClosed, 3, 9);
+  const std::vector<ds::Event> evs = j.drain_all();
+  const std::string path = testing::TempDir() + "/journal_test.jsonl";
+  EXPECT_TRUE(ds::write_jsonl(path, evs));
+  EXPECT_NE(slurp(path).find("session-closed"), std::string::npos);
+  EXPECT_FALSE(ds::write_jsonl("/nonexistent-dir/j.jsonl", evs));
+}

@@ -1,0 +1,290 @@
+// Tests for the real-time-safe metrics registry: registration semantics,
+// wait-free recording, snapshot exactness, and a structural validator for
+// the Prometheus text exposition format (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "djstar/support/metrics.hpp"
+
+namespace ds = djstar::support;
+
+namespace {
+
+// Structural validator for the Prometheus text exposition format:
+//  - every sample line's metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+//  - every family is preceded by matching # HELP and # TYPE lines
+//  - histogram `le` buckets are monotone non-decreasing (cumulative) and
+//    the +Inf bucket equals the _count sample.
+// Returns an empty string on success, a diagnostic otherwise.
+std::string validate_prometheus(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string current_family;  // from the last # TYPE line
+  std::string current_type;
+  bool have_help = false;
+  double last_bucket = -1.0;
+  double inf_bucket = -1.0;
+  int lineno = 0;
+
+  const auto base_name = [](std::string name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::string at = " (line " + std::to_string(lineno) + ")";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const auto sp = line.find(' ', 7);
+      if (sp == std::string::npos) return "HELP without text" + at;
+      current_family = line.substr(7, sp - 7);
+      have_help = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const auto sp = line.find(' ', 7);
+      if (sp == std::string::npos) return "TYPE without kind" + at;
+      const std::string fam = line.substr(7, sp - 7);
+      if (!have_help || fam != current_family) {
+        return "TYPE for '" + fam + "' without preceding HELP" + at;
+      }
+      current_type = line.substr(sp + 1);
+      if (current_type != "counter" && current_type != "gauge" &&
+          current_type != "histogram") {
+        return "unknown TYPE '" + current_type + "'" + at;
+      }
+      last_bucket = -1.0;
+      inf_bucket = -1.0;
+      continue;
+    }
+    if (line[0] == '#') return "unknown comment line" + at;
+
+    // Sample line: name[{labels}] value
+    auto name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return "malformed sample" + at;
+    const std::string name = line.substr(0, name_end);
+    if (!ds::MetricsRegistry::valid_name(name)) {
+      return "invalid metric name '" + name + "'" + at;
+    }
+    if (base_name(name) != current_family) {
+      return "sample '" + name + "' outside its TYPE block" + at;
+    }
+    const auto val_pos = line.rfind(' ');
+    if (val_pos == std::string::npos) return "missing value" + at;
+    double value = 0;
+    try {
+      value = std::stod(line.substr(val_pos + 1));
+    } catch (...) {
+      return "unparsable value" + at;
+    }
+
+    if (current_type == "histogram" && line[name_end] == '{') {
+      const auto le = line.find("le=\"", name_end);
+      if (le == std::string::npos) return "bucket without le label" + at;
+      const auto q = line.find('"', le + 4);
+      const std::string bound = line.substr(le + 4, q - le - 4);
+      if (value + 1e-9 < last_bucket) {
+        return "non-monotone cumulative buckets" + at;
+      }
+      last_bucket = value;
+      if (bound == "+Inf") inf_bucket = value;
+    } else if (current_type == "histogram" &&
+               name == current_family + "_count") {
+      if (inf_bucket < 0) return "_count before +Inf bucket" + at;
+      if (value != inf_bucket) return "+Inf bucket != _count" + at;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  ds::MetricsRegistry reg;
+  ds::Counter c = reg.counter("djstar_test_total", "a test counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInertNoOps) {
+  ds::Counter c;
+  ds::Gauge g;
+  ds::HistogramMetric h;
+  c.inc();
+  g.set(3.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_FALSE(bool(c));
+  EXPECT_FALSE(bool(g));
+  EXPECT_FALSE(bool(h));
+}
+
+TEST(Metrics, SameNameSameKindReturnsSharedStorage) {
+  ds::MetricsRegistry reg;
+  ds::Counter a = reg.counter("djstar_shared_total", "shared");
+  ds::Counter b = reg.counter("djstar_shared_total", "shared");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+  ds::MetricsRegistry reg;
+  reg.counter("djstar_kind", "as counter");
+  EXPECT_THROW(reg.gauge("djstar_kind", "as gauge"), std::invalid_argument);
+  const std::array<double, 2> bounds{1.0, 2.0};
+  EXPECT_THROW(reg.histogram("djstar_kind", "as hist", bounds),
+               std::invalid_argument);
+}
+
+TEST(Metrics, RejectsInvalidNames) {
+  ds::MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("", "x"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("9starts_with_digit", "x"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-dash", "x"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has space", "x"), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("_ok:name_0", "x"));
+  EXPECT_TRUE(ds::MetricsRegistry::valid_name("a:b_c9"));
+  EXPECT_FALSE(ds::MetricsRegistry::valid_name("a.b"));
+}
+
+TEST(Metrics, HistogramRequiresStrictlyIncreasingBounds) {
+  ds::MetricsRegistry reg;
+  const std::array<double, 2> bad{2.0, 2.0};
+  const std::array<double, 0> empty{};
+  EXPECT_THROW(reg.histogram("djstar_h1", "x", bad), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("djstar_h2", "x", empty), std::invalid_argument);
+  const std::array<double, 2> good{1.0, 2.0};
+  ds::HistogramMetric h = reg.histogram("djstar_h3", "x", good);
+  const std::array<double, 2> other{1.0, 3.0};
+  EXPECT_THROW(reg.histogram("djstar_h3", "x", other), std::invalid_argument);
+  h.record(0.5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, HistogramClassifiesIntoBucketsAndInf) {
+  ds::MetricsRegistry reg;
+  const std::array<double, 3> bounds{1.0, 10.0, 100.0};
+  ds::HistogramMetric h = reg.histogram("djstar_lat_us", "latency", bounds);
+  h.record(0.5);    // bucket 0
+  h.record(1.0);    // bucket 0 (le is inclusive)
+  h.record(5.0);    // bucket 1
+  h.record(1000.0); // +Inf
+  const ds::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  const ds::MetricValue& m = snap.metrics[0];
+  ASSERT_EQ(m.bucket_counts.size(), 4u);
+  EXPECT_EQ(m.bucket_counts[0], 2u);
+  EXPECT_EQ(m.bucket_counts[1], 1u);
+  EXPECT_EQ(m.bucket_counts[2], 0u);
+  EXPECT_EQ(m.bucket_counts[3], 1u);
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_NEAR(m.sum, 1006.5, 0.01);
+}
+
+TEST(Metrics, ConcurrentCountersSumExactlyOnceQuiescent) {
+  ds::MetricsRegistry reg;
+  ds::Counter c = reg.counter("djstar_mt_total", "multithreaded");
+  constexpr int kThreads = 4;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIncs);
+}
+
+TEST(Metrics, GaugeHoldsLastWrite) {
+  ds::MetricsRegistry reg;
+  ds::Gauge g = reg.gauge("djstar_level", "degradation level");
+  g.set(2.0);
+  g.set(0.5);
+  EXPECT_EQ(g.value(), 0.5);
+}
+
+TEST(PrometheusFormat, RegistryExportPassesValidator) {
+  ds::MetricsRegistry reg;
+  ds::Counter c = reg.counter("djstar_cycles_total", "cycles executed");
+  ds::Gauge g = reg.gauge("djstar_density", "admission density");
+  const std::array<double, 3> bounds{100.0, 1000.0, 2900.0};
+  ds::HistogramMetric h = reg.histogram("djstar_apc_us", "APC time", bounds);
+  c.inc(7);
+  g.set(0.42);
+  for (double v : {50.0, 150.0, 2500.0, 9999.0}) h.record(v);
+
+  const std::string text = reg.prometheus();
+  EXPECT_EQ(validate_prometheus(text), "") << text;
+  EXPECT_NE(text.find("# HELP djstar_cycles_total cycles executed"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE djstar_cycles_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("djstar_cycles_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("djstar_apc_us_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("djstar_apc_us_count 4"), std::string::npos);
+}
+
+TEST(PrometheusFormat, ValidatorCatchesBrokenDocuments) {
+  EXPECT_NE(validate_prometheus("djstar_x 1\n"), "");  // no HELP/TYPE
+  EXPECT_NE(validate_prometheus("# HELP djstar_x h\n"
+                                "# TYPE djstar_x counter\n"
+                                "bad-name 1\n"),
+            "");
+  // Non-monotone cumulative buckets must be flagged.
+  EXPECT_NE(validate_prometheus("# HELP h x\n"
+                                "# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 5\n"
+                                "h_bucket{le=\"+Inf\"} 3\n"
+                                "h_sum 1\n"
+                                "h_count 3\n"),
+            "");
+  // +Inf bucket disagreeing with _count must be flagged.
+  EXPECT_NE(validate_prometheus("# HELP h x\n"
+                                "# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 1\n"
+                                "h_bucket{le=\"+Inf\"} 2\n"
+                                "h_sum 1\n"
+                                "h_count 3\n"),
+            "");
+}
+
+TEST(Metrics, JsonExportMirrorsSnapshot) {
+  ds::MetricsRegistry reg;
+  ds::Counter c = reg.counter("djstar_j_total", "json \"quoted\" help");
+  c.inc(3);
+  const std::string json = reg.json();
+  EXPECT_NE(json.find("\"name\":\"djstar_j_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  // Help text with quotes must arrive escaped.
+  EXPECT_NE(json.find("json \\\"quoted\\\" help"), std::string::npos);
+}
+
+TEST(Metrics, ShardIndexIsStableWithinAThread) {
+  const unsigned a = ds::metric_shard_index();
+  const unsigned b = ds::metric_shard_index();
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, ds::kMetricShards);
+}

@@ -220,3 +220,118 @@ TEST(ChromeTrace, FailsOnUnwritablePath) {
   tr.arm(1);
   EXPECT_FALSE(tr.write_chrome_trace("/nonexistent-dir/trace.json"));
 }
+
+// ---- drop accounting (observability satellite) ------------------------------
+
+TEST(TraceRecorderDrops, FullLaneCountsDropsPerLane) {
+  ds::TraceRecorder tr;
+  tr.arm(2, 4);
+  for (int i = 0; i < 10; ++i) {
+    tr.record(0, {double(i), double(i) + 1, 0, i, ds::SpanKind::kRun});
+  }
+  tr.record(1, {0.0, 1.0, 1, 0, ds::SpanKind::kRun});
+  EXPECT_EQ(tr.dropped(0), 6u);
+  EXPECT_EQ(tr.dropped(1), 0u);
+  EXPECT_EQ(tr.total_dropped(), 6u);
+  EXPECT_TRUE(tr.truncated());
+}
+
+TEST(TraceRecorderDrops, NoDropsMeansNotTruncated) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 8);
+  tr.record(0, {0.0, 1.0, 0, 0, ds::SpanKind::kRun});
+  EXPECT_EQ(tr.total_dropped(), 0u);
+  EXPECT_FALSE(tr.truncated());
+  EXPECT_EQ(tr.dropped(99), 0u);  // out-of-range lane reads as zero
+}
+
+TEST(TraceRecorderDrops, RearmResetsDropCounters) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 1);
+  tr.record(0, {0.0, 1.0, 0, 0, ds::SpanKind::kRun});
+  tr.record(0, {1.0, 2.0, 0, 1, ds::SpanKind::kRun});
+  EXPECT_EQ(tr.total_dropped(), 1u);
+  tr.arm(1, 1);
+  EXPECT_EQ(tr.total_dropped(), 0u);
+}
+
+TEST(ChromeTrace, TruncatedRecorderEmitsDroppedSpansEvent) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 2);
+  for (int i = 0; i < 5; ++i) {
+    tr.record(0, {double(i), double(i) + 1, 0, i, ds::SpanKind::kRun});
+  }
+  const std::string path = testing::TempDir() + "/chrome_trace_trunc.json";
+  ASSERT_TRUE(tr.write_chrome_trace(path));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("dropped 3 spans"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CompleteRecorderOmitsDroppedSpansEvent) {
+  ds::TraceRecorder tr;
+  tr.arm(1, 8);
+  tr.record(0, {0.0, 1.0, 0, 0, ds::SpanKind::kRun});
+  const std::string path = testing::TempDir() + "/chrome_trace_full.json";
+  ASSERT_TRUE(tr.write_chrome_trace(path));
+  EXPECT_EQ(slurp(path).find("dropped"), std::string::npos);
+}
+
+// ---- JSON robustness (observability satellite) ------------------------------
+
+TEST(ChromeTrace, EscapesQuotesAndBackslashesInProcessNames) {
+  // Session names are user-supplied; a quote or backslash must not break
+  // the JSON document.
+  std::vector<ds::TraceProcess> procs(1);
+  procs[0] = {"deck \"A\" \\ live", 1, {{0.0, 1.0, 0, 0, ds::SpanKind::kRun}}};
+  const std::string path = testing::TempDir() + "/chrome_trace_escape.json";
+  ASSERT_TRUE(ds::write_chrome_trace(path, procs));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("deck \\\"A\\\" \\\\ live"), std::string::npos);
+  // The raw (unescaped) name must not appear.
+  EXPECT_EQ(json.find("\"name\":\"deck \"A\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesControlCharactersInProcessNames) {
+  std::vector<ds::TraceProcess> procs(1);
+  // "\x01" is concatenated separately: "\x01c" would parse as one
+  // 0x1C character, not 0x01 followed by 'c'.
+  procs[0] = {std::string("line\nbreak\ttab" "\x01" "ctl"), 3, {}};
+  const std::string path = testing::TempDir() + "/chrome_trace_ctl.json";
+  ASSERT_TRUE(ds::write_chrome_trace(path, procs));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("line\\nbreak\\ttab\\u0001ctl"), std::string::npos);
+  // No raw control bytes inside the document.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyRecorderProducesValidSkeleton) {
+  ds::TraceRecorder tr;
+  tr.arm(2);
+  const std::string path = testing::TempDir() + "/chrome_trace_empty.json";
+  ASSERT_TRUE(tr.write_chrome_trace(path, 0, "empty"));
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"empty\"}"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);  // no spans
+}
+
+TEST(ChromeTrace, MultiProcessPidsStayUnique) {
+  // The serve host assigns pid = session id; same-named sessions must
+  // still land on distinct tracks.
+  std::vector<ds::TraceProcess> procs(3);
+  procs[0] = {"worker", 1, {{0.0, 1.0, 0, 0, ds::SpanKind::kRun}}};
+  procs[1] = {"worker", 2, {{0.0, 1.0, 0, 1, ds::SpanKind::kRun}}};
+  procs[2] = {"worker", 3, {{0.0, 1.0, 0, 2, ds::SpanKind::kRun}}};
+  const std::string path = testing::TempDir() + "/chrome_trace_pids.json";
+  ASSERT_TRUE(ds::write_chrome_trace(path, procs));
+  const std::string json = slurp(path);
+  for (int pid = 1; pid <= 3; ++pid) {
+    const std::string meta = "\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+    const std::string ev = "\"pid\":" + std::to_string(pid) + ",\"tid\":0";
+    EXPECT_NE(json.find(meta), std::string::npos) << pid;
+    EXPECT_NE(json.find(ev), std::string::npos) << pid;
+    // Exactly one process_name record per pid.
+    EXPECT_EQ(json.find(meta), json.rfind(meta)) << pid;
+  }
+}
