@@ -6,6 +6,7 @@
 // durations, and run the earliest-start / 4-core schedule analyses on
 // the measured profile.
 #include "bench_common.hpp"
+#include "djstar/support/cost_table.hpp"
 
 int main() {
   using namespace djstar;
@@ -44,6 +45,14 @@ int main() {
   }
   const auto path = bench::out_path("node_profile.csv");
   if (csv.save(path)) std::printf("\nwrote %s\n", path.c_str());
+
+  // Ship the calibrated overhead constants alongside the profile — the
+  // same table the simulator defaults and the fusion threshold read.
+  const auto cost_path = bench::out_path("cost_table.csv");
+  if (support::costs::write_cost_table_csv(cost_path)) {
+    std::printf("wrote %s (%zu calibrated constants)\n", cost_path.c_str(),
+                support::costs::rows().size());
+  }
 
   // Feed the measured profile to the schedulers, as the paper did.
   const auto sim = sim::SimGraph::from_compiled(cg, measured);

@@ -36,6 +36,10 @@ class BusyWaitExecutor final : public Executor {
   CompiledGraph& graph_;
   ExecOptions opts_;
   support::Clock::time_point cycle_start_{};
+  // Replay the cached static plan this cycle? Decided in run_cycle();
+  // the team's generation bump (release/acquire) publishes it to the
+  // workers along with the rest of the cycle state.
+  bool use_plan_ = false;
   std::unique_ptr<Team> team_;  // constructed last: workers use members above
 };
 

@@ -14,9 +14,14 @@
 
 #include "djstar/core/fault.hpp"
 #include "djstar/core/graph.hpp"
+#include "djstar/core/graph_opt.hpp"
 #include "djstar/support/journal.hpp"
 
 namespace djstar::core {
+
+/// Index of a fused scheduling unit within its CompiledGraph. With no
+/// fusion plan every unit is a singleton and UnitId == NodeId.
+using UnitId = std::uint32_t;
 
 /// How the executor-facing node queue is ordered. Both options are
 /// dependency-safe for round-robin assignment (every predecessor appears
@@ -37,9 +42,16 @@ enum class QueueOrder {
 class CompiledGraph {
  public:
   /// Compiles `g`. Asserts that the graph is acyclic and every node has
-  /// a work function.
+  /// a work function. Units are the identity partition (one per node).
   explicit CompiledGraph(const TaskGraph& g,
                          QueueOrder order = QueueOrder::kLevelized);
+
+  /// Compiles `g` under a fusion `plan` (graph_opt::plan_fusion).
+  /// Asserts Plan::validate(g). Node-level structure and execution are
+  /// unchanged — the plan only adds the coarser unit granule that the
+  /// executors schedule by.
+  CompiledGraph(const TaskGraph& g, const graph_opt::Plan& plan,
+                QueueOrder order = QueueOrder::kLevelized);
 
   CompiledGraph(const CompiledGraph&) = delete;
   CompiledGraph& operator=(const CompiledGraph&) = delete;
@@ -182,6 +194,57 @@ class CompiledGraph {
     return cycle_[n].waiter;
   }
 
+  // ---- fused units (graph_opt) ----
+  //
+  // The executors' scheduling granule. Without a fusion plan this layer
+  // is the identity: unit u == node u, unit edges == node edges, and the
+  // unit queue equals order(). Unit-level cycle state mirrors the
+  // node-level protocol (same reset in begin_cycle, same resolution
+  // discipline in every executor).
+
+  std::size_t unit_count() const noexcept { return unit_mem_off_.size() - 1; }
+  /// True when any unit has more than one member.
+  bool fused() const noexcept { return fused_; }
+
+  /// Member nodes of unit `u`, in intra-unit execution order.
+  std::span<const NodeId> unit_members(UnitId u) const noexcept {
+    return {unit_mem_list_.data() + unit_mem_off_[u],
+            unit_mem_off_[u + 1] - unit_mem_off_[u]};
+  }
+  /// Unit that node `n` belongs to.
+  UnitId unit_of(NodeId n) const noexcept { return unit_of_[n]; }
+
+  std::span<const UnitId> unit_successors(UnitId u) const noexcept {
+    return {unit_succ_list_.data() + unit_succ_off_[u],
+            unit_succ_off_[u + 1] - unit_succ_off_[u]};
+  }
+  std::uint32_t unit_in_degree(UnitId u) const noexcept {
+    return unit_indeg_[u];
+  }
+  std::uint32_t unit_depth(UnitId u) const noexcept { return unit_depth_[u]; }
+  /// Section of the unit's first member (fusion does not cross sections
+  /// unless explicitly told to).
+  std::uint32_t unit_section_index(UnitId u) const noexcept {
+    return section_idx_[unit_mem_list_[unit_mem_off_[u]]];
+  }
+
+  /// The unit-level dependency-sorted queue (== order() when unfused).
+  std::span<const UnitId> unit_order() const noexcept { return unit_order_; }
+  /// Source units grouped at the front of unit_order().
+  std::span<const UnitId> unit_sources() const noexcept {
+    return {unit_order_.data(), unit_source_count_};
+  }
+
+  /// Remaining unfinished predecessor units of `u` this cycle.
+  std::atomic<std::int32_t>& unit_pending(UnitId u) noexcept {
+    return unit_cycle_[u].pending;
+  }
+  /// Worker registered to be woken when unit `u` becomes ready (-1 =
+  /// none). Thread-sleeping strategy only.
+  std::atomic<std::int32_t>& unit_waiter(UnitId u) noexcept {
+    return unit_cycle_[u].waiter;
+  }
+
  private:
   struct alignas(64) CycleState {  // one cache line per node: the pending
     std::atomic<std::int32_t> pending{0};  // counters are the hot shared data
@@ -202,6 +265,21 @@ class CompiledGraph {
   std::vector<std::uint32_t> section_idx_;
   std::unique_ptr<CycleState[]> cycle_;
 
+  // Fused-unit structure (identity partition when no plan was given).
+  std::vector<std::size_t> unit_mem_off_;
+  std::vector<NodeId> unit_mem_list_;
+  std::vector<UnitId> unit_of_;
+  std::vector<std::size_t> unit_succ_off_;
+  std::vector<UnitId> unit_succ_list_;
+  std::vector<std::uint32_t> unit_indeg_;
+  std::vector<std::uint32_t> unit_depth_;
+  std::vector<UnitId> unit_order_;
+  std::size_t unit_source_count_ = 0;
+  bool fused_ = false;
+  std::unique_ptr<CycleState[]> unit_cycle_;
+
+  void build_units(const TaskGraph& g, const graph_opt::Plan& plan,
+                   QueueOrder order_mode);
   void record_fault(NodeId n, const char* what) noexcept;
 
   // Degradation / fault state. masked_/bypass_/fault_eligible_ and the

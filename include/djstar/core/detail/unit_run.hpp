@@ -1,0 +1,109 @@
+// djstar/core/detail/unit_run.hpp
+// Fused-unit execution and static-plan replay, shared by the scheduling
+// strategies (DESIGN.md §11).
+//
+// Units are the executors' scheduling granule. run_unit() executes a
+// unit's members back to back through CompiledGraph::execute(), so the
+// per-node fault/skip/bypass/cancel semantics are untouched by fusion;
+// observability is also preserved: every member still gets its own kRun
+// span, with a kFused envelope around multi-node units.
+//
+// replay_static() is the cached-schedule fast path: the worker walks its
+// precomputed unit list in scheduled start order, spin-waits each unit's
+// dependency counter, runs it, and resolves unit successors. No queue,
+// no parking, no stealing. Deadlock-free because the plan orders every
+// worker's list by simulated start time and the simulation never starts
+// a unit before all its predecessors finished (graph_opt.hpp).
+#pragma once
+
+#include "djstar/core/chaos.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/detail/spin.hpp"
+#include "djstar/core/executor.hpp"
+#include "djstar/support/time.hpp"
+
+namespace djstar::core::detail {
+
+/// Execute every member of unit `u` on worker `w`. With tracing, emits
+/// one kRun span per member (plus the kFused envelope when the unit has
+/// more than one member); always counts members, not units, into
+/// stats.nodes_executed.
+template <class Emit>
+inline void run_unit(CompiledGraph& g, UnitId u, unsigned w,
+                     ExecutorStats& stats, bool tracing,
+                     support::Clock::time_point cycle_start,
+                     const Emit& emit) {
+  const auto members = g.unit_members(u);
+  if (!tracing) {
+    for (NodeId n : members) g.execute(n);
+    stats.nodes_executed.fetch_add(members.size(),
+                                   std::memory_order_relaxed);
+    return;
+  }
+  const double unit_begin = support::elapsed_us(cycle_start, support::now());
+  double begin = unit_begin;
+  for (NodeId n : members) {
+    g.execute(n);
+    const double end = support::elapsed_us(cycle_start, support::now());
+    emit({begin, end, w, static_cast<std::int32_t>(n),
+          support::SpanKind::kRun});
+    begin = end;
+  }
+  stats.nodes_executed.fetch_add(members.size(), std::memory_order_relaxed);
+  if (members.size() > 1) {
+    emit({unit_begin, begin, w, static_cast<std::int32_t>(members.front()),
+          support::SpanKind::kFused});
+  }
+}
+
+/// Replay worker `w`'s list of a cached static plan. `wait_kind` is the
+/// span kind recorded for time spent waiting on a dependency (each
+/// strategy keeps its own color in the Fig.-11 traces).
+template <class Emit>
+inline void replay_static(CompiledGraph& g, const graph_opt::StaticPlan& plan,
+                          unsigned w, ExecutorStats& stats,
+                          const SpinPolicy& spin, bool tracing,
+                          support::Clock::time_point cycle_start,
+                          const Emit& emit, support::SpanKind wait_kind) {
+  for (UnitId u : plan.worker_units(w)) {
+    auto& pending = g.unit_pending(u);
+
+    double wait_begin = 0.0;
+    if (tracing) wait_begin = support::elapsed_us(cycle_start, support::now());
+
+    chaos::maybe_perturb(chaos::Site::kDependencyCheck);
+    if (pending.load(std::memory_order_acquire) != 0) {
+      SpinWaiter waiter(spin);
+      while (pending.load(std::memory_order_acquire) != 0) {
+        waiter.step();
+      }
+      stats.busy_wait_spins.fetch_add(waiter.spins(),
+                                      std::memory_order_relaxed);
+    }
+
+    if (tracing) {
+      const double run_begin =
+          support::elapsed_us(cycle_start, support::now());
+      if (run_begin - wait_begin > 0.5) {
+        emit({wait_begin, run_begin, w,
+              static_cast<std::int32_t>(g.unit_members(u).front()),
+              wait_kind});
+      }
+    }
+
+    run_unit(g, u, w, stats, tracing, cycle_start, emit);
+
+    for (UnitId s : g.unit_successors(u)) {
+      g.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+/// Shared cycle-start decision: replay only a plan that is present,
+/// still valid, and built for this executor's width.
+inline bool plan_active(const ExecOptions& opts) noexcept {
+  return opts.static_plan != nullptr && opts.static_plan->valid() &&
+         opts.static_plan->threads() == opts.threads;
+}
+
+}  // namespace djstar::core::detail

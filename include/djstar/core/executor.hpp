@@ -78,6 +78,14 @@ struct ExecOptions {
   /// Unlike `trace` it overwrites instead of filling up, so it can stay
   /// enabled for the life of the engine. May be nullptr.
   support::FlightRecorder* flight = nullptr;
+  /// Optional cached static schedule (graph_opt::build_static_plan) over
+  /// the bound graph's units. When non-null, valid() and built for the
+  /// same thread count, the parallel executors replay it instead of
+  /// scheduling dynamically; the decision is re-made at every cycle
+  /// start, so invalidating the plan between cycles falls back to the
+  /// dynamic path on the next cycle. Must outlive the executor. The
+  /// sequential strategy ignores it. May be nullptr.
+  const graph_opt::StaticPlan* static_plan = nullptr;
 };
 
 /// A scheduling strategy bound to one compiled graph. run_cycle()

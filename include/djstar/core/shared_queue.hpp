@@ -47,11 +47,14 @@ class SharedQueueExecutor final : public Executor {
   // Preallocated ring so pushes on the audio path never allocate.
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<NodeId> ring_;
+  std::vector<UnitId> ring_;
   std::size_t head_ = 0, tail_ = 0;  // guarded by mutex_
   std::size_t executed_ = 0;          // guarded by mutex_
 
   support::Clock::time_point cycle_start_{};
+  // Static-plan replay decision for the cycle (published by the team's
+  // generation bump; replay bypasses the shared queue entirely).
+  bool use_plan_ = false;
   std::unique_ptr<Team> team_;
 };
 

@@ -49,6 +49,11 @@ class SleepExecutor final : public Executor {
   ExecOptions opts_;
   std::vector<std::unique_ptr<Slot>> slots_;
   support::Clock::time_point cycle_start_{};
+  // Static-plan replay decision for the cycle (published by the team's
+  // generation bump). Replay spin-waits instead of parking: the plan
+  // already minimizes dependency stalls, so waits are too short to be
+  // worth a sleep/wake round trip.
+  bool use_plan_ = false;
   std::unique_ptr<Team> team_;
 };
 

@@ -60,14 +60,14 @@ class WorkStealingExecutor final : public Executor {
  private:
   void worker_body(unsigned w);
   void seed_inboxes();
-  void on_node_ready(unsigned w, NodeId n);
-  bool try_get_node(unsigned w, NodeId& out);
+  void on_unit_ready(unsigned w, UnitId u);
+  bool try_get_unit(unsigned w, UnitId& out);
 
   struct alignas(64) PerWorker {
     std::unique_ptr<ChaseLevDeque> deque;
     // Seeded by the main thread before the cycle's generation bump
     // (which publishes it with release/acquire), drained by the worker.
-    std::vector<NodeId> inbox;
+    std::vector<UnitId> inbox;
   };
 
   CompiledGraph& graph_;
@@ -85,6 +85,9 @@ class WorkStealingExecutor final : public Executor {
   std::atomic<std::uint32_t> idlers_{0};
 
   support::Clock::time_point cycle_start_{};
+  // Static-plan replay decision for the cycle (published by the team's
+  // generation bump; replay skips seeding, deques, and parking).
+  bool use_plan_ = false;
   std::unique_ptr<Team> team_;   // owned pool (classic mode)
   Team* shared_ = nullptr;       // borrowed pool (hosted mode)
   Team::WorkerFn body_;          // submitted per cycle in hosted mode

@@ -33,6 +33,19 @@ struct EngineConfig {
   bool keep_samples = true;
   core::ExecOptions exec{};  ///< threads field is overwritten
   core::WorkStealingOptions ws{};
+
+  /// Graph compilation pipeline stage (core/graph_opt, DESIGN.md §11).
+  /// Overridden by DJSTAR_GRAPH_OPT=off|fuse|fuse+static when set.
+  core::graph_opt::Mode graph_opt = core::graph_opt::Mode::kOff;
+  /// Fusion pass tuning (used when graph_opt != kOff).
+  core::graph_opt::FusionOptions fusion{};
+  /// Invalidate the cached static plan when the cycle-level graph-time
+  /// EWMA drifts beyond this factor from its value at plan build (in
+  /// either direction).
+  double plan_drift_ratio = 1.5;
+  /// Variance gate: a freshly built static plan starts invalid when the
+  /// cost model's max coefficient of variation exceeds this.
+  double plan_max_cv = 0.25;
 };
 
 /// DJ Star's audio engine. Single-threaded control interface: construct,
@@ -116,7 +129,34 @@ class AudioEngine {
   /// Current master tempo estimate (VC phase output).
   double master_tempo_bpm() const noexcept { return master_tempo_bpm_; }
 
+  // ---- graph optimization (core/graph_opt, DESIGN.md §11) ----
+
+  core::graph_opt::Mode graph_opt_mode() const noexcept {
+    return cfg_.graph_opt;
+  }
+  /// Per-node cost model: seeded from the graph's reference durations at
+  /// construction, refined online via observe_spans() / observe().
+  core::graph_opt::CostModel& cost_model() noexcept { return *cost_model_; }
+  const core::graph_opt::CostModel& cost_model() const noexcept {
+    return *cost_model_;
+  }
+  /// Cached static schedule (nullptr unless mode is fuse+static).
+  const core::graph_opt::StaticPlan* static_plan() const noexcept {
+    return static_plan_.get();
+  }
+
+  /// EWMA refinement hook: fold every kRun span of `trace` into the
+  /// per-node cost estimates. Returns the number of spans folded.
+  std::size_t observe_spans(const support::TraceRecorder& trace);
+
+  /// Rebuild the cached static plan from the current cost model (and
+  /// re-create the executor so workers pick it up). No-op unless mode is
+  /// fuse+static. Called automatically when the plan was invalidated by
+  /// drift and the engine is between cycles.
+  void rebuild_static_plan();
+
  private:
+  void track_graph_time(double graph_us);
   core::ExecOptions exec_options() const noexcept;
   void rebuild_executor();
   void apply_degradation(DegradationLevel target);
@@ -137,7 +177,14 @@ class AudioEngine {
   std::unique_ptr<support::TraceRecorder> env_trace_;
   std::string env_trace_path_;
   bool env_trace_pending_ = false;
+  std::unique_ptr<core::graph_opt::CostModel> cost_model_;
   std::unique_ptr<core::CompiledGraph> compiled_;
+  // Owned by the engine, pointed at by the executors via ExecOptions;
+  // mutated (invalidate/replace) only between cycles.
+  std::unique_ptr<core::graph_opt::StaticPlan> static_plan_;
+  // Cycle-EWMA graph time captured when the current plan was built;
+  // 0 until the first post-build cycle establishes it.
+  double plan_baseline_us_ = 0.0;
   std::unique_ptr<core::Executor> executor_;
   DeadlineMonitor monitor_;
   double master_tempo_bpm_ = 0.0;

@@ -14,40 +14,42 @@
 
 #include "djstar/sim/schedulers.hpp"
 #include "djstar/sim/sim_graph.hpp"
+#include "djstar/support/cost_table.hpp"
 
 namespace djstar::sim {
 
-/// Per-operation costs in microseconds. Defaults are calibrated from the
-/// bench/micro_primitives measurements on commodity x86 (see
-/// EXPERIMENTS.md); all are overridable.
+/// Per-operation costs in microseconds. Defaults come from the single
+/// calibrated table in support/cost_table.hpp (bench/micro_primitives
+/// measurements on commodity x86, exported as results/cost_table.csv);
+/// all are overridable.
 struct OverheadModel {
   /// Picking the next node from the queue + checking its dependencies
   /// ("the small space between node executions", paper Fig. 11).
-  double dep_check_us = 0.75;
+  double dep_check_us = support::costs::kDepCheckUs;
   /// Busy-wait re-check granularity: a spinning thread notices
   /// dependency resolution within this quantum.
-  double spin_quantum_us = 0.10;
+  double spin_quantum_us = support::costs::kSpinQuantumUs;
   /// Latency from notify to the sleeping thread running again
   /// (futex wake + scheduler dispatch).
-  double wake_latency_us = 12.0;
+  double wake_latency_us = support::costs::kWakeLatencyUs;
   /// Cost paid by the signalling thread per wakeup it sends.
-  double signal_cost_us = 1.0;
+  double signal_cost_us = support::costs::kSignalCostUs;
   /// Cost of registering as waiter + parking on the condition variable.
-  double sleep_entry_us = 2.5;
+  double sleep_entry_us = support::costs::kSleepEntryUs;
   /// One steal probe of a victim deque.
-  double steal_probe_us = 1.0;
+  double steal_probe_us = support::costs::kStealProbeUs;
   /// One owner push or pop on the local deque.
-  double deque_op_us = 0.45;
+  double deque_op_us = support::costs::kDequeOpUs;
   /// Master's per-source-node seeding cost at cycle start (WS only).
-  double seed_cost_us = 0.45;
+  double seed_cost_us = support::costs::kSeedCostUs;
   /// Cache-coherence contention: every per-node cost above is scaled by
   /// (1 + contention_per_thread * (threads - 1)). The paper's measured
   /// BUSY at 4 threads (452 us) sits 38% above its RESCON replay
   /// (327 us); this factor models that thread-count-dependent gap.
-  double contention_per_thread = 2.2;
+  double contention_per_thread = support::costs::kContentionPerThread;
   /// Per-cycle team dispatch cost each worker pays before its first node
   /// (generation hand-off, cache warm-up). Applies when threads > 1.
-  double dispatch_us = 14.0;
+  double dispatch_us = support::costs::kDispatchUs;
 
   /// dep_check_us after contention scaling.
   double scaled_check(std::uint32_t threads) const {
@@ -73,5 +75,14 @@ ScheduleResult simulate_sleep(const SimGraph& g, std::uint32_t threads,
 ScheduleResult simulate_work_stealing(const SimGraph& g,
                                       std::uint32_t threads,
                                       const OverheadModel& ov = {});
+
+/// Simulate static-plan replay (graph_opt fuse+static): a critical-path-
+/// first list schedule is computed once (mirroring
+/// core::graph_opt::build_static_plan), then each virtual worker walks
+/// its per-worker list in start order paying one dependency check per
+/// unit — no ready-queue traffic at all. Feed it the unit graph
+/// (SimGraph::from_compiled_units) to model a fused replay.
+ScheduleResult simulate_static(const SimGraph& g, std::uint32_t threads,
+                               const OverheadModel& ov = {});
 
 }  // namespace djstar::sim

@@ -21,6 +21,8 @@ enum class SpanKind : std::uint8_t {
   kSleep,     ///< parked on a condition variable (paper: white areas)
   kSteal,     ///< probing other threads' deques
   kOverhead,  ///< queue management / dependency checking
+  kFused,     ///< envelope around a multi-node fused unit (graph_opt);
+              ///< the member kRun spans nest inside it
 };
 
 const char* to_string(SpanKind k) noexcept;

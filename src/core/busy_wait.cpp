@@ -2,6 +2,7 @@
 
 #include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
+#include "djstar/core/detail/unit_run.hpp"
 
 namespace djstar::core {
 
@@ -14,12 +15,13 @@ BusyWaitExecutor::BusyWaitExecutor(CompiledGraph& graph, ExecOptions opts)
 
 void BusyWaitExecutor::run_cycle() {
   graph_.begin_cycle();
+  use_plan_ = detail::plan_active(opts_);
   cycle_start_ = support::now();
   team_->run_cycle();
 }
 
 void BusyWaitExecutor::worker_body(unsigned w) {
-  const auto order = graph_.order();
+  const auto order = graph_.unit_order();
   const unsigned T = opts_.threads;
   support::TraceRecorder* const trace =
       opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
@@ -32,9 +34,16 @@ void BusyWaitExecutor::worker_body(unsigned w) {
     if (flight) flight->record(w, s);
   };
 
+  if (use_plan_) {
+    detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
+                          tracing, cycle_start_, emit,
+                          support::SpanKind::kBusyWait);
+    return;
+  }
+
   for (std::size_t k = w; k < order.size(); k += T) {
-    const NodeId n = order[k];
-    auto& pending = graph_.pending(n);
+    const UnitId u = order[k];
+    auto& pending = graph_.unit_pending(u);
 
     double wait_begin = 0.0;
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
@@ -50,25 +59,20 @@ void BusyWaitExecutor::worker_body(unsigned w) {
                                        std::memory_order_relaxed);
     }
 
-    double run_begin = 0.0;
     if (tracing) {
-      run_begin = support::elapsed_us(cycle_start_, support::now());
+      const double run_begin =
+          support::elapsed_us(cycle_start_, support::now());
       if (run_begin - wait_begin > 0.5) {
-        emit({wait_begin, run_begin, w, static_cast<std::int32_t>(n),
+        emit({wait_begin, run_begin, w,
+              static_cast<std::int32_t>(graph_.unit_members(u).front()),
               support::SpanKind::kBusyWait});
       }
     }
 
-    graph_.execute(n);
-    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+    detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
 
-    if (tracing) {
-      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
-            static_cast<std::int32_t>(n), support::SpanKind::kRun});
-    }
-
-    for (NodeId s : graph_.successors(n)) {
-      graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel);
+    for (UnitId s : graph_.unit_successors(u)) {
+      graph_.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel);
     }
   }
 }

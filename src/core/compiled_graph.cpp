@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <queue>
 #include <thread>
 
 #include "djstar/support/assert.hpp"
@@ -10,7 +11,11 @@
 
 namespace djstar::core {
 
-CompiledGraph::CompiledGraph(const TaskGraph& g, QueueOrder order_mode) {
+CompiledGraph::CompiledGraph(const TaskGraph& g, QueueOrder order_mode)
+    : CompiledGraph(g, graph_opt::Plan::identity(g.node_count()), order_mode) {}
+
+CompiledGraph::CompiledGraph(const TaskGraph& g, const graph_opt::Plan& plan,
+                             QueueOrder order_mode) {
   const std::size_t n = g.node_count();
   DJSTAR_ASSERT_MSG(n > 0, "cannot compile an empty graph");
   DJSTAR_ASSERT_MSG(g.is_acyclic(), "task graph must be acyclic");
@@ -63,7 +68,94 @@ CompiledGraph::CompiledGraph(const TaskGraph& g, QueueOrder order_mode) {
   masked_.assign(n, 0);
   bypass_.resize(n);
   fault_eligible_.assign(n, 0);
+  build_units(g, plan, order_mode);
   begin_cycle();
+}
+
+void CompiledGraph::build_units(const TaskGraph& g,
+                                const graph_opt::Plan& plan,
+                                QueueOrder order_mode) {
+  DJSTAR_ASSERT_MSG(plan.validate(g), "fusion plan failed legality check");
+  const std::size_t nu = plan.unit_count();
+  unit_of_ = plan.unit_of;
+  fused_ = plan.fused_unit_count() > 0;
+
+  // Member CSR.
+  unit_mem_off_.assign(nu + 1, 0);
+  for (std::size_t u = 0; u < nu; ++u) {
+    unit_mem_off_[u + 1] = unit_mem_off_[u] + plan.units[u].size();
+  }
+  unit_mem_list_.resize(unit_mem_off_[nu]);
+  for (std::size_t u = 0; u < nu; ++u) {
+    std::size_t off = unit_mem_off_[u];
+    for (NodeId m : plan.units[u]) unit_mem_list_[off++] = m;
+  }
+
+  // Contracted inter-unit edges, deduplicated (two member edges between
+  // the same unit pair must still resolve the counter exactly once).
+  std::vector<std::vector<UnitId>> usucc(nu);
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b : g.successors(a)) {
+      if (unit_of_[a] != unit_of_[b]) usucc[unit_of_[a]].push_back(unit_of_[b]);
+    }
+  }
+  unit_indeg_.assign(nu, 0);
+  unit_succ_off_.assign(nu + 1, 0);
+  for (std::size_t u = 0; u < nu; ++u) {
+    auto& s = usucc[u];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    unit_succ_off_[u + 1] = unit_succ_off_[u] + s.size();
+    for (UnitId t : s) ++unit_indeg_[t];
+  }
+  unit_succ_list_.resize(unit_succ_off_[nu]);
+  for (std::size_t u = 0; u < nu; ++u) {
+    std::size_t off = unit_succ_off_[u];
+    for (UnitId t : usucc[u]) unit_succ_list_[off++] = t;
+  }
+
+  // Unit depths (longest-path layering) via Kahn, and the unit queue in
+  // the same discipline as the node queue: levelized (depth-sorted,
+  // id tie-break) or plain Kahn topological with min-id selection. For
+  // the identity plan both reduce to exactly order().
+  unit_depth_.assign(nu, 0);
+  std::vector<std::uint32_t> indeg(unit_indeg_);
+  std::priority_queue<UnitId, std::vector<UnitId>, std::greater<>> ready;
+  for (std::size_t u = 0; u < nu; ++u) {
+    if (indeg[u] == 0) ready.push(static_cast<UnitId>(u));
+  }
+  std::vector<UnitId> topo;
+  topo.reserve(nu);
+  while (!ready.empty()) {
+    const UnitId u = ready.top();
+    ready.pop();
+    topo.push_back(u);
+    for (UnitId t : unit_successors(u)) {
+      unit_depth_[t] = std::max(unit_depth_[t], unit_depth_[u] + 1);
+      if (--indeg[t] == 0) ready.push(t);
+    }
+  }
+  DJSTAR_ASSERT_MSG(topo.size() == nu, "unit graph must be acyclic");
+
+  if (order_mode == QueueOrder::kLevelized) {
+    unit_order_.resize(nu);
+    for (std::size_t u = 0; u < nu; ++u) {
+      unit_order_[u] = static_cast<UnitId>(u);
+    }
+    std::stable_sort(unit_order_.begin(), unit_order_.end(),
+                     [&](UnitId a, UnitId b) {
+                       return unit_depth_[a] < unit_depth_[b];
+                     });
+  } else {
+    unit_order_ = std::move(topo);
+  }
+  unit_source_count_ = 0;
+  while (unit_source_count_ < unit_order_.size() &&
+         unit_depth_[unit_order_[unit_source_count_]] == 0) {
+    ++unit_source_count_;
+  }
+
+  unit_cycle_ = std::make_unique<CycleState[]>(nu);
 }
 
 void CompiledGraph::begin_cycle() noexcept {
@@ -72,6 +164,12 @@ void CompiledGraph::begin_cycle() noexcept {
     cycle_[i].pending.store(static_cast<std::int32_t>(indeg_[i]),
                             std::memory_order_relaxed);
     cycle_[i].waiter.store(-1, std::memory_order_relaxed);
+  }
+  const std::size_t nu = unit_count();
+  for (std::size_t u = 0; u < nu; ++u) {
+    unit_cycle_[u].pending.store(static_cast<std::int32_t>(unit_indeg_[u]),
+                                 std::memory_order_relaxed);
+    unit_cycle_[u].waiter.store(-1, std::memory_order_relaxed);
   }
   ++cycle_index_;
   fault_node_.store(-1, std::memory_order_relaxed);

@@ -1,5 +1,7 @@
 #include "djstar/core/sequential.hpp"
 
+#include "djstar/core/detail/unit_run.hpp"
+
 namespace djstar::core {
 
 SequentialExecutor::SequentialExecutor(CompiledGraph& graph, ExecOptions opts)
@@ -16,20 +18,14 @@ void SequentialExecutor::run_cycle() {
   support::FlightRecorder* const flight =
       opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
                                                          : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(0, s);
+    if (flight) flight->record(0, s);
+  };
   const auto t0 = support::now();
-  for (NodeId n : graph_.order()) {
-    if (trace != nullptr || flight != nullptr) {
-      const double b = support::since_us(t0);
-      graph_.execute(n);
-      const support::TraceSpan s{b, support::since_us(t0), 0,
-                                 static_cast<std::int32_t>(n),
-                                 support::SpanKind::kRun};
-      if (trace) trace->record(0, s);
-      if (flight) flight->record(0, s);
-    } else {
-      graph_.execute(n);
-    }
-    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+  for (UnitId u : graph_.unit_order()) {
+    detail::run_unit(graph_, u, 0, stats_, tracing, t0, emit);
   }
 }
 

@@ -1,6 +1,7 @@
 #include "djstar/core/shared_queue.hpp"
 
 #include "djstar/core/chaos.hpp"
+#include "djstar/core/detail/unit_run.hpp"
 
 namespace djstar::core {
 
@@ -14,14 +15,17 @@ SharedQueueExecutor::SharedQueueExecutor(CompiledGraph& graph,
 
 void SharedQueueExecutor::run_cycle() {
   graph_.begin_cycle();
+  use_plan_ = detail::plan_active(opts_);
   {
-    // Seed the ready queue with all source nodes.
+    // Seed the ready queue with all source units.
     const std::lock_guard<std::mutex> lk(mutex_);
     head_ = tail_ = 0;
     executed_ = 0;
-    for (NodeId n : graph_.sources()) {
-      ring_[tail_] = n;
-      tail_ = (tail_ + 1) % ring_.size();
+    if (!use_plan_) {
+      for (UnitId u : graph_.unit_sources()) {
+        ring_[tail_] = u;
+        tail_ = (tail_ + 1) % ring_.size();
+      }
     }
   }
   cycle_start_ = support::now();
@@ -29,7 +33,7 @@ void SharedQueueExecutor::run_cycle() {
 }
 
 void SharedQueueExecutor::worker_body(unsigned w) {
-  const std::size_t total = graph_.node_count();
+  const std::size_t total = graph_.unit_count();
   support::TraceRecorder* const trace =
       opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
   support::FlightRecorder* const flight =
@@ -41,8 +45,15 @@ void SharedQueueExecutor::worker_body(unsigned w) {
     if (flight) flight->record(w, s);
   };
 
+  if (use_plan_) {
+    detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
+                          tracing, cycle_start_, emit,
+                          support::SpanKind::kSleep);
+    return;
+  }
+
   for (;;) {
-    NodeId n = kInvalidNode;
+    UnitId u = kInvalidNode;
     double wait_begin = 0.0;
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
     chaos::maybe_perturb(chaos::Site::kBeforeWait);
@@ -50,35 +61,27 @@ void SharedQueueExecutor::worker_body(unsigned w) {
       std::unique_lock<std::mutex> lk(mutex_);
       cv_.wait(lk, [&] { return head_ != tail_ || executed_ == total; });
       if (executed_ == total) return;
-      n = ring_[head_];
+      u = ring_[head_];
       head_ = (head_ + 1) % ring_.size();
-      if (tracing) {
-        stats_.sleeps.fetch_add(0, std::memory_order_relaxed);
-      }
     }
 
-    double run_begin = 0.0;
     if (tracing) {
-      run_begin = support::elapsed_us(cycle_start_, support::now());
+      const double run_begin =
+          support::elapsed_us(cycle_start_, support::now());
       if (run_begin - wait_begin > 0.5) {
         emit({wait_begin, run_begin, w, -1, support::SpanKind::kSleep});
       }
     }
 
-    graph_.execute(n);
-    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+    detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
 
-    if (tracing) {
-      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
-            static_cast<std::int32_t>(n), support::SpanKind::kRun});
-    }
-
-    // Release successors and publish completion.
+    // Release successor units and publish completion.
     std::size_t newly_ready = 0;
     {
       const std::lock_guard<std::mutex> lk(mutex_);
-      for (NodeId s : graph_.successors(n)) {
-        if (graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      for (UnitId s : graph_.unit_successors(u)) {
+        if (graph_.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
           ring_[tail_] = s;
           tail_ = (tail_ + 1) % ring_.size();
           ++newly_ready;

@@ -1,6 +1,7 @@
 #include "djstar/core/sleep.hpp"
 
 #include "djstar/core/chaos.hpp"
+#include "djstar/core/detail/unit_run.hpp"
 
 namespace djstar::core {
 
@@ -17,12 +18,13 @@ SleepExecutor::SleepExecutor(CompiledGraph& graph, ExecOptions opts)
 
 void SleepExecutor::run_cycle() {
   graph_.begin_cycle();
+  use_plan_ = detail::plan_active(opts_);
   cycle_start_ = support::now();
   team_->run_cycle();
 }
 
 void SleepExecutor::worker_body(unsigned w) {
-  const auto order = graph_.order();
+  const auto order = graph_.unit_order();
   const unsigned T = opts_.threads;
   support::TraceRecorder* const trace =
       opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
@@ -36,21 +38,28 @@ void SleepExecutor::worker_body(unsigned w) {
   };
   const auto wid = static_cast<std::int32_t>(w);
 
+  if (use_plan_) {
+    detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
+                          tracing, cycle_start_, emit,
+                          support::SpanKind::kSleep);
+    return;
+  }
+
   for (std::size_t k = w; k < order.size(); k += T) {
-    const NodeId n = order[k];
-    auto& pending = graph_.pending(n);
+    const UnitId u = order[k];
+    auto& pending = graph_.unit_pending(u);
 
     double wait_begin = 0.0;
     if (tracing) wait_begin = support::elapsed_us(cycle_start_, support::now());
 
     chaos::maybe_perturb(chaos::Site::kDependencyCheck);
     if (pending.load(std::memory_order_acquire) != 0) {
-      // Register as this node's executor (paper Fig. 6a), then re-check:
+      // Register as this unit's executor (paper Fig. 6a), then re-check:
       // either we observe pending==0 here (the resolving predecessor ran
       // between our first check and the registration), or the
       // predecessor observes our registration and wakes us. seq_cst on
       // both sides makes the flag/counter protocol race-free.
-      graph_.waiter(n).store(wid, std::memory_order_seq_cst);
+      graph_.unit_waiter(u).store(wid, std::memory_order_seq_cst);
       chaos::maybe_perturb(chaos::Site::kBeforeWait);
       if (pending.load(std::memory_order_seq_cst) != 0) {
         stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
@@ -62,30 +71,26 @@ void SleepExecutor::worker_body(unsigned w) {
       }
     }
 
-    double run_begin = 0.0;
     if (tracing) {
-      run_begin = support::elapsed_us(cycle_start_, support::now());
+      const double run_begin =
+          support::elapsed_us(cycle_start_, support::now());
       if (run_begin - wait_begin > 0.5) {
-        emit({wait_begin, run_begin, w, static_cast<std::int32_t>(n),
+        emit({wait_begin, run_begin, w,
+              static_cast<std::int32_t>(graph_.unit_members(u).front()),
               support::SpanKind::kSleep});
       }
     }
 
-    graph_.execute(n);
-    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
-
-    if (tracing) {
-      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
-            static_cast<std::int32_t>(n), support::SpanKind::kRun});
-    }
+    detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
 
     // Signal successors (paper Fig. 6b): the predecessor that resolves
     // the last dependency wakes the registered executor, if any.
-    for (NodeId s : graph_.successors(n)) {
-      if (graph_.pending(s).fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    for (UnitId s : graph_.unit_successors(u)) {
+      if (graph_.unit_pending(s).fetch_sub(1, std::memory_order_seq_cst) ==
+          1) {
         chaos::maybe_perturb(chaos::Site::kBeforeNotify);
         const std::int32_t sleeper =
-            graph_.waiter(s).exchange(-1, std::memory_order_seq_cst);
+            graph_.unit_waiter(s).exchange(-1, std::memory_order_seq_cst);
         if (sleeper >= 0) {
           Slot& slot = *slots_[static_cast<unsigned>(sleeper)];
           // Taking the slot mutex orders this notify after the sleeper's

@@ -4,6 +4,7 @@
 
 #include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
+#include "djstar/core/detail/unit_run.hpp"
 #include "djstar/support/assert.hpp"
 
 namespace djstar::core {
@@ -38,24 +39,26 @@ void WorkStealingExecutor::seed_inboxes() {
   // Paper §V-C: "the main thread fills up the processing queues of all
   // executor threads. It distributes all nodes without dependencies
   // (source nodes) to the threads", grouped by section for data locality.
+  // Fusion preserves this: units inherit their first member's section.
   const unsigned T = opts_.threads;
   unsigned rr = 0;
-  for (NodeId n : graph_.sources()) {
+  for (UnitId u : graph_.unit_sources()) {
     unsigned target;
     if (ws_.seed == SeedMode::kBySection) {
-      target = graph_.section_index(n) % T;
+      target = graph_.unit_section_index(u) % T;
     } else {
       target = rr++ % T;
     }
-    per_worker_[target].inbox.push_back(n);
+    per_worker_[target].inbox.push_back(u);
   }
 }
 
 void WorkStealingExecutor::run_cycle() {
   graph_.begin_cycle();
+  use_plan_ = detail::plan_active(opts_);
   executed_.store(0, std::memory_order_relaxed);
   for (auto& pw : per_worker_) pw.inbox.clear();
-  seed_inboxes();
+  if (!use_plan_) seed_inboxes();
   cycle_start_ = support::now();
   // Team::run_cycle()'s generation bump publishes the inboxes
   // (release store observed by the workers' acquire load).
@@ -66,8 +69,8 @@ void WorkStealingExecutor::run_cycle() {
   }
 }
 
-void WorkStealingExecutor::on_node_ready(unsigned w, NodeId n) {
-  per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(n));
+void WorkStealingExecutor::on_unit_ready(unsigned w, UnitId u) {
+  per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(u));
   // Wake a parked worker, if any (lost-wake safe: idlers re-check with a
   // timeout and an epoch counter).
   chaos::maybe_perturb(chaos::Site::kNodeReady);
@@ -77,11 +80,11 @@ void WorkStealingExecutor::on_node_ready(unsigned w, NodeId n) {
   }
 }
 
-bool WorkStealingExecutor::try_get_node(unsigned w, NodeId& out) {
+bool WorkStealingExecutor::try_get_unit(unsigned w, UnitId& out) {
   // 1) Own deque, bottom (LIFO).
   const auto own = per_worker_[w].deque->pop();
   if (own >= 0) {
-    out = static_cast<NodeId>(own);
+    out = static_cast<UnitId>(own);
     return true;
   }
   // 2) Steal round: probe every other worker's top (FIFO).
@@ -90,7 +93,7 @@ bool WorkStealingExecutor::try_get_node(unsigned w, NodeId& out) {
     const unsigned victim = (w + d) % T;
     const auto got = per_worker_[victim].deque->steal();
     if (got >= 0) {
-      out = static_cast<NodeId>(got);
+      out = static_cast<UnitId>(got);
       stats_.steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -100,7 +103,7 @@ bool WorkStealingExecutor::try_get_node(unsigned w, NodeId& out) {
 }
 
 void WorkStealingExecutor::worker_body(unsigned w) {
-  const std::size_t total = graph_.node_count();
+  const std::size_t total = graph_.unit_count();
   support::TraceRecorder* const trace =
       opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
   support::FlightRecorder* const flight =
@@ -112,18 +115,25 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     if (flight) flight->record(w, s);
   };
 
+  if (use_plan_) {
+    detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
+                          tracing, cycle_start_, emit,
+                          support::SpanKind::kSteal);
+    return;
+  }
+
   // Drain the inbox the main thread seeded for us.
-  for (NodeId n : per_worker_[w].inbox) {
-    per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(n));
+  for (UnitId u : per_worker_[w].inbox) {
+    per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(u));
   }
 
   std::uint32_t failed_rounds = 0;
   while (executed_.load(std::memory_order_acquire) < total) {
-    NodeId n;
+    UnitId u;
     double probe_begin = 0.0;
     if (tracing) probe_begin = support::elapsed_us(cycle_start_, support::now());
 
-    if (!try_get_node(w, n)) {
+    if (!try_get_unit(w, u)) {
       ++failed_rounds;
       if (failed_rounds < ws_.steal_rounds_before_park) {
         detail::cpu_pause();
@@ -154,27 +164,22 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     }
     failed_rounds = 0;
 
-    double run_begin = 0.0;
     if (tracing) {
-      run_begin = support::elapsed_us(cycle_start_, support::now());
+      const double run_begin =
+          support::elapsed_us(cycle_start_, support::now());
       if (run_begin - probe_begin > 0.5) {
         emit({probe_begin, run_begin, w, -1, support::SpanKind::kSteal});
       }
     }
 
-    graph_.execute(n);
-    stats_.nodes_executed.fetch_add(1, std::memory_order_relaxed);
+    detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
 
-    if (tracing) {
-      emit({run_begin, support::elapsed_us(cycle_start_, support::now()), w,
-            static_cast<std::int32_t>(n), support::SpanKind::kRun});
-    }
-
-    // Release successors whose last dependency this node resolved; they
-    // join *our* deque (LIFO) for cache locality (paper §V-C).
-    for (NodeId s : graph_.successors(n)) {
-      if (graph_.pending(s).fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        on_node_ready(w, s);
+    // Release successor units whose last dependency this unit resolved;
+    // they join *our* deque (LIFO) for cache locality (paper §V-C).
+    for (UnitId s : graph_.unit_successors(u)) {
+      if (graph_.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        on_unit_ready(w, s);
       }
     }
 

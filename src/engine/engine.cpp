@@ -56,7 +56,21 @@ AudioEngine::AudioEngine(EngineConfig cfg)
       monitor_(cfg.deadline_us, cfg.keep_samples) {
   // Hardened: DJSTAR_THREADS overrides, 0 = auto, garbage throws.
   cfg_.threads = core::resolve_thread_count(cfg_.threads);
-  compiled_ = std::make_unique<core::CompiledGraph>(graph_nodes_.graph());
+  // Hardened: DJSTAR_GRAPH_OPT overrides, garbage throws.
+  if (auto mode = core::graph_opt::mode_from_env()) cfg_.graph_opt = *mode;
+
+  // Cost model: seeded offline from the graph's reference durations,
+  // refined online via observe_spans()/observe() (DESIGN.md §11).
+  cost_model_ = std::make_unique<core::graph_opt::CostModel>(
+      graph_nodes_.graph().node_count());
+  cost_model_->seed(graph_nodes_.reference_durations());
+
+  const auto plan =
+      cfg_.graph_opt == core::graph_opt::Mode::kOff
+          ? core::graph_opt::Plan::identity(graph_nodes_.graph().node_count())
+          : core::graph_opt::plan_fusion(graph_nodes_.graph(), *cost_model_,
+                                         cfg_.fusion);
+  compiled_ = std::make_unique<core::CompiledGraph>(graph_nodes_.graph(), plan);
 
   // Register the bypass forms once; masking toggles them per level.
   for (core::NodeId n = 0; n < compiled_->node_count(); ++n) {
@@ -69,8 +83,8 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   compiled_->set_poison_hook([this](core::NodeId) {
     poison_pending_.store(true, std::memory_order_relaxed);
   });
-  if (auto plan = core::chaos::FaultPlan::from_env()) {
-    compiled_->arm_faults(*plan);
+  if (auto faults = core::chaos::FaultPlan::from_env()) {
+    compiled_->arm_faults(*faults);
   }
 
   // DJSTAR_FLIGHT=<path>: telemetry on, incidents auto-dump to <path>.
@@ -89,6 +103,13 @@ AudioEngine::AudioEngine(EngineConfig cfg)
     env_trace_pending_ = true;
   }
 
+  if (cfg_.graph_opt == core::graph_opt::Mode::kFuseStatic) {
+    static_plan_ = std::make_unique<core::graph_opt::StaticPlan>(
+        core::graph_opt::build_static_plan(*compiled_, *cost_model_,
+                                           cfg_.threads));
+    if (cost_model_->max_cv() > cfg_.plan_max_cv) static_plan_->invalidate();
+  }
+
   rebuild_executor();
 }
 
@@ -97,7 +118,52 @@ core::ExecOptions AudioEngine::exec_options() const noexcept {
   opts.threads = cfg_.threads;
   if (env_trace_ != nullptr) opts.trace = env_trace_.get();
   if (telemetry_ != nullptr) opts.flight = &telemetry_->flight();
+  if (static_plan_ != nullptr) opts.static_plan = static_plan_.get();
   return opts;
+}
+
+std::size_t AudioEngine::observe_spans(const support::TraceRecorder& trace) {
+  std::size_t folded = 0;
+  for (const auto& s : trace.collect()) {
+    if (s.kind == support::SpanKind::kRun && s.node >= 0 &&
+        static_cast<std::size_t>(s.node) < cost_model_->node_count()) {
+      cost_model_->observe(static_cast<core::NodeId>(s.node), s.duration_us());
+      ++folded;
+    }
+  }
+  return folded;
+}
+
+void AudioEngine::rebuild_static_plan() {
+  if (cfg_.graph_opt != core::graph_opt::Mode::kFuseStatic) return;
+  auto fresh = core::graph_opt::build_static_plan(*compiled_, *cost_model_,
+                                                  cfg_.threads);
+  if (static_plan_ == nullptr) {
+    static_plan_ = std::make_unique<core::graph_opt::StaticPlan>(
+        std::move(fresh));
+    rebuild_executor();  // wire the plan pointer into the workers
+  } else {
+    static_plan_->replace(std::move(fresh));
+  }
+  if (cost_model_->max_cv() > cfg_.plan_max_cv) static_plan_->invalidate();
+  plan_baseline_us_ = 0.0;
+}
+
+void AudioEngine::track_graph_time(double graph_us) {
+  cost_model_->observe_cycle(graph_us);
+  if (static_plan_ == nullptr || !static_plan_->valid()) return;
+  if (plan_baseline_us_ <= 0.0) {
+    // First cycle after a (re)build establishes the drift baseline.
+    plan_baseline_us_ = cost_model_->cycle_ewma_us();
+    return;
+  }
+  const double r = cost_model_->drift_ratio(plan_baseline_us_);
+  if (r > cfg_.plan_drift_ratio || r < 1.0 / cfg_.plan_drift_ratio) {
+    // The cached schedule no longer matches reality: fall back to
+    // dynamic scheduling from the next cycle on. rebuild_static_plan()
+    // re-enables replay with fresh estimates.
+    static_plan_->invalidate();
+  }
 }
 
 void AudioEngine::rebuild_executor() {
@@ -119,6 +185,13 @@ void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
   cfg_.threads = core::resolve_thread_count(threads);
   if (telemetry_) telemetry_->on_threads_changed(cfg_.threads);
   if (env_trace_ && env_trace_pending_) env_trace_->arm(cfg_.threads);
+  if (static_plan_ != nullptr) {
+    // The cached schedule is per-width; rebuild it for the new team.
+    static_plan_->replace(core::graph_opt::build_static_plan(
+        *compiled_, *cost_model_, cfg_.threads));
+    if (cost_model_->max_cv() > cfg_.plan_max_cv) static_plan_->invalidate();
+    plan_baseline_us_ = 0.0;
+  }
   rebuild_executor();
   // The compiled graph (including any degradation masks) and the
   // monitor are untouched; tell the supervisor so it can keep its
@@ -206,6 +279,7 @@ CycleBreakdown AudioEngine::run_cycle() {
     support::ScopedTimer t(c.graph_us);
     executor_->run_cycle();
   }
+  track_graph_time(c.graph_us);
   apply_pending_poison();
   phase_vc(c);
   monitor_.add(c);
@@ -229,6 +303,13 @@ void AudioEngine::apply_degradation(DegradationLevel target) {
   const bool no_stretch = target >= DegradationLevel::kNoStretch;
   for (auto& d : decks_) d->set_stretch_degraded(no_stretch);
   applied_level_ = target;
+  if (static_plan_ != nullptr) {
+    // Masking/bypass changes the effective node costs, so a cached
+    // schedule computed for the previous level is stale. Fall back to
+    // dynamic scheduling until rebuild_static_plan() is called.
+    static_plan_->invalidate();
+    plan_baseline_us_ = 0.0;
+  }
 }
 
 CycleBreakdown AudioEngine::run_cycle_supervised() {
@@ -263,6 +344,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
     exec->run_cycle();
     supervisor_->watchdog_disarm();
   }
+  track_graph_time(c.graph_us);
   apply_pending_poison();
   phase_vc(c);
   supervisor_->supervise_cycle(c, graph_nodes_.output());

@@ -1,0 +1,33 @@
+#include "djstar/support/cost_table.hpp"
+
+#include "djstar/support/csv.hpp"
+
+namespace djstar::support::costs {
+
+namespace {
+constexpr CostRow kRows[] = {
+    {"dep_check_us", kDepCheckUs, "BM_AtomicDependencyCheck"},
+    {"spin_quantum_us", kSpinQuantumUs, "BM_SpinQuantum"},
+    {"wake_latency_us", kWakeLatencyUs, "BM_SleepWakeRoundTrip"},
+    {"signal_cost_us", kSignalCostUs, "BM_CondvarNotify"},
+    {"sleep_entry_us", kSleepEntryUs, "BM_SleepWakeRoundTrip"},
+    {"steal_probe_us", kStealProbeUs, "BM_DequeSteal"},
+    {"deque_op_us", kDequeOpUs, "BM_DequePushPop"},
+    {"seed_cost_us", kSeedCostUs, "BM_DequePushPop"},
+    {"contention_per_thread", kContentionPerThread,
+     "paper §VI BUSY-vs-RESCON gap"},
+    {"dispatch_us", kDispatchUs, "BM_TeamDispatch"},
+    {"per_node_dispatch_us", kPerNodeDispatchUs, "dep_check + deque_op"},
+};
+}  // namespace
+
+std::span<const CostRow> rows() noexcept { return kRows; }
+
+bool write_cost_table_csv(const std::string& path) {
+  CsvWriter csv;
+  csv.cells("op", "us", "source");
+  for (const auto& r : rows()) csv.cells(r.op, r.us, r.source);
+  return csv.save(path);
+}
+
+}  // namespace djstar::support::costs

@@ -1,0 +1,267 @@
+// Differential conformance suite for the graph-opt pipeline: every
+// optimization mode ({off, fuse, fuse+static}) must be observationally
+// identical to the unoptimized sequential baseline under every
+// scheduling strategy — same exactly-once node execution, same
+// precedence, and (on the real DJ graph) bit-identical audio. A single
+// divergent sample or double-executed node here means the fusion pass or
+// the static replay broke the executors' contract.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/random_dag.hpp"
+#include "djstar/core/chaos.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/core/graph_opt.hpp"
+#include "djstar/engine/engine.hpp"
+#include "djstar/support/trace.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace go = djstar::core::graph_opt;
+namespace de = djstar::engine;
+using djstar::test::ChainFanDag;
+using djstar::test::check_cycle_invariants;
+using djstar::test::InstrumentedDag;
+using djstar::test::RandomDag;
+
+namespace {
+
+constexpr go::Mode kModes[] = {go::Mode::kOff, go::Mode::kFuse,
+                               go::Mode::kFuseStatic};
+
+/// Run `cycles` cycles of `dag` under one (strategy, mode) combination
+/// and check the executor invariants after each cycle. Also asserts the
+/// per-node execution count via ExecutorStats: every node exactly once
+/// per cycle, identical across all modes by construction.
+void run_mode_conformance(InstrumentedDag& dag, dc::Strategy s, go::Mode mode,
+                          unsigned threads, int cycles,
+                          const std::string& context) {
+  const std::size_t n = dag.g.node_count();
+  const go::CostModel costs(n, 0.5);  // everything cheap -> fusion fires
+  const auto plan = mode == go::Mode::kOff
+                        ? go::Plan::identity(n)
+                        : go::plan_fusion(dag.g, costs, {});
+  ASSERT_TRUE(plan.validate(dag.g)) << context;
+  dc::CompiledGraph cg(dag.g, plan);
+
+  dc::ExecOptions opts;
+  opts.threads = threads;
+  go::StaticPlan sp(0, {}, 0.0);
+  if (mode == go::Mode::kFuseStatic) {
+    sp.replace(go::build_static_plan(cg, costs, threads));
+    opts.static_plan = &sp;
+  }
+  const auto ex = dc::make_executor(s, cg, opts);
+  const auto before = ex->stats().snapshot();
+  for (int c = 0; c < cycles; ++c) {
+    dag.reset();
+    ex->run_cycle();
+    check_cycle_invariants(dag, context + " cycle " + std::to_string(c));
+  }
+  const auto after = ex->stats().snapshot();
+  ASSERT_EQ(after.nodes_executed - before.nodes_executed,
+            static_cast<std::uint64_t>(cycles) * n)
+      << context << ": per-node execution count diverged";
+}
+
+void sweep_all(InstrumentedDag& dag, const std::string& tag, unsigned threads,
+               int cycles) {
+  for (dc::Strategy s : dc::kAllStrategies) {
+    for (go::Mode mode : kModes) {
+      run_mode_conformance(dag, s, mode, threads, cycles,
+                           tag + "/" + std::string(dc::to_string(s)) + "/" +
+                               std::string(go::to_string(mode)));
+    }
+  }
+}
+
+/// Render `cycles` packets of the real DJ graph and concatenate.
+std::vector<float> render(dc::Strategy s, unsigned threads, go::Mode mode,
+                          std::size_t cycles) {
+  de::EngineConfig cfg;
+  cfg.strategy = s;
+  cfg.threads = threads;
+  cfg.graph_opt = mode;
+  de::AudioEngine e(cfg);
+  std::vector<float> out;
+  out.reserve(cycles * 2 * djstar::audio::kBlockSize);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    e.run_cycle();
+    const auto& buf = e.output();
+    out.insert(out.end(), buf.raw().begin(), buf.raw().end());
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- randomized DAGs --------------------------------------------------------
+
+TEST(GraphOptConformance, RandomDagsAllStrategiesAllModes) {
+  for (std::uint64_t seed : {3u, 17u}) {
+    RandomDag dag(34, 0.07, seed);
+    sweep_all(dag, "random" + std::to_string(seed), 4, djstar::test::scaled(6));
+  }
+}
+
+TEST(GraphOptConformance, DenseAndSparseShapes) {
+  RandomDag dense(24, 0.3, 41);   // deep dependency structure
+  sweep_all(dense, "dense", 4, djstar::test::scaled(5));
+  RandomDag sparse(40, 0.01, 42);  // almost all nodes independent
+  sweep_all(sparse, "sparse", 4, djstar::test::scaled(5));
+}
+
+TEST(GraphOptConformance, ChainFanWorstCase) {
+  // The thread-sleeping executor's worst case, now with the chain fused
+  // into multi-node units.
+  ChainFanDag dag(17, 6);
+  sweep_all(dag, "chainfan", 4, djstar::test::scaled(6));
+}
+
+TEST(GraphOptConformance, TwoThreadSweep) {
+  RandomDag dag(28, 0.09, 23);
+  sweep_all(dag, "t2", 2, djstar::test::scaled(5));
+}
+
+TEST(GraphOptConformance, RandomDagsUnderScopedChaos) {
+  // Schedule fuzzing: chaos perturbs the executors' race windows while
+  // fused units and static replay are active.
+  dc::chaos::ScopedChaos chaos(0xC0FFEEu);
+  RandomDag dag(30, 0.08, 9);
+  for (dc::Strategy s : dc::kAllStrategies) {
+    for (go::Mode mode : {go::Mode::kFuse, go::Mode::kFuseStatic}) {
+      run_mode_conformance(dag, s, mode, 4, djstar::test::scaled(4),
+                           "chaos/" + std::string(dc::to_string(s)) + "/" +
+                               std::string(go::to_string(mode)));
+    }
+  }
+}
+
+// ---- the real DJ graph ------------------------------------------------------
+
+TEST(GraphOptConformance, EngineAudioBitIdenticalAcrossModes) {
+  constexpr std::size_t kCycles = 24;
+  const auto reference =
+      render(dc::Strategy::kSequential, 1, go::Mode::kOff, kCycles);
+  for (dc::Strategy s : dc::kAllStrategies) {
+    const unsigned threads = s == dc::Strategy::kSequential ? 1 : 4;
+    for (go::Mode mode : kModes) {
+      const auto out = render(s, threads, mode, kCycles);
+      ASSERT_EQ(reference.size(), out.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], out[i])
+            << "sample " << i << " differs under " << dc::to_string(s) << "/"
+            << go::to_string(mode);
+      }
+    }
+  }
+}
+
+TEST(GraphOptConformance, EngineFusionActuallyFusesTheDjGraph) {
+  de::EngineConfig cfg;
+  cfg.graph_opt = go::Mode::kFuse;
+  cfg.threads = 2;
+  de::AudioEngine e(cfg);
+  // The DJ graph is full of sub-microsecond per-deck chains; the pass
+  // must find at least some of them or the mode is a silent no-op.
+  EXPECT_TRUE(e.compiled().fused());
+  EXPECT_LT(e.compiled().unit_count(), e.compiled().node_count());
+}
+
+// ---- engine wiring ----------------------------------------------------------
+
+TEST(GraphOptEngine, EnvOverridesConfig) {
+  ::setenv("DJSTAR_GRAPH_OPT", "fuse", 1);
+  de::EngineConfig cfg;  // graph_opt defaults to off
+  cfg.threads = 1;
+  cfg.strategy = dc::Strategy::kSequential;
+  de::AudioEngine e(cfg);
+  EXPECT_EQ(e.graph_opt_mode(), go::Mode::kFuse);
+  ::unsetenv("DJSTAR_GRAPH_OPT");
+}
+
+TEST(GraphOptEngine, EnvGarbageThrows) {
+  ::setenv("DJSTAR_GRAPH_OPT", "turbo", 1);
+  de::EngineConfig cfg;
+  cfg.threads = 1;
+  EXPECT_THROW(de::AudioEngine{cfg}, std::invalid_argument);
+  ::unsetenv("DJSTAR_GRAPH_OPT");
+}
+
+TEST(GraphOptEngine, FuseStaticBuildsAValidPlan) {
+  de::EngineConfig cfg;
+  cfg.graph_opt = go::Mode::kFuseStatic;
+  cfg.strategy = dc::Strategy::kBusyWait;
+  cfg.threads = 2;
+  de::AudioEngine e(cfg);
+  ASSERT_NE(e.static_plan(), nullptr);
+  // Reference durations have zero measured deviation -> low variance ->
+  // the plan is cached as valid.
+  EXPECT_TRUE(e.static_plan()->valid());
+  EXPECT_EQ(e.static_plan()->threads(), 2u);
+  EXPECT_GT(e.static_plan()->predicted_makespan_us(), 0.0);
+  e.run_cycles(10);
+  EXPECT_EQ(e.monitor().cycles(), 10u);
+}
+
+TEST(GraphOptEngine, DriftInvalidatesAndRebuildRestores) {
+  de::EngineConfig cfg;
+  cfg.graph_opt = go::Mode::kFuseStatic;
+  cfg.strategy = dc::Strategy::kBusyWait;
+  cfg.threads = 2;
+  de::AudioEngine e(cfg);
+  e.run_cycles(5);  // establishes the cycle-time baseline
+  ASSERT_NE(e.static_plan(), nullptr);
+  ASSERT_TRUE(e.static_plan()->valid());
+
+  // Pump the cycle-level EWMA far away from the baseline; the next
+  // cycle's drift check must invalidate the cached plan...
+  for (int i = 0; i < 400; ++i) e.cost_model().observe_cycle(1e6);
+  e.run_cycle();
+  EXPECT_FALSE(e.static_plan()->valid());
+
+  // ...the engine keeps producing audio on the dynamic fallback...
+  e.run_cycles(5);
+  EXPECT_EQ(e.monitor().cycles(), 11u);
+
+  // ...and an explicit rebuild re-caches a valid plan.
+  e.rebuild_static_plan();
+  EXPECT_TRUE(e.static_plan()->valid());
+}
+
+TEST(GraphOptEngine, SetStrategyRebuildsPlanForNewWidth) {
+  de::EngineConfig cfg;
+  cfg.graph_opt = go::Mode::kFuseStatic;
+  cfg.strategy = dc::Strategy::kBusyWait;
+  cfg.threads = 2;
+  de::AudioEngine e(cfg);
+  e.run_cycles(5);
+  e.set_strategy(dc::Strategy::kWorkStealing, 4);
+  ASSERT_NE(e.static_plan(), nullptr);
+  EXPECT_EQ(e.static_plan()->threads(), 4u);
+  EXPECT_TRUE(e.static_plan()->valid());
+  e.run_cycles(5);
+  EXPECT_EQ(e.monitor().cycles(), 10u);
+}
+
+TEST(GraphOptEngine, ObserveSpansRefinesTheCostModel) {
+  djstar::support::TraceRecorder trace;
+  trace.arm(2);
+  de::EngineConfig cfg;
+  cfg.graph_opt = go::Mode::kFuse;
+  cfg.strategy = dc::Strategy::kBusyWait;
+  cfg.threads = 2;
+  cfg.exec.trace = &trace;
+  de::AudioEngine e(cfg);
+  const auto before = e.cost_model().observations();
+  e.run_cycle();
+  const auto folded = e.observe_spans(trace);
+  EXPECT_GT(folded, 0u);
+  EXPECT_EQ(e.cost_model().observations(), before + folded);
+}
