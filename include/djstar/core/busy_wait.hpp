@@ -29,9 +29,11 @@ class BusyWaitExecutor final : public Executor {
   void run_cycle() override;
   std::string_view name() const noexcept override { return "busy"; }
   unsigned threads() const noexcept override { return opts_.threads; }
+  const Team* team() const noexcept override { return team_.get(); }
 
  private:
   void worker_body(unsigned w);
+  void heal_body(unsigned w);
 
   CompiledGraph& graph_;
   ExecOptions opts_;

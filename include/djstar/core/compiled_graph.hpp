@@ -106,6 +106,23 @@ class CompiledGraph {
   void disarm_faults() noexcept { faults_armed_ = false; }
   bool faults_armed() const noexcept { return faults_armed_; }
 
+  /// True when the armed plan can produce worker faults (kStallForever /
+  /// kWorkerAbort). Gates the heal paths' per-unit pre-execution check.
+  bool worker_faults_armed() const noexcept {
+    return faults_armed_ && worker_faults_possible_;
+  }
+
+  /// Resolve-and-consume the worker fault for unit `u` this cycle: scans
+  /// the unit's members, and for the first member whose decision is a
+  /// worker kind wins a per-node one-shot CAS so exactly one caller per
+  /// cycle receives the kind (everyone else gets kNone — re-decisions
+  /// after a quarantine republish see the consumed flag). Counts into
+  /// faults_injected() and journals like any node fault. Called by the
+  /// healing executors before running a claimed unit; execute() consults
+  /// the same one-shot flag, so a kind consumed here never fires again
+  /// inside the unit body.
+  chaos::FaultKind take_worker_fault(UnitId u) noexcept;
+
   /// Hook invoked when a kNanOutput fault fires on node `n` (the graph
   /// owner decides what "corrupted audio" means). Called from worker
   /// threads; must be thread-safe. May be null.
@@ -245,10 +262,51 @@ class CompiledGraph {
     return unit_cycle_[u].waiter;
   }
 
+  // ---- unit claims (self-healing executors, DESIGN.md §12) ----
+  //
+  // The healing strategy paths gate every unit execution behind a CAS on
+  // the unit's claim flag (0 free -> 1 running -> 2 done). A unit that
+  // reaches two workers — a quarantined worker's lane adopted by several
+  // survivors, a duplicate republish into the shared ring or the orphan
+  // buffer — still runs exactly once: the claim loser just moves on, and
+  // only the winner resolves successors. units_done() is the heal paths'
+  // cycle-completion condition (it also advances on drained cycles, so
+  // cancellation still terminates every worker).
+
+  /// Claim unit `u` for execution. One winner per cycle.
+  bool unit_try_claim(UnitId u) noexcept {
+    std::uint8_t expected = 0;
+    return unit_cycle_[u].claim.compare_exchange_strong(
+        expected, 1, std::memory_order_acq_rel);
+  }
+  /// Return a claim without running (the claimer took a worker fault).
+  void unit_release_claim(UnitId u) noexcept {
+    unit_cycle_[u].claim.store(0, std::memory_order_release);
+  }
+  /// Mark a claimed unit executed and count it toward units_done().
+  void unit_mark_done(UnitId u) noexcept {
+    unit_cycle_[u].claim.store(2, std::memory_order_release);
+    units_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  bool unit_done(UnitId u) noexcept {
+    return unit_cycle_[u].claim.load(std::memory_order_acquire) == 2;
+  }
+  bool unit_claimed(UnitId u) noexcept {
+    return unit_cycle_[u].claim.load(std::memory_order_acquire) != 0;
+  }
+  /// Units marked done this cycle (heal paths only; 0 on normal paths).
+  std::size_t units_done() const noexcept {
+    return units_done_.load(std::memory_order_acquire);
+  }
+
  private:
   struct alignas(64) CycleState {  // one cache line per node: the pending
     std::atomic<std::int32_t> pending{0};  // counters are the hot shared data
     std::atomic<std::int32_t> waiter{-1};
+    // Node entries: one-shot consumption flag for worker-fault decisions
+    // (take_worker_fault vs execute). Unit entries: the claim flag.
+    std::atomic<std::uint8_t> wfault{0};
+    std::atomic<std::uint8_t> claim{0};
   };
 
   std::vector<std::string> names_;
@@ -293,6 +351,8 @@ class CompiledGraph {
   chaos::FaultPlan fault_plan_;
   std::vector<std::uint8_t> fault_eligible_;
   bool faults_armed_ = false;
+  bool worker_faults_possible_ = false;
+  std::atomic<std::size_t> units_done_{0};
   std::uint64_t cycle_index_ = 0;
   std::atomic<bool> abort_cycle_{false};
   std::atomic<bool> cancelled_{false};

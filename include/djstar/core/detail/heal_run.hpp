@@ -1,0 +1,144 @@
+// djstar/core/detail/heal_run.hpp
+// Claim-gated unit execution and quarantine-rescue helpers shared by the
+// self-healing strategy paths (DESIGN.md §12).
+//
+// The healing executors never run a unit directly: every execution goes
+// through heal_claim_run(), which (1) wins the unit's claim CAS — the
+// exactly-once arbiter when a quarantined worker's lane is adopted by
+// several survivors or a republish duplicates an entry — (2) consumes
+// any worker fault decided for the unit, wedging or retiring the calling
+// thread instead of running, and (3) marks the unit done so the heal
+// paths' completion condition (units_done() == unit_count()) advances.
+//
+// heal_republish_scan() is the medic-side rescue primitive: everything
+// ready, unclaimed, and unfinished is handed to the strategy's publish
+// callback. It deliberately over-approximates the victim's lost work —
+// duplicates are free under claims, while a missed unit would hang the
+// cycle.
+#pragma once
+
+#include "djstar/core/detail/unit_run.hpp"
+#include "djstar/core/health.hpp"
+
+namespace djstar::core::detail {
+
+/// Run unit `u` on worker `w` through the claim gate. Returns true when
+/// this worker ran the unit (the caller must then resolve successors);
+/// false when the claim was lost or a worker fault fired. After a false
+/// return the caller must check HealthBoard::abandoned() — a wedged or
+/// aborted worker has to unwind out of its strategy body without
+/// touching the barrier.
+template <class Emit>
+inline bool heal_claim_run(CompiledGraph& g, HealthBoard& hb, unsigned w,
+                           UnitId u, ExecutorStats& stats, bool tracing,
+                           support::Clock::time_point cycle_start,
+                           const Emit& emit) {
+  if (!g.unit_try_claim(u)) return false;
+  if (g.worker_faults_armed()) {
+    const chaos::FaultKind wf = g.take_worker_fault(u);
+    if (wf != chaos::FaultKind::kNone && w != 0) {
+      // Release the claim first so the rescue scan (or an adopter) can
+      // pick the unit up, then suffer the fault: kStallForever wedges
+      // until the medic quarantines us, kWorkerAbort retires us now.
+      g.unit_release_claim(u);
+      HealthBoard::on_worker_fault(wf);
+      return false;
+    }
+    // Worker 0 is the caller thread and cannot be replaced: its worker
+    // faults are consumed and ignored (take_worker_fault already counted
+    // and journaled the injection).
+  }
+  hb.beat(w);
+  run_unit(g, u, w, stats, tracing, cycle_start, emit);
+  g.unit_mark_done(u);
+  return true;
+}
+
+/// Republish every ready, unclaimed, unfinished unit via `publish`.
+/// Called from the medic thread after a quarantine; the strategy decides
+/// where the units go (orphan buffer, shared ring, or nothing for the
+/// index-donation strategies, whose adopt scans find them in place).
+/// Returns the number republished.
+template <class Publish>
+inline std::size_t heal_republish_scan(CompiledGraph& g,
+                                       const Publish& publish) {
+  std::size_t n = 0;
+  for (UnitId u : g.unit_order()) {
+    if (g.unit_claimed(u)) continue;
+    if (g.unit_pending(u).load(std::memory_order_acquire) != 0) continue;
+    publish(u);
+    ++n;
+  }
+  return n;
+}
+
+/// Heal-aware round-robin body shared by the busy-waiting and sleeping
+/// strategies: the same k = w, w+T, ... lane assignment, but every unit
+/// runs through the claim gate, dependency waits are bounded (so a dead
+/// resolver cannot park a survivor forever), quarantined workers' lanes
+/// are adopted by the survivors, and after its own lane each worker
+/// helps until the whole graph is done — the barrier must never wait on
+/// a unit only a dead worker knew about.
+///
+///   wait_ready(u)  block until unit_pending(u) == 0, beating and
+///                  periodically returning control; returns false once
+///                  the calling worker was wedged/aborted mid-wait.
+///   resolve(u)     decrement successors (strategy-specific waking).
+///   help_pause()   brief strategy-specific idle step in the help phase.
+template <class Emit, class WaitReady, class Resolve, class HelpPause>
+inline void heal_round_robin_body(CompiledGraph& g, HealthBoard& hb,
+                                  unsigned w, unsigned T,
+                                  ExecutorStats& stats, bool tracing,
+                                  support::Clock::time_point cycle_start,
+                                  const Emit& emit,
+                                  const WaitReady& wait_ready,
+                                  const Resolve& resolve,
+                                  const HelpPause& help_pause) {
+  const auto order = g.unit_order();
+  const std::size_t total = g.unit_count();
+
+  // Adopt dead workers' lanes: claim any ready unit whose round-robin
+  // owner was quarantined (queue-index donation). Several survivors may
+  // scan at once; claims keep it exactly-once.
+  const auto adopt_scan = [&] {
+    if (hb.dead() == 0) return;
+    for (unsigned q = 1; q < T; ++q) {
+      const WorkerState st = hb.state(q);
+      if (st != WorkerState::kQuarantined && st != WorkerState::kAborted) {
+        continue;
+      }
+      for (std::size_t k = q; k < order.size(); k += T) {
+        const UnitId u = order[k];
+        if (g.unit_claimed(u)) continue;
+        if (g.unit_pending(u).load(std::memory_order_acquire) != 0) continue;
+        if (heal_claim_run(g, hb, w, u, stats, tracing, cycle_start, emit)) {
+          resolve(u);
+        }
+        if (HealthBoard::abandoned()) return;
+      }
+    }
+  };
+
+  for (std::size_t k = w; k < order.size(); k += T) {
+    const UnitId u = order[k];
+    while (g.unit_pending(u).load(std::memory_order_acquire) != 0) {
+      if (!wait_ready(u)) return;  // wedged/aborted while waiting
+      adopt_scan();
+      if (HealthBoard::abandoned()) return;
+    }
+    if (heal_claim_run(g, hb, w, u, stats, tracing, cycle_start, emit)) {
+      resolve(u);
+    }
+    if (HealthBoard::abandoned()) return;
+  }
+
+  // Help phase: adopt until every unit in the graph is done.
+  while (g.units_done() < total) {
+    adopt_scan();
+    if (HealthBoard::abandoned()) return;
+    hb.beat(w);
+    help_pause();
+  }
+}
+
+}  // namespace djstar::core::detail

@@ -100,9 +100,12 @@ inline void replay_static(CompiledGraph& g, const graph_opt::StaticPlan& plan,
 }
 
 /// Shared cycle-start decision: replay only a plan that is present,
-/// still valid, and built for this executor's width.
+/// still valid, and built for this executor's width — and only while
+/// self-healing is off: a static schedule assigns units to a fixed
+/// healthy team, which quarantine invalidates mid-cycle (DESIGN.md §12).
 inline bool plan_active(const ExecOptions& opts) noexcept {
-  return opts.static_plan != nullptr && opts.static_plan->valid() &&
+  return opts.heal.mode == HealMode::kOff && opts.static_plan != nullptr &&
+         opts.static_plan->valid() &&
          opts.static_plan->threads() == opts.threads;
 }
 

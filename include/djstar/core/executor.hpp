@@ -7,10 +7,13 @@
 #include <string_view>
 
 #include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/health.hpp"
 #include "djstar/support/flight.hpp"
 #include "djstar/support/trace.hpp"
 
 namespace djstar::core {
+
+class Team;  // team.hpp (includes this header)
 
 /// How a thread waits for an unmet dependency or an empty queue.
 struct SpinPolicy {
@@ -86,6 +89,13 @@ struct ExecOptions {
   /// dynamic path on the next cycle. Must outlive the executor. The
   /// sequential strategy ignores it. May be nullptr.
   const graph_opt::StaticPlan* static_plan = nullptr;
+  /// Worker self-healing (DESIGN.md §12). With mode != kOff the parallel
+  /// executors build their Team with a medic, run every unit through the
+  /// claim-gated heal path, and install a rescue hook that republishes a
+  /// quarantined worker's units. Forces dynamic scheduling: a cached
+  /// static plan assumes a fixed healthy team, so plan replay is skipped
+  /// while healing is armed (detail::plan_active).
+  TeamHealConfig heal{};
 };
 
 /// A scheduling strategy bound to one compiled graph. run_cycle()
@@ -110,6 +120,11 @@ class Executor {
 
   const ExecutorStats& stats() const noexcept { return stats_; }
   void stats_reset() noexcept { stats_.reset(); }
+
+  /// The worker team this executor runs on (owned or shared), or nullptr
+  /// for teamless strategies (sequential). The engine reads healing
+  /// counters through this.
+  virtual const Team* team() const noexcept { return nullptr; }
 
  protected:
   ExecutorStats stats_;

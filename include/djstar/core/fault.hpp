@@ -41,6 +41,16 @@ enum class FaultKind : std::uint8_t {
   kThrow,         ///< node throws InjectedFault instead of running
   kNanOutput,     ///< node runs, then the graph's poison hook corrupts audio
   kStall,         ///< node runs, then the worker sleeps (stuck worker)
+  // Worker faults (DESIGN.md §12): these target the *thread* that picked
+  // the node up, not the node. With a healing team (HealMode != kOff,
+  // parallel strategy) they fire pre-execution at unit granule — the
+  // worker wedges with no heartbeat / dies, and the medic quarantines it
+  // and republishes the unit. Without a medic CompiledGraph::execute()
+  // degrades them so no configuration can hang: kStallForever becomes a
+  // bounded kStall of stall_us, kWorkerAbort a no-op (the node still
+  // runs; there is no thread-level recovery to exercise).
+  kStallForever,  ///< worker wedges until quarantined (bounded stall unhealed)
+  kWorkerAbort,   ///< worker thread dies mid-cycle (no-op unhealed)
 };
 
 const char* to_string(FaultKind k) noexcept;
@@ -61,6 +71,8 @@ struct FaultPlan {
   std::uint32_t throw_permille = 0;    ///< rate of thrown exceptions
   std::uint32_t nan_permille = 0;      ///< rate of NaN output poisoning
   std::uint32_t stall_permille = 0;    ///< rate of stuck-worker stalls
+  std::uint32_t stall_forever_permille = 0;  ///< rate of wedged workers
+  std::uint32_t abort_permille = 0;          ///< rate of dying workers
 
   double latency_min_us = 50.0;   ///< spike duration drawn uniformly
   double latency_max_us = 400.0;  ///< from [min, max]
@@ -71,15 +83,23 @@ struct FaultPlan {
 
   /// True when any rate is non-zero.
   bool any() const noexcept {
-    return latency_permille + throw_permille + nan_permille + stall_permille >
+    return latency_permille + throw_permille + nan_permille + stall_permille +
+               stall_forever_permille + abort_permille >
            0;
+  }
+
+  /// True when a worker-fault rate is non-zero (gates the heal paths'
+  /// pre-execution check in CompiledGraph::take_worker_fault).
+  bool any_worker() const noexcept {
+    return stall_forever_permille + abort_permille > 0;
   }
 
   /// Parse a comma-separated "key=value" spec, e.g.
   ///   "seed=42,throw=5,latency=20,latency_us=100..600,stall=1,stall_us=4000"
-  /// Keys: seed, latency, throw, nan, stall (rates in permille),
-  /// latency_us (single value or "lo..hi"), stall_us. Unknown keys or
-  /// malformed values yield nullopt. Rates are clamped to 1000.
+  /// Keys: seed, latency, throw, nan, stall, stall_forever, abort (rates
+  /// in permille), latency_us (single value or "lo..hi"), stall_us.
+  /// Unknown keys or malformed values yield nullopt. Rates are clamped
+  /// to 1000.
   static std::optional<FaultPlan> parse(std::string_view spec);
 
   /// Parse the DJSTAR_FAULTS environment variable (nullopt when unset

@@ -36,12 +36,18 @@ class SharedQueueExecutor final : public Executor {
   void run_cycle() override;
   std::string_view name() const noexcept override { return "shared"; }
   unsigned threads() const noexcept override { return opts_.threads; }
+  const Team* team() const noexcept override { return team_.get(); }
 
  private:
   void worker_body(unsigned w);
+  void heal_body(unsigned w);
+  void heal_rescue();
 
   CompiledGraph& graph_;
   ExecOptions opts_;
+  // Self-healing (DESIGN.md §12): decided per cycle like use_plan_ and
+  // published by the team's generation bump.
+  bool heal_armed_ = false;
 
   // The shared ready queue (CP.50: data and its mutex live together).
   // Preallocated ring so pushes on the audio path never allocate.

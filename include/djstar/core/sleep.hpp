@@ -33,9 +33,11 @@ class SleepExecutor final : public Executor {
   void run_cycle() override;
   std::string_view name() const noexcept override { return "sleep"; }
   unsigned threads() const noexcept override { return opts_.threads; }
+  const Team* team() const noexcept override { return team_.get(); }
 
  private:
   void worker_body(unsigned w);
+  void heal_body(unsigned w);
 
   /// One park slot per worker: a worker only ever sleeps on its own slot,
   /// and only one node at a time can have it registered as waiter

@@ -20,6 +20,21 @@
 // Schedule fuzzing: each worker passes a chaos::maybe_perturb() site
 // (kCycleStart) between observing the new generation and entering the
 // strategy body, staggering worker start order under the stress suite.
+//
+// Self-healing (DESIGN.md §12): a team built with a TeamHealConfig whose
+// mode is not kOff runs a medic thread that scans the HealthBoard while
+// a cycle is in flight. A worker whose heartbeat goes silent past the
+// budget is quarantined: the strategy's rescue hook republishes its
+// unfinished units to the survivors, and the medic credits the dead
+// worker's barrier slot so dispatch_cycle() still returns. The credit is
+// arbitrated by a CAS on the worker's state (kActive -> kFinished by the
+// worker itself vs kActive/kAborted -> kQuarantined by the medic), so a
+// slot is counted exactly once even when a quarantine races a late
+// finish. A falsely-quarantined worker is safe: the heal paths run every
+// unit through a claim CAS (exactly-once regardless), and the worker
+// retires itself at its next cycle boundary. In kRespawn mode the team
+// joins retired threads and spawns replacements between cycles, seeding
+// them with the current generation so they rejoin cleanly.
 #pragma once
 
 #include <atomic>
@@ -31,6 +46,7 @@
 #include <vector>
 
 #include "djstar/core/executor.hpp"
+#include "djstar/core/health.hpp"
 
 namespace djstar::core {
 
@@ -45,14 +61,20 @@ class Team {
  public:
   /// The per-cycle body; `worker` in [0, threads).
   using WorkerFn = std::function<void(unsigned worker)>;
+  /// Rescue hook: called from the medic thread, mid-cycle, after worker
+  /// `victim` was quarantined. The strategy republishes the victim's
+  /// unfinished units to the survivors and kicks any parked workers.
+  using RescueFn = std::function<void(unsigned victim)>;
 
   /// Spawns `threads - 1` OS threads (thread 0 is the caller).
-  Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn);
+  Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn,
+       TeamHealConfig heal = {});
 
   /// External-submission team: no owned body; every cycle's body is
   /// passed to run_cycle(fn). Used by serve::EngineHost to share one
   /// worker pool between many hosted executors.
-  Team(unsigned threads, StartMode mode, SpinPolicy spin);
+  Team(unsigned threads, StartMode mode, SpinPolicy spin,
+       TeamHealConfig heal = {});
 
   /// Requests stop and joins all workers.
   ~Team();
@@ -70,7 +92,33 @@ class Team {
   /// any, is restored afterwards.
   void run_cycle(const WorkerFn& fn);
 
+  /// Hosted variant with a per-cycle rescue hook (serve: the hook belongs
+  /// to the session's executor, which changes every cycle).
+  void run_cycle(const WorkerFn& fn, const RescueFn& rescue);
+
+  /// Owned-body teams install their rescue hook once, after construction
+  /// and before the first healing cycle.
+  void set_rescue(RescueFn rescue);
+
   unsigned threads() const noexcept { return threads_; }
+
+  // ---- self-healing ----
+
+  /// True when a medic is running (mode != kOff and threads > 1; a
+  /// one-thread team is just the caller, which cannot be quarantined).
+  bool healing() const noexcept {
+    return heal_.enabled() && threads_ > 1;
+  }
+  const TeamHealConfig& heal_config() const noexcept { return heal_; }
+  HealthBoard& health() noexcept { return health_; }
+  const HealthBoard& health() const noexcept { return health_; }
+
+  /// Workers currently not quarantined (== threads() while healthy).
+  unsigned live_threads() const noexcept {
+    return healing() ? threads_ - health_.dead() : threads_;
+  }
+  /// Cumulative healing counters. Callable between cycles.
+  HealStats heal_stats() const noexcept;
 
   /// Exceptions that escaped a worker body and were swallowed by the
   /// team's last-resort net. Always zero in a correct build — strategy
@@ -82,10 +130,20 @@ class Team {
   }
 
  private:
-  void thread_main(unsigned id);
+  void thread_main(unsigned id, std::uint64_t seen);
   void wait_for_generation(std::uint64_t seen);
   void run_body(unsigned id) noexcept;
   void dispatch_cycle();
+  void spawn_workers();
+  // Medic machinery (healing teams only).
+  void medic_main();
+  void medic_scan(std::vector<std::uint64_t>& last_beats,
+                  std::vector<double>& last_progress_us,
+                  std::uint64_t& seen_generation);
+  void quarantine(unsigned w);
+  void credit_done();
+  void heal_maintenance();
+  void await_retirements();
 
   unsigned threads_;
   StartMode mode_;
@@ -108,6 +166,27 @@ class Team {
   std::condition_variable done_cv_;
 
   std::vector<std::thread> workers_;
+
+  // ---- self-healing state ----
+  TeamHealConfig heal_{};
+  HealthBoard health_;
+  // Rescue hook for the cycle in flight. The owned hook is stable; the
+  // hosted hook is published for the duration of one run_cycle(fn,
+  // rescue) call (the medic only dereferences it while in_cycle_).
+  RescueFn rescue_owned_;
+  std::atomic<const RescueFn*> rescue_{nullptr};
+  // True between the generation bump and the barrier return; the medic
+  // only quarantines mid-cycle (between cycles a silent worker is just
+  // parked).
+  std::atomic<bool> in_cycle_{false};
+  // Cycle arm time (steady_clock ns) for heartbeat-budget arithmetic.
+  std::atomic<std::int64_t> cycle_armed_ns_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::thread medic_;
+  std::mutex medic_mutex_;
+  std::condition_variable medic_cv_;
+  bool medic_stop_ = false;  // guarded by medic_mutex_
 };
 
 }  // namespace djstar::core

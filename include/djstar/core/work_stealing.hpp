@@ -56,12 +56,16 @@ class WorkStealingExecutor final : public Executor {
   void run_cycle() override;
   std::string_view name() const noexcept override { return "ws"; }
   unsigned threads() const noexcept override { return opts_.threads; }
+  const Team* team() const noexcept override {
+    return shared_ != nullptr ? shared_ : team_.get();
+  }
 
  private:
   void worker_body(unsigned w);
   void seed_inboxes();
   void on_unit_ready(unsigned w, UnitId u);
   bool try_get_unit(unsigned w, UnitId& out);
+  void heal_rescue(unsigned victim);
 
   struct alignas(64) PerWorker {
     std::unique_ptr<ChaseLevDeque> deque;
@@ -88,9 +92,17 @@ class WorkStealingExecutor final : public Executor {
   // Static-plan replay decision for the cycle (published by the team's
   // generation bump; replay skips seeding, deques, and parking).
   bool use_plan_ = false;
+  // Self-healing (DESIGN.md §12): decided per cycle like use_plan_. The
+  // orphan buffer receives a quarantined worker's drained deque plus the
+  // republish scan's findings; survivors poll it between their own pop
+  // and the steal round. Claims make duplicates harmless.
+  bool heal_armed_ = false;
+  std::mutex orphan_mutex_;
+  std::vector<UnitId> orphan_;
   std::unique_ptr<Team> team_;   // owned pool (classic mode)
   Team* shared_ = nullptr;       // borrowed pool (hosted mode)
   Team::WorkerFn body_;          // submitted per cycle in hosted mode
+  Team::RescueFn rescue_fn_;     // submitted alongside body_ when hosted
 };
 
 }  // namespace djstar::core

@@ -46,6 +46,14 @@ struct EngineConfig {
   /// Variance gate: a freshly built static plan starts invalid when the
   /// cost model's max coefficient of variation exceeds this.
   double plan_max_cv = 0.25;
+
+  /// Worker self-healing (DESIGN.md §12). Overridden by
+  /// DJSTAR_HEAL=off|quarantine|respawn when set. With mode != kOff the
+  /// parallel executors run their team with heartbeats and a medic, the
+  /// engine polls quarantine/respawn counters into the supervisor and
+  /// telemetry after every cycle, and static-plan replay is disabled
+  /// (the cached schedule assumes a fixed healthy team).
+  core::TeamHealConfig heal{};
 };
 
 /// DJ Star's audio engine. Single-threaded control interface: construct,
@@ -157,6 +165,7 @@ class AudioEngine {
 
  private:
   void track_graph_time(double graph_us);
+  void poll_heal();
   core::ExecOptions exec_options() const noexcept;
   void rebuild_executor();
   void apply_degradation(DegradationLevel target);
@@ -200,6 +209,15 @@ class AudioEngine {
   // executor returns so injected NaNs land in the finished output packet
   // instead of contaminating filter state mid-graph.
   std::atomic<bool> poison_pending_{false};
+
+  // Self-healing poll state (DESIGN.md §12): last-seen cumulative team
+  // counters, diffed after every cycle into supervisor/telemetry, plus
+  // the live worker count from the previous poll (0 = not yet seen) for
+  // static-plan invalidation on team-size changes.
+  std::uint64_t seen_heal_quarantines_ = 0;
+  std::uint64_t seen_heal_respawns_ = 0;
+  unsigned seen_heal_live_ = 0;
+  std::uint64_t heal_cycle_ = 0;
 };
 
 }  // namespace djstar::engine

@@ -108,6 +108,8 @@ struct SupervisorStats {
   std::uint64_t fallback_emissions = 0;
   std::uint64_t recoveries = 0;        ///< rungs climbed back up
   std::uint64_t watchdog_cancels = 0;  ///< cancels issued by the watchdog
+  std::uint64_t worker_quarantines = 0;  ///< team workers quarantined
+  std::uint64_t worker_respawns = 0;     ///< replacement workers rejoined
 };
 
 class CycleSupervisor {
@@ -140,6 +142,15 @@ class CycleSupervisor {
   /// Account a kSafeMode cycle (no graph ran): emits a faded repeat and
   /// lets hysteresis climb back toward kSequentialFallback.
   void supervise_safe_mode_cycle(const CycleBreakdown& c);
+
+  /// Recovery-rung accounting for the self-healing team (DESIGN.md §12):
+  /// the engine reports quarantines/respawns it observed on the
+  /// executor's team so supervised runs carry them in stats() and the
+  /// journal. Running degraded on N-1 workers is NOT a ladder step — the
+  /// graph still computes at full quality, just on fewer threads — so
+  /// these only count and journal. Call between cycles.
+  void note_worker_quarantine(std::uint64_t n, std::uint64_t cycle);
+  void note_worker_respawn(std::uint64_t n, std::uint64_t cycle);
 
   /// Externally driven shed: step the ladder down one rung immediately
   /// (no-op at the floor), resetting the streak counters. Used by the

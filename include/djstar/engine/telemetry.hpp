@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "djstar/core/health.hpp"
 #include "djstar/engine/deadline.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/support/flight.hpp"
@@ -51,6 +52,7 @@ enum class FlightDumpTrigger : std::uint8_t {
   kDeadlineMiss = 0,
   kLevelChange,
   kWatchdogFire,
+  kWorkerQuarantine,
 };
 
 class EngineTelemetry {
@@ -87,6 +89,13 @@ class EngineTelemetry {
   /// retained spans; call between cycles only.
   void on_threads_changed(unsigned threads);
 
+  /// Account the team's self-healing state (DESIGN.md §12). Called by
+  /// AudioEngine between cycles when healing is armed. Delta-syncs the
+  /// cumulative quarantine/respawn/rescue counters, tracks the live
+  /// worker count as a gauge, and — every quarantine being an incident —
+  /// dumps the flight recorder automatically.
+  void on_heal(const core::HealStats& hs);
+
   std::uint64_t flight_dumps() const noexcept { return flight_dump_count_; }
 
   /// Prometheus text exposition of the current metric values.
@@ -114,6 +123,10 @@ class EngineTelemetry {
   support::Counter trace_dropped_;
   support::Counter journal_dropped_;
   support::Counter flight_dumps_total_;
+  support::Counter quarantines_;
+  support::Counter respawns_;
+  support::Counter rescued_units_;
+  support::Gauge live_workers_;
   support::Gauge level_gauge_;
   support::HistogramMetric apc_us_;
   support::HistogramMetric graph_us_;
@@ -125,6 +138,9 @@ class EngineTelemetry {
   std::uint64_t seen_wd_cancels_ = 0;
   std::uint64_t seen_trace_dropped_ = 0;
   std::uint64_t seen_journal_dropped_ = 0;
+  std::uint64_t seen_quarantines_ = 0;
+  std::uint64_t seen_respawns_ = 0;
+  std::uint64_t seen_rescued_ = 0;
 
   std::uint64_t cycle_count_ = 0;
   unsigned last_level_ = 0;

@@ -44,10 +44,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "djstar/core/health.hpp"
 #include "djstar/core/team.hpp"
 #include "djstar/core/work_stealing.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/serve/admission.hpp"
+#include "djstar/serve/breaker.hpp"
 #include "djstar/serve/qos.hpp"
 #include "djstar/serve/session.hpp"
 #include "djstar/serve/stats.hpp"
@@ -87,8 +89,16 @@ struct HostConfig {
   /// not scale).
   engine::SupervisorConfig supervisor{};
   /// Recorded for replay bookkeeping; the host itself is deterministic
-  /// given the submission sequence, the seed tags the run.
+  /// given the submission sequence, the seed tags the run (it also seeds
+  /// the breakers' probe jitter).
   std::uint64_t seed = 1;
+  /// Per-session circuit breaker (serve/breaker.hpp, DESIGN.md §12);
+  /// disabled by default. Overridden by DJSTAR_BREAKER=<K>,<backoff_ms>
+  /// when set.
+  BreakerConfig breaker{};
+  /// Worker self-healing for the shared pool (core/health.hpp);
+  /// DJSTAR_HEAL=off|quarantine|respawn overrides the mode.
+  core::TeamHealConfig heal{};
 };
 
 /// Report of one fleet tick.
@@ -134,6 +144,10 @@ class EngineHost {
   unsigned threads() const noexcept { return threads_; }
   std::size_t active_sessions() const noexcept { return active_.size(); }
   std::size_t queued_sessions() const noexcept { return queued_.size(); }
+  /// Sessions currently parked by their circuit breaker.
+  std::size_t tripped_sessions() const noexcept { return tripped_.size(); }
+  /// The shared worker pool (self-healing tests poke its health board).
+  core::Team& team() noexcept { return team_; }
   double active_density() const noexcept { return active_density_; }
   std::uint64_t ticks() const noexcept { return tick_; }
 
@@ -203,12 +217,23 @@ class EngineHost {
     SessionSpec spec;  // kSubmit only
   };
 
+  /// Spec + control snapshot of a session parked by its breaker; the
+  /// DSP state survives in SessionSpec::arena.
+  struct TrippedEntry {
+    SessionId id = kInvalidSession;
+    SessionSpec spec;
+    SessionSnapshot snap;
+  };
+
   void drain_commands();
+  std::unique_ptr<Session> build_session(SessionId id, SessionSpec spec);
   void decide_admission(std::unique_ptr<Session> s);
   void activate(std::unique_ptr<Session> s);
   void try_admit_queued();
   void remove_session(SessionId id, SessionState final_state);
   void handle_overload(FleetTick& t);
+  void trip_session(SessionId id);
+  void probe_tripped();
   void set_state(SessionId id, SessionState s);
 
   HostConfig cfg_;
@@ -234,6 +259,13 @@ class EngineHost {
   ServeStats stats_;
   std::vector<AdmissionRecord> admission_log_;
 
+  // Circuit breakers (cfg_.breaker.enabled() only). A session's breaker
+  // survives trip -> restore so the backoff keeps escalating across
+  // repeated trips; it is erased only when the owner truly closes the
+  // session.
+  std::unordered_map<SessionId, CircuitBreaker> breakers_;
+  std::vector<TrippedEntry> tripped_;
+
   // Telemetry. Counter handles mirror the ServeStats counters one-to-one
   // (incremented at the same call sites); gauges refresh per tick.
   support::MetricsRegistry registry_;
@@ -250,6 +282,8 @@ class EngineHost {
   support::Counter m_cycles_;
   support::Counter m_misses_;
   support::Counter m_degrade_steps_;
+  support::Counter m_tripped_;
+  support::Counter m_restored_;
   support::Gauge g_active_sessions_;
   support::Gauge g_queued_sessions_;
   support::Gauge g_active_density_;

@@ -38,14 +38,16 @@ inline constexpr SessionId kInvalidSession = 0;
 
 /// Session lifecycle. Transitions:
 ///   submit -> kQueued -> (admission) kActive | kQueued | kRejected
-///   kActive -> kShed (overload) | kClosed (caller)
+///   kActive -> kShed (overload) | kClosed (caller) | kTripped (breaker)
 ///   kQueued -> kActive (capacity freed) | kClosed (caller)
+///   kTripped -> kActive (half-open probe admitted) | kClosed (caller)
 enum class SessionState : std::uint8_t {
   kQueued = 0,  ///< submitted, waiting for the admission test
   kActive,      ///< admitted; dispatched every tick it is due
   kShed,        ///< evicted by the overload handler
   kClosed,      ///< torn down by the caller
   kRejected,    ///< admission refused (queueing disabled or queue full)
+  kTripped,     ///< circuit breaker opened; parked until a probe succeeds
 };
 
 const char* to_string(SessionState s) noexcept;

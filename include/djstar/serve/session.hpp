@@ -75,6 +75,15 @@ struct SessionCounters {
   std::uint64_t degraded_cycles = 0;  ///< ran below kFull
 };
 
+/// Lightweight state carried across a breaker trip: everything needed to
+/// resume a rebuilt session where the old one left off that is NOT
+/// already owned by SessionSpec::arena (the DSP state itself survives in
+/// the arena; this is the serve-level control state).
+struct SessionSnapshot {
+  engine::DegradationLevel level = engine::DegradationLevel::kFull;
+  double cost_estimate_us = 0;
+};
+
 /// A hosted session. Constructed by EngineHost; all methods are called
 /// from the host's data-plane thread only.
 class Session {
@@ -132,6 +141,25 @@ class Session {
   void arm_tracing(std::size_t capacity_per_worker);
   const support::TraceRecorder& recorder() const noexcept { return trace_; }
 
+  // ---- circuit-breaker support (serve/breaker.hpp, DESIGN.md §12) ----
+
+  /// Outcome of the last run_cycle() (kClean before any cycle ran);
+  /// the host's breaker failure predicate reads this.
+  engine::CycleOutcome last_outcome() const noexcept { return last_outcome_; }
+
+  /// Capture the control state a breaker trip must preserve.
+  SessionSnapshot snapshot() const noexcept {
+    return {supervisor_.level(), cost_estimate_us_};
+  }
+  /// Re-apply a snapshot to a freshly rebuilt session: walk the ladder
+  /// down to the saved level and restore the admission cost estimate.
+  void restore(const SessionSnapshot& snap);
+
+  /// Surrender the spec for a rebuild (arena shared_ptr and graph move
+  /// out intact). The session MUST be destroyed without running further
+  /// cycles afterwards — compiled_ references the moved-from graph.
+  SessionSpec take_spec() noexcept { return std::move(spec_); }
+
  private:
   void apply_level(engine::DegradationLevel level);
 
@@ -146,6 +174,7 @@ class Session {
   engine::DeadlineMonitor monitor_;
   engine::CycleSupervisor supervisor_;
   engine::DegradationLevel applied_level_ = engine::DegradationLevel::kFull;
+  engine::CycleOutcome last_outcome_ = engine::CycleOutcome::kClean;
   support::Histogram latency_;
   SessionCounters counters_;
   support::TraceRecorder trace_;

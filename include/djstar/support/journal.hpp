@@ -40,6 +40,12 @@ enum class EventKind : std::uint8_t {
   kOverload,          ///< overload handler tripped (value=elapsed_us)
   kSessionClosed,     ///< session closed by its owner (a=id)
   kFlightDump,        ///< flight recorder dumped (a=trigger EventKind)
+  kWorkerQuarantine,  ///< medic quarantined a worker (a=total quarantines)
+  kWorkerRespawn,     ///< replacement worker rejoined (a=total respawns)
+  kBreakerTrip,       ///< session circuit breaker opened (a=id, b=failures)
+  kBreakerProbe,      ///< half-open probe launched (a=id, value=backoff_us)
+  kBreakerClose,      ///< breaker closed after clean probes (a=id)
+  kSessionRestored,   ///< tripped session rebuilt from snapshot (a=id)
 };
 
 const char* to_string(EventKind k) noexcept;

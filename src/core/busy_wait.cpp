@@ -1,6 +1,9 @@
 #include "djstar/core/busy_wait.hpp"
 
+#include <thread>
+
 #include "djstar/core/chaos.hpp"
+#include "djstar/core/detail/heal_run.hpp"
 #include "djstar/core/detail/spin.hpp"
 #include "djstar/core/detail/unit_run.hpp"
 
@@ -10,7 +13,10 @@ BusyWaitExecutor::BusyWaitExecutor(CompiledGraph& graph, ExecOptions opts)
     : graph_(graph), opts_(opts) {
   team_ = std::make_unique<Team>(
       opts_.threads, StartMode::kSpin, opts_.spin,
-      [this](unsigned w) { worker_body(w); });
+      [this](unsigned w) { worker_body(w); }, opts_.heal);
+  // No rescue hook: the busy-waiting heal body polls the health board on
+  // every wait burst, so survivors discover quarantined lanes without a
+  // kick from the medic.
 }
 
 void BusyWaitExecutor::run_cycle() {
@@ -38,6 +44,11 @@ void BusyWaitExecutor::worker_body(unsigned w) {
     detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
                           tracing, cycle_start_, emit,
                           support::SpanKind::kBusyWait);
+    return;
+  }
+
+  if (team_->healing()) {
+    heal_body(w);
     return;
   }
 
@@ -75,6 +86,47 @@ void BusyWaitExecutor::worker_body(unsigned w) {
       graph_.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel);
     }
   }
+}
+
+// Heal-armed variant of the round-robin body: claim-gated runs, bounded
+// spin bursts (so the adopt scan interleaves with dependency waits), and
+// a help phase that keeps every survivor working until the whole graph
+// is done (DESIGN.md §12).
+void BusyWaitExecutor::heal_body(unsigned w) {
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(w, s);
+    if (flight) flight->record(w, s);
+  };
+  HealthBoard& hb = team_->health();
+
+  const auto wait_ready = [&](UnitId u) {
+    auto& pending = graph_.unit_pending(u);
+    std::uint32_t spins = 0;
+    while (spins < 256 &&
+           pending.load(std::memory_order_acquire) != 0) {
+      detail::cpu_pause();
+      ++spins;
+    }
+    stats_.busy_wait_spins.fetch_add(spins, std::memory_order_relaxed);
+    hb.beat(w);
+    return true;
+  };
+  const auto resolve = [&](UnitId u) {
+    for (UnitId s : graph_.unit_successors(u)) {
+      graph_.unit_pending(s).fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+  const auto help_pause = [] { std::this_thread::yield(); };
+
+  detail::heal_round_robin_body(graph_, hb, w, opts_.threads, stats_, tracing,
+                                cycle_start_, emit, wait_ready, resolve,
+                                help_pause);
 }
 
 }  // namespace djstar::core

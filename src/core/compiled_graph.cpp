@@ -164,13 +164,16 @@ void CompiledGraph::begin_cycle() noexcept {
     cycle_[i].pending.store(static_cast<std::int32_t>(indeg_[i]),
                             std::memory_order_relaxed);
     cycle_[i].waiter.store(-1, std::memory_order_relaxed);
+    cycle_[i].wfault.store(0, std::memory_order_relaxed);
   }
   const std::size_t nu = unit_count();
   for (std::size_t u = 0; u < nu; ++u) {
     unit_cycle_[u].pending.store(static_cast<std::int32_t>(unit_indeg_[u]),
                                  std::memory_order_relaxed);
     unit_cycle_[u].waiter.store(-1, std::memory_order_relaxed);
+    unit_cycle_[u].claim.store(0, std::memory_order_relaxed);
   }
+  units_done_.store(0, std::memory_order_relaxed);
   ++cycle_index_;
   fault_node_.store(-1, std::memory_order_relaxed);
   skipped_.store(0, std::memory_order_relaxed);
@@ -192,6 +195,33 @@ void CompiledGraph::arm_faults(const chaos::FaultPlan& plan) {
     }
   }
   faults_armed_ = plan.any();
+  worker_faults_possible_ = plan.any_worker();
+}
+
+chaos::FaultKind CompiledGraph::take_worker_fault(UnitId u) noexcept {
+  for (NodeId n : unit_members(u)) {
+    if (!fault_eligible_[n]) continue;
+    const chaos::FaultAction act = chaos::decide(fault_plan_, cycle_index_, n);
+    if (act.kind != chaos::FaultKind::kStallForever &&
+        act.kind != chaos::FaultKind::kWorkerAbort) {
+      continue;
+    }
+    // One-shot per (cycle, node): the republished unit re-reaches this
+    // check on a surviving worker, which must not wedge too.
+    std::uint8_t expected = 0;
+    if (!cycle_[n].wfault.compare_exchange_strong(expected, 1,
+                                                  std::memory_order_acq_rel)) {
+      continue;
+    }
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      journal_->push(support::EventKind::kFaultInjected, cycle_index_,
+                     static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(act.kind), act.duration_us);
+    }
+    return act.kind;
+  }
+  return chaos::FaultKind::kNone;
 }
 
 void CompiledGraph::record_fault(NodeId n, const char* what) noexcept {
@@ -232,6 +262,20 @@ void CompiledGraph::execute(NodeId n) noexcept {
   chaos::FaultAction act{};
   if (faults_armed_ && fault_eligible_[n]) {
     act = chaos::decide(fault_plan_, cycle_index_, n);
+    if (act.kind == chaos::FaultKind::kStallForever ||
+        act.kind == chaos::FaultKind::kWorkerAbort) {
+      // Worker faults have one consumer per (cycle, node). The healing
+      // executors consume at unit granule (take_worker_fault) before the
+      // unit body reaches here; winning the one-shot CAS means no medic
+      // is watching this thread, so the kinds degrade to thread-safe
+      // stand-ins — a bounded stall / a no-op — and no configuration can
+      // hang on a fault that needs a medic to resolve.
+      std::uint8_t expected = 0;
+      if (!cycle_[n].wfault.compare_exchange_strong(
+              expected, 1, std::memory_order_acq_rel)) {
+        act = {};
+      }
+    }
     if (act.kind != chaos::FaultKind::kNone) {
       faults_injected_.fetch_add(1, std::memory_order_relaxed);
       if (journal_ != nullptr) {
@@ -258,6 +302,7 @@ void CompiledGraph::execute(NodeId n) noexcept {
       support::spin_for_us(act.duration_us);
       break;
     case chaos::FaultKind::kStall:
+    case chaos::FaultKind::kStallForever:  // unhealed: bounded stand-in
       // A stuck worker blocks (page fault / priority inversion); unlike
       // the spike it yields the core, so thieves and siblings keep going.
       std::this_thread::sleep_for(

@@ -47,6 +47,8 @@ const char* to_string(FaultKind k) noexcept {
     case FaultKind::kThrow: return "throw";
     case FaultKind::kNanOutput: return "nan-output";
     case FaultKind::kStall: return "stall";
+    case FaultKind::kStallForever: return "stall-forever";
+    case FaultKind::kWorkerAbort: return "worker-abort";
   }
   return "?";
 }
@@ -75,6 +77,10 @@ std::optional<FaultPlan> FaultPlan::parse(std::string_view spec) {
       if (!parse_rate(val, plan.nan_permille)) return std::nullopt;
     } else if (key == "stall") {
       if (!parse_rate(val, plan.stall_permille)) return std::nullopt;
+    } else if (key == "stall_forever") {
+      if (!parse_rate(val, plan.stall_forever_permille)) return std::nullopt;
+    } else if (key == "abort") {
+      if (!parse_rate(val, plan.abort_permille)) return std::nullopt;
     } else if (key == "latency_us") {
       const auto dots = val.find("..");
       if (dots == std::string_view::npos) {
@@ -134,6 +140,12 @@ FaultAction decide(const FaultPlan& plan, std::uint64_t cycle,
   }
   edge += plan.nan_permille;
   if (r < edge) return {FaultKind::kNanOutput, 0.0};
+  // Worker faults last: appending after the original kinds keeps every
+  // decision of a pre-existing plan (their rates are zero) bit-identical.
+  edge += plan.stall_forever_permille;
+  if (r < edge) return {FaultKind::kStallForever, plan.stall_us};
+  edge += plan.abort_permille;
+  if (r < edge) return {FaultKind::kWorkerAbort, 0.0};
   return {};
 }
 

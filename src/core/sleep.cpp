@@ -1,6 +1,10 @@
 #include "djstar/core/sleep.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "djstar/core/chaos.hpp"
+#include "djstar/core/detail/heal_run.hpp"
 #include "djstar/core/detail/unit_run.hpp"
 
 namespace djstar::core {
@@ -13,7 +17,19 @@ SleepExecutor::SleepExecutor(CompiledGraph& graph, ExecOptions opts)
   }
   team_ = std::make_unique<Team>(
       opts_.threads, StartMode::kCondvar, opts_.spin,
-      [this](unsigned w) { worker_body(w); });
+      [this](unsigned w) { worker_body(w); }, opts_.heal);
+  if (team_->healing()) {
+    // A quarantined worker may have been the one slated to wake a
+    // sleeper (its unfinished unit resolves the sleeper's dependency).
+    // The heal body's parks are bounded, so sleepers re-check on their
+    // own; the rescue kick just shortens the detection latency.
+    team_->set_rescue([this](unsigned) {
+      for (auto& slot : slots_) {
+        const std::lock_guard<std::mutex> lk(slot->m);
+        slot->cv.notify_all();
+      }
+    });
+  }
 }
 
 void SleepExecutor::run_cycle() {
@@ -42,6 +58,11 @@ void SleepExecutor::worker_body(unsigned w) {
     detail::replay_static(graph_, *opts_.static_plan, w, stats_, opts_.spin,
                           tracing, cycle_start_, emit,
                           support::SpanKind::kSleep);
+    return;
+  }
+
+  if (team_->healing()) {
+    heal_body(w);
     return;
   }
 
@@ -102,6 +123,66 @@ void SleepExecutor::worker_body(unsigned w) {
       }
     }
   }
+}
+
+// Heal-armed body: same waiter-registration protocol, but every park is
+// bounded — a sleeper whose waker was quarantined must wake on its own
+// to run the adopt scan — and every run goes through the claim gate
+// (DESIGN.md §12). The rescue hook's notify_all shortens the bounded
+// park when a quarantine happens mid-wait.
+void SleepExecutor::heal_body(unsigned w) {
+  support::TraceRecorder* const trace =
+      opts_.trace != nullptr && opts_.trace->armed() ? opts_.trace : nullptr;
+  support::FlightRecorder* const flight =
+      opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
+                                                         : nullptr;
+  const bool tracing = trace != nullptr || flight != nullptr;
+  const auto emit = [&](const support::TraceSpan& s) {
+    if (trace) trace->record(w, s);
+    if (flight) flight->record(w, s);
+  };
+  HealthBoard& hb = team_->health();
+  const auto wid = static_cast<std::int32_t>(w);
+
+  const auto wait_ready = [&](UnitId u) {
+    auto& pending = graph_.unit_pending(u);
+    // Register as the unit's executor so a live resolver still wakes us
+    // promptly; the timeout covers a dead resolver. Leaving the
+    // registration in place across loop iterations is harmless — a
+    // notify to an awake worker is a no-op.
+    graph_.unit_waiter(u).store(wid, std::memory_order_seq_cst);
+    if (pending.load(std::memory_order_seq_cst) != 0) {
+      stats_.sleeps.fetch_add(1, std::memory_order_relaxed);
+      Slot& slot = *slots_[w];
+      std::unique_lock<std::mutex> lk(slot.m);
+      slot.cv.wait_for(lk, std::chrono::microseconds(200), [&] {
+        return pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+    hb.beat(w);
+    return true;
+  };
+  const auto resolve = [&](UnitId u) {
+    for (UnitId s : graph_.unit_successors(u)) {
+      if (graph_.unit_pending(s).fetch_sub(1, std::memory_order_seq_cst) ==
+          1) {
+        const std::int32_t sleeper =
+            graph_.unit_waiter(s).exchange(-1, std::memory_order_seq_cst);
+        if (sleeper >= 0) {
+          Slot& slot = *slots_[static_cast<unsigned>(sleeper)];
+          const std::lock_guard<std::mutex> lk(slot.m);
+          slot.cv.notify_one();
+          stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  // Help phase: nobody is registered to wake us, so poll politely.
+  const auto help_pause = [] { std::this_thread::yield(); };
+
+  detail::heal_round_robin_body(graph_, hb, w, opts_.threads, stats_, tracing,
+                                cycle_start_, emit, wait_ready, resolve,
+                                help_pause);
 }
 
 }  // namespace djstar::core

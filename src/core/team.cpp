@@ -1,32 +1,61 @@
 #include "djstar/core/team.hpp"
 
+#include <chrono>
+
 #include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
 #include "djstar/support/assert.hpp"
 
 namespace djstar::core {
+namespace {
 
-Team::Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn)
-    : threads_(threads), mode_(mode), spin_(spin), fn_(std::move(fn)) {
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Team::Team(unsigned threads, StartMode mode, SpinPolicy spin, WorkerFn fn,
+           TeamHealConfig heal)
+    : threads_(threads), mode_(mode), spin_(spin), fn_(std::move(fn)),
+      heal_(heal) {
   DJSTAR_ASSERT_MSG(threads >= 1, "team needs at least one thread");
   DJSTAR_ASSERT_MSG(static_cast<bool>(fn_), "team needs a worker body");
   active_ = &fn_;
-  workers_.reserve(threads - 1);
-  for (unsigned id = 1; id < threads; ++id) {
-    workers_.emplace_back([this, id] { thread_main(id); });
-  }
+  spawn_workers();
 }
 
-Team::Team(unsigned threads, StartMode mode, SpinPolicy spin)
-    : threads_(threads), mode_(mode), spin_(spin) {
+Team::Team(unsigned threads, StartMode mode, SpinPolicy spin,
+           TeamHealConfig heal)
+    : threads_(threads), mode_(mode), spin_(spin), heal_(heal) {
   DJSTAR_ASSERT_MSG(threads >= 1, "team needs at least one thread");
-  workers_.reserve(threads - 1);
-  for (unsigned id = 1; id < threads; ++id) {
-    workers_.emplace_back([this, id] { thread_main(id); });
+  spawn_workers();
+}
+
+void Team::spawn_workers() {
+  if (healing()) health_.configure(threads_);
+  workers_.reserve(threads_ - 1);
+  for (unsigned id = 1; id < threads_; ++id) {
+    workers_.emplace_back([this, id] { thread_main(id, 0); });
+  }
+  if (healing()) {
+    medic_ = std::thread([this] { medic_main(); });
   }
 }
 
 Team::~Team() {
+  // Stop the medic first: a quarantine racing the shutdown notify could
+  // otherwise touch a worker slot while we are joining the thread.
+  if (medic_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lk(medic_mutex_);
+      medic_stop_ = true;
+    }
+    medic_cv_.notify_all();
+    medic_.join();
+  }
   stop_.store(true, std::memory_order_release);
   if (mode_ == StartMode::kCondvar) {
     const std::lock_guard<std::mutex> lk(start_mutex_);
@@ -35,7 +64,28 @@ Team::~Team() {
     // Spin-mode workers poll stop_ while waiting; a generation bump is
     // not needed, they observe the flag directly.
   }
-  for (auto& w : workers_) w.join();
+  // Retired workers were already joined by heal_maintenance(); a thread
+  // wedged by kStallForever exits its wedge loop on stop_ and returns.
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Team::set_rescue(RescueFn rescue) {
+  rescue_owned_ = std::move(rescue);
+  rescue_.store(rescue_owned_ ? &rescue_owned_ : nullptr,
+                std::memory_order_release);
+}
+
+HealStats Team::heal_stats() const noexcept {
+  HealStats s;
+  s.quarantines = quarantines_.load(std::memory_order_relaxed);
+  s.respawns = respawns_.load(std::memory_order_relaxed);
+  s.rescues = health_.rescued_units();
+  s.worker_faults = health_.worker_faults();
+  s.live = live_threads();
+  s.threads = threads_;
+  return s;
 }
 
 void Team::wait_for_generation(std::uint64_t seen) {
@@ -65,19 +115,42 @@ void Team::run_body(unsigned id) noexcept {
   }
 }
 
-void Team::thread_main(unsigned id) {
-  std::uint64_t seen = 0;
+void Team::credit_done() {
+  const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (finished == threads_ && mode_ == StartMode::kCondvar) {
+    const std::lock_guard<std::mutex> lk(done_mutex_);
+    done_cv_.notify_one();
+  }
+}
+
+void Team::thread_main(unsigned id, std::uint64_t seen) {
+  const bool heal = healing();
+  if (heal) HealthBoard::bind(&health_, id, &stop_);
   for (;;) {
     wait_for_generation(seen);
     if (stop_.load(std::memory_order_acquire)) return;
     seen = generation_.load(std::memory_order_acquire);
     chaos::maybe_perturb(chaos::Site::kCycleStart);
-    run_body(id);
-    const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (finished == threads_ && mode_ == StartMode::kCondvar) {
-      const std::lock_guard<std::mutex> lk(done_mutex_);
-      done_cv_.notify_one();
+    if (heal) {
+      HealthBoard::clear_abandoned();
+      health_.beat(id);
     }
+    run_body(id);
+    if (heal) {
+      // kActive -> kFinished arbitrates our done credit against the
+      // medic's quarantine. Losing means the medic already credited the
+      // slot (and rescued our remaining work): retire this thread; the
+      // next heal_maintenance() joins it (and respawns a replacement in
+      // kRespawn mode). A worker retired by a false-positive quarantine
+      // is equally fine — the claim protocol made its extra work safe.
+      if (!health_.try_transition(id, WorkerState::kActive,
+                                  WorkerState::kFinished)) {
+        health_.mark_exited(id);
+        HealthBoard::unbind();
+        return;
+      }
+    }
+    credit_done();
   }
 }
 
@@ -97,8 +170,32 @@ void Team::run_cycle(const WorkerFn& fn) {
   active_ = fn_ ? &fn_ : nullptr;
 }
 
+void Team::run_cycle(const WorkerFn& fn, const RescueFn& rescue) {
+  // Publish the hosted rescue hook for the duration of this cycle. The
+  // medic dereferences it only while in_cycle_, i.e. strictly inside
+  // this call, so the reference outlives every use.
+  rescue_.store(rescue ? &rescue : nullptr, std::memory_order_release);
+  run_cycle(fn);
+  rescue_.store(rescue_owned_ ? &rescue_owned_ : nullptr,
+                std::memory_order_release);
+}
+
 void Team::dispatch_cycle() {
-  done_.store(0, std::memory_order_relaxed);
+  unsigned pre_credited = 0;
+  if (healing()) {
+    heal_maintenance();
+    // Quarantined slots (kQuarantine mode, or a respawn still pending)
+    // take no part in this cycle; credit their barrier slots up front.
+    pre_credited = health_.dead();
+    HealthBoard::bind(&health_, 0, &stop_);
+    HealthBoard::clear_abandoned();
+    health_.beat(0);
+    cycle_armed_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    done_.store(pre_credited, std::memory_order_relaxed);
+    in_cycle_.store(true, std::memory_order_release);
+  } else {
+    done_.store(0, std::memory_order_relaxed);
+  }
   if (mode_ == StartMode::kCondvar) {
     {
       const std::lock_guard<std::mutex> lk(start_mutex_);
@@ -112,19 +209,173 @@ void Team::dispatch_cycle() {
   // The caller is worker 0.
   chaos::maybe_perturb(chaos::Site::kCycleStart);
   run_body(0);
+  if (healing()) {
+    // Always succeeds: the medic never quarantines worker 0.
+    health_.try_transition(0, WorkerState::kActive, WorkerState::kFinished);
+  }
   const unsigned finished = done_.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (finished == threads_) return;
-
-  if (mode_ == StartMode::kSpin) {
-    detail::SpinWaiter waiter(spin_);
-    while (done_.load(std::memory_order_acquire) != threads_) {
-      waiter.step();
+  if (finished != threads_) {
+    if (mode_ == StartMode::kSpin) {
+      detail::SpinWaiter waiter(spin_);
+      while (done_.load(std::memory_order_acquire) != threads_) {
+        waiter.step();
+      }
+    } else {
+      std::unique_lock<std::mutex> lk(done_mutex_);
+      done_cv_.wait(lk, [&] {
+        return done_.load(std::memory_order_acquire) == threads_;
+      });
     }
-  } else {
-    std::unique_lock<std::mutex> lk(done_mutex_);
-    done_cv_.wait(lk, [&] {
-      return done_.load(std::memory_order_acquire) == threads_;
-    });
+  }
+  if (healing()) {
+    in_cycle_.store(false, std::memory_order_release);
+    await_retirements();
+    HealthBoard::unbind();
+  }
+}
+
+void Team::await_retirements() {
+  // A slot the medic credited can still have a live thread inside this
+  // cycle's body: a false-positive quarantine keeps working (the claim
+  // protocol makes that safe), and a wedged worker needs a moment to
+  // observe its state change. The caller is about to hand control back
+  // to the executor, whose next run_cycle() resets per-cycle state
+  // (executed counters, deques, the orphan buffer) — a straggler racing
+  // that reset could resurrect into the new cycle mid-teardown and
+  // corrupt it (e.g. an owner-side pop against Deque::clear()), losing a
+  // unit and hanging the team. Hold the cycle boundary until every
+  // quarantined slot's thread has actually left the body. Bounded: the
+  // old cycle's exit condition (all units executed) still holds here, so
+  // live stragglers unwind within one bounded-wait period, wedge loops
+  // exit on the state change, and aborted workers are already returning.
+  if (health_.dead() == 0) return;  // dead() > 0 iff a slot is quarantined
+  for (unsigned id = 1; id < threads_; ++id) {
+    if (health_.state(id) != WorkerState::kQuarantined) continue;
+    while (!health_.exited(id)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+  }
+}
+
+// ---- medic -----------------------------------------------------------------
+
+void Team::medic_main() {
+  std::vector<std::uint64_t> last_beats(threads_, 0);
+  std::vector<double> last_progress_us(threads_, 0.0);
+  std::uint64_t seen_generation = 0;
+  const auto interval = std::chrono::duration<double, std::micro>(
+      heal_.check_interval_us);
+  std::unique_lock<std::mutex> lk(medic_mutex_);
+  for (;;) {
+    medic_cv_.wait_for(lk, interval, [&] { return medic_stop_; });
+    if (medic_stop_) return;
+    lk.unlock();
+    medic_scan(last_beats, last_progress_us, seen_generation);
+    lk.lock();
+  }
+}
+
+void Team::medic_scan(std::vector<std::uint64_t>& last_beats,
+                      std::vector<double>& last_progress_us,
+                      std::uint64_t& seen_generation) {
+  if (!in_cycle_.load(std::memory_order_acquire)) return;
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (gen != seen_generation) {
+    // New cycle: re-baseline every worker's progress clock.
+    seen_generation = gen;
+    for (unsigned w = 1; w < threads_; ++w) {
+      last_beats[w] = health_.beats(w);
+      last_progress_us[w] = 0.0;
+    }
+  }
+  const double cycle_age_us =
+      static_cast<double>(steady_now_ns() -
+                          cycle_armed_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+
+  for (unsigned w = 1; w < threads_; ++w) {
+    const WorkerState st = health_.state(w);
+    if (st == WorkerState::kAborted) {
+      // Self-reported death (kWorkerAbort): no budget to wait out.
+      quarantine(w);
+      continue;
+    }
+    if (st != WorkerState::kActive) continue;
+    const std::uint64_t b = health_.beats(w);
+    if (b != last_beats[w]) {
+      last_beats[w] = b;
+      last_progress_us[w] = cycle_age_us;
+      continue;
+    }
+    if (cycle_age_us - last_progress_us[w] > heal_.heartbeat_budget_us) {
+      quarantine(w);
+    }
+  }
+}
+
+void Team::quarantine(unsigned w) {
+  // Shrink the maintenance-vs-scan race window: only quarantine while a
+  // cycle is genuinely in flight (a worker parked between cycles does
+  // not beat, and must not be punished for it).
+  if (!in_cycle_.load(std::memory_order_acquire)) return;
+  const WorkerState st = health_.state(w);
+  bool moved = false;
+  if (st == WorkerState::kActive) {
+    moved = health_.try_transition(w, WorkerState::kActive,
+                                   WorkerState::kQuarantined);
+  } else if (st == WorkerState::kAborted) {
+    moved = health_.try_transition(w, WorkerState::kAborted,
+                                   WorkerState::kQuarantined);
+  }
+  if (!moved) return;  // the worker finished in the race: nothing to heal
+
+  health_.add_dead(1);
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  // Rescue before crediting: the victim's unfinished units must be
+  // visible to the survivors before the team can consider the slot
+  // settled. (Cycle completion itself is gated on units_done(), so this
+  // ordering is about promptness, not correctness.)
+  if (const RescueFn* r = rescue_.load(std::memory_order_acquire)) {
+    if (*r) (*r)(w);
+  }
+  health_.bump_epoch();
+  credit_done();
+}
+
+void Team::heal_maintenance() {
+  for (unsigned id = 1; id < threads_; ++id) {
+    switch (health_.state(id)) {
+      case WorkerState::kFinished:
+        health_.set_state(id, WorkerState::kActive);
+        break;
+      case WorkerState::kQuarantined: {
+        // The worker retires at its next cycle boundary (its wedge loop
+        // exits once the state leaves kActive); join only after it has
+        // marked itself exited, never blocking the cycle on it.
+        if (!health_.exited(id)) break;
+        std::thread& th = workers_[id - 1];
+        if (th.joinable()) th.join();
+        if (heal_.mode == HealMode::kRespawn) {
+          health_.clear_exited(id);
+          health_.set_state(id, WorkerState::kActive);
+          health_.add_dead(-1);
+          // Seed with the current generation: the replacement joins at
+          // the bump this dispatch is about to publish, never mid-cycle.
+          const std::uint64_t seen =
+              generation_.load(std::memory_order_relaxed);
+          th = std::thread([this, id, seen] { thread_main(id, seen); });
+          respawns_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case WorkerState::kActive:
+      case WorkerState::kAborted:
+        // kActive: a respawn from a previous maintenance that has not
+        // run yet. kAborted is unreachable here: the barrier released,
+        // so every non-finished slot was credited by the medic, which
+        // quarantines before crediting.
+        break;
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "djstar/core/chaos.hpp"
+#include "djstar/core/detail/heal_run.hpp"
 #include "djstar/core/detail/spin.hpp"
 #include "djstar/core/detail/unit_run.hpp"
 #include "djstar/support/assert.hpp"
@@ -17,22 +18,28 @@ WorkStealingExecutor::WorkStealingExecutor(CompiledGraph& graph,
     pw.deque = std::make_unique<ChaseLevDeque>(graph.node_count() + 1);
     pw.inbox.reserve(graph.node_count());
   }
+  orphan_.reserve(graph.node_count());
   team_ = std::make_unique<Team>(
       opts_.threads, StartMode::kCondvar, opts_.spin,
-      [this](unsigned w) { worker_body(w); });
+      [this](unsigned w) { worker_body(w); }, opts_.heal);
+  if (team_->healing()) {
+    team_->set_rescue([this](unsigned victim) { heal_rescue(victim); });
+  }
 }
 
 WorkStealingExecutor::WorkStealingExecutor(CompiledGraph& graph,
                                            Team& shared_team, ExecOptions opts,
                                            WorkStealingOptions ws)
     : graph_(graph), opts_(opts), ws_(ws), per_worker_(opts.threads),
-      shared_(&shared_team), body_([this](unsigned w) { worker_body(w); }) {
+      shared_(&shared_team), body_([this](unsigned w) { worker_body(w); }),
+      rescue_fn_([this](unsigned victim) { heal_rescue(victim); }) {
   DJSTAR_ASSERT_MSG(opts_.threads == shared_team.threads(),
                     "hosted executor must match the shared team's width");
   for (auto& pw : per_worker_) {
     pw.deque = std::make_unique<ChaseLevDeque>(graph.node_count() + 1);
     pw.inbox.reserve(graph.node_count());
   }
+  orphan_.reserve(graph.node_count());
 }
 
 void WorkStealingExecutor::seed_inboxes() {
@@ -41,6 +48,7 @@ void WorkStealingExecutor::seed_inboxes() {
   // (source nodes) to the threads", grouped by section for data locality.
   // Fusion preserves this: units inherit their first member's section.
   const unsigned T = opts_.threads;
+  const Team* tm = shared_ != nullptr ? shared_ : team_.get();
   unsigned rr = 0;
   for (UnitId u : graph_.unit_sources()) {
     unsigned target;
@@ -49,6 +57,13 @@ void WorkStealingExecutor::seed_inboxes() {
     } else {
       target = rr++ % T;
     }
+    // A quarantined worker never drains its inbox (kQuarantine mode runs
+    // degraded on the survivors), so donate its seeds to worker 0 — the
+    // caller thread, which is always alive.
+    if (heal_armed_ && target != 0 &&
+        tm->health().state(target) == WorkerState::kQuarantined) {
+      target = 0;
+    }
     per_worker_[target].inbox.push_back(u);
   }
 }
@@ -56,14 +71,27 @@ void WorkStealingExecutor::seed_inboxes() {
 void WorkStealingExecutor::run_cycle() {
   graph_.begin_cycle();
   use_plan_ = detail::plan_active(opts_);
+  Team* const tm = shared_ != nullptr ? shared_ : team_.get();
+  heal_armed_ = !use_plan_ && tm->healing();
   executed_.store(0, std::memory_order_relaxed);
   for (auto& pw : per_worker_) pw.inbox.clear();
+  if (heal_armed_) {
+    // Healing can leave stale duplicates behind (a republished unit whose
+    // claim winner came from elsewhere); never let them leak into the
+    // next cycle's UnitIds.
+    for (auto& pw : per_worker_) pw.deque->clear();
+    orphan_.clear();
+  }
   if (!use_plan_) seed_inboxes();
   cycle_start_ = support::now();
   // Team::run_cycle()'s generation bump publishes the inboxes
   // (release store observed by the workers' acquire load).
   if (shared_ != nullptr) {
-    shared_->run_cycle(body_);
+    if (heal_armed_) {
+      shared_->run_cycle(body_, rescue_fn_);
+    } else {
+      shared_->run_cycle(body_);
+    }
   } else {
     team_->run_cycle();
   }
@@ -86,6 +114,17 @@ bool WorkStealingExecutor::try_get_unit(unsigned w, UnitId& out) {
   if (own >= 0) {
     out = static_cast<UnitId>(own);
     return true;
+  }
+  // 1b) Healing only: adopt a quarantined worker's republished unit.
+  // dead() is the cheap gate — it only rises mid-cycle, and the orphan
+  // buffer is populated strictly after it does (Team::quarantine()).
+  if (heal_armed_ && team()->health().dead() > 0) {
+    const std::lock_guard<std::mutex> lk(orphan_mutex_);
+    if (!orphan_.empty()) {
+      out = orphan_.back();
+      orphan_.pop_back();
+      return true;
+    }
   }
   // 2) Steal round: probe every other worker's top (FIFO).
   const unsigned T = opts_.threads;
@@ -127,8 +166,13 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     per_worker_[w].deque->push(static_cast<ChaseLevDeque::Item>(u));
   }
 
+  HealthBoard* const hb =
+      heal_armed_ ? &(shared_ != nullptr ? *shared_ : *team_).health()
+                  : nullptr;
+
   std::uint32_t failed_rounds = 0;
   while (executed_.load(std::memory_order_acquire) < total) {
+    if (hb != nullptr) hb->beat(w);
     UnitId u;
     double probe_begin = 0.0;
     if (tracing) probe_begin = support::elapsed_us(cycle_start_, support::now());
@@ -172,7 +216,19 @@ void WorkStealingExecutor::worker_body(unsigned w) {
       }
     }
 
-    detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
+    if (hb != nullptr) {
+      // Claim gate (DESIGN.md §12): a republished duplicate or an entry a
+      // false-positive quarantine left behind loses the CAS and is simply
+      // discarded; only the winner resolves successors and counts toward
+      // the exit condition, so executed_ still converges on unit_count().
+      if (!detail::heal_claim_run(graph_, *hb, w, u, stats_, tracing,
+                                  cycle_start_, emit)) {
+        if (HealthBoard::abandoned()) return;  // wedged or aborted
+        continue;
+      }
+    } else {
+      detail::run_unit(graph_, u, w, stats_, tracing, cycle_start_, emit);
+    }
 
     // Release successor units whose last dependency this unit resolved;
     // they join *our* deque (LIFO) for cache locality (paper §V-C).
@@ -190,6 +246,45 @@ void WorkStealingExecutor::worker_body(unsigned w) {
       idle_cv_.notify_all();
     }
   }
+}
+
+// Medic-side rescue (DESIGN.md §12): runs on the medic thread right after
+// `victim`'s quarantine transition and before the medic credits its slot
+// at the barrier. Drains the victim's deque from the thief side (legal
+// concurrently with a still-live false positive) and republishes any
+// ready, unclaimed unit only the victim knew about — e.g. the one it
+// popped and was about to run when it wedged.
+void WorkStealingExecutor::heal_rescue(unsigned victim) {
+  if (!heal_armed_) return;
+  std::size_t rescued = 0;
+  {
+    const std::lock_guard<std::mutex> lk(orphan_mutex_);
+    const auto in_orphan = [&](UnitId u) {
+      for (UnitId o : orphan_) {
+        if (o == u) return true;
+      }
+      return false;
+    };
+    for (;;) {
+      const auto got = per_worker_[victim].deque->steal();
+      if (got == ChaseLevDeque::kAbort) continue;
+      if (got < 0) break;
+      const auto u = static_cast<UnitId>(got);
+      if (!in_orphan(u)) {
+        orphan_.push_back(u);
+        ++rescued;
+      }
+    }
+    rescued += detail::heal_republish_scan(graph_, [&](UnitId u) {
+      if (!in_orphan(u)) orphan_.push_back(u);
+    });
+  }
+  Team* const tm = shared_ != nullptr ? shared_ : team_.get();
+  tm->health().note_rescued(rescued);
+  // Kick every parked survivor: the work they were waiting on may now
+  // live in the orphan buffer.
+  idle_epoch_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_all();
 }
 
 }  // namespace djstar::core

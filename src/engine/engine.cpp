@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "djstar/core/team.hpp"
 #include "djstar/core/thread_count.hpp"
 #include "djstar/support/assert.hpp"
 #include "djstar/support/time.hpp"
@@ -58,6 +59,8 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   cfg_.threads = core::resolve_thread_count(cfg_.threads);
   // Hardened: DJSTAR_GRAPH_OPT overrides, garbage throws.
   if (auto mode = core::graph_opt::mode_from_env()) cfg_.graph_opt = *mode;
+  // Hardened: DJSTAR_HEAL overrides, garbage throws.
+  cfg_.heal.mode = core::heal_mode_from_env(cfg_.heal.mode);
 
   // Cost model: seeded offline from the graph's reference durations,
   // refined online via observe_spans()/observe() (DESIGN.md §11).
@@ -116,6 +119,7 @@ AudioEngine::AudioEngine(EngineConfig cfg)
 core::ExecOptions AudioEngine::exec_options() const noexcept {
   core::ExecOptions opts = cfg_.exec;
   opts.threads = cfg_.threads;
+  opts.heal = cfg_.heal;
   if (env_trace_ != nullptr) opts.trace = env_trace_.get();
   if (telemetry_ != nullptr) opts.flight = &telemetry_->flight();
   if (static_plan_ != nullptr) opts.static_plan = static_plan_.get();
@@ -170,6 +174,39 @@ void AudioEngine::rebuild_executor() {
   executor_.reset();  // join old workers before spawning new ones
   executor_ =
       core::make_executor(cfg_.strategy, *compiled_, exec_options(), cfg_.ws);
+  seen_heal_live_ = 0;  // fresh team: re-baseline the live-worker poll
+}
+
+// Fold the team's self-healing counters into the supervisor and
+// telemetry, and invalidate the cached static plan when the effective
+// team size changed (a quarantine shrank it, a respawn restored it) —
+// the recovery rung runs degraded on N-1 workers until the replacement
+// rejoins (DESIGN.md §12). Called between cycles, after the executor
+// returned.
+void AudioEngine::poll_heal() {
+  const core::Team* tm = executor_->team();
+  if (tm == nullptr || !tm->healing()) return;
+  ++heal_cycle_;
+  const core::HealStats hs = tm->heal_stats();
+  if (supervisor_) {
+    if (hs.quarantines > seen_heal_quarantines_) {
+      supervisor_->note_worker_quarantine(
+          hs.quarantines - seen_heal_quarantines_, heal_cycle_);
+    }
+    if (hs.respawns > seen_heal_respawns_) {
+      supervisor_->note_worker_respawn(hs.respawns - seen_heal_respawns_,
+                                       heal_cycle_);
+    }
+  }
+  seen_heal_quarantines_ = hs.quarantines;
+  seen_heal_respawns_ = hs.respawns;
+  if (seen_heal_live_ != 0 && hs.live != seen_heal_live_ &&
+      static_plan_ != nullptr) {
+    static_plan_->invalidate();
+    plan_baseline_us_ = 0.0;
+  }
+  seen_heal_live_ = hs.live;
+  if (telemetry_) telemetry_->on_heal(hs);
 }
 
 void AudioEngine::enable_telemetry(const TelemetryConfig& tcfg) {
@@ -280,6 +317,7 @@ CycleBreakdown AudioEngine::run_cycle() {
     executor_->run_cycle();
   }
   track_graph_time(c.graph_us);
+  poll_heal();
   apply_pending_poison();
   phase_vc(c);
   monitor_.add(c);
@@ -345,6 +383,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
     supervisor_->watchdog_disarm();
   }
   track_graph_time(c.graph_us);
+  poll_heal();
   apply_pending_poison();
   phase_vc(c);
   supervisor_->supervise_cycle(c, graph_nodes_.output());

@@ -67,6 +67,24 @@ SupervisorStats CycleSupervisor::stats() const noexcept {
   return s;
 }
 
+void CycleSupervisor::note_worker_quarantine(std::uint64_t n,
+                                             std::uint64_t cycle) {
+  stats_.worker_quarantines += n;
+  if (journal_ != nullptr) {
+    journal_->push(support::EventKind::kWorkerQuarantine, cycle,
+                   static_cast<std::int64_t>(stats_.worker_quarantines));
+  }
+}
+
+void CycleSupervisor::note_worker_respawn(std::uint64_t n,
+                                          std::uint64_t cycle) {
+  stats_.worker_respawns += n;
+  if (journal_ != nullptr) {
+    journal_->push(support::EventKind::kWorkerRespawn, cycle,
+                   static_cast<std::int64_t>(stats_.worker_respawns));
+  }
+}
+
 void CycleSupervisor::watchdog_arm() {
   if (!cfg_.use_watchdog) return;
   {

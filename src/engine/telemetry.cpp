@@ -43,6 +43,19 @@ EngineTelemetry::EngineTelemetry(const TelemetryConfig& cfg,
       flight_dumps_total_(registry_.counter(
           "djstar_flight_dumps_total",
           "Automatic flight-recorder trace dumps written")),
+      quarantines_(registry_.counter(
+          "djstar_worker_quarantines_total",
+          "Workers quarantined by the team medic")),
+      respawns_(registry_.counter(
+          "djstar_worker_respawns_total",
+          "Replacement workers that rejoined the team")),
+      rescued_units_(registry_.counter(
+          "djstar_rescued_units_total",
+          "Units republished from quarantined workers")),
+      live_workers_(registry_.gauge(
+          "djstar_live_workers",
+          "Workers currently alive in the team (threads minus "
+          "unhealed quarantines)")),
       level_gauge_(registry_.gauge("djstar_degradation_level",
                                    "Current degradation-ladder level "
                                    "(0 = full quality)")),
@@ -129,6 +142,35 @@ void EngineTelemetry::on_cycle(const CycleBreakdown& c, unsigned level,
     maybe_dump_flight(FlightDumpTrigger::kLevelChange, cycle_count_);
   } else if (missed) {
     maybe_dump_flight(FlightDumpTrigger::kDeadlineMiss, cycle_count_);
+  }
+}
+
+void EngineTelemetry::on_heal(const core::HealStats& hs) {
+  live_workers_.set(static_cast<double>(hs.live));
+  bool quarantined = false;
+  if (hs.quarantines > seen_quarantines_) {
+    quarantines_.inc(hs.quarantines - seen_quarantines_);
+    seen_quarantines_ = hs.quarantines;
+    quarantined = true;
+    journal_.push(support::EventKind::kWorkerQuarantine, cycle_count_,
+                  static_cast<std::int64_t>(hs.quarantines),
+                  static_cast<std::int64_t>(hs.live));
+  }
+  if (hs.respawns > seen_respawns_) {
+    respawns_.inc(hs.respawns - seen_respawns_);
+    seen_respawns_ = hs.respawns;
+    journal_.push(support::EventKind::kWorkerRespawn, cycle_count_,
+                  static_cast<std::int64_t>(hs.respawns),
+                  static_cast<std::int64_t>(hs.live));
+  }
+  if (hs.rescues > seen_rescued_) {
+    rescued_units_.inc(hs.rescues - seen_rescued_);
+    seen_rescued_ = hs.rescues;
+  }
+  if (quarantined) {
+    // Every quarantine is an incident: capture the cycle that lost a
+    // worker while the flight ring still holds it.
+    maybe_dump_flight(FlightDumpTrigger::kWorkerQuarantine, cycle_count_);
   }
 }
 

@@ -1,0 +1,155 @@
+#include "djstar/serve/breaker.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace djstar::serve {
+namespace {
+
+[[noreturn]] void bad_value(std::string_view text, const char* why) {
+  throw std::invalid_argument(
+      "invalid breaker config '" + std::string(text) + "': " + why +
+      " (expected K,backoff_ms — e.g. \"4,50\"; K = 0 disables)");
+}
+
+std::string_view trim(std::string_view t) {
+  std::size_t b = 0, e = t.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(t[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(t[e - 1]))) --e;
+  return t.substr(b, e - b);
+}
+
+unsigned long long parse_uint(std::string_view full, std::string_view t,
+                              const char* field) {
+  if (t.empty()) bad_value(full, field);
+  if (t[0] == '-') bad_value(full, "negative");
+  if (t[0] == '+') bad_value(full, "sign prefix not accepted");
+  unsigned long long v = 0;
+  for (char c : t) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      bad_value(full, "not a number");
+    }
+    v = v * 10 + static_cast<unsigned long long>(c - '0');
+    if (v > 1'000'000'000ULL) break;  // far past any sane value; clamps
+  }
+  return std::min(v, 1'000'000'000ULL);
+}
+
+// SplitMix64: tiny, stateless, and good enough to decorrelate probe
+// times; seeded per (host seed, session id, trip count) so replays are
+// bit-identical.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+BreakerConfig BreakerConfig::parse(std::string_view text) {
+  const std::string_view t = trim(text);
+  if (t.empty()) bad_value(text, "empty");
+  const std::size_t comma = t.find(',');
+  if (comma == std::string_view::npos) bad_value(text, "missing comma");
+  if (t.find(',', comma + 1) != std::string_view::npos) {
+    bad_value(text, "too many fields");
+  }
+  BreakerConfig cfg;
+  cfg.trip_failures = static_cast<unsigned>(
+      parse_uint(text, trim(t.substr(0, comma)), "empty failure count"));
+  const unsigned long long ms =
+      parse_uint(text, trim(t.substr(comma + 1)), "empty backoff");
+  if (cfg.trip_failures > 0 && ms == 0) bad_value(text, "zero backoff");
+  cfg.backoff_ms = static_cast<double>(ms);
+  cfg.max_backoff_ms = std::max(cfg.max_backoff_ms, cfg.backoff_ms);
+  return cfg;
+}
+
+std::optional<BreakerConfig> BreakerConfig::from_env(const char* var) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return std::nullopt;
+  return parse(env);
+}
+
+const char* to_string(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& cfg, std::uint64_t seed,
+                               SessionId id) noexcept
+    : cfg_(cfg), seed_(seed), id_(id) {}
+
+BreakerEvent CircuitBreaker::on_cycle(bool failed, double now_us) noexcept {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (!failed) {
+        fail_streak_ = 0;
+        return BreakerEvent::kNone;
+      }
+      if (++fail_streak_ < cfg_.trip_failures) return BreakerEvent::kNone;
+      open(now_us);
+      return BreakerEvent::kTripped;
+
+    case BreakerState::kHalfOpen:
+      if (failed) {
+        // One failure during the probe re-opens immediately with the
+        // escalated backoff — no second K-streak grace.
+        open(now_us);
+        return BreakerEvent::kTripped;
+      }
+      if (++probe_streak_ < cfg_.half_open_probes) return BreakerEvent::kNone;
+      state_ = BreakerState::kClosed;
+      fail_streak_ = 0;
+      probe_streak_ = 0;
+      escalation_ = 0;  // a genuinely recovered session earns base backoff
+      return BreakerEvent::kClosed;
+
+    case BreakerState::kOpen:
+      break;  // no session exists; the host never reports cycles here
+  }
+  return BreakerEvent::kNone;
+}
+
+void CircuitBreaker::begin_probe() noexcept {
+  state_ = BreakerState::kHalfOpen;
+  probe_streak_ = 0;
+}
+
+void CircuitBreaker::open(double now_us) noexcept {
+  state_ = BreakerState::kOpen;
+  fail_streak_ = 0;
+  probe_streak_ = 0;
+  ++trips_;
+  ++escalation_;
+  last_backoff_us_ = jittered_backoff_us();
+  retry_at_us_ = now_us + last_backoff_us_;
+}
+
+double CircuitBreaker::jittered_backoff_us() noexcept {
+  // Exponential escalation while open/half-open flapping continues,
+  // capped; escalation_ has already been bumped so the first trip uses
+  // the base backoff. A true close resets the exponent.
+  double ms = cfg_.backoff_ms;
+  for (std::uint64_t i = 1; i < escalation_ && ms < cfg_.max_backoff_ms;
+       ++i) {
+    ms *= cfg_.backoff_factor;
+  }
+  ms = std::min(ms, cfg_.max_backoff_ms);
+  // Deterministic symmetric jitter in [-jitter_frac, +jitter_frac].
+  const std::uint64_t r = splitmix64(seed_ ^ (id_ * 0x9e3779b9ULL) ^ trips_);
+  const double frac =
+      static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  ms *= 1.0 + cfg_.jitter_frac * (2.0 * frac - 1.0);
+  return ms * 1000.0;
+}
+
+}  // namespace djstar::serve

@@ -28,13 +28,21 @@ std::optional<std::string> metrics_env_path() {
   return s.substr(b, e - b + 1);
 }
 
+// Environment overrides resolved before the member-init list runs so the
+// shared team is constructed with the final heal config.
+HostConfig apply_env_overrides(HostConfig cfg) {
+  cfg.heal.mode = core::heal_mode_from_env(cfg.heal.mode);
+  if (auto b = BreakerConfig::from_env()) cfg.breaker = *b;
+  return cfg;
+}
+
 }  // namespace
 
 EngineHost::EngineHost(HostConfig cfg)
-    : cfg_(cfg),
-      threads_(core::resolve_thread_count(cfg.threads)),
-      team_(threads_, cfg.start_mode, cfg.spin),
-      admission_(cfg.admission),
+    : cfg_(apply_env_overrides(std::move(cfg))),
+      threads_(core::resolve_thread_count(cfg_.threads)),
+      team_(threads_, cfg_.start_mode, cfg_.spin, cfg_.heal),
+      admission_(cfg_.admission),
       m_ticks_(registry_.counter("djstar_fleet_ticks_total",
                                  "Fleet ticks executed")),
       m_submitted_(registry_.counter("djstar_fleet_sessions_submitted_total",
@@ -59,6 +67,12 @@ EngineHost::EngineHost(HostConfig cfg)
       m_degrade_steps_(registry_.counter(
           "djstar_fleet_degrade_steps_total",
           "Ladder rungs force-walked by the overload handler")),
+      m_tripped_(registry_.counter(
+          "djstar_fleet_sessions_tripped_total",
+          "Sessions torn down by their circuit breaker")),
+      m_restored_(registry_.counter(
+          "djstar_fleet_sessions_restored_total",
+          "Tripped sessions restored after an admitted probe")),
       g_active_sessions_(registry_.gauge("djstar_fleet_active_sessions",
                                          "Currently active sessions")),
       g_queued_sessions_(registry_.gauge("djstar_fleet_queued_sessions",
@@ -126,13 +140,18 @@ void EngineHost::drain_commands() {
     }
     stats_.note_submitted();
     m_submitted_.inc();
-    core::ExecOptions exec;
-    exec.spin = cfg_.spin;
-    if (flight_.enabled()) exec.flight = &flight_;
-    decide_admission(std::make_unique<Session>(c.id, std::move(c.spec), team_,
-                                               exec, cfg_.ws,
-                                               cfg_.supervisor));
+    decide_admission(build_session(c.id, std::move(c.spec)));
   }
+}
+
+std::unique_ptr<Session> EngineHost::build_session(SessionId id,
+                                                   SessionSpec spec) {
+  core::ExecOptions exec;
+  exec.spin = cfg_.spin;
+  exec.heal = cfg_.heal;
+  if (flight_.enabled()) exec.flight = &flight_;
+  return std::make_unique<Session>(id, std::move(spec), team_, exec, cfg_.ws,
+                                   cfg_.supervisor);
 }
 
 void EngineHost::decide_admission(std::unique_ptr<Session> s) {
@@ -168,6 +187,9 @@ void EngineHost::activate(std::unique_ptr<Session> s) {
   active_density_ += s->density();
   s->set_next_due_us(fleet_now_us_ + s->deadline_us());
   if (tracing_armed_) s->arm_tracing(trace_capacity_);
+  if (cfg_.breaker.enabled()) {
+    breakers_.try_emplace(s->id(), cfg_.breaker, cfg_.seed, s->id());
+  }
   set_state(s->id(), SessionState::kActive);
   stats_.note_admitted(s->qos());
   m_admitted_.inc();
@@ -213,13 +235,34 @@ void EngineHost::remove_session(SessionId id, SessionState final_state) {
                                  (*it)->recorder().collect()});
     }
     set_state(id, final_state);
+    breakers_.erase(id);
     active_.erase(it);
     return;
   }
   for (auto it = queued_.begin(); it != queued_.end(); ++it) {
     if ((*it)->id() != id) continue;
-    set_state(id, final_state);
+    // Take the session out of the FIFO *before* finalizing anything:
+    // finalizing first left the dead entry in the queue while the
+    // queued-depth stat was read, so a close landing between verdicts
+    // skewed note_queued_depth and could double-count the head.
+    std::unique_ptr<Session> s = std::move(*it);
     queued_.erase(it);
+    stats_.note_queued_depth(queued_.size());
+    set_state(id, final_state);
+    journal_.push(support::EventKind::kSessionClosed, tick_,
+                  static_cast<std::int64_t>(id));
+    breakers_.erase(id);
+    return;
+  }
+  for (auto it = tripped_.begin(); it != tripped_.end(); ++it) {
+    if (it->id != id) continue;
+    // Already retired from stats at trip time; the owner close just
+    // releases the parked spec and the breaker.
+    tripped_.erase(it);
+    set_state(id, final_state);
+    journal_.push(support::EventKind::kSessionClosed, tick_,
+                  static_cast<std::int64_t>(id));
+    breakers_.erase(id);
     return;
   }
   // Unknown or already departed: close() documents this as a no-op.
@@ -241,6 +284,9 @@ FleetTick EngineHost::run_fleet_cycle() {
     --admit_holdoff_;
   } else {
     try_admit_queued();
+    // Half-open probes obey the same holdoff: freed capacity after a
+    // shed is not immediately refilled by a recovering session either.
+    probe_tripped();
   }
 
   // The tick window is the tightest active deadline: every session's due
@@ -273,18 +319,36 @@ FleetTick EngineHost::run_fleet_cycle() {
   });
 
   const auto t0 = support::now();
+  std::vector<SessionId> to_trip;
   for (Session* s : due) {
     const double wait_us = support::since_us(t0);
     const double allowed_us = s->next_due_us() - fleet_now_us_;
     const double completion = s->run_cycle(wait_us, allowed_us);
     m_cycles_.inc();
-    if (completion > allowed_us) {
+    const bool missed = completion > allowed_us;
+    if (missed) {
       ++t.misses;
       // Same predicate as Session::run_cycle's counter, so the fleet
       // export equals the sum of session miss counts exactly.
       m_misses_.inc();
       journal_.push(support::EventKind::kDeadlineMiss, tick_,
                     static_cast<std::int64_t>(s->id()), 0, completion);
+    }
+    if (auto bit = breakers_.find(s->id()); bit != breakers_.end()) {
+      // Failure predicate: a missed deadline or a structurally broken
+      // cycle (fault, cancellation, NaN output). Clean degraded cycles
+      // are fine — the ladder is handling those.
+      const engine::CycleOutcome oc = s->last_outcome();
+      const bool failed = missed || oc == engine::CycleOutcome::kFault ||
+                          oc == engine::CycleOutcome::kCancelled ||
+                          oc == engine::CycleOutcome::kNanOutput;
+      const BreakerEvent ev = bit->second.on_cycle(failed, fleet_now_us_);
+      if (ev == BreakerEvent::kTripped) {
+        to_trip.push_back(s->id());
+      } else if (ev == BreakerEvent::kClosed) {
+        journal_.push(support::EventKind::kBreakerClose, tick_,
+                      static_cast<std::int64_t>(s->id()));
+      }
     }
     // Advance to the next packet deadline. A session that lagged a whole
     // window behind drops the lost packets instead of carrying a stale
@@ -298,6 +362,10 @@ FleetTick EngineHost::run_fleet_cycle() {
     ++t.sessions_run;
   }
   t.elapsed_us = support::since_us(t0);
+
+  // Trip after the dispatch loop: `due` holds raw pointers into active_,
+  // so sessions must not be erased while it is still being walked.
+  for (SessionId id : to_trip) trip_session(id);
 
   t.overloaded = !due.empty() &&
                  t.elapsed_us > cfg_.overload.overload_factor * budget;
@@ -361,6 +429,80 @@ void EngineHost::handle_overload(FleetTick& t) {
   if (!cfg_.overload.shed_standard) return;
   if (degrade_class(QoS::kStandard)) return;
   shed_youngest(QoS::kStandard);
+}
+
+// ---- circuit breaking ---------------------------------------------------
+
+void EngineHost::trip_session(SessionId id) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [id](const auto& s) { return s->id() == id; });
+  if (it == active_.end()) return;
+  Session& s = **it;
+  const CircuitBreaker& br = breakers_.at(id);
+
+  m_tripped_.inc();
+  journal_.push(support::EventKind::kBreakerTrip, tick_,
+                static_cast<std::int64_t>(id),
+                static_cast<std::int64_t>(br.trips()), br.last_backoff_us());
+  active_density_ = std::max(0.0, active_density_ - s.density());
+  // Retired like a close (not a shed): the session's counters fold into
+  // the fleet aggregate now; the restored session restarts from zero.
+  stats_.retire(s, /*was_shed=*/false);
+  if (tracing_armed_ && s.recorder().armed()) {
+    retired_traces_.push_back({s.name(), static_cast<std::uint32_t>(s.id()),
+                               s.recorder().collect()});
+  }
+  set_state(id, SessionState::kTripped);
+
+  TrippedEntry e;
+  e.id = id;
+  e.snap = s.snapshot();   // before take_spec: snapshot reads live state
+  e.spec = s.take_spec();  // arena shared_ptr moves out intact
+  tripped_.push_back(std::move(e));
+  active_.erase(it);  // destroys the session; no further cycles run
+}
+
+void EngineHost::probe_tripped() {
+  for (auto it = tripped_.begin(); it != tripped_.end();) {
+    const auto bit = breakers_.find(it->id);
+    if (bit == breakers_.end()) {  // defensive: breaker lost => drop entry
+      it = tripped_.erase(it);
+      continue;
+    }
+    CircuitBreaker& br = bit->second;
+    if (!br.probe_due(fleet_now_us_)) {
+      ++it;
+      continue;
+    }
+    // A probe must pass the same density test as a fresh admission so a
+    // recovering session cannot push the fleet over its utilization
+    // bound — but it is NOT appended to the admission log: the log is a
+    // pure function of the submission sequence (replayable), and probe
+    // timing depends on measured failures.
+    const double density = it->snap.cost_estimate_us / it->spec.deadline_us;
+    const AdmissionVerdict v = admission_.decide(
+        density, active_density_, active_.size(), queued_.size());
+    if (v != AdmissionVerdict::kAdmitted) {
+      ++it;  // capacity is tight; retry next tick, backoff unchanged
+      continue;
+    }
+    br.begin_probe();
+    journal_.push(support::EventKind::kBreakerProbe, tick_,
+                  static_cast<std::int64_t>(it->id), 0, br.last_backoff_us());
+
+    std::unique_ptr<Session> s = build_session(it->id, std::move(it->spec));
+    s->restore(it->snap);
+    s->set_next_due_us(fleet_now_us_ + s->deadline_us());
+    if (tracing_armed_) s->arm_tracing(trace_capacity_);
+    set_state(it->id, SessionState::kActive);
+    active_density_ += s->density();
+    m_restored_.inc();
+    journal_.push(support::EventKind::kSessionRestored, tick_,
+                  static_cast<std::int64_t>(s->id()));
+    active_.push_back(std::move(s));
+    it = tripped_.erase(it);
+  }
 }
 
 // ---- introspection ------------------------------------------------------

@@ -25,6 +25,7 @@ const char* to_string(SessionState s) noexcept {
     case SessionState::kShed: return "shed";
     case SessionState::kClosed: return "closed";
     case SessionState::kRejected: return "rejected";
+    case SessionState::kTripped: return "tripped";
   }
   return "?";
 }

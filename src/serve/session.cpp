@@ -75,6 +75,7 @@ double Session::run_cycle(double wait_us, double allowed_us) {
 
   if (level == DegradationLevel::kSafeMode) {
     supervisor_.supervise_safe_mode_cycle(c);
+    last_outcome_ = engine::CycleOutcome::kSafeMode;
   } else {
     const auto t0 = support::now();
     core::Executor* exec = level >= DegradationLevel::kSequentialFallback
@@ -82,9 +83,8 @@ double Session::run_cycle(double wait_us, double allowed_us) {
                                : static_cast<core::Executor*>(hosted_.get());
     exec->run_cycle();
     c.graph_us = support::since_us(t0);
-    supervisor_.supervise_cycle(c,
-                                spec_.output != nullptr ? *spec_.output
-                                                        : silent_);
+    last_outcome_ = supervisor_.supervise_cycle(
+        c, spec_.output != nullptr ? *spec_.output : silent_);
   }
   monitor_.add(c, level_idx);
 
@@ -108,6 +108,15 @@ double Session::observed_cost_p99_us() const {
 
 void Session::arm_tracing(std::size_t capacity_per_worker) {
   trace_.arm(hosted_->threads(), capacity_per_worker);
+}
+
+void Session::restore(const SessionSnapshot& snap) {
+  // Walk the fresh supervisor's ladder down to the saved level so a
+  // session that tripped while degraded does not restart at full quality
+  // only to fault again; the next clean window recovers it normally.
+  while (supervisor_.level() < snap.level && supervisor_.force_degrade()) {
+  }
+  if (snap.cost_estimate_us > 0) cost_estimate_us_ = snap.cost_estimate_us;
 }
 
 }  // namespace djstar::serve

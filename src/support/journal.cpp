@@ -28,6 +28,12 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kOverload: return "overload";
     case EventKind::kSessionClosed: return "session-closed";
     case EventKind::kFlightDump: return "flight-dump";
+    case EventKind::kWorkerQuarantine: return "worker-quarantine";
+    case EventKind::kWorkerRespawn: return "worker-respawn";
+    case EventKind::kBreakerTrip: return "breaker-trip";
+    case EventKind::kBreakerProbe: return "breaker-probe";
+    case EventKind::kBreakerClose: return "breaker-close";
+    case EventKind::kSessionRestored: return "session-restored";
   }
   return "?";
 }

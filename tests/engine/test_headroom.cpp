@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "djstar/audio/buffer.hpp"
 #include "djstar/engine/engine.hpp"
 #include "djstar/engine/headroom.hpp"
 
@@ -105,11 +106,15 @@ TEST(Headroom, WorksOnLiveMonitorData) {
   e.run_cycles(200);
   const auto r = de::advise_headroom(e.monitor());
   ASSERT_FALSE(r.entries.empty());
-  // This host runs the APC well under the deadline: some recommendation
-  // must exist. Under a sanitizer the engine genuinely is slower than
-  // real time, so "no safe buffer size" is the advisor's correct answer
-  // there — only the report shape is checked above.
-  if (!DJSTAR_HEADROOM_SANITIZED) {
+  // When this host runs the APC well under the deadline, some
+  // recommendation must exist. Under a sanitizer — or on a runner
+  // oversubscribed by concurrently scheduled test binaries — the engine
+  // genuinely is slower than real time, so "no safe buffer size" is the
+  // advisor's correct answer there; only the report shape is checked
+  // above. Judge by what the measurement actually observed, not by
+  // assumptions about the host.
+  if (!DJSTAR_HEADROOM_SANITIZED &&
+      e.monitor().p99() < djstar::audio::kDeadlineUs) {
     EXPECT_GT(r.recommended_frames, 0u);
   }
 }

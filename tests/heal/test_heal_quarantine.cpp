@@ -1,0 +1,164 @@
+// Acceptance tests for worker self-healing (DESIGN.md §12): with
+// kStallForever / kWorkerAbort injected mid-cycle under every parallel
+// strategy, each cycle still executes every node exactly once, the medic
+// quarantines the dead worker, and (kRespawn) a replacement rejoins the
+// team within a bounded number of cycles.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random_dag.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/core/health.hpp"
+#include "djstar/core/team.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace dt = djstar::test;
+
+namespace {
+
+constexpr dc::Strategy kHealStrategies[] = {
+    dc::Strategy::kBusyWait, dc::Strategy::kSleep,
+    dc::Strategy::kWorkStealing, dc::Strategy::kSharedQueue};
+
+std::string sweep_name(const testing::TestParamInfo<dc::Strategy>& info) {
+  return std::string(dc::to_string(info.param));
+}
+
+dc::chaos::FaultPlan worker_fault_plan(std::uint64_t seed) {
+  dc::chaos::FaultPlan plan;
+  plan.seed = seed;
+  plan.stall_forever_permille = 20;
+  plan.abort_permille = 30;
+  return plan;
+}
+
+dc::TeamHealConfig heal_config(dc::HealMode mode) {
+  dc::TeamHealConfig heal;
+  heal.mode = mode;
+  // Sanitized builds run every atomic through a global lock; a healthy
+  // worker can legitimately go quiet for a while, so the budget widens
+  // to keep false positives (safe, but churny) rare.
+  heal.heartbeat_budget_us = dt::kTsan || dt::kAsan ? 20000.0 : 1000.0;
+  heal.check_interval_us = 100.0;
+  return heal;
+}
+
+class HealSweep : public testing::TestWithParam<dc::Strategy> {};
+
+}  // namespace
+
+TEST_P(HealSweep, WorkerFaultsHealWithExactlyOnceExecution) {
+  const dc::Strategy strategy = GetParam();
+  dt::Watchdog watchdog(dt::scaled_timeout(120),
+                        "heal sweep " + std::string(dc::to_string(strategy)));
+
+  dt::RandomDag dag(32, 0.15, 0x4EA1 + static_cast<int>(strategy));
+  dc::CompiledGraph cg(dag.g);
+  cg.arm_faults(worker_fault_plan(0xD1E + static_cast<int>(strategy)));
+
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  opts.heal = heal_config(dc::HealMode::kRespawn);
+  const auto exec = dc::make_executor(strategy, cg, opts);
+  ASSERT_NE(exec->team(), nullptr);
+  ASSERT_TRUE(exec->team()->healing());
+
+  const int cycles = dt::scaled(150);
+  for (int c = 0; c < cycles; ++c) {
+    dag.reset();
+    exec->run_cycle();
+    for (std::size_t i = 0; i < dag.done.size(); ++i) {
+      ASSERT_EQ(dag.done[i].load(), 1)
+          << dc::to_string(strategy) << ": node " << i
+          << " not exactly-once in cycle " << c;
+    }
+  }
+
+  const dc::HealStats hs = exec->team()->heal_stats();
+  EXPECT_GT(hs.worker_faults, 0u) << "plan never fired a worker fault";
+  EXPECT_GE(hs.quarantines, 1u) << "no worker was ever quarantined";
+  EXPECT_GE(hs.respawns, 1u) << "no replacement worker was spawned";
+  EXPECT_EQ(hs.threads, 4u);
+}
+
+TEST_P(HealSweep, QuarantineModeCompletesOnSurvivors) {
+  const dc::Strategy strategy = GetParam();
+  dt::Watchdog watchdog(
+      dt::scaled_timeout(120),
+      "quarantine sweep " + std::string(dc::to_string(strategy)));
+
+  dt::RandomDag dag(24, 0.2, 0xACE + static_cast<int>(strategy));
+  dc::CompiledGraph cg(dag.g);
+  cg.arm_faults(worker_fault_plan(0xF00 + static_cast<int>(strategy)));
+
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  opts.heal = heal_config(dc::HealMode::kQuarantine);
+  const auto exec = dc::make_executor(strategy, cg, opts);
+
+  const int cycles = dt::scaled(100);
+  for (int c = 0; c < cycles; ++c) {
+    dag.reset();
+    exec->run_cycle();
+    for (std::size_t i = 0; i < dag.done.size(); ++i) {
+      ASSERT_EQ(dag.done[i].load(), 1)
+          << dc::to_string(strategy) << ": node " << i
+          << " not exactly-once in cycle " << c;
+    }
+  }
+
+  const dc::HealStats hs = exec->team()->heal_stats();
+  EXPECT_GE(hs.quarantines, 1u);
+  EXPECT_EQ(hs.respawns, 0u) << "kQuarantine must never respawn";
+  // Permanently down workers: the team runs degraded on the survivors
+  // (worker 0 is exempt, so at least one lane always lives).
+  EXPECT_LT(exec->team()->live_threads(), 4u);
+  EXPECT_GE(exec->team()->live_threads(), 1u);
+}
+
+TEST_P(HealSweep, RespawnedWorkerRejoinsWithinBoundedCycles) {
+  const dc::Strategy strategy = GetParam();
+  dt::Watchdog watchdog(
+      dt::scaled_timeout(120),
+      "respawn sweep " + std::string(dc::to_string(strategy)));
+
+  dt::RandomDag dag(24, 0.2, 0xB00 + static_cast<int>(strategy));
+  dc::CompiledGraph cg(dag.g);
+
+  dc::chaos::FaultPlan plan;
+  plan.seed = 0xCAFE + static_cast<int>(strategy);
+  plan.abort_permille = 60;  // aborts only: each quarantine is quick
+  cg.arm_faults(plan);
+
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  opts.heal = heal_config(dc::HealMode::kRespawn);
+  const auto exec = dc::make_executor(strategy, cg, opts);
+
+  // Run under fault load until at least one quarantine has happened.
+  const int fault_cycles = dt::scaled(120);
+  for (int c = 0; c < fault_cycles; ++c) {
+    dag.reset();
+    exec->run_cycle();
+    if (exec->team()->heal_stats().quarantines > 0) break;
+  }
+  ASSERT_GE(exec->team()->heal_stats().quarantines, 1u)
+      << "fault plan never produced a quarantine to recover from";
+
+  // Stop injecting and drive clean cycles: the replacement thread must
+  // rejoin (live == threads) within a bounded number of cycles.
+  cg.disarm_faults();
+  bool rejoined = false;
+  for (int c = 0; c < 100 && !rejoined; ++c) {
+    dag.reset();
+    exec->run_cycle();
+    rejoined = exec->team()->live_threads() == 4;
+  }
+  EXPECT_TRUE(rejoined) << "replacement worker never rejoined the team";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParallelStrategies, HealSweep,
+                         testing::ValuesIn(kHealStrategies), sweep_name);

@@ -1,0 +1,116 @@
+// Nightly chaos soak (label: soak): long-run worker-fault fuzzing over
+// every parallel strategy with healing armed. DJSTAR_SOAK_CYCLES scales
+// the run (nightly CI sets 10000; the default keeps local runs short).
+// The contract: no hang, no crash, exactly-once node execution every
+// cycle, and a team that keeps replacing its dead.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random_dag.hpp"
+#include "djstar/core/compiled_graph.hpp"
+#include "djstar/core/factory.hpp"
+#include "djstar/core/team.hpp"
+#include "djstar/support/flight.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dc = djstar::core;
+namespace dt = djstar::test;
+
+namespace {
+
+int soak_cycles() {
+  if (const char* env = std::getenv("DJSTAR_SOAK_CYCLES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return dt::scaled(600);
+}
+
+// Where a failing soak run drops its flight-recorder trace. Nightly CI
+// points this at a workspace directory and uploads it as an artifact;
+// locally it falls back to the gtest temp dir.
+std::string soak_dump_dir() {
+  if (const char* env = std::getenv("DJSTAR_SOAK_DUMP_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return testing::TempDir();
+}
+
+constexpr dc::Strategy kSoakStrategies[] = {
+    dc::Strategy::kBusyWait, dc::Strategy::kSleep,
+    dc::Strategy::kWorkStealing, dc::Strategy::kSharedQueue};
+
+std::string soak_name(const testing::TestParamInfo<dc::Strategy>& info) {
+  return std::string(dc::to_string(info.param));
+}
+
+class HealSoak : public testing::TestWithParam<dc::Strategy> {};
+
+}  // namespace
+
+TEST_P(HealSoak, SurvivesMixedWorkerAndNodeFaultFuzzing) {
+  const dc::Strategy strategy = GetParam();
+  const int cycles = soak_cycles();
+  // Each stall_forever costs roughly a heartbeat budget of wall time;
+  // budget the watchdog generously but finitely.
+  dt::Watchdog watchdog(dt::scaled_timeout(60 + cycles / 10),
+                        "heal soak " + std::string(dc::to_string(strategy)));
+
+  dt::RandomDag dag(40, 0.12, 0x50AC + static_cast<int>(strategy));
+  dc::CompiledGraph cg(dag.g);
+
+  // Worker faults layered on top of node faults: the heal path must
+  // compose with throw/latency/stall injection, not just run alone.
+  dc::chaos::FaultPlan plan;
+  plan.seed = 0x50AC5EED + static_cast<std::uint64_t>(cycles);
+  plan.stall_forever_permille = 4;
+  plan.abort_permille = 8;
+  plan.latency_permille = 10;
+  plan.latency_min_us = 5.0;
+  plan.latency_max_us = 40.0;
+  cg.arm_faults(plan);
+
+  // Flight recorder armed for the whole soak: when an exactly-once
+  // violation surfaces, the last cycles of per-worker spans are dumped
+  // for the nightly job to upload, so the failure is debuggable without
+  // reproducing a 10k-cycle chaos run.
+  djstar::support::FlightRecorder flight;
+  flight.configure(4, 4096);
+
+  dc::ExecOptions opts;
+  opts.threads = 4;
+  opts.flight = &flight;
+  opts.heal.mode = dc::HealMode::kRespawn;
+  opts.heal.heartbeat_budget_us = dt::kTsan || dt::kAsan ? 20000.0 : 1500.0;
+  opts.heal.check_interval_us = 100.0;
+  const auto exec = dc::make_executor(strategy, cg, opts);
+
+  for (int c = 0; c < cycles; ++c) {
+    flight.begin_cycle();
+    dag.reset();
+    exec->run_cycle();
+    for (std::size_t i = 0; i < dag.done.size(); ++i) {
+      if (dag.done[i].load() != 1) {
+        const std::string dump = soak_dump_dir() + "/soak_" +
+                                 std::string(dc::to_string(strategy)) +
+                                 ".flight.json";
+        flight.dump_chrome_trace(dump, 64, 3000.0);
+        FAIL() << dc::to_string(strategy) << ": node " << i << " ran "
+               << dag.done[i].load() << "x in cycle " << c
+               << "; flight dump at " << dump;
+      }
+    }
+  }
+
+  const dc::HealStats hs = exec->team()->heal_stats();
+  // Fault rates guarantee plenty of worker faults over a soak run; a
+  // zero here means the injection pipeline silently broke.
+  EXPECT_GT(hs.worker_faults, 0u);
+  EXPECT_GE(hs.quarantines, 1u);
+  EXPECT_GE(hs.respawns, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParallelStrategies, HealSoak,
+                         testing::ValuesIn(kSoakStrategies), soak_name);

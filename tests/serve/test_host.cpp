@@ -124,6 +124,49 @@ TEST(EngineHost, OverCapacitySubmissionsQueueThenAdmitOnClose) {
   EXPECT_NEAR(host.active_density(), 0.5, 1e-9);
 }
 
+// Regression: closing a session while it is still parked in the
+// admission FIFO must pull it out of the queue *before* any accounting
+// is finalized. The old ordering finalized first, so the dead entry was
+// still visible when the queued-depth stat was read, and the close left
+// no kSessionClosed record at all for queued sessions.
+TEST(EngineHost, CloseWhileQueuedRemovesFromFifoBeforeFinalizing) {
+  ds::EngineHost host(small_host(0.6));
+  const auto a = host.submit(light_session(ds::QoS::kStandard, 0.5));
+  const auto b = host.submit(light_session(ds::QoS::kStandard, 0.5));
+  host.run_fleet_cycle();
+  ASSERT_EQ(host.session_state(b), ds::SessionState::kQueued);
+  host.journal().drain_all();  // discard the admission-time events
+
+  host.close(b);
+  host.run_fleet_cycle();
+  EXPECT_EQ(host.session_state(b), ds::SessionState::kClosed);
+  EXPECT_EQ(host.queued_sessions(), 0u);
+  // The neighbor is untouched and the queued session never contributed
+  // to active density, so none may be released on its behalf.
+  EXPECT_EQ(host.session_state(a), ds::SessionState::kActive);
+  EXPECT_NEAR(host.active_density(), 0.5, 1e-9);
+
+  // The close is journaled exactly once, against b's id.
+  unsigned closed_events = 0;
+  for (const auto& e : host.journal().drain_all()) {
+    if (e.kind == djstar::support::EventKind::kSessionClosed) {
+      ++closed_events;
+      EXPECT_EQ(e.a, static_cast<std::int64_t>(b));
+    }
+  }
+  EXPECT_EQ(closed_events, 1u);
+
+  // The freed FIFO slot behaves normally: a later submission queues and
+  // then admits once capacity opens up.
+  const auto c = host.submit(light_session(ds::QoS::kStandard, 0.5));
+  host.run_fleet_cycle();
+  EXPECT_EQ(host.session_state(c), ds::SessionState::kQueued);
+  host.close(a);
+  host.run_fleet_cycles(3);
+  EXPECT_EQ(host.session_state(c), ds::SessionState::kActive);
+  EXPECT_EQ(host.queued_sessions(), 0u);
+}
+
 TEST(EngineHost, RejectsWhenQueueingDisabled) {
   ds::HostConfig cfg = small_host(0.6);
   cfg.admission.queue_when_full = false;

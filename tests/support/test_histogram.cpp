@@ -147,6 +147,62 @@ TEST(HistogramQuantile, EdgeMassesAndEmpty) {
   EXPECT_DOUBLE_EQ(o.quantile(0.5), 10.0);
 }
 
+TEST(HistogramMerge, MergeIntoEmptyEqualsCopy) {
+  ds::Histogram src(0.0, 10.0, 5);
+  src.add(-1.0);
+  src.add(1.0);
+  src.add(3.0);
+  src.add(11.0);
+
+  // An empty destination with the same layout absorbs src losslessly,
+  // including the under/overflow tails.
+  ds::Histogram dst(0.0, 10.0, 5);
+  dst.merge(src);
+  EXPECT_EQ(dst.total(), src.total());
+  EXPECT_EQ(dst.underflow(), 1u);
+  EXPECT_EQ(dst.overflow(), 1u);
+  for (std::size_t i = 0; i < dst.bin_count(); ++i) {
+    EXPECT_EQ(dst.count(i), src.count(i)) << "bin " << i;
+  }
+}
+
+TEST(HistogramMerge, SingleBucketMatchedLayoutIsLossless) {
+  ds::Histogram a(0.0, 10.0, 1);
+  ds::Histogram b(0.0, 10.0, 1);
+  a.add(2.0);
+  b.add(7.0);
+  b.add(-3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(HistogramMerge, SingleBucketRebinsAtItsMidpoint) {
+  // A one-bucket source collapses everything to its midpoint (5.0), so
+  // a mismatched destination lands all of it in the bin holding 5.0 —
+  // the error bound is half of the source's (huge) bin width.
+  ds::Histogram src(0.0, 10.0, 1);
+  src.add(0.5);
+  src.add(9.5);
+  ds::Histogram dst(0.0, 10.0, 5);
+  dst.merge(src);
+  EXPECT_EQ(dst.count(2), 2u);  // [4, 6) contains the midpoint
+  EXPECT_EQ(dst.total(), 2u);
+  EXPECT_EQ(dst.underflow(), 0u);
+  EXPECT_EQ(dst.overflow(), 0u);
+}
+
+TEST(HistogramQuantile, SingleBucketInterpolatesAcrossTheBin) {
+  ds::Histogram h(0.0, 10.0, 1);
+  for (int i = 0; i < 4; ++i) h.add(5.0);
+  // All mass sits in the only bin: quantiles interpolate linearly from
+  // lo() to hi() regardless of where the samples actually landed.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
 TEST(HistogramQuantile, MonotoneInQ) {
   ds::Histogram h(0.0, 50.0, 25);
   for (int i = 0; i < 200; ++i) h.add((i * 7) % 50);
