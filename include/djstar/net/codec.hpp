@@ -1,0 +1,57 @@
+// djstar/net/codec.hpp
+// Incremental frame encoder/decoder over a byte stream (DESIGN.md §13).
+//
+// The decoder is a push parser: feed() whatever the socket produced,
+// then pull complete frames with next(). It never over-reads (a frame
+// is only surfaced once header + payload are fully buffered), never
+// allocates beyond the declared payload length, and latches into a
+// failed state on the first structural violation — bad version byte,
+// unknown frame type, nonzero reserved bits, or a payload length above
+// the cap. A failed decoder stays failed: the only safe response to a
+// corrupt framing layer is to drop the connection, since byte
+// boundaries can no longer be trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "djstar/net/frame.hpp"
+
+namespace djstar::net {
+
+/// Serialize one frame (header + payload) onto `out`.
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+class Decoder {
+ public:
+  /// `max_payload` tightens the global kMaxPayload cap (it is clamped
+  /// to it); a control-only endpoint can refuse big frames outright.
+  explicit Decoder(std::size_t max_payload = kMaxPayload);
+
+  /// Append raw bytes from the wire. No-op once failed.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extract the next complete frame, or nullopt when more bytes are
+  /// needed (or the decoder has failed — check failed()).
+  std::optional<Frame> next();
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void fail(const std::string& why);
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace djstar::net

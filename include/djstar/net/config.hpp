@@ -1,0 +1,47 @@
+// djstar/net/config.hpp
+// Hardened DJSTAR_NET configuration, in the DJSTAR_THREADS /
+// DJSTAR_HEAL / DJSTAR_BREAKER style: an explicitly-set but malformed
+// value throws std::invalid_argument naming the offending text — never
+// a silent default.
+//
+//   DJSTAR_NET=<port>[,max_conns[,send_ring_kb]]
+//
+//   port          0..65535 (0 = bind an ephemeral port)
+//   max_conns     1..kMaxConns — concurrent client connections; beyond
+//                 the limit new sockets get ERROR(kServerFull) + close
+//   send_ring_kb  kMinSendRingKb..kMaxSendRingKb — per-connection send
+//                 ring budget; the backpressure watermark (DESIGN.md
+//                 §13: drop-oldest for besteffort audio, disconnect for
+//                 a stalled realtime subscriber)
+//
+// Empty values, garbage, negative numbers, trailing text, and
+// out-of-range fields all throw.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace djstar::net {
+
+inline constexpr unsigned kMaxConns = 4096;
+inline constexpr unsigned kMinSendRingKb = 16;
+inline constexpr unsigned kMaxSendRingKb = 1u << 20;  // 1 GiB ring is a bug
+
+struct NetConfig {
+  std::uint16_t port = 0;      ///< 0 = ephemeral
+  unsigned max_conns = 64;
+  unsigned send_ring_kb = 256;
+
+  /// Parse "<port>[,max_conns[,send_ring_kb]]". Throws
+  /// std::invalid_argument (message quotes the input) on any malformed
+  /// or out-of-range field.
+  static NetConfig parse(std::string_view text);
+
+  /// DJSTAR_NET override: unset returns nullopt, set goes through
+  /// parse() (so an empty or bad value throws instead of being
+  /// ignored).
+  static std::optional<NetConfig> from_env(const char* var = "DJSTAR_NET");
+};
+
+}  // namespace djstar::net

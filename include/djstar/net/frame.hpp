@@ -1,0 +1,175 @@
+// djstar/net/frame.hpp
+// The djstar wire protocol: length-prefixed binary frames (DESIGN.md
+// §13).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset 0   u8   protocol version (kProtocolVersion)
+//   offset 1   u8   frame type (FrameType)
+//   offset 2   u16  reserved, must be zero
+//   offset 4   u32  payload length  (<= kMaxPayload)
+//   offset 8   ...  payload
+//
+// Five frame types carry the whole protocol; payloads are fixed-layout
+// structs with explicit little-endian encoding, so the bytes are stable
+// across compilers and host endianness:
+//
+//   OPEN_SESSION   c->s: OpenSessionRequest (a SyntheticSpec on the
+//                        wire — the serializable session description)
+//                  s->c: OpenSessionReply (id + admission verdict),
+//                        sent once the verdict lands at a tick boundary
+//   CLOSE_SESSION  c->s: CloseSessionMsg; s->c echoes it as the ack
+//   STATS          c->s: empty payload; s->c: WireStats
+//   CYCLE_AUDIO    s->c only: CycleAudioHeader + f32 samples, one frame
+//                  per session cycle, fanned out to subscribers
+//   ERROR          either direction: WireError (code + text). From the
+//                  server it precedes a deliberate disconnect.
+//
+// Every decode helper bounds-checks and returns nullopt on malformed
+// input — the codec layer turns that into a protocol error, never a
+// crash or an over-read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace djstar::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+/// Hard cap on a frame payload; anything larger is a malformed or
+/// hostile stream and kills the connection.
+inline constexpr std::size_t kMaxPayload = 1u << 20;
+/// Cap on the session-name field of OPEN_SESSION.
+inline constexpr std::size_t kMaxNameLen = 256;
+/// Caps on the audio payload shape (2ch * 8192 frames is far above the
+/// engine's fixed 128-frame blocks; the cap only bounds hostile input).
+inline constexpr std::uint32_t kMaxAudioChannels = 8;
+inline constexpr std::uint32_t kMaxAudioFrames = 8192;
+
+enum class FrameType : std::uint8_t {
+  kOpenSession = 1,
+  kCloseSession = 2,
+  kStats = 3,
+  kCycleAudio = 4,
+  kError = 5,
+};
+
+bool valid_frame_type(std::uint8_t t) noexcept;
+const char* to_string(FrameType t) noexcept;
+
+/// One decoded frame: type + raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Protocol error codes carried by ERROR frames.
+enum class ErrorCode : std::uint16_t {
+  kBadVersion = 1,   ///< version byte mismatch
+  kBadFrame = 2,     ///< malformed header or payload
+  kUnknownSession = 3,
+  kBackpressure = 4,  ///< realtime subscriber could not keep up
+  kRejected = 5,      ///< open refused (validation or admission)
+  kServerFull = 6,    ///< connection limit reached
+};
+
+// ---- payloads --------------------------------------------------------------
+
+/// OPEN_SESSION request: a serve::SyntheticSpec plus serve-level fields,
+/// flattened for the wire. `subscribe` asks the server to fan this
+/// session's cycle audio back over this connection.
+struct OpenSessionRequest {
+  std::uint8_t qos = 1;        ///< serve::rank(QoS)
+  bool subscribe = true;
+  bool deterministic = false;  ///< fixed-iteration node work (replayable audio)
+  double deadline_us = 0;      ///< 0 = server default
+  std::uint32_t width = 4;
+  std::uint32_t depth = 3;
+  double node_cost_us = 15.0;
+  double jitter = 0.25;
+  double sheddable_fraction = 0.4;
+  double cost_estimate_us = 0;  ///< 0 = derive from node costs
+  std::uint64_t seed = 1;
+  std::string name = "wire";
+};
+
+/// OPEN_SESSION reply. `state` is the serve::SessionState after the
+/// admission verdict (kActive / kQueued / kRejected as a u8).
+struct OpenSessionReply {
+  std::uint64_t id = 0;
+  std::uint8_t state = 0;
+};
+
+struct CloseSessionMsg {
+  std::uint64_t id = 0;
+};
+
+/// STATS reply: the fleet counters a remote dashboard needs, frozen by
+/// the engine thread every few ticks (serve::FleetStats stays a
+/// data-plane-only structure).
+struct WireStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t active = 0;
+  std::uint64_t queued = 0;
+};
+
+/// CYCLE_AUDIO header; `channels * frames` f32 samples follow,
+/// channel-major (the AudioBuffer layout).
+struct CycleAudioHeader {
+  std::uint64_t session = 0;
+  std::uint64_t tick = 0;  ///< fleet tick the cycle completed on
+  std::uint32_t channels = 0;
+  std::uint32_t frames = 0;
+};
+
+struct WireError {
+  std::uint16_t code = 0;
+  std::string message;
+};
+
+// ---- encode / decode -------------------------------------------------------
+// Encoders append payload bytes; decoders bounds-check a payload span
+// and return nullopt on any structural problem (short, oversized,
+// out-of-cap fields). Exact-length matches are required — trailing
+// bytes are an error, not slack.
+
+void encode(const OpenSessionRequest& v, std::vector<std::uint8_t>& out);
+void encode(const OpenSessionReply& v, std::vector<std::uint8_t>& out);
+void encode(const CloseSessionMsg& v, std::vector<std::uint8_t>& out);
+void encode(const WireStats& v, std::vector<std::uint8_t>& out);
+void encode(const WireError& v, std::vector<std::uint8_t>& out);
+/// Audio: header + `samples` (size must equal channels * frames).
+void encode(const CycleAudioHeader& h, std::span<const float> samples,
+            std::vector<std::uint8_t>& out);
+
+std::optional<OpenSessionRequest> decode_open_request(
+    std::span<const std::uint8_t> p);
+std::optional<OpenSessionReply> decode_open_reply(
+    std::span<const std::uint8_t> p);
+std::optional<CloseSessionMsg> decode_close(std::span<const std::uint8_t> p);
+std::optional<WireStats> decode_stats(std::span<const std::uint8_t> p);
+std::optional<WireError> decode_error(std::span<const std::uint8_t> p);
+/// Decodes the header and fills `samples` with the payload's f32 data.
+std::optional<CycleAudioHeader> decode_audio(std::span<const std::uint8_t> p,
+                                             std::vector<float>& samples);
+
+/// Convenience: build a whole Frame for a payload struct.
+Frame make_frame(const OpenSessionRequest& v);
+Frame make_frame(const OpenSessionReply& v);
+Frame make_frame(FrameType type, const CloseSessionMsg& v);
+Frame make_frame(const WireStats& v);
+Frame make_frame(const WireError& v);
+Frame make_stats_request();
+
+}  // namespace djstar::net

@@ -1,0 +1,73 @@
+// djstar/net/io.hpp
+// EINTR-safe POSIX I/O wrappers for the network front-end (DESIGN.md
+// §13).
+//
+// Every socket syscall the reactor issues goes through here, for three
+// reasons:
+//   - EINTR is retried in exactly one place instead of at every call
+//     site (a signal mid-read must never look like a protocol error);
+//   - writes use send(MSG_NOSIGNAL) so a peer that hung up produces a
+//     clean EPIPE return instead of killing the process with SIGPIPE;
+//   - the syscalls are routed through an injectable hook table, so the
+//     unit tests can fake an interrupted syscall (EINTR storms, short
+//     reads, EPIPE) without any signal gymnastics.
+//
+// Return convention for the *_some wrappers (non-blocking fds):
+//   > 0          bytes transferred
+//   0            end of stream (read only)
+//   kWouldBlock  EAGAIN/EWOULDBLOCK — retry when the reactor says so
+//   kIoError     a real error; errno holds the cause
+#pragma once
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace djstar::net {
+
+inline constexpr ssize_t kWouldBlock = -1;
+inline constexpr ssize_t kIoError = -2;
+
+/// Syscall hook table. Null entries mean "the real syscall". Tests
+/// install fakes to exercise the EINTR-retry and short-transfer paths;
+/// production code never touches this.
+struct IoHooks {
+  ssize_t (*read)(int fd, void* buf, std::size_t n) = nullptr;
+  ssize_t (*write)(int fd, const void* buf, std::size_t n) = nullptr;
+  int (*accept)(int listen_fd) = nullptr;
+};
+
+/// Install a hook table, returning the previous one (restore it in the
+/// test's teardown). Not thread-safe — single-threaded test setup only.
+IoHooks set_io_hooks(IoHooks hooks) noexcept;
+
+/// Process-wide SIGPIPE ignore (idempotent). The reactor calls this on
+/// construction; MSG_NOSIGNAL covers send(), this covers everything
+/// else (e.g. writev on a raced-closed fd).
+void ignore_sigpipe() noexcept;
+
+/// O_NONBLOCK on. Returns false on fcntl failure.
+bool set_nonblocking(int fd) noexcept;
+
+/// TCP_NODELAY on (frames are latency-sensitive and self-contained;
+/// Nagle only adds a stall). Returns false on failure — harmless for
+/// non-TCP fds, so callers may ignore it.
+bool set_nodelay(int fd) noexcept;
+
+/// Read up to `cap` bytes. EINTR retried; see the return convention.
+ssize_t read_some(int fd, void* buf, std::size_t cap) noexcept;
+
+/// Write up to `n` bytes via send(MSG_NOSIGNAL) (falling back to
+/// write() for non-sockets, e.g. the test pipes). EINTR retried.
+ssize_t write_some(int fd, const void* buf, std::size_t n) noexcept;
+
+/// Accept one connection. EINTR and ECONNABORTED retried (an aborted
+/// handshake is the peer's problem, not ours). Returns the new fd,
+/// kWouldBlock, or kIoError.
+int accept_conn(int listen_fd) noexcept;
+
+/// Blocking-fd helpers for clients and tests: loop until all `n` bytes
+/// moved (EINTR retried). Return false on EOF or error.
+bool read_full(int fd, void* buf, std::size_t n) noexcept;
+bool write_full(int fd, const void* buf, std::size_t n) noexcept;
+
+}  // namespace djstar::net

@@ -1,0 +1,86 @@
+// djstar/net/reactor.hpp
+// A non-blocking epoll reactor on its own thread (DESIGN.md §13).
+//
+// Level-triggered on purpose: the handlers drain until EAGAIN anyway,
+// and level-triggering means a handler that stops early (e.g. the send
+// ring emptied mid-write) is simply re-notified — no lost-edge bugs.
+// epoll_wait is EINTR-safe, and an eventfd wakes the loop so other
+// threads can hand it work:
+//
+//   - post(fn): run `fn` on the loop thread (the engine thread uses
+//     this to kick pending send rings — it NEVER touches a socket
+//     itself);
+//   - wake(): bare wakeup, e.g. for stop().
+//
+// Discipline: add()/modify()/remove() are loop-thread-only once the
+// reactor is running (call them from inside a handler or a posted fn);
+// before start() they may be called from the owning thread. post() and
+// wake() are thread-safe. The reactor never closes fds it was handed —
+// ownership stays with the registrant.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace djstar::net {
+
+class Reactor {
+ public:
+  /// Called with the ready epoll event mask (EPOLLIN/EPOLLOUT/...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  /// Throws std::runtime_error when epoll/eventfd creation fails.
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Spawn the loop thread. Idempotent.
+  void start();
+  /// Signal the loop, join the thread. Idempotent; called by ~Reactor.
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  /// Register `fd` with an interest mask. Loop-thread-only once
+  /// running (or before start()).
+  void add(int fd, std::uint32_t events, Callback cb);
+  /// Change the interest mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+  /// Deregister; pending events for the fd are dropped. Does NOT close.
+  void remove(int fd);
+
+  /// Run `fn` on the loop thread as soon as it wakes. Thread-safe.
+  void post(std::function<void()> fn);
+  /// Bare wakeup. Thread-safe.
+  void wake() noexcept;
+
+  bool on_loop_thread() const noexcept {
+    return std::this_thread::get_id() ==
+           loop_tid_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void loop();
+  void drain_posted();
+
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  std::unordered_map<int, std::shared_ptr<Callback>> handlers_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::thread::id> loop_tid_{};
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace djstar::net

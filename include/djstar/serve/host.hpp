@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -140,6 +141,17 @@ class EngineHost {
   /// sessions in EDF order, account deadlines, handle overload.
   FleetTick run_fleet_cycle();
   void run_fleet_cycles(std::size_t n);
+
+  /// Observer invoked on the data-plane thread at the end of every
+  /// run_fleet_cycle(), after all accounting for the tick has landed.
+  /// Embedders (e.g. the net::Server fan-out) use it to read per-tick
+  /// state — session outputs, the admission log — without wrapping the
+  /// dispatch loop. Data-plane introspection calls are safe inside it;
+  /// it must never block on external I/O (the overload detector would
+  /// charge the stall to the next tick). Set before the data-plane loop
+  /// starts, or from the data-plane thread itself.
+  using TickObserver = std::function<void(const FleetTick&)>;
+  void set_tick_observer(TickObserver fn) { tick_observer_ = std::move(fn); }
 
   unsigned threads() const noexcept { return threads_; }
   std::size_t active_sessions() const noexcept { return active_.size(); }
@@ -258,6 +270,7 @@ class EngineHost {
   unsigned admit_holdoff_ = 0;
   ServeStats stats_;
   std::vector<AdmissionRecord> admission_log_;
+  TickObserver tick_observer_;
 
   // Circuit breakers (cfg_.breaker.enabled() only). A session's breaker
   // survives trip -> restore so the backoff keeps escalating across

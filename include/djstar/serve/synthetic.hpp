@@ -29,6 +29,13 @@ struct SyntheticSpec {
   double jitter = 0.25;        ///< per-node cost spread, +/- fraction
   double sheddable_fraction = 0.4;  ///< tail of each chain marked sheddable
   std::uint64_t seed = 1;      ///< drives the per-node jitter only
+  /// Replace the wall-clock-calibrated node spins with a fixed
+  /// iteration count derived from node_cost_us, and advance the source
+  /// phase once per cycle. The k-th cycle's output audio becomes a pure
+  /// function of (spec, k) — the property the net-layer loopback test
+  /// uses to check bit-identical audio over TCP vs in-process. Declared
+  /// costs still drive admission; only the work loop changes.
+  bool deterministic = false;
 };
 
 /// Build a ready-to-submit SessionSpec: graph, per-node declared costs,

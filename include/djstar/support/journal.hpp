@@ -46,6 +46,11 @@ enum class EventKind : std::uint8_t {
   kBreakerProbe,      ///< half-open probe launched (a=id, value=backoff_us)
   kBreakerClose,      ///< breaker closed after clean probes (a=id)
   kSessionRestored,   ///< tripped session rebuilt from snapshot (a=id)
+  kNetConnect,        ///< net front-end accepted a connection (a=fd)
+  kNetDisconnect,     ///< connection closed (a=fd, b=1 when server-initiated)
+  kNetProtocolError,  ///< malformed frame stream (a=fd)
+  kNetBackpressure,   ///< realtime subscriber stalled; disconnecting (a=fd)
+  kNetAudioDrop,      ///< drop-oldest shed audio frames (a=fd, b=frames)
 };
 
 const char* to_string(EventKind k) noexcept;

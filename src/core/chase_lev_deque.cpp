@@ -2,6 +2,23 @@
 
 #include "djstar/core/chaos.hpp"
 
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// Lê et al. fence that publishes a pushed element is invisible to it
+// and every steal of that element reports a false race on the payload.
+// Under TSan the same happens-before edge is expressed as a release
+// store on bottom_ (thieves acquire-load it); hardware builds keep the
+// paper-faithful fence + relaxed store.
+#if defined(__SANITIZE_THREAD__)
+#define DJSTAR_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DJSTAR_TSAN 1
+#endif
+#endif
+#ifndef DJSTAR_TSAN
+#define DJSTAR_TSAN 0
+#endif
+
 namespace djstar::core {
 namespace {
 
@@ -36,8 +53,12 @@ void ChaseLevDeque::push(Item x) {
   }
   chaos::maybe_perturb(chaos::Site::kDequePush);
   a->put(b, x);
+#if DJSTAR_TSAN
+  bottom_.store(b + 1, std::memory_order_release);
+#else
   std::atomic_thread_fence(std::memory_order_release);
   bottom_.store(b + 1, std::memory_order_relaxed);
+#endif
 }
 
 ChaseLevDeque::Item ChaseLevDeque::pop() {

@@ -1,0 +1,165 @@
+#include "djstar/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "djstar/net/io.hpp"
+
+namespace djstar::net {
+namespace {
+
+constexpr std::size_t kMaxPending = 1024;
+
+int connect_loopback(std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(std::uint16_t port, int timeout_ms) {
+  close();
+  ignore_sigpipe();
+  fd_ = connect_loopback(port, timeout_ms);
+  return fd_ >= 0;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = Decoder();
+  pending_.clear();
+}
+
+bool Client::send_frame(const Frame& f) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  return write_full(fd_, bytes.data(), bytes.size());
+}
+
+std::optional<Frame> Client::read_wire() {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t buf[4096];
+  for (;;) {
+    if (auto f = decoder_.next()) return f;
+    if (decoder_.failed()) return std::nullopt;
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r <= 0) return std::nullopt;  // EOF, timeout, or error
+    decoder_.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+std::optional<Frame> Client::read_frame() {
+  if (!pending_.empty()) {
+    Frame f = std::move(pending_.front());
+    pending_.pop_front();
+    return f;
+  }
+  return read_wire();
+}
+
+std::optional<Frame> Client::wait_for(FrameType want) {
+  for (;;) {
+    auto f = read_wire();
+    if (!f) return std::nullopt;
+    if (f->type == want) return f;
+    if (f->type == FrameType::kError) {
+      last_error_ = decode_error(f->payload);
+      return std::nullopt;
+    }
+    // Pushed audio racing a control reply: keep it for read_audio().
+    if (pending_.size() >= kMaxPending) pending_.pop_front();
+    pending_.push_back(std::move(*f));
+  }
+}
+
+std::optional<OpenSessionReply> Client::open_session(
+    const OpenSessionRequest& req) {
+  if (!send_frame(make_frame(req))) return std::nullopt;
+  const auto f = wait_for(FrameType::kOpenSession);
+  if (!f) return std::nullopt;
+  return decode_open_reply(f->payload);
+}
+
+bool Client::close_session(std::uint64_t id) {
+  CloseSessionMsg msg;
+  msg.id = id;
+  if (!send_frame(make_frame(FrameType::kCloseSession, msg))) return false;
+  const auto f = wait_for(FrameType::kCloseSession);
+  if (!f) return false;
+  const auto echo = decode_close(f->payload);
+  return echo && echo->id == id;
+}
+
+std::optional<WireStats> Client::stats() {
+  if (!send_frame(make_stats_request())) return std::nullopt;
+  const auto f = wait_for(FrameType::kStats);
+  if (!f) return std::nullopt;
+  return decode_stats(f->payload);
+}
+
+std::optional<CycleAudio> Client::read_audio() {
+  for (;;) {
+    auto f = read_frame();
+    if (!f) return std::nullopt;
+    if (f->type == FrameType::kError) {
+      last_error_ = decode_error(f->payload);
+      return std::nullopt;
+    }
+    if (f->type != FrameType::kCycleAudio) continue;
+    CycleAudio out;
+    const auto h = decode_audio(f->payload, out.samples);
+    if (!h) return std::nullopt;
+    out.header = *h;
+    return out;
+  }
+}
+
+std::optional<std::string> http_get(std::uint16_t port,
+                                    const std::string& path,
+                                    int timeout_ms) {
+  const int fd = connect_loopback(port, timeout_ms);
+  if (fd < 0) return std::nullopt;
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!write_full(fd, req.data(), req.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) break;
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  if (response.empty()) return std::nullopt;
+  return response;
+}
+
+}  // namespace djstar::net

@@ -1,0 +1,87 @@
+#include "djstar/net/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace djstar::net {
+
+void encode_frame(const Frame& f, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kHeaderSize + f.payload.size());
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  const auto len = static_cast<std::uint32_t>(f.payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  encode_frame(f, out);
+  return out;
+}
+
+Decoder::Decoder(std::size_t max_payload)
+    : max_payload_(std::min(max_payload, kMaxPayload)) {}
+
+void Decoder::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  buf_.clear();
+  pos_ = 0;
+}
+
+void Decoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_ || n == 0) return;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection doesn't grow its buffer without bound.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> Decoder::next() {
+  if (failed_) return std::nullopt;
+  if (buf_.size() - pos_ < kHeaderSize) return std::nullopt;
+
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (h[0] != kProtocolVersion) {
+    fail("bad protocol version byte " + std::to_string(int(h[0])));
+    return std::nullopt;
+  }
+  if (!valid_frame_type(h[1])) {
+    fail("unknown frame type " + std::to_string(int(h[1])));
+    return std::nullopt;
+  }
+  if (h[2] != 0 || h[3] != 0) {
+    fail("nonzero reserved header bytes");
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t(h[4 + i]) << (8 * i);
+  if (len > max_payload_) {
+    fail("payload length " + std::to_string(len) + " exceeds cap " +
+         std::to_string(max_payload_));
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < kHeaderSize + len) return std::nullopt;  // partial
+
+  Frame f;
+  f.type = static_cast<FrameType>(h[1]);
+  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + kHeaderSize),
+                   buf_.begin() +
+                       static_cast<std::ptrdiff_t>(pos_ + kHeaderSize + len));
+  pos_ += kHeaderSize + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return f;
+}
+
+}  // namespace djstar::net

@@ -1,0 +1,320 @@
+#include "djstar/net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace djstar::net {
+namespace {
+
+// ---- little-endian primitives ---------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+/// Bounds-checked sequential reader. Any overrun latches `ok = false`
+/// and every later read returns zero, so decoders can parse the whole
+/// layout and do a single validity check at the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> d) noexcept : d_(d) {}
+
+  std::uint8_t u8() noexcept {
+    if (!take(1)) return 0;
+    return d_[pos_ - 1];
+  }
+  std::uint16_t u16() noexcept {
+    if (!take(2)) return 0;
+    return static_cast<std::uint16_t>(d_[pos_ - 2] |
+                                      (std::uint16_t(d_[pos_ - 1]) << 8));
+  }
+  std::uint32_t u32() noexcept {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(d_[pos_ - 4 + i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() noexcept {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(d_[pos_ - 8 + i]) << (8 * i);
+    return v;
+  }
+  double f64() noexcept { return std::bit_cast<double>(u64()); }
+  float f32() noexcept { return std::bit_cast<float>(u32()); }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (!take(n)) return {};
+    return d_.subspan(pos_ - n, n);
+  }
+
+  bool ok() const noexcept { return ok_; }
+  /// True when parsing succeeded AND consumed the payload exactly.
+  bool done() const noexcept { return ok_ && pos_ == d_.size(); }
+  std::size_t remaining() const noexcept { return d_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || d_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> d_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Frame wrap(FrameType type, std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.type = type;
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace
+
+bool valid_frame_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kOpenSession) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+const char* to_string(FrameType t) noexcept {
+  switch (t) {
+    case FrameType::kOpenSession: return "OPEN_SESSION";
+    case FrameType::kCloseSession: return "CLOSE_SESSION";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kCycleAudio: return "CYCLE_AUDIO";
+    case FrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+// ---- OpenSessionRequest ----------------------------------------------------
+
+void encode(const OpenSessionRequest& v, std::vector<std::uint8_t>& out) {
+  put_u8(out, v.qos);
+  put_u8(out, v.subscribe ? 1 : 0);
+  put_u8(out, v.deterministic ? 1 : 0);
+  put_u8(out, 0);  // pad
+  put_f64(out, v.deadline_us);
+  put_u32(out, v.width);
+  put_u32(out, v.depth);
+  put_f64(out, v.node_cost_us);
+  put_f64(out, v.jitter);
+  put_f64(out, v.sheddable_fraction);
+  put_f64(out, v.cost_estimate_us);
+  put_u64(out, v.seed);
+  put_u16(out, static_cast<std::uint16_t>(v.name.size()));
+  out.insert(out.end(), v.name.begin(), v.name.end());
+}
+
+std::optional<OpenSessionRequest> decode_open_request(
+    std::span<const std::uint8_t> p) {
+  Reader r(p);
+  OpenSessionRequest v;
+  v.qos = r.u8();
+  const std::uint8_t subscribe = r.u8();
+  const std::uint8_t deterministic = r.u8();
+  const std::uint8_t pad = r.u8();
+  v.deadline_us = r.f64();
+  v.width = r.u32();
+  v.depth = r.u32();
+  v.node_cost_us = r.f64();
+  v.jitter = r.f64();
+  v.sheddable_fraction = r.f64();
+  v.cost_estimate_us = r.f64();
+  v.seed = r.u64();
+  const std::uint16_t name_len = r.u16();
+  if (!r.ok() || name_len > kMaxNameLen || r.remaining() != name_len) {
+    return std::nullopt;
+  }
+  const auto name = r.bytes(name_len);
+  if (!r.done() || subscribe > 1 || deterministic > 1 || pad != 0) {
+    return std::nullopt;
+  }
+  v.subscribe = subscribe != 0;
+  v.deterministic = deterministic != 0;
+  v.name.assign(name.begin(), name.end());
+  return v;
+}
+
+// ---- OpenSessionReply ------------------------------------------------------
+
+void encode(const OpenSessionReply& v, std::vector<std::uint8_t>& out) {
+  put_u64(out, v.id);
+  put_u8(out, v.state);
+}
+
+std::optional<OpenSessionReply> decode_open_reply(
+    std::span<const std::uint8_t> p) {
+  Reader r(p);
+  OpenSessionReply v;
+  v.id = r.u64();
+  v.state = r.u8();
+  if (!r.done()) return std::nullopt;
+  return v;
+}
+
+// ---- CloseSessionMsg -------------------------------------------------------
+
+void encode(const CloseSessionMsg& v, std::vector<std::uint8_t>& out) {
+  put_u64(out, v.id);
+}
+
+std::optional<CloseSessionMsg> decode_close(std::span<const std::uint8_t> p) {
+  Reader r(p);
+  CloseSessionMsg v;
+  v.id = r.u64();
+  if (!r.done()) return std::nullopt;
+  return v;
+}
+
+// ---- WireStats -------------------------------------------------------------
+
+void encode(const WireStats& v, std::vector<std::uint8_t>& out) {
+  put_u64(out, v.ticks);
+  put_u64(out, v.submitted);
+  put_u64(out, v.admitted);
+  put_u64(out, v.rejected);
+  put_u64(out, v.shed);
+  put_u64(out, v.closed);
+  put_u64(out, v.cycles);
+  put_u64(out, v.misses);
+  put_u64(out, v.active);
+  put_u64(out, v.queued);
+}
+
+std::optional<WireStats> decode_stats(std::span<const std::uint8_t> p) {
+  Reader r(p);
+  WireStats v;
+  v.ticks = r.u64();
+  v.submitted = r.u64();
+  v.admitted = r.u64();
+  v.rejected = r.u64();
+  v.shed = r.u64();
+  v.closed = r.u64();
+  v.cycles = r.u64();
+  v.misses = r.u64();
+  v.active = r.u64();
+  v.queued = r.u64();
+  if (!r.done()) return std::nullopt;
+  return v;
+}
+
+// ---- WireError -------------------------------------------------------------
+
+void encode(const WireError& v, std::vector<std::uint8_t>& out) {
+  put_u16(out, v.code);
+  put_u16(out, static_cast<std::uint16_t>(v.message.size()));
+  out.insert(out.end(), v.message.begin(), v.message.end());
+}
+
+std::optional<WireError> decode_error(std::span<const std::uint8_t> p) {
+  Reader r(p);
+  WireError v;
+  v.code = r.u16();
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || r.remaining() != len) return std::nullopt;
+  const auto msg = r.bytes(len);
+  if (!r.done()) return std::nullopt;
+  v.message.assign(msg.begin(), msg.end());
+  return v;
+}
+
+// ---- CycleAudio ------------------------------------------------------------
+
+void encode(const CycleAudioHeader& h, std::span<const float> samples,
+            std::vector<std::uint8_t>& out) {
+  put_u64(out, h.session);
+  put_u64(out, h.tick);
+  put_u32(out, h.channels);
+  put_u32(out, h.frames);
+  out.reserve(out.size() + samples.size() * 4);
+  for (float s : samples) put_f32(out, s);
+}
+
+std::optional<CycleAudioHeader> decode_audio(std::span<const std::uint8_t> p,
+                                             std::vector<float>& samples) {
+  Reader r(p);
+  CycleAudioHeader h;
+  h.session = r.u64();
+  h.tick = r.u64();
+  h.channels = r.u32();
+  h.frames = r.u32();
+  if (!r.ok() || h.channels == 0 || h.channels > kMaxAudioChannels ||
+      h.frames == 0 || h.frames > kMaxAudioFrames) {
+    return std::nullopt;
+  }
+  const std::size_t n =
+      static_cast<std::size_t>(h.channels) * static_cast<std::size_t>(h.frames);
+  if (r.remaining() != n * 4) return std::nullopt;
+  samples.resize(n);
+  for (std::size_t i = 0; i < n; ++i) samples[i] = r.f32();
+  if (!r.done()) return std::nullopt;
+  return h;
+}
+
+// ---- frame builders --------------------------------------------------------
+
+Frame make_frame(const OpenSessionRequest& v) {
+  std::vector<std::uint8_t> p;
+  encode(v, p);
+  return wrap(FrameType::kOpenSession, std::move(p));
+}
+
+Frame make_frame(const OpenSessionReply& v) {
+  std::vector<std::uint8_t> p;
+  encode(v, p);
+  return wrap(FrameType::kOpenSession, std::move(p));
+}
+
+Frame make_frame(FrameType type, const CloseSessionMsg& v) {
+  std::vector<std::uint8_t> p;
+  encode(v, p);
+  return wrap(type, std::move(p));
+}
+
+Frame make_frame(const WireStats& v) {
+  std::vector<std::uint8_t> p;
+  encode(v, p);
+  return wrap(FrameType::kStats, std::move(p));
+}
+
+Frame make_frame(const WireError& v) {
+  std::vector<std::uint8_t> p;
+  encode(v, p);
+  return wrap(FrameType::kError, std::move(p));
+}
+
+Frame make_stats_request() { return wrap(FrameType::kStats, {}); }
+
+}  // namespace djstar::net

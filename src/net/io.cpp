@@ -1,0 +1,108 @@
+#include "djstar/net/io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace djstar::net {
+namespace {
+
+IoHooks g_hooks{};
+
+ssize_t raw_read(int fd, void* buf, std::size_t n) noexcept {
+  if (g_hooks.read != nullptr) return g_hooks.read(fd, buf, n);
+  return ::read(fd, buf, n);
+}
+
+ssize_t raw_write(int fd, const void* buf, std::size_t n) noexcept {
+  if (g_hooks.write != nullptr) return g_hooks.write(fd, buf, n);
+  const ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+  if (r >= 0 || errno != ENOTSOCK) return r;
+  return ::write(fd, buf, n);  // pipes and files in tests
+}
+
+int raw_accept(int listen_fd) noexcept {
+  if (g_hooks.accept != nullptr) return g_hooks.accept(listen_fd);
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+}  // namespace
+
+IoHooks set_io_hooks(IoHooks hooks) noexcept {
+  const IoHooks prev = g_hooks;
+  g_hooks = hooks;
+  return prev;
+}
+
+void ignore_sigpipe() noexcept { ::signal(SIGPIPE, SIG_IGN); }
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+ssize_t read_some(int fd, void* buf, std::size_t cap) noexcept {
+  for (;;) {
+    const ssize_t r = raw_read(fd, buf, cap);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return kIoError;
+  }
+}
+
+ssize_t write_some(int fd, const void* buf, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t r = raw_write(fd, buf, n);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return kIoError;
+  }
+}
+
+int accept_conn(int listen_fd) noexcept {
+  for (;;) {
+    const int fd = raw_accept(listen_fd);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<int>(kWouldBlock);
+    }
+    return static_cast<int>(kIoError);
+  }
+}
+
+bool read_full(int fd, void* buf, std::size_t n) noexcept {
+  auto* p = static_cast<unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = read_some(fd, p, n);
+    if (r <= 0) return false;  // EOF, would-block (misuse), or error
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (n > 0) {
+    const ssize_t r = write_some(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace djstar::net

@@ -1,0 +1,136 @@
+#include "djstar/net/reactor.hpp"
+
+#include <cerrno>
+#include <stdexcept>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include "djstar/net/io.hpp"
+#include "djstar/support/assert.hpp"
+
+namespace djstar::net {
+
+Reactor::Reactor() {
+  ignore_sigpipe();
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  wakefd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakefd_ < 0) {
+    ::close(epfd_);
+    throw std::runtime_error("eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev) != 0) {
+    ::close(wakefd_);
+    ::close(epfd_);
+    throw std::runtime_error("epoll_ctl(wakefd) failed");
+  }
+}
+
+Reactor::~Reactor() {
+  stop();
+  ::close(wakefd_);
+  ::close(epfd_);
+}
+
+void Reactor::start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Reactor::stop() {
+  if (!running_.load()) return;
+  stop_.store(true);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void Reactor::add(int fd, std::uint32_t events, Callback cb) {
+  DJSTAR_ASSERT(!running_.load() || on_loop_thread());
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::runtime_error("epoll_ctl(ADD) failed");
+  }
+  handlers_[fd] = std::make_shared<Callback>(std::move(cb));
+}
+
+void Reactor::modify(int fd, std::uint32_t events) {
+  DJSTAR_ASSERT(!running_.load() || on_loop_thread());
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw std::runtime_error("epoll_ctl(MOD) failed");
+  }
+}
+
+void Reactor::remove(int fd) {
+  DJSTAR_ASSERT(!running_.load() || on_loop_thread());
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);  // may already be gone
+  handlers_.erase(fd);
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void Reactor::wake() noexcept {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the return value only
+  // matters for diagnostics.
+  [[maybe_unused]] const ssize_t r =
+      ::write(wakefd_, &one, sizeof(one));
+}
+
+void Reactor::drain_posted() {
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard<std::mutex> lk(post_mutex_);
+    fns.swap(posted_);
+  }
+  for (auto& fn : fns) fn();
+}
+
+void Reactor::loop() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epfd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd itself broke; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      if (stop_.load(std::memory_order_relaxed)) return;
+      const int fd = events[i].data.fd;
+      if (fd == wakefd_) {
+        std::uint64_t drained = 0;
+        while (::read(wakefd_, &drained, sizeof(drained)) > 0) {
+        }
+        drain_posted();
+        continue;
+      }
+      // Look up at dispatch time: an earlier handler in this batch may
+      // have removed the fd. The shared_ptr copy keeps the callback
+      // alive even if the handler removes itself.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<Callback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+  }
+}
+
+}  // namespace djstar::net

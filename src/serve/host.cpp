@@ -385,6 +385,7 @@ FleetTick EngineHost::run_fleet_cycle() {
   g_active_sessions_.set(static_cast<double>(active_.size()));
   g_queued_sessions_.set(static_cast<double>(queued_.size()));
   g_active_density_.set(active_density_);
+  if (tick_observer_) tick_observer_(t);
   return t;
 }
 

@@ -32,10 +32,22 @@ void lane_work(std::vector<float>& lane, float gain, double cost_us) {
   } while (support::since_us(t0) < cost_us);
 }
 
+// Deterministic variant: a fixed number of lane sweeps instead of a
+// wall-clock budget, so the result is a pure function of the inputs.
+// The multiplier keeps the wall cost the same order of magnitude as the
+// declared cost without tying correctness to the clock.
+void lane_work_fixed(std::vector<float>& lane, float gain,
+                     std::size_t sweeps) {
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    for (float& x : lane) x = x * 0.999f + gain * 0.001f;
+  }
+}
+
 /// Everything the WorkFns capture; owned by SessionSpec::arena.
 struct SyntheticArena {
   std::vector<std::vector<float>> lanes;  // one per chain
   audio::AudioBuffer output{2, audio::kBlockSize};
+  std::uint64_t cycle = 0;  // deterministic mode: source phase counter
 };
 
 }  // namespace
@@ -59,14 +71,21 @@ SessionSpec make_synthetic_session(const SyntheticSpec& spec) {
   std::vector<double>& costs = out.node_cost_us;
 
   SyntheticArena* a = arena.get();
+  const bool deterministic = spec.deterministic;
   const core::NodeId source = g.add_node(
       "source",
-      [a] {
+      [a, deterministic] {
+        // Deterministic mode varies the phase per cycle so consecutive
+        // cycles produce distinct (but replayable) audio — a stream
+        // comparison then checks ordering, not just one block.
+        const float phase =
+            deterministic ? 0.001f * static_cast<float>(a->cycle % 997) : 0.0f;
         for (auto& lane : a->lanes) {
           for (std::size_t i = 0; i < lane.size(); ++i) {
-            lane[i] = 0.5f * std::sin(0.05f * static_cast<float>(i));
+            lane[i] = 0.5f * std::sin(0.05f * static_cast<float>(i) + phase);
           }
         }
+        ++a->cycle;
       },
       "Source");
   costs.push_back(1.0);
@@ -88,10 +107,17 @@ SessionSpec make_synthetic_session(const SyntheticSpec& spec) {
           (1.0 + spec.jitter * (2.0 * uniform01(rng) - 1.0));
       const float gain = 0.5f + 0.5f / static_cast<float>(d + 1);
       std::vector<float>* lane = &a->lanes[c];
+      core::WorkFn work;
+      if (deterministic) {
+        const std::size_t sweeps = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(cost * 4.0)));
+        work = [lane, gain, sweeps] { lane_work_fixed(*lane, gain, sweeps); };
+      } else {
+        work = [lane, gain, cost] { lane_work(*lane, gain, cost); };
+      }
       const core::NodeId n = g.add_node(
           "chain" + std::to_string(c) + "_n" + std::to_string(d),
-          [lane, gain, cost] { lane_work(*lane, gain, cost); },
-          "Chain" + std::to_string(c));
+          std::move(work), "Chain" + std::to_string(c));
       costs.push_back(cost);
       g.add_edge(prev, n);
       if (d >= shed_from) out.sheddable.push_back(n);

@@ -34,6 +34,11 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kBreakerProbe: return "breaker-probe";
     case EventKind::kBreakerClose: return "breaker-close";
     case EventKind::kSessionRestored: return "session-restored";
+    case EventKind::kNetConnect: return "net-connect";
+    case EventKind::kNetDisconnect: return "net-disconnect";
+    case EventKind::kNetProtocolError: return "net-protocol-error";
+    case EventKind::kNetBackpressure: return "net-backpressure";
+    case EventKind::kNetAudioDrop: return "net-audio-drop";
   }
   return "?";
 }

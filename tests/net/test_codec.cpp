@@ -1,0 +1,327 @@
+// Frame protocol + incremental codec (DESIGN.md §13): exact-layout
+// roundtrips for every payload struct, byte-split reassembly, and a
+// fuzz-style battery — random bytes, truncations, bit flips, and
+// oversized declarations must never crash, over-read, or yield a frame
+// the encoder didn't produce; they end in a clean latched failure at
+// worst.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "djstar/net/codec.hpp"
+#include "djstar/net/frame.hpp"
+
+namespace dn = djstar::net;
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const dn::Frame& f) {
+  return dn::encode_frame(f);
+}
+
+dn::OpenSessionRequest sample_request() {
+  dn::OpenSessionRequest r;
+  r.qos = 0;
+  r.subscribe = true;
+  r.deterministic = true;
+  r.deadline_us = 2902.5;
+  r.width = 6;
+  r.depth = 4;
+  r.node_cost_us = 17.25;
+  r.jitter = 0.125;
+  r.sheddable_fraction = 0.5;
+  r.cost_estimate_us = 420.0;
+  r.seed = 0xfeedfacecafebeefULL;
+  r.name = "roundtrip";
+  return r;
+}
+
+}  // namespace
+
+TEST(Codec, OpenRequestRoundtrips) {
+  const dn::OpenSessionRequest in = sample_request();
+  const dn::Frame f = dn::make_frame(in);
+  const auto out = dn::decode_open_request(f.payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->qos, in.qos);
+  EXPECT_EQ(out->subscribe, in.subscribe);
+  EXPECT_EQ(out->deterministic, in.deterministic);
+  EXPECT_DOUBLE_EQ(out->deadline_us, in.deadline_us);
+  EXPECT_EQ(out->width, in.width);
+  EXPECT_EQ(out->depth, in.depth);
+  EXPECT_DOUBLE_EQ(out->node_cost_us, in.node_cost_us);
+  EXPECT_DOUBLE_EQ(out->jitter, in.jitter);
+  EXPECT_DOUBLE_EQ(out->sheddable_fraction, in.sheddable_fraction);
+  EXPECT_DOUBLE_EQ(out->cost_estimate_us, in.cost_estimate_us);
+  EXPECT_EQ(out->seed, in.seed);
+  EXPECT_EQ(out->name, in.name);
+}
+
+TEST(Codec, EveryControlPayloadRoundtrips) {
+  {
+    dn::OpenSessionReply in;
+    in.id = 42;
+    in.state = 1;
+    const auto out = dn::decode_open_reply(dn::make_frame(in).payload);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->id, 42u);
+    EXPECT_EQ(out->state, 1);
+  }
+  {
+    dn::CloseSessionMsg in;
+    in.id = 7;
+    const auto out = dn::decode_close(
+        dn::make_frame(dn::FrameType::kCloseSession, in).payload);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->id, 7u);
+  }
+  {
+    dn::WireStats in;
+    in.ticks = 100;
+    in.submitted = 9;
+    in.admitted = 8;
+    in.rejected = 1;
+    in.shed = 2;
+    in.closed = 3;
+    in.cycles = 512;
+    in.misses = 4;
+    in.active = 5;
+    in.queued = 1;
+    const auto out = dn::decode_stats(dn::make_frame(in).payload);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->ticks, 100u);
+    EXPECT_EQ(out->cycles, 512u);
+    EXPECT_EQ(out->misses, 4u);
+    EXPECT_EQ(out->active, 5u);
+  }
+  {
+    dn::WireError in;
+    in.code = static_cast<std::uint16_t>(dn::ErrorCode::kBackpressure);
+    in.message = "slow subscriber";
+    const auto out = dn::decode_error(dn::make_frame(in).payload);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->code, in.code);
+    EXPECT_EQ(out->message, in.message);
+  }
+}
+
+TEST(Codec, AudioRoundtripsChannelMajor) {
+  dn::CycleAudioHeader h;
+  h.session = 11;
+  h.tick = 99;
+  h.channels = 2;
+  h.frames = 128;
+  std::vector<float> samples(2 * 128);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = 0.001f * static_cast<float>(i) - 0.1f;
+  }
+  dn::Frame f;
+  f.type = dn::FrameType::kCycleAudio;
+  dn::encode(h, samples, f.payload);
+
+  std::vector<float> got;
+  const auto hd = dn::decode_audio(f.payload, got);
+  ASSERT_TRUE(hd);
+  EXPECT_EQ(hd->session, 11u);
+  EXPECT_EQ(hd->tick, 99u);
+  EXPECT_EQ(hd->channels, 2u);
+  EXPECT_EQ(hd->frames, 128u);
+  ASSERT_EQ(got.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_EQ(got[i], samples[i]) << "sample " << i;
+  }
+}
+
+TEST(Codec, DecoderReassemblesByteAtATime) {
+  const dn::Frame in = dn::make_frame(sample_request());
+  const auto wire = bytes_of(in);
+  dn::Decoder dec;
+  std::size_t frames = 0;
+  for (const std::uint8_t b : wire) {
+    dec.feed(&b, 1);
+    while (auto f = dec.next()) {
+      ++frames;
+      EXPECT_EQ(f->type, dn::FrameType::kOpenSession);
+      EXPECT_EQ(f->payload, in.payload);
+    }
+  }
+  EXPECT_EQ(frames, 1u);
+  EXPECT_FALSE(dec.failed());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Codec, BackToBackFramesComeOutInOrder) {
+  std::vector<std::uint8_t> wire;
+  dn::encode_frame(dn::make_stats_request(), wire);
+  dn::encode_frame(dn::make_frame(sample_request()), wire);
+  dn::CloseSessionMsg cm;
+  cm.id = 5;
+  dn::encode_frame(dn::make_frame(dn::FrameType::kCloseSession, cm), wire);
+
+  dn::Decoder dec;
+  dec.feed(wire.data(), wire.size());
+  auto a = dec.next();
+  auto b = dec.next();
+  auto c = dec.next();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->type, dn::FrameType::kStats);
+  EXPECT_EQ(b->type, dn::FrameType::kOpenSession);
+  EXPECT_EQ(c->type, dn::FrameType::kCloseSession);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(Codec, BadVersionLatchesFailure) {
+  auto wire = bytes_of(dn::make_stats_request());
+  wire[0] = 2;  // future protocol version
+  dn::Decoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  // Feeding a perfectly valid frame afterwards must not revive it:
+  // framing sync is gone for good.
+  const auto good = bytes_of(dn::make_stats_request());
+  dec.feed(good.data(), good.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(Codec, UnknownTypeAndReservedBitsFail) {
+  {
+    auto wire = bytes_of(dn::make_stats_request());
+    wire[1] = 0x7f;  // not a FrameType
+    dn::Decoder dec;
+    dec.feed(wire.data(), wire.size());
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_TRUE(dec.failed());
+  }
+  {
+    auto wire = bytes_of(dn::make_stats_request());
+    wire[2] = 1;  // reserved must be zero
+    dn::Decoder dec;
+    dec.feed(wire.data(), wire.size());
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_TRUE(dec.failed());
+  }
+}
+
+TEST(Codec, OversizedDeclaredLengthFailsWithoutAllocating) {
+  std::uint8_t hdr[dn::kHeaderSize] = {};
+  hdr[0] = dn::kProtocolVersion;
+  hdr[1] = static_cast<std::uint8_t>(dn::FrameType::kStats);
+  // Declared length just above the cap, little-endian.
+  const std::uint32_t huge = static_cast<std::uint32_t>(dn::kMaxPayload) + 1;
+  hdr[4] = static_cast<std::uint8_t>(huge & 0xff);
+  hdr[5] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+  hdr[6] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+  hdr[7] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+  dn::Decoder dec;
+  dec.feed(hdr, sizeof(hdr));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(Codec, TruncatedPayloadsDecodeToNullopt) {
+  // Every control decoder must reject every proper prefix of a valid
+  // payload — and any payload with trailing bytes.
+  const dn::Frame f = dn::make_frame(sample_request());
+  for (std::size_t n = 0; n < f.payload.size(); ++n) {
+    const std::span<const std::uint8_t> cut(f.payload.data(), n);
+    EXPECT_FALSE(dn::decode_open_request(cut).has_value()) << "len " << n;
+  }
+  auto padded = f.payload;
+  padded.push_back(0);
+  EXPECT_FALSE(dn::decode_open_request(padded).has_value());
+}
+
+TEST(Codec, FuzzRandomBytesNeverCrash) {
+  std::mt19937_64 rng(0xd15ea5e);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = rng() % 512;
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    dn::Decoder dec;
+    // Feed in random-sized chunks to stress partial-header paths.
+    std::size_t off = 0;
+    while (off < junk.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng() % 17, junk.size() - off);
+      dec.feed(junk.data() + off, n);
+      off += n;
+      while (dec.next().has_value()) {
+        // A surfaced frame from random bytes is possible only if the
+        // junk happened to form a valid header; its payload must then
+        // respect the declared bounds. Decoders must still not crash:
+        dn::OpenSessionRequest req;
+        (void)req;
+      }
+      if (dec.failed()) break;
+    }
+    // Also shove every decode helper at the raw junk directly.
+    std::vector<float> samples;
+    (void)dn::decode_open_request(junk);
+    (void)dn::decode_open_reply(junk);
+    (void)dn::decode_close(junk);
+    (void)dn::decode_stats(junk);
+    (void)dn::decode_error(junk);
+    (void)dn::decode_audio(junk, samples);
+  }
+}
+
+TEST(Codec, FuzzMutatedRealFramesNeverCrash) {
+  std::mt19937_64 rng(0xbadc0de);
+  const dn::Frame base = dn::make_frame(sample_request());
+  const auto wire = bytes_of(base);
+  for (int round = 0; round < 300; ++round) {
+    auto mut = wire;
+    // 1-4 random byte mutations anywhere in the frame.
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < flips; ++i) {
+      mut[rng() % mut.size()] = static_cast<std::uint8_t>(rng());
+    }
+    // Random truncation half the time.
+    if (rng() % 2 == 0) mut.resize(rng() % (mut.size() + 1));
+    dn::Decoder dec;
+    dec.feed(mut.data(), mut.size());
+    while (auto f = dec.next()) {
+      // Whatever surfaced must decode-or-reject cleanly.
+      std::vector<float> samples;
+      (void)dn::decode_open_request(f->payload);
+      (void)dn::decode_audio(f->payload, samples);
+    }
+  }
+}
+
+TEST(Codec, FuzzAudioShapeCapsAreEnforced) {
+  // A frame claiming more channels/frames than the caps must be
+  // rejected by decode_audio even when the payload length agrees.
+  dn::CycleAudioHeader h;
+  h.session = 1;
+  h.tick = 1;
+  h.channels = dn::kMaxAudioChannels + 1;
+  h.frames = 16;
+  std::vector<float> samples(
+      static_cast<std::size_t>(h.channels) * h.frames, 0.0f);
+  std::vector<std::uint8_t> payload;
+  dn::encode(h, samples, payload);
+  std::vector<float> got;
+  EXPECT_FALSE(dn::decode_audio(payload, got).has_value());
+}
+
+TEST(Codec, DecoderBufferCompactionKeepsStreamsIntact) {
+  // Long stream of small frames: internal compaction must be invisible.
+  dn::Decoder dec;
+  const auto one = bytes_of(dn::make_stats_request());
+  std::size_t got = 0;
+  for (int i = 0; i < 5000; ++i) {
+    dec.feed(one.data(), one.size());
+    while (dec.next()) ++got;
+  }
+  EXPECT_EQ(got, 5000u);
+  EXPECT_FALSE(dec.failed());
+  EXPECT_EQ(dec.buffered(), 0u);
+}

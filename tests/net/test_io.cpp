@@ -1,0 +1,175 @@
+// EINTR-safe I/O wrappers (DESIGN.md §13): interrupted syscalls are
+// retried transparently, EAGAIN maps to kWouldBlock, real errors to
+// kIoError, and the full-transfer helpers loop over short transfers.
+// The interrupted-syscall cases use the injectable hook table — no
+// signal gymnastics, fully deterministic.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "djstar/net/io.hpp"
+
+namespace dn = djstar::net;
+
+namespace {
+
+// File-scope state for the C-function hooks.
+int g_countdown = 0;       // EINTR failures to serve before succeeding
+int g_calls = 0;           // total hook invocations
+int g_short_cap = 0;       // when > 0, transfer at most this many bytes
+int g_fail_errno = EINTR;  // errno served while the countdown runs
+
+ssize_t fake_read(int fd, void* buf, std::size_t n) {
+  ++g_calls;
+  if (g_countdown > 0) {
+    --g_countdown;
+    errno = g_fail_errno;
+    return -1;
+  }
+  if (g_short_cap > 0 && n > static_cast<std::size_t>(g_short_cap)) {
+    n = static_cast<std::size_t>(g_short_cap);
+  }
+  return ::read(fd, buf, n);
+}
+
+ssize_t fake_write(int fd, const void* buf, std::size_t n) {
+  ++g_calls;
+  if (g_countdown > 0) {
+    --g_countdown;
+    errno = g_fail_errno;
+    return -1;
+  }
+  if (g_short_cap > 0 && n > static_cast<std::size_t>(g_short_cap)) {
+    n = static_cast<std::size_t>(g_short_cap);
+  }
+  return ::write(fd, buf, n);
+}
+
+int fake_accept(int) {
+  ++g_calls;
+  if (g_countdown > 0) {
+    --g_countdown;
+    errno = g_fail_errno;
+    return -1;
+  }
+  errno = EAGAIN;
+  return -1;
+}
+
+class IoHooksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_countdown = 0;
+    g_calls = 0;
+    g_short_cap = 0;
+    g_fail_errno = EINTR;
+    ASSERT_EQ(::pipe(fds_), 0);
+  }
+  void TearDown() override {
+    dn::set_io_hooks(prev_);
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+  void install(dn::IoHooks h) { prev_ = dn::set_io_hooks(h); }
+
+  int fds_[2] = {-1, -1};
+  dn::IoHooks prev_{};
+};
+
+}  // namespace
+
+TEST_F(IoHooksTest, ReadRetriesThroughAnEintrStorm) {
+  install({fake_read, nullptr, nullptr});
+  const char msg[] = "interrupted";
+  ASSERT_EQ(::write(fds_[1], msg, sizeof(msg)),
+            static_cast<ssize_t>(sizeof(msg)));
+  g_countdown = 5;  // five consecutive EINTRs before the real read
+  char buf[64] = {};
+  const ssize_t r = dn::read_some(fds_[0], buf, sizeof(buf));
+  EXPECT_EQ(r, static_cast<ssize_t>(sizeof(msg)));
+  EXPECT_STREQ(buf, "interrupted");
+  EXPECT_EQ(g_calls, 6);  // 5 fakes + 1 success
+}
+
+TEST_F(IoHooksTest, WriteRetriesThroughAnEintrStorm) {
+  install({nullptr, fake_write, nullptr});
+  g_countdown = 3;
+  const char msg[] = "abc";
+  const ssize_t r = dn::write_some(fds_[1], msg, 3);
+  EXPECT_EQ(r, 3);
+  EXPECT_EQ(g_calls, 4);
+  char buf[8] = {};
+  EXPECT_EQ(::read(fds_[0], buf, sizeof(buf)), 3);
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+}
+
+TEST_F(IoHooksTest, AcceptRetriesEintrAndConnAborted) {
+  install({nullptr, nullptr, fake_accept});
+  g_countdown = 2;
+  g_fail_errno = EINTR;
+  EXPECT_EQ(dn::accept_conn(99), static_cast<int>(dn::kWouldBlock));
+  EXPECT_EQ(g_calls, 3);
+  g_calls = 0;
+  g_countdown = 2;
+  g_fail_errno = ECONNABORTED;  // peer gave up mid-handshake: retried too
+  EXPECT_EQ(dn::accept_conn(99), static_cast<int>(dn::kWouldBlock));
+  EXPECT_EQ(g_calls, 3);
+}
+
+TEST_F(IoHooksTest, RealErrorsMapToKIoError) {
+  install({fake_read, fake_write, nullptr});
+  g_countdown = 1;
+  g_fail_errno = ECONNRESET;
+  char buf[8];
+  EXPECT_EQ(dn::read_some(fds_[0], buf, sizeof(buf)), dn::kIoError);
+  g_countdown = 1;
+  g_fail_errno = EPIPE;
+  EXPECT_EQ(dn::write_some(fds_[1], "x", 1), dn::kIoError);
+}
+
+TEST_F(IoHooksTest, FullHelpersLoopOverShortTransfersAndEintr) {
+  install({fake_read, fake_write, nullptr});
+  g_short_cap = 3;   // every transfer capped at 3 bytes
+  g_countdown = 4;   // plus a leading EINTR storm
+  const std::string msg = "a-longer-message-that-needs-many-writes";
+  ASSERT_TRUE(dn::write_full(fds_[1], msg.data(), msg.size()));
+  std::string got(msg.size(), '\0');
+  g_countdown = 4;
+  ASSERT_TRUE(dn::read_full(fds_[0], got.data(), got.size()));
+  EXPECT_EQ(got, msg);
+}
+
+TEST_F(IoHooksTest, ReadFullFailsCleanlyOnEof) {
+  // No hooks: real syscalls against a closed write end.
+  ::close(fds_[1]);
+  fds_[1] = -1;  // TearDown's close(-1) is a harmless EBADF
+  char buf[16];
+  EXPECT_FALSE(dn::read_full(fds_[0], buf, sizeof(buf)));
+}
+
+TEST(IoBasics, NonblockingFlagSticks) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_TRUE(dn::set_nonblocking(fds[0]));
+  char buf[8];
+  // Empty nonblocking pipe: would-block, not a hang.
+  EXPECT_EQ(dn::read_some(fds[0], buf, sizeof(buf)), dn::kWouldBlock);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(IoBasics, WriteSomeFallsBackToWriteForPipes) {
+  // write_some prefers send(MSG_NOSIGNAL); on a pipe that is ENOTSOCK
+  // and must transparently fall back to write().
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(dn::write_some(fds[1], "pipe", 4), 4);
+  char buf[8] = {};
+  EXPECT_EQ(dn::read_some(fds[0], buf, sizeof(buf)), 4);
+  EXPECT_EQ(std::memcmp(buf, "pipe", 4), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}

@@ -1,0 +1,211 @@
+// GET /metrics over the net front-end (DESIGN.md §13): the HTTP body
+// must be the host registry's own Prometheus exposition — same
+// families, same values — not a reimplementation. The comparison is
+// exact: a quiesced engine renders the registry directly, then the
+// scrape's body must differ in precisely the counters the scrape itself
+// moved (its connection, its request, its request bytes) and nothing
+// else. Both renderings must pass the shared structural validator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prometheus_check.hpp"
+#include "djstar/net/client.hpp"
+#include "djstar/net/server.hpp"
+#include "djstar/serve/host.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dn = djstar::net;
+namespace ds = djstar::serve;
+namespace dt = djstar::test;
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Split an HTTP/1.0 response into (status line, headers, body).
+struct HttpResponse {
+  std::string status;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+std::optional<HttpResponse> parse_http(const std::string& raw) {
+  const std::size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos) return std::nullopt;
+  HttpResponse r;
+  r.status = raw.substr(0, eol);
+  const std::size_t blank = raw.find("\r\n\r\n");
+  if (blank == std::string::npos) return std::nullopt;
+  std::istringstream head(raw.substr(eol + 2, blank - eol - 2));
+  std::string line;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t v = colon + 1;
+    while (v < line.size() && line[v] == ' ') ++v;
+    r.headers[line.substr(0, colon)] = line.substr(v);
+  }
+  r.body = raw.substr(blank + 4);
+  return r;
+}
+
+/// One exposition sample line, split at the last space.
+struct Sample {
+  std::string key;  ///< metric name including any {labels}
+  double value = 0;
+};
+
+std::vector<Sample> sample_lines(const std::string& text) {
+  std::vector<Sample> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << "bad sample line: " << line;
+    if (sp == std::string::npos) continue;
+    out.push_back({line.substr(0, sp), std::stod(line.substr(sp + 1))});
+  }
+  return out;
+}
+
+/// Quiesced server with one finished session: start, run the engine to
+/// its tick budget, drop the client, and wait for the reactor to log
+/// the disconnect so no counter is still in flight.
+struct QuiescedServer {
+  QuiescedServer() {
+    dn::ServerConfig cfg;
+    cfg.host.threads = 2;
+    cfg.max_ticks = 50;
+    server = std::make_unique<dn::Server>(cfg);
+    server->start();
+    {
+      dn::Client client;
+      EXPECT_TRUE(client.connect(server->port()));
+      dn::OpenSessionRequest req;
+      req.deterministic = true;
+      req.subscribe = false;
+      req.name = "metrics-probe";
+      EXPECT_TRUE(client.open_session(req).has_value());
+      EXPECT_GT(server->wait_engine_done(), 0.0);
+    }
+    // The client hangup reaches the reactor asynchronously; wait until
+    // the disconnect is fully accounted (gauge back to zero AND the
+    // disconnect counter bumped) so nothing is still in flight when a
+    // test renders its baseline.
+    for (int i = 0; i < 2500; ++i) {
+      if (gauge("djstar_net_connections") == 0.0 &&
+          gauge("djstar_net_disconnects_total") >= 1.0) {
+        return;
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+    ADD_FAILURE() << "server never quiesced";
+  }
+  double gauge(const std::string& name) const {
+    for (const auto& m : server->host().metrics().snapshot().metrics) {
+      if (m.name == name) return m.value;
+    }
+    return -1.0;
+  }
+  std::unique_ptr<dn::Server> server;
+};
+
+}  // namespace
+
+TEST(NetMetricsHttp, NetFamiliesAreRegisteredAndValid) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetMetricsHttp.NetFamilies");
+  QuiescedServer q;
+  const std::string text = q.server->host().metrics().prometheus();
+  EXPECT_EQ(djstar_test::validate_prometheus(text), "");
+  for (const char* family : {
+           "djstar_net_connections_total", "djstar_net_disconnects_total",
+           "djstar_net_frames_rx_total", "djstar_net_frames_tx_total",
+           "djstar_net_bytes_rx_total", "djstar_net_bytes_tx_total",
+           "djstar_net_audio_frames_total", "djstar_net_audio_drops_total",
+           "djstar_net_backpressure_trips_total",
+           "djstar_net_protocol_errors_total",
+           "djstar_net_http_requests_total", "djstar_net_connections",
+       }) {
+    EXPECT_NE(text.find(std::string("\n") + family + " "), std::string::npos)
+        << "missing family: " << family;
+  }
+  // The probe session's traffic registered.
+  EXPECT_GE(q.gauge("djstar_net_connections_total"), 1.0);
+  EXPECT_GE(q.gauge("djstar_net_frames_rx_total"), 1.0);
+  EXPECT_GE(q.gauge("djstar_net_disconnects_total"), 1.0);
+}
+
+TEST(NetMetricsHttp, ScrapeBodyIsTheRegistryExposition) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetMetricsHttp.ScrapeBody");
+  QuiescedServer q;
+
+  // Render the registry directly, then scrape. The scrape may only move
+  // the counters the scrape itself causes.
+  const std::string before = q.server->host().metrics().prometheus();
+  const auto raw = dn::http_get(q.server->port(), "/metrics");
+  ASSERT_TRUE(raw.has_value());
+  const auto resp = parse_http(*raw);
+  ASSERT_TRUE(resp.has_value());
+
+  EXPECT_EQ(resp->status, "HTTP/1.0 200 OK");
+  EXPECT_EQ(resp->headers.at("Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(resp->headers.at("Content-Length"),
+            std::to_string(resp->body.size()));
+  EXPECT_EQ(djstar_test::validate_prometheus(resp->body), "");
+
+  const auto a = sample_lines(before);
+  const auto b = sample_lines(resp->body);
+  ASSERT_EQ(a.size(), b.size()) << "scrape changed the set of families";
+  // Exactly these keys move, by exactly this much: the scrape's own
+  // connection, its one request, its request bytes on the wire, and the
+  // live-connection gauge while it is being served.
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  const std::map<std::string, double> expected_delta = {
+      {"djstar_net_connections_total", 1.0},
+      {"djstar_net_http_requests_total", 1.0},
+      {"djstar_net_bytes_rx_total", static_cast<double>(req.size())},
+      {"djstar_net_connections", 1.0},
+  };
+  std::map<std::string, double> seen_delta;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key) << "family order changed at line " << i;
+    if (a[i].value != b[i].value) {
+      seen_delta[a[i].key] = b[i].value - a[i].value;
+    }
+  }
+  EXPECT_EQ(seen_delta, expected_delta)
+      << "the scrape moved counters it should not have";
+}
+
+TEST(NetMetricsHttp, RepeatScrapesCountRequests) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetMetricsHttp.RepeatScrapes");
+  QuiescedServer q;
+  const double before = q.gauge("djstar_net_http_requests_total");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dn::http_get(q.server->port(), "/metrics").has_value());
+  }
+  EXPECT_EQ(q.gauge("djstar_net_http_requests_total"), before + 3.0);
+}
+
+TEST(NetMetricsHttp, UnknownPathIs404) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetMetricsHttp.UnknownPath");
+  QuiescedServer q;
+  const auto raw = dn::http_get(q.server->port(), "/nope");
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->rfind("HTTP/1.0 404", 0), 0u) << *raw;
+  // A 404 still counts as a served (and then closed) HTTP connection.
+  for (int i = 0; i < 2500; ++i) {
+    if (q.gauge("djstar_net_connections") == 0.0) break;
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(q.gauge("djstar_net_connections"), 0.0);
+}

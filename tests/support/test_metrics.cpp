@@ -11,107 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/prometheus_check.hpp"
 #include "djstar/support/metrics.hpp"
 
 namespace ds = djstar::support;
 
-namespace {
-
-// Structural validator for the Prometheus text exposition format:
-//  - every sample line's metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*
-//  - every family is preceded by matching # HELP and # TYPE lines
-//  - histogram `le` buckets are monotone non-decreasing (cumulative) and
-//    the +Inf bucket equals the _count sample.
-// Returns an empty string on success, a diagnostic otherwise.
-std::string validate_prometheus(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  std::string current_family;  // from the last # TYPE line
-  std::string current_type;
-  bool have_help = false;
-  double last_bucket = -1.0;
-  double inf_bucket = -1.0;
-  int lineno = 0;
-
-  const auto base_name = [](std::string name) {
-    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-      const std::string s(suffix);
-      if (name.size() > s.size() &&
-          name.compare(name.size() - s.size(), s.size(), s) == 0) {
-        return name.substr(0, name.size() - s.size());
-      }
-    }
-    return name;
-  };
-
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    const std::string at = " (line " + std::to_string(lineno) + ")";
-    if (line.rfind("# HELP ", 0) == 0) {
-      const auto sp = line.find(' ', 7);
-      if (sp == std::string::npos) return "HELP without text" + at;
-      current_family = line.substr(7, sp - 7);
-      have_help = true;
-      continue;
-    }
-    if (line.rfind("# TYPE ", 0) == 0) {
-      const auto sp = line.find(' ', 7);
-      if (sp == std::string::npos) return "TYPE without kind" + at;
-      const std::string fam = line.substr(7, sp - 7);
-      if (!have_help || fam != current_family) {
-        return "TYPE for '" + fam + "' without preceding HELP" + at;
-      }
-      current_type = line.substr(sp + 1);
-      if (current_type != "counter" && current_type != "gauge" &&
-          current_type != "histogram") {
-        return "unknown TYPE '" + current_type + "'" + at;
-      }
-      last_bucket = -1.0;
-      inf_bucket = -1.0;
-      continue;
-    }
-    if (line[0] == '#') return "unknown comment line" + at;
-
-    // Sample line: name[{labels}] value
-    auto name_end = line.find_first_of("{ ");
-    if (name_end == std::string::npos) return "malformed sample" + at;
-    const std::string name = line.substr(0, name_end);
-    if (!ds::MetricsRegistry::valid_name(name)) {
-      return "invalid metric name '" + name + "'" + at;
-    }
-    if (base_name(name) != current_family) {
-      return "sample '" + name + "' outside its TYPE block" + at;
-    }
-    const auto val_pos = line.rfind(' ');
-    if (val_pos == std::string::npos) return "missing value" + at;
-    double value = 0;
-    try {
-      value = std::stod(line.substr(val_pos + 1));
-    } catch (...) {
-      return "unparsable value" + at;
-    }
-
-    if (current_type == "histogram" && line[name_end] == '{') {
-      const auto le = line.find("le=\"", name_end);
-      if (le == std::string::npos) return "bucket without le label" + at;
-      const auto q = line.find('"', le + 4);
-      const std::string bound = line.substr(le + 4, q - le - 4);
-      if (value + 1e-9 < last_bucket) {
-        return "non-monotone cumulative buckets" + at;
-      }
-      last_bucket = value;
-      if (bound == "+Inf") inf_bucket = value;
-    } else if (current_type == "histogram" &&
-               name == current_family + "_count") {
-      if (inf_bucket < 0) return "_count before +Inf bucket" + at;
-      if (value != inf_bucket) return "+Inf bucket != _count" + at;
-    }
-  }
-  return {};
-}
-
-}  // namespace
+using djstar_test::validate_prometheus;
 
 TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
   ds::MetricsRegistry reg;
