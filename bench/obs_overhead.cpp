@@ -1,13 +1,16 @@
 // bench/obs_overhead.cpp
-// Cost of the telemetry layer (DESIGN.md §10): the fully-enabled
-// observability stack — metrics registry, event journal, and the
-// always-on flight recorder capturing every worker span — must stay
-// under 2% mean APC-time overhead versus a bare engine. The paper's
-// measurements are only trustworthy if measuring them is ~free.
+// Cost of the observability layers (DESIGN.md §10/§14): the
+// fully-enabled telemetry stack — metrics registry, event journal, and
+// the always-on flight recorder capturing every worker span — and, on
+// top of it, the always-on attribution profiler (per-cycle critical-path
+// reconstruction + blame tracking) must each stay under 2% mean APC-time
+// overhead versus a bare engine. The paper's measurements are only
+// trustworthy if measuring them is ~free, and the attribution column is
+// what licenses shipping DJSTAR_PROF=attrib always-on.
 //
 // Usage: obs_overhead [--smoke]
 //   --smoke  short run on the sequential strategy; exits nonzero when
-//            the overhead gate fails (retried to ride out CI noise).
+//            either overhead gate fails (retried to ride out CI noise).
 #include <cstring>
 #include <filesystem>
 
@@ -18,10 +21,15 @@ namespace {
 struct Overhead {
   double raw_mean_us = 0;
   double tel_mean_us = 0;
+  double att_mean_us = 0;
   double raw_p99_us = 0;
   double tel_p99_us = 0;
-  double pct() const {
+  double att_p99_us = 0;
+  double tel_pct() const {
     return 100.0 * (tel_mean_us - raw_mean_us) / raw_mean_us;
+  }
+  double att_pct() const {
+    return 100.0 * (att_mean_us - raw_mean_us) / raw_mean_us;
   }
 };
 
@@ -36,24 +44,33 @@ Overhead measure(djstar::core::Strategy s, unsigned threads,
   engine::AudioEngine tel(cfg);
   tel.enable_telemetry();  // metrics + journal + flight rings, no dumps
 
-  // Interleave the two engines in short batches so OS noise and
-  // frequency drift hit both measurements equally (degradation.cpp
+  engine::EngineConfig acfg = cfg;
+  acfg.profiler.mode = engine::ProfMode::kAttrib;
+  engine::AudioEngine att(acfg);  // telemetry + critical-path attribution
+
+  // Interleave the three engines in short batches so OS noise and
+  // frequency drift hit all measurements equally (degradation.cpp
   // uses the same discipline).
   const std::size_t kBatch = 50;
   raw.run_cycles(kBatch);
   tel.run_cycles(kBatch);
+  att.run_cycles(kBatch);
   raw.monitor().reset();
   tel.monitor().reset();
+  att.monitor().reset();
   for (std::size_t done = 0; done < iters; done += kBatch) {
     const std::size_t n = std::min(kBatch, iters - done);
     raw.run_cycles(n);
     tel.run_cycles(n);
+    att.run_cycles(n);
   }
   Overhead o;
   o.raw_mean_us = raw.monitor().total().mean();
   o.tel_mean_us = tel.monitor().total().mean();
+  o.att_mean_us = att.monitor().total().mean();
   o.raw_p99_us = raw.monitor().p99();
   o.tel_p99_us = tel.monitor().p99();
+  o.att_p99_us = att.monitor().p99();
   return o;
 }
 
@@ -62,35 +79,49 @@ Overhead measure(djstar::core::Strategy s, unsigned threads,
 int main(int argc, char** argv) {
   using namespace djstar;
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  bench::banner("obs_overhead — telemetry layer cost",
-                "all-enabled observability adds < 2% to the mean APC time");
+  bench::banner("obs_overhead — observability cost",
+                "telemetry and always-on attribution each add < 2% to the "
+                "mean APC time");
 
   constexpr double kGatePct = 2.0;
   support::CsvWriter csv;
   csv.cells("strategy", "threads", "raw_mean_us", "telemetry_mean_us",
-            "overhead_pct", "raw_p99_us", "telemetry_p99_us");
+            "overhead_pct", "attrib_mean_us", "attrib_overhead_pct",
+            "raw_p99_us", "telemetry_p99_us", "attrib_p99_us");
 
   bool pass = true;
-  std::printf("  %-6s %8s %12s %12s %10s\n", "", "threads", "raw us",
-              "telemetry us", "overhead");
+  std::printf("  %-6s %8s %12s %12s %10s %12s %10s\n", "", "threads",
+              "raw us", "telemetry us", "overhead", "attrib us", "overhead");
+  const auto print_row = [](const char* label, unsigned threads,
+                            const Overhead& o, const char* suffix) {
+    std::printf("  %-6s %8u %12.1f %12.1f %9.2f%% %12.1f %9.2f%%%s\n", label,
+                threads, o.raw_mean_us, o.tel_mean_us, o.tel_pct(),
+                o.att_mean_us, o.att_pct(), suffix);
+  };
+  const auto csv_row = [&](const char* strategy, unsigned threads,
+                           const Overhead& o) {
+    csv.cells(strategy, threads, o.raw_mean_us, o.tel_mean_us, o.tel_pct(),
+              o.att_mean_us, o.att_pct(), o.raw_p99_us, o.tel_p99_us,
+              o.att_p99_us);
+  };
 
   if (smoke) {
     // CI gate: sequential only (the container is single-core, so a
     // parallel strategy measures the scheduler's oversubscription, not
-    // the telemetry). Retry to ride out scheduling noise on shared
-    // runners; one clean attempt proves the hot path is cheap.
+    // the observability). Retry to ride out scheduling noise on shared
+    // runners; one clean attempt proves the hot paths are cheap. One
+    // more attempt than the single-column days: both columns must come
+    // up calm in the same attempt.
     const std::size_t iters = 400;
-    constexpr int kAttempts = 3;
+    constexpr int kAttempts = 4;
     double best = 1e9;
     for (int attempt = 0; attempt < kAttempts; ++attempt) {
       const Overhead o = measure(core::Strategy::kSequential, 1, iters);
-      best = std::min(best, o.pct());
-      std::printf("  %-6s %8u %12.1f %12.1f %9.2f%%%s\n", "SEQ", 1u,
-                  o.raw_mean_us, o.tel_mean_us, o.pct(),
-                  o.pct() < kGatePct ? "" : "  (retrying)");
-      csv.cells("sequential", 1, o.raw_mean_us, o.tel_mean_us, o.pct(),
-                o.raw_p99_us, o.tel_p99_us);
-      if (o.pct() < kGatePct) break;
+      const double worst = std::max(o.tel_pct(), o.att_pct());
+      best = std::min(best, worst);
+      print_row("SEQ", 1u, o, worst < kGatePct ? "" : "  (retrying)");
+      csv_row("sequential", 1, o);
+      if (worst < kGatePct) break;
     }
     pass = best < kGatePct;
   } else {
@@ -98,11 +129,9 @@ int main(int argc, char** argv) {
     const auto run = [&](core::Strategy s, unsigned threads,
                          const char* label) {
       const Overhead o = measure(s, threads, iters);
-      std::printf("  %-6s %8u %12.1f %12.1f %9.2f%%\n", label, threads,
-                  o.raw_mean_us, o.tel_mean_us, o.pct());
-      csv.cells(core::to_string(s), threads, o.raw_mean_us, o.tel_mean_us,
-                o.pct(), o.raw_p99_us, o.tel_p99_us);
-      if (o.pct() >= kGatePct) pass = false;
+      print_row(label, threads, o, "");
+      csv_row(core::to_string(s).data(), threads, o);
+      if (o.tel_pct() >= kGatePct || o.att_pct() >= kGatePct) pass = false;
     };
     run(core::Strategy::kSequential, 1, "SEQ");
     for (core::Strategy s : core::kParallelStrategies) {
@@ -117,7 +146,8 @@ int main(int argc, char** argv) {
                         : std::string("results/obs_overhead.csv");
   if (csv.save(path)) std::printf("\nwrote %s\n", path.c_str());
 
-  std::printf("%s: %s (gate: mean overhead < %.0f%%)\n",
+  std::printf("%s: %s (gate: mean overhead < %.0f%%, telemetry and "
+              "attribution columns)\n",
               smoke ? "smoke" : "full", pass ? "PASS" : "FAIL", kGatePct);
   return pass ? 0 : 1;
 }

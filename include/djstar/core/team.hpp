@@ -41,6 +41,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -101,6 +102,14 @@ class Team {
   void set_rescue(RescueFn rescue);
 
   unsigned threads() const noexcept { return threads_; }
+
+  /// OS thread id (gettid) of worker `w`; 0 when that worker has not
+  /// started yet (or on platforms without gettid). Worker 0 is the
+  /// caller of run_cycle(): its tid is recorded at construction, which
+  /// normally is the same thread. A respawned replacement overwrites
+  /// its slot when it starts. Used by engine/profiler to attach
+  /// perf_event counters to the team.
+  std::int32_t worker_tid(unsigned w) const noexcept;
 
   // ---- self-healing ----
 
@@ -166,6 +175,9 @@ class Team {
   std::condition_variable done_cv_;
 
   std::vector<std::thread> workers_;
+  // OS thread id per worker slot (see worker_tid()). unique_ptr array
+  // because atomics are not movable.
+  std::unique_ptr<std::atomic<std::int32_t>[]> tids_;
 
   // ---- self-healing state ----
   TeamHealConfig heal_{};

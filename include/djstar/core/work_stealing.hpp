@@ -64,7 +64,10 @@ class WorkStealingExecutor final : public Executor {
   void worker_body(unsigned w);
   void seed_inboxes();
   void on_unit_ready(unsigned w, UnitId u);
-  bool try_get_unit(unsigned w, UnitId& out);
+  // `stolen_from` reports the victim worker when the unit came from a
+  // steal (attribution wants the span stamped); -1 for own-deque pops
+  // and orphan adoptions (the original owner is quarantined/unknown).
+  bool try_get_unit(unsigned w, UnitId& out, std::int32_t& stolen_from);
   void heal_rescue(unsigned victim);
 
   struct alignas(64) PerWorker {

@@ -16,6 +16,7 @@
 #include "djstar/engine/deadline.hpp"
 #include "djstar/engine/deck.hpp"
 #include "djstar/engine/djstar_graph.hpp"
+#include "djstar/engine/profiler.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/engine/telemetry.hpp"
 
@@ -54,6 +55,11 @@ struct EngineConfig {
   /// telemetry after every cycle, and static-plan replay is disabled
   /// (the cached schedule assumes a fixed healthy team).
   core::TeamHealConfig heal{};
+
+  /// Cycle attribution profiler (engine/profiler, DESIGN.md §14). Mode
+  /// overridden by DJSTAR_PROF=off|attrib|attrib+hw when set. mode !=
+  /// kOff implies telemetry (the flight recorder is the span source).
+  ProfilerConfig profiler{};
 };
 
 /// DJ Star's audio engine. Single-threaded control interface: construct,
@@ -104,6 +110,18 @@ class AudioEngine {
   bool telemetry_enabled() const noexcept { return telemetry_ != nullptr; }
   EngineTelemetry& telemetry() noexcept { return *telemetry_; }
   const EngineTelemetry& telemetry() const noexcept { return *telemetry_; }
+
+  // ---- cycle attribution (engine/profiler.hpp, DESIGN.md §14) ----
+
+  /// Attach the attribution profiler: per-cycle realized-critical-path
+  /// analysis, ranked blame reports on misses, and (attrib+hw mode)
+  /// per-worker perf_event counters. Enables telemetry when absent (the
+  /// flight recorder is the span source). The constructor calls this
+  /// automatically when DJSTAR_PROF names a mode other than off.
+  void enable_profiler(const ProfilerConfig& pcfg);
+  bool profiler_enabled() const noexcept { return profiler_ != nullptr; }
+  CycleProfiler& profiler() noexcept { return *profiler_; }
+  const CycleProfiler& profiler() const noexcept { return *profiler_; }
 
   /// Arm/disarm node fault injection on the compiled graph. (The
   /// constructor also arms automatically from DJSTAR_FAULTS.)
@@ -166,6 +184,7 @@ class AudioEngine {
  private:
   void track_graph_time(double graph_us);
   void poll_heal();
+  void profile_cycle(const CycleBreakdown& c);
   core::ExecOptions exec_options() const noexcept;
   void rebuild_executor();
   void apply_degradation(DegradationLevel target);
@@ -218,6 +237,17 @@ class AudioEngine {
   std::uint64_t seen_heal_respawns_ = 0;
   unsigned seen_heal_live_ = 0;
   std::uint64_t heal_cycle_ = 0;
+
+  // Cycle attribution (DESIGN.md §14). Declared after telemetry_ so the
+  // profiler (which borrows telemetry's registry/journal) is destroyed
+  // first. cp_baseline_us_ mirrors plan_baseline_us_: the realized
+  // critical-path EWMA captured when the current static plan was built,
+  // reset whenever the plan changes.
+  std::unique_ptr<CycleProfiler> profiler_;
+  std::unique_ptr<HwSampler> hw_sampler_;
+  bool hw_armed_ = false;
+  std::vector<support::TraceSpan> prof_spans_;  // per-cycle scratch
+  double cp_baseline_us_ = 0.0;
 };
 
 }  // namespace djstar::engine

@@ -35,6 +35,7 @@
 // lifecycle / shedding decisions go to the host's journal.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -107,6 +108,12 @@ class Server {
   struct SendItem {
     std::vector<std::uint8_t> bytes;
     bool droppable = false;  ///< audio frames may be shed drop-oldest
+    serve::QoS qos = serve::QoS::kBestEffort;
+    /// Enqueue time, closing the latency decomposition's last stage
+    /// (djstar_stage_net_flush_us_*: ring enqueue to final socket
+    /// write). Default (unstamped) items — HTTP responses — are not
+    /// recorded; only session traffic has a QoS to attribute to.
+    support::Clock::time_point enqueued{};
   };
 
   /// One client connection. The mutex guards the ring (engine pushes,
@@ -216,7 +223,11 @@ class Server {
   support::Counter m_backpressure_trips_;
   support::Counter m_protocol_errors_;
   support::Counter m_http_requests_;
+  support::Counter m_debug_requests_;
   support::Gauge g_connections_;
+  /// Net-flush stage of the latency decomposition (DESIGN.md §14), per
+  /// QoS class: ring enqueue to the write() completing the frame.
+  std::array<support::HistogramMetric, serve::kQoSCount> h_net_flush_;
 };
 
 }  // namespace djstar::net

@@ -34,6 +34,7 @@
 // tick boundary, in arrival order.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,7 @@
 #include "djstar/core/health.hpp"
 #include "djstar/core/team.hpp"
 #include "djstar/core/work_stealing.hpp"
+#include "djstar/engine/profiler.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/serve/admission.hpp"
 #include "djstar/serve/breaker.hpp"
@@ -100,6 +102,12 @@ struct HostConfig {
   /// Worker self-healing for the shared pool (core/health.hpp);
   /// DJSTAR_HEAL=off|quarantine|respawn overrides the mode.
   core::TeamHealConfig heal{};
+  /// Per-session attribution profiler template (engine/profiler.hpp,
+  /// DESIGN.md §14); mode overridden by DJSTAR_PROF=off|attrib|attrib+hw
+  /// when set. mode != kOff gives every session a CycleProfiler sharing
+  /// the host registry/journal, and (attrib+hw) arms one host-level
+  /// HwSampler over the shared pool, sampled once per tick.
+  engine::ProfilerConfig profiler{};
 };
 
 /// Report of one fleet tick.
@@ -218,6 +226,25 @@ class EngineHost {
   /// Arm schedule tracing on all current and future sessions.
   void arm_tracing(std::size_t capacity_per_worker = 4096);
 
+  // ---- attribution / profiling (DESIGN.md §14) ----
+
+  /// True when cfg.profiler (or DJSTAR_PROF) enabled attribution.
+  bool profiler_enabled() const noexcept {
+    return cfg_.profiler.mode != engine::ProfMode::kOff;
+  }
+
+  /// Cached JSON for the net layer's GET /debug/attribution: per active
+  /// session, the latest realized-critical-path decomposition and (after
+  /// a miss) the ranked blame report. Refreshed at the end of every tick
+  /// on the data plane; reading is thread-safe (mutex-guarded copy) so
+  /// the reactor thread can serve it without touching host state.
+  std::string debug_attribution_json() const;
+  /// Cached JSON for GET /debug/profile: profiler mode, hw-counter
+  /// availability and per-worker totals, per-session cycle counts, cp
+  /// EWMAs, and a windowed (since previous tick refresh) latency view
+  /// computed via Histogram::delta_since.
+  std::string debug_profile_json() const;
+
   /// Export the fleet schedule as Chrome trace_event JSON: one pid per
   /// session, one tid per worker. Returns false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
@@ -227,6 +254,9 @@ class EngineHost {
     enum class Kind : std::uint8_t { kSubmit, kClose } kind;
     SessionId id = kInvalidSession;
     SessionSpec spec;  // kSubmit only
+    /// Wall-clock submit() time (kSubmit only): the start of the
+    /// admission-wait stage in the latency decomposition.
+    support::Clock::time_point submitted_at{};
   };
 
   /// Spec + control snapshot of a session parked by its breaker; the
@@ -238,6 +268,7 @@ class EngineHost {
   };
 
   void drain_commands();
+  void refresh_debug_json();
   std::unique_ptr<Session> build_session(SessionId id, SessionSpec spec);
   void decide_admission(std::unique_ptr<Session> s);
   void activate(std::unique_ptr<Session> s);
@@ -300,6 +331,30 @@ class EngineHost {
   support::Gauge g_active_sessions_;
   support::Gauge g_queued_sessions_;
   support::Gauge g_active_density_;
+
+  // Stage latency decomposition (DESIGN.md §14): always-on, per QoS
+  // class (the registry has no label support, so the class is a name
+  // suffix). admission-wait = submit() to activation (wall), edf-queue =
+  // dispatch delay inside the tick, execute = compute after dispatch.
+  // The net layer adds djstar_stage_net_flush_us_<qos> on top.
+  std::array<support::HistogramMetric, kQoSCount> h_stage_admission_;
+  std::array<support::HistogramMetric, kQoSCount> h_stage_queue_;
+  std::array<support::HistogramMetric, kQoSCount> h_stage_execute_;
+
+  // Attribution (cfg_.profiler.mode != kOff). The hw sampler belongs to
+  // the host — sessions share the pool, so per-session hw attribution
+  // would double-count; it is sampled once per tick instead.
+  engine::HwSampler hw_sampler_;
+  bool hw_armed_ = false;
+  std::vector<engine::HwCounters> hw_tick_;  // last tick's deltas
+  // Debug JSON cache: written by the data plane at the end of each tick,
+  // read by the net reactor. Strings are swapped under the mutex.
+  mutable std::mutex debug_mutex_;
+  std::string debug_attrib_json_;
+  std::string debug_profile_json_;
+  std::string debug_scratch_;
+  // Previous-tick latency snapshots for Histogram::delta_since windows.
+  std::unordered_map<SessionId, support::Histogram> prev_latency_;
 
   // Metrics exporter thread (snapshot + file write only; never touches
   // host state).

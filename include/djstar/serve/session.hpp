@@ -35,9 +35,11 @@
 #include "djstar/core/team.hpp"
 #include "djstar/core/work_stealing.hpp"
 #include "djstar/engine/deadline.hpp"
+#include "djstar/engine/profiler.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/serve/qos.hpp"
 #include "djstar/support/histogram.hpp"
+#include "djstar/support/time.hpp"
 #include "djstar/support/trace.hpp"
 
 namespace djstar::serve {
@@ -65,6 +67,11 @@ struct SessionSpec {
   const audio::AudioBuffer* output = nullptr;
   /// Opaque owner of whatever the WorkFns capture (buffers, DSP state).
   std::shared_ptr<void> arena;
+  /// Node fault injection armed on the session's compiled graph at
+  /// construction when any rate is non-zero (chaos tests: forced stalls
+  /// must surface in the attribution blame reports). Survives breaker
+  /// trips like the rest of the spec.
+  core::chaos::FaultPlan faults{};
 };
 
 /// Per-session serve-level counters (service latency = wait + compute,
@@ -112,6 +119,15 @@ class Session {
   double next_due_us() const noexcept { return next_due_us_; }
   void set_next_due_us(double t) noexcept { next_due_us_ = t; }
 
+  /// Wall-clock submission time (host-stamped at drain), the start of
+  /// the admission-wait stage; default-constructed when never stamped.
+  support::Clock::time_point submitted_at() const noexcept {
+    return submitted_at_;
+  }
+  void set_submitted_at(support::Clock::time_point t) noexcept {
+    submitted_at_ = t;
+  }
+
   /// Run one cycle on the shared pool. `wait_us` is the dispatch delay
   /// already spent in this tick (EDF queueing; it counts against the
   /// deadline), `allowed_us` the budget from tick start to this
@@ -141,6 +157,26 @@ class Session {
   void arm_tracing(std::size_t capacity_per_worker);
   const support::TraceRecorder& recorder() const noexcept { return trace_; }
 
+  // ---- cycle attribution (engine/profiler.hpp, DESIGN.md §14) ----
+
+  /// Attach a per-session attribution profiler. The session's trace
+  /// recorder doubles as the per-cycle span buffer (armed here when the
+  /// host has not armed it; cleared between cycles), so with profiling
+  /// on, a fleet Chrome-trace export covers only each session's most
+  /// recent cycle. `registry`/`journal` are the host's (shared metric
+  /// series via register-or-fetch; may be null).
+  void enable_profiler(const engine::ProfilerConfig& pcfg,
+                       support::MetricsRegistry* registry,
+                       support::EventJournal* journal);
+  bool profiler_enabled() const noexcept { return profiler_ != nullptr; }
+  engine::CycleProfiler& profiler() noexcept { return *profiler_; }
+  const engine::CycleProfiler& profiler() const noexcept { return *profiler_; }
+
+  /// Arm/disarm node fault injection on the session's compiled graph
+  /// (chaos testing of hosted sessions, mirroring AudioEngine).
+  void arm_faults(const core::chaos::FaultPlan& plan);
+  void disarm_faults() noexcept;
+
   // ---- circuit-breaker support (serve/breaker.hpp, DESIGN.md §12) ----
 
   /// Outcome of the last run_cycle() (kClean before any cycle ran);
@@ -167,6 +203,7 @@ class Session {
   SessionSpec spec_;
   double cost_estimate_us_ = 0;
   double next_due_us_ = 0;
+  support::Clock::time_point submitted_at_{};
 
   std::unique_ptr<core::CompiledGraph> compiled_;
   std::unique_ptr<core::WorkStealingExecutor> hosted_;
@@ -178,6 +215,8 @@ class Session {
   support::Histogram latency_;
   SessionCounters counters_;
   support::TraceRecorder trace_;
+  std::unique_ptr<engine::CycleProfiler> profiler_;
+  std::vector<support::TraceSpan> prof_spans_;  // per-cycle scratch
   audio::AudioBuffer silent_{2, audio::kBlockSize};
 };
 

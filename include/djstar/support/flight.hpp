@@ -88,6 +88,13 @@ class FlightRecorder {
   std::vector<TraceSpan> collect_last(std::uint64_t cycles,
                                       double period_us) const;
 
+  /// Append the retained spans of exactly cycle `cycle` (times left
+  /// relative to that cycle's start) to `out`, sorted by (thread, begin).
+  /// `out` is cleared first but keeps its capacity, so the per-cycle
+  /// attribution path reuses one scratch vector and stops allocating
+  /// once it has seen the largest cycle. Call between cycles.
+  void collect_cycle(std::uint64_t cycle, std::vector<TraceSpan>& out) const;
+
   /// Dump the last `cycles` cycles as Chrome trace_event JSON (one
   /// process, tid = worker). Returns false on I/O failure.
   bool dump_chrome_trace(const std::string& path, std::uint64_t cycles,

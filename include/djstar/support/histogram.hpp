@@ -58,6 +58,16 @@ class Histogram {
   /// overflow mass, and lo() on an empty histogram.
   double quantile(double q) const noexcept;
 
+  /// Windowed view: the samples added to *this* since `prev` was
+  /// snapshotted from it (`current.delta_since(earlier_copy)`), computed
+  /// as a bin-wise subtraction. Neither histogram is modified, so a
+  /// scraper reading *this* concurrently with windowed attribution never
+  /// races a reset. Requires matching bin layouts; on a layout mismatch
+  /// or a rollover window (any of `prev`'s counts exceeding ours — i.e.
+  /// *this* was reset after `prev` was taken) the full current contents
+  /// are returned, the freshest answer that is still a valid histogram.
+  Histogram delta_since(const Histogram& prev) const;
+
   std::span<const std::size_t> counts() const noexcept { return counts_; }
 
  private:

@@ -51,6 +51,12 @@ enum class EventKind : std::uint8_t {
   kNetProtocolError,  ///< malformed frame stream (a=fd)
   kNetBackpressure,   ///< realtime subscriber stalled; disconnecting (a=fd)
   kNetAudioDrop,      ///< drop-oldest shed audio frames (a=fd, b=frames)
+  kBlameReport,       ///< miss attribution header (a=top node, b=top worker,
+                      ///< value=cp wait us); ranked entries follow as kBlame
+  kBlame,             ///< one ranked blame entry (a=node, b=worker,
+                      ///< value=delta vs EWMA baseline, us)
+  kCpDrift,           ///< realized critical path drifted off the static
+                      ///< plan's baseline; plan invalidated (value=ratio)
 };
 
 const char* to_string(EventKind k) noexcept;

@@ -35,6 +35,11 @@ struct TraceSpan {
   std::uint32_t thread = 0;
   std::int32_t node = -1;  ///< node id for kRun/kBusyWait, -1 otherwise
   SpanKind kind = SpanKind::kRun;
+  /// Victim worker the unit was stolen from, -1 when the unit ran on the
+  /// worker that published it. Lets attribution follow cross-worker
+  /// dependency chains unambiguously (a stolen kRun's predecessor lane is
+  /// the victim's, not the runner's).
+  std::int32_t steal_from = -1;
 
   double duration_us() const noexcept { return end_us - begin_us; }
 };
@@ -60,11 +65,21 @@ class TraceRecorder {
   /// Allocation-free. Must only be called from the owning thread.
   void record(std::uint32_t thread, const TraceSpan& span) noexcept;
 
+  /// Drop recorded spans (and drop counters) but keep the lanes armed at
+  /// their existing capacity. Allocation-free, so per-cycle profiling can
+  /// reuse one recorder as a cycle-scoped span buffer. Must not run
+  /// concurrently with record() (call between cycles).
+  void clear_spans() noexcept;
+
   /// Merge all lanes, sorted by (thread, begin). Clears nothing. When
   /// truncated() is true the result is missing total_dropped() spans
   /// (the tails of the full lanes); Chrome-trace output carries the same
   /// information as a "dropped spans" instant event.
   std::vector<TraceSpan> collect() const;
+
+  /// collect() into a caller-owned vector (cleared, capacity kept), so a
+  /// per-cycle profiling loop stays allocation-free after warm-up.
+  void collect_into(std::vector<TraceSpan>& out) const;
 
   /// Spans dropped from lane `thread` because it was full.
   std::uint64_t dropped(std::uint32_t thread) const noexcept;

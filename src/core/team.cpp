@@ -2,6 +2,11 @@
 
 #include <chrono>
 
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "djstar/core/chaos.hpp"
 #include "djstar/core/detail/spin.hpp"
 #include "djstar/support/assert.hpp"
@@ -13,6 +18,14 @@ std::int64_t steady_now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::int32_t current_tid() noexcept {
+#if defined(__linux__)
+  return static_cast<std::int32_t>(::syscall(SYS_gettid));
+#else
+  return 0;
+#endif
 }
 
 }  // namespace
@@ -36,6 +49,13 @@ Team::Team(unsigned threads, StartMode mode, SpinPolicy spin,
 
 void Team::spawn_workers() {
   if (healing()) health_.configure(threads_);
+  tids_ = std::make_unique<std::atomic<std::int32_t>[]>(threads_);
+  for (unsigned id = 0; id < threads_; ++id) {
+    tids_[id].store(0, std::memory_order_relaxed);
+  }
+  // Worker 0 is the caller of run_cycle(), conventionally the thread
+  // constructing the team.
+  tids_[0].store(current_tid(), std::memory_order_relaxed);
   workers_.reserve(threads_ - 1);
   for (unsigned id = 1; id < threads_; ++id) {
     workers_.emplace_back([this, id] { thread_main(id, 0); });
@@ -123,7 +143,12 @@ void Team::credit_done() {
   }
 }
 
+std::int32_t Team::worker_tid(unsigned w) const noexcept {
+  return w < threads_ ? tids_[w].load(std::memory_order_relaxed) : 0;
+}
+
 void Team::thread_main(unsigned id, std::uint64_t seen) {
+  tids_[id].store(current_tid(), std::memory_order_relaxed);
   const bool heal = healing();
   if (heal) HealthBoard::bind(&health_, id, &stop_);
   for (;;) {

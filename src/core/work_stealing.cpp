@@ -108,7 +108,9 @@ void WorkStealingExecutor::on_unit_ready(unsigned w, UnitId u) {
   }
 }
 
-bool WorkStealingExecutor::try_get_unit(unsigned w, UnitId& out) {
+bool WorkStealingExecutor::try_get_unit(unsigned w, UnitId& out,
+                                        std::int32_t& stolen_from) {
+  stolen_from = -1;
   // 1) Own deque, bottom (LIFO).
   const auto own = per_worker_[w].deque->pop();
   if (own >= 0) {
@@ -133,6 +135,7 @@ bool WorkStealingExecutor::try_get_unit(unsigned w, UnitId& out) {
     const auto got = per_worker_[victim].deque->steal();
     if (got >= 0) {
       out = static_cast<UnitId>(got);
+      stolen_from = static_cast<std::int32_t>(victim);
       stats_.steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -149,9 +152,18 @@ void WorkStealingExecutor::worker_body(unsigned w) {
       opts_.flight != nullptr && opts_.flight->enabled() ? opts_.flight
                                                          : nullptr;
   const bool tracing = trace != nullptr || flight != nullptr;
+  // Steal-origin stamping: the victim of the steal that delivered the
+  // unit currently running; kRun/kFused spans emitted for it carry the
+  // id so the attribution layer can tell migrated work from local work.
+  std::int32_t steal_origin = -1;
   const auto emit = [&](const support::TraceSpan& s) {
-    if (trace) trace->record(w, s);
-    if (flight) flight->record(w, s);
+    support::TraceSpan e = s;
+    if (steal_origin >= 0 && (e.kind == support::SpanKind::kRun ||
+                              e.kind == support::SpanKind::kFused)) {
+      e.steal_from = steal_origin;
+    }
+    if (trace) trace->record(w, e);
+    if (flight) flight->record(w, e);
   };
 
   if (use_plan_) {
@@ -177,7 +189,7 @@ void WorkStealingExecutor::worker_body(unsigned w) {
     double probe_begin = 0.0;
     if (tracing) probe_begin = support::elapsed_us(cycle_start_, support::now());
 
-    if (!try_get_unit(w, u)) {
+    if (!try_get_unit(w, u, steal_origin)) {
       ++failed_rounds;
       if (failed_rounds < ws_.steal_rounds_before_park) {
         detail::cpu_pause();

@@ -61,6 +61,8 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   if (auto mode = core::graph_opt::mode_from_env()) cfg_.graph_opt = *mode;
   // Hardened: DJSTAR_HEAL overrides, garbage throws.
   cfg_.heal.mode = core::heal_mode_from_env(cfg_.heal.mode);
+  // Hardened: DJSTAR_PROF overrides, garbage throws.
+  if (auto pmode = prof_mode_from_env()) cfg_.profiler.mode = *pmode;
 
   // Cost model: seeded offline from the graph's reference durations,
   // refined online via observe_spans()/observe() (DESIGN.md §11).
@@ -114,6 +116,8 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   }
 
   rebuild_executor();
+
+  if (cfg_.profiler.mode != ProfMode::kOff) enable_profiler(cfg_.profiler);
 }
 
 core::ExecOptions AudioEngine::exec_options() const noexcept {
@@ -151,6 +155,7 @@ void AudioEngine::rebuild_static_plan() {
   }
   if (cost_model_->max_cv() > cfg_.plan_max_cv) static_plan_->invalidate();
   plan_baseline_us_ = 0.0;
+  cp_baseline_us_ = 0.0;
 }
 
 void AudioEngine::track_graph_time(double graph_us) {
@@ -175,6 +180,7 @@ void AudioEngine::rebuild_executor() {
   executor_ =
       core::make_executor(cfg_.strategy, *compiled_, exec_options(), cfg_.ws);
   seen_heal_live_ = 0;  // fresh team: re-baseline the live-worker poll
+  hw_armed_ = false;    // fresh team: new tids; re-arm perf counters lazily
 }
 
 // Fold the team's self-healing counters into the supervisor and
@@ -204,9 +210,83 @@ void AudioEngine::poll_heal() {
       static_plan_ != nullptr) {
     static_plan_->invalidate();
     plan_baseline_us_ = 0.0;
+    cp_baseline_us_ = 0.0;
   }
   seen_heal_live_ = hs.live;
   if (telemetry_) telemetry_->on_heal(hs);
+}
+
+void AudioEngine::enable_profiler(const ProfilerConfig& pcfg) {
+  cfg_.profiler = pcfg;
+  if (cfg_.profiler.mode == ProfMode::kOff) {
+    profiler_.reset();
+    hw_sampler_.reset();
+    return;
+  }
+  // The flight recorder is the per-cycle span source.
+  if (telemetry_ == nullptr) enable_telemetry();
+  const auto& g = graph_nodes_.graph();
+  std::vector<std::vector<std::int32_t>> preds(g.node_count());
+  for (core::NodeId n = 0; n < g.node_count(); ++n) {
+    for (core::NodeId s : g.successors(n)) {
+      preds[s].push_back(static_cast<std::int32_t>(n));
+    }
+  }
+  profiler_ = std::make_unique<CycleProfiler>(
+      cfg_.profiler, std::move(preds), cfg_.deadline_us,
+      &telemetry_->registry(), &telemetry_->journal());
+  if (cfg_.profiler.mode == ProfMode::kAttribHw) {
+    hw_sampler_ = std::make_unique<HwSampler>();
+    profiler_->set_hw(hw_sampler_.get());
+  } else {
+    hw_sampler_.reset();
+  }
+  hw_armed_ = false;
+  cp_baseline_us_ = 0.0;
+}
+
+// Attribute the finished cycle from its flight spans, then treat
+// realized-critical-path drift as a first-class invalidation signal for
+// the cached static plan: the plan's longest-chain-first ordering was
+// built around a predicted critical path, so when the realized one
+// moves far enough the schedule is stale even before total cycle time
+// drifts (DESIGN.md §14).
+void AudioEngine::profile_cycle(const CycleBreakdown& c) {
+  if (profiler_ == nullptr || telemetry_ == nullptr) return;
+  if (hw_sampler_ != nullptr && !hw_armed_) {
+    // Arm perf counters lazily after the first cycle: by then every
+    // team worker has started and recorded its tid.
+    std::vector<std::int32_t> tids;
+    if (const core::Team* tm = executor_->team()) {
+      for (unsigned w = 0; w < tm->threads(); ++w) {
+        tids.push_back(tm->worker_tid(w));
+      }
+    } else {
+      tids.push_back(HwSampler::self_tid());  // sequential: the caller
+    }
+    hw_sampler_->open(tids);
+    hw_armed_ = true;
+  }
+  const std::uint64_t fcycle = telemetry_->flight().cycle();
+  telemetry_->flight().collect_cycle(fcycle, prof_spans_);
+  // Identical miss predicate to DeadlineMonitor::add, so blame reports
+  // and miss counters always agree.
+  const bool missed = c.total_us() > cfg_.deadline_us;
+  const auto& at = profiler_->on_cycle(prof_spans_, missed, fcycle);
+
+  if (static_plan_ != nullptr && static_plan_->valid() && !at.empty()) {
+    if (cp_baseline_us_ <= 0.0) {
+      cp_baseline_us_ = profiler_->cp_ewma_us();
+    } else {
+      const double r = profiler_->drift_ratio(cp_baseline_us_);
+      if (r > cfg_.profiler.cp_drift_ratio ||
+          r < 1.0 / cfg_.profiler.cp_drift_ratio) {
+        static_plan_->invalidate();
+        profiler_->note_cp_drift(r, fcycle);
+        cp_baseline_us_ = 0.0;
+      }
+    }
+  }
 }
 
 void AudioEngine::enable_telemetry(const TelemetryConfig& tcfg) {
@@ -228,6 +308,7 @@ void AudioEngine::set_strategy(core::Strategy s, unsigned threads) {
         *compiled_, *cost_model_, cfg_.threads));
     if (cost_model_->max_cv() > cfg_.plan_max_cv) static_plan_->invalidate();
     plan_baseline_us_ = 0.0;
+    cp_baseline_us_ = 0.0;
   }
   rebuild_executor();
   // The compiled graph (including any degradation masks) and the
@@ -322,6 +403,7 @@ CycleBreakdown AudioEngine::run_cycle() {
   phase_vc(c);
   monitor_.add(c);
   finish_cycle_telemetry(c, 0);
+  profile_cycle(c);
   return c;
 }
 
@@ -347,6 +429,7 @@ void AudioEngine::apply_degradation(DegradationLevel target) {
     // dynamic scheduling until rebuild_static_plan() is called.
     static_plan_->invalidate();
     plan_baseline_us_ = 0.0;
+    cp_baseline_us_ = 0.0;
   }
 }
 
@@ -367,6 +450,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
     supervisor_->supervise_safe_mode_cycle(c);
     monitor_.add(c, level);
     finish_cycle_telemetry(c, level);
+    profile_cycle(c);  // no graph spans in safe mode; keeps counts exact
     return c;
   }
 
@@ -389,6 +473,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
   supervisor_->supervise_cycle(c, graph_nodes_.output());
   monitor_.add(c, level);
   finish_cycle_telemetry(c, level);
+  profile_cycle(c);
   return c;
 }
 

@@ -63,8 +63,18 @@ Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), host_(cfg_.host) {
                                    "Connections dropped on malformed frames");
   m_http_requests_ =
       reg.counter("djstar_net_http_requests_total", "HTTP /metrics scrapes");
+  m_debug_requests_ = reg.counter("djstar_net_debug_requests_total",
+                                  "HTTP /debug endpoint requests");
   g_connections_ =
       reg.gauge("djstar_net_connections", "Open client connections");
+  static constexpr double kFlushBounds[] = {10,   25,   50,   100,  250,
+                                            500,  1000, 2500, 5000, 25000};
+  for (unsigned q = 0; q < serve::kQoSCount; ++q) {
+    h_net_flush_[q] = reg.histogram(
+        std::string("djstar_stage_net_flush_us_") +
+            to_string(static_cast<serve::QoS>(q)),
+        "Ring enqueue to final socket write (us)", kFlushBounds);
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
@@ -344,7 +354,7 @@ void Server::push_item(Connection& c, std::vector<std::uint8_t> bytes,
     }
   }
   c.ring_bytes += need;
-  c.ring.push_back({std::move(bytes), droppable});
+  c.ring.push_back({std::move(bytes), droppable, qos, support::now()});
 }
 
 // ---- reactor thread --------------------------------------------------------
@@ -589,6 +599,12 @@ void Server::handle_http(const std::shared_ptr<Connection>& c) {
   const std::size_t eol = req.find_first_of("\r\n");
   const std::string_view line = req.substr(0, eol);
   std::string response;
+  const auto json_response = [&](const std::string& body) {
+    return "HTTP/1.0 200 OK\r\n"
+           "Content-Type: application/json; charset=utf-8\r\n"
+           "Content-Length: " + std::to_string(body.size()) + "\r\n"
+           "Connection: close\r\n\r\n" + body;
+  };
   if (line.rfind("GET /metrics", 0) == 0) {
     m_http_requests_.inc();
     const std::string body = host_.metrics().prometheus();
@@ -596,6 +612,16 @@ void Server::handle_http(const std::shared_ptr<Connection>& c) {
                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
                "Content-Length: " + std::to_string(body.size()) + "\r\n"
                "Connection: close\r\n\r\n" + body;
+  } else if (line.rfind("GET /debug/attribution", 0) == 0) {
+    // Both /debug bodies are per-tick caches the data plane refreshes;
+    // the reactor copies them under the host's debug mutex and never
+    // touches fleet state (the engine thread never touches sockets, the
+    // reactor never touches the engine — both rules hold).
+    m_debug_requests_.inc();
+    response = json_response(host_.debug_attribution_json());
+  } else if (line.rfind("GET /debug/profile", 0) == 0) {
+    m_debug_requests_.inc();
+    response = json_response(host_.debug_profile_json());
   } else {
     const std::string body = "not found\n";
     response = "HTTP/1.0 404 Not Found\r\n"
@@ -654,6 +680,10 @@ void Server::flush_conn(const std::shared_ptr<Connection>& c) {
       c->front_off += static_cast<std::size_t>(r);
       if (c->front_off == item.bytes.size()) {
         m_frames_tx_.inc();
+        if (item.enqueued != support::Clock::time_point{}) {
+          h_net_flush_[serve::rank(item.qos)].record(
+              support::since_us(item.enqueued));
+        }
         c->ring_bytes -= item.bytes.size();
         c->ring.pop_front();
         c->front_off = 0;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
@@ -33,7 +34,24 @@ std::optional<std::string> metrics_env_path() {
 HostConfig apply_env_overrides(HostConfig cfg) {
   cfg.heal.mode = core::heal_mode_from_env(cfg.heal.mode);
   if (auto b = BreakerConfig::from_env()) cfg.breaker = *b;
+  if (auto pmode = engine::prof_mode_from_env()) cfg.profiler.mode = *pmode;
   return cfg;
+}
+
+// Shared bounds for the djstar_stage_* histograms (us). Wide enough for
+// admission waits spanning several parked ticks at the top end.
+constexpr double kStageBounds[] = {10,   25,   50,    100,   250,  500,
+                                   1000, 2500, 5000,  10000, 25000, 100000};
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) >= 0x20) {
+      out += ch;
+    }
+  }
 }
 
 }  // namespace
@@ -81,6 +99,22 @@ EngineHost::EngineHost(HostConfig cfg)
           "djstar_fleet_active_density",
           "Sum of admitted C/D densities (utilization)")) {
   cfg_.threads = threads_;
+  // Stage latency decomposition (always-on; per-QoS name suffix because
+  // the registry has no label support).
+  for (unsigned q = 0; q < kQoSCount; ++q) {
+    const char* qn = to_string(static_cast<QoS>(q));
+    const auto reg = [&](const char* stage, const char* help) {
+      return registry_.histogram(
+          std::string("djstar_stage_") + stage + "_us_" + qn, help,
+          kStageBounds);
+    };
+    h_stage_admission_[q] =
+        reg("admission_wait", "submit() to activation (wall us)");
+    h_stage_queue_[q] =
+        reg("edf_queue", "EDF dispatch delay inside the tick (us)");
+    h_stage_execute_[q] =
+        reg("execute", "Graph compute after dispatch (us)");
+  }
   if (auto path = metrics_env_path()) {
     start_metrics_exporter(*path);
   }
@@ -101,6 +135,7 @@ SessionId EngineHost::submit(SessionSpec spec) {
   c.kind = Command::Kind::kSubmit;
   c.id = id;
   c.spec = std::move(spec);
+  c.submitted_at = support::now();
   commands_.push_back(std::move(c));
   return id;
 }
@@ -140,7 +175,9 @@ void EngineHost::drain_commands() {
     }
     stats_.note_submitted();
     m_submitted_.inc();
-    decide_admission(build_session(c.id, std::move(c.spec)));
+    std::unique_ptr<Session> s = build_session(c.id, std::move(c.spec));
+    s->set_submitted_at(c.submitted_at);
+    decide_admission(std::move(s));
   }
 }
 
@@ -150,8 +187,16 @@ std::unique_ptr<Session> EngineHost::build_session(SessionId id,
   exec.spin = cfg_.spin;
   exec.heal = cfg_.heal;
   if (flight_.enabled()) exec.flight = &flight_;
-  return std::make_unique<Session>(id, std::move(spec), team_, exec, cfg_.ws,
-                                   cfg_.supervisor);
+  auto s = std::make_unique<Session>(id, std::move(spec), team_, exec,
+                                     cfg_.ws, cfg_.supervisor);
+  if (profiler_enabled()) {
+    // Sessions share the host registry (register-or-fetch: one
+    // djstar_attrib_* family fleet-wide) and journal. HW stays host-level.
+    engine::ProfilerConfig pcfg = cfg_.profiler;
+    pcfg.mode = engine::ProfMode::kAttrib;
+    s->enable_profiler(pcfg, &registry_, &journal_);
+  }
+  return s;
 }
 
 void EngineHost::decide_admission(std::unique_ptr<Session> s) {
@@ -184,6 +229,12 @@ void EngineHost::decide_admission(std::unique_ptr<Session> s) {
 }
 
 void EngineHost::activate(std::unique_ptr<Session> s) {
+  // Admission-wait stage closes here — covering queued ticks too. Probe
+  // restores skip it (never stamped): a breaker park is not admission.
+  if (s->submitted_at() != support::Clock::time_point{}) {
+    h_stage_admission_[rank(s->qos())].record(
+        support::elapsed_us(s->submitted_at(), support::now()));
+  }
   active_density_ += s->density();
   s->set_next_due_us(fleet_now_us_ + s->deadline_us());
   if (tracing_armed_) s->arm_tracing(trace_capacity_);
@@ -236,6 +287,7 @@ void EngineHost::remove_session(SessionId id, SessionState final_state) {
     }
     set_state(id, final_state);
     breakers_.erase(id);
+    prev_latency_.erase(id);
     active_.erase(it);
     return;
   }
@@ -325,6 +377,8 @@ FleetTick EngineHost::run_fleet_cycle() {
     const double allowed_us = s->next_due_us() - fleet_now_us_;
     const double completion = s->run_cycle(wait_us, allowed_us);
     m_cycles_.inc();
+    h_stage_queue_[rank(s->qos())].record(wait_us);
+    h_stage_execute_[rank(s->qos())].record(completion - wait_us);
     const bool missed = completion > allowed_us;
     if (missed) {
       ++t.misses;
@@ -385,8 +439,128 @@ FleetTick EngineHost::run_fleet_cycle() {
   g_active_sessions_.set(static_cast<double>(active_.size()));
   g_queued_sessions_.set(static_cast<double>(queued_.size()));
   g_active_density_.set(active_density_);
+  if (profiler_enabled()) refresh_debug_json();
   if (tick_observer_) tick_observer_(t);
   return t;
+}
+
+void EngineHost::refresh_debug_json() {
+  // HW counters are host-level: sessions share the pool, so one sampler
+  // over the team's tids, one delta per tick. Armed lazily once every
+  // worker thread has published its tid (worker 0 = this thread).
+  if (cfg_.profiler.mode == engine::ProfMode::kAttribHw && !hw_armed_) {
+    std::vector<std::int32_t> tids(threads_, 0);
+    tids[0] = engine::HwSampler::self_tid();
+    bool all = tids[0] != 0;
+    for (unsigned w = 1; w < threads_; ++w) {
+      tids[w] = team_.worker_tid(w);
+      all = all && tids[w] != 0;
+    }
+    if (all) {
+      hw_sampler_.open(tids);
+      hw_armed_ = true;
+    }
+  }
+  if (hw_sampler_.available()) hw_sampler_.sample(hw_tick_);
+
+  std::string& out = debug_scratch_;
+  out.clear();
+  // ---- /debug/attribution ----
+  out += "{\"tick\":";
+  out += std::to_string(tick_);
+  out += ",\"mode\":\"";
+  out += to_string(cfg_.profiler.mode);
+  out += "\",\"sessions\":[";
+  bool first = true;
+  for (const auto& s : active_) {
+    if (!s->profiler_enabled()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(s->id());
+    out += ",\"name\":\"";
+    append_json_escaped(out, s->name());
+    out += "\",\"qos\":\"";
+    out += to_string(s->qos());
+    out += "\",\"report\":";
+    s->profiler().append_attribution_json(out);
+    out += '}';
+  }
+  out += "]}";
+  {
+    std::lock_guard lk(debug_mutex_);
+    debug_attrib_json_.swap(out);
+  }
+
+  // ---- /debug/profile ----
+  out.clear();
+  out += "{\"tick\":";
+  out += std::to_string(tick_);
+  out += ",\"mode\":\"";
+  out += to_string(cfg_.profiler.mode);
+  out += "\",\"hw_available\":";
+  out += hw_sampler_.available() ? "true" : "false";
+  out += ",\"hw_workers\":[";
+  for (std::size_t w = 0; w < hw_tick_.size(); ++w) {
+    if (w) out += ',';
+    out += "{\"cycles\":";
+    out += std::to_string(hw_tick_[w].cycles);
+    out += ",\"instructions\":";
+    out += std::to_string(hw_tick_[w].instructions);
+    out += ",\"cache_misses\":";
+    out += std::to_string(hw_tick_[w].cache_misses);
+    out += ",\"context_switches\":";
+    out += std::to_string(hw_tick_[w].context_switches);
+    out += '}';
+  }
+  out += "],\"sessions\":[";
+  first = true;
+  for (const auto& s : active_) {
+    if (!s->profiler_enabled()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(s->id());
+    out += ",\"name\":\"";
+    append_json_escaped(out, s->name());
+    out += "\",\"qos\":\"";
+    out += to_string(s->qos());
+    out += "\",";
+    // Windowed latency since the previous refresh: delta_since never
+    // mutates the live histogram, so a concurrent /metrics scrape of the
+    // same session cannot observe a reset.
+    const support::Histogram& live = s->latency_histogram();
+    const auto prev = prev_latency_.find(s->id());
+    const support::Histogram win =
+        prev != prev_latency_.end() ? live.delta_since(prev->second) : live;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "\"window\":{\"count\":%zu,\"p50_us\":%.1f,"
+                  "\"p99_us\":%.1f},",
+                  win.total(), win.quantile(0.5), win.quantile(0.99));
+    out += buf;
+    prev_latency_.insert_or_assign(s->id(), live);
+    out += "\"profile\":";
+    s->profiler().append_profile_json(out);
+    out += '}';
+  }
+  out += "]}";
+  {
+    std::lock_guard lk(debug_mutex_);
+    debug_profile_json_.swap(out);
+  }
+}
+
+std::string EngineHost::debug_attribution_json() const {
+  std::lock_guard lk(debug_mutex_);
+  return debug_attrib_json_.empty() ? std::string("{\"sessions\":[]}")
+                                    : debug_attrib_json_;
+}
+
+std::string EngineHost::debug_profile_json() const {
+  std::lock_guard lk(debug_mutex_);
+  return debug_profile_json_.empty() ? std::string("{\"sessions\":[]}")
+                                     : debug_profile_json_;
 }
 
 void EngineHost::run_fleet_cycles(std::size_t n) {

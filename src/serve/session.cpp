@@ -47,6 +47,7 @@ Session::Session(SessionId id, SessionSpec spec, core::Team& team,
           ? spec_.cost_estimate_us
           : estimate_graph_cost_us(*compiled_, spec_.node_cost_us,
                                    team.threads());
+  if (spec_.faults.any()) compiled_->arm_faults(spec_.faults);
   DJSTAR_ASSERT_MSG(spec_.deadline_us > 0, "session deadline must be > 0");
 }
 
@@ -65,6 +66,9 @@ double Session::run_cycle(double wait_us, double allowed_us) {
   // between cycles, where the compiled graph permits mutation.
   const DegradationLevel level = supervisor_.level();
   apply_level(level);
+  // Profiling reuses the trace recorder as a cycle-scoped span buffer:
+  // drop the previous cycle's spans now, between cycles (allocation-free).
+  if (profiler_ != nullptr && trace_.armed()) trace_.clear_spans();
   const auto level_idx = static_cast<unsigned>(level);
 
   engine::CycleBreakdown c;
@@ -90,11 +94,48 @@ double Session::run_cycle(double wait_us, double allowed_us) {
 
   const double completion = c.total_us();
   ++counters_.cycles;
-  if (completion > allowed_us) ++counters_.misses;
+  const bool missed = completion > allowed_us;
+  if (missed) ++counters_.misses;
   if (level != DegradationLevel::kFull) ++counters_.degraded_cycles;
   latency_.add(completion);
+
+  if (profiler_ != nullptr) {
+    // Safe mode / sequential fallback record no spans into trace_; the
+    // empty attribution still counts the cycle so exports stay exact.
+    trace_.collect_into(prof_spans_);
+    profiler_->on_cycle(prof_spans_, missed, counters_.cycles);
+  }
   return completion;
 }
+
+void Session::enable_profiler(const engine::ProfilerConfig& pcfg,
+                              support::MetricsRegistry* registry,
+                              support::EventJournal* journal) {
+  if (pcfg.mode == engine::ProfMode::kOff) {
+    profiler_.reset();
+    return;
+  }
+  if (!trace_.armed()) {
+    // Cycle-scoped buffer: one slot per node is enough for run spans plus
+    // a generous margin for wait spans.
+    trace_.arm(hosted_->threads(), 2 * compiled_->node_count() + 64);
+  }
+  std::vector<std::vector<std::int32_t>> preds(compiled_->node_count());
+  for (std::size_t n = 0; n < compiled_->node_count(); ++n) {
+    for (core::NodeId s : spec_.graph.successors(static_cast<core::NodeId>(n))) {
+      preds[static_cast<std::size_t>(s)].push_back(
+          static_cast<std::int32_t>(n));
+    }
+  }
+  profiler_ = std::make_unique<engine::CycleProfiler>(
+      pcfg, std::move(preds), spec_.deadline_us, registry, journal);
+}
+
+void Session::arm_faults(const core::chaos::FaultPlan& plan) {
+  compiled_->arm_faults(plan);
+}
+
+void Session::disarm_faults() noexcept { compiled_->disarm_faults(); }
 
 double Session::observed_cost_p99_us() const {
   const auto& xs = monitor_.graph_samples();

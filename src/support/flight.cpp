@@ -65,6 +65,30 @@ std::vector<TraceSpan> FlightRecorder::collect_last(std::uint64_t cycles,
   return out;
 }
 
+void FlightRecorder::collect_cycle(std::uint64_t cycle,
+                                   std::vector<TraceSpan>& out) const {
+  out.clear();
+  for (std::uint32_t t = 0; t < lanes_.size(); ++t) {
+    const Lane& lane = lanes_[t];
+    const std::uint64_t cap = lane.mask + 1;
+    const std::uint64_t held = std::min<std::uint64_t>(lane.next, cap);
+    // Cycle tags are nondecreasing in write order, so the target cycle's
+    // spans sit at the ring's tail when collecting the cycle that just
+    // finished: scan backward and stop at the first older entry, making
+    // the per-cycle attribution cost O(spans in cycle), not O(capacity).
+    for (std::uint64_t i = lane.next; i > lane.next - held; --i) {
+      const FlightSpan& fs = lane.ring[(i - 1) & lane.mask];
+      if (fs.cycle > cycle) continue;
+      if (fs.cycle < cycle) break;
+      out.push_back(fs.span);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.thread != b.thread) return a.thread < b.thread;
+    return a.begin_us < b.begin_us;
+  });
+}
+
 bool FlightRecorder::dump_chrome_trace(const std::string& path,
                                        std::uint64_t cycles, double period_us,
                                        std::string_view process_name,

@@ -86,6 +86,27 @@ void Histogram::merge(const Histogram& other) noexcept {
   }
 }
 
+Histogram Histogram::delta_since(const Histogram& prev) const {
+  Histogram out = *this;
+  const bool same_layout = prev.lo_ == lo_ && prev.hi_ == hi_ &&
+                           prev.counts_.size() == counts_.size();
+  // A rollover window (this reset after `prev` was snapshotted) would
+  // produce negative bins; detect it on the monotonic totals and fall
+  // back to the full current contents.
+  if (!same_layout || prev.total_ > total_ || prev.underflow_ > underflow_ ||
+      prev.overflow_ > overflow_) {
+    return out;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (prev.counts_[i] > counts_[i]) return *this;  // rollover within a bin
+    out.counts_[i] = counts_[i] - prev.counts_[i];
+  }
+  out.underflow_ = underflow_ - prev.underflow_;
+  out.overflow_ = overflow_ - prev.overflow_;
+  out.total_ = total_ - prev.total_;
+  return out;
+}
+
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return lo_;
   if (q < 0.0) q = 0.0;

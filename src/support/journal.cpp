@@ -39,6 +39,9 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kNetProtocolError: return "net-protocol-error";
     case EventKind::kNetBackpressure: return "net-backpressure";
     case EventKind::kNetAudioDrop: return "net-audio-drop";
+    case EventKind::kBlameReport: return "blame-report";
+    case EventKind::kBlame: return "blame";
+    case EventKind::kCpDrift: return "cp-drift";
   }
   return "?";
 }

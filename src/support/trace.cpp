@@ -46,16 +46,24 @@ void append_event(std::string& out, const TraceSpan& s, std::uint32_t pid,
                   bool& first) {
   if (!first) out += ",\n";
   first = false;
-  char buf[160];
+  char buf[224];
   std::string name;
   append_span_name(name, s);
   // Zero-length spans still render in Perfetto with a small epsilon.
   const double dur = std::max(s.duration_us(), 0.001);
+  // steal_from renders as an optional args entry so traces written before
+  // the field existed (and spans that were not stolen) are byte-identical
+  // to the old format.
+  char steal[48] = "";
+  if (s.steal_from >= 0) {
+    std::snprintf(steal, sizeof steal, ",\"args\":{\"steal_from\":%" PRId32 "}",
+                  s.steal_from);
+  }
   std::snprintf(buf, sizeof buf,
                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                "\"dur\":%.3f,\"pid\":%" PRIu32 ",\"tid\":%" PRIu32 "}",
+                "\"dur\":%.3f,\"pid\":%" PRIu32 ",\"tid\":%" PRIu32 "%s}",
                 name.c_str(), to_string(s.kind), s.begin_us, dur, pid,
-                s.thread);
+                s.thread, steal);
   out += buf;
 }
 
@@ -128,6 +136,13 @@ void TraceRecorder::record(std::uint32_t thread,
   lane.spans.push_back(span);
 }
 
+void TraceRecorder::clear_spans() noexcept {
+  for (auto& lane : lanes_) {
+    lane.spans.clear();  // capacity() is retained; record() stays in budget
+    lane.dropped = 0;
+  }
+}
+
 std::uint64_t TraceRecorder::dropped(std::uint32_t thread) const noexcept {
   return thread < lanes_.size() ? lanes_[thread].dropped : 0;
 }
@@ -140,17 +155,22 @@ std::uint64_t TraceRecorder::total_dropped() const noexcept {
 
 std::vector<TraceSpan> TraceRecorder::collect() const {
   std::vector<TraceSpan> all;
+  collect_into(all);
+  return all;
+}
+
+void TraceRecorder::collect_into(std::vector<TraceSpan>& out) const {
+  out.clear();
   std::size_t n = 0;
   for (const auto& lane : lanes_) n += lane.spans.size();
-  all.reserve(n);
+  out.reserve(n);
   for (const auto& lane : lanes_) {
-    all.insert(all.end(), lane.spans.begin(), lane.spans.end());
+    out.insert(out.end(), lane.spans.begin(), lane.spans.end());
   }
-  std::sort(all.begin(), all.end(), [](const TraceSpan& a, const TraceSpan& b) {
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
     if (a.thread != b.thread) return a.thread < b.thread;
     return a.begin_us < b.begin_us;
   });
-  return all;
 }
 
 bool TraceRecorder::write_chrome_trace(const std::string& path,

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/random_dag.hpp"
 #include "djstar/core/compiled_graph.hpp"
 #include "djstar/core/factory.hpp"
 #include "djstar/core/team.hpp"
+#include "djstar/support/attrib.hpp"
 #include "djstar/support/flight.hpp"
 #include "stress/stress_util.hpp"
 
@@ -87,19 +90,54 @@ TEST_P(HealSoak, SurvivesMixedWorkerAndNodeFaultFuzzing) {
   opts.heal.check_interval_us = 100.0;
   const auto exec = dc::make_executor(strategy, cg, opts);
 
+  // Ranked blame alongside the flight dump (DESIGN.md §14): healthy
+  // cycles fold EWMA baselines, so on a failure the report names the
+  // nodes that blew past their usual cost — the nightly job uploads it
+  // next to the trace, turning "which of 40 chaos-ridden nodes broke
+  // this" into a sorted list.
+  namespace attrib = djstar::support::attrib;
+  std::vector<std::vector<std::int32_t>> preds(dag.g.node_count());
+  for (dc::NodeId n = 0; n < static_cast<dc::NodeId>(dag.g.node_count());
+       ++n) {
+    for (dc::NodeId s : dag.g.successors(n)) {
+      preds[static_cast<std::size_t>(s)].push_back(
+          static_cast<std::int32_t>(n));
+    }
+  }
+  attrib::CriticalPathAnalyzer analyzer(std::move(preds));
+  attrib::BlameTracker blame;
+  std::vector<djstar::support::TraceSpan> spans;
+
   for (int c = 0; c < cycles; ++c) {
     flight.begin_cycle();
     dag.reset();
     exec->run_cycle();
+    flight.collect_cycle(flight.cycle(), spans);
+    bool clean = true;
+    for (std::size_t i = 0; i < dag.done.size(); ++i) {
+      if (dag.done[i].load() != 1) clean = false;
+    }
+    const auto& at =
+        analyzer.analyze(spans, static_cast<std::uint64_t>(c));
+    // A broken cycle is a "miss": baselines stay clean and last() becomes
+    // the ranked report for this cycle's dump.
+    blame.on_cycle(at, spans, /*missed=*/!clean, /*deadline_us=*/0.0);
+    if (clean) continue;
+
+    const std::string base =
+        soak_dump_dir() + "/soak_" + std::string(dc::to_string(strategy));
+    const std::string dump = base + ".flight.json";
+    flight.dump_chrome_trace(dump, 64, 3000.0);
+    const std::string blame_path = base + ".blame.json";
+    std::string json;
+    attrib::append_json(json, blame.last());
+    std::ofstream(blame_path) << json;
     for (std::size_t i = 0; i < dag.done.size(); ++i) {
       if (dag.done[i].load() != 1) {
-        const std::string dump = soak_dump_dir() + "/soak_" +
-                                 std::string(dc::to_string(strategy)) +
-                                 ".flight.json";
-        flight.dump_chrome_trace(dump, 64, 3000.0);
         FAIL() << dc::to_string(strategy) << ": node " << i << " ran "
                << dag.done[i].load() << "x in cycle " << c
-               << "; flight dump at " << dump;
+               << "; flight dump at " << dump << ", ranked blame at "
+               << blame_path;
       }
     }
   }

@@ -1,0 +1,230 @@
+// GET /debug/attribution and /debug/profile over the net front-end
+// (DESIGN.md §14): per-tick JSON caches served by the reactor while the
+// engine thread runs, the forced-stall blame acceptance path over the
+// wire, and concurrent /metrics + /debug scrapes against an active
+// fleet with exact request-counter deltas.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prometheus_check.hpp"
+#include "djstar/net/client.hpp"
+#include "djstar/net/server.hpp"
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dn = djstar::net;
+namespace dv = djstar::serve;
+namespace de = djstar::engine;
+namespace dt = djstar::test;
+
+namespace {
+
+using namespace std::chrono_literals;
+
+struct HttpResponse {
+  std::string status;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+std::optional<HttpResponse> parse_http(const std::string& raw) {
+  const std::size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos) return std::nullopt;
+  HttpResponse r;
+  r.status = raw.substr(0, eol);
+  const std::size_t blank = raw.find("\r\n\r\n");
+  if (blank == std::string::npos) return std::nullopt;
+  std::istringstream head(raw.substr(eol + 2, blank - eol - 2));
+  std::string line;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t v = colon + 1;
+    while (v < line.size() && line[v] == ' ') ++v;
+    r.headers[line.substr(0, colon)] = line.substr(v);
+  }
+  r.body = raw.substr(blank + 4);
+  return r;
+}
+
+/// Profiler-armed server running until stop(), with one synthetic
+/// session submitted straight through the host's thread-safe control
+/// plane (the engine thread keeps ticking the whole time).
+struct ProfiledServer {
+  explicit ProfiledServer(djstar::core::chaos::FaultPlan faults = {}) {
+    dn::ServerConfig cfg;
+    cfg.host.threads = 2;
+    cfg.host.profiler.mode = de::ProfMode::kAttrib;
+    server = std::make_unique<dn::Server>(cfg);
+    server->start();
+
+    dv::SyntheticSpec sspec;
+    sspec.name = "wire-prof";
+    sspec.qos = dv::QoS::kStandard;
+    sspec.width = 2;
+    sspec.depth = 2;
+    sspec.node_cost_us = 5.0;
+    dv::SessionSpec spec = dv::make_synthetic_session(sspec);
+    spec.faults = std::move(faults);
+    session = server->host().submit(std::move(spec));
+  }
+  ~ProfiledServer() { server->stop(); }
+
+  double counter(const std::string& name) const {
+    for (const auto& m : server->host().metrics().snapshot().metrics) {
+      if (m.name == name) return m.value;
+    }
+    return -1.0;
+  }
+
+  /// GET `path` until the JSON body satisfies `pred` (bounded).
+  std::string get_until(const std::string& path,
+                        bool (*pred)(const std::string&)) {
+    std::string last;
+    for (int i = 0; i < 2500; ++i) {
+      const auto raw = dn::http_get(server->port(), path);
+      if (raw.has_value()) {
+        const auto resp = parse_http(*raw);
+        if (resp.has_value()) {
+          last = resp->body;
+          if (pred(last)) return last;
+        }
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+    ADD_FAILURE() << "condition never met for " << path << "; last: " << last;
+    return last;
+  }
+
+  std::unique_ptr<dn::Server> server;
+  dv::SessionId session = dv::kInvalidSession;
+};
+
+}  // namespace
+
+TEST(NetDebugHttp, EndpointsServeJsonWhileEngineRuns) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetDebugHttp.EndpointsServeJson");
+  ProfiledServer q;
+
+  // Wait for the session's first profiled ticks to fill the caches.
+  q.get_until("/debug/attribution", [](const std::string& body) {
+    return body.find("\"name\":\"wire-prof\"") != std::string::npos;
+  });
+
+  const auto raw = dn::http_get(q.server->port(), "/debug/attribution");
+  ASSERT_TRUE(raw.has_value());
+  const auto resp = parse_http(*raw);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "HTTP/1.0 200 OK");
+  EXPECT_EQ(resp->headers.at("Content-Type"),
+            "application/json; charset=utf-8");
+  EXPECT_EQ(resp->headers.at("Content-Length"),
+            std::to_string(resp->body.size()));
+  EXPECT_EQ(resp->body.front(), '{');
+  EXPECT_NE(resp->body.find("\"mode\":\"attrib\""), std::string::npos);
+  EXPECT_NE(resp->body.find("\"makespan_us\""), std::string::npos);
+
+  const auto praw = dn::http_get(q.server->port(), "/debug/profile");
+  ASSERT_TRUE(praw.has_value());
+  const auto presp = parse_http(*praw);
+  ASSERT_TRUE(presp.has_value());
+  EXPECT_EQ(presp->status, "HTTP/1.0 200 OK");
+  EXPECT_EQ(presp->headers.at("Content-Type"),
+            "application/json; charset=utf-8");
+  EXPECT_NE(presp->body.find("\"hw_available\""), std::string::npos);
+  EXPECT_NE(presp->body.find("\"window\""), std::string::npos);
+}
+
+TEST(NetDebugHttp, ForcedStallBlameReachesTheWire) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetDebugHttp.ForcedStallBlame");
+  // Node 1 stalls ~3 deadlines every cycle: every cycle misses, so the
+  // per-tick attribution cache must carry a blame report naming node 1 —
+  // the acceptance path end to end (fault -> spans -> blame -> HTTP).
+  djstar::core::chaos::FaultPlan faults;
+  faults.seed = 13;
+  faults.stall_permille = 1000;
+  faults.stall_us = 3.0 * djstar::audio::kDeadlineUs;
+  faults.targets = {1};
+  ProfiledServer q(faults);
+
+  const std::string body =
+      q.get_until("/debug/attribution", [](const std::string& b) {
+        return b.find("\"blame\"") != std::string::npos &&
+               b.find("\"valid\":true") != std::string::npos;
+      });
+  EXPECT_NE(body.find("\"node\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"name\":\"wire-prof\""), std::string::npos);
+}
+
+TEST(NetDebugHttp, ConcurrentScrapesAgainstActiveFleet) {
+  dt::Watchdog dog(dt::scaled_timeout(120), "NetDebugHttp.ConcurrentScrapes");
+  ProfiledServer q;
+  q.get_until("/debug/profile", [](const std::string& body) {
+    return body.find("\"name\":\"wire-prof\"") != std::string::npos;
+  });
+
+  const double http_before = q.counter("djstar_net_http_requests_total");
+  const double debug_before = q.counter("djstar_net_debug_requests_total");
+  ASSERT_GE(http_before, 0.0);
+  ASSERT_GE(debug_before, 0.0);
+
+  // Three scrapers hammer all three endpoints while the engine keeps
+  // ticking the fleet. Every response must arrive whole and valid.
+  constexpr int kThreads = 3;
+  constexpr int kIters = 8;
+  std::atomic<int> metrics_ok{0}, attrib_ok{0}, profile_ok{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kThreads; ++t) {
+    scrapers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto m = dn::http_get(q.server->port(), "/metrics");
+        if (m.has_value()) {
+          const auto resp = parse_http(*m);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              djstar_test::validate_prometheus(resp->body).empty()) {
+            metrics_ok.fetch_add(1);
+          }
+        }
+        const auto a = dn::http_get(q.server->port(), "/debug/attribution");
+        if (a.has_value()) {
+          const auto resp = parse_http(*a);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              !resp->body.empty() && resp->body.front() == '{' &&
+              resp->body.back() == '}') {
+            attrib_ok.fetch_add(1);
+          }
+        }
+        const auto p = dn::http_get(q.server->port(), "/debug/profile");
+        if (p.has_value()) {
+          const auto resp = parse_http(*p);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              resp->body.find("\"tick\":") != std::string::npos) {
+            profile_ok.fetch_add(1);
+          }
+        }
+        (void)t;
+      }
+    });
+  }
+  for (std::thread& th : scrapers) th.join();
+
+  EXPECT_EQ(metrics_ok.load(), kThreads * kIters);
+  EXPECT_EQ(attrib_ok.load(), kThreads * kIters);
+  EXPECT_EQ(profile_ok.load(), kThreads * kIters);
+
+  // Exact deltas: /metrics feeds the http counter, /debug/* the debug
+  // counter — our requests and nothing else moved them.
+  EXPECT_EQ(q.counter("djstar_net_http_requests_total"),
+            http_before + kThreads * kIters);
+  EXPECT_EQ(q.counter("djstar_net_debug_requests_total"),
+            debug_before + 2.0 * kThreads * kIters);
+}

@@ -1,0 +1,182 @@
+// Stage latency decomposition and per-session attribution on the
+// EngineHost data plane (DESIGN.md §14): admission-wait / edf-queue /
+// execute histograms per QoS class, the /debug JSON caches, and the
+// forced-stall blame acceptance path through SessionSpec::faults.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+
+namespace dv = djstar::serve;
+namespace de = djstar::engine;
+namespace ds = djstar::support;
+namespace chaos = djstar::core::chaos;
+
+namespace {
+
+const ds::MetricValue* find_metric(const ds::MetricsSnapshot& snap,
+                                   const std::string& name) {
+  for (const ds::MetricValue& m : snap.metrics) {
+    if (m.name == name) return &m;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  return nullptr;
+}
+
+dv::HostConfig small_host(de::ProfMode mode = de::ProfMode::kOff) {
+  dv::HostConfig cfg;
+  cfg.threads = 2;
+  cfg.profiler.mode = mode;
+  return cfg;
+}
+
+dv::SessionSpec synthetic(dv::QoS qos, const char* name) {
+  dv::SyntheticSpec spec;
+  spec.name = name;
+  spec.qos = qos;
+  spec.width = 2;
+  spec.depth = 2;
+  spec.node_cost_us = 5.0;
+  return dv::make_synthetic_session(spec);
+}
+
+}  // namespace
+
+TEST(StageLatency, StagesRecordPerQoSClass) {
+  dv::EngineHost host(small_host());
+  host.submit(synthetic(dv::QoS::kRealtime, "rt"));
+  host.submit(synthetic(dv::QoS::kBestEffort, "be"));
+  host.run_fleet_cycles(8);
+
+  const ds::MetricsSnapshot snap = host.metrics().snapshot();
+  for (const char* qos : {"realtime", "besteffort"}) {
+    for (const char* stage : {"admission_wait", "edf_queue", "execute"}) {
+      const std::string name =
+          std::string("djstar_stage_") + stage + "_us_" + qos;
+      const ds::MetricValue* m = find_metric(snap, name);
+      ASSERT_NE(m, nullptr) << name;
+      EXPECT_EQ(m->kind, ds::detail::MetricEntry::Kind::kHistogram);
+      if (std::string(stage) == "admission_wait") {
+        // One activation per session.
+        EXPECT_EQ(m->count, 1u) << name;
+      } else {
+        // One sample per dispatched cycle.
+        EXPECT_GE(m->count, 1u) << name;
+      }
+    }
+  }
+  // The unused class stays silent: decomposition is exact per QoS.
+  for (const char* stage : {"admission_wait", "edf_queue", "execute"}) {
+    const std::string name =
+        std::string("djstar_stage_") + stage + "_us_standard";
+    const ds::MetricValue* m = find_metric(snap, name);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->count, 0u) << name;
+  }
+}
+
+TEST(StageLatency, ExecuteStageSumTracksServiceTime) {
+  dv::EngineHost host(small_host());
+  host.submit(synthetic(dv::QoS::kStandard, "s"));
+  host.run_fleet_cycles(10);
+
+  const ds::MetricsSnapshot snap = host.metrics().snapshot();
+  const ds::MetricValue* exec =
+      find_metric(snap, "djstar_stage_execute_us_standard");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->count, 10u);
+  EXPECT_GT(exec->sum, 0.0);
+}
+
+TEST(HostAttribution, DebugJsonEmptyWhenProfilerOff) {
+  dv::EngineHost host(small_host(de::ProfMode::kOff));
+  EXPECT_FALSE(host.profiler_enabled());
+  host.submit(synthetic(dv::QoS::kStandard, "s"));
+  host.run_fleet_cycles(3);
+  // Off mode: the caches are never refreshed; getters fall back to a
+  // well-formed empty document.
+  EXPECT_EQ(host.debug_attribution_json(), "{\"sessions\":[]}");
+  EXPECT_EQ(host.debug_profile_json(), "{\"sessions\":[]}");
+}
+
+TEST(HostAttribution, AttribModeRefreshesDebugJsonPerTick) {
+  dv::EngineHost host(small_host(de::ProfMode::kAttrib));
+  ASSERT_TRUE(host.profiler_enabled());
+  const dv::SessionId id = host.submit(synthetic(dv::QoS::kRealtime, "deckA"));
+  host.run_fleet_cycles(5);
+
+  const std::string at = host.debug_attribution_json();
+  EXPECT_NE(at.find("\"tick\":"), std::string::npos);
+  EXPECT_NE(at.find("\"mode\":\"attrib\""), std::string::npos);
+  EXPECT_NE(at.find("\"name\":\"deckA\""), std::string::npos);
+  EXPECT_NE(at.find("\"qos\":\"realtime\""), std::string::npos);
+  EXPECT_NE(at.find("\"makespan_us\""), std::string::npos);
+
+  const std::string prof = host.debug_profile_json();
+  EXPECT_NE(prof.find("\"hw_available\""), std::string::npos);
+  EXPECT_NE(prof.find("\"window\""), std::string::npos);
+  EXPECT_NE(prof.find("\"cycles_profiled\""), std::string::npos);
+
+  // The per-session profiler is live and counting.
+  const dv::Session* s = host.session(id);
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->profiler_enabled());
+  EXPECT_EQ(s->profiler().cycles_profiled(), s->counters().cycles);
+}
+
+TEST(HostAttribution, ForcedStallSurfacesInBlameReport) {
+  dv::EngineHost host(small_host(de::ProfMode::kAttrib));
+  dv::SessionSpec spec = synthetic(dv::QoS::kStandard, "victim");
+  // Node 1 stalls 3x the deadline every cycle: every cycle misses and
+  // the ranked report must finger node 1, all the way to the debug JSON.
+  spec.faults.seed = 11;
+  spec.faults.stall_permille = 1000;
+  spec.faults.stall_us = 3.0 * spec.deadline_us;
+  spec.faults.targets = {1};
+  const dv::SessionId id = host.submit(std::move(spec));
+  host.run_fleet_cycles(6);
+
+  const dv::Session* s = host.session(id);
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->profiler_enabled());
+  EXPECT_GT(s->profiler().blame_reports(), 0u);
+  const auto& blame = s->profiler().last_blame();
+  ASSERT_TRUE(blame.valid);
+  ASSERT_FALSE(blame.nodes.empty());
+  EXPECT_EQ(blame.nodes[0].node, 1) << "stalled node must rank first";
+
+  const std::string at = host.debug_attribution_json();
+  EXPECT_NE(at.find("\"name\":\"victim\""), std::string::npos);
+  EXPECT_NE(at.find("\"blame\""), std::string::npos);
+  EXPECT_NE(at.find("\"node\":1"), std::string::npos);
+
+  // Journal carries the same verdict (header entry a = top node).
+  bool saw_report = false;
+  for (const ds::Event& e : host.journal().drain_all()) {
+    if (e.kind == ds::EventKind::kBlameReport && e.a == 1) saw_report = true;
+  }
+  EXPECT_TRUE(saw_report);
+
+  // Shared registry: all session profilers feed one djstar_attrib_ series.
+  const ds::MetricsSnapshot snap = host.metrics().snapshot();
+  if (const auto* m = find_metric(snap, "djstar_attrib_blame_reports_total")) {
+    EXPECT_GT(m->value, 0.0);
+  }
+}
+
+TEST(HostAttribution, ProfileWindowUsesDeltaSince) {
+  dv::EngineHost host(small_host(de::ProfMode::kAttrib));
+  host.submit(synthetic(dv::QoS::kStandard, "w"));
+  host.run_fleet_cycles(4);
+  const std::string first = host.debug_profile_json();
+  EXPECT_NE(first.find("\"window\""), std::string::npos);
+
+  host.run_fleet_cycles(1);
+  // Exactly one tick elapsed since the previous refresh snapshotted the
+  // latency histogram: the window must report exactly one new cycle.
+  const std::string second = host.debug_profile_json();
+  EXPECT_NE(second.find("\"window\":{\"count\":1"), std::string::npos)
+      << second;
+}

@@ -1,0 +1,275 @@
+// support/attrib (DESIGN.md §14): realized-critical-path reconstruction
+// and blame ranking over synthetic span timelines where the right answer
+// is known by construction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "djstar/support/attrib.hpp"
+
+namespace da = djstar::support::attrib;
+using djstar::support::SpanKind;
+using djstar::support::TraceSpan;
+
+namespace {
+
+TraceSpan run(double b, double e, std::uint32_t w, std::int32_t node,
+              std::int32_t stolen = -1) {
+  TraceSpan s;
+  s.begin_us = b;
+  s.end_us = e;
+  s.thread = w;
+  s.node = node;
+  s.kind = SpanKind::kRun;
+  s.steal_from = stolen;
+  return s;
+}
+
+TraceSpan wait(double b, double e, std::uint32_t w, SpanKind k) {
+  TraceSpan s;
+  s.begin_us = b;
+  s.end_us = e;
+  s.thread = w;
+  s.node = -1;
+  s.kind = k;
+  return s;
+}
+
+// Diamond-ish fixture: 0 -> 2, 1 -> 2. Worker 0 runs node 0 then node 2
+// (stolen from worker 1); worker 1 runs node 1. Node 2's binding
+// constraint is node 1's end (110) — later than worker 0's own previous
+// span end (100) — and the [110, 120] gap is covered by a steal probe.
+std::vector<std::vector<std::int32_t>> diamond_preds() {
+  return {{}, {}, {0, 1}};
+}
+
+std::vector<TraceSpan> diamond_spans() {
+  return {
+      run(0, 100, 0, 0),
+      wait(100, 120, 0, SpanKind::kSteal),
+      run(120, 200, 0, 2, /*stolen=*/1),
+      run(10, 110, 1, 1),
+  };
+}
+
+}  // namespace
+
+TEST(CriticalPath, ReconstructsDependencyBoundChain) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  const auto spans = diamond_spans();
+  const da::CycleAttribution& at = az.analyze(spans, 7);
+
+  EXPECT_EQ(at.cycle, 7u);
+  EXPECT_DOUBLE_EQ(at.makespan_us, 200.0);
+  ASSERT_EQ(at.path.size(), 2u);
+
+  // Source -> sink order: node 1 (the binding predecessor), then node 2.
+  EXPECT_EQ(at.path[0].node, 1);
+  EXPECT_EQ(at.path[0].worker, 1u);
+  EXPECT_FALSE(at.path[0].dep_bound);
+  // Chain source: the leading [0, 10] gap is a cycle-start barrier wait.
+  EXPECT_EQ(at.path[0].wait_kind, da::GapKind::kBarrier);
+  EXPECT_DOUBLE_EQ(at.path[0].wait_us, 10.0);
+
+  EXPECT_EQ(at.path[1].node, 2);
+  EXPECT_TRUE(at.path[1].dep_bound);
+  EXPECT_EQ(at.path[1].pred_node, 1);
+  EXPECT_EQ(at.path[1].steal_from, 1);
+  // The [110, 120] gap is fully covered by the kSteal probe.
+  EXPECT_EQ(at.path[1].wait_kind, da::GapKind::kStealIdle);
+  EXPECT_DOUBLE_EQ(at.path[1].wait_us, 10.0);
+}
+
+TEST(CriticalPath, RunPlusWaitEqualsMakespanByConstruction) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  const auto spans = diamond_spans();
+  const da::CycleAttribution& at = az.analyze(spans);
+  // cp_run = 100 (node 1) + 80 (node 2); cp_wait = 10 + 10.
+  EXPECT_DOUBLE_EQ(at.cp_run_us, 180.0);
+  EXPECT_DOUBLE_EQ(at.cp_wait_us, 20.0);
+  EXPECT_NEAR(at.cp_run_us + at.cp_wait_us, at.makespan_us, 1e-9);
+  EXPECT_DOUBLE_EQ(at.cp_steal_idle_us, 10.0);
+  EXPECT_DOUBLE_EQ(at.cp_barrier_us, 10.0);
+  EXPECT_DOUBLE_EQ(at.cp_overhead_us, 0.0);
+}
+
+TEST(CriticalPath, PipelineConstraintWinsWhenLater) {
+  // 0 -> 2 only; worker 0 runs 0, 1, 2 back to back. Node 2's dep (node
+  // 0, end 50) cleared long before the worker's own previous span (node
+  // 1, end 150): the binding constraint is the pipeline, not the dep.
+  da::CriticalPathAnalyzer az({{}, {}, {0}});
+  const std::vector<TraceSpan> spans = {
+      run(0, 50, 0, 0),
+      run(50, 150, 0, 1),
+      run(150, 220, 0, 2),
+  };
+  const auto& at = az.analyze(spans);
+  ASSERT_EQ(at.path.size(), 3u);
+  EXPECT_EQ(at.path[2].node, 2);
+  EXPECT_FALSE(at.path[2].dep_bound);
+  EXPECT_DOUBLE_EQ(at.path[2].wait_us, 0.0);
+  EXPECT_NEAR(at.cp_run_us + at.cp_wait_us, at.makespan_us, 1e-9);
+}
+
+TEST(CriticalPath, UncoveredGapClassifiesAsOverhead) {
+  // Node 1 starts 40us after its dep cleared with no wait span covering
+  // the gap: supervisor/queue overhead by elimination.
+  da::CriticalPathAnalyzer az({{}, {0}});
+  const std::vector<TraceSpan> spans = {
+      run(0, 60, 0, 0),
+      run(100, 180, 0, 1),
+  };
+  const auto& at = az.analyze(spans);
+  ASSERT_EQ(at.path.size(), 2u);
+  EXPECT_EQ(at.path[1].wait_kind, da::GapKind::kOverhead);
+  EXPECT_DOUBLE_EQ(at.path[1].wait_us, 40.0);
+  EXPECT_DOUBLE_EQ(at.cp_overhead_us, 40.0);
+  EXPECT_NEAR(at.cp_run_us + at.cp_wait_us, at.makespan_us, 1e-9);
+}
+
+TEST(CriticalPath, WorkerBucketsPartitionTheMakespan) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  const auto spans = diamond_spans();
+  const auto& at = az.analyze(spans);
+  ASSERT_EQ(at.workers.size(), 2u);
+
+  const da::WorkerBucket& w0 = at.workers[0];
+  EXPECT_DOUBLE_EQ(w0.run_us, 180.0);
+  EXPECT_DOUBLE_EQ(w0.steal_idle_us, 20.0);
+  EXPECT_EQ(w0.runs, 2u);
+  EXPECT_EQ(w0.steals, 1u);
+
+  const da::WorkerBucket& w1 = at.workers[1];
+  EXPECT_DOUBLE_EQ(w1.run_us, 100.0);
+  // After node 1 ends (110) worker 1 waits for the cycle to finish.
+  EXPECT_DOUBLE_EQ(w1.barrier_us, 90.0);
+
+  for (const da::WorkerBucket& w : at.workers) {
+    EXPECT_NEAR(w.run_us + w.steal_idle_us + w.barrier_us + w.overhead_us,
+                at.makespan_us, 1e-6);
+  }
+}
+
+TEST(CriticalPath, EmptySpanListYieldsEmptyAttribution) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  const auto& at = az.analyze({});
+  EXPECT_TRUE(at.empty());
+  EXPECT_DOUBLE_EQ(at.makespan_us, 0.0);
+  EXPECT_DOUBLE_EQ(at.cp_run_us, 0.0);
+}
+
+TEST(CriticalPath, LastOccurrenceWinsOnHealedRerun) {
+  // A healed re-run of node 0 (worker 1, later) shadows the abandoned
+  // attempt (worker 0, earlier): the path must end at the re-run.
+  da::CriticalPathAnalyzer az(std::vector<std::vector<std::int32_t>>(1));
+  const std::vector<TraceSpan> spans = {
+      run(0, 40, 0, 0),
+      run(50, 120, 1, 0),
+  };
+  const auto& at = az.analyze(spans);
+  EXPECT_DOUBLE_EQ(at.makespan_us, 120.0);
+  ASSERT_FALSE(at.path.empty());
+  EXPECT_EQ(at.path.back().worker, 1u);
+}
+
+TEST(CriticalPath, ScratchReuseIsStable) {
+  // Same input, repeated analyze(): identical result (scratch buffers
+  // fully reset between calls).
+  da::CriticalPathAnalyzer az(diamond_preds());
+  const auto spans = diamond_spans();
+  az.analyze(spans);
+  const double first_cp = az.result().cp_run_us;
+  az.analyze({});  // shrink
+  const auto& again = az.analyze(spans);
+  EXPECT_DOUBLE_EQ(again.cp_run_us, first_cp);
+  EXPECT_EQ(again.path.size(), 2u);
+}
+
+// ---- BlameTracker ----------------------------------------------------------
+
+TEST(BlameTracker, HealthyCyclesFoldBaselinesMissesDoNot) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  da::BlameTracker tr(/*top_k=*/5, /*alpha=*/0.5);
+  const auto spans = diamond_spans();
+  const auto& at = az.analyze(spans);
+
+  tr.on_cycle(at, spans, /*missed=*/false, 1000.0);
+  EXPECT_DOUBLE_EQ(tr.node_baseline_us(0), 100.0);  // first sight = actual
+  EXPECT_DOUBLE_EQ(tr.node_baseline_us(1), 100.0);
+  EXPECT_DOUBLE_EQ(tr.node_baseline_us(2), 80.0);
+  EXPECT_EQ(tr.reports(), 0u);
+  EXPECT_FALSE(tr.last().valid);
+
+  // Missed cycle with node 2 blown up 10x: report ranks it first, and
+  // its baseline must NOT absorb the blown-up cost.
+  std::vector<TraceSpan> slow = spans;
+  slow[2].end_us = 920.0;  // node 2 now runs 800us
+  const auto& at2 = az.analyze(slow);
+  const da::BlameReport& r = tr.on_cycle(at2, slow, /*missed=*/true, 500.0);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(tr.reports(), 1u);
+  ASSERT_FALSE(r.nodes.empty());
+  EXPECT_EQ(r.nodes[0].node, 2);
+  EXPECT_DOUBLE_EQ(r.nodes[0].actual_us, 800.0);
+  EXPECT_DOUBLE_EQ(r.nodes[0].baseline_us, 80.0);
+  EXPECT_DOUBLE_EQ(r.nodes[0].delta_us, 720.0);
+  EXPECT_TRUE(r.nodes[0].on_path);
+  EXPECT_DOUBLE_EQ(tr.node_baseline_us(2), 80.0) << "miss folded baseline";
+  ASSERT_FALSE(r.workers.empty());
+}
+
+TEST(BlameTracker, NeverHealthyNodeIsBlamedForFullActual) {
+  // Every cycle misses: baselines stay 0, so the stalled node tops the
+  // ranking by its full actual cost — the forced-stall acceptance path.
+  da::CriticalPathAnalyzer az(diamond_preds());
+  da::BlameTracker tr;
+  const auto spans = diamond_spans();
+  for (int i = 0; i < 3; ++i) {
+    const auto& at = az.analyze(spans);
+    const da::BlameReport& r = tr.on_cycle(at, spans, /*missed=*/true, 50.0);
+    ASSERT_TRUE(r.valid);
+    EXPECT_EQ(r.nodes[0].node, 0);  // 100us, tied with node 1; lower id
+    EXPECT_DOUBLE_EQ(r.nodes[0].baseline_us, 0.0);
+    EXPECT_DOUBLE_EQ(r.nodes[0].delta_us, r.nodes[0].actual_us);
+  }
+  EXPECT_EQ(tr.reports(), 3u);
+}
+
+TEST(BlameTracker, TopKTruncates) {
+  std::vector<std::vector<std::int32_t>> preds(8);
+  da::CriticalPathAnalyzer az(std::move(preds));
+  std::vector<TraceSpan> spans;
+  for (int n = 0; n < 8; ++n) {
+    spans.push_back(run(n * 10.0, n * 10.0 + 10.0 + n, 0, n));
+  }
+  da::BlameTracker tr(/*top_k=*/3);
+  const auto& at = az.analyze(spans);
+  const da::BlameReport& r = tr.on_cycle(at, spans, /*missed=*/true, 1.0);
+  EXPECT_EQ(r.nodes.size(), 3u);
+  // Descending delta: the slowest node (id 7, 17us) leads.
+  EXPECT_EQ(r.nodes[0].node, 7);
+  EXPECT_GE(r.nodes[0].delta_us, r.nodes[1].delta_us);
+  EXPECT_GE(r.nodes[1].delta_us, r.nodes[2].delta_us);
+}
+
+TEST(AttribJson, RendersBothObjects) {
+  da::CriticalPathAnalyzer az(diamond_preds());
+  da::BlameTracker tr;
+  const auto spans = diamond_spans();
+  const auto& at = az.analyze(spans, 3);
+  tr.on_cycle(at, spans, /*missed=*/true, 50.0);
+
+  std::string out;
+  da::append_json(out, at);
+  EXPECT_NE(out.find("\"makespan_us\""), std::string::npos);
+  EXPECT_NE(out.find("\"path\""), std::string::npos);
+  EXPECT_NE(out.find("\"workers\""), std::string::npos);
+  EXPECT_NE(out.find("\"cp_steal_idle_us\""), std::string::npos);
+
+  std::string blame;
+  da::append_json(blame, tr.last());
+  EXPECT_NE(blame.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(blame.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(blame.find("\"delta_us\""), std::string::npos);
+}

@@ -1,0 +1,101 @@
+// Histogram::delta_since: the windowed snapshot-delta view behind the
+// /debug/profile per-session latency window. Non-mutating by contract —
+// a concurrent /metrics scrape must never observe a reset.
+#include <gtest/gtest.h>
+
+#include "djstar/support/histogram.hpp"
+
+using djstar::support::Histogram;
+
+TEST(HistogramDelta, EmptyWindowIsEmpty) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(42.0);
+  h.add(-1.0);   // underflow
+  h.add(250.0);  // overflow
+  const Histogram prev = h;  // snapshot, then no further samples
+
+  const Histogram d = h.delta_since(prev);
+  EXPECT_EQ(d.total(), 0u);
+  EXPECT_EQ(d.underflow(), 0u);
+  EXPECT_EQ(d.overflow(), 0u);
+  for (std::size_t i = 0; i < d.bin_count(); ++i) EXPECT_EQ(d.count(i), 0u);
+}
+
+TEST(HistogramDelta, WindowContainsOnlyNewSamples) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(15.0);
+  const Histogram prev = h;
+
+  h.add(15.0);
+  h.add(95.0);
+  h.add(-3.0);
+  const Histogram d = h.delta_since(prev);
+
+  EXPECT_EQ(d.total(), 3u);
+  EXPECT_EQ(d.count(0), 0u);  // the pre-window 5.0 subtracted out
+  EXPECT_EQ(d.count(1), 1u);  // one *new* 15.0
+  EXPECT_EQ(d.count(9), 1u);
+  EXPECT_EQ(d.underflow(), 1u);
+  EXPECT_EQ(d.overflow(), 0u);
+
+  // Source histograms untouched.
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(prev.total(), 2u);
+}
+
+TEST(HistogramDelta, QuantileOfWindowReflectsWindowOnly) {
+  Histogram h(0.0, 1000.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(10.0);  // old regime: fast
+  const Histogram prev = h;
+  for (int i = 0; i < 100; ++i) h.add(900.0);  // new regime: slow
+
+  // Cumulative p50 straddles both regimes; the window isolates the slow one.
+  const Histogram d = h.delta_since(prev);
+  EXPECT_GT(d.quantile(0.5), 800.0);
+  EXPECT_LT(h.quantile(0.25), 100.0);
+}
+
+TEST(HistogramDelta, RolloverWindowFallsBackToCurrent) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(5.0);
+  const Histogram prev = h;
+
+  h.reset();  // rollover: current counts fall below the snapshot's
+  h.add(55.0);
+  const Histogram d = h.delta_since(prev);
+
+  // Full current contents — the freshest valid answer, never negative.
+  EXPECT_EQ(d.total(), 1u);
+  EXPECT_EQ(d.count(5), 1u);
+  EXPECT_EQ(d.count(0), 0u);
+}
+
+TEST(HistogramDelta, RolloverDetectedOnUnderOverflowToo) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(-1.0);
+  const Histogram prev = h;
+  h.reset();
+  h.add(50.0);
+  const Histogram d = h.delta_since(prev);
+  EXPECT_EQ(d.total(), 1u);
+  EXPECT_EQ(d.underflow(), 0u);
+}
+
+TEST(HistogramDelta, LayoutMismatchFallsBackToCurrent) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(42.0);
+
+  const Histogram other_bins(0.0, 100.0, 20);
+  const Histogram other_range(0.0, 200.0, 10);
+
+  for (const Histogram* prev : {&other_bins, &other_range}) {
+    const Histogram d = h.delta_since(*prev);
+    EXPECT_EQ(d.total(), 2u);
+    EXPECT_EQ(d.count(0), 1u);
+    EXPECT_EQ(d.count(4), 1u);
+  }
+}
