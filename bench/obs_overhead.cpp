@@ -1,16 +1,18 @@
 // bench/obs_overhead.cpp
-// Cost of the observability layers (DESIGN.md §10/§14): the
+// Cost of the observability layers (DESIGN.md §10/§14/§15): the
 // fully-enabled telemetry stack — metrics registry, event journal, and
-// the always-on flight recorder capturing every worker span — and, on
-// top of it, the always-on attribution profiler (per-cycle critical-path
-// reconstruction + blame tracking) must each stay under 2% mean APC-time
-// overhead versus a bare engine. The paper's measurements are only
-// trustworthy if measuring them is ~free, and the attribution column is
-// what licenses shipping DJSTAR_PROF=attrib always-on.
+// the always-on flight recorder capturing every worker span — the
+// always-on attribution profiler (per-cycle critical-path
+// reconstruction + blame tracking), and the SLO engine (per-cycle
+// time-series record + burn-rate evaluation on sealed windows) must
+// each stay under 2% mean APC-time overhead versus a bare engine. The
+// paper's measurements are only trustworthy if measuring them is
+// ~free, and the attribution/SLO columns are what license shipping
+// DJSTAR_PROF=attrib and DJSTAR_SLO=on always-on.
 //
 // Usage: obs_overhead [--smoke]
 //   --smoke  short run on the sequential strategy; exits nonzero when
-//            either overhead gate fails (retried to ride out CI noise).
+//            any overhead gate fails (retried to ride out CI noise).
 #include <cstring>
 #include <filesystem>
 
@@ -22,14 +24,19 @@ struct Overhead {
   double raw_mean_us = 0;
   double tel_mean_us = 0;
   double att_mean_us = 0;
+  double slo_mean_us = 0;
   double raw_p99_us = 0;
   double tel_p99_us = 0;
   double att_p99_us = 0;
+  double slo_p99_us = 0;
   double tel_pct() const {
     return 100.0 * (tel_mean_us - raw_mean_us) / raw_mean_us;
   }
   double att_pct() const {
     return 100.0 * (att_mean_us - raw_mean_us) / raw_mean_us;
+  }
+  double slo_pct() const {
+    return 100.0 * (slo_mean_us - raw_mean_us) / raw_mean_us;
   }
 };
 
@@ -48,29 +55,38 @@ Overhead measure(djstar::core::Strategy s, unsigned threads,
   acfg.profiler.mode = engine::ProfMode::kAttrib;
   engine::AudioEngine att(acfg);  // telemetry + critical-path attribution
 
-  // Interleave the three engines in short batches so OS noise and
+  engine::EngineConfig scfg = cfg;
+  scfg.slo.enabled = true;  // telemetry + tsdb record + burn-rate evals
+  engine::AudioEngine slo(scfg);
+
+  // Interleave the four engines in short batches so OS noise and
   // frequency drift hit all measurements equally (degradation.cpp
   // uses the same discipline).
   const std::size_t kBatch = 50;
   raw.run_cycles(kBatch);
   tel.run_cycles(kBatch);
   att.run_cycles(kBatch);
+  slo.run_cycles(kBatch);
   raw.monitor().reset();
   tel.monitor().reset();
   att.monitor().reset();
+  slo.monitor().reset();
   for (std::size_t done = 0; done < iters; done += kBatch) {
     const std::size_t n = std::min(kBatch, iters - done);
     raw.run_cycles(n);
     tel.run_cycles(n);
     att.run_cycles(n);
+    slo.run_cycles(n);
   }
   Overhead o;
   o.raw_mean_us = raw.monitor().total().mean();
   o.tel_mean_us = tel.monitor().total().mean();
   o.att_mean_us = att.monitor().total().mean();
+  o.slo_mean_us = slo.monitor().total().mean();
   o.raw_p99_us = raw.monitor().p99();
   o.tel_p99_us = tel.monitor().p99();
   o.att_p99_us = att.monitor().p99();
+  o.slo_p99_us = slo.monitor().p99();
   return o;
 }
 
@@ -80,44 +96,47 @@ int main(int argc, char** argv) {
   using namespace djstar;
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::banner("obs_overhead — observability cost",
-                "telemetry and always-on attribution each add < 2% to the "
-                "mean APC time");
+                "telemetry, always-on attribution, and the SLO engine each "
+                "add < 2% to the mean APC time");
 
   constexpr double kGatePct = 2.0;
   support::CsvWriter csv;
   csv.cells("strategy", "threads", "raw_mean_us", "telemetry_mean_us",
             "overhead_pct", "attrib_mean_us", "attrib_overhead_pct",
-            "raw_p99_us", "telemetry_p99_us", "attrib_p99_us");
+            "slo_mean_us", "slo_overhead_pct", "raw_p99_us",
+            "telemetry_p99_us", "attrib_p99_us", "slo_p99_us");
 
   bool pass = true;
-  std::printf("  %-6s %8s %12s %12s %10s %12s %10s\n", "", "threads",
-              "raw us", "telemetry us", "overhead", "attrib us", "overhead");
+  std::printf("  %-6s %8s %12s %12s %10s %12s %10s %12s %10s\n", "", "threads",
+              "raw us", "telemetry us", "overhead", "attrib us", "overhead",
+              "slo us", "overhead");
   const auto print_row = [](const char* label, unsigned threads,
                             const Overhead& o, const char* suffix) {
-    std::printf("  %-6s %8u %12.1f %12.1f %9.2f%% %12.1f %9.2f%%%s\n", label,
-                threads, o.raw_mean_us, o.tel_mean_us, o.tel_pct(),
-                o.att_mean_us, o.att_pct(), suffix);
+    std::printf(
+        "  %-6s %8u %12.1f %12.1f %9.2f%% %12.1f %9.2f%% %12.1f %9.2f%%%s\n",
+        label, threads, o.raw_mean_us, o.tel_mean_us, o.tel_pct(),
+        o.att_mean_us, o.att_pct(), o.slo_mean_us, o.slo_pct(), suffix);
   };
   const auto csv_row = [&](const char* strategy, unsigned threads,
                            const Overhead& o) {
     csv.cells(strategy, threads, o.raw_mean_us, o.tel_mean_us, o.tel_pct(),
-              o.att_mean_us, o.att_pct(), o.raw_p99_us, o.tel_p99_us,
-              o.att_p99_us);
+              o.att_mean_us, o.att_pct(), o.slo_mean_us, o.slo_pct(),
+              o.raw_p99_us, o.tel_p99_us, o.att_p99_us, o.slo_p99_us);
   };
 
   if (smoke) {
     // CI gate: sequential only (the container is single-core, so a
     // parallel strategy measures the scheduler's oversubscription, not
     // the observability). Retry to ride out scheduling noise on shared
-    // runners; one clean attempt proves the hot paths are cheap. One
-    // more attempt than the single-column days: both columns must come
-    // up calm in the same attempt.
+    // runners; one clean attempt proves the hot paths are cheap. All
+    // three columns must come up calm in the same attempt.
     const std::size_t iters = 400;
     constexpr int kAttempts = 4;
     double best = 1e9;
     for (int attempt = 0; attempt < kAttempts; ++attempt) {
       const Overhead o = measure(core::Strategy::kSequential, 1, iters);
-      const double worst = std::max(o.tel_pct(), o.att_pct());
+      const double worst =
+          std::max({o.tel_pct(), o.att_pct(), o.slo_pct()});
       best = std::min(best, worst);
       print_row("SEQ", 1u, o, worst < kGatePct ? "" : "  (retrying)");
       csv_row("sequential", 1, o);
@@ -131,7 +150,10 @@ int main(int argc, char** argv) {
       const Overhead o = measure(s, threads, iters);
       print_row(label, threads, o, "");
       csv_row(core::to_string(s).data(), threads, o);
-      if (o.tel_pct() >= kGatePct || o.att_pct() >= kGatePct) pass = false;
+      if (o.tel_pct() >= kGatePct || o.att_pct() >= kGatePct ||
+          o.slo_pct() >= kGatePct) {
+        pass = false;
+      }
     };
     run(core::Strategy::kSequential, 1, "SEQ");
     for (core::Strategy s : core::kParallelStrategies) {
@@ -146,8 +168,8 @@ int main(int argc, char** argv) {
                         : std::string("results/obs_overhead.csv");
   if (csv.save(path)) std::printf("\nwrote %s\n", path.c_str());
 
-  std::printf("%s: %s (gate: mean overhead < %.0f%%, telemetry and "
-              "attribution columns)\n",
+  std::printf("%s: %s (gate: mean overhead < %.0f%%, telemetry, "
+              "attribution, and slo columns)\n",
               smoke ? "smoke" : "full", pass ? "PASS" : "FAIL", kGatePct);
   return pass ? 0 : 1;
 }

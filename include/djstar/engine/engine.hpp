@@ -19,6 +19,8 @@
 #include "djstar/engine/profiler.hpp"
 #include "djstar/engine/supervisor.hpp"
 #include "djstar/engine/telemetry.hpp"
+#include "djstar/support/slo.hpp"
+#include "djstar/support/tsdb.hpp"
 
 namespace djstar::engine {
 
@@ -60,6 +62,12 @@ struct EngineConfig {
   /// overridden by DJSTAR_PROF=off|attrib|attrib+hw when set. mode !=
   /// kOff implies telemetry (the flight recorder is the span source).
   ProfilerConfig profiler{};
+
+  /// SLO engine (support/slo + support/tsdb, DESIGN.md §15). enabled/
+  /// spec overridden by DJSTAR_SLO=off|on[,<miss_ratio>[,<p99_us>]] when
+  /// set. enabled implies telemetry (gauges, journal events, and the
+  /// page-triggered flight dump all need its sinks).
+  support::SloConfig slo{};
 };
 
 /// DJ Star's audio engine. Single-threaded control interface: construct,
@@ -122,6 +130,21 @@ class AudioEngine {
   bool profiler_enabled() const noexcept { return profiler_ != nullptr; }
   CycleProfiler& profiler() noexcept { return *profiler_; }
   const CycleProfiler& profiler() const noexcept { return *profiler_; }
+
+  // ---- SLO engine (support/slo.hpp, DESIGN.md §15) ----
+
+  /// Attach the SLO engine: a per-engine time-series store fed every
+  /// cycle (miss predicate byte-identical to DeadlineMonitor's) and a
+  /// burn-rate tracker evaluated once per sealed window. The store's
+  /// clock is virtual — cycles × deadline_us — so the alert state
+  /// machine is deterministic. Page-level alerts force one supervisor
+  /// ladder step (when supervised) and trigger a flight incident dump.
+  /// Enables telemetry when absent. The constructor calls this
+  /// automatically when DJSTAR_SLO=on[,...] is set.
+  void enable_slo(const support::SloConfig& scfg);
+  bool slo_enabled() const noexcept { return slo_ != nullptr; }
+  const support::SloTracker& slo() const noexcept { return *slo_; }
+  support::TimeSeriesStore* slo_store() noexcept { return slo_tsdb_.get(); }
 
   /// Arm/disarm node fault injection on the compiled graph. (The
   /// constructor also arms automatically from DJSTAR_FAULTS.)
@@ -193,6 +216,7 @@ class AudioEngine {
   void phase_vc(CycleBreakdown& c);
   void apply_pending_poison() noexcept;
   void finish_cycle_telemetry(const CycleBreakdown& c, unsigned level);
+  void slo_cycle(const CycleBreakdown& c, bool good);
 
   EngineConfig cfg_;
   std::array<std::unique_ptr<Deck>, 4> decks_;
@@ -248,6 +272,16 @@ class AudioEngine {
   bool hw_armed_ = false;
   std::vector<support::TraceSpan> prof_spans_;  // per-cycle scratch
   double cp_baseline_us_ = 0.0;
+
+  // SLO engine (DESIGN.md §15). The tracker owns series inside the
+  // store, so it is declared after (destroyed before) the store.
+  std::unique_ptr<support::TimeSeriesStore> slo_tsdb_;
+  std::unique_ptr<support::SloTracker> slo_;
+  support::Gauge g_slo_budget_;
+  support::Gauge g_slo_state_;
+  support::Gauge g_slo_burn_fast_;
+  support::Gauge g_slo_burn_slow_;
+  std::uint64_t slo_cycles_seen_ = 0;  // drives the virtual tsdb clock
 };
 
 }  // namespace djstar::engine

@@ -53,6 +53,7 @@ enum class FlightDumpTrigger : std::uint8_t {
   kLevelChange,
   kWatchdogFire,
   kWorkerQuarantine,
+  kSloPage,
 };
 
 class EngineTelemetry {
@@ -96,6 +97,15 @@ class EngineTelemetry {
   /// dumps the flight recorder automatically.
   void on_heal(const core::HealStats& hs);
 
+  /// A page-level SLO alert is an incident: dump the flight recorder.
+  /// Pages bypass the dump cooldown — the tracker's multi-window
+  /// hysteresis already rate-limits them, and the miss that sealed the
+  /// paging window may have consumed the cooldown in this very cycle.
+  /// Called by AudioEngine on the transition into the page state.
+  void on_slo_page(std::uint64_t cycle) {
+    maybe_dump_flight(FlightDumpTrigger::kSloPage, cycle, /*force=*/true);
+  }
+
   std::uint64_t flight_dumps() const noexcept { return flight_dump_count_; }
 
   /// Prometheus text exposition of the current metric values.
@@ -104,7 +114,8 @@ class EngineTelemetry {
   std::string json() const { return registry_.json(); }
 
  private:
-  void maybe_dump_flight(FlightDumpTrigger trigger, std::uint64_t cycle);
+  void maybe_dump_flight(FlightDumpTrigger trigger, std::uint64_t cycle,
+                         bool force = false);
 
   TelemetryConfig cfg_;
   double deadline_us_;
@@ -128,6 +139,7 @@ class EngineTelemetry {
   support::Counter rescued_units_;
   support::Gauge live_workers_;
   support::Gauge level_gauge_;
+  support::Gauge uptime_;  ///< djstar_uptime_seconds (refreshed per cycle)
   support::HistogramMetric apc_us_;
   support::HistogramMetric graph_us_;
 

@@ -58,7 +58,9 @@
 #include "djstar/serve/stats.hpp"
 #include "djstar/support/journal.hpp"
 #include "djstar/support/metrics.hpp"
+#include "djstar/support/slo.hpp"
 #include "djstar/support/trace.hpp"
+#include "djstar/support/tsdb.hpp"
 
 namespace djstar::serve {
 
@@ -108,6 +110,11 @@ struct HostConfig {
   /// the host registry/journal, and (attrib+hw) arms one host-level
   /// HwSampler over the shared pool, sampled once per tick.
   engine::ProfilerConfig profiler{};
+  /// SLO engine (support/slo + support/tsdb, DESIGN.md §15): one
+  /// time-series store on the fleet's virtual clock, with burn-rate
+  /// trackers per session, per QoS class, and fleet-wide. enabled/spec
+  /// overridden by DJSTAR_SLO=off|on[,<miss_ratio>[,<p99_us>]] when set.
+  support::SloConfig slo{};
 };
 
 /// Report of one fleet tick.
@@ -182,6 +189,9 @@ class EngineHost {
   /// Pointer to a live session (nullptr when not active). Borrowed;
   /// valid until the next run_fleet_cycle().
   const Session* session(SessionId id) const noexcept;
+  /// Mutable variant, data-plane only (fault-injection tests flip a
+  /// live session's fault plan between ticks).
+  Session* session(SessionId id) noexcept;
 
   /// Replace every active session's cost estimate with its measured
   /// compute p99 (DeadlineMonitor) and re-derive the density sum. Makes
@@ -249,6 +259,36 @@ class EngineHost {
   /// session, one tid per worker. Returns false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
 
+  // ---- SLO engine (DESIGN.md §15) ----
+
+  /// True when cfg.slo (or DJSTAR_SLO) enabled the SLO engine.
+  bool slo_enabled() const noexcept { return tsdb_ != nullptr; }
+  /// The fleet's time-series store (nullptr when disabled). Driven by
+  /// the virtual fleet clock, so SLO state is deterministic per tick.
+  support::TimeSeriesStore* slo_store() noexcept { return tsdb_.get(); }
+  /// Trackers (nullptr when disabled / unknown id). Data-plane only.
+  const support::SloTracker* slo_fleet() const noexcept {
+    return slo_fleet_.get();
+  }
+  const support::SloTracker* slo_session(SessionId id) const;
+  /// Page-level incidents that requested a flight dump (each dumped at
+  /// most one trace; cooldown-free because pages are hysteresis-gated).
+  std::uint64_t slo_incident_dumps() const noexcept {
+    return slo_incident_dumps_;
+  }
+
+  /// Cached JSON for GET /debug/slo: per-scope alert state, error
+  /// budget, and burn rates (fleet, per QoS class, per session).
+  /// Refreshed at the end of every tick on the data plane; reading is
+  /// thread-safe (mutex-guarded copy).
+  std::string debug_slo_json() const;
+  /// Reader-side render for GET /debug/timeseries: the named series'
+  /// newest `window` sealed windows (0 = all retained). Thread-safe —
+  /// the store snapshots under its own mutex; the engine thread never
+  /// renders JSON for a socket.
+  std::string debug_timeseries_json(std::string_view series,
+                                    std::size_t window) const;
+
  private:
   struct Command {
     enum class Kind : std::uint8_t { kSubmit, kClose } kind;
@@ -269,6 +309,12 @@ class EngineHost {
 
   void drain_commands();
   void refresh_debug_json();
+  void refresh_slo_json();
+  void attach_slo(SessionId id);
+  void detach_slo(SessionId id);
+  void evaluate_slo();
+  void on_slo_transition(support::SloTracker& tr, std::int64_t scope,
+                         support::SloAlertState prev, Session* session);
   std::unique_ptr<Session> build_session(SessionId id, SessionSpec spec);
   void decide_admission(std::unique_ptr<Session> s);
   void activate(std::unique_ptr<Session> s);
@@ -355,6 +401,30 @@ class EngineHost {
   std::string debug_scratch_;
   // Previous-tick latency snapshots for Histogram::delta_since windows.
   std::unordered_map<SessionId, support::Histogram> prev_latency_;
+
+  // SLO engine (cfg_.slo.enabled only, DESIGN.md §15). The store runs on
+  // the virtual fleet clock (fleet_now_us_); trackers own series inside
+  // it, so they are declared after it (destroyed first). Per-session
+  // trackers come and go with activation/removal; per-QoS and fleet
+  // trackers live as long as the host.
+  std::unique_ptr<support::TimeSeriesStore> tsdb_;
+  std::unique_ptr<support::SloTracker> slo_fleet_;
+  std::array<std::unique_ptr<support::SloTracker>, kQoSCount> slo_qos_;
+  std::unordered_map<SessionId, std::unique_ptr<support::SloTracker>>
+      slo_sessions_;
+  support::TimeSeriesStore::SeriesRef ts_tick_elapsed_;
+  support::Counter m_slo_alerts_;
+  support::Counter m_slo_recovers_;
+  support::Gauge g_slo_budget_;
+  support::Gauge g_slo_state_;
+  std::array<support::Gauge, kQoSCount> g_slo_qos_budget_;
+  std::array<support::Gauge, kQoSCount> g_slo_qos_state_;
+  support::Gauge g_uptime_;
+  std::uint64_t slo_incident_dumps_ = 0;
+  /// Tick of the last page-triggered dump: several scopes paging at the
+  /// same seal (session + its class + the fleet) are one incident.
+  std::uint64_t slo_dump_tick_ = ~std::uint64_t{0};
+  std::string debug_slo_json_;
 
   // Metrics exporter thread (snapshot + file write only; never touches
   // host state).

@@ -1,0 +1,37 @@
+// djstar/support/build_info.hpp
+// Binary identity + uptime on the shared registry (DESIGN.md §15).
+//
+// A scrape should answer "what is running and for how long" without
+// shelling into the box: djstar_build_info is the Prometheus-idiomatic
+// constant-1 gauge whose labels carry the version, the git sha the
+// binary was configured from, and the sanitizer flavor (a TSan build's
+// latencies are not comparable to a release build's — the label keeps
+// dashboards honest); djstar_uptime_seconds is wall uptime since static
+// initialization, refreshed by whoever owns the registry's tick.
+#pragma once
+
+#include "djstar/support/metrics.hpp"
+
+namespace djstar::support {
+
+struct BuildInfoFields {
+  const char* version;
+  const char* git_sha;
+  const char* sanitizer;
+};
+
+/// The values baked in at configure time (CMake compile definitions;
+/// "unknown"/"none" fallbacks when built outside the tree).
+const BuildInfoFields& build_info() noexcept;
+
+/// Wall seconds since this module's static initialization (≈ process
+/// start for any binary linking djstar_support).
+double process_uptime_seconds() noexcept;
+
+/// Register djstar_build_info (constant 1, labeled) and
+/// djstar_uptime_seconds on `reg`; both are set immediately and the
+/// uptime gauge is returned so the owner can refresh it per tick.
+/// Idempotent per registry (register-or-fetch semantics).
+Gauge register_build_info(MetricsRegistry& reg);
+
+}  // namespace djstar::support

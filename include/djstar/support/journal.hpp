@@ -57,6 +57,11 @@ enum class EventKind : std::uint8_t {
                       ///< value=delta vs EWMA baseline, us)
   kCpDrift,           ///< realized critical path drifted off the static
                       ///< plan's baseline; plan invalidated (value=ratio)
+  kSloAlert,          ///< SLO escalated (a=scope: session id, 0=fleet/engine,
+                      ///< -1-q=QoS class q; b=new state 1=warn 2=page,
+                      ///< value=budget remaining)
+  kSloRecover,        ///< SLO de-escalated (a=scope, b=new state,
+                      ///< value=budget remaining)
 };
 
 const char* to_string(EventKind k) noexcept;

@@ -56,6 +56,11 @@ struct MetricEntry {
   std::string help;
   Kind kind = Kind::kCounter;
 
+  /// Optional constant label set rendered as `name{labels} value`
+  /// (e.g. `version="1.0.0",git_sha="abc1234"`). Fixed at registration —
+  /// the exposition stays a single sample per family.
+  std::string labels;
+
   // Counter: one cell per shard.
   std::unique_ptr<MetricCell[]> cells;
 
@@ -142,6 +147,7 @@ struct MetricValue {
   std::string name;
   std::string help;
   detail::MetricEntry::Kind kind = detail::MetricEntry::Kind::kCounter;
+  std::string labels;  ///< constant label set ("" for most metrics)
   double value = 0;  ///< counter (exact integral) or gauge reading
   // Histogram only:
   std::vector<double> bounds;                ///< upper bounds (no +Inf)
@@ -174,6 +180,11 @@ class MetricsRegistry {
   /// real-time safe — call at setup.
   Counter counter(std::string_view name, std::string_view help);
   Gauge gauge(std::string_view name, std::string_view help);
+  /// Gauge with a constant label set (`key="value",...`, rendered inside
+  /// `{}`): build-info-style metrics. Labels are fixed on first
+  /// registration; a later fetch with different labels keeps the first.
+  Gauge gauge(std::string_view name, std::string_view help,
+              std::string_view labels);
   /// `bounds` must be non-empty and strictly increasing; a final +Inf
   /// bucket is implicit.
   HistogramMetric histogram(std::string_view name, std::string_view help,

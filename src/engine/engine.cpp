@@ -63,6 +63,12 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   cfg_.heal.mode = core::heal_mode_from_env(cfg_.heal.mode);
   // Hardened: DJSTAR_PROF overrides, garbage throws.
   if (auto pmode = prof_mode_from_env()) cfg_.profiler.mode = *pmode;
+  // Hardened: DJSTAR_SLO overrides enabled/spec, garbage throws. Window
+  // geometry and retention stay whatever the embedder configured.
+  if (auto slo = support::SloConfig::from_env()) {
+    cfg_.slo.enabled = slo->enabled;
+    cfg_.slo.spec = slo->spec;
+  }
 
   // Cost model: seeded offline from the graph's reference durations,
   // refined online via observe_spans()/observe() (DESIGN.md §11).
@@ -118,6 +124,7 @@ AudioEngine::AudioEngine(EngineConfig cfg)
   rebuild_executor();
 
   if (cfg_.profiler.mode != ProfMode::kOff) enable_profiler(cfg_.profiler);
+  if (cfg_.slo.enabled) enable_slo(cfg_.slo);
 }
 
 core::ExecOptions AudioEngine::exec_options() const noexcept {
@@ -289,6 +296,77 @@ void AudioEngine::profile_cycle(const CycleBreakdown& c) {
   }
 }
 
+void AudioEngine::enable_slo(const support::SloConfig& scfg) {
+  cfg_.slo = scfg;
+  slo_.reset();  // tracker drops its series before the store goes
+  slo_tsdb_.reset();
+  if (!cfg_.slo.enabled) return;
+  // Gauges, journal events, and the page-triggered incident dump all
+  // live on the telemetry bundle.
+  if (telemetry_ == nullptr) enable_telemetry();
+  if (!cfg_.slo.windows.valid()) {
+    cfg_.slo.windows =
+        support::SloWindows::sre_defaults(cfg_.slo.tsdb.window_us);
+  }
+  slo_tsdb_ = std::make_unique<support::TimeSeriesStore>(cfg_.slo.tsdb);
+  slo_ = std::make_unique<support::SloTracker>(*slo_tsdb_, "engine",
+                                               cfg_.slo.spec,
+                                               cfg_.slo.windows);
+  auto& reg = telemetry_->registry();
+  g_slo_budget_ = reg.gauge(
+      "djstar_slo_budget_remaining",
+      "Error budget remaining over the slow-long window (worst "
+      "objective; 1 = untouched, 0 = exhausted)");
+  g_slo_state_ = reg.gauge("djstar_slo_alert_state",
+                           "SLO alert state (0 = ok, 1 = warn, 2 = page)");
+  g_slo_burn_fast_ =
+      reg.gauge("djstar_slo_miss_burn_fast",
+                "Deadline-miss burn rate over the fast-short window");
+  g_slo_burn_slow_ =
+      reg.gauge("djstar_slo_miss_burn_slow",
+                "Deadline-miss burn rate over the slow-short window");
+  g_slo_budget_.set(1.0);
+  g_slo_state_.set(0.0);
+  slo_cycles_seen_ = 0;
+}
+
+// Feed the finished cycle into the SLO tracker and, when the virtual
+// clock sealed a tsdb window, re-evaluate the burn rates. A page-level
+// escalation is handed to the supervisor as an early-degradation signal
+// and to the flight recorder as an incident-dump trigger (DESIGN.md §15).
+void AudioEngine::slo_cycle(const CycleBreakdown& c, bool good) {
+  if (slo_ == nullptr) return;
+  // Identical miss predicate to DeadlineMonitor::add, so burn rates and
+  // monitor().misses() always agree.
+  const bool missed = c.total_us() > cfg_.deadline_us;
+  slo_->record_cycle(c.total_us(), missed, good);
+  ++slo_cycles_seen_;
+  // Virtual clock: cycles × deadline. Deterministic, so the whole alert
+  // state machine replays identically under test.
+  const double now_us =
+      static_cast<double>(slo_cycles_seen_) * cfg_.deadline_us;
+  if (slo_tsdb_->advance(now_us) == 0) return;
+  const support::SloAlertState prev = slo_->status().state;
+  if (slo_->evaluate()) {
+    const support::SloStatus& st = slo_->status();
+    const bool escalated = st.state > prev;
+    telemetry_->journal().push(
+        escalated ? support::EventKind::kSloAlert
+                  : support::EventKind::kSloRecover,
+        slo_cycles_seen_, /*a=*/0,
+        static_cast<std::int64_t>(st.state), st.budget_remaining);
+    if (escalated && st.state == support::SloAlertState::kPage) {
+      if (supervisor_) supervisor_->force_degrade();
+      telemetry_->on_slo_page(slo_cycles_seen_);
+    }
+  }
+  const support::SloStatus& st = slo_->status();
+  g_slo_budget_.set(st.budget_remaining);
+  g_slo_state_.set(static_cast<double>(st.state));
+  g_slo_burn_fast_.set(st.miss.fast_short);
+  g_slo_burn_slow_.set(st.miss.slow_short);
+}
+
 void AudioEngine::enable_telemetry(const TelemetryConfig& tcfg) {
   telemetry_ =
       std::make_unique<EngineTelemetry>(tcfg, cfg_.deadline_us, cfg_.threads);
@@ -404,6 +482,9 @@ CycleBreakdown AudioEngine::run_cycle() {
   monitor_.add(c);
   finish_cycle_telemetry(c, 0);
   profile_cycle(c);
+  // Unsupervised cycles have no structural-failure signal: every cycle
+  // counts as available; misses still burn the miss budget.
+  slo_cycle(c, /*good=*/true);
   return c;
 }
 
@@ -451,6 +532,7 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
     monitor_.add(c, level);
     finish_cycle_telemetry(c, level);
     profile_cycle(c);  // no graph spans in safe mode; keeps counts exact
+    slo_cycle(c, /*good=*/false);  // fallback packet: the graph is down
     return c;
   }
 
@@ -470,10 +552,15 @@ CycleBreakdown AudioEngine::run_cycle_supervised() {
   poll_heal();
   apply_pending_poison();
   phase_vc(c);
-  supervisor_->supervise_cycle(c, graph_nodes_.output());
+  const CycleOutcome outcome =
+      supervisor_->supervise_cycle(c, graph_nodes_.output());
   monitor_.add(c, level);
   finish_cycle_telemetry(c, level);
   profile_cycle(c);
+  // Availability: a clean or merely-late cycle emitted real audio; a
+  // faulted / cancelled / NaN cycle shipped a repaired packet — down.
+  slo_cycle(c, outcome == CycleOutcome::kClean ||
+                   outcome == CycleOutcome::kOverrun);
   return c;
 }
 

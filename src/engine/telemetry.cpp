@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "djstar/support/build_info.hpp"
+
 namespace djstar::engine {
 namespace {
 
@@ -64,6 +66,7 @@ EngineTelemetry::EngineTelemetry(const TelemetryConfig& cfg,
       graph_us_(registry_.histogram("djstar_graph_us",
                                     "Task-graph phase per cycle (us)",
                                     kGraphBounds)) {
+  uptime_ = support::register_build_info(registry_);
   flight_.configure(threads, cfg_.flight_spans_per_thread);
 }
 
@@ -77,6 +80,7 @@ void EngineTelemetry::on_cycle(const CycleBreakdown& c, unsigned level,
                                const support::TraceRecorder* trace) {
   ++cycle_count_;
   cycles_.inc();
+  uptime_.set(support::process_uptime_seconds());
   const double total = c.total_us();
   apc_us_.record(total);
   graph_us_.record(c.graph_us);
@@ -175,9 +179,10 @@ void EngineTelemetry::on_heal(const core::HealStats& hs) {
 }
 
 void EngineTelemetry::maybe_dump_flight(FlightDumpTrigger trigger,
-                                        std::uint64_t cycle) {
+                                        std::uint64_t cycle, bool force) {
   if (cfg_.flight_dump_path.empty() || !flight_.enabled()) return;
-  if (dumped_once_ && cycle - last_dump_cycle_ < cfg_.flight_dump_cooldown) {
+  if (!force && dumped_once_ &&
+      cycle - last_dump_cycle_ < cfg_.flight_dump_cooldown) {
     return;
   }
   if (!flight_.dump_chrome_trace(cfg_.flight_dump_path,

@@ -29,6 +29,46 @@ bool http_request_complete(const std::vector<std::uint8_t>& buf) {
          v.find("\n\n") != std::string_view::npos;
 }
 
+// Extract a query parameter's value from an HTTP request line
+// ("GET /path?a=1&b=2 HTTP/1.0"). Empty view when absent. No
+// percent-decoding — series names are metric-style identifiers.
+std::string_view query_param(std::string_view line, std::string_view key) {
+  const std::size_t q = line.find('?');
+  if (q == std::string_view::npos) return {};
+  std::size_t end = line.find(' ', q);
+  if (end == std::string_view::npos) end = line.size();
+  std::string_view query = line.substr(q + 1, end - q - 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+// GET /debug index: a static route table so the debug surface is
+// discoverable without reading the source.
+constexpr const char* kDebugIndexJson =
+    "{\"endpoints\":["
+    "{\"path\":\"/metrics\",\"description\":"
+    "\"Prometheus text exposition of the fleet metrics\"},"
+    "{\"path\":\"/debug\",\"description\":\"this endpoint index\"},"
+    "{\"path\":\"/debug/attribution\",\"description\":"
+    "\"per-session critical-path decomposition and blame report\"},"
+    "{\"path\":\"/debug/profile\",\"description\":"
+    "\"profiler mode, hw counters, per-session windowed latency\"},"
+    "{\"path\":\"/debug/slo\",\"description\":"
+    "\"per-scope SLO alert state, error budget, and burn rates\"},"
+    "{\"path\":\"/debug/timeseries?series=<name>&window=<n>\","
+    "\"description\":"
+    "\"sealed tsdb windows for one series (no params: series index)\"}"
+    "]}";
+
 }  // namespace
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), host_(cfg_.host) {
@@ -622,6 +662,29 @@ void Server::handle_http(const std::shared_ptr<Connection>& c) {
   } else if (line.rfind("GET /debug/profile", 0) == 0) {
     m_debug_requests_.inc();
     response = json_response(host_.debug_profile_json());
+  } else if (line.rfind("GET /debug/slo", 0) == 0) {
+    m_debug_requests_.inc();
+    response = json_response(host_.debug_slo_json());
+  } else if (line.rfind("GET /debug/timeseries", 0) == 0) {
+    // The only reader-side render: the tsdb snapshots under its own
+    // mutex, so this never blocks the data plane either.
+    m_debug_requests_.inc();
+    const std::string_view series = query_param(line, "series");
+    const std::string_view win = query_param(line, "window");
+    std::size_t windows = 0;
+    if (!win.empty()) {
+      windows = static_cast<std::size_t>(
+          std::strtoul(std::string(win).c_str(), nullptr, 10));
+    }
+    response = json_response(host_.debug_timeseries_json(series, windows));
+  } else if (line.rfind("GET /debug", 0) == 0 &&
+             (line.size() == 10 || line[10] == ' ' || line[10] == '?' ||
+              (line[10] == '/' &&
+               (line.size() == 11 || line[11] == ' ')))) {
+    // Bare /debug (or /debug/): the endpoint index. The boundary check
+    // keeps unknown /debug/<x> paths falling through to 404.
+    m_debug_requests_.inc();
+    response = json_response(kDebugIndexJson);
   } else {
     const std::string body = "not found\n";
     response = "HTTP/1.0 404 Not Found\r\n"

@@ -1,6 +1,8 @@
 #include "djstar/serve/host.hpp"
 
 #include "djstar/core/thread_count.hpp"
+#include "djstar/engine/telemetry.hpp"
+#include "djstar/support/build_info.hpp"
 #include "djstar/support/time.hpp"
 
 #include <algorithm>
@@ -35,6 +37,12 @@ HostConfig apply_env_overrides(HostConfig cfg) {
   cfg.heal.mode = core::heal_mode_from_env(cfg.heal.mode);
   if (auto b = BreakerConfig::from_env()) cfg.breaker = *b;
   if (auto pmode = engine::prof_mode_from_env()) cfg.profiler.mode = *pmode;
+  if (auto slo = support::SloConfig::from_env()) {
+    // The env hook flips the engine and (optionally) the objectives; the
+    // embedder's window geometry / tsdb sizing stays authoritative.
+    cfg.slo.enabled = slo->enabled;
+    cfg.slo.spec = slo->spec;
+  }
   return cfg;
 }
 
@@ -114,6 +122,39 @@ EngineHost::EngineHost(HostConfig cfg)
         reg("edf_queue", "EDF dispatch delay inside the tick (us)");
     h_stage_execute_[q] =
         reg("execute", "Graph compute after dispatch (us)");
+  }
+  g_uptime_ = support::register_build_info(registry_);
+  if (cfg_.slo.enabled) {
+    tsdb_ = std::make_unique<support::TimeSeriesStore>(cfg_.slo.tsdb);
+    if (!cfg_.slo.windows.valid()) {
+      cfg_.slo.windows =
+          support::SloWindows::sre_defaults(cfg_.slo.tsdb.window_us);
+    }
+    slo_fleet_ = std::make_unique<support::SloTracker>(
+        *tsdb_, "fleet", cfg_.slo.spec, cfg_.slo.windows);
+    for (unsigned q = 0; q < kQoSCount; ++q) {
+      const char* qn = to_string(static_cast<QoS>(q));
+      slo_qos_[q] = std::make_unique<support::SloTracker>(
+          *tsdb_, std::string("qos_") + qn, cfg_.slo.spec, cfg_.slo.windows);
+      g_slo_qos_budget_[q] = registry_.gauge(
+          std::string("djstar_slo_budget_remaining_") + qn,
+          "Worst-objective error budget remaining over the slow window");
+      g_slo_qos_state_[q] =
+          registry_.gauge(std::string("djstar_slo_alert_state_") + qn,
+                          "Alert state (0 ok, 1 warn, 2 page)");
+      g_slo_qos_budget_[q].set(1.0);
+    }
+    ts_tick_elapsed_ = tsdb_->add_series("fleet_tick_us");
+    m_slo_alerts_ = registry_.counter("djstar_slo_alerts_total",
+                                      "SLO alert escalations, any scope");
+    m_slo_recovers_ = registry_.counter(
+        "djstar_slo_recovers_total", "SLO alert de-escalations, any scope");
+    g_slo_budget_ = registry_.gauge(
+        "djstar_slo_budget_remaining",
+        "Fleet worst-objective error budget remaining over the slow window");
+    g_slo_state_ = registry_.gauge(
+        "djstar_slo_alert_state", "Fleet alert state (0 ok, 1 warn, 2 page)");
+    g_slo_budget_.set(1.0);
   }
   if (auto path = metrics_env_path()) {
     start_metrics_exporter(*path);
@@ -241,6 +282,7 @@ void EngineHost::activate(std::unique_ptr<Session> s) {
   if (cfg_.breaker.enabled()) {
     breakers_.try_emplace(s->id(), cfg_.breaker, cfg_.seed, s->id());
   }
+  attach_slo(s->id());
   set_state(s->id(), SessionState::kActive);
   stats_.note_admitted(s->qos());
   m_admitted_.inc();
@@ -288,6 +330,7 @@ void EngineHost::remove_session(SessionId id, SessionState final_state) {
     set_state(id, final_state);
     breakers_.erase(id);
     prev_latency_.erase(id);
+    detach_slo(id);
     active_.erase(it);
     return;
   }
@@ -388,6 +431,19 @@ FleetTick EngineHost::run_fleet_cycle() {
       journal_.push(support::EventKind::kDeadlineMiss, tick_,
                     static_cast<std::int64_t>(s->id()), 0, completion);
     }
+    if (tsdb_ != nullptr) {
+      // Availability bit: clean and merely-late cycles are up; faulted,
+      // cancelled, NaN-flushed, and safe-mode cycles burn the budget.
+      const engine::CycleOutcome oc = s->last_outcome();
+      const bool good = oc == engine::CycleOutcome::kClean ||
+                        oc == engine::CycleOutcome::kOverrun;
+      slo_fleet_->record_cycle(completion, missed, good);
+      slo_qos_[rank(s->qos())]->record_cycle(completion, missed, good);
+      if (auto sit = slo_sessions_.find(s->id());
+          sit != slo_sessions_.end()) {
+        sit->second->record_cycle(completion, missed, good);
+      }
+    }
     if (auto bit = breakers_.find(s->id()); bit != breakers_.end()) {
       // Failure predicate: a missed deadline or a structurally broken
       // cycle (fault, cancellation, NaN output). Clean degraded cycles
@@ -439,6 +495,15 @@ FleetTick EngineHost::run_fleet_cycle() {
   g_active_sessions_.set(static_cast<double>(active_.size()));
   g_queued_sessions_.set(static_cast<double>(queued_.size()));
   g_active_density_.set(active_density_);
+  g_uptime_.set(support::process_uptime_seconds());
+  if (tsdb_ != nullptr) {
+    tsdb_->record(ts_tick_elapsed_, t.elapsed_us);
+    // The store runs on the virtual fleet clock: a tick advances it by
+    // exactly the budget, so window seals — and therefore every alert
+    // transition — are a deterministic function of the dispatch history.
+    if (tsdb_->advance(fleet_now_us_) > 0) evaluate_slo();
+    refresh_slo_json();
+  }
   if (profiler_enabled()) refresh_debug_json();
   if (tick_observer_) tick_observer_(t);
   return t;
@@ -563,6 +628,165 @@ std::string EngineHost::debug_profile_json() const {
                                      : debug_profile_json_;
 }
 
+// ---- SLO engine (DESIGN.md §15) ------------------------------------------
+
+void EngineHost::attach_slo(SessionId id) {
+  if (tsdb_ == nullptr) return;
+  slo_sessions_[id] = std::make_unique<support::SloTracker>(
+      *tsdb_, "session_" + std::to_string(id), cfg_.slo.spec,
+      cfg_.slo.windows);
+}
+
+void EngineHost::detach_slo(SessionId id) {
+  if (tsdb_ == nullptr) return;
+  slo_sessions_.erase(id);
+}
+
+void EngineHost::evaluate_slo() {
+  {
+    const auto prev = slo_fleet_->status().state;
+    if (slo_fleet_->evaluate()) {
+      on_slo_transition(*slo_fleet_, 0, prev, nullptr);
+    }
+    g_slo_budget_.set(slo_fleet_->status().budget_remaining);
+    g_slo_state_.set(static_cast<double>(slo_fleet_->status().state));
+  }
+  for (unsigned q = 0; q < kQoSCount; ++q) {
+    const auto prev = slo_qos_[q]->status().state;
+    if (slo_qos_[q]->evaluate()) {
+      // Scope encoding (journal payload `a`): 0 = fleet, -1-q = QoS
+      // class q, positive = session id.
+      on_slo_transition(*slo_qos_[q], -1 - static_cast<std::int64_t>(q),
+                        prev, nullptr);
+    }
+    g_slo_qos_budget_[q].set(slo_qos_[q]->status().budget_remaining);
+    g_slo_qos_state_[q].set(static_cast<double>(slo_qos_[q]->status().state));
+  }
+  for (auto& [id, tr] : slo_sessions_) {
+    const auto prev = tr->status().state;
+    if (tr->evaluate()) {
+      on_slo_transition(*tr, static_cast<std::int64_t>(id), prev,
+                        session(id));
+    }
+  }
+}
+
+void EngineHost::on_slo_transition(support::SloTracker& tr,
+                                   std::int64_t scope,
+                                   support::SloAlertState prev,
+                                   Session* session) {
+  const support::SloStatus& st = tr.status();
+  const bool escalated = st.state > prev;
+  journal_.push(escalated ? support::EventKind::kSloAlert
+                          : support::EventKind::kSloRecover,
+                tick_, scope, static_cast<std::int64_t>(st.state),
+                st.budget_remaining);
+  if (escalated) {
+    m_slo_alerts_.inc();
+  } else {
+    m_slo_recovers_.inc();
+  }
+  if (!escalated || st.state != support::SloAlertState::kPage) return;
+
+  // A page is an incident, and scopes paging at the same seal (a
+  // session, its QoS class, the fleet) describe the same incident: act
+  // once per tick, or stacked per-scope responses walk a session's whole
+  // ladder into safe mode — and safe-mode cycles are unavailable, which
+  // would keep the availability budget burning and the page latched.
+  if (slo_dump_tick_ == tick_) return;
+  slo_dump_tick_ = tick_;
+
+  // Buy headroom first: walk the paging session's ladder, or — for
+  // fleet/class scopes — every besteffort ladder (the overload handler's
+  // cheapest rung, without waiting for a tick to overrun).
+  if (session != nullptr) {
+    session->supervisor().force_degrade();
+  } else {
+    for (const auto& s : active_) {
+      if (s->qos() == QoS::kBestEffort) s->supervisor().force_degrade();
+    }
+  }
+  // Then capture evidence. The warn->page hysteresis already rate-limits
+  // incidents, so no extra cooldown is needed.
+  ++slo_incident_dumps_;
+  if (flight_.enabled() && !cfg_.slo.incident_dump_path.empty() &&
+      flight_.dump_chrome_trace(cfg_.slo.incident_dump_path, 32,
+                                cfg_.default_tick_us)) {
+    journal_.push(
+        support::EventKind::kFlightDump, tick_,
+        static_cast<std::int64_t>(engine::FlightDumpTrigger::kSloPage),
+        scope);
+  }
+}
+
+void EngineHost::refresh_slo_json() {
+  std::string& out = debug_scratch_;
+  out.clear();
+  out += "{\"enabled\":true,\"tick\":";
+  out += std::to_string(tick_);
+  out += ",\"window_us\":";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", tsdb_->window_us());
+  out += buf;
+  out += ",\"sealed_windows\":";
+  out += std::to_string(tsdb_->sealed_windows());
+  out += ",\"fleet\":";
+  slo_fleet_->append_json(out);
+  out += ",\"qos\":[";
+  for (unsigned q = 0; q < kQoSCount; ++q) {
+    if (q) out += ',';
+    out += "{\"class\":\"";
+    out += to_string(static_cast<QoS>(q));
+    out += "\",\"slo\":";
+    slo_qos_[q]->append_json(out);
+    out += '}';
+  }
+  out += "],\"sessions\":[";
+  bool first = true;
+  for (const auto& s : active_) {
+    const auto it = slo_sessions_.find(s->id());
+    if (it == slo_sessions_.end()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(s->id());
+    out += ",\"name\":\"";
+    append_json_escaped(out, s->name());
+    out += "\",\"qos\":\"";
+    out += to_string(s->qos());
+    out += "\",\"slo\":";
+    it->second->append_json(out);
+    out += '}';
+  }
+  out += "]}";
+  {
+    std::lock_guard lk(debug_mutex_);
+    debug_slo_json_.swap(out);
+  }
+}
+
+std::string EngineHost::debug_slo_json() const {
+  std::lock_guard lk(debug_mutex_);
+  return debug_slo_json_.empty() ? std::string("{\"enabled\":false}")
+                                 : debug_slo_json_;
+}
+
+std::string EngineHost::debug_timeseries_json(std::string_view series,
+                                              std::size_t window) const {
+  if (tsdb_ == nullptr) {
+    return "{\"error\":\"slo engine disabled\",\"series\":[]}";
+  }
+  // No series named: answer with the index so the endpoint is
+  // discoverable without prior knowledge of the series names.
+  if (series.empty()) return tsdb_->index_json();
+  return tsdb_->render_json(series, window);
+}
+
+const support::SloTracker* EngineHost::slo_session(SessionId id) const {
+  const auto it = slo_sessions_.find(id);
+  return it != slo_sessions_.end() ? it->second.get() : nullptr;
+}
+
 void EngineHost::run_fleet_cycles(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) run_fleet_cycle();
 }
@@ -629,6 +853,7 @@ void EngineHost::trip_session(SessionId id) {
                                s.recorder().collect()});
   }
   set_state(id, SessionState::kTripped);
+  detach_slo(id);
 
   TrippedEntry e;
   e.id = id;
@@ -670,6 +895,9 @@ void EngineHost::probe_tripped() {
     s->restore(it->snap);
     s->set_next_due_us(fleet_now_us_ + s->deadline_us());
     if (tracing_armed_) s->arm_tracing(trace_capacity_);
+    // Fresh SLO tracker, like the stats: the restored session's burn
+    // restarts from zero rather than re-paging off pre-trip history.
+    attach_slo(it->id);
     set_state(it->id, SessionState::kActive);
     active_density_ += s->density();
     m_restored_.inc();
@@ -694,6 +922,11 @@ const Session* EngineHost::session(SessionId id) const noexcept {
     if (s->id() == id) return s.get();
   }
   return nullptr;
+}
+
+Session* EngineHost::session(SessionId id) noexcept {
+  return const_cast<Session*>(
+      static_cast<const EngineHost*>(this)->session(id));
 }
 
 void EngineHost::recalibrate() {

@@ -1,0 +1,52 @@
+#include "djstar/support/build_info.hpp"
+
+#include <string>
+
+#include "djstar/support/time.hpp"
+
+#ifndef DJSTAR_BUILD_VERSION
+#define DJSTAR_BUILD_VERSION "unknown"
+#endif
+#ifndef DJSTAR_BUILD_GIT_SHA
+#define DJSTAR_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef DJSTAR_BUILD_SANITIZER
+#define DJSTAR_BUILD_SANITIZER "none"
+#endif
+
+namespace djstar::support {
+namespace {
+
+// Static-init timestamp: close enough to process start for an uptime
+// gauge, and free of any reliance on main() cooperating.
+const Clock::time_point g_process_t0 = now();
+
+}  // namespace
+
+const BuildInfoFields& build_info() noexcept {
+  static const BuildInfoFields fields{DJSTAR_BUILD_VERSION,
+                                      DJSTAR_BUILD_GIT_SHA,
+                                      DJSTAR_BUILD_SANITIZER};
+  return fields;
+}
+
+double process_uptime_seconds() noexcept {
+  return since_us(g_process_t0) * 1e-6;
+}
+
+Gauge register_build_info(MetricsRegistry& reg) {
+  const BuildInfoFields& f = build_info();
+  const std::string labels = std::string("version=\"") + f.version +
+                             "\",git_sha=\"" + f.git_sha +
+                             "\",sanitizer=\"" + f.sanitizer + "\"";
+  Gauge info = reg.gauge("djstar_build_info",
+                         "Constant 1; labels identify the running binary",
+                         labels);
+  info.set(1.0);
+  Gauge uptime = reg.gauge("djstar_uptime_seconds",
+                           "Wall seconds since process start");
+  uptime.set(process_uptime_seconds());
+  return uptime;
+}
+
+}  // namespace djstar::support

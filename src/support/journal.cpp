@@ -42,6 +42,8 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kBlameReport: return "blame-report";
     case EventKind::kBlame: return "blame";
     case EventKind::kCpDrift: return "cp-drift";
+    case EventKind::kSloAlert: return "slo-alert";
+    case EventKind::kSloRecover: return "slo-recover";
   }
   return "?";
 }

@@ -155,6 +155,16 @@ Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help) {
   return Gauge(find_or_create(name, help, MetricEntry::Kind::kGauge));
 }
 
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                             std::string_view labels) {
+  MetricEntry* e = find_or_create(name, help, MetricEntry::Kind::kGauge);
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    if (e->labels.empty()) e->labels = std::string(labels);
+  }
+  return Gauge(e);
+}
+
 HistogramMetric MetricsRegistry::histogram(std::string_view name,
                                            std::string_view help,
                                            std::span<const double> bounds) {
@@ -196,6 +206,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     v.name = e->name;
     v.help = e->help;
     v.kind = e->kind;
+    v.labels = e->labels;
     switch (e->kind) {
       case MetricEntry::Kind::kCounter: {
         std::uint64_t sum = 0;
@@ -240,7 +251,9 @@ std::string to_prometheus(const MetricsSnapshot& snap) {
     out += kind_name(m.kind);
     out += "\n";
     if (m.kind != MetricEntry::Kind::kHistogram) {
-      out += m.name + " ";
+      out += m.name;
+      if (!m.labels.empty()) out += "{" + m.labels + "}";
+      out += " ";
       append_double(out, m.value);
       out += "\n";
       continue;
@@ -283,6 +296,10 @@ std::string to_json(const MetricsSnapshot& snap) {
     out += ",\"type\":\"";
     out += kind_name(m.kind);
     out += "\"";
+    if (!m.labels.empty()) {
+      out += ",\"labels\":";
+      append_json_string(out, m.labels);
+    }
     if (m.kind != MetricEntry::Kind::kHistogram) {
       out += ",\"value\":";
       append_double(out, m.value);

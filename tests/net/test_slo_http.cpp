@@ -1,0 +1,287 @@
+// GET /debug, /debug/slo and /debug/timeseries over the net front-end
+// (DESIGN.md §15): the per-tick SLO cache served by the reactor while
+// the engine thread runs, the forced-miss-burst page acceptance path
+// over the wire, the discoverability index, and concurrent scrapes with
+// exact request-counter deltas.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prometheus_check.hpp"
+#include "djstar/net/client.hpp"
+#include "djstar/net/server.hpp"
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+#include "stress/stress_util.hpp"
+
+namespace dn = djstar::net;
+namespace dv = djstar::serve;
+namespace dt = djstar::test;
+
+namespace {
+
+using namespace std::chrono_literals;
+
+struct HttpResponse {
+  std::string status;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+std::optional<HttpResponse> parse_http(const std::string& raw) {
+  const std::size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos) return std::nullopt;
+  HttpResponse r;
+  r.status = raw.substr(0, eol);
+  const std::size_t blank = raw.find("\r\n\r\n");
+  if (blank == std::string::npos) return std::nullopt;
+  std::istringstream head(raw.substr(eol + 2, blank - eol - 2));
+  std::string line;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::size_t v = colon + 1;
+    while (v < line.size() && line[v] == ' ') ++v;
+    r.headers[line.substr(0, colon)] = line.substr(v);
+  }
+  r.body = raw.substr(blank + 4);
+  return r;
+}
+
+/// SLO-armed server running until stop(), with one synthetic session
+/// submitted through the thread-safe control plane. Small window
+/// geometry so alert transitions land within the polling budget.
+struct SloServer {
+  explicit SloServer(djstar::core::chaos::FaultPlan faults = {},
+                     dv::QoS qos = dv::QoS::kStandard) {
+    dn::ServerConfig cfg;
+    cfg.host.threads = 2;
+    cfg.host.overload.trip_ticks = 1000;  // only the SLO page degrades
+    cfg.host.slo.enabled = true;
+    cfg.host.slo.tsdb.window_us = 10.0 * djstar::audio::kDeadlineUs;
+    cfg.host.slo.tsdb.retention = 64;
+    cfg.host.slo.windows.fast_short = 1;
+    cfg.host.slo.windows.fast_long = 2;
+    cfg.host.slo.windows.slow_short = 2;
+    cfg.host.slo.windows.slow_long = 4;
+    cfg.host.slo.windows.recover_evals = 2;
+    cfg.host.slo.spec.miss_ratio = 0.01;
+    server = std::make_unique<dn::Server>(cfg);
+    server->start();
+
+    dv::SyntheticSpec sspec;
+    sspec.name = "wire-slo";
+    sspec.qos = qos;
+    sspec.width = 2;
+    sspec.depth = 2;
+    sspec.node_cost_us = 5.0;
+    dv::SessionSpec spec = dv::make_synthetic_session(sspec);
+    spec.faults = std::move(faults);
+    session = server->host().submit(std::move(spec));
+  }
+  ~SloServer() { server->stop(); }
+
+  double counter(const std::string& name) const {
+    for (const auto& m : server->host().metrics().snapshot().metrics) {
+      if (m.name == name) return m.value;
+    }
+    return -1.0;
+  }
+
+  /// GET `path` until the JSON body satisfies `pred` (bounded).
+  std::string get_until(const std::string& path,
+                        bool (*pred)(const std::string&)) {
+    std::string last;
+    for (int i = 0; i < 2500; ++i) {
+      const auto raw = dn::http_get(server->port(), path);
+      if (raw.has_value()) {
+        const auto resp = parse_http(*raw);
+        if (resp.has_value()) {
+          last = resp->body;
+          if (pred(last)) return last;
+        }
+      }
+      std::this_thread::sleep_for(2ms);
+    }
+    ADD_FAILURE() << "condition never met for " << path << "; last: " << last;
+    return last;
+  }
+
+  std::unique_ptr<dn::Server> server;
+  dv::SessionId session = dv::kInvalidSession;
+};
+
+djstar::core::chaos::FaultPlan stall_every_cycle() {
+  djstar::core::chaos::FaultPlan faults;
+  faults.seed = 13;
+  faults.stall_permille = 1000;
+  faults.stall_us = 3.0 * djstar::audio::kDeadlineUs;
+  faults.targets = {1};
+  return faults;
+}
+
+}  // namespace
+
+TEST(NetSloHttp, DebugIndexListsTheSurface) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetSloHttp.DebugIndex");
+  SloServer q;
+
+  const auto raw = dn::http_get(q.server->port(), "/debug");
+  ASSERT_TRUE(raw.has_value());
+  const auto resp = parse_http(*raw);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "HTTP/1.0 200 OK");
+  EXPECT_EQ(resp->headers.at("Content-Type"),
+            "application/json; charset=utf-8");
+  for (const char* route :
+       {"/metrics", "/debug/attribution", "/debug/profile", "/debug/slo",
+        "/debug/timeseries"}) {
+    EXPECT_NE(resp->body.find(route), std::string::npos) << route;
+  }
+
+  // Unknown /debug/ children still 404 — the index is not a catch-all.
+  const auto bogus = dn::http_get(q.server->port(), "/debug/bogus");
+  ASSERT_TRUE(bogus.has_value());
+  EXPECT_NE(bogus->find("404"), std::string::npos);
+}
+
+TEST(NetSloHttp, SloAndTimeseriesServeJsonWhileEngineRuns) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetSloHttp.SloJson");
+  SloServer q;
+
+  // Wait until the session's tracker shows up in the per-tick cache and
+  // the fleet reads ok (a stray load-induced miss may warn briefly; the
+  // tracker recovers within the polling budget).
+  const std::string body = q.get_until("/debug/slo", [](const std::string& b) {
+    return b.find("\"enabled\":true") != std::string::npos &&
+           b.find("\"id\":") != std::string::npos &&
+           b.find("\"fleet\":{\"state\":\"ok\"") != std::string::npos;
+  });
+  EXPECT_NE(body.find("\"class\":\"besteffort\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"name\":\"wire-slo\""), std::string::npos) << body;
+
+  const auto raw = dn::http_get(q.server->port(), "/debug/slo");
+  ASSERT_TRUE(raw.has_value());
+  const auto resp = parse_http(*raw);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, "HTTP/1.0 200 OK");
+  EXPECT_EQ(resp->headers.at("Content-Type"),
+            "application/json; charset=utf-8");
+  EXPECT_EQ(resp->headers.at("Content-Length"),
+            std::to_string(resp->body.size()));
+
+  // The named series, rendered reader-side from the store.
+  const std::string series = q.get_until(
+      "/debug/timeseries?series=fleet_tick_us&window=4",
+      [](const std::string& b) {
+        return b.find("\"series\":\"fleet_tick_us\"") != std::string::npos;
+      });
+  EXPECT_NE(series.find("\"windows\":["), std::string::npos) << series;
+
+  // No series named: the index. Unknown series: an error that still
+  // lists what exists.
+  const auto index = dn::http_get(q.server->port(), "/debug/timeseries");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_NE(parse_http(*index)->body.find("\"retention\""),
+            std::string::npos);
+  const auto unknown =
+      dn::http_get(q.server->port(), "/debug/timeseries?series=nope");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_NE(parse_http(*unknown)->body.find("\"error\""), std::string::npos);
+}
+
+TEST(NetSloHttp, MissBurstPageReachesTheWire) {
+  dt::Watchdog dog(dt::scaled_timeout(60), "NetSloHttp.MissBurstPage");
+  // Node 1 stalls ~3 deadlines every cycle on a besteffort session:
+  // every cycle misses, the burn rate saturates, and the page must be
+  // visible in the wire-level JSON — fault -> tsdb -> tracker -> HTTP.
+  SloServer q(stall_every_cycle(), dv::QoS::kBestEffort);
+
+  const std::string body = q.get_until("/debug/slo", [](const std::string& b) {
+    return b.find("\"state\":\"page\"") != std::string::npos;
+  });
+  EXPECT_NE(body.find("\"name\":\"wire-slo\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"budget_remaining\":0.0000"), std::string::npos)
+      << body;
+  EXPECT_GE(q.counter("djstar_slo_alerts_total"), 2.0);  // warn then page
+}
+
+TEST(NetSloHttp, ConcurrentScrapesCountExactly) {
+  dt::Watchdog dog(dt::scaled_timeout(120), "NetSloHttp.ConcurrentScrapes");
+  SloServer q;
+  q.get_until("/debug/slo", [](const std::string& body) {
+    return body.find("\"enabled\":true") != std::string::npos;
+  });
+
+  const double http_before = q.counter("djstar_net_http_requests_total");
+  const double debug_before = q.counter("djstar_net_debug_requests_total");
+  ASSERT_GE(http_before, 0.0);
+  ASSERT_GE(debug_before, 0.0);
+
+  // Three scrapers hammer /metrics plus all three SLO-side debug routes
+  // while the engine keeps ticking. Every response arrives whole.
+  constexpr int kThreads = 3;
+  constexpr int kIters = 8;
+  std::atomic<int> metrics_ok{0}, slo_ok{0}, index_ok{0}, series_ok{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < kThreads; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto m = dn::http_get(q.server->port(), "/metrics");
+        if (m.has_value()) {
+          const auto resp = parse_http(*m);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              djstar_test::validate_prometheus(resp->body).empty()) {
+            metrics_ok.fetch_add(1);
+          }
+        }
+        const auto s = dn::http_get(q.server->port(), "/debug/slo");
+        if (s.has_value()) {
+          const auto resp = parse_http(*s);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              resp->body.find("\"enabled\":true") != std::string::npos &&
+              resp->body.back() == '}') {
+            slo_ok.fetch_add(1);
+          }
+        }
+        const auto d = dn::http_get(q.server->port(), "/debug");
+        if (d.has_value()) {
+          const auto resp = parse_http(*d);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              resp->body.find("/debug/slo") != std::string::npos) {
+            index_ok.fetch_add(1);
+          }
+        }
+        const auto ts = dn::http_get(q.server->port(),
+                                     "/debug/timeseries?series=fleet_tick_us");
+        if (ts.has_value()) {
+          const auto resp = parse_http(*ts);
+          if (resp.has_value() && resp->status == "HTTP/1.0 200 OK" &&
+              resp->body.find("fleet_tick_us") != std::string::npos) {
+            series_ok.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : scrapers) th.join();
+
+  EXPECT_EQ(metrics_ok.load(), kThreads * kIters);
+  EXPECT_EQ(slo_ok.load(), kThreads * kIters);
+  EXPECT_EQ(index_ok.load(), kThreads * kIters);
+  EXPECT_EQ(series_ok.load(), kThreads * kIters);
+
+  // Exact deltas: /metrics feeds the http counter, the three debug
+  // routes the debug counter — our requests and nothing else moved them.
+  EXPECT_EQ(q.counter("djstar_net_http_requests_total"),
+            http_before + kThreads * kIters);
+  EXPECT_EQ(q.counter("djstar_net_debug_requests_total"),
+            debug_before + 3.0 * kThreads * kIters);
+}

@@ -1,0 +1,258 @@
+// Host-layer SLO acceptance (DESIGN.md §15): a forced miss burst on a
+// besteffort session walks every scope ok -> warn -> page on the
+// virtual fleet clock, pages force early degradation and exactly one
+// flight incident dump, and all scopes recover with hysteresis once the
+// faults stop. Plus tracker lifecycle (attach/detach with the session),
+// the /debug JSON caches, and the Prometheus exposition.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/prometheus_check.hpp"
+#include "djstar/audio/buffer.hpp"
+#include "djstar/core/chaos.hpp"
+#include "djstar/engine/telemetry.hpp"
+#include "djstar/serve/host.hpp"
+#include "djstar/serve/synthetic.hpp"
+
+namespace ds = djstar::serve;
+namespace sup = djstar::support;
+namespace chaos = djstar::core::chaos;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+// Deterministic geometry: one session at the default tick deadline means
+// one cycle per tick, and a tsdb window of 10 deadlines seals every 10
+// ticks. Page pair = 1/2 windows, warn pair = 2/4, two clean evals per
+// hysteresis step down. The overload shedder is parked far away so the
+// only degradation pressure in these tests is the SLO page itself.
+// The deadline is an exactly-representable, generous 20 ms: not
+// kDeadlineUs, so the accumulated fleet clock hits window boundaries
+// without ULP drift, and large enough that a clean cycle preempted by
+// parallel test load never registers as a stray wall-clock miss.
+constexpr double kTickUs = 20'000.0;
+
+ds::HostConfig slo_host() {
+  ds::HostConfig cfg;
+  cfg.threads = 2;
+  cfg.default_tick_us = kTickUs;
+  cfg.overload.trip_ticks = 1000;
+  cfg.supervisor.overrun_trip = 1000;  // ladder moves only on SLO pages
+  cfg.slo.enabled = true;
+  cfg.slo.tsdb.window_us = 10.0 * kTickUs;
+  cfg.slo.tsdb.retention = 64;
+  cfg.slo.windows.fast_short = 1;
+  cfg.slo.windows.fast_long = 2;
+  cfg.slo.windows.slow_short = 2;
+  cfg.slo.windows.slow_long = 4;
+  cfg.slo.windows.recover_evals = 2;
+  cfg.slo.spec.miss_ratio = 0.01;
+  return cfg;
+}
+
+ds::SessionSpec light_session(ds::QoS qos,
+                              chaos::FaultPlan faults = {}) {
+  ds::SyntheticSpec spec;
+  spec.name = "slo-probe";
+  spec.qos = qos;
+  spec.deadline_us = kTickUs;
+  spec.width = 2;
+  spec.depth = 2;
+  spec.node_cost_us = 0.5;
+  ds::SessionSpec s = ds::make_synthetic_session(spec);
+  s.cost_estimate_us = 0.1 * spec.deadline_us;
+  s.faults = std::move(faults);
+  return s;
+}
+
+chaos::FaultPlan stall_every_cycle() {
+  chaos::FaultPlan plan;
+  plan.seed = 13;
+  plan.stall_permille = 1000;
+  plan.stall_us = 3.0 * kTickUs;
+  plan.targets = {0};
+  return plan;
+}
+
+double metric_value(const sup::MetricsRegistry& reg,
+                    const std::string& name) {
+  for (const sup::MetricValue& m : reg.snapshot().metrics) {
+    if (m.name == name) return m.value;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  return -1.0;
+}
+
+}  // namespace
+
+TEST(HostSlo, DisabledByDefaultCostsNothing) {
+  ds::HostConfig cfg;
+  cfg.threads = 2;
+  ds::EngineHost host(cfg);
+  host.submit(light_session(ds::QoS::kStandard));
+  host.run_fleet_cycles(3);
+  EXPECT_FALSE(host.slo_enabled());
+  EXPECT_EQ(host.slo_store(), nullptr);
+  EXPECT_EQ(host.slo_fleet(), nullptr);
+  EXPECT_EQ(host.debug_slo_json(), "{\"enabled\":false}");
+  EXPECT_NE(host.debug_timeseries_json("fleet_tick_us", 0).find("\"error\""),
+            std::string::npos);
+}
+
+TEST(HostSlo, MissBurstPagesDumpsOnceAndRecoversWithHysteresis) {
+  const std::string dump = testing::TempDir() + "/host_slo_incident.json";
+  std::remove(dump.c_str());
+
+  ds::HostConfig cfg = slo_host();
+  cfg.slo.incident_dump_path = dump;
+  ds::EngineHost host(cfg);
+  host.enable_flight(256);
+
+  const ds::SessionId id =
+      host.submit(light_session(ds::QoS::kBestEffort, stall_every_cycle()));
+
+  // Window 1 (ticks 1..10): every cycle misses -> warn at the seal.
+  host.run_fleet_cycles(10);
+  ASSERT_NE(host.slo_session(id), nullptr);
+  EXPECT_EQ(host.slo_session(id)->status().state, sup::SloAlertState::kWarn);
+  EXPECT_EQ(host.slo_fleet()->status().state, sup::SloAlertState::kWarn);
+  EXPECT_EQ(host.slo_incident_dumps(), 0u);
+
+  // Window 2: warn -> page on every scope (the session is 100% of the
+  // fleet), but the three simultaneous pages are ONE incident: a single
+  // dump, and the paging session's ladder walked one rung.
+  host.run_fleet_cycles(10);
+  EXPECT_EQ(host.slo_session(id)->status().state, sup::SloAlertState::kPage);
+  EXPECT_EQ(host.slo_fleet()->status().state, sup::SloAlertState::kPage);
+  EXPECT_DOUBLE_EQ(host.slo_fleet()->status().budget_remaining, 0.0);
+  EXPECT_EQ(host.slo_incident_dumps(), 1u);
+  EXPECT_NE(slurp(dump).find("\"traceEvents\""), std::string::npos);
+  ASSERT_NE(host.session(id), nullptr);
+  EXPECT_GT(host.session(id)->supervisor().level(),
+            djstar::engine::DegradationLevel::kFull);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_alert_state"), 2.0);
+  EXPECT_EQ(metric_value(host.metrics(),
+                         "djstar_slo_alert_state_besteffort"), 2.0);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_budget_remaining"), 0.0);
+
+  // Faults stop; hysteresis steps every scope page -> warn -> ok over
+  // clean evaluations, with no second incident.
+  host.session(id)->disarm_faults();
+  host.run_fleet_cycles(70);
+  EXPECT_EQ(host.slo_session(id)->status().state, sup::SloAlertState::kOk);
+  EXPECT_EQ(host.slo_fleet()->status().state, sup::SloAlertState::kOk);
+  EXPECT_DOUBLE_EQ(host.slo_fleet()->status().budget_remaining, 1.0);
+  EXPECT_EQ(host.slo_incident_dumps(), 1u);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_alert_state"), 0.0);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_budget_remaining"), 1.0);
+
+  // Journal: per scope, alerts escalate 1 then 2 and recovery walks
+  // 1 then 0; the single kFlightDump names the kSloPage trigger. Scope
+  // encoding: 0 = fleet, -1-q = QoS class, positive = session id.
+  std::vector<std::int64_t> session_alerts, session_recovers, fleet_alerts;
+  std::size_t slo_page_dumps = 0;
+  for (const sup::Event& e : host.journal().drain_all()) {
+    if (e.kind == sup::EventKind::kSloAlert) {
+      if (e.a == std::int64_t(id)) session_alerts.push_back(e.b);
+      if (e.a == 0) fleet_alerts.push_back(e.b);
+    }
+    if (e.kind == sup::EventKind::kSloRecover && e.a == std::int64_t(id)) {
+      session_recovers.push_back(e.b);
+    }
+    if (e.kind == sup::EventKind::kFlightDump &&
+        e.a == std::int64_t(djstar::engine::FlightDumpTrigger::kSloPage)) {
+      ++slo_page_dumps;
+    }
+  }
+  EXPECT_EQ(session_alerts, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(session_recovers, (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(fleet_alerts, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(slo_page_dumps, 1u);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_alerts_total"), 6.0);
+  EXPECT_EQ(metric_value(host.metrics(), "djstar_slo_recovers_total"), 6.0);
+  std::remove(dump.c_str());
+}
+
+TEST(HostSlo, SessionTrackersFollowTheLifecycle) {
+  ds::EngineHost host(slo_host());
+  sup::TimeSeriesStore* store = host.slo_store();
+  ASSERT_NE(store, nullptr);
+
+  const ds::SessionId id = host.submit(light_session(ds::QoS::kStandard));
+  host.run_fleet_cycles(2);
+  ASSERT_NE(host.slo_session(id), nullptr);
+  const std::size_t with_session = store->series_count();
+  const std::string cycles = "session_" + std::to_string(id) + "_cycles";
+  sup::TimeSeriesStore::SeriesSnapshot snap;
+  EXPECT_TRUE(store->snapshot(cycles, 0, snap));
+
+  // Closing the session releases its four series; the store keeps the
+  // fleet and QoS scopes alive for the whole host lifetime.
+  host.close(id);
+  host.run_fleet_cycle();
+  EXPECT_EQ(host.slo_session(id), nullptr);
+  EXPECT_EQ(store->series_count(), with_session - 4);
+  EXPECT_FALSE(store->snapshot(cycles, 0, snap));
+
+  // A new session re-registers cleanly (fresh tracker, burn from zero).
+  const ds::SessionId id2 = host.submit(light_session(ds::QoS::kStandard));
+  host.run_fleet_cycle();
+  ASSERT_NE(host.slo_session(id2), nullptr);
+  EXPECT_EQ(store->series_count(), with_session);
+  EXPECT_EQ(host.slo_session(id2)->status().state, sup::SloAlertState::kOk);
+}
+
+TEST(HostSlo, DebugJsonCarriesEveryScope) {
+  ds::EngineHost host(slo_host());
+  const ds::SessionId id = host.submit(light_session(ds::QoS::kStandard));
+  host.run_fleet_cycles(12);  // at least one sealed window
+
+  const std::string body = host.debug_slo_json();
+  EXPECT_NE(body.find("\"enabled\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"fleet\":{\"state\":\"ok\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"class\":\"realtime\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"class\":\"besteffort\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":" + std::to_string(id)), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"budget_remaining\":1.0000"), std::string::npos)
+      << body;
+
+  const std::string series = host.debug_timeseries_json("fleet_tick_us", 0);
+  EXPECT_NE(series.find("\"series\":\"fleet_tick_us\""), std::string::npos)
+      << series;
+  // No series named: the index, for discoverability.
+  EXPECT_NE(host.debug_timeseries_json("", 0).find("\"retention\""),
+            std::string::npos);
+  EXPECT_NE(host.debug_timeseries_json("bogus", 0).find("\"error\""),
+            std::string::npos);
+}
+
+TEST(HostSlo, PrometheusExpositionStaysValid) {
+  ds::EngineHost host(slo_host());
+  host.submit(light_session(ds::QoS::kStandard));
+  host.run_fleet_cycles(12);
+
+  const std::string path = testing::TempDir() + "/host_slo_metrics.prom";
+  ASSERT_TRUE(host.write_metrics(path));
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(djstar_test::validate_prometheus(text), "") << text;
+  for (const char* name :
+       {"djstar_slo_budget_remaining", "djstar_slo_alert_state",
+        "djstar_slo_alert_state_besteffort", "djstar_slo_alerts_total",
+        "djstar_slo_recovers_total", "djstar_build_info",
+        "djstar_uptime_seconds"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}

@@ -1,0 +1,215 @@
+// Tests for the in-process time-series store (DESIGN.md §15): open-window
+// accumulation, window sealing on the caller's (virtual) clock, empty gap
+// windows, ring retention/eviction, histogram-backed percentile series,
+// reader-side snapshots and JSON rendering, and reader/writer overlap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "djstar/support/histogram.hpp"
+#include "djstar/support/tsdb.hpp"
+
+namespace ds = djstar::support;
+
+namespace {
+
+ds::TsdbConfig tiny(double window_us = 100.0, std::size_t retention = 4) {
+  ds::TsdbConfig cfg;
+  cfg.window_us = window_us;
+  cfg.retention = retention;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Tsdb, RecordsFoldIntoSealedWindows) {
+  ds::TimeSeriesStore store(tiny());
+  const auto s = store.add_series("lat");
+  store.record(s, 10.0);
+  store.record(s, 30.0);
+  store.record(s, 20.0);
+  EXPECT_EQ(store.sealed_windows(), 0u);
+
+  EXPECT_EQ(store.advance(100.0), 1u);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("lat", 0, snap));
+  ASSERT_EQ(snap.windows.size(), 1u);
+  EXPECT_EQ(snap.windows[0].count, 3u);
+  EXPECT_DOUBLE_EQ(snap.windows[0].sum, 60.0);
+  EXPECT_DOUBLE_EQ(snap.windows[0].min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.windows[0].max, 30.0);
+  EXPECT_FALSE(snap.histogram);
+  EXPECT_EQ(snap.first_index, 0u);
+}
+
+TEST(Tsdb, IdleGapsSealEmptyWindows) {
+  ds::TimeSeriesStore store(tiny());
+  const auto s = store.add_series("lat");
+  store.record(s, 5.0);
+  // Crossing 3 boundaries at once: one window holds the sample, two are
+  // empty — indices still map 1:1 to virtual time.
+  EXPECT_EQ(store.advance(300.0), 3u);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("lat", 0, snap));
+  ASSERT_EQ(snap.windows.size(), 3u);
+  EXPECT_EQ(snap.windows[0].count, 1u);
+  EXPECT_EQ(snap.windows[1].count, 0u);
+  EXPECT_EQ(snap.windows[2].count, 0u);
+}
+
+TEST(Tsdb, RetentionEvictsOldestWindows) {
+  ds::TimeSeriesStore store(tiny(100.0, /*retention=*/4));
+  const auto s = store.add_series("v");
+  for (int w = 0; w < 6; ++w) {
+    store.record(s, static_cast<double>(w));
+    store.advance(100.0 * (w + 1));
+  }
+  EXPECT_EQ(store.sealed_windows(), 6u);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("v", 0, snap));
+  ASSERT_EQ(snap.windows.size(), 4u);  // windows 2..5 survive
+  EXPECT_EQ(snap.first_index, 2u);
+  EXPECT_DOUBLE_EQ(snap.windows.front().sum, 2.0);
+  EXPECT_DOUBLE_EQ(snap.windows.back().sum, 5.0);
+}
+
+TEST(Tsdb, AggregateCoversNewestNWindows) {
+  ds::TimeSeriesStore store(tiny(100.0, 8));
+  const auto s = store.add_series("v");
+  for (int w = 0; w < 4; ++w) {
+    store.record(s, 10.0 * (w + 1));  // 10, 20, 30, 40
+    store.advance(100.0 * (w + 1));
+  }
+  const ds::TsWindow last2 = store.aggregate(s, 2);
+  EXPECT_EQ(last2.count, 2u);
+  EXPECT_DOUBLE_EQ(last2.sum, 70.0);
+  EXPECT_DOUBLE_EQ(last2.min, 30.0);
+  EXPECT_DOUBLE_EQ(last2.max, 40.0);
+  const ds::TsWindow all = store.aggregate(s, 0);
+  EXPECT_EQ(all.count, 4u);
+  EXPECT_DOUBLE_EQ(all.sum, 100.0);
+  // Asking for more windows than exist degrades to "all".
+  const ds::TsWindow over = store.aggregate(s, 64);
+  EXPECT_EQ(over.count, 4u);
+}
+
+TEST(Tsdb, HistogramSeriesStoresWindowedPercentileDeltas) {
+  ds::Histogram live(0.0, 1000.0, 64);
+  ds::TimeSeriesStore store(tiny(100.0, 8));
+  store.add_series("plain");
+  const auto h = store.add_histogram_series("lat_hist", &live);
+  (void)h;
+
+  for (int i = 0; i < 100; ++i) live.add(100.0);
+  store.advance(100.0);
+  for (int i = 0; i < 100; ++i) live.add(500.0);
+  store.advance(200.0);
+
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("lat_hist", 0, snap));
+  ASSERT_TRUE(snap.histogram);
+  ASSERT_EQ(snap.windows.size(), 2u);
+  // Each window sees only its own samples: rollover-safe deltas, not the
+  // cumulative distribution.
+  EXPECT_EQ(snap.windows[0].count, 100u);
+  EXPECT_EQ(snap.windows[1].count, 100u);
+  EXPECT_LT(snap.windows[0].p99, 200.0);
+  EXPECT_GT(snap.windows[1].p50, 400.0);
+}
+
+TEST(Tsdb, DuplicateAndEmptyNamesThrow) {
+  ds::TimeSeriesStore store(tiny());
+  store.add_series("a");
+  EXPECT_THROW(store.add_series("a"), std::invalid_argument);
+  EXPECT_THROW(store.add_series(""), std::invalid_argument);
+}
+
+TEST(Tsdb, RemoveSeriesForgetsTheName) {
+  ds::TimeSeriesStore store(tiny());
+  store.add_series("gone");
+  EXPECT_EQ(store.series_count(), 1u);
+  store.remove_series("gone");
+  EXPECT_EQ(store.series_count(), 0u);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  EXPECT_FALSE(store.snapshot("gone", 0, snap));
+  // The name can be re-registered (sessions come and go).
+  store.add_series("gone");
+  EXPECT_EQ(store.series_count(), 1u);
+}
+
+TEST(Tsdb, LateRegistrationAlignsWithTheStoreClock) {
+  ds::TimeSeriesStore store(tiny(100.0, 8));
+  const auto a = store.add_series("early");
+  store.record(a, 1.0);
+  store.advance(300.0);  // 3 sealed windows before "late" exists
+  const auto b = store.add_series("late");
+  store.record(b, 7.0);
+  store.advance(400.0);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("late", 0, snap));
+  ASSERT_EQ(snap.windows.size(), 1u);
+  EXPECT_EQ(snap.first_index, 3u);  // global index, not series-local
+  EXPECT_DOUBLE_EQ(snap.windows[0].sum, 7.0);
+}
+
+TEST(Tsdb, GapLargerThanRetentionDropsOpenData) {
+  ds::TimeSeriesStore store(tiny(100.0, /*retention=*/4));
+  const auto s = store.add_series("v");
+  store.record(s, 99.0);
+  // 100 windows cross at once; only the newest `retention` are sealed
+  // into the ring. The open sample belonged to the (evicted) oldest
+  // window, so it must not leak into a surviving one.
+  EXPECT_EQ(store.advance(10'000.0), 100u);
+  EXPECT_EQ(store.sealed_windows(), 100u);
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("v", 0, snap));
+  ASSERT_EQ(snap.windows.size(), 4u);
+  EXPECT_EQ(snap.first_index, 96u);
+  for (const ds::TsWindow& w : snap.windows) EXPECT_EQ(w.count, 0u);
+}
+
+TEST(Tsdb, RenderJsonAndIndex) {
+  ds::TimeSeriesStore store(tiny(100.0, 8));
+  const auto s = store.add_series("fleet_tick_us");
+  store.record(s, 42.0);
+  store.advance(100.0);
+
+  const std::string body = store.render_json("fleet_tick_us", 0);
+  EXPECT_NE(body.find("\"series\":\"fleet_tick_us\""), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"count\":1"), std::string::npos) << body;
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back(), '}');
+
+  const std::string unknown = store.render_json("nope", 0);
+  EXPECT_NE(unknown.find("\"error\""), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("fleet_tick_us"), std::string::npos) << unknown;
+
+  const std::string index = store.index_json();
+  EXPECT_NE(index.find("\"retention\":8"), std::string::npos) << index;
+  EXPECT_NE(index.find("fleet_tick_us"), std::string::npos) << index;
+}
+
+TEST(Tsdb, ReadersOverlapTheWriterSafely) {
+  ds::TimeSeriesStore store(tiny(100.0, 16));
+  const auto s = store.add_series("hot");
+  std::thread reader([&] {
+    for (int i = 0; i < 500; ++i) {
+      ds::TimeSeriesStore::SeriesSnapshot snap;
+      (void)store.snapshot("hot", 0, snap);
+      (void)store.render_json("hot", 4);
+    }
+  });
+  for (int w = 0; w < 200; ++w) {
+    for (int i = 0; i < 10; ++i) store.record(s, 1.0 * i);
+    store.advance(100.0 * (w + 1));
+  }
+  reader.join();
+  ds::TimeSeriesStore::SeriesSnapshot snap;
+  ASSERT_TRUE(store.snapshot("hot", 0, snap));
+  EXPECT_EQ(snap.windows.size(), 16u);
+  for (const ds::TsWindow& w : snap.windows) EXPECT_EQ(w.count, 10u);
+}
